@@ -1,0 +1,206 @@
+//! The averaging (mode) attack across τ rounds.
+//!
+//! §2.4 of the paper: if a user re-randomizes the *same* true value with
+//! fresh noise every round, the server can take the mode of the τ reports
+//! and recover the value with probability → 1. Memoization (PRR) defeats
+//! this: the mode converges to the *memoized* symbol, whose identity leaks
+//! only the one-time PRR draw (probability `p1` of being the truth),
+//! regardless of τ.
+//!
+//! * [`rr_majority_success_binary`] — exact closed form for `k = 2`
+//!   (binary randomized response, majority vote).
+//! * [`mode_attack_fresh_grr`] — Monte Carlo for general `k`.
+//! * [`mode_attack_memoized`] — Monte Carlo against a PRR+IRR chain,
+//!   demonstrating the plateau at `p1`.
+
+use ldp_primitives::error::ParamError;
+use ldp_primitives::params::grr_params;
+use ldp_primitives::Grr;
+use ldp_rand::uniform_u64;
+use rand::RngCore;
+
+/// Exact success probability of the majority-vote attack against τ rounds
+/// of *fresh* binary randomized response at level ε (ties broken by a fair
+/// coin).
+///
+/// With `p = e^ε/(e^ε+1)` and `C ~ Bin(τ, p)` correct reports:
+/// `P(win) = P(C > τ/2) + ½·P(C = τ/2)`.
+pub fn rr_majority_success_binary(eps: f64, tau: u32) -> Result<f64, ParamError> {
+    if !eps.is_finite() || eps <= 0.0 {
+        return Err(ParamError::InvalidEpsilon { value: eps });
+    }
+    let (p, _) = grr_params(eps, 2);
+    // Binomial pmf by stable recurrence: pmf(0) = (1-p)^τ,
+    // pmf(c+1) = pmf(c) · (τ-c)/(c+1) · p/(1-p).
+    let tau_f = tau as f64;
+    let ratio = p / (1.0 - p);
+    let mut pmf = (1.0 - p).powi(tau as i32);
+    let mut win = 0.0;
+    for c in 0..=tau {
+        let cf = c as f64;
+        if 2.0 * cf > tau_f {
+            win += pmf;
+        } else if 2.0 * cf == tau_f {
+            win += 0.5 * pmf;
+        }
+        if c < tau {
+            pmf *= (tau_f - cf) / (cf + 1.0) * ratio;
+        }
+    }
+    Ok(win.min(1.0))
+}
+
+/// Monte Carlo success rate of the mode attack against τ rounds of fresh
+/// GRR over a `k`-ary domain (`trials` independent users, value fixed at 0
+/// WLOG by symmetry; mode ties broken uniformly).
+pub fn mode_attack_fresh_grr<R: RngCore + ?Sized>(
+    k: u64,
+    eps: f64,
+    tau: u32,
+    trials: u32,
+    rng: &mut R,
+) -> Result<f64, ParamError> {
+    let grr = Grr::new(k, eps)?;
+    let mut wins = 0.0;
+    let mut counts = vec![0u32; k as usize];
+    for _ in 0..trials {
+        counts.fill(0);
+        for _ in 0..tau {
+            counts[grr.perturb(0, rng) as usize] += 1;
+        }
+        wins += mode_win_probability(&counts, 0);
+    }
+    Ok(wins / trials as f64)
+}
+
+/// Monte Carlo success rate of the mode attack against τ rounds of a
+/// memoized GRR chain (PRR at ε∞ drawn once, IRR at ε_irr fresh per round),
+/// the structure of L-GRR and of LOLOHA's cell reports.
+///
+/// As τ → ∞ the mode reveals the memoized symbol `x′`, so the success rate
+/// plateaus at `P(x′ = v) = p1` instead of approaching 1.
+pub fn mode_attack_memoized<R: RngCore + ?Sized>(
+    k: u64,
+    eps_inf: f64,
+    eps_irr: f64,
+    tau: u32,
+    trials: u32,
+    rng: &mut R,
+) -> Result<f64, ParamError> {
+    let prr = Grr::new(k, eps_inf)?;
+    let irr = Grr::new(k, eps_irr)?;
+    let mut wins = 0.0;
+    let mut counts = vec![0u32; k as usize];
+    for _ in 0..trials {
+        counts.fill(0);
+        let memoized = prr.perturb(0, rng);
+        for _ in 0..tau {
+            counts[irr.perturb(memoized, rng) as usize] += 1;
+        }
+        wins += mode_win_probability(&counts, 0);
+    }
+    Ok(wins / trials as f64)
+}
+
+/// The probability the attacker's uniformly tie-broken mode guess equals
+/// `truth` given the observed report counts.
+fn mode_win_probability(counts: &[u32], truth: usize) -> f64 {
+    let best = *counts.iter().max().expect("non-empty domain");
+    let ties = counts.iter().filter(|&&c| c == best).count();
+    if counts[truth] == best {
+        1.0 / ties as f64
+    } else {
+        0.0
+    }
+}
+
+/// The asymptotic (τ → ∞) ceiling of the memoized mode attack: `p1`, the
+/// probability the PRR preserved the true symbol.
+pub fn memoized_attack_ceiling(k: u64, eps_inf: f64) -> f64 {
+    grr_params(eps_inf, k).0
+}
+
+/// Picks a uniformly random value, used by examples to vary the attacked
+/// input (the analysis itself is symmetric in the value).
+pub fn random_value<R: RngCore + ?Sized>(k: u64, rng: &mut R) -> u64 {
+    uniform_u64(rng, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_rand::derive_rng;
+
+    #[test]
+    fn binary_closed_form_matches_monte_carlo() {
+        let (eps, tau) = (1.0, 21);
+        let exact = rr_majority_success_binary(eps, tau).unwrap();
+        let mut rng = derive_rng(100, 0);
+        let mc = mode_attack_fresh_grr(2, eps, tau, 40_000, &mut rng).unwrap();
+        assert!((exact - mc).abs() < 0.01, "exact {exact} vs MC {mc}");
+    }
+
+    #[test]
+    fn fresh_noise_success_grows_with_tau() {
+        let eps = 0.5;
+        let few = rr_majority_success_binary(eps, 5).unwrap();
+        let many = rr_majority_success_binary(eps, 101).unwrap();
+        assert!(many > few);
+        assert!(many > 0.95, "τ=101 at ε=0.5 should be near-certain: {many}");
+    }
+
+    #[test]
+    fn fresh_noise_single_round_equals_p() {
+        let eps = 2.0;
+        let (p, _) = grr_params(eps, 2);
+        let s = rr_majority_success_binary(eps, 1).unwrap();
+        assert!((s - p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memoization_caps_the_attack() {
+        // Fresh noise at τ = 60 nearly reveals the value; the memoized chain
+        // with the same per-round ε stays near its ceiling p1.
+        let (k, eps_inf, eps_irr, tau) = (4u64, 1.0, 1.0, 60);
+        let mut rng = derive_rng(101, 0);
+        let fresh = mode_attack_fresh_grr(k, eps_irr, tau, 8_000, &mut rng).unwrap();
+        let memo = mode_attack_memoized(k, eps_inf, eps_irr, tau, 8_000, &mut rng).unwrap();
+        let ceiling = memoized_attack_ceiling(k, eps_inf);
+        assert!(fresh > 0.9, "fresh {fresh}");
+        assert!(memo < ceiling + 0.03, "memo {memo} ceiling {ceiling}");
+        assert!(memo < fresh - 0.2, "memo {memo} should be far below fresh {fresh}");
+    }
+
+    #[test]
+    fn memoized_attack_approaches_ceiling_from_below_as_tau_grows() {
+        let (k, eps_inf, eps_irr) = (4u64, 2.0, 1.0);
+        let mut rng = derive_rng(102, 0);
+        let long = mode_attack_memoized(k, eps_inf, eps_irr, 120, 8_000, &mut rng).unwrap();
+        let ceiling = memoized_attack_ceiling(k, eps_inf);
+        assert!((long - ceiling).abs() < 0.03, "long {long} vs ceiling {ceiling}");
+    }
+
+    #[test]
+    fn invalid_epsilon_is_rejected() {
+        assert!(rr_majority_success_binary(0.0, 5).is_err());
+        assert!(rr_majority_success_binary(f64::INFINITY, 5).is_err());
+        let mut rng = derive_rng(1, 0);
+        assert!(mode_attack_fresh_grr(1, 1.0, 5, 10, &mut rng).is_err());
+    }
+
+    #[test]
+    fn mode_win_probability_handles_ties() {
+        assert_eq!(mode_win_probability(&[3, 3, 1], 0), 0.5);
+        assert_eq!(mode_win_probability(&[3, 3, 1], 2), 0.0);
+        assert_eq!(mode_win_probability(&[5, 3, 1], 0), 1.0);
+        assert_eq!(mode_win_probability(&[1, 1, 1], 1), 1.0 / 3.0);
+    }
+
+    #[test]
+    fn tau_zero_attack_is_pure_tie_break() {
+        // No reports: every count is zero, mode guess is uniform.
+        let mut rng = derive_rng(103, 0);
+        let s = mode_attack_fresh_grr(5, 1.0, 0, 1_000, &mut rng).unwrap();
+        assert!((s - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,482 @@
+//! Closed-form change-exposure analysis (the Table 2 phenomenon).
+//!
+//! A *data change* at the user replaces input class c by c′. The attacker
+//! watches consecutive reports and asks: did the report stream's behaviour
+//! change? Three protocols, three answers:
+//!
+//! * **dBitFlipPM** ([`dbitflip_change_detection`]) — reports are memoized
+//!   *deterministically* per class, so a class change is exposed exactly
+//!   when the two memoized vectors differ; the probability is in closed
+//!   form, and is near 1 for `d = b` (Table 2's 100% row) and near 0 for
+//!   `d = 1`.
+//! * **LOLOHA** ([`loloha_change_exposure`]) — three shields stack: the
+//!   hash may collide (`H(v) = H(v′)`), the PRR may memoize the same cell,
+//!   and the IRR re-randomizes every round so even differing memoized
+//!   cells only shift the report *distribution* by `p2 − q2`.
+//! * **L-UE / RAPPOR** ([`lue_change_exposure`]) — a value change redraws
+//!   the whole memoized bit vector, raising the expected number of bit
+//!   flips between consecutive reports by a computable margin.
+//!
+//! Every closed form is validated against Monte Carlo in the tests.
+
+use ldp_longitudinal::chain::ChainParams;
+use ldp_primitives::error::ParamError;
+use ldp_primitives::params::sue_params;
+use ldp_rand::ln_factorial;
+use loloha::LolohaParams;
+
+/// How the client memoizes its sanitized vectors, which determines what a
+/// bucket change can expose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoStyle {
+    /// One memoized vector per *input class* — the `d` sampled buckets plus
+    /// a single shared "not sampled" class. This is what this workspace's
+    /// `DBitFlipClient` implements: changes between two non-sampled buckets
+    /// reuse the same memo and are **never** exposed.
+    PerClass,
+    /// One memoized vector per *bucket*, as the paper describes the
+    /// protocol: two non-sampled buckets hold independent Bern(q)^d draws,
+    /// so even their changes can surface. Exposure *decreases* with ε∞
+    /// here (q → 0 makes all background vectors identically zero), which is
+    /// exactly the Table 2 trend for `d = 1`.
+    PerBucket,
+}
+
+/// Exposure of a dBitFlipPM bucket change β → β′, split by how many of the
+/// two involved buckets were among the user's `d` sampled positions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChangeExposure {
+    /// `prob_m[j]` — probability that exactly `j ∈ {0,1,2}` of {β, β′} are
+    /// sampled (hypergeometric over the random sample of `d` of `b`).
+    pub prob_m: [f64; 3],
+    /// `detect_given_m[j]` — probability the memoized report differs given
+    /// `j` involved buckets are sampled.
+    pub detect_given_m: [f64; 3],
+    /// Total detection probability `Σ_j prob_m[j] · detect_given_m[j]`.
+    pub expected: f64,
+}
+
+/// Closed-form probability that a dBitFlipPM bucket change is visible in
+/// the memoized report (`b` buckets, `d` sampled, budget ε∞).
+///
+/// Given `m` of the two buckets sampled, the memoized vectors differ with
+/// probability `1 − (pq + (1−p)(1−q))^m · (q² + (1−q)²)^{d−m}` where
+/// `(p, q)` are the SUE pair at ε∞. Under [`MemoStyle::PerClass`] the
+/// `m = 0` case is identically invisible (shared memo); under
+/// [`MemoStyle::PerBucket`] it exposes through the independent background
+/// draws.
+pub fn dbitflip_change_detection(
+    b: u32,
+    d: u32,
+    eps_inf: f64,
+    style: MemoStyle,
+) -> Result<ChangeExposure, ParamError> {
+    ldp_primitives::error::check_epsilon(eps_inf)?;
+    if d == 0 || d > b || b < 2 {
+        return Err(ParamError::InvalidBuckets { b, d, k: b as u64 });
+    }
+    let (p, q) = sue_params(eps_inf);
+    let same_signal = p * q + (1.0 - p) * (1.0 - q); // sampled bucket bit agrees
+    let same_noise = q * q + (1.0 - q) * (1.0 - q); // background bit agrees
+    let mut prob_m = [0.0; 3];
+    for (j, pm) in prob_m.iter_mut().enumerate() {
+        *pm = hypergeometric(b, 2, d, j as u32);
+    }
+    let mut detect_given_m = [0.0; 3];
+    for (m, slot) in detect_given_m.iter_mut().enumerate() {
+        if m == 0 && style == MemoStyle::PerClass {
+            continue; // shared memo class: invisible by construction
+        }
+        if d as usize >= m {
+            *slot = 1.0 - same_signal.powi(m as i32) * same_noise.powi(d as i32 - m as i32);
+        }
+    }
+    let expected = prob_m
+        .iter()
+        .zip(&detect_given_m)
+        .map(|(pm, dm)| pm * dm)
+        .sum();
+    Ok(ChangeExposure { prob_m, detect_given_m, expected })
+}
+
+/// `P(X = j)` for `X` ~ Hypergeometric(population `b`, successes `s`,
+/// draws `d`).
+fn hypergeometric(b: u32, s: u32, d: u32, j: u32) -> f64 {
+    if j > s || j > d || d - j > b - s {
+        return 0.0;
+    }
+    let ln_c = |n: u32, r: u32| -> f64 {
+        ln_factorial(n as u64) - ln_factorial(r as u64) - ln_factorial((n - r) as u64)
+    };
+    (ln_c(s, j) + ln_c(b - s, d - j) - ln_c(b, d)).exp()
+}
+
+/// Per-round exposure of a LOLOHA value change v → v′ (v ≠ v′).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LolohaExposure {
+    /// Probability the hash separates the two values (`1 − 1/g` for an
+    /// exactly-universal family; collisions hide the change completely).
+    pub cells_differ: f64,
+    /// Probability the two memoized PRR outputs differ, given the hash
+    /// cells differ: `1 − 2·p1·q1 − (g−2)·q1²`.
+    pub memo_differ_given_cells: f64,
+    /// Per-round total-variation distance between the report distributions
+    /// given the memoized cells differ: `p2 − q2`. The attacker's one-round
+    /// distinguishing advantage is at most
+    /// `cells_differ · memo_differ_given_cells · (p2 − q2)`.
+    pub tv_given_memo: f64,
+    /// The *observable* flip-rate advantage: how much more likely two
+    /// consecutive reports are to differ when the memoized cell changed:
+    /// `cells_differ · memo_differ_given_cells · (p2 − q2)²`.
+    pub flip_advantage: f64,
+}
+
+impl LolohaExposure {
+    /// The one-round distinguishing-advantage upper bound (product of the
+    /// three shields).
+    pub fn tv_advantage(&self) -> f64 {
+        self.cells_differ * self.memo_differ_given_cells * self.tv_given_memo
+    }
+}
+
+/// Closed-form LOLOHA change exposure for a parameterization.
+pub fn loloha_change_exposure(params: LolohaParams) -> LolohaExposure {
+    let g = params.g() as f64;
+    let p1 = params.prr().p;
+    let q1 = params.prr().q;
+    let p2 = params.irr().p;
+    let q2 = params.irr().q;
+    let cells_differ = 1.0 - 1.0 / g;
+    let memo_differ = 1.0 - 2.0 * p1 * q1 - (g - 2.0) * q1 * q1;
+    let tv = p2 - q2;
+    LolohaExposure {
+        cells_differ,
+        memo_differ_given_cells: memo_differ,
+        tv_given_memo: tv,
+        flip_advantage: cells_differ * memo_differ * tv * tv,
+    }
+}
+
+/// Per-change exposure of **PRR-only LOLOHA** (memoized local hashing with
+/// no IRR round — the §4 "proper comparison with dBitFlipPM"): a report
+/// change happens iff the hash separates the values *and* the two memoized
+/// GRR draws differ, and it is then a *certain* signal (no IRR noise to
+/// hide behind):
+///
+/// ```text
+/// P(exposed) = (1 − 1/g) · (1 − 2·p1·q1 − (g−2)·q1²)
+/// ```
+pub fn prr_only_change_exposure(g: u32, eps_inf: f64) -> Result<f64, ParamError> {
+    ldp_primitives::error::check_epsilon(eps_inf)?;
+    if g < 2 {
+        return Err(ParamError::InvalidG { g });
+    }
+    let gf = g as f64;
+    let a = eps_inf.exp();
+    let p1 = a / (a + gf - 1.0);
+    let q1 = 1.0 / (a + gf - 1.0);
+    Ok((1.0 - 1.0 / gf) * (1.0 - 2.0 * p1 * q1 - (gf - 2.0) * q1 * q1))
+}
+
+/// Expected *additional* bit flips between consecutive L-UE (RAPPOR-family)
+/// reports caused by a value change v → v′ over a `k`-ary domain.
+///
+/// A change redraws the whole memoized vector: the two signal bits move
+/// between Bern(p1) and Bern(q1), and the remaining `k − 2` bits are
+/// redrawn i.i.d. Bern(q1) (independent instead of shared). Summing the
+/// per-bit flip-rate differences gives the detection effect size the
+/// attacker can threshold on.
+pub fn lue_change_exposure(chain: &ChainParams, k: u64) -> Result<f64, ParamError> {
+    if k < 2 {
+        return Err(ParamError::DomainTooSmall { k, min: 2 });
+    }
+    let p1 = chain.prr.p;
+    let q1 = chain.prr.q;
+    let p2 = chain.irr.p;
+    let q2 = chain.irr.q;
+    let signal = bit_flip_advantage(p1, q1, p2, q2);
+    let noise = bit_flip_advantage(q1, q1, p2, q2);
+    Ok(2.0 * signal + (k - 2) as f64 * noise)
+}
+
+/// Flip-rate advantage of one UE bit whose memoized distribution is
+/// Bern(`before`) in round t and Bern(`after`) in round t+1 — *shared* draw
+/// when the value did not change, *independent* draws when it did.
+fn bit_flip_advantage(before: f64, after: f64, p2: f64, q2: f64) -> f64 {
+    // P(two reports differ | memo bits m1, m2): r(m) = p2 if m else q2.
+    let flip = |m1: bool, m2: bool| -> f64 {
+        let r1 = if m1 { p2 } else { q2 };
+        let r2 = if m2 { p2 } else { q2 };
+        r1 * (1.0 - r2) + r2 * (1.0 - r1)
+    };
+    // Change: m1 ~ Bern(before), m2 ~ Bern(after), independent.
+    let changed = before * after * flip(true, true)
+        + before * (1.0 - after) * flip(true, false)
+        + (1.0 - before) * after * flip(false, true)
+        + (1.0 - before) * (1.0 - after) * flip(false, false);
+    // No change: the *same* memoized vector is reused. Both rounds see the
+    // round-t memo m ~ Bern(before).
+    let unchanged = before * flip(true, true) + (1.0 - before) * flip(false, false);
+    changed - unchanged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_longitudinal::chain::{ue_chain_params, UeChain};
+    use ldp_longitudinal::{DBitFlipClient, LongitudinalUeClient};
+    use ldp_primitives::BitVec;
+    use ldp_rand::derive_rng;
+
+    #[test]
+    fn hypergeometric_sums_to_one() {
+        for &(b, d) in &[(10u32, 3u32), (16, 16), (100, 1)] {
+            let total: f64 = (0..=2).map(|j| hypergeometric(b, 2, d, j)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "b={b} d={d}: {total}");
+        }
+    }
+
+    #[test]
+    fn d_equals_b_detection_is_near_one() {
+        for style in [MemoStyle::PerClass, MemoStyle::PerBucket] {
+            let e = dbitflip_change_detection(90, 90, 1.0, style).unwrap();
+            assert!((e.prob_m[2] - 1.0).abs() < 1e-9, "all buckets sampled");
+            assert!(e.expected > 0.99, "{style:?} expected {}", e.expected);
+        }
+    }
+
+    #[test]
+    fn d_one_detection_is_small_per_class() {
+        let e = dbitflip_change_detection(90, 1, 1.0, MemoStyle::PerClass).unwrap();
+        // Only when the single sampled bit is one of the two involved
+        // buckets (prob 2/90) can anything be seen.
+        assert!(e.prob_m[0] > 0.95);
+        assert_eq!(e.detect_given_m[0], 0.0);
+        assert!(e.expected < 0.02, "expected {}", e.expected);
+    }
+
+    #[test]
+    fn per_bucket_detection_decreases_with_eps_at_d1() {
+        // The paper's Table 2 trend for d = 1: higher ε∞ → the single
+        // background bit is almost surely 0 for every bucket → the same
+        // report repeats → fewer exposures. Only the per-bucket memo style
+        // exhibits this; the per-class style hides m = 0 changes entirely.
+        let lo = dbitflip_change_detection(64, 1, 0.5, MemoStyle::PerBucket).unwrap().expected;
+        let hi = dbitflip_change_detection(64, 1, 5.0, MemoStyle::PerBucket).unwrap().expected;
+        assert!(hi < lo, "eps 5 {hi} should expose less than eps 0.5 {lo}");
+    }
+
+    #[test]
+    fn per_class_is_never_more_exposed_than_per_bucket() {
+        for &(b, d, eps) in &[(16u32, 1u32, 1.0f64), (32, 8, 2.0), (64, 64, 0.5)] {
+            let pc = dbitflip_change_detection(b, d, eps, MemoStyle::PerClass).unwrap().expected;
+            let pb = dbitflip_change_detection(b, d, eps, MemoStyle::PerBucket).unwrap().expected;
+            assert!(pc <= pb + 1e-12, "b={b} d={d}: class {pc} vs bucket {pb}");
+        }
+    }
+
+    #[test]
+    fn dbitflip_closed_form_matches_monte_carlo() {
+        // The Monte Carlo exercises this workspace's client, which memoizes
+        // per class.
+        let (k, b, d, eps) = (64u64, 16u32, 8u32, 1.5);
+        let exact = dbitflip_change_detection(b, d, eps, MemoStyle::PerClass).unwrap().expected;
+        let mut rng = derive_rng(300, 0);
+        let trials = 4_000;
+        let mut detected = 0u32;
+        for _ in 0..trials {
+            let mut client = DBitFlipClient::new(k, b, d, eps, &mut rng).unwrap();
+            // Pick two values in different buckets uniformly.
+            let v1 = ldp_rand::uniform_u64(&mut rng, k);
+            let v2 = loop {
+                let c = ldp_rand::uniform_u64(&mut rng, k);
+                if client.bucket_of(c) != client.bucket_of(v1) {
+                    break c;
+                }
+            };
+            let r1 = client.report(v1, &mut rng);
+            let r2 = client.report(v2, &mut rng);
+            if r1.bits != r2.bits {
+                detected += 1;
+            }
+        }
+        let mc = detected as f64 / trials as f64;
+        assert!((mc - exact).abs() < 0.03, "MC {mc} vs exact {exact}");
+    }
+
+    #[test]
+    fn loloha_exposure_factors_are_probabilities() {
+        for &(g, ei, e1) in &[(2u32, 1.0, 0.5), (8, 4.0, 2.0), (16, 5.0, 3.0)] {
+            let params = LolohaParams::with_g(g, ei, e1).unwrap();
+            let e = loloha_change_exposure(params);
+            assert!((0.0..=1.0).contains(&e.cells_differ), "g={g}");
+            assert!((0.0..=1.0).contains(&e.memo_differ_given_cells), "g={g}");
+            assert!((0.0..=1.0).contains(&e.tv_given_memo), "g={g}");
+            assert!(e.tv_advantage() <= 1.0);
+            assert!(e.flip_advantage <= e.tv_advantage());
+        }
+    }
+
+    #[test]
+    fn loloha_flip_advantage_matches_monte_carlo() {
+        // Simulate the observable: P(consecutive reports differ | change) −
+        // P(… | no change) for a fixed client whose value changes once.
+        let params = LolohaParams::bi(2.0, 1.0).unwrap();
+        let exact = loloha_change_exposure(params).flip_advantage;
+        let mut rng = derive_rng(301, 0);
+        let k = 50u64;
+        let family = ldp_hash::CarterWegman::new(params.g()).unwrap();
+        let trials = 60_000;
+        let (mut flips_change, mut flips_same) = (0u32, 0u32);
+        for _ in 0..trials {
+            let mut client =
+                loloha::LolohaClient::new(&family, k, params, &mut rng).unwrap();
+            let v1 = ldp_rand::uniform_u64(&mut rng, k);
+            let v2 = loop {
+                let c = ldp_rand::uniform_u64(&mut rng, k);
+                if c != v1 {
+                    break c;
+                }
+            };
+            let a = client.report(v1, &mut rng);
+            let b = client.report(v1, &mut rng);
+            let c = client.report(v2, &mut rng);
+            if a != b {
+                flips_same += 1;
+            }
+            if b != c {
+                flips_change += 1;
+            }
+        }
+        let mc = (flips_change as f64 - flips_same as f64) / trials as f64;
+        assert!((mc - exact).abs() < 0.02, "MC {mc} vs exact {exact}");
+    }
+
+    #[test]
+    fn loloha_exposure_far_below_dbitflip_at_d_b() {
+        let params = LolohaParams::bi(1.0, 0.5).unwrap();
+        let lo = loloha_change_exposure(params).tv_advantage();
+        let db = dbitflip_change_detection(64, 64, 1.0, MemoStyle::PerClass).unwrap().expected;
+        assert!(lo < db / 5.0, "LOLOHA {lo} vs bBitFlipPM {db}");
+    }
+
+    #[test]
+    fn prr_only_exposure_between_loloha_and_certainty() {
+        // Dropping the IRR strictly raises the exposure relative to full
+        // LOLOHA (whose TV advantage multiplies by p2 − q2 < 1) and the
+        // hash/PRR shields still keep it below 1.
+        for &(g, eps) in &[(2u32, 1.0f64), (4, 2.0), (8, 5.0)] {
+            let prr = prr_only_change_exposure(g, eps).unwrap();
+            let full = loloha_change_exposure(
+                LolohaParams::with_g(g, eps, 0.5 * eps).unwrap(),
+            )
+            .tv_advantage();
+            assert!(prr > full, "g={g}: prr {prr} vs full {full}");
+            assert!(prr < 1.0);
+        }
+    }
+
+    #[test]
+    fn prr_only_exposure_matches_monte_carlo() {
+        use loloha::prr_only::PrrOnlyClient;
+        let (g, eps, k) = (4u32, 1.5, 48u64);
+        let exact = prr_only_change_exposure(g, eps).unwrap();
+        let family = ldp_hash::CarterWegman::new(g).unwrap();
+        let mut rng = derive_rng(310, 0);
+        let trials = 30_000;
+        let mut exposed = 0u32;
+        for _ in 0..trials {
+            let mut c = PrrOnlyClient::new(&family, k, eps, &mut rng).unwrap();
+            let v1 = ldp_rand::uniform_u64(&mut rng, k);
+            let v2 = loop {
+                let v = ldp_rand::uniform_u64(&mut rng, k);
+                if v != v1 {
+                    break v;
+                }
+            };
+            if c.report(v1, &mut rng) != c.report(v2, &mut rng) {
+                exposed += 1;
+            }
+        }
+        let mc = exposed as f64 / trials as f64;
+        // The closed form assumes exact 1/g collisions; Carter–Wegman over
+        // a finite domain deviates slightly, hence the tolerance.
+        assert!((mc - exact).abs() < 0.02, "MC {mc} vs exact {exact}");
+    }
+
+    #[test]
+    fn prr_only_rejects_bad_parameters() {
+        assert!(prr_only_change_exposure(1, 1.0).is_err());
+        assert!(prr_only_change_exposure(4, 0.0).is_err());
+    }
+
+    #[test]
+    fn lue_exposure_positive_and_grows_with_domain() {
+        // A value change redraws the whole memoized vector, so the expected
+        // flip surplus grows linearly with k — large domains make RAPPOR
+        // changes *more* visible, not less.
+        let chain = ue_chain_params(UeChain::SueSue, 2.0, 1.0).unwrap();
+        let small = lue_change_exposure(&chain, 16).unwrap();
+        let large = lue_change_exposure(&chain, 256).unwrap();
+        assert!(small > 0.0);
+        assert!(large > small * 4.0, "k=256 {large} vs k=16 {small}");
+    }
+
+    #[test]
+    fn lue_exposure_noise_term_shrinks_with_eps() {
+        // Counter-intuitive but real: at low ε∞ the memoized bits are
+        // near-coin-flips, so a full redraw flips many of them — RAPPOR
+        // changes are MORE visible in flip counts at high privacy. Pinned
+        // here so the behaviour is documented, not accidental.
+        let k = 32;
+        let weak = ue_chain_params(UeChain::SueSue, 1.0, 0.5).unwrap();
+        let strong = ue_chain_params(UeChain::SueSue, 4.0, 2.0).unwrap();
+        let a = lue_change_exposure(&weak, k).unwrap();
+        let b = lue_change_exposure(&strong, k).unwrap();
+        assert!(a > 0.0 && b > 0.0);
+        assert!(b < a, "low-ε chain flips more on change: {a} vs {b}");
+    }
+
+    #[test]
+    fn lue_exposure_matches_monte_carlo() {
+        let k = 16u64;
+        let (ei, e1) = (2.0, 1.0);
+        let chain = ue_chain_params(UeChain::SueSue, ei, e1).unwrap();
+        let exact = lue_change_exposure(&chain, k).unwrap();
+        let mut rng = derive_rng(302, 0);
+        let trials = 30_000;
+        let (mut flips_change, mut flips_same) = (0.0f64, 0.0f64);
+        let mut bits_a = BitVec::zeros(k as usize);
+        let mut bits_b = BitVec::zeros(k as usize);
+        let mut bits_c = BitVec::zeros(k as usize);
+        for _ in 0..trials {
+            let mut client = LongitudinalUeClient::new(UeChain::SueSue, k, ei, e1).unwrap();
+            client.report_into(3, &mut rng, &mut bits_a);
+            client.report_into(3, &mut rng, &mut bits_b);
+            client.report_into(9, &mut rng, &mut bits_c);
+            flips_same += hamming(&bits_a, &bits_b) as f64;
+            flips_change += hamming(&bits_b, &bits_c) as f64;
+        }
+        let mc = (flips_change - flips_same) / trials as f64;
+        assert!((mc - exact).abs() < 0.1, "MC {mc} vs exact {exact}");
+    }
+
+    fn hamming(a: &BitVec, b: &BitVec) -> u32 {
+        let mut d = 0;
+        for i in 0..a.len() {
+            if a.get(i) != b.get(i) {
+                d += 1;
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(dbitflip_change_detection(8, 0, 1.0, MemoStyle::PerClass).is_err());
+        assert!(dbitflip_change_detection(8, 9, 1.0, MemoStyle::PerClass).is_err());
+        assert!(dbitflip_change_detection(8, 4, 0.0, MemoStyle::PerBucket).is_err());
+        let chain = ue_chain_params(UeChain::SueSue, 1.0, 0.5).unwrap();
+        assert!(lue_change_exposure(&chain, 1).is_err());
+    }
+}

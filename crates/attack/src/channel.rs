@@ -1,0 +1,346 @@
+//! Exact discrete channels and the MAP adversary.
+//!
+//! A randomized response mechanism over a finite input domain is fully
+//! described by its transition matrix `P(y | x)`. Working with the matrix
+//! directly lets tests verify the ε-LDP inequality *numerically* (no trust
+//! in the algebra) and lets the Bayesian analysis compute the exact success
+//! rate of the optimal (MAP) single-report adversary:
+//!
+//! ```text
+//! ASR = Σ_y max_x  π(x) · P(y | x)        (π = adversary's prior)
+//! ```
+//!
+//! which for the uniform prior reduces to `(1/k) Σ_y max_x P(y|x)`.
+
+use ldp_primitives::error::ParamError;
+use ldp_primitives::params::grr_params;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from channel construction and composition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChannelError {
+    /// A row did not sum to one (within tolerance) or had negative entries.
+    NotStochastic {
+        /// The offending input row.
+        row: usize,
+        /// Its sum.
+        sum: f64,
+    },
+    /// The matrix dimensions were inconsistent.
+    BadShape {
+        /// Expected number of entries.
+        expected: usize,
+        /// Provided number of entries.
+        got: usize,
+    },
+    /// Composition `A ∘ B` requires `A.outputs == B.inputs`.
+    IncompatibleCompose {
+        /// Output count of the first channel.
+        outputs: usize,
+        /// Input count of the second channel.
+        inputs: usize,
+    },
+    /// A parameter error from an underlying protocol constructor.
+    Param(ParamError),
+}
+
+impl fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelError::NotStochastic { row, sum } => {
+                write!(f, "row {row} is not a probability distribution (sum {sum})")
+            }
+            ChannelError::BadShape { expected, got } => {
+                write!(f, "matrix has {got} entries, expected {expected}")
+            }
+            ChannelError::IncompatibleCompose { outputs, inputs } => {
+                write!(f, "cannot compose: first channel has {outputs} outputs, second expects {inputs} inputs")
+            }
+            ChannelError::Param(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for ChannelError {}
+
+impl From<ParamError> for ChannelError {
+    fn from(e: ParamError) -> Self {
+        ChannelError::Param(e)
+    }
+}
+
+const ROW_SUM_TOL: f64 = 1e-9;
+
+/// A row-stochastic transition matrix `P(y | x)` with `inputs` rows and
+/// `outputs` columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Channel {
+    inputs: usize,
+    outputs: usize,
+    rows: Vec<f64>, // row-major inputs × outputs
+}
+
+impl Channel {
+    /// Validates and wraps a row-major matrix.
+    pub fn new(inputs: usize, outputs: usize, rows: Vec<f64>) -> Result<Self, ChannelError> {
+        if rows.len() != inputs * outputs {
+            return Err(ChannelError::BadShape { expected: inputs * outputs, got: rows.len() });
+        }
+        for (i, row) in rows.chunks_exact(outputs).enumerate() {
+            let sum: f64 = row.iter().sum();
+            if (sum - 1.0).abs() > ROW_SUM_TOL || row.iter().any(|&p| p < 0.0 || !p.is_finite()) {
+                return Err(ChannelError::NotStochastic { row: i, sum });
+            }
+        }
+        Ok(Self { inputs, outputs, rows })
+    }
+
+    /// The GRR channel over a `k`-ary domain at privacy level ε.
+    pub fn grr(k: usize, eps: f64) -> Result<Self, ChannelError> {
+        if !eps.is_finite() || eps <= 0.0 {
+            return Err(ParamError::InvalidEpsilon { value: eps }.into());
+        }
+        if k < 2 {
+            return Err(ParamError::DomainTooSmall { k: k as u64, min: 2 }.into());
+        }
+        let (p, q) = grr_params(eps, k as u64);
+        Self::symmetric(k, p, q)
+    }
+
+    /// A symmetric k-ary channel: `p` on the diagonal, `q` everywhere else.
+    /// Requires `p + (k−1)q = 1`.
+    pub fn symmetric(k: usize, p: f64, q: f64) -> Result<Self, ChannelError> {
+        let mut rows = vec![q; k * k];
+        for x in 0..k {
+            rows[x * k + x] = p;
+        }
+        Self::new(k, k, rows)
+    }
+
+    /// Number of input symbols.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of output symbols.
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+
+    /// Transition probability `P(y | x)`.
+    pub fn prob(&self, x: usize, y: usize) -> f64 {
+        self.rows[x * self.outputs + y]
+    }
+
+    /// Sequential composition `self` then `second`: the channel
+    /// `P(z | x) = Σ_y P₂(z | y) · P₁(y | x)`. This is how a memoized PRR
+    /// report chained with an IRR round is analyzed as one mechanism.
+    pub fn compose(&self, second: &Channel) -> Result<Channel, ChannelError> {
+        if self.outputs != second.inputs {
+            return Err(ChannelError::IncompatibleCompose {
+                outputs: self.outputs,
+                inputs: second.inputs,
+            });
+        }
+        let mut rows = vec![0.0; self.inputs * second.outputs];
+        for x in 0..self.inputs {
+            for y in 0..self.outputs {
+                let pxy = self.prob(x, y);
+                if pxy == 0.0 {
+                    continue;
+                }
+                for z in 0..second.outputs {
+                    rows[x * second.outputs + z] += pxy * second.prob(y, z);
+                }
+            }
+        }
+        Channel::new(self.inputs, second.outputs, rows)
+    }
+
+    /// Lifts a channel over a reduced domain to the value level through a
+    /// deterministic pre-mapping (e.g. a hash function `[k] → [g]`): row `v`
+    /// of the result is row `map[v]` of `inner`.
+    pub fn via_mapping(map: &[u32], inner: &Channel) -> Result<Channel, ChannelError> {
+        let mut rows = Vec::with_capacity(map.len() * inner.outputs);
+        for &cell in map {
+            let c = cell as usize;
+            if c >= inner.inputs {
+                return Err(ChannelError::BadShape {
+                    expected: inner.inputs,
+                    got: c + 1,
+                });
+            }
+            rows.extend_from_slice(&inner.rows[c * inner.outputs..(c + 1) * inner.outputs]);
+        }
+        Channel::new(map.len(), inner.outputs, rows)
+    }
+
+    /// The realized ε of this channel: `max_y ln(max_x P(y|x) / min_x P(y|x))`.
+    /// Returns `+∞` if some output has probability zero under one input but
+    /// not another.
+    pub fn ldp_epsilon(&self) -> f64 {
+        let mut worst: f64 = 0.0;
+        for y in 0..self.outputs {
+            let mut hi = f64::NEG_INFINITY;
+            let mut lo = f64::INFINITY;
+            for x in 0..self.inputs {
+                let p = self.prob(x, y);
+                hi = hi.max(p);
+                lo = lo.min(p);
+            }
+            if hi == 0.0 {
+                continue; // output never occurs: vacuous
+            }
+            if lo == 0.0 {
+                return f64::INFINITY;
+            }
+            worst = worst.max((hi / lo).ln());
+        }
+        worst
+    }
+
+    /// Success rate of the MAP adversary under a uniform prior:
+    /// `(1/k) Σ_y max_x P(y|x)`.
+    pub fn asr_uniform(&self) -> f64 {
+        let mut total = 0.0;
+        for y in 0..self.outputs {
+            let mut best = 0.0f64;
+            for x in 0..self.inputs {
+                best = best.max(self.prob(x, y));
+            }
+            total += best;
+        }
+        total / self.inputs as f64
+    }
+
+    /// Success rate of the MAP adversary under an arbitrary prior `π`:
+    /// `Σ_y max_x π(x) · P(y|x)`.
+    pub fn asr_with_prior(&self, prior: &[f64]) -> Result<f64, ChannelError> {
+        if prior.len() != self.inputs {
+            return Err(ChannelError::BadShape { expected: self.inputs, got: prior.len() });
+        }
+        let mut total = 0.0;
+        for y in 0..self.outputs {
+            let mut best = 0.0f64;
+            for (x, &px) in prior.iter().enumerate() {
+                best = best.max(px * self.prob(x, y));
+            }
+            total += best;
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grr_channel_is_stochastic_and_epsilon_tight() {
+        for &(k, eps) in &[(2usize, 0.5f64), (4, 1.0), (16, 3.0)] {
+            let ch = Channel::grr(k, eps).unwrap();
+            assert!((ch.ldp_epsilon() - eps).abs() < 1e-9, "k={k} eps={eps}");
+        }
+    }
+
+    #[test]
+    fn grr_asr_equals_p() {
+        // For GRR every output column's max is p, so ASR = p.
+        let (k, eps) = (8usize, 2.0);
+        let ch = Channel::grr(k, eps).unwrap();
+        let (p, _) = grr_params(eps, k as u64);
+        assert!((ch.asr_uniform() - p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn composition_of_grr_channels_weakens_epsilon() {
+        // PRR at ε∞ followed by IRR at ε_IRR leaks less than either round
+        // alone claims: the composed ε must be below min(ε∞, realized-sum).
+        let prr = Channel::grr(4, 3.0).unwrap();
+        let irr = Channel::grr(4, 1.0).unwrap();
+        let both = prr.compose(&irr).unwrap();
+        assert!(both.ldp_epsilon() < prr.ldp_epsilon());
+        assert!(both.ldp_epsilon() < irr.ldp_epsilon() + 1e-12 || both.ldp_epsilon() < 3.0);
+        // Composition is stochastic by construction (Channel::new validated).
+        assert_eq!(both.inputs(), 4);
+        assert_eq!(both.outputs(), 4);
+    }
+
+    #[test]
+    fn compose_shape_mismatch_is_rejected() {
+        let a = Channel::grr(3, 1.0).unwrap();
+        let b = Channel::grr(4, 1.0).unwrap();
+        assert!(matches!(
+            a.compose(&b),
+            Err(ChannelError::IncompatibleCompose { outputs: 3, inputs: 4 })
+        ));
+    }
+
+    #[test]
+    fn via_mapping_repeats_rows() {
+        let inner = Channel::grr(2, 1.0).unwrap();
+        let map = [0u32, 1, 0, 1, 1];
+        let lifted = Channel::via_mapping(&map, &inner).unwrap();
+        assert_eq!(lifted.inputs(), 5);
+        assert_eq!(lifted.outputs(), 2);
+        for (v, &cell) in map.iter().enumerate() {
+            for y in 0..2 {
+                assert_eq!(lifted.prob(v, y), inner.prob(cell as usize, y));
+            }
+        }
+    }
+
+    #[test]
+    fn via_mapping_collisions_reduce_asr() {
+        // With all values hashed to the same cell the report carries no
+        // information: ASR collapses to the random-guess rate 1/k.
+        let inner = Channel::grr(2, 5.0).unwrap();
+        let all_same = Channel::via_mapping(&[0, 0, 0, 0], &inner).unwrap();
+        assert!((all_same.asr_uniform() - 0.25).abs() < 1e-12);
+        // With a balanced 4 → 2 map the adversary can at best pick the
+        // right cell (prob ≈ p) and then guess inside it (1/2).
+        let balanced = Channel::via_mapping(&[0, 0, 1, 1], &inner).unwrap();
+        let p = inner.prob(0, 0);
+        assert!((balanced.asr_uniform() - p / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asr_with_prior_uniform_matches_asr_uniform() {
+        let ch = Channel::grr(5, 1.5).unwrap();
+        let prior = vec![0.2; 5];
+        assert!((ch.asr_with_prior(&prior).unwrap() - ch.asr_uniform()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_prior_raises_asr() {
+        // A concentrated prior makes the adversary's life easier.
+        let ch = Channel::grr(4, 1.0).unwrap();
+        let skewed = [0.85, 0.05, 0.05, 0.05];
+        assert!(ch.asr_with_prior(&skewed).unwrap() > ch.asr_uniform());
+    }
+
+    #[test]
+    fn non_stochastic_rows_are_rejected() {
+        assert!(matches!(
+            Channel::new(2, 2, vec![0.5, 0.6, 0.5, 0.5]),
+            Err(ChannelError::NotStochastic { row: 0, .. })
+        ));
+        assert!(Channel::new(2, 2, vec![0.5; 3]).is_err());
+        assert!(Channel::new(2, 2, vec![-0.1, 1.1, 0.5, 0.5]).is_err());
+    }
+
+    #[test]
+    fn ldp_epsilon_infinite_for_deterministic_channel() {
+        let ch = Channel::new(2, 2, vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        assert!(ch.ldp_epsilon().is_infinite());
+        assert!((ch.asr_uniform() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grr_rejects_bad_parameters() {
+        assert!(Channel::grr(1, 1.0).is_err());
+        assert!(Channel::grr(4, 0.0).is_err());
+        assert!(Channel::grr(4, f64::NAN).is_err());
+    }
+}

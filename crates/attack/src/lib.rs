@@ -1,0 +1,69 @@
+//! Adversarial analysis of the workspace's LDP protocols.
+//!
+//! The paper motivates LOLOHA's design with three adversarial observations:
+//!
+//! 1. **Averaging attacks** (§2.4): repeating a one-shot protocol with fresh
+//!    noise lets the server average the noise away — the reason memoization
+//!    exists at all.
+//! 2. **Data-change detection** (§5.2, Table 2): dBitFlipPM's memoized
+//!    one-round reports expose bucket changes deterministically; LOLOHA's
+//!    IRR round masks them.
+//! 3. **Bayesian report inversion** (§6, citing Gursoy et al. and Arcolezi
+//!    et al.): local-hashing protocols are the *least attackable* family
+//!    under a Bayesian adversary because hash collisions keep many inputs
+//!    plausible.
+//!
+//! This crate turns each observation into executable, testable analysis:
+//!
+//! * [`channel`] — exact discrete channels (input × output transition
+//!   matrices) with the realized LDP ε and the MAP adversary's success
+//!   rate; builders for GRR, chained GRR, and hash-composed (LOLOHA-style)
+//!   value channels.
+//! * [`bayes`] — closed-form / exact attack success rates (ASR) per
+//!   protocol family, including the unary-encoding MAP adversary in closed
+//!   form.
+//! * [`averaging`] — the averaging (mode) attack across τ rounds against
+//!   fresh-noise GRR vs. memoized PRR+IRR chains, with an exact binary
+//!   closed form.
+//! * [`linkability`] — the hash-function-as-pseudonym observation (§5.3
+//!   limitation) and a report-sequence matching game quantifying how fast
+//!   sequences become linkable.
+//! * [`change`] — closed-form change-exposure probabilities: the Table 2
+//!   phenomenon for dBitFlipPM and the corresponding (much smaller)
+//!   per-round statistical advantage against LOLOHA and L-UE.
+//!
+//! Everything closed-form is cross-validated by Monte Carlo tests.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ldp_attack::{asr_grr, asr_loloha_first_report};
+//! use loloha::LolohaParams;
+//!
+//! // How much better than random guessing does the optimal single-report
+//! // adversary do against GRR vs a LOLOHA first report, k = 100?
+//! let grr = asr_grr(100, 1.0).unwrap();
+//! let params = LolohaParams::bi(2.0, 1.0).unwrap(); // first report is 1.0-LDP
+//! let mut rng = ldp_rand::derive_rng(42, 0);
+//! let lol = asr_loloha_first_report(100, params, 8, &mut rng).unwrap();
+//! assert!(lol.asr < grr.asr); // hash collisions cap the adversary
+//! assert!(lol.lift() < grr.lift());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod averaging;
+pub mod bayes;
+pub mod change;
+pub mod channel;
+pub mod linkability;
+
+pub use averaging::{mode_attack_fresh_grr, mode_attack_memoized, rr_majority_success_binary};
+pub use bayes::{asr_grr, asr_lgrr_first_report, asr_loloha_first_report, asr_ue, AsrEstimate};
+pub use change::{
+    dbitflip_change_detection, loloha_change_exposure, lue_change_exposure,
+    prr_only_change_exposure, ChangeExposure, MemoStyle,
+};
+pub use channel::Channel;
+pub use linkability::{linkage_accuracy_dbitflip, linkage_accuracy_loloha, pseudonym_collision_probability};

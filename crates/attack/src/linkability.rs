@@ -1,0 +1,212 @@
+//! Linkability of longitudinal report sequences.
+//!
+//! §5.3 of the paper concedes a limitation: the user's fixed hash function
+//! acts as a *pseudonym* — the server can trivially link all of a user's
+//! rounds through `H` (the LDP model assumes user identities are known
+//! anyway; the shuffle extension removes the link). This module quantifies
+//! two related questions:
+//!
+//! 1. **How identifying is the hash function itself?**
+//!    [`pseudonym_collision_probability`] — the probability two independent
+//!    users draw the same Carter–Wegman seed, i.e. the pseudonym's
+//!    anonymity-set "birthday" rate.
+//! 2. **How identifying are the reports alone?** The matching game
+//!    ([`linkage_accuracy_loloha`] / [`linkage_accuracy_dbitflip`]): given a
+//!    user's first τ reports and two candidate continuation sequences (one
+//!    from the same user, one from a fresh user), the attacker must say
+//!    which continuation matches. dBitFlipPM's memoized reports are
+//!    constant, so the game is near-trivially won; LOLOHA's IRR round
+//!    re-randomizes every report, forcing the attacker to estimate the
+//!    memoized cell through noise — accuracy decays toward ½ as ε_IRR
+//!    shrinks or τ shrinks.
+
+use ldp_hash::MERSENNE_P;
+use ldp_longitudinal::DBitFlipClient;
+use ldp_primitives::error::ParamError;
+use ldp_primitives::Grr;
+use ldp_rand::uniform_u64;
+use loloha::LolohaParams;
+use rand::RngCore;
+
+/// The probability that two independent users sample the same Carter–Wegman
+/// hash function: `1 / (p·(p−1))` with `p = 2^61 − 1` — about `1.9 × 10⁻³⁷`.
+///
+/// In other words the hash *is* a unique persistent pseudonym; protocols
+/// that register `H` with the server (LOLOHA, one-shot LH) must treat
+/// unlinkability as out of scope or adopt the shuffle model (`ldp-shuffle`).
+pub fn pseudonym_collision_probability() -> f64 {
+    let p = MERSENNE_P as f64;
+    1.0 / (p * (p - 1.0))
+}
+
+/// Outcome of the sequence-matching game.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkageAccuracy {
+    /// Fraction of trials where the attacker picked the true continuation.
+    pub accuracy: f64,
+    /// Number of trials played.
+    pub trials: u32,
+}
+
+/// Plays the matching game against LOLOHA's *report stream* (ignoring the
+/// hash pseudonym): the attacker sees τ reports from user A, then two fresh
+/// τ-report sequences — one from A (same memoized PRR state), one from a
+/// fresh user B — and links by nearest report-histogram (L1).
+///
+/// All users hold a constant (but per-user random) value, the setting where
+/// memoized reports are most linkable.
+pub fn linkage_accuracy_loloha<R: RngCore + ?Sized>(
+    k: u64,
+    params: LolohaParams,
+    tau: u32,
+    trials: u32,
+    rng: &mut R,
+) -> Result<LinkageAccuracy, ParamError> {
+    if k < 2 {
+        return Err(ParamError::DomainTooSmall { k, min: 2 });
+    }
+    let g = params.g() as u64;
+    let prr = Grr::new(g, params.eps_inf())?;
+    let irr = Grr::new(g, params.eps_irr())?;
+    let mut correct = 0u32;
+    for _ in 0..trials {
+        // The memoized PRR cell stands in for the whole client state: with a
+        // constant value the report stream is IRR(x′) i.i.d.
+        let cell_a = prr.perturb(uniform_u64(rng, g), rng);
+        let cell_b = prr.perturb(uniform_u64(rng, g), rng);
+        let ref_hist = report_histogram(&irr, cell_a, tau, g, rng);
+        let cont_same = report_histogram(&irr, cell_a, tau, g, rng);
+        let cont_other = report_histogram(&irr, cell_b, tau, g, rng);
+        let d_same = l1(&ref_hist, &cont_same);
+        let d_other = l1(&ref_hist, &cont_other);
+        if d_same < d_other || (d_same == d_other && coin(rng)) {
+            correct += 1;
+        }
+    }
+    Ok(LinkageAccuracy { accuracy: correct as f64 / trials as f64, trials })
+}
+
+/// Plays the same matching game against dBitFlipPM: memoized one-round
+/// reports are *deterministic* per bucket, so two sequences from the same
+/// user are identical and the attacker wins almost always (losing only to
+/// the rare event that B's memoized vector coincides with A's).
+pub fn linkage_accuracy_dbitflip<R: RngCore + ?Sized>(
+    k: u64,
+    b: u32,
+    d: u32,
+    eps_inf: f64,
+    tau: u32,
+    trials: u32,
+    rng: &mut R,
+) -> Result<LinkageAccuracy, ParamError> {
+    let mut correct = 0u32;
+    for _ in 0..trials {
+        let mut user_a = DBitFlipClient::new(k, b, d, eps_inf, rng)?;
+        let mut user_b = DBitFlipClient::new(k, b, d, eps_inf, rng)?;
+        let value_a = uniform_u64(rng, k);
+        let value_b = uniform_u64(rng, k);
+        let reference: Vec<_> = (0..tau).map(|_| user_a.report(value_a, rng).bits.clone()).collect();
+        let cont_same: Vec<_> = (0..tau).map(|_| user_a.report(value_a, rng).bits.clone()).collect();
+        let cont_other: Vec<_> = (0..tau).map(|_| user_b.report(value_b, rng).bits.clone()).collect();
+        // Memoized reports are constant; compare the last reference report
+        // to each continuation's first (exact-match linker).
+        let anchor = reference.last().expect("tau >= 1");
+        let same_match = cont_same.iter().filter(|r| *r == anchor).count();
+        let other_match = cont_other.iter().filter(|r| *r == anchor).count();
+        if same_match > other_match || (same_match == other_match && coin(rng)) {
+            correct += 1;
+        }
+    }
+    Ok(LinkageAccuracy { accuracy: correct as f64 / trials as f64, trials })
+}
+
+fn report_histogram<R: RngCore + ?Sized>(
+    irr: &Grr,
+    memoized: u64,
+    tau: u32,
+    g: u64,
+    rng: &mut R,
+) -> Vec<f64> {
+    let mut hist = vec![0.0; g as usize];
+    for _ in 0..tau {
+        hist[irr.perturb(memoized, rng) as usize] += 1.0;
+    }
+    for h in &mut hist {
+        *h /= tau.max(1) as f64;
+    }
+    hist
+}
+
+fn l1(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+fn coin<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+    rng.next_u64() & 1 == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_rand::derive_rng;
+
+    #[test]
+    fn pseudonym_collision_is_negligible() {
+        let p = pseudonym_collision_probability();
+        assert!(p > 0.0);
+        assert!(p < 1e-36);
+    }
+
+    #[test]
+    fn dbitflip_sequences_are_trivially_linkable() {
+        let mut rng = derive_rng(200, 0);
+        let acc = linkage_accuracy_dbitflip(64, 16, 16, 2.0, 8, 400, &mut rng).unwrap();
+        assert!(acc.accuracy > 0.9, "accuracy {}", acc.accuracy);
+    }
+
+    #[test]
+    fn loloha_linkage_weaker_than_dbitflip() {
+        let mut rng = derive_rng(201, 0);
+        let params = LolohaParams::bi(2.0, 0.8).unwrap();
+        let lo = linkage_accuracy_loloha(64, params, 8, 600, &mut rng).unwrap();
+        let db = linkage_accuracy_dbitflip(64, 16, 16, 2.0, 8, 600, &mut rng).unwrap();
+        assert!(
+            lo.accuracy < db.accuracy,
+            "LOLOHA {} should be below dBitFlip {}",
+            lo.accuracy,
+            db.accuracy
+        );
+    }
+
+    #[test]
+    fn loloha_linkage_grows_with_tau() {
+        // More rounds → better histogram separation → easier linking. This
+        // is the honest caveat: IRR slows linkage, it does not erase it.
+        let params = LolohaParams::bi(3.0, 1.5).unwrap();
+        let mut rng = derive_rng(202, 0);
+        let short = linkage_accuracy_loloha(32, params, 2, 1_500, &mut rng).unwrap();
+        let long = linkage_accuracy_loloha(32, params, 64, 1_500, &mut rng).unwrap();
+        assert!(
+            long.accuracy > short.accuracy + 0.05,
+            "short {} long {}",
+            short.accuracy,
+            long.accuracy
+        );
+    }
+
+    #[test]
+    fn loloha_linkage_bounded_below_by_chance() {
+        let params = LolohaParams::bi(1.0, 0.5).unwrap();
+        let mut rng = derive_rng(203, 0);
+        let acc = linkage_accuracy_loloha(16, params, 4, 2_000, &mut rng).unwrap();
+        assert!(acc.accuracy > 0.45, "chance floor: {}", acc.accuracy);
+        assert!(acc.accuracy < 1.0);
+    }
+
+    #[test]
+    fn small_domain_is_rejected() {
+        let params = LolohaParams::bi(1.0, 0.5).unwrap();
+        let mut rng = derive_rng(204, 0);
+        assert!(linkage_accuracy_loloha(1, params, 4, 10, &mut rng).is_err());
+    }
+}

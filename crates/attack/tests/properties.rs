@@ -1,0 +1,118 @@
+//! Property tests for the adversarial-analysis crate.
+
+use ldp_attack::{asr_grr, asr_ue, Channel};
+use ldp_attack::change::{dbitflip_change_detection, loloha_change_exposure};
+use ldp_primitives::params::{grr_params, oue_params};
+use loloha::LolohaParams;
+use proptest::prelude::*;
+
+proptest! {
+    /// The realized ε of a GRR channel equals the requested ε for any
+    /// (k, ε) — i.e. GRR is a tight mechanism.
+    #[test]
+    fn grr_channel_epsilon_is_tight(k in 2usize..40, eps in 0.1f64..6.0) {
+        let ch = Channel::grr(k, eps).unwrap();
+        prop_assert!((ch.ldp_epsilon() - eps).abs() < 1e-7);
+    }
+
+    /// Composition never increases the realized ε beyond either factor's
+    /// (post-processing/composition sanity on exact matrices).
+    #[test]
+    fn composition_is_no_leakier_than_first_round(
+        k in 2usize..12,
+        e1 in 0.2f64..4.0,
+        e2 in 0.2f64..4.0,
+    ) {
+        let a = Channel::grr(k, e1).unwrap();
+        let b = Channel::grr(k, e2).unwrap();
+        let both = a.compose(&b).unwrap();
+        prop_assert!(both.ldp_epsilon() <= a.ldp_epsilon() + 1e-9);
+        prop_assert!(both.ldp_epsilon() <= e1.min(e2) + 1e-9,
+            "composed {} vs min {}", both.ldp_epsilon(), e1.min(e2));
+    }
+
+    /// ASR is always within [1/k, 1] and increases with ε.
+    #[test]
+    fn asr_bounds_and_monotonicity(k in 2usize..50, eps in 0.1f64..5.0) {
+        let a = asr_grr(k, eps).unwrap();
+        prop_assert!(a.asr >= a.baseline - 1e-12);
+        prop_assert!(a.asr <= 1.0);
+        let stronger = asr_grr(k, eps + 0.5).unwrap();
+        prop_assert!(stronger.asr >= a.asr - 1e-12);
+    }
+
+    /// The MAP adversary's ASR from the exact channel is bounded above by
+    /// e^ε / (e^ε + k − 1) for ANY ε-LDP mechanism over k symbols — the
+    /// known extremal bound, achieved by GRR.
+    #[test]
+    fn loloha_asr_below_grr_extremal_bound(
+        g in 2u32..6,
+        eps_inf in 1.0f64..4.0,
+        alpha in 0.3f64..0.7,
+    ) {
+        let eps1 = alpha * eps_inf;
+        let params = LolohaParams::with_g(g, eps_inf, eps1).unwrap();
+        let mut rng = ldp_rand::derive_rng(42, g as u64);
+        let k = 60usize;
+        let a = ldp_attack::asr_loloha_first_report(k, params, 4, &mut rng).unwrap();
+        // First report is ε1-LDP; apply the extremal MAP bound at ε1.
+        let (p, _) = grr_params(eps1, k as u64);
+        prop_assert!(a.asr <= p + 1e-9, "ASR {} vs bound {p}", a.asr);
+    }
+
+    /// UE closed-form ASR stays within [1/k, 1] and decays with k.
+    #[test]
+    fn ue_asr_bounds(k in 2usize..200, eps in 0.2f64..5.0) {
+        let (p, q) = oue_params(eps);
+        let a = asr_ue(k, p, q).unwrap();
+        prop_assert!(a.asr >= a.baseline - 1e-12, "{} < {}", a.asr, a.baseline);
+        prop_assert!(a.asr <= 1.0);
+    }
+
+    /// dBitFlipPM exposure is monotone in d under the per-class memo style:
+    /// sampling more bits can only expose more changes.
+    #[test]
+    fn dbitflip_exposure_monotone_in_d(b in 3u32..40, eps in 0.3f64..4.0) {
+        let mut last = 0.0;
+        for d in 1..=b {
+            let e = dbitflip_change_detection(b, d, eps, ldp_attack::MemoStyle::PerClass)
+                .unwrap()
+                .expected;
+            prop_assert!(e >= last - 1e-9, "d={d}: {e} < {last}");
+            prop_assert!((0.0..=1.0).contains(&e));
+            last = e;
+        }
+    }
+
+    /// Under either memo style the exposure stays a probability, and the
+    /// per-class style never exceeds the per-bucket style.
+    #[test]
+    fn dbitflip_styles_ordered(b in 2u32..40, frac in 0.0f64..1.0, eps in 0.3f64..4.0) {
+        let d = ((b as f64 * frac) as u32).clamp(1, b);
+        let pc = dbitflip_change_detection(b, d, eps, ldp_attack::MemoStyle::PerClass)
+            .unwrap().expected;
+        let pb = dbitflip_change_detection(b, d, eps, ldp_attack::MemoStyle::PerBucket)
+            .unwrap().expected;
+        prop_assert!((0.0..=1.0).contains(&pc));
+        prop_assert!((0.0..=1.0).contains(&pb));
+        prop_assert!(pc <= pb + 1e-12);
+    }
+
+    /// LOLOHA's change exposure shrinks as g shrinks (more collisions) and
+    /// as ε1 shrinks (stronger IRR noise).
+    #[test]
+    fn loloha_exposure_monotone(eps_inf in 1.0f64..4.0) {
+        let small_g = loloha_change_exposure(
+            LolohaParams::with_g(2, eps_inf, 0.5 * eps_inf).unwrap());
+        let big_g = loloha_change_exposure(
+            LolohaParams::with_g(16, eps_inf, 0.5 * eps_inf).unwrap());
+        prop_assert!(small_g.cells_differ < big_g.cells_differ);
+
+        let weak_irr = loloha_change_exposure(
+            LolohaParams::with_g(4, eps_inf, 0.2 * eps_inf).unwrap());
+        let strong_irr = loloha_change_exposure(
+            LolohaParams::with_g(4, eps_inf, 0.8 * eps_inf).unwrap());
+        prop_assert!(weak_irr.tv_given_memo <= strong_irr.tv_given_memo + 1e-12,
+            "lower ε1 must mean stronger IRR noise");
+    }
+}

@@ -1,0 +1,40 @@
+//! Criterion macro-benchmark: one full collection round (all users report,
+//! server estimates) on a scaled Syn dataset, per protocol. This is the
+//! end-to-end unit the paper's experiments repeat τ times.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ldp_datasets::SynDataset;
+use ldp_sim::{run_experiment, ExperimentConfig, Method};
+use std::hint::black_box;
+
+fn bench_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collection_round_syn");
+    group.sample_size(10);
+    // 1000 users × 5 rounds of the k=360 Syn workload per iteration.
+    let ds = SynDataset::new(360, 1_000, 5, 0.25);
+
+    for method in [
+        Method::Rappor,
+        Method::LOsue,
+        Method::LGrr,
+        Method::BiLoloha,
+        Method::OLoloha,
+        Method::OneBitFlip,
+        Method::BBitFlip,
+    ] {
+        group.bench_function(method.name(), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let cfg = ExperimentConfig::new(method, 1.0, 0.5, seed)
+                    .unwrap()
+                    .with_threads(1);
+                black_box(run_experiment(&ds, &cfg).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_steps);
+criterion_main!(benches);

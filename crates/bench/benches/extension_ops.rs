@@ -1,0 +1,115 @@
+//! Criterion micro-benchmarks for the extension-crate hot paths: PEM
+//! candidate walks, hitter-tracker updates, multi-attribute client
+//! reports, DDRM streams, and Zipf workload generation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ldp_datasets::{DatasetSpec, ZipfDataset};
+use ldp_heavyhitters::{HitterTracker, Pem};
+use ldp_longitudinal::DdrmClient;
+use ldp_multidim::spl::Flavor;
+use ldp_multidim::{AttributeSpec, SmpWrapper, SplWrapper};
+use ldp_rand::{derive_rng, uniform_f64};
+use std::hint::black_box;
+
+fn bench_pem_identify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heavyhitters/pem_identify");
+    group.sample_size(10);
+    let pem = Pem {
+        bits: 10,
+        start_bits: 4,
+        step_bits: 3,
+        eps: 2.0,
+        threshold: 0.02,
+        max_candidates: 16,
+    };
+    let mut rng = derive_rng(1, 1);
+    let values: Vec<u64> = (0..4_000)
+        .map(|_| if uniform_f64(&mut rng) < 0.3 { 0x2AA } else { ldp_rand::uniform_u64(&mut rng, 1 << 10) })
+        .collect();
+    group.bench_function("n=4000_bits=10", |b| {
+        b.iter(|| {
+            let mut r = derive_rng(2, 2);
+            black_box(pem.identify(black_box(&values), &mut r).expect("valid"))
+        })
+    });
+    group.finish();
+}
+
+fn bench_tracker_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heavyhitters/tracker_update");
+    for k in [360usize, 1_412] {
+        let mut rng = derive_rng(3, k as u64);
+        let estimate: Vec<f64> = (0..k).map(|_| uniform_f64(&mut rng) * 0.05).collect();
+        group.bench_function(format!("k={k}"), |b| {
+            let mut tracker = HitterTracker::new(0.2, 0.1).expect("thresholds");
+            b.iter(|| black_box(tracker.update(black_box(&estimate))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_multidim_reports(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multidim/client_report");
+    let spec = AttributeSpec::new(vec![64; 4]).expect("spec");
+    let values = [1u64, 2, 3, 4];
+    group.bench_function("spl_d=4", |b| {
+        let mut rng = derive_rng(4, 0);
+        let mut w = SplWrapper::new(&spec, 2.0, 1.0, Flavor::Bi, &mut rng).expect("spl");
+        b.iter(|| black_box(w.report(black_box(&values), &mut rng)))
+    });
+    group.bench_function("smp_d=4", |b| {
+        let mut rng = derive_rng(5, 0);
+        let mut w = SmpWrapper::new(&spec, 2.0, 1.0, Flavor::Bi, &mut rng).expect("smp");
+        b.iter(|| black_box(w.report(black_box(&values), &mut rng)))
+    });
+    group.finish();
+}
+
+fn bench_ddrm_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("longitudinal/ddrm_full_stream");
+    for tau in [32u32, 256] {
+        group.bench_function(format!("tau={tau}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut rng = derive_rng(6, tau as u64);
+                    let client = DdrmClient::new(tau, 1.0, &mut rng).expect("client");
+                    (client, rng)
+                },
+                |(mut client, mut rng)| {
+                    for t in 0..tau {
+                        black_box(client.observe(t % 3 == 0, &mut rng));
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_zipf_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datasets/zipf_step");
+    group.sample_size(20);
+    let spec = ZipfDataset::new(1_000, 20_000, 4, 1.2, 0.1);
+    group.bench_function("n=20000_k=1000", |b| {
+        b.iter_batched(
+            || spec.instantiate(7),
+            |mut data| {
+                black_box(data.step().len());
+                black_box(data.step().len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pem_identify,
+    bench_tracker_update,
+    bench_multidim_reports,
+    bench_ddrm_stream,
+    bench_zipf_step
+);
+criterion_main!(benches);

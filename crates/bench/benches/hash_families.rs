@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks: the universal-hash substrate.
+//!
+//! LOLOHA servers evaluate hashes O(n·k) times at registration (preimage
+//! construction), so family throughput matters; the Carter–Wegman family
+//! pays a 128-bit modular reduction that the Mix family avoids.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ldp_hash::{CarterWegman, MixFamily, Preimages, SeededHash, UniversalFamily};
+use ldp_rand::derive_rng;
+use std::hint::black_box;
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_throughput");
+    group.sample_size(30);
+    let mut rng = derive_rng(42, 0);
+    let cw = CarterWegman::new(4).unwrap().sample(&mut rng);
+    let mix = MixFamily::new(4).unwrap().sample(&mut rng);
+
+    group.bench_function("carter_wegman_1k_values", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for v in 0..1000u64 {
+                acc ^= cw.hash(black_box(v));
+            }
+            black_box(acc)
+        });
+    });
+
+    group.bench_function("mix_1k_values", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for v in 0..1000u64 {
+                acc ^= mix.hash(black_box(v));
+            }
+            black_box(acc)
+        });
+    });
+
+    group.bench_function("preimage_build_k1412", |b| {
+        b.iter(|| black_box(Preimages::build(&cw, 1412)));
+    });
+
+    group.bench_function("preimage_walk_k1412", |b| {
+        let pre = Preimages::build(&cw, 1412);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for cell in 0..4u32 {
+                for &v in pre.cell(cell) {
+                    acc += v as u64;
+                }
+            }
+            black_box(acc)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_hashes);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Criterion micro-benchmarks for the post-processing and attack-analysis
+//! hot paths: the simplex projection (run once per round per histogram),
+//! the Kalman update, and the exact-channel ASR computation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ldp_attack::Channel;
+use ldp_postprocess::{project_onto_simplex, Consistency, KalmanSmoother};
+use ldp_rand::{derive_rng, uniform_f64};
+use std::hint::black_box;
+
+fn noisy_histogram(k: usize, seed: u64) -> Vec<f64> {
+    let mut rng = derive_rng(seed, 17);
+    (0..k).map(|_| uniform_f64(&mut rng) * 0.1 - 0.02).collect()
+}
+
+fn bench_projection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("postprocess/simplex_projection");
+    for k in [100usize, 1_000, 10_000] {
+        let base = noisy_histogram(k, k as u64);
+        group.bench_function(format!("k={k}"), |b| {
+            b.iter_batched(
+                || base.clone(),
+                |mut est| {
+                    project_onto_simplex(&mut est);
+                    black_box(est)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_consistency_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("postprocess/consistency");
+    let base = noisy_histogram(1_412, 3); // DB_MT-sized histogram
+    for (name, method) in [
+        ("clip", Consistency::ClipZero),
+        ("norm", Consistency::Norm),
+        ("norm_mul", Consistency::NormMul),
+        ("norm_sub", Consistency::NormSub),
+        ("norm_cut", Consistency::NormCut),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || base.clone(),
+                |mut est| {
+                    method.apply(&mut est);
+                    black_box(est)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_kalman_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("postprocess/kalman_update");
+    for k in [360usize, 1_412] {
+        let est = noisy_histogram(k, 9);
+        group.bench_function(format!("k={k}"), |b| {
+            let mut filter = KalmanSmoother::new(k, 1e-7, 1e-4).expect("filter");
+            b.iter(|| black_box(filter.update(black_box(&est)).expect("dims")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_channel_asr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attack/channel");
+    for k in [64usize, 256] {
+        group.bench_function(format!("grr_asr_k={k}"), |b| {
+            let ch = Channel::grr(k, 2.0).expect("channel");
+            b.iter(|| black_box(ch.asr_uniform()))
+        });
+        group.bench_function(format!("grr_compose_k={k}"), |b| {
+            let a = Channel::grr(k, 3.0).expect("channel");
+            let irr = Channel::grr(k, 1.0).expect("channel");
+            b.iter(|| black_box(a.compose(&irr).expect("compatible")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_projection,
+    bench_consistency_methods,
+    bench_kalman_update,
+    bench_channel_asr
+);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Criterion micro-benchmarks: per-report client latency of every
+//! longitudinal protocol at the Syn dataset's scale (k = 360, ε∞ = 1,
+//! ε1 = 0.5). This is the hot path of any real deployment — one call per
+//! user per collection round.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ldp_hash::CarterWegman;
+use ldp_longitudinal::{DBitFlipClient, LgrrClient, LongitudinalUeClient, UeChain};
+use ldp_primitives::BitVec;
+use ldp_rand::derive_rng;
+use loloha::{LolohaClient, LolohaParams};
+use std::hint::black_box;
+
+const K: u64 = 360;
+const EPS_INF: f64 = 1.0;
+const EPS_1: f64 = 0.5;
+
+fn bench_clients(c: &mut Criterion) {
+    let mut group = c.benchmark_group("client_report_k360");
+    group.sample_size(20);
+
+    group.bench_function("RAPPOR", |b| {
+        let mut client = LongitudinalUeClient::new(UeChain::SueSue, K, EPS_INF, EPS_1).unwrap();
+        let mut rng = derive_rng(1, 0);
+        let mut out = BitVec::zeros(K as usize);
+        let mut v = 0u64;
+        b.iter(|| {
+            v = (v + 7) % K;
+            client.report_into(black_box(v), &mut rng, &mut out);
+            black_box(out.count_ones())
+        });
+    });
+
+    group.bench_function("L-OSUE", |b| {
+        let mut client = LongitudinalUeClient::new(UeChain::OueSue, K, EPS_INF, EPS_1).unwrap();
+        let mut rng = derive_rng(2, 0);
+        let mut out = BitVec::zeros(K as usize);
+        let mut v = 0u64;
+        b.iter(|| {
+            v = (v + 7) % K;
+            client.report_into(black_box(v), &mut rng, &mut out);
+            black_box(out.count_ones())
+        });
+    });
+
+    group.bench_function("L-GRR", |b| {
+        let mut client = LgrrClient::new(K, EPS_INF, EPS_1).unwrap();
+        let mut rng = derive_rng(3, 0);
+        let mut v = 0u64;
+        b.iter(|| {
+            v = (v + 7) % K;
+            black_box(client.report(black_box(v), &mut rng))
+        });
+    });
+
+    group.bench_function("BiLOLOHA", |b| {
+        let params = LolohaParams::bi(EPS_INF, EPS_1).unwrap();
+        let family = CarterWegman::new(2).unwrap();
+        let mut rng = derive_rng(4, 0);
+        let mut client = LolohaClient::new(&family, K, params, &mut rng).unwrap();
+        let mut v = 0u64;
+        b.iter(|| {
+            v = (v + 7) % K;
+            black_box(client.report(black_box(v), &mut rng))
+        });
+    });
+
+    group.bench_function("OLOLOHA", |b| {
+        let params = LolohaParams::optimal(5.0, 3.0).unwrap(); // g > 2 regime
+        let family = CarterWegman::new(params.g()).unwrap();
+        let mut rng = derive_rng(5, 0);
+        let mut client = LolohaClient::new(&family, K, params, &mut rng).unwrap();
+        let mut v = 0u64;
+        b.iter(|| {
+            v = (v + 7) % K;
+            black_box(client.report(black_box(v), &mut rng))
+        });
+    });
+
+    group.bench_function("1BitFlipPM", |b| {
+        let mut rng = derive_rng(6, 0);
+        let mut client = DBitFlipClient::new(K, K as u32, 1, EPS_INF, &mut rng).unwrap();
+        let mut v = 0u64;
+        b.iter(|| {
+            v = (v + 7) % K;
+            black_box(client.report(black_box(v), &mut rng).bits.count_ones())
+        });
+    });
+
+    group.bench_function("bBitFlipPM", |b| {
+        let mut rng = derive_rng(7, 0);
+        let mut client = DBitFlipClient::new(K, K as u32, K as u32, EPS_INF, &mut rng).unwrap();
+        let mut v = 0u64;
+        b.iter(|| {
+            v = (v + 7) % K;
+            black_box(client.report(black_box(v), &mut rng).bits.count_ones())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_clients);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks: server-side per-round estimation cost.
+//!
+//! Table 1 claims O(n·k) server run-time for every protocol; these benches
+//! measure the constant factors: ingesting pre-aggregated counts and
+//! inverting the estimator for one collection round.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ldp_longitudinal::chain::{ue_chain_params, UeChain};
+use ldp_longitudinal::{DBitFlipServer, LgrrServer, LueServer};
+use loloha::{LolohaParams, LolohaServer};
+use std::hint::black_box;
+
+const K: u64 = 1412; // the DB_MT domain
+const N: u64 = 10_336;
+
+fn synth_counts(k: usize, n: u64) -> Vec<u64> {
+    // A plausible support-count vector: roughly n/2 support per value.
+    (0..k).map(|i| (n / 2) + (i as u64 * 37 % 101)).collect()
+}
+
+fn bench_servers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_estimate_k1412");
+    group.sample_size(20);
+    let counts = synth_counts(K as usize, N);
+
+    group.bench_function("L-OSUE_eq3", |b| {
+        let chain = ue_chain_params(UeChain::OueSue, 1.0, 0.5).unwrap();
+        let mut server = LueServer::new(K, chain).unwrap();
+        b.iter(|| {
+            server.ingest_counts(black_box(&counts), N);
+            black_box(server.estimate_and_reset())
+        });
+    });
+
+    group.bench_function("L-GRR_eq3", |b| {
+        let mut server = LgrrServer::new(K, 1.0, 0.5).unwrap();
+        b.iter(|| {
+            server.ingest_counts(black_box(&counts), N);
+            black_box(server.estimate_and_reset())
+        });
+    });
+
+    group.bench_function("LOLOHA_eq3", |b| {
+        let params = LolohaParams::bi(1.0, 0.5).unwrap();
+        let mut server = LolohaServer::new(K, params).unwrap();
+        b.iter(|| {
+            server.ingest_counts(black_box(&counts), N);
+            black_box(server.estimate_and_reset())
+        });
+    });
+
+    group.bench_function("dBitFlipPM_eq1", |b| {
+        let bkt = 353u32;
+        let bucket_counts = synth_counts(bkt as usize, N);
+        let mut server = DBitFlipServer::new(bkt, 8, 1.0).unwrap();
+        b.iter(|| {
+            server.ingest_counts(black_box(&bucket_counts), N);
+            black_box(server.estimate_and_reset())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_servers);
+criterion_main!(benches);

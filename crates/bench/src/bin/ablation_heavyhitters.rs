@@ -1,0 +1,130 @@
+//! Ablation (beyond the paper): heavy-hitter identification quality on a
+//! Zipf-distributed evolving workload — the paper's motivating
+//! "Internet domains" scenario pushed to its application layer (§2.3/§6
+//! citations \[8, 9\]).
+//!
+//! Two pipelines over the same population, scored with the standard
+//! separation criterion: at target threshold `T`, a correct identifier
+//! must report every value with true frequency > 1.5·T ("strong
+//! hitters"), must not report any value below 0.5·T ("noise"), and may
+//! go either way inside the gray band — estimator noise makes any
+//! sharper contract unachievable at finite n.
+//!
+//! 1. **Full-domain tracking** — LOLOHA per-round estimates → Norm-Sub
+//!    projection → Kalman smoothing → hysteresis tracker.
+//! 2. **PEM one-shot** — one round of prefix extension at equal ε,
+//!    reporting also the fraction of the domain actually queried.
+
+use ldp_bench::HarnessArgs;
+use ldp_datasets::{DatasetSpec, ZipfDataset};
+use ldp_hash::CarterWegman;
+use ldp_heavyhitters::{HitterTracker, Pem};
+use ldp_postprocess::{Consistency, KalmanSmoother};
+use ldp_sim::table::Table;
+use loloha::{LolohaClient, LolohaParams, LolohaServer};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let bits = 10u32;
+    let k = 1u64 << bits;
+    let spec = if args.paper {
+        ZipfDataset::new(k, 40_000, 40, 1.4, 0.10)
+    } else {
+        ZipfDataset::new(k, 12_000, 12, 1.4, 0.10)
+    };
+    let threshold = 0.02;
+    let law = spec.law();
+    let strong: Vec<u64> = (0..k).filter(|&v| law[v as usize] > 1.5 * threshold).collect();
+    let noise_floor = 0.5 * threshold;
+    println!(
+        "# Ablation — heavy hitters on Zipf (k = {k}, n = {}, tau = {}, s = 1.4); \
+         T = {threshold}: {} strong hitters (> 1.5T), gray band (0.5T, 1.5T] tolerated",
+        spec.n(),
+        spec.tau(),
+        strong.len()
+    );
+
+    let mut table =
+        Table::new(["pipeline", "strong_recall", "noise_false_positives", "domain_queried"]);
+
+    // ---- Pipeline 1: LOLOHA + NormSub + Kalman + tracker ----
+    let params = LolohaParams::optimal(2.0, 1.0).expect("params");
+    let family = CarterWegman::new(params.g()).expect("family");
+    let mut server = LolohaServer::new(k, params).expect("server");
+    let n = spec.n();
+    let mut rng = ldp_rand::derive_rng(args.seed, 0x21F);
+    let mut clients = Vec::with_capacity(n);
+    let mut ids = Vec::with_capacity(n);
+    for _ in 0..n {
+        let c = LolohaClient::new(&family, k, params, &mut rng).expect("client");
+        ids.push(server.register_user(c.hash_fn()));
+        clients.push(c);
+    }
+    let mut kalman = KalmanSmoother::new(k as usize, 1e-7, params.variance_approx(n as f64))
+        .expect("filter");
+    let mut tracker =
+        HitterTracker::new(threshold, noise_floor).expect("thresholds");
+    let mut data = spec.instantiate(args.seed);
+    for _ in 0..spec.tau() {
+        let values = data.step();
+        for ((client, &id), &v) in clients.iter_mut().zip(&ids).zip(values) {
+            server.ingest(id, client.report(v, &mut rng));
+        }
+        let projected = Consistency::NormSub.applied(&server.estimate_and_reset());
+        let smoothed = kalman.update(&projected).expect("dims");
+        tracker.update(&smoothed);
+    }
+    let tracked: Vec<u64> = tracker.active().collect();
+    push_scores(&mut table, "LOLOHA+NormSub+Kalman+tracker", &tracked, &strong, &law, noise_floor, &format!("{k}/{k}"));
+
+    // ---- Pipeline 2: PEM, one shot on the final round ----
+    let pem = Pem {
+        bits,
+        start_bits: 5,
+        step_bits: 5,
+        eps: 2.0,
+        threshold: noise_floor,
+        max_candidates: 32,
+    };
+    let values = data.step().to_vec();
+    let outcome = pem.identify(&values, &mut rng).expect("valid PEM");
+    let found: Vec<u64> =
+        outcome.hitters.iter().filter(|&&(_, f)| f > threshold).map(|&(v, _)| v).collect();
+    push_scores(
+        &mut table,
+        "PEM (one round)",
+        &found,
+        &strong,
+        &law,
+        noise_floor,
+        &format!("{}/{k}", outcome.candidates_queried),
+    );
+
+    println!("{}", table.to_csv());
+    println!("{}", table.to_markdown());
+    println!(
+        "expected shape: at --paper scale both pipelines are exact (full strong recall, \
+         zero noise false positives) and PEM touches well under half the domain; at the \
+         laptop default the borderline strong hitter may be missed and PEM may admit a \
+         few sub-floor values — the separation criterion is n-limited, which is the point"
+    );
+}
+
+fn push_scores(
+    table: &mut Table,
+    name: &str,
+    found: &[u64],
+    strong: &[u64],
+    law: &[f64],
+    noise_floor: f64,
+    queried: &str,
+) {
+    let strong_hits = strong.iter().filter(|v| found.contains(v)).count();
+    let noise_fp = found.iter().filter(|&&v| law[v as usize] < noise_floor).count();
+    table.push_row([
+        name.to_string(),
+        format!("{strong_hits}/{}", strong.len()),
+        noise_fp.to_string(),
+        queried.to_string(),
+    ]);
+}

@@ -1,0 +1,112 @@
+//! Ablation (beyond the paper): the adversarial comparison behind the §6
+//! claim that local-hashing protocols are the least attackable.
+//!
+//! Three tables:
+//!
+//! 1. **Bayesian single-report ASR** per protocol across the ε grid — the
+//!    MAP adversary's probability of naming the user's exact value from
+//!    one report (uniform prior, k = 100).
+//! 2. **Averaging attack** across τ rounds — fresh-noise GRR vs the
+//!    memoized chain, the §2.4 motivation for memoization.
+//! 3. **Change exposure** — the closed-form per-change detection
+//!    probabilities behind Table 2, for dBitFlipPM (both memoization
+//!    styles), LOLOHA and RAPPOR.
+
+use ldp_attack::{
+    asr_grr, asr_lgrr_first_report, asr_loloha_first_report, asr_ue, dbitflip_change_detection,
+    loloha_change_exposure, lue_change_exposure, mode_attack_fresh_grr, mode_attack_memoized,
+    rr_majority_success_binary, MemoStyle,
+};
+use ldp_bench::HarnessArgs;
+use ldp_longitudinal::chain::{ue_chain_params, UeChain};
+use ldp_primitives::params::{oue_params, sue_params};
+use ldp_sim::table::Table;
+use loloha::LolohaParams;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let mut rng = ldp_rand::derive_rng(args.seed, 0xA57A);
+    let k = 100usize;
+    let alpha = 0.5;
+
+    println!("# Bayesian MAP adversary, one report, uniform prior, k = {k}");
+    let mut t1 = Table::new([
+        "eps_inf",
+        "GRR@eps1",
+        "SUE@eps1",
+        "OUE@eps1",
+        "RAPPOR_first",
+        "L-GRR_first",
+        "BiLOLOHA_first",
+        "OLOLOHA_first",
+        "baseline",
+    ]);
+    for eps_inf in [0.5, 1.0, 2.0, 3.0, 4.0, 5.0] {
+        let eps1 = alpha * eps_inf;
+        let (sp, sq) = sue_params(eps1);
+        let (op, oq) = oue_params(eps1);
+        let rappor = ue_chain_params(UeChain::SueSue, eps_inf, eps1).expect("valid").composed();
+        let bi = LolohaParams::bi(eps_inf, eps1).expect("valid");
+        let olo = LolohaParams::optimal(eps_inf, eps1).expect("valid");
+        t1.push_row([
+            format!("{eps_inf:.1}"),
+            format!("{:.4}", asr_grr(k, eps1).unwrap().asr),
+            format!("{:.4}", asr_ue(k, sp, sq).unwrap().asr),
+            format!("{:.4}", asr_ue(k, op, oq).unwrap().asr),
+            format!("{:.4}", asr_ue(k, rappor.p, rappor.q).unwrap().asr),
+            format!("{:.4}", asr_lgrr_first_report(k, eps_inf, eps1).unwrap().asr),
+            format!("{:.4}", asr_loloha_first_report(k, bi, 16, &mut rng).unwrap().asr),
+            format!("{:.4}", asr_loloha_first_report(k, olo, 16, &mut rng).unwrap().asr),
+            format!("{:.4}", 1.0 / k as f64),
+        ]);
+    }
+    println!("{}", t1.to_csv());
+    println!("{}", t1.to_markdown());
+    println!("expected shape: LOLOHA columns sit near g/k of the GRR column — hash collisions cap the adversary\n");
+
+    println!("# Averaging attack: mode of tau reports of a constant value (k = 4, eps per round = 1)");
+    let trials = if args.paper { 40_000 } else { 8_000 };
+    let mut t2 = Table::new(["tau", "fresh_GRR", "fresh_binary_exact(k=2)", "memoized_PRR+IRR", "memo_ceiling_p1"]);
+    let ceiling = ldp_attack::averaging::memoized_attack_ceiling(4, 1.0);
+    for tau in [1u32, 5, 15, 45, 135] {
+        t2.push_row([
+            tau.to_string(),
+            format!("{:.3}", mode_attack_fresh_grr(4, 1.0, tau, trials, &mut rng).unwrap()),
+            format!("{:.3}", rr_majority_success_binary(1.0, tau).unwrap()),
+            format!("{:.3}", mode_attack_memoized(4, 1.0, 1.0, tau, trials, &mut rng).unwrap()),
+            format!("{:.3}", ceiling),
+        ]);
+    }
+    println!("{}", t2.to_csv());
+    println!("{}", t2.to_markdown());
+    println!("expected shape: fresh columns climb to 1.0; the memoized column plateaus at p1\n");
+
+    println!("# Per-change exposure (closed forms; b = 64 buckets where applicable)");
+    let mut t3 = Table::new([
+        "eps_inf",
+        "dBit_d1_perclass",
+        "dBit_d1_perbucket",
+        "dBit_db_perclass",
+        "LOLOHA_tv_advantage",
+        "RAPPOR_extra_flips(k=100)",
+    ]);
+    for eps_inf in [0.5, 1.0, 2.0, 3.0, 4.0, 5.0] {
+        let eps1 = alpha * eps_inf;
+        let bi = LolohaParams::bi(eps_inf, eps1).expect("valid");
+        let chain = ue_chain_params(UeChain::SueSue, eps_inf, eps1).expect("valid");
+        t3.push_row([
+            format!("{eps_inf:.1}"),
+            format!("{:.4}", dbitflip_change_detection(64, 1, eps_inf, MemoStyle::PerClass).unwrap().expected),
+            format!("{:.4}", dbitflip_change_detection(64, 1, eps_inf, MemoStyle::PerBucket).unwrap().expected),
+            format!("{:.4}", dbitflip_change_detection(64, 64, eps_inf, MemoStyle::PerClass).unwrap().expected),
+            format!("{:.4}", loloha_change_exposure(bi).tv_advantage()),
+            format!("{:.3}", lue_change_exposure(&chain, 100).unwrap()),
+        ]);
+    }
+    println!("{}", t3.to_csv());
+    println!("{}", t3.to_markdown());
+    println!(
+        "expected shape: d=b column near 1 (Table 2's 100%), d=1 per-bucket column decays \
+         with eps (Table 2's d=1 trend), LOLOHA advantage stays far below both"
+    );
+}

@@ -1,0 +1,38 @@
+//! Reproduces **Fig. 2**: the numerical approximate variance `V*` (Eq. (5))
+//! of L-OSUE, OLOLOHA, RAPPOR and BiLOLOHA with n = 10 000 users, over
+//! ε∞ ∈ [0.5, 5] and α ∈ {0.1, …, 0.6}.
+//!
+//! Pure closed-form arithmetic (the paper's own Fig. 2 is numeric, not
+//! simulated).
+
+use ldp_analysis::{fig2_rows, paper_eps_grid};
+use ldp_bench::HarnessArgs;
+use ldp_sim::table::{fmt_sci, Table};
+
+fn main() {
+    let _args = HarnessArgs::parse();
+    let n = 10_000.0;
+    let alphas = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
+    let rows = fig2_rows(n, &paper_eps_grid(), &alphas);
+
+    println!("# Fig. 2 — approximate variance V* (Eq. (5)), n = 10000");
+    println!("# one panel per alpha; log-scale y in the paper\n");
+
+    let mut table = Table::new(["alpha", "eps_inf", "L-OSUE", "OLOLOHA", "RAPPOR", "BiLOLOHA"]);
+    for r in &rows {
+        table.push_row([
+            format!("{}", r.alpha),
+            format!("{}", r.eps_inf),
+            fmt_sci(r.losue),
+            fmt_sci(r.ololoha),
+            fmt_sci(r.rappor),
+            fmt_sci(r.biloloha),
+        ]);
+    }
+    println!("{}", table.to_csv());
+    println!("{}", table.to_markdown());
+    println!(
+        "expected shape: all four similar for alpha <= 0.3; at high eps_inf \
+         and alpha, BiLOLOHA (with RAPPOR) is worst while OLOLOHA tracks L-OSUE"
+    );
+}

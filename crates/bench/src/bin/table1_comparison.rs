@@ -1,0 +1,42 @@
+//! Reproduces **Table 1**: the theoretical comparison of communication
+//! cost, server run-time complexity and privacy-budget consumption,
+//! instantiated for each of the paper's dataset scales.
+
+use ldp_bench::HarnessArgs;
+use ldp_sim::config::dbit_buckets;
+use ldp_sim::table::Table;
+
+fn main() {
+    let _args = HarnessArgs::parse();
+    println!("# Table 1 — theoretical comparison (symbolic)\n");
+    let mut sym = Table::new(["protocol", "comm bits/user/step", "server run-time", "budget"]);
+    for r in ldp_analysis::table1_rows(360, 1.0, 0.5, 360, 1) {
+        sym.push_row([
+            r.protocol.to_string(),
+            r.comm_symbolic.clone(),
+            r.server_complexity.to_string(),
+            r.budget_symbolic.clone(),
+        ]);
+    }
+    println!("{}", sym.to_markdown());
+
+    for (k, label) in [(360u64, "Syn"), (96, "Adult"), (1412, "DB_MT"), (1234, "DB_DE")] {
+        let b = dbit_buckets(k);
+        let (eps_inf, eps_first) = (1.0, 0.5);
+        println!("\n# instantiated at {label}: k = {k}, b = {b}, d = 1, eps_inf = {eps_inf}\n");
+        let mut t = Table::new(["protocol", "comm bits", "budget cap (eps)"]);
+        for r in ldp_analysis::table1_rows(k, eps_inf, eps_first, b, 1) {
+            t.push_row([
+                r.protocol.to_string(),
+                r.comm_bits.to_string(),
+                format!("{:.1}", r.budget),
+            ]);
+        }
+        println!("{}", t.to_markdown());
+    }
+    println!(
+        "\nexpected shape: LOLOHA ships ceil(log2 g) bits and caps at g*eps_inf; \
+         RAPPOR/L-OSUE ship k bits and cap at k*eps_inf; dBitFlipPM ships d bits \
+         and caps at min(d+1, b)*eps_inf"
+    );
+}

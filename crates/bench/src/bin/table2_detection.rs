@@ -1,0 +1,45 @@
+//! Reproduces **Table 2**: the percentage of users for whom the server
+//! detects *all* bucket change points of dBitFlipPM, for d = 1
+//! (privacy-tuned) and d = b (utility-tuned), on all four workloads over
+//! ε∞ ∈ {0.5, …, 5}.
+
+use ldp_bench::{sweep, HarnessArgs};
+use ldp_sim::table::Table;
+use ldp_sim::Method;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let datasets = args.datasets();
+    let eps_grid = args.eps_grid();
+    let methods = [Method::OneBitFlip, Method::BBitFlip];
+    // Detection does not involve eps_first; alpha is a placeholder.
+    let alphas = [0.5];
+
+    eprintln!(
+        "table2: {} dataset(s) x 2 methods x {} eps x {} runs",
+        datasets.len(),
+        eps_grid.len(),
+        args.runs
+    );
+    let cells = sweep(&datasets, &methods, &eps_grid, &alphas, &args);
+
+    println!("# Table 2 — % users with all change points detected ({} runs)", args.runs);
+    let mut table = Table::new(["eps_inf", "d", "dataset", "detected_%", "std_%"]);
+    for c in &cells {
+        let d = if c.method == Method::OneBitFlip { "1" } else { "b" };
+        let s = c.detection.expect("dBitFlip methods always produce detection");
+        table.push_row([
+            format!("{}", c.eps_inf),
+            d.to_string(),
+            c.dataset.to_string(),
+            format!("{:.4}", 100.0 * s.mean),
+            format!("{:.4}", 100.0 * s.std),
+        ]);
+    }
+    println!("{}", table.to_csv());
+    println!("{}", table.to_markdown());
+    println!(
+        "expected shape: d = 1 -> ~0% (two memoized classes often collide); \
+         d = b -> ~100% (distinct one-hot patterns; every change flips bits)"
+    );
+}

@@ -1,0 +1,282 @@
+//! Shared harness for the figure/table reproduction binaries.
+//!
+//! Each binary in `src/bin/` regenerates one artifact of the paper's
+//! evaluation (see DESIGN.md §3 for the index). They share:
+//!
+//! * [`HarnessArgs`] — a tiny flag parser (`--paper`, `--runs R`,
+//!   `--n-frac F`, `--tau-frac F`, `--dataset NAME`, `--seed S`,
+//!   `--threads T`) so every experiment can be run at paper scale or at a
+//!   laptop-friendly default.
+//! * [`sweep`] — the (dataset × method × ε∞ × α × run) grid runner that
+//!   backs Figs. 3–4 and Table 2, aggregating run metrics into summaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ldp_datasets::{paper_datasets, scaled_datasets, DatasetSpec};
+use ldp_sim::{run_experiment, ExperimentConfig, Method, Summary};
+
+/// Command-line options shared by all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Run at the paper's full scale (n_frac = tau_frac = 1, 20 runs).
+    pub paper: bool,
+    /// Repetitions per cell (the paper averages 20).
+    pub runs: usize,
+    /// Fraction of each dataset's n.
+    pub n_frac: f64,
+    /// Fraction of each dataset's τ.
+    pub tau_frac: f64,
+    /// Restrict to one dataset by name (case-insensitive), or all.
+    pub dataset: Option<String>,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+    /// Restrict the ε∞ grid to every `eps_stride`-th point (1 = full grid).
+    pub eps_stride: usize,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        Self {
+            paper: false,
+            runs: 3,
+            n_frac: 0.10,
+            tau_frac: 0.25,
+            dataset: None,
+            seed: 0x1010,
+            threads: 0,
+            eps_stride: 1,
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args`, exiting with usage on error.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (testable).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = Self::default();
+        let mut it = args.into_iter();
+        let need = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+            it.next().unwrap_or_else(|| usage(&format!("missing value for {flag}")))
+        };
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--paper" => {
+                    out.paper = true;
+                    out.runs = 20;
+                    out.n_frac = 1.0;
+                    out.tau_frac = 1.0;
+                }
+                "--runs" => out.runs = parse_num(&need(&mut it, "--runs"), "--runs"),
+                "--n-frac" => out.n_frac = parse_num(&need(&mut it, "--n-frac"), "--n-frac"),
+                "--tau-frac" => {
+                    out.tau_frac = parse_num(&need(&mut it, "--tau-frac"), "--tau-frac")
+                }
+                "--dataset" => out.dataset = Some(need(&mut it, "--dataset")),
+                "--seed" => out.seed = parse_num(&need(&mut it, "--seed"), "--seed"),
+                "--threads" => out.threads = parse_num(&need(&mut it, "--threads"), "--threads"),
+                "--eps-stride" => {
+                    out.eps_stride = parse_num(&need(&mut it, "--eps-stride"), "--eps-stride")
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        if out.runs == 0 || out.eps_stride == 0 {
+            usage("--runs and --eps-stride must be positive");
+        }
+        out
+    }
+
+    /// The datasets selected by the flags (paper scale or scaled down).
+    pub fn datasets(&self) -> Vec<Box<dyn DatasetSpec>> {
+        let all = if self.paper {
+            paper_datasets()
+        } else {
+            scaled_datasets(self.n_frac, self.tau_frac)
+        };
+        match &self.dataset {
+            None => all,
+            Some(name) => {
+                let matched: Vec<_> = all
+                    .into_iter()
+                    .filter(|d| d.name().eq_ignore_ascii_case(name))
+                    .collect();
+                if matched.is_empty() {
+                    usage(&format!("unknown dataset {name} (Syn, Adult, DB_MT, DB_DE)"));
+                }
+                matched
+            }
+        }
+    }
+
+    /// The ε∞ grid after applying `eps_stride`.
+    pub fn eps_grid(&self) -> Vec<f64> {
+        ldp_analysis::paper_eps_grid()
+            .into_iter()
+            .step_by(self.eps_stride)
+            .collect()
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| usage(&format!("invalid value {s} for {flag}")))
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: <bin> [--paper] [--runs R] [--n-frac F] [--tau-frac F] \
+         [--dataset NAME] [--seed S] [--threads T] [--eps-stride K]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// One aggregated cell of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Protocol under test.
+    pub method: Method,
+    /// Longitudinal budget ε∞.
+    pub eps_inf: f64,
+    /// First-report fraction α.
+    pub alpha: f64,
+    /// MSE_avg over runs (Eq. (7)); NaN mean when incomparable.
+    pub mse: Summary,
+    /// ε̌_avg over runs (Eq. (8)).
+    pub eps_avg: Summary,
+    /// Detection rate over runs (dBitFlipPM only).
+    pub detection: Option<Summary>,
+    /// Resolved g (LOLOHA) or b (dBitFlipPM).
+    pub reduced_domain: Option<u32>,
+}
+
+/// Runs the full (dataset × method × ε∞ × α) grid, `runs` times per cell.
+pub fn sweep(
+    datasets: &[Box<dyn DatasetSpec>],
+    methods: &[Method],
+    eps_grid: &[f64],
+    alphas: &[f64],
+    args: &HarnessArgs,
+) -> Vec<SweepCell> {
+    let mut cells = Vec::new();
+    for dataset in datasets {
+        for &method in methods {
+            for &eps_inf in eps_grid {
+                for &alpha in alphas {
+                    let mut mses = Vec::with_capacity(args.runs);
+                    let mut epss = Vec::with_capacity(args.runs);
+                    let mut dets = Vec::with_capacity(args.runs);
+                    let mut reduced = None;
+                    for run in 0..args.runs {
+                        let seed = args
+                            .seed
+                            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(run as u64 + 1));
+                        let cfg = ExperimentConfig::new(method, eps_inf, alpha, seed)
+                            .expect("validated grid")
+                            .with_threads(args.threads);
+                        let m = run_experiment(dataset.as_ref(), &cfg)
+                            .expect("runnable configuration");
+                        mses.push(m.mse_avg);
+                        epss.push(m.eps_avg);
+                        if let Some(d) = m.detection {
+                            dets.push(d.rate());
+                        }
+                        reduced = m.reduced_domain;
+                    }
+                    cells.push(SweepCell {
+                        dataset: leak_name(dataset.name()),
+                        method,
+                        eps_inf,
+                        alpha,
+                        mse: Summary::of(&mses),
+                        eps_avg: Summary::of(&epss),
+                        detection: if dets.is_empty() { None } else { Some(Summary::of(&dets)) },
+                        reduced_domain: reduced,
+                    });
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// Dataset names are 'static in practice; normalize through a match to
+/// avoid leaking arbitrary strings.
+fn leak_name(name: &str) -> &'static str {
+    match name {
+        "Syn" => "Syn",
+        "Adult" => "Adult",
+        "DB_MT" => "DB_MT",
+        "DB_DE" => "DB_DE",
+        _ => "custom",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> HarnessArgs {
+        HarnessArgs::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_laptop_scale() {
+        let a = parse(&[]);
+        assert!(!a.paper);
+        assert_eq!(a.runs, 3);
+        assert!(a.n_frac < 1.0);
+    }
+
+    #[test]
+    fn paper_flag_switches_to_full_scale() {
+        let a = parse(&["--paper"]);
+        assert!(a.paper);
+        assert_eq!(a.runs, 20);
+        assert_eq!(a.n_frac, 1.0);
+        assert_eq!(a.tau_frac, 1.0);
+    }
+
+    #[test]
+    fn flags_override_defaults() {
+        let a = parse(&["--runs", "5", "--seed", "9", "--eps-stride", "2", "--threads", "3"]);
+        assert_eq!(a.runs, 5);
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.eps_stride, 2);
+        assert_eq!(a.threads, 3);
+        assert_eq!(a.eps_grid(), vec![0.5, 1.5, 2.5, 3.5, 4.5]);
+    }
+
+    #[test]
+    fn dataset_filter_selects_one() {
+        let a = parse(&["--dataset", "syn", "--n-frac", "0.01", "--tau-frac", "0.05"]);
+        let ds = a.datasets();
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].name(), "Syn");
+    }
+
+    #[test]
+    fn tiny_sweep_produces_cells() {
+        let a = parse(&["--runs", "2", "--n-frac", "0.02", "--tau-frac", "0.05", "--dataset", "Syn"]);
+        let ds = a.datasets();
+        let cells = sweep(&ds, &[Method::BiLoloha, Method::BBitFlip], &[1.0], &[0.5], &a);
+        assert_eq!(cells.len(), 2);
+        let bi = &cells[0];
+        assert_eq!(bi.method, Method::BiLoloha);
+        assert_eq!(bi.mse.runs, 2);
+        assert!(bi.mse.mean.is_finite());
+        let bbit = &cells[1];
+        assert!(bbit.detection.is_some());
+    }
+}

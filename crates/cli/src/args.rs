@@ -1,0 +1,178 @@
+//! A tiny `--flag value` argument parser.
+//!
+//! Deliberately minimal (no external dependency): flags are
+//! `--name value` pairs or boolean `--name` switches declared up front;
+//! unknown flags, missing values and unparsable numbers are errors rather
+//! than silent defaults.
+
+use crate::CliError;
+use std::collections::BTreeMap;
+
+/// Parsed flags: `--key value` pairs and boolean switches.
+#[derive(Debug, Default, Clone)]
+pub struct Flags {
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    /// Parses `argv` given the set of boolean switch names (all other
+    /// `--flags` must carry a value).
+    pub fn parse(argv: &[String], switch_names: &[&str]) -> Result<Self, CliError> {
+        let mut flags = Flags::default();
+        let mut it = argv.iter().peekable();
+        while let Some(arg) = it.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(CliError::new(format!("unexpected positional argument `{arg}`")));
+            };
+            if name.is_empty() {
+                return Err(CliError::new("empty flag `--`"));
+            }
+            if switch_names.contains(&name) {
+                flags.switches.push(name.to_string());
+            } else {
+                let Some(value) = it.next() else {
+                    return Err(CliError::new(format!("flag --{name} requires a value")));
+                };
+                if flags.values.insert(name.to_string(), value.clone()).is_some() {
+                    return Err(CliError::new(format!("flag --{name} given twice")));
+                }
+            }
+        }
+        Ok(flags)
+    }
+
+    /// A boolean switch's presence.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// A required string flag.
+    pub fn required(&self, name: &str) -> Result<&str, CliError> {
+        self.values
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| CliError::new(format!("missing required flag --{name}")))
+    }
+
+    /// An optional string flag.
+    pub fn optional(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// A required f64 flag.
+    pub fn required_f64(&self, name: &str) -> Result<f64, CliError> {
+        parse_f64(name, self.required(name)?)
+    }
+
+    /// An optional f64 flag with a default.
+    pub fn f64_or(&self, name: &str, default: f64) -> Result<f64, CliError> {
+        match self.optional(name) {
+            Some(v) => parse_f64(name, v),
+            None => Ok(default),
+        }
+    }
+
+    /// A required u64 flag.
+    pub fn required_u64(&self, name: &str) -> Result<u64, CliError> {
+        parse_u64(name, self.required(name)?)
+    }
+
+    /// An optional u64 flag with a default.
+    pub fn u64_or(&self, name: &str, default: u64) -> Result<u64, CliError> {
+        match self.optional(name) {
+            Some(v) => parse_u64(name, v),
+            None => Ok(default),
+        }
+    }
+
+    /// Rejects flags that were provided but not consumed by the command,
+    /// guarding against typos (`--epsinf 2` silently ignored).
+    pub fn ensure_known(&self, known: &[&str]) -> Result<(), CliError> {
+        for key in self.values.keys() {
+            if !known.contains(&key.as_str()) {
+                return Err(CliError::new(format!("unknown flag --{key}")));
+            }
+        }
+        for key in &self.switches {
+            if !known.contains(&key.as_str()) {
+                return Err(CliError::new(format!("unknown flag --{key}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_f64(name: &str, value: &str) -> Result<f64, CliError> {
+    value
+        .parse::<f64>()
+        .map_err(|_| CliError::new(format!("flag --{name}: `{value}` is not a number")))
+}
+
+fn parse_u64(name: &str, value: &str) -> Result<u64, CliError> {
+    value
+        .parse::<u64>()
+        .map_err(|_| CliError::new(format!("flag --{name}: `{value}` is not an integer")))
+}
+
+/// Helper for tests and callers: turns a whitespace-separated string into
+/// an argv vector.
+pub fn argv(s: &str) -> Vec<String> {
+    s.split_whitespace().map(str::to_string).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_pairs_and_switches() {
+        let f = Flags::parse(&argv("--eps-inf 2.0 --optimal --k 50"), &["optimal"]).unwrap();
+        assert_eq!(f.required_f64("eps-inf").unwrap(), 2.0);
+        assert_eq!(f.required_u64("k").unwrap(), 50);
+        assert!(f.switch("optimal"));
+        assert!(!f.switch("paper"));
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let err = Flags::parse(&argv("--eps-inf"), &[]).unwrap_err();
+        assert!(err.message.contains("requires a value"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_flag_is_an_error() {
+        let err = Flags::parse(&argv("--k 3 --k 4"), &[]).unwrap_err();
+        assert!(err.message.contains("twice"), "{err}");
+    }
+
+    #[test]
+    fn positional_arguments_rejected() {
+        let err = Flags::parse(&argv("params extra"), &[]).unwrap_err();
+        assert!(err.message.contains("positional"), "{err}");
+    }
+
+    #[test]
+    fn typo_detection_via_ensure_known() {
+        let f = Flags::parse(&argv("--epsinf 2"), &[]).unwrap();
+        let err = f.ensure_known(&["eps-inf"]).unwrap_err();
+        assert!(err.message.contains("unknown flag --epsinf"), "{err}");
+    }
+
+    #[test]
+    fn numeric_parse_failures_name_the_flag() {
+        let f = Flags::parse(&argv("--k five"), &[]).unwrap();
+        let err = f.required_u64("k").unwrap_err();
+        assert!(err.message.contains("--k"), "{err}");
+        let f = Flags::parse(&argv("--alpha x"), &[]).unwrap();
+        assert!(f.required_f64("alpha").is_err());
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let f = Flags::parse(&argv(""), &[]).unwrap();
+        assert_eq!(f.f64_or("alpha", 0.5).unwrap(), 0.5);
+        assert_eq!(f.u64_or("seed", 42).unwrap(), 42);
+        assert!(f.required("k").is_err());
+    }
+}

@@ -1,0 +1,232 @@
+//! `loloha-cli collect` — sanitize and aggregate user-provided
+//! longitudinal data.
+//!
+//! Input: CSV lines `round,user,value` on stdin (header optional; blank
+//! lines and `#` comments ignored). Rounds must be contiguous from 0 (or
+//! 1); users are arbitrary non-negative integers; values must lie in
+//! `[0, k)`. Each (round, user) pair may appear at most once; users absent
+//! from a round simply skip it (their memoized state persists, exactly as
+//! a real deployment's offline users do).
+//!
+//! The tool plays *both* sides — it sanitizes each user's value with a
+//! per-user LOLOHA client and aggregates with the server — so its output
+//! demonstrates what the server would learn, never the raw histogram.
+
+use crate::args::Flags;
+use crate::CliError;
+use ldp_hash::CarterWegman;
+use loloha::{LolohaClient, LolohaParams, LolohaServer};
+use std::collections::BTreeMap;
+use std::io::BufRead;
+
+/// One parsed input record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Record {
+    /// Collection round.
+    pub round: u64,
+    /// User identifier.
+    pub user: u64,
+    /// The user's private value this round.
+    pub value: u64,
+}
+
+/// Parses the CSV stream (see module docs for the accepted format).
+pub fn parse_records<R: BufRead>(reader: &mut R) -> Result<Vec<Record>, CliError> {
+    let mut records = Vec::new();
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line).map_err(CliError::new)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if lineno == 1 && trimmed.to_ascii_lowercase().starts_with("round") {
+            continue; // header
+        }
+        let mut parts = trimmed.split(',');
+        let mut next = |what: &str| -> Result<u64, CliError> {
+            parts
+                .next()
+                .ok_or_else(|| CliError::new(format!("line {lineno}: missing {what}")))?
+                .trim()
+                .parse::<u64>()
+                .map_err(|_| CliError::new(format!("line {lineno}: {what} is not an integer")))
+        };
+        let record =
+            Record { round: next("round")?, user: next("user")?, value: next("value")? };
+        if parts.next().is_some() {
+            return Err(CliError::new(format!("line {lineno}: expected 3 fields")));
+        }
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Runs the subcommand over `input`; returns the per-round estimates.
+pub fn run<R: BufRead>(argv: &[String], input: &mut R) -> Result<String, CliError> {
+    let flags = Flags::parse(argv, &["optimal"])?;
+    flags.ensure_known(&["k", "eps-inf", "alpha", "seed", "top", "optimal"])?;
+    let k = flags.required_u64("k")?;
+    let eps_inf = flags.required_f64("eps-inf")?;
+    let alpha = flags.f64_or("alpha", 0.5)?;
+    let seed = flags.u64_or("seed", 7)?;
+    let top = flags.u64_or("top", 5)? as usize;
+    let params = if flags.switch("optimal") {
+        LolohaParams::optimal(eps_inf, alpha * eps_inf)
+    } else {
+        LolohaParams::bi(eps_inf, alpha * eps_inf)
+    }
+    .map_err(CliError::new)?;
+
+    let records = parse_records(input)?;
+    if records.is_empty() {
+        return Err(CliError::new("no input records (expected `round,user,value` lines)"));
+    }
+    for r in &records {
+        if r.value >= k {
+            return Err(CliError::new(format!(
+                "user {} round {}: value {} outside domain [0, {k})",
+                r.user, r.round, r.value
+            )));
+        }
+    }
+
+    // Group by round, preserving round order.
+    let mut rounds: BTreeMap<u64, Vec<(u64, u64)>> = BTreeMap::new();
+    for r in &records {
+        let entries = rounds.entry(r.round).or_default();
+        if entries.iter().any(|&(u, _)| u == r.user) {
+            return Err(CliError::new(format!(
+                "user {} reported twice in round {}",
+                r.user, r.round
+            )));
+        }
+        entries.push((r.user, r.value));
+    }
+
+    let family = CarterWegman::new(params.g())
+        .ok_or_else(|| CliError::new("invalid g"))?;
+    let mut server = LolohaServer::new(k, params).map_err(CliError::new)?;
+    let mut clients: BTreeMap<u64, (LolohaClient<ldp_hash::CwHash>, loloha::server::UserId)> =
+        BTreeMap::new();
+    let mut rng = ldp_rand::derive_rng(seed, 0xC11);
+
+    let mut out = format!(
+        "LOLOHA collect: k = {k}, g = {}, eps_inf = {eps_inf}, eps_1 = {:.3}, cap = {:.1}\n",
+        params.g(),
+        alpha * eps_inf,
+        params.budget_cap()
+    );
+    for (round, entries) in &rounds {
+        for &(user, value) in entries {
+            let (client, id) = match clients.entry(user) {
+                std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    let client =
+                        LolohaClient::new(&family, k, params, &mut rng).map_err(CliError::new)?;
+                    let id = server.register_user(client.hash_fn());
+                    e.insert((client, id))
+                }
+            };
+            let cell = client.report(value, &mut rng);
+            server.ingest(*id, cell);
+        }
+        let estimate = server.estimate_and_reset();
+        let mut ranked: Vec<(usize, f64)> = estimate.iter().copied().enumerate().collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let shown: Vec<String> = ranked
+            .iter()
+            .take(top)
+            .map(|(v, f)| format!("{v}:{f:.3}"))
+            .collect();
+        out.push_str(&format!(
+            "round {round}: n = {}, top-{top} = [{}]\n",
+            entries.len(),
+            shown.join(", ")
+        ));
+    }
+    let worst = clients
+        .values()
+        .map(|(c, _)| c.privacy_spent())
+        .fold(0.0f64, f64::max);
+    out.push_str(&format!(
+        "privacy: worst user spent {:.3} of the {:.1} cap across {} user(s)\n",
+        worst,
+        params.budget_cap(),
+        clients.len()
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::argv;
+    use std::io::Cursor;
+
+    fn input(s: &str) -> Cursor<Vec<u8>> {
+        Cursor::new(s.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn parses_csv_with_header_comments_and_blanks() {
+        let mut src = input("round,user,value\n# comment\n\n0,1,5\n0,2,6\n1,1,5\n");
+        let records = parse_records(&mut src).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0], Record { round: 0, user: 1, value: 5 });
+    }
+
+    #[test]
+    fn malformed_lines_name_their_line_number() {
+        let err = parse_records(&mut input("0,1\n")).unwrap_err();
+        assert!(err.message.contains("line 1"), "{err}");
+        let err = parse_records(&mut input("0,1,2,3\n")).unwrap_err();
+        assert!(err.message.contains("3 fields"), "{err}");
+        let err = parse_records(&mut input("a,1,2\n")).unwrap_err();
+        assert!(err.message.contains("not an integer"), "{err}");
+    }
+
+    #[test]
+    fn end_to_end_collect_finds_the_heavy_value() {
+        // 400 users, value 3 dominant, two rounds.
+        let mut csv = String::from("round,user,value\n");
+        for u in 0..400u64 {
+            let v = if u % 4 == 0 { 7 } else { 3 };
+            csv.push_str(&format!("0,{u},{v}\n1,{u},{v}\n"));
+        }
+        let out = run(
+            &argv("--k 10 --eps-inf 5.0 --alpha 0.5 --top 2"),
+            &mut input(&csv),
+        )
+        .unwrap();
+        // Value 3 (75% of users) must lead both rounds' top lists.
+        for line in out.lines().filter(|l| l.starts_with("round")) {
+            assert!(line.contains("top-2 = [3:"), "{line}");
+        }
+        assert!(out.contains("worst user spent"), "{out}");
+    }
+
+    #[test]
+    fn out_of_domain_value_is_an_error() {
+        let err = run(&argv("--k 4 --eps-inf 1.0"), &mut input("0,1,9\n")).unwrap_err();
+        assert!(err.message.contains("outside domain"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_user_round_is_an_error() {
+        let err =
+            run(&argv("--k 4 --eps-inf 1.0"), &mut input("0,1,2\n0,1,3\n")).unwrap_err();
+        assert!(err.message.contains("twice"), "{err}");
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        let err = run(&argv("--k 4 --eps-inf 1.0"), &mut input("")).unwrap_err();
+        assert!(err.message.contains("no input records"), "{err}");
+    }
+}

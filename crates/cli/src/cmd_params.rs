@@ -1,0 +1,103 @@
+//! `loloha-cli params` — resolve and explain a LOLOHA parameterization.
+
+use crate::args::Flags;
+use crate::CliError;
+use loloha::{optimal_g, LolohaParams};
+
+/// Runs the subcommand; returns the report text.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(argv, &["optimal"])?;
+    flags.ensure_known(&["eps-inf", "alpha", "g", "n", "optimal"])?;
+    let eps_inf = flags.required_f64("eps-inf")?;
+    let alpha = flags.f64_or("alpha", 0.5)?;
+    let n = flags.f64_or("n", 10_000.0)?;
+    let eps_first = alpha * eps_inf;
+
+    let params = if let Some(g) = flags.optional("g") {
+        let g: u32 = g
+            .parse()
+            .map_err(|_| CliError::new(format!("--g: `{g}` is not an integer")))?;
+        LolohaParams::with_g(g, eps_inf, eps_first).map_err(CliError::new)?
+    } else if flags.switch("optimal") {
+        LolohaParams::optimal(eps_inf, eps_first).map_err(CliError::new)?
+    } else {
+        LolohaParams::bi(eps_inf, eps_first).map_err(CliError::new)?
+    };
+
+    let mut out = String::new();
+    let name = if params.g() == 2 { "BiLOLOHA" } else { "LOLOHA" };
+    out.push_str(&format!(
+        "{name} parameters for eps_inf = {eps_inf}, eps_1 = {eps_first} (alpha = {alpha})\n\n"
+    ));
+    out.push_str(&format!("  g (reduced domain)     : {}\n", params.g()));
+    out.push_str(&format!(
+        "  optimal g (Eq. 6)      : {}\n",
+        optimal_g(eps_inf, eps_first)
+    ));
+    out.push_str(&format!("  eps_IRR (Alg. 1 l.3)   : {:.6}\n", params.eps_irr()));
+    out.push_str(&format!(
+        "  PRR pair (p1, q1)      : ({:.6}, {:.6})\n",
+        params.prr().p,
+        params.prr().q
+    ));
+    out.push_str(&format!(
+        "  IRR pair (p2, q2)      : ({:.6}, {:.6})\n",
+        params.irr().p,
+        params.irr().q
+    ));
+    out.push_str(&format!(
+        "  effective first-report : {:.6} (<= eps_1, tight at g = 2)\n",
+        params.effective_first_report_eps()
+    ));
+    out.push_str(&format!(
+        "  V* at n = {n:<12}: {:.6e}   (Eq. 5)\n",
+        params.variance_approx(n)
+    ));
+    out.push_str(&format!(
+        "  longitudinal cap       : {:.3} (= g * eps_inf, Thm. 3.5)\n",
+        params.budget_cap()
+    ));
+    out.push_str(&format!("  report size            : {} bit(s)\n", params.comm_bits()));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::argv;
+
+    #[test]
+    fn default_is_biloloha() {
+        let out = run(&argv("--eps-inf 2.0 --alpha 0.5")).unwrap();
+        assert!(out.contains("BiLOLOHA"), "{out}");
+        assert!(out.contains("g (reduced domain)     : 2"), "{out}");
+    }
+
+    #[test]
+    fn optimal_switch_uses_eq6() {
+        let out = run(&argv("--eps-inf 5.0 --alpha 0.6 --optimal")).unwrap();
+        let g = optimal_g(5.0, 3.0);
+        assert!(g > 2, "low privacy regime should pick g > 2");
+        assert!(out.contains(&format!("g (reduced domain)     : {g}")), "{out}");
+    }
+
+    #[test]
+    fn explicit_g_wins() {
+        let out = run(&argv("--eps-inf 2.0 --g 7")).unwrap();
+        assert!(out.contains("g (reduced domain)     : 7"), "{out}");
+        assert!(out.contains("longitudinal cap       : 14.000"), "{out}");
+    }
+
+    #[test]
+    fn invalid_budgets_surface_as_errors() {
+        assert!(run(&argv("--eps-inf 0")).is_err());
+        assert!(run(&argv("--eps-inf 2 --alpha 1.5")).is_err());
+        assert!(run(&argv("--eps-inf 2 --g 1")).is_err());
+        assert!(run(&argv("--alpha 0.5")).is_err(), "eps-inf is required");
+    }
+
+    #[test]
+    fn unknown_flags_rejected() {
+        assert!(run(&argv("--eps-inf 2 --bogus 1")).is_err());
+    }
+}

@@ -1,0 +1,138 @@
+//! `loloha-cli simulate` — run one simulator cell and print its metrics.
+
+use crate::args::Flags;
+use crate::CliError;
+use ldp_datasets::{scaled_datasets, DatasetSpec};
+use ldp_sim::{run_experiment, ExperimentConfig, Method};
+
+/// Parses a method name (case-insensitive, as listed in the usage text).
+pub fn parse_method(name: &str) -> Result<Method, CliError> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "rappor" | "l-sue" => Method::Rappor,
+        "l-osue" => Method::LOsue,
+        "l-oue" => Method::LOue,
+        "l-soue" => Method::LSoue,
+        "l-grr" => Method::LGrr,
+        "biloloha" => Method::BiLoloha,
+        "ololoha" => Method::OLoloha,
+        "1bitflip" | "1bitflippm" => Method::OneBitFlip,
+        "bbitflip" | "bbitflippm" => Method::BBitFlip,
+        other => return Err(CliError::new(format!("unknown method `{other}`"))),
+    })
+}
+
+/// Finds a dataset by its (case-insensitive) name at the given scale.
+pub fn find_dataset(
+    name: &str,
+    n_frac: f64,
+    tau_frac: f64,
+) -> Result<Box<dyn DatasetSpec>, CliError> {
+    let wanted = name.to_ascii_lowercase();
+    scaled_datasets(n_frac, tau_frac)
+        .into_iter()
+        .find(|d| d.name().to_ascii_lowercase() == wanted)
+        .ok_or_else(|| CliError::new(format!("unknown dataset `{name}` (syn|adult|db_mt|db_de)")))
+}
+
+/// Runs the subcommand; returns the report text.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(argv, &["paper"])?;
+    flags.ensure_known(&[
+        "method", "dataset", "eps-inf", "alpha", "runs", "n-frac", "tau-frac", "seed", "paper",
+    ])?;
+    let method = parse_method(flags.required("method")?)?;
+    let eps_inf = flags.required_f64("eps-inf")?;
+    let alpha = flags.f64_or("alpha", 0.5)?;
+    let runs = flags.u64_or("runs", 3)? as usize;
+    let seed = flags.u64_or("seed", 0x1010)?;
+    let (n_frac, tau_frac) = if flags.switch("paper") {
+        (1.0, 1.0)
+    } else {
+        (flags.f64_or("n-frac", 0.10)?, flags.f64_or("tau-frac", 0.25)?)
+    };
+    let ds = find_dataset(flags.required("dataset")?, n_frac, tau_frac)?;
+
+    let mut out = format!(
+        "{} on {} (k = {}, n = {}, tau = {}), eps_inf = {eps_inf}, alpha = {alpha}, {runs} run(s)\n\n",
+        method.name(),
+        ds.name(),
+        ds.k(),
+        ds.n(),
+        ds.tau()
+    );
+    let mut mse = Vec::new();
+    let mut eps = Vec::new();
+    let mut eps_max = 0.0f64;
+    let mut detection = None;
+    for run in 0..runs {
+        let cfg = ExperimentConfig::new(method, eps_inf, alpha, seed + run as u64)
+            .map_err(CliError::new)?;
+        let m = run_experiment(ds.as_ref(), &cfg).map_err(CliError::new)?;
+        mse.push(m.mse_avg);
+        eps.push(m.eps_avg);
+        eps_max = eps_max.max(m.eps_max);
+        if let Some(d) = m.detection {
+            detection = Some(d.rate());
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    if mse.iter().all(|m| m.is_finite()) {
+        out.push_str(&format!("  MSE_avg (Eq. 7)        : {:.6e}\n", mean(&mse)));
+    } else {
+        out.push_str("  MSE_avg (Eq. 7)        : n/a (b < k histogram, cf. Fig. 3c/3d)\n");
+    }
+    out.push_str(&format!("  eps_avg (Eq. 8)        : {:.4}\n", mean(&eps)));
+    out.push_str(&format!("  eps_max (worst user)   : {eps_max:.4}\n"));
+    if let Some(rate) = detection {
+        out.push_str(&format!("  full-detection rate    : {:.4}% (Table 2 metric)\n", rate * 100.0));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::argv;
+
+    #[test]
+    fn method_names_parse() {
+        assert_eq!(parse_method("BiLOLOHA").unwrap(), Method::BiLoloha);
+        assert_eq!(parse_method("rappor").unwrap(), Method::Rappor);
+        assert_eq!(parse_method("bBitFlipPM").unwrap(), Method::BBitFlip);
+        assert!(parse_method("nope").is_err());
+    }
+
+    #[test]
+    fn datasets_resolve_by_name() {
+        for name in ["syn", "Adult", "DB_MT", "db_de"] {
+            assert!(find_dataset(name, 0.01, 0.05).is_ok(), "{name}");
+        }
+        assert!(find_dataset("uci", 0.01, 0.05).is_err());
+    }
+
+    #[test]
+    fn small_simulation_produces_metrics() {
+        let out = run(&argv(
+            "--method biloloha --dataset syn --eps-inf 1.0 --alpha 0.5 \
+             --runs 1 --n-frac 0.02 --tau-frac 0.05",
+        ))
+        .unwrap();
+        assert!(out.contains("MSE_avg"), "{out}");
+        assert!(out.contains("eps_avg"), "{out}");
+    }
+
+    #[test]
+    fn detection_metric_appears_for_dbitflip() {
+        let out = run(&argv(
+            "--method 1bitflip --dataset syn --eps-inf 1.0 --runs 1 \
+             --n-frac 0.02 --tau-frac 0.05",
+        ))
+        .unwrap();
+        assert!(out.contains("full-detection rate"), "{out}");
+    }
+
+    #[test]
+    fn missing_method_is_an_error() {
+        assert!(run(&argv("--dataset syn --eps-inf 1.0")).is_err());
+    }
+}

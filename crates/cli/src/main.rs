@@ -1,0 +1,12 @@
+//! Binary shim for `loloha-cli`; all logic lives in the `ldp_cli` library.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match ldp_cli::run(&argv) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Client-side of LOLOHA (Algorithm 1).
+//!
+//! ```text
+//! 1: H ←R  𝓗                      (once, sent to the server)
+//! 3: ε_IRR ← ln((e^{ε∞+ε1}−1)/(e^{ε∞}−e^{ε1}))
+//! 5: x ← H(v_t)                    (hash step)
+//! 6-11: x' ← memoized M_GRR(x; ε∞) (PRR step, once per distinct cell)
+//! 12: x''_t ← M_GRR(x'; ε_IRR)     (IRR step, fresh per report)
+//! ```
+
+use crate::params::LolohaParams;
+use ldp_hash::{SeededHash, UniversalFamily};
+use ldp_longitudinal::accountant::BudgetAccountant;
+use ldp_longitudinal::memo::SymbolMemo;
+use ldp_primitives::error::ParamError;
+use ldp_primitives::Grr;
+use rand::RngCore;
+
+/// One user's LOLOHA state: the fixed hash function, the PRR memo table,
+/// and the longitudinal budget accountant.
+#[derive(Debug, Clone)]
+pub struct LolohaClient<H: SeededHash> {
+    params: LolohaParams,
+    k: u64,
+    hash: H,
+    prr: Grr,
+    irr: Grr,
+    memo: SymbolMemo,
+    accountant: BudgetAccountant,
+}
+
+impl<H: SeededHash + Clone> LolohaClient<H> {
+    /// Creates a client over domain `[0, k)`, sampling the user's hash
+    /// function from `family` (Algorithm 1, lines 1–2).
+    pub fn new<F, R>(
+        family: &F,
+        k: u64,
+        params: LolohaParams,
+        rng: &mut R,
+    ) -> Result<Self, ParamError>
+    where
+        F: UniversalFamily<Hash = H>,
+        R: RngCore + ?Sized,
+    {
+        if family.g() != params.g() {
+            return Err(ParamError::InvalidG { g: family.g() });
+        }
+        Self::with_hash(family.sample(rng), k, params)
+    }
+
+    /// Creates a client with an explicitly chosen hash function (e.g. when
+    /// restoring state).
+    pub fn with_hash(hash: H, k: u64, params: LolohaParams) -> Result<Self, ParamError> {
+        if k < 2 {
+            return Err(ParamError::DomainTooSmall { k, min: 2 });
+        }
+        if hash.g() != params.g() {
+            return Err(ParamError::InvalidG { g: hash.g() });
+        }
+        let g = params.g();
+        let prr = Grr::new(g as u64, params.eps_inf())?;
+        let irr = Grr::new(g as u64, params.eps_irr())?;
+        Ok(Self {
+            params,
+            k,
+            hash,
+            prr,
+            irr,
+            memo: SymbolMemo::new(g),
+            accountant: BudgetAccountant::new(params.eps_inf(), g),
+        })
+    }
+
+    /// The user's hash function — registered with the server once
+    /// (Algorithm 1, line 2: "Send H").
+    pub fn hash_fn(&self) -> &H {
+        &self.hash
+    }
+
+    /// The parameterization in use.
+    pub fn params(&self) -> LolohaParams {
+        self.params
+    }
+
+    /// Domain size `k`.
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+
+    /// Produces the sanitized report `x''_t ∈ [0, g)` for this step's value
+    /// (Algorithm 1, lines 5–13).
+    ///
+    /// # Panics
+    /// Panics if `value >= k`.
+    pub fn report<R: RngCore + ?Sized>(&mut self, value: u64, rng: &mut R) -> u32 {
+        assert!(value < self.k, "value {value} outside domain of size {}", self.k);
+        let x = self.hash.hash(value);
+        self.accountant.observe(x);
+        let memoized = match self.memo.get(x) {
+            Some(s) => s as u64,
+            None => {
+                let s = self.prr.perturb(x as u64, rng);
+                self.memo.insert(x, s as u16);
+                s
+            }
+        };
+        self.irr.perturb(memoized, rng) as u32
+    }
+
+    /// The memoized PRR symbol for hash cell `cell`, if any (used by the
+    /// persistence layer).
+    pub fn memoized_symbol(&self, cell: u32) -> Option<u16> {
+        self.memo.get(cell)
+    }
+
+    /// Restores a memoized PRR symbol when rebuilding a client from a
+    /// snapshot, charging the accountant for the cell as the original
+    /// memoization did.
+    ///
+    /// # Panics
+    /// Panics if the cell already holds a different symbol (memoization is
+    /// write-once) or `symbol >= g`.
+    pub fn restore_memo(&mut self, cell: u32, symbol: u16) {
+        assert!((symbol as u32) < self.params.g(), "symbol outside [0, g)");
+        self.memo.insert(cell, symbol);
+        self.accountant.observe(cell);
+    }
+
+    /// The accumulated longitudinal privacy loss ε̌ (Eq. (8)): ε∞ per
+    /// distinct *hash cell* used, never exceeding `g·ε∞` (Theorem 3.5).
+    pub fn privacy_spent(&self) -> f64 {
+        self.accountant.spent()
+    }
+
+    /// Number of distinct hash cells memoized so far (≤ g).
+    pub fn distinct_cells(&self) -> u32 {
+        self.accountant.classes_seen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_hash::{CarterWegman, MixFamily};
+    use ldp_rand::derive_rng;
+
+    fn params() -> LolohaParams {
+        LolohaParams::bi(2.0, 1.0).unwrap()
+    }
+
+    #[test]
+    fn rejects_mismatched_family_g() {
+        let mut rng = derive_rng(600, 0);
+        let family = CarterWegman::new(4).unwrap(); // params say g = 2
+        assert!(LolohaClient::new(&family, 10, params(), &mut rng).is_err());
+    }
+
+    #[test]
+    fn rejects_tiny_domain() {
+        let mut rng = derive_rng(601, 0);
+        let family = CarterWegman::new(2).unwrap();
+        assert!(LolohaClient::new(&family, 1, params(), &mut rng).is_err());
+    }
+
+    #[test]
+    fn reports_stay_in_reduced_domain() {
+        let mut rng = derive_rng(602, 0);
+        let family = MixFamily::new(2).unwrap();
+        let mut c = LolohaClient::new(&family, 100, params(), &mut rng).unwrap();
+        for v in 0..100u64 {
+            assert!(c.report(v, &mut rng) < 2);
+        }
+    }
+
+    #[test]
+    fn budget_capped_at_g_eps_inf_despite_churn() {
+        // The defining property: a user can change value arbitrarily often,
+        // yet the accountant never exceeds g·ε∞ (Theorem 3.5).
+        let mut rng = derive_rng(603, 0);
+        let family = CarterWegman::new(2).unwrap();
+        let mut c = LolohaClient::new(&family, 360, params(), &mut rng).unwrap();
+        for t in 0..1000u64 {
+            let _ = c.report(t % 360, &mut rng);
+        }
+        assert!(c.distinct_cells() <= 2);
+        assert!(c.privacy_spent() <= c.params().budget_cap() + 1e-12);
+    }
+
+    #[test]
+    fn colliding_values_share_memoized_state() {
+        // Two values with the same hash must never spend extra budget.
+        let mut rng = derive_rng(604, 0);
+        let family = CarterWegman::new(2).unwrap();
+        let mut c = LolohaClient::new(&family, 1000, params(), &mut rng).unwrap();
+        let h = *c.hash_fn();
+        let v0 = 0u64;
+        let collider = (1..1000).find(|&v| h.hash(v) == h.hash(v0)).unwrap();
+        let _ = c.report(v0, &mut rng);
+        let spent = c.privacy_spent();
+        let _ = c.report(collider, &mut rng);
+        assert_eq!(c.privacy_spent(), spent, "collision must be free");
+    }
+
+    #[test]
+    fn memoized_cell_is_stable_but_reports_vary() {
+        let mut rng = derive_rng(605, 0);
+        let p = LolohaParams::with_g(8, 3.0, 0.5).unwrap();
+        let family = CarterWegman::new(8).unwrap();
+        let mut c = LolohaClient::new(&family, 50, p, &mut rng).unwrap();
+        let reports: Vec<u32> = (0..50).map(|_| c.report(7, &mut rng)).collect();
+        assert_eq!(c.distinct_cells(), 1);
+        // With ε_IRR finite the reports cannot all be identical (prob ≈ 0).
+        assert!(reports.iter().any(|&r| r != reports[0]));
+    }
+
+    #[test]
+    fn with_hash_restores_deterministic_function() {
+        let mut rng = derive_rng(606, 0);
+        let family = CarterWegman::new(2).unwrap();
+        let c = LolohaClient::new(&family, 10, params(), &mut rng).unwrap();
+        let h = *c.hash_fn();
+        let c2 = LolohaClient::with_hash(h, 10, params()).unwrap();
+        for v in 0..10 {
+            assert_eq!(
+                ldp_hash::SeededHash::hash(c.hash_fn(), v),
+                ldp_hash::SeededHash::hash(c2.hash_fn(), v)
+            );
+        }
+    }
+}

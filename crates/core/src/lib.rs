@@ -1,0 +1,72 @@
+//! # LOLOHA — LOngitudinal LOcal HAshing
+//!
+//! A from-scratch Rust implementation of the LOLOHA protocol family for
+//! frequency estimation of evolving data under local differential privacy
+//! (Arcolezi, Pinzón, Palamidessi & Gambs, EDBT 2023).
+//!
+//! LOLOHA composes two ideas:
+//!
+//! 1. **Domain reduction by local hashing** — each user samples one hash
+//!    function `H : [k] → [g]` from a universal family and keeps it forever.
+//!    Because ~`k/g` values collide onto each hash cell, a memoized response
+//!    supports *many* plausible inputs, and the worst-case longitudinal
+//!    budget drops from `k·ε∞` (RAPPOR) to `g·ε∞` (Theorem 3.5).
+//! 2. **Double randomization** — the hashed cell is permanently randomized
+//!    once per distinct cell (PRR, GRR over `[g]` at ε∞) and the memoized
+//!    cell is freshly re-randomized on every report (IRR, GRR over `[g]` at
+//!    ε_IRR), making the first report ε1-LDP (Theorem 3.4) and hiding when
+//!    the underlying value changes.
+//!
+//! Two named configurations from the paper:
+//!
+//! * [`LolohaParams::bi`] — **BiLOLOHA**, `g = 2`, strongest longitudinal
+//!   protection (`2·ε∞` worst case).
+//! * [`LolohaParams::optimal`] — **OLOLOHA**, `g` from the closed form of
+//!   Eq. (6), minimizing the approximate variance `V*`.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ldp_hash::CarterWegman;
+//! use loloha::{LolohaClient, LolohaParams, LolohaServer};
+//!
+//! let k = 100; // domain size
+//! let params = LolohaParams::bi(1.0, 0.5).unwrap(); // ε∞ = 1, ε1 = 0.5
+//! let family = CarterWegman::new(params.g()).unwrap();
+//! let mut server = LolohaServer::new(k, params).unwrap();
+//!
+//! let mut rng = ldp_rand::derive_rng(42, 0);
+//! // One client per user; the hash function is registered once.
+//! let mut clients: Vec<_> = (0..1000)
+//!     .map(|_| LolohaClient::new(&family, k, params, &mut rng).unwrap())
+//!     .collect();
+//! let ids: Vec<_> = clients.iter().map(|c| server.register_user(c.hash_fn())).collect();
+//!
+//! // One collection round: everyone holds value 7.
+//! for (client, &id) in clients.iter_mut().zip(&ids) {
+//!     let cell = client.report(7, &mut rng);
+//!     server.ingest(id, cell);
+//! }
+//! let estimate = server.estimate_and_reset();
+//! assert!(estimate[7] > 0.5); // value 7 dominates the estimated histogram
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod monitor;
+pub mod optimal_g;
+pub mod params;
+pub mod persist;
+pub mod prr_only;
+pub mod server;
+pub mod theory;
+
+pub use client::LolohaClient;
+pub use monitor::{FrequencyMonitor, RoundEstimate};
+pub use optimal_g::{optimal_g, optimal_g_bruteforce};
+pub use params::LolohaParams;
+pub use persist::{load_client, save_client, PersistError};
+pub use prr_only::{PrrOnlyClient, PrrOnlyServer};
+pub use server::{LolohaServer, UserId};

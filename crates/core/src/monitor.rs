@@ -1,0 +1,240 @@
+//! High-level monitoring API: what a deployment actually runs on top of
+//! Algorithm 2.
+//!
+//! [`FrequencyMonitor`] wraps the LOLOHA server with the operations the
+//! paper's motivating applications need round after round: closing a
+//! collection round into a [`RoundEstimate`], ranking heavy hitters,
+//! attaching the Proposition 3.6 confidence radius, estimating means of
+//! counter-valued domains (the dBitFlipPM telemetry use-case), and tracking
+//! drift between rounds.
+
+use crate::params::LolohaParams;
+use crate::server::{LolohaServer, UserId};
+use crate::theory::utility_bound;
+use ldp_hash::SeededHash;
+use ldp_primitives::error::ParamError;
+
+/// A LOLOHA server plus round bookkeeping.
+#[derive(Debug, Clone)]
+pub struct FrequencyMonitor {
+    server: LolohaServer,
+    params: LolohaParams,
+    k: u64,
+    rounds_closed: u64,
+    previous: Option<Vec<f64>>,
+}
+
+impl FrequencyMonitor {
+    /// Creates a monitor for domain `[0, k)`.
+    pub fn new(k: u64, params: LolohaParams) -> Result<Self, ParamError> {
+        Ok(Self {
+            server: LolohaServer::new(k, params)?,
+            params,
+            k,
+            rounds_closed: 0,
+            previous: None,
+        })
+    }
+
+    /// Registers a user's hash function (once per user).
+    pub fn register<H: SeededHash>(&mut self, hash: &H) -> UserId {
+        self.server.register_user(hash)
+    }
+
+    /// Ingests one sanitized report for the current round.
+    pub fn submit(&mut self, user: UserId, cell: u32) {
+        self.server.ingest(user, cell);
+    }
+
+    /// Number of reports collected in the current (open) round.
+    pub fn pending_reports(&self) -> u64 {
+        self.server.n_step()
+    }
+
+    /// Number of rounds closed so far.
+    pub fn rounds_closed(&self) -> u64 {
+        self.rounds_closed
+    }
+
+    /// Closes the current round: estimates the histogram, resets the
+    /// counters, and remembers the estimate for drift tracking.
+    pub fn close_round(&mut self) -> RoundEstimate {
+        let n = self.server.n_step();
+        let histogram = self.server.estimate_and_reset();
+        self.rounds_closed += 1;
+        let drift = self.previous.as_ref().map(|prev| {
+            histogram
+                .iter()
+                .zip(prev)
+                .map(|(&a, &b)| (a - b).abs())
+                .sum::<f64>()
+                / 2.0
+        });
+        self.previous = Some(histogram.clone());
+        RoundEstimate { histogram, n, params: self.params, k: self.k, drift }
+    }
+}
+
+/// One closed collection round.
+#[derive(Debug, Clone)]
+pub struct RoundEstimate {
+    /// The estimated k-bin histogram (unbiased; entries may dip below 0 or
+    /// exceed 1 by noise).
+    pub histogram: Vec<f64>,
+    /// Number of reports aggregated.
+    pub n: u64,
+    /// The protocol parameterization that produced it.
+    pub params: LolohaParams,
+    k: u64,
+    /// Total-variation distance to the previous round's estimate, if any —
+    /// a plug-in drift signal.
+    pub drift: Option<f64>,
+}
+
+impl RoundEstimate {
+    /// The `top` values by estimated frequency, descending (heavy hitters).
+    pub fn top_k(&self, top: usize) -> Vec<(u64, f64)> {
+        let mut ranked: Vec<(u64, f64)> =
+            self.histogram.iter().enumerate().map(|(v, &f)| (v as u64, f)).collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite estimates"));
+        ranked.truncate(top);
+        ranked
+    }
+
+    /// Proposition 3.6: the radius `r` such that every bin of this estimate
+    /// is within `r` of the truth with probability ≥ `1 − beta`.
+    pub fn confidence_radius(&self, beta: f64) -> f64 {
+        utility_bound(&self.params, self.n.max(1), self.k, beta)
+    }
+
+    /// The histogram clamped to `[0, 1]` and renormalized — a proper
+    /// probability distribution for consumers that need one (post-processing
+    /// keeps the LDP guarantee intact).
+    pub fn normalized(&self) -> Vec<f64> {
+        let clipped: Vec<f64> = self.histogram.iter().map(|&f| f.max(0.0)).collect();
+        let total: f64 = clipped.iter().sum();
+        if total <= 0.0 {
+            vec![1.0 / self.k as f64; self.k as usize]
+        } else {
+            clipped.into_iter().map(|f| f / total).collect()
+        }
+    }
+
+    /// Plug-in mean of a counter-valued domain: `Σ_v value(v)·f̂(v)` —
+    /// the paper's telemetry motivation ("number of seconds an application
+    /// is used") reads the mean straight off the histogram.
+    pub fn mean_of(&self, value: impl Fn(u64) -> f64) -> f64 {
+        self.histogram.iter().enumerate().map(|(v, &f)| value(v as u64) * f).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::LolohaClient;
+    use ldp_hash::CarterWegman;
+    use ldp_rand::{derive_rng, uniform_u64};
+
+    fn collect_round(
+        monitor: &mut FrequencyMonitor,
+        values: &[u64],
+        seed: u64,
+        k: u64,
+        params: LolohaParams,
+    ) -> RoundEstimate {
+        let family = CarterWegman::new(params.g()).unwrap();
+        let mut rng = derive_rng(seed, 0);
+        for &v in values {
+            let mut c = LolohaClient::new(&family, k, params, &mut rng).unwrap();
+            let id = monitor.register(c.hash_fn());
+            monitor.submit(id, c.report(v, &mut rng));
+        }
+        monitor.close_round()
+    }
+
+    #[test]
+    fn top_k_finds_the_heavy_hitter() {
+        let k = 20u64;
+        let params = LolohaParams::bi(3.0, 1.5).unwrap();
+        let mut monitor = FrequencyMonitor::new(k, params).unwrap();
+        // 70% of users hold value 4, the rest uniform.
+        let mut rng = derive_rng(800, 0);
+        let values: Vec<u64> = (0..8000)
+            .map(|i| if i % 10 < 7 { 4 } else { uniform_u64(&mut rng, k) })
+            .collect();
+        let est = collect_round(&mut monitor, &values, 801, k, params);
+        let top = est.top_k(3);
+        assert_eq!(top[0].0, 4, "top: {top:?}");
+        assert!(top[0].1 > 0.5);
+        assert_eq!(top.len(), 3);
+    }
+
+    #[test]
+    fn confidence_radius_shrinks_with_n() {
+        let params = LolohaParams::bi(2.0, 1.0).unwrap();
+        let small = RoundEstimate {
+            histogram: vec![0.0; 10],
+            n: 100,
+            params,
+            k: 10,
+            drift: None,
+        };
+        let large = RoundEstimate { n: 100_000, ..small.clone() };
+        assert!(large.confidence_radius(0.05) < small.confidence_radius(0.05));
+    }
+
+    #[test]
+    fn normalized_is_a_distribution() {
+        let params = LolohaParams::bi(2.0, 1.0).unwrap();
+        let est = RoundEstimate {
+            histogram: vec![-0.05, 0.3, 0.8, -0.1],
+            n: 1000,
+            params,
+            k: 4,
+            drift: None,
+        };
+        let norm = est.normalized();
+        assert!((norm.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(norm.iter().all(|&f| (0.0..=1.0).contains(&f)));
+        assert_eq!(norm[0], 0.0, "negative estimates clip to zero");
+    }
+
+    #[test]
+    fn normalized_degenerate_all_negative_falls_back_to_uniform() {
+        let params = LolohaParams::bi(2.0, 1.0).unwrap();
+        let est = RoundEstimate {
+            histogram: vec![-0.2, -0.1],
+            n: 10,
+            params,
+            k: 2,
+            drift: None,
+        };
+        assert_eq!(est.normalized(), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn mean_of_recovers_a_known_mean() {
+        let k = 10u64;
+        let params = LolohaParams::bi(4.0, 2.0).unwrap();
+        let mut monitor = FrequencyMonitor::new(k, params).unwrap();
+        // Everyone holds value 6 → mean of identity must be ≈ 6.
+        let values = vec![6u64; 20_000];
+        let est = collect_round(&mut monitor, &values, 802, k, params);
+        let mean = est.mean_of(|v| v as f64);
+        assert!((mean - 6.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn drift_is_none_then_small_for_static_data() {
+        let k = 12u64;
+        let params = LolohaParams::bi(3.0, 1.5).unwrap();
+        let mut monitor = FrequencyMonitor::new(k, params).unwrap();
+        let values: Vec<u64> = (0..6000).map(|i| (i % 12) as u64).collect();
+        let first = collect_round(&mut monitor, &values, 803, k, params);
+        assert!(first.drift.is_none());
+        let second = collect_round(&mut monitor, &values, 804, k, params);
+        let drift = second.drift.unwrap();
+        assert!(drift < 0.2, "static data drift {drift}");
+        assert_eq!(monitor.rounds_closed(), 2);
+    }
+}

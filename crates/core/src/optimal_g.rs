@@ -1,0 +1,114 @@
+//! The optimal reduced domain size `g` (Eq. (6) and Fig. 1).
+//!
+//! OLOLOHA picks the `g` minimizing the approximate variance `V*` of the
+//! server-side estimator (Eq. (5) with `q'1 = 1/g`). The paper derives the
+//! closed form (with `a = e^{ε∞}`, `b = e^{ε1}`):
+//!
+//! ```text
+//! g = 1 + max(1, ⌊(1 − a² + √(a⁴ − 14a² + 12ab(1 − ab) + 12a³b + 1)) / (6(a − b))⌉)
+//! ```
+//!
+//! [`optimal_g_bruteforce`] minimizes Eq. (5) directly; a test pins the two
+//! to agree within the ±1 slack inherent in the closed form's rounding.
+
+use ldp_primitives::estimator::chained_variance_approx;
+
+/// Eq. (6): the closed-form optimal `g` for budgets `(ε∞, ε1)`.
+///
+/// Returns at least 2. For high-privacy regimes (small ε) this *is* 2,
+/// i.e. OLOLOHA degenerates to BiLOLOHA — the paper's Fig. 1.
+pub fn optimal_g(eps_inf: f64, eps_first: f64) -> u32 {
+    let a = eps_inf.exp();
+    let b = eps_first.exp();
+    let disc = a.powi(4) - 14.0 * a * a + 12.0 * a * b * (1.0 - a * b)
+        + 12.0 * a.powi(3) * b
+        + 1.0;
+    // The discriminant is positive for all 0 < ε1 < ε∞ of practical
+    // interest; clamp defensively so NaN can never escape.
+    let root = disc.max(0.0).sqrt();
+    let inner = (1.0 - a * a + root) / (6.0 * (a - b));
+    let rounded = inner.round().max(1.0);
+    1 + rounded as u32
+}
+
+/// Brute-force minimizer of the LOLOHA approximate variance over
+/// `g ∈ [2, g_max]` (ties break toward smaller `g`).
+pub fn optimal_g_bruteforce(eps_inf: f64, eps_first: f64, g_max: u32) -> u32 {
+    let a = eps_inf.exp();
+    let b = eps_first.exp();
+    let eps_irr = ((a * b - 1.0) / (a - b)).ln();
+    let c = eps_irr.exp();
+    let mut best = (2u32, f64::INFINITY);
+    for g in 2..=g_max.max(2) {
+        let gf = g as f64;
+        let p1 = a / (a + gf - 1.0);
+        let q1s = 1.0 / gf;
+        let p2 = c / (c + gf - 1.0);
+        let q2 = 1.0 / (c + gf - 1.0);
+        let v = chained_variance_approx(1.0, p1, q1s, p2, q2);
+        if v < best.1 {
+            best = (g, v);
+        }
+    }
+    best.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_privacy_regime_is_binary() {
+        // Fig. 1: for small ε∞ the optimal g is 2 at every α.
+        for &alpha in &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6] {
+            let g = optimal_g(0.5, alpha * 0.5);
+            assert_eq!(g, 2, "α={alpha}");
+        }
+    }
+
+    #[test]
+    fn low_privacy_regime_grows() {
+        // Fig. 1: at ε∞ = 5, α = 0.6 the optimal g is well above 2.
+        let g = optimal_g(5.0, 3.0);
+        assert!(g >= 10, "g = {g}");
+        // And it grows monotonically with α at fixed ε∞.
+        let g_small = optimal_g(5.0, 0.5);
+        assert!(g_small <= g);
+    }
+
+    #[test]
+    fn closed_form_matches_bruteforce_within_rounding() {
+        for &ei in &[0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0] {
+            for &alpha in &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6] {
+                let e1 = alpha * ei;
+                let closed = optimal_g(ei, e1);
+                let brute = optimal_g_bruteforce(ei, e1, 64);
+                assert!(
+                    closed.abs_diff(brute) <= 1,
+                    "ε∞={ei} α={alpha}: closed {closed} vs brute {brute}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn never_below_two() {
+        for &ei in &[0.1, 0.5, 1.0] {
+            assert!(optimal_g(ei, 0.05 * ei) >= 2);
+        }
+    }
+
+    #[test]
+    fn monotone_in_eps_inf_at_fixed_alpha() {
+        // Fig. 1 shows each α-curve non-decreasing in ε∞.
+        for &alpha in &[0.3, 0.5, 0.6] {
+            let mut prev = 0;
+            for i in 1..=10 {
+                let ei = 0.5 * i as f64;
+                let g = optimal_g(ei, alpha * ei);
+                assert!(g >= prev, "α={alpha} ε∞={ei}: {g} < {prev}");
+                prev = g;
+            }
+        }
+    }
+}

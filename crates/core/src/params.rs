@@ -1,0 +1,211 @@
+//! LOLOHA parameterization: the (g, ε∞, ε1) triple and everything derived
+//! from it.
+//!
+//! * PRR (memoized) GRR over `[g]` at ε∞:
+//!   `p1 = e^{ε∞}/(e^{ε∞}+g−1)`, `q1 = 1/(e^{ε∞}+g−1)`.
+//! * IRR (fresh) GRR over `[g]` at
+//!   `ε_IRR = ln((e^{ε∞+ε1} − 1)/(e^{ε∞} − e^{ε1}))` (Algorithm 1, line 3).
+//! * The server estimates with `q'1 = 1/g` (Algorithm 2): support counting
+//!   over hash preimages replaces the PRR's `q1`, exactly as in one-shot LH.
+
+use crate::optimal_g::optimal_g;
+use ldp_primitives::error::{check_epsilon_order, ParamError};
+use ldp_primitives::estimator::chained_variance_approx;
+use ldp_primitives::params::PerturbParams;
+
+/// A fully resolved LOLOHA parameterization (copyable; clients and servers
+/// each keep their own).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LolohaParams {
+    g: u32,
+    eps_inf: f64,
+    eps_first: f64,
+    eps_irr: f64,
+    prr: PerturbParams,
+    irr: PerturbParams,
+}
+
+impl LolohaParams {
+    /// **BiLOLOHA**: `g = 2`, the strongest longitudinal protection.
+    pub fn bi(eps_inf: f64, eps_first: f64) -> Result<Self, ParamError> {
+        Self::with_g(2, eps_inf, eps_first)
+    }
+
+    /// **OLOLOHA**: `g` chosen by the closed form of Eq. (6) to minimize the
+    /// approximate variance.
+    pub fn optimal(eps_inf: f64, eps_first: f64) -> Result<Self, ParamError> {
+        check_epsilon_order(eps_first, eps_inf)?;
+        Self::with_g(optimal_g(eps_inf, eps_first), eps_inf, eps_first)
+    }
+
+    /// LOLOHA with an explicit reduced domain size `g ≥ 2`.
+    pub fn with_g(g: u32, eps_inf: f64, eps_first: f64) -> Result<Self, ParamError> {
+        check_epsilon_order(eps_first, eps_inf)?;
+        if g < 2 {
+            return Err(ParamError::InvalidG { g });
+        }
+        let a = eps_inf.exp();
+        let b = eps_first.exp();
+        let eps_irr = ((a * b - 1.0) / (a - b)).ln();
+        let c = eps_irr.exp();
+        let gf = g as f64;
+        let prr = PerturbParams::new(a / (a + gf - 1.0), 1.0 / (a + gf - 1.0))?;
+        let irr = PerturbParams::new(c / (c + gf - 1.0), 1.0 / (c + gf - 1.0))?;
+        Ok(Self { g, eps_inf, eps_first, eps_irr, prr, irr })
+    }
+
+    /// The reduced domain size `g`.
+    pub fn g(&self) -> u32 {
+        self.g
+    }
+
+    /// The longitudinal (PRR) budget ε∞.
+    pub fn eps_inf(&self) -> f64 {
+        self.eps_inf
+    }
+
+    /// The first-report budget ε1.
+    pub fn eps_first(&self) -> f64 {
+        self.eps_first
+    }
+
+    /// The IRR budget ε_IRR (Algorithm 1, line 3).
+    pub fn eps_irr(&self) -> f64 {
+        self.eps_irr
+    }
+
+    /// PRR pair `(p1, q1)` over `[g]`.
+    pub fn prr(&self) -> PerturbParams {
+        self.prr
+    }
+
+    /// IRR pair `(p2, q2)` over `[g]`.
+    pub fn irr(&self) -> PerturbParams {
+        self.irr
+    }
+
+    /// The server-side PRR noise term `q'1 = 1/g` used by Algorithm 2's
+    /// support-count estimator.
+    pub fn q1_server(&self) -> f64 {
+        1.0 / self.g as f64
+    }
+
+    /// Eq. (5) with the server parameters `(p1, q'1, p2, q2)`: the
+    /// approximate variance `V*` for `n` users — the quantity of Fig. 2.
+    pub fn variance_approx(&self, n: f64) -> f64 {
+        chained_variance_approx(n, self.prr.p, self.q1_server(), self.irr.p, self.irr.q)
+    }
+
+    /// Theorem 3.5: the worst-case longitudinal budget `g·ε∞` on the user's
+    /// values.
+    pub fn budget_cap(&self) -> f64 {
+        self.g as f64 * self.eps_inf
+    }
+
+    /// The *exact* single-report leakage of the hash+PRR+IRR composition
+    /// over `[g]`: `ln((e^{ε∞}·e^{ε_IRR} + g − 1)/(e^{ε∞} + e^{ε_IRR} + g − 2))`.
+    ///
+    /// Theorem 3.4 proves this is at most ε1; equality holds at `g = 2`,
+    /// and for `g > 2` the paper's ε_IRR is slightly conservative (the
+    /// realized leakage is below ε1). Pinned by tests.
+    pub fn effective_first_report_eps(&self) -> f64 {
+        let a = self.eps_inf.exp();
+        let c = self.eps_irr.exp();
+        let gf = self.g as f64;
+        ((a * c + gf - 1.0) / (a + c + gf - 2.0)).ln()
+    }
+
+    /// Communication cost per report in bits: `⌈log2 g⌉` (Table 1).
+    pub fn comm_bits(&self) -> u32 {
+        32 - (self.g - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_invalid_configurations() {
+        assert!(LolohaParams::with_g(1, 1.0, 0.5).is_err());
+        assert!(LolohaParams::with_g(4, 1.0, 1.0).is_err());
+        assert!(LolohaParams::with_g(4, 1.0, 1.5).is_err());
+        assert!(LolohaParams::with_g(4, 0.0, 0.0).is_err());
+        assert!(LolohaParams::bi(f64::NAN, 0.1).is_err());
+    }
+
+    #[test]
+    fn prr_encodes_eps_inf() {
+        for &g in &[2u32, 4, 16] {
+            let p = LolohaParams::with_g(g, 2.0, 1.0).unwrap();
+            let ratio = p.prr().p / p.prr().q;
+            assert!((ratio.ln() - 2.0).abs() < 1e-9, "g={g}");
+        }
+    }
+
+    #[test]
+    fn irr_encodes_eps_irr() {
+        let p = LolohaParams::bi(2.0, 1.0).unwrap();
+        let ratio = p.irr().p / p.irr().q;
+        assert!((ratio.ln() - p.eps_irr()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn first_report_eps_exact_at_g2() {
+        for &(ei, e1) in &[(1.0, 0.4), (2.0, 1.0), (5.0, 3.0)] {
+            let p = LolohaParams::bi(ei, e1).unwrap();
+            assert!(
+                (p.effective_first_report_eps() - e1).abs() < 1e-9,
+                "ε∞={ei} ε1={e1}: effective {}",
+                p.effective_first_report_eps()
+            );
+        }
+    }
+
+    #[test]
+    fn first_report_eps_conservative_for_larger_g() {
+        for &g in &[3u32, 8, 32] {
+            let p = LolohaParams::with_g(g, 3.0, 1.5).unwrap();
+            let eff = p.effective_first_report_eps();
+            assert!(eff <= 1.5 + 1e-9, "g={g}: {eff}");
+            assert!(eff > 0.0);
+        }
+    }
+
+    #[test]
+    fn eps_irr_exceeds_eps_first() {
+        // The IRR alone is weaker (higher ε) than the composed first report:
+        // the PRR supplies the rest of the protection.
+        let p = LolohaParams::bi(2.0, 1.0).unwrap();
+        assert!(p.eps_irr() > p.eps_first());
+    }
+
+    #[test]
+    fn budget_cap_is_g_eps_inf() {
+        let p = LolohaParams::with_g(5, 1.5, 0.5).unwrap();
+        assert!((p.budget_cap() - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comm_bits_is_ceil_log2_g() {
+        assert_eq!(LolohaParams::with_g(2, 1.0, 0.5).unwrap().comm_bits(), 1);
+        assert_eq!(LolohaParams::with_g(3, 1.0, 0.5).unwrap().comm_bits(), 2);
+        assert_eq!(LolohaParams::with_g(4, 1.0, 0.5).unwrap().comm_bits(), 2);
+        assert_eq!(LolohaParams::with_g(5, 1.0, 0.5).unwrap().comm_bits(), 3);
+        assert_eq!(LolohaParams::with_g(16, 1.0, 0.5).unwrap().comm_bits(), 4);
+        assert_eq!(LolohaParams::with_g(17, 1.0, 0.5).unwrap().comm_bits(), 5);
+    }
+
+    #[test]
+    fn variance_decreases_with_n() {
+        let p = LolohaParams::optimal(2.0, 1.0).unwrap();
+        assert!(p.variance_approx(20_000.0) < p.variance_approx(10_000.0));
+    }
+
+    #[test]
+    fn bi_is_g2_and_optimal_matches_eq6() {
+        assert_eq!(LolohaParams::bi(1.0, 0.5).unwrap().g(), 2);
+        let p = LolohaParams::optimal(5.0, 3.0).unwrap();
+        assert_eq!(p.g(), optimal_g(5.0, 3.0));
+    }
+}

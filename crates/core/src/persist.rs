@@ -1,0 +1,228 @@
+//! Client-state persistence.
+//!
+//! Memoization is only a privacy mechanism if the memoized PRR state
+//! *survives restarts*: a client that forgets its memo table re-randomizes
+//! on the next report and silently degrades into the fresh-noise regime the
+//! averaging attack breaks (§2.4). A real deployment therefore must persist
+//! the client across sessions. This module provides a compact, versioned,
+//! dependency-free binary encoding of [`LolohaClient`] state — hash
+//! coefficients, budgets, memo table and accountant — with checked decoding
+//! (every failure mode returns [`PersistError`], never a panic).
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic "LLHA" | version u16 | g u32 | k u64 | eps_inf f64 | eps_first f64
+//! | hash a u64 | hash b u64 | memo: g × u16 (u16::MAX = empty)
+//! ```
+//!
+//! The accountant is reconstructed from the memo table (a cell is charged
+//! iff it is memoized), so the two can never disagree.
+
+use crate::client::LolohaClient;
+use crate::params::LolohaParams;
+use ldp_hash::CwHash;
+use std::error::Error;
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"LLHA";
+const VERSION: u16 = 1;
+
+/// Why a snapshot failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// The buffer is shorter than the fixed header or the declared layout.
+    Truncated,
+    /// The magic bytes do not match.
+    BadMagic,
+    /// The version is not supported by this build.
+    UnsupportedVersion(u16),
+    /// A decoded field is outside its domain (corrupt snapshot).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Truncated => write!(f, "snapshot is truncated"),
+            PersistError::BadMagic => write!(f, "snapshot has wrong magic bytes"),
+            PersistError::UnsupportedVersion(v) => {
+                write!(f, "snapshot version {v} is not supported")
+            }
+            PersistError::Corrupt(what) => write!(f, "snapshot is corrupt: {what}"),
+        }
+    }
+}
+
+impl Error for PersistError {}
+
+/// Serializes a client into a fresh byte buffer.
+pub fn save_client(client: &LolohaClient<CwHash>) -> Vec<u8> {
+    let params = client.params();
+    let g = params.g();
+    let (a, b) = client.hash_fn().parts();
+    let mut out = Vec::with_capacity(4 + 2 + 4 + 8 + 8 + 8 + 8 + 8 + 2 * g as usize);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&g.to_le_bytes());
+    out.extend_from_slice(&client.k().to_le_bytes());
+    out.extend_from_slice(&params.eps_inf().to_le_bytes());
+    out.extend_from_slice(&params.eps_first().to_le_bytes());
+    out.extend_from_slice(&a.to_le_bytes());
+    out.extend_from_slice(&b.to_le_bytes());
+    for cell in 0..g {
+        let sym = client.memoized_symbol(cell).unwrap_or(u16::MAX);
+        out.extend_from_slice(&sym.to_le_bytes());
+    }
+    out
+}
+
+/// Restores a client from a snapshot produced by [`save_client`].
+pub fn load_client(bytes: &[u8]) -> Result<LolohaClient<CwHash>, PersistError> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = u16::from_le_bytes(r.array()?);
+    if version != VERSION {
+        return Err(PersistError::UnsupportedVersion(version));
+    }
+    let g = u32::from_le_bytes(r.array()?);
+    let k = u64::from_le_bytes(r.array()?);
+    let eps_inf = f64::from_le_bytes(r.array()?);
+    let eps_first = f64::from_le_bytes(r.array()?);
+    let a = u64::from_le_bytes(r.array()?);
+    let b = u64::from_le_bytes(r.array()?);
+    let params = LolohaParams::with_g(g, eps_inf, eps_first)
+        .map_err(|_| PersistError::Corrupt("invalid budgets"))?;
+    let hash =
+        CwHash::from_parts(a, b, g).ok_or(PersistError::Corrupt("invalid hash coefficients"))?;
+    let mut client = LolohaClient::with_hash(hash, k, params)
+        .map_err(|_| PersistError::Corrupt("invalid domain"))?;
+    for cell in 0..g {
+        let sym = u16::from_le_bytes(r.array()?);
+        if sym != u16::MAX {
+            if sym as u32 >= g {
+                return Err(PersistError::Corrupt("memoized symbol out of range"));
+            }
+            client.restore_memo(cell, sym);
+        }
+    }
+    Ok(client)
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        let end = self.pos.checked_add(n).ok_or(PersistError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(PersistError::Truncated);
+        }
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], PersistError> {
+        Ok(self.take(N)?.try_into().expect("exact length"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_hash::CarterWegman;
+    use ldp_rand::derive_rng;
+
+    fn make_client(seed: u64) -> LolohaClient<CwHash> {
+        let params = LolohaParams::with_g(4, 2.0, 1.0).unwrap();
+        let family = CarterWegman::new(4).unwrap();
+        let mut rng = derive_rng(seed, 0);
+        let mut c = LolohaClient::new(&family, 50, params, &mut rng).unwrap();
+        // Populate some memo state.
+        for v in [0u64, 7, 13, 49] {
+            let _ = c.report(v, &mut rng);
+        }
+        c
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let client = make_client(1000);
+        let bytes = save_client(&client);
+        let restored = load_client(&bytes).unwrap();
+        assert_eq!(restored.k(), client.k());
+        assert_eq!(restored.params(), client.params());
+        assert_eq!(restored.privacy_spent(), client.privacy_spent());
+        assert_eq!(restored.distinct_cells(), client.distinct_cells());
+        for cell in 0..4u32 {
+            assert_eq!(restored.memoized_symbol(cell), client.memoized_symbol(cell));
+        }
+        // The hash function is identical.
+        for v in 0..50u64 {
+            assert_eq!(
+                ldp_hash::SeededHash::hash(restored.hash_fn(), v),
+                ldp_hash::SeededHash::hash(client.hash_fn(), v)
+            );
+        }
+    }
+
+    #[test]
+    fn restored_client_reports_consistently() {
+        // After restore, repeated values still reuse the memoized PRR —
+        // i.e. no extra budget is spent (the attack-resistance property).
+        let client = make_client(1001);
+        let spent = client.privacy_spent();
+        let mut restored = load_client(&save_client(&client)).unwrap();
+        let mut rng = derive_rng(1002, 0);
+        for v in [0u64, 7, 13, 49] {
+            let _ = restored.report(v, &mut rng);
+        }
+        assert_eq!(restored.privacy_spent(), spent, "restart must not re-spend");
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let bytes = save_client(&make_client(1003));
+        for cut in [0usize, 3, 5, 20, bytes.len() - 1] {
+            assert_eq!(load_client(&bytes[..cut]).err(), Some(PersistError::Truncated), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let mut bytes = save_client(&make_client(1004));
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert_eq!(load_client(&bad).err(), Some(PersistError::BadMagic));
+        bytes[4] = 9; // version 9
+        assert!(matches!(load_client(&bytes), Err(PersistError::UnsupportedVersion(_))));
+    }
+
+    #[test]
+    fn rejects_corrupt_memo_symbol() {
+        let client = make_client(1005);
+        let mut bytes = save_client(&client);
+        // Overwrite the first memo entry with an out-of-range symbol (g=4).
+        let memo_start = bytes.len() - 2 * 4;
+        bytes[memo_start] = 200;
+        bytes[memo_start + 1] = 0;
+        assert_eq!(
+            load_client(&bytes).err(),
+            Some(PersistError::Corrupt("memoized symbol out of range"))
+        );
+    }
+
+    #[test]
+    fn rejects_corrupt_budgets() {
+        let client = make_client(1006);
+        let mut bytes = save_client(&client);
+        // eps_inf field starts at 4 + 2 + 4 + 8 = 18; NaN it.
+        bytes[18..26].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert_eq!(load_client(&bytes).err(), Some(PersistError::Corrupt("invalid budgets")));
+    }
+}

@@ -1,0 +1,314 @@
+//! PRR-only LOLOHA: memoized local hashing *without* the IRR round.
+//!
+//! §4 of the paper: "A proper comparison with dBitFlipPM would be only
+//! considering the PRR step of our LOLOHA protocols" — dBitFlipPM has a
+//! single round of sanitization, so comparing it against full LOLOHA
+//! conflates two design choices (domain reduction strategy and double
+//! randomization). This module isolates the first choice:
+//!
+//! * like dBitFlipPM, the memoized response is reported **verbatim** every
+//!   round — better utility (no IRR noise), deterministic repeats;
+//! * like LOLOHA, the domain reduction is a *universal hash* rather than
+//!   an equal-width bucketing — any two values collide with probability
+//!   1/g, so even abrupt value changes keep plausible deniability, whereas
+//!   bucketing only protects near-misses.
+//!
+//! The trade-offs inherited from dropping the IRR:
+//!
+//! * every report is ε∞-LDP (there is no separate first-report ε1);
+//! * hash-cell changes are exposed exactly like dBitFlipPM bucket changes
+//!   (`ldp-attack::change::prr_only_change_exposure` gives the closed
+//!   form: a report change *is* a memoized-cell change);
+//! * the longitudinal cap is unchanged: `g·ε∞` (Theorem 3.5 only uses the
+//!   PRR step).
+//!
+//! The `ablation_prr_only` bench binary runs this head-to-head with
+//! dBitFlipPM at `d = b` and with full LOLOHA.
+
+use crate::params::LolohaParams;
+use ldp_hash::{Preimages, SeededHash, UniversalFamily};
+use ldp_longitudinal::accountant::BudgetAccountant;
+use ldp_longitudinal::memo::SymbolMemo;
+use ldp_primitives::error::{check_epsilon, ParamError};
+use ldp_primitives::estimator::frequency_estimates;
+use ldp_primitives::Grr;
+use rand::RngCore;
+
+/// A PRR-only client: hash once, memoize one GRR response per hash cell,
+/// report it verbatim.
+#[derive(Debug, Clone)]
+pub struct PrrOnlyClient<H: SeededHash> {
+    k: u64,
+    eps_inf: f64,
+    hash: H,
+    prr: Grr,
+    memo: SymbolMemo,
+    accountant: BudgetAccountant,
+}
+
+impl<H: SeededHash + Clone> PrrOnlyClient<H> {
+    /// Creates a client over domain `[0, k)`, sampling the hash from
+    /// `family` (`g = family.g()`), with longitudinal budget `eps_inf`.
+    pub fn new<F, R>(family: &F, k: u64, eps_inf: f64, rng: &mut R) -> Result<Self, ParamError>
+    where
+        F: UniversalFamily<Hash = H>,
+        R: RngCore + ?Sized,
+    {
+        Self::with_hash(family.sample(rng), k, eps_inf)
+    }
+
+    /// Creates a client with an explicit hash function.
+    pub fn with_hash(hash: H, k: u64, eps_inf: f64) -> Result<Self, ParamError> {
+        check_epsilon(eps_inf)?;
+        if k < 2 {
+            return Err(ParamError::DomainTooSmall { k, min: 2 });
+        }
+        let g = hash.g();
+        if g < 2 {
+            return Err(ParamError::InvalidG { g });
+        }
+        Ok(Self {
+            k,
+            eps_inf,
+            prr: Grr::new(g as u64, eps_inf)?,
+            memo: SymbolMemo::new(g),
+            accountant: BudgetAccountant::new(eps_inf, g),
+            hash,
+        })
+    }
+
+    /// The user's hash function (registered with the server once).
+    pub fn hash_fn(&self) -> &H {
+        &self.hash
+    }
+
+    /// Domain size `k`.
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+
+    /// The longitudinal budget ε∞ (also the per-report level: there is no
+    /// IRR round to weaken single reports).
+    pub fn eps_inf(&self) -> f64 {
+        self.eps_inf
+    }
+
+    /// Produces this step's report: the memoized PRR cell, verbatim.
+    ///
+    /// # Panics
+    /// Panics if `value >= k`.
+    pub fn report<R: RngCore + ?Sized>(&mut self, value: u64, rng: &mut R) -> u32 {
+        assert!(value < self.k, "value {value} outside domain of size {}", self.k);
+        let x = self.hash.hash(value);
+        self.accountant.observe(x);
+        match self.memo.get(x) {
+            Some(s) => s as u32,
+            None => {
+                let s = self.prr.perturb(x as u64, rng);
+                self.memo.insert(x, s as u16);
+                s as u32
+            }
+        }
+    }
+
+    /// Longitudinal privacy spent so far (≤ `g·ε∞`, Theorem 3.5).
+    pub fn privacy_spent(&self) -> f64 {
+        self.accountant.spent()
+    }
+
+    /// Number of distinct hash cells memoized so far.
+    pub fn distinct_cells(&self) -> u32 {
+        self.accountant.classes_seen()
+    }
+
+    /// The worst-case longitudinal cap `g·ε∞`.
+    pub fn budget_cap(&self) -> f64 {
+        self.hash.g() as f64 * self.eps_inf
+    }
+}
+
+/// The PRR-only aggregation server: support counting over hash preimages
+/// plus the one-round estimator Eq. (1) with `p = e^{ε∞}/(e^{ε∞}+g−1)`,
+/// `q' = 1/g`.
+#[derive(Debug, Clone)]
+pub struct PrrOnlyServer {
+    k: u64,
+    g: u32,
+    p: f64,
+    preimages: Vec<Preimages>,
+    counts: Vec<u64>,
+    n_step: u64,
+}
+
+impl PrrOnlyServer {
+    /// Creates a server for domain `[0, k)`, reduced domain `g`, budget
+    /// `eps_inf`.
+    pub fn new(k: u64, g: u32, eps_inf: f64) -> Result<Self, ParamError> {
+        check_epsilon(eps_inf)?;
+        if k < 2 {
+            return Err(ParamError::DomainTooSmall { k, min: 2 });
+        }
+        if g < 2 {
+            return Err(ParamError::InvalidG { g });
+        }
+        let grr = Grr::new(g as u64, eps_inf)?;
+        Ok(Self { k, g, p: grr.p(), preimages: Vec::new(), counts: vec![0; k as usize], n_step: 0 })
+    }
+
+    /// Registers a user's hash function; returns their id.
+    pub fn register_user<H: SeededHash>(&mut self, hash: &H) -> usize {
+        assert_eq!(hash.g(), self.g, "hash g mismatch");
+        self.preimages.push(Preimages::build(hash, self.k));
+        self.preimages.len() - 1
+    }
+
+    /// Ingests one report for a registered user.
+    pub fn ingest(&mut self, user: usize, cell: u32) {
+        for &v in self.preimages[user].cell(cell) {
+            self.counts[v as usize] += 1;
+        }
+        self.n_step += 1;
+    }
+
+    /// Reports ingested this round.
+    pub fn n_step(&self) -> u64 {
+        self.n_step
+    }
+
+    /// Finishes the round: the k-bin estimate via Eq. (1).
+    pub fn estimate_and_reset(&mut self) -> Vec<f64> {
+        let n = self.n_step.max(1) as f64;
+        let counts: Vec<f64> = self.counts.iter().map(|&c| c as f64).collect();
+        let est = frequency_estimates(&counts, n, self.p, 1.0 / self.g as f64);
+        self.counts.fill(0);
+        self.n_step = 0;
+        est
+    }
+
+    /// Eq. (5)-style approximate variance of this one-round estimator:
+    /// `q'(1−q') / (n (p−q')²)` with `q' = 1/g`.
+    pub fn variance_approx(&self, n: f64) -> f64 {
+        ldp_primitives::estimator::single_variance_approx(n, self.p, 1.0 / self.g as f64)
+    }
+}
+
+/// Convenience: PRR-only with the BiLOLOHA reduction (`g = 2`).
+pub fn bi_prr_only_server(k: u64, eps_inf: f64) -> Result<PrrOnlyServer, ParamError> {
+    PrrOnlyServer::new(k, 2, eps_inf)
+}
+
+/// The full-LOLOHA parameters whose PRR step this protocol matches, for
+/// side-by-side reporting (the IRR fields are simply unused here).
+pub fn matching_params(g: u32, eps_inf: f64) -> Result<LolohaParams, ParamError> {
+    // ε1 is irrelevant to the PRR step; any valid value resolves the same
+    // PRR pair. Use ε∞/2 conventionally.
+    LolohaParams::with_g(g, eps_inf, eps_inf / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_hash::CarterWegman;
+    use ldp_rand::{derive_rng, uniform_u64};
+
+    #[test]
+    fn reports_are_deterministic_per_cell() {
+        let mut rng = derive_rng(700, 0);
+        let family = CarterWegman::new(4).unwrap();
+        let mut c = PrrOnlyClient::new(&family, 50, 1.0, &mut rng).unwrap();
+        let first = c.report(7, &mut rng);
+        for _ in 0..20 {
+            assert_eq!(c.report(7, &mut rng), first, "memoized report must repeat");
+        }
+        // Any value in the same hash cell produces the identical report.
+        let h = *c.hash_fn();
+        let sibling = (0..50).find(|&v| v != 7 && h.hash(v) == h.hash(7));
+        if let Some(v) = sibling {
+            assert_eq!(c.report(v, &mut rng), first);
+        }
+    }
+
+    #[test]
+    fn budget_capped_at_g_eps_inf_under_churn() {
+        let mut rng = derive_rng(701, 0);
+        let family = CarterWegman::new(2).unwrap();
+        let mut c = PrrOnlyClient::new(&family, 100, 1.5, &mut rng).unwrap();
+        for _ in 0..500 {
+            c.report(uniform_u64(&mut rng, 100), &mut rng);
+        }
+        assert!(c.privacy_spent() <= c.budget_cap() + 1e-9);
+        assert!((c.budget_cap() - 3.0).abs() < 1e-12);
+        assert!(c.distinct_cells() <= 2);
+    }
+
+    #[test]
+    fn estimates_converge_on_known_histogram() {
+        let k = 40u64;
+        let eps = 2.0;
+        let g = 4u32;
+        let family = CarterWegman::new(g).unwrap();
+        let mut server = PrrOnlyServer::new(k, g, eps).unwrap();
+        let mut rng = derive_rng(702, 0);
+        let n = 30_000;
+        for _ in 0..n {
+            let mut c = PrrOnlyClient::new(&family, k, eps, &mut rng).unwrap();
+            let id = server.register_user(c.hash_fn());
+            // 60% hold value 3, the rest uniform.
+            let v = if uniform_u64(&mut rng, 10) < 6 { 3 } else { uniform_u64(&mut rng, k) };
+            server.ingest(id, c.report(v, &mut rng));
+        }
+        let est = server.estimate_and_reset();
+        assert!((est[3] - 0.61).abs() < 0.05, "estimate {}", est[3]);
+        assert!(est[20].abs() < 0.05);
+    }
+
+    #[test]
+    fn utility_beats_full_loloha_at_same_eps_inf() {
+        // No IRR noise → strictly smaller variance than the chained
+        // estimator at the same (g, ε∞). This is the dBitFlipPM-style
+        // utility edge the §4 comparison isolates.
+        let (k, g, eps) = (40u64, 2u32, 1.0);
+        let server = PrrOnlyServer::new(k, g, eps).unwrap();
+        let full = LolohaParams::with_g(g, eps, 0.5).unwrap();
+        let n = 10_000.0;
+        assert!(server.variance_approx(n) < full.variance_approx(n));
+    }
+
+    #[test]
+    fn report_change_implies_cell_change() {
+        // The privacy cost of dropping the IRR: a changed report is a
+        // certain signal that the memoized cell changed.
+        let mut rng = derive_rng(703, 0);
+        let family = CarterWegman::new(8).unwrap();
+        for _ in 0..200 {
+            let mut c = PrrOnlyClient::new(&family, 64, 1.0, &mut rng).unwrap();
+            let v1 = uniform_u64(&mut rng, 64);
+            let v2 = uniform_u64(&mut rng, 64);
+            let r1 = c.report(v1, &mut rng);
+            let r2 = c.report(v2, &mut rng);
+            let h = c.hash_fn();
+            if r1 != r2 {
+                assert_ne!(h.hash(v1), h.hash(v2), "report change without cell change");
+            }
+        }
+    }
+
+    #[test]
+    fn server_rejects_invalid_parameters() {
+        assert!(PrrOnlyServer::new(1, 2, 1.0).is_err());
+        assert!(PrrOnlyServer::new(10, 1, 1.0).is_err());
+        assert!(PrrOnlyServer::new(10, 2, 0.0).is_err());
+        let family = CarterWegman::new(2).unwrap();
+        let mut rng = derive_rng(704, 0);
+        assert!(PrrOnlyClient::new(&family, 1, 1.0, &mut rng).is_err());
+        assert!(PrrOnlyClient::new(&family, 10, f64::NAN, &mut rng).is_err());
+    }
+
+    #[test]
+    fn matching_params_share_the_prr_pair() {
+        let p = matching_params(4, 2.0).unwrap();
+        let grr = Grr::new(4, 2.0).unwrap();
+        assert!((p.prr().p - grr.p()).abs() < 1e-12);
+        assert!((p.prr().q - grr.q()).abs() < 1e-12);
+    }
+}

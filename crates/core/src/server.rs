@@ -1,0 +1,218 @@
+//! Server-side of LOLOHA (Algorithm 2).
+//!
+//! Per time step and per value `v`, the server computes the support count
+//! `C(v) = |{u : H_u(v) = x''_u}|` and applies Eq. (3) with the PRR noise
+//! term replaced by `q'1 = 1/g` — exactly as in one-shot local hashing,
+//! because a universal hash sends any *non-reported* value to the reported
+//! cell with probability 1/g.
+//!
+//! Counting walks pre-computed hash preimages: registering a user inverts
+//! their hash once (O(k)); each subsequent report costs O(k/g) increments.
+
+use crate::params::LolohaParams;
+use ldp_hash::{Preimages, SeededHash};
+use ldp_primitives::error::ParamError;
+use ldp_primitives::estimator::chained_frequency_estimates;
+
+/// Identifies a registered user within a [`LolohaServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UserId(usize);
+
+/// The LOLOHA aggregation server.
+#[derive(Debug, Clone)]
+pub struct LolohaServer {
+    k: u64,
+    params: LolohaParams,
+    preimages: Vec<Preimages>,
+    counts: Vec<u64>,
+    n_step: u64,
+}
+
+impl LolohaServer {
+    /// Creates a server for domain `[0, k)`.
+    pub fn new(k: u64, params: LolohaParams) -> Result<Self, ParamError> {
+        if k < 2 {
+            return Err(ParamError::DomainTooSmall { k, min: 2 });
+        }
+        Ok(Self { k, params, preimages: Vec::new(), counts: vec![0; k as usize], n_step: 0 })
+    }
+
+    /// Registers a user's hash function (Algorithm 1's "Send H"), inverting
+    /// it over the domain once.
+    ///
+    /// # Panics
+    /// Panics if the hash's `g` differs from the server parameterization.
+    pub fn register_user<H: SeededHash>(&mut self, hash: &H) -> UserId {
+        assert_eq!(hash.g(), self.params.g(), "hash g mismatch");
+        self.preimages.push(Preimages::build(hash, self.k));
+        UserId(self.preimages.len() - 1)
+    }
+
+    /// Number of registered users.
+    pub fn users(&self) -> usize {
+        self.preimages.len()
+    }
+
+    /// Ingests one report for the current step: every value hashing to the
+    /// reported cell gains support.
+    ///
+    /// # Panics
+    /// Panics if the user id is unknown or the cell is out of range.
+    pub fn ingest(&mut self, user: UserId, cell: u32) {
+        assert!(cell < self.params.g(), "cell {cell} out of range");
+        let pre = &self.preimages[user.0];
+        for &v in pre.cell(cell) {
+            self.counts[v as usize] += 1;
+        }
+        self.n_step += 1;
+    }
+
+    /// Merges pre-aggregated support counts (thread-local aggregation in
+    /// the simulator).
+    pub fn ingest_counts(&mut self, counts: &[u64], n: u64) {
+        assert_eq!(counts.len(), self.k as usize, "count length mismatch");
+        for (acc, &c) in self.counts.iter_mut().zip(counts) {
+            *acc += c;
+        }
+        self.n_step += n;
+    }
+
+    /// Number of reports ingested this step.
+    pub fn n_step(&self) -> u64 {
+        self.n_step
+    }
+
+    /// Estimates this step's k-bin histogram (Algorithm 2, line 5) and
+    /// resets the counters for the next step.
+    pub fn estimate_and_reset(&mut self) -> Vec<f64> {
+        let counts: Vec<f64> = self.counts.iter().map(|&c| c as f64).collect();
+        let est = chained_frequency_estimates(
+            &counts,
+            self.n_step as f64,
+            self.params.prr().p,
+            self.params.q1_server(),
+            self.params.irr().p,
+            self.params.irr().q,
+        );
+        self.counts.fill(0);
+        self.n_step = 0;
+        est
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::LolohaClient;
+    use ldp_hash::CarterWegman;
+    use ldp_rand::{derive_rng, AliasTable};
+
+    fn run_collection(
+        params: LolohaParams,
+        k: u64,
+        n: usize,
+        tau: usize,
+        seed: u64,
+    ) -> (Vec<f64>, Vec<f64>) {
+        let family = CarterWegman::new(params.g()).unwrap();
+        let mut server = LolohaServer::new(k, params).unwrap();
+        let mut rng = derive_rng(seed, 0);
+        let weights: Vec<f64> = (0..k).map(|v| (v % 7 + 1) as f64).collect();
+        let total: f64 = weights.iter().sum();
+        let truth: Vec<f64> = weights.iter().map(|w| w / total).collect();
+        let alias = AliasTable::new(&weights).unwrap();
+        let mut clients: Vec<_> = (0..n)
+            .map(|_| LolohaClient::new(&family, k, params, &mut rng).unwrap())
+            .collect();
+        let ids: Vec<UserId> =
+            clients.iter().map(|c| server.register_user(c.hash_fn())).collect();
+        let mut values: Vec<u64> = (0..n).map(|_| alias.sample(&mut rng) as u64).collect();
+        let mut est = vec![0.0; k as usize];
+        for _ in 0..tau {
+            for ((client, &id), value) in clients.iter_mut().zip(&ids).zip(&mut values) {
+                // 20% of users change value each step (evolving data).
+                if ldp_rand::uniform_f64(&mut rng) < 0.2 {
+                    *value = alias.sample(&mut rng) as u64;
+                }
+                let cell = client.report(*value, &mut rng);
+                server.ingest(id, cell);
+            }
+            est = server.estimate_and_reset();
+        }
+        (est, truth)
+    }
+
+    #[test]
+    fn biloloha_end_to_end_accuracy() {
+        let params = LolohaParams::bi(3.0, 1.5).unwrap();
+        let n = 15_000;
+        let (est, truth) = run_collection(params, 15, n, 3, 610);
+        let tol = 6.0 * params.variance_approx(n as f64).sqrt();
+        for (v, (&e, &t)) in est.iter().zip(&truth).enumerate() {
+            assert!((e - t).abs() < tol, "v={v}: {e} vs {t} (tol {tol})");
+        }
+    }
+
+    #[test]
+    fn ololoha_end_to_end_accuracy() {
+        let params = LolohaParams::optimal(4.0, 2.4).unwrap();
+        assert!(params.g() > 2, "this regime should pick g > 2");
+        let n = 15_000;
+        let (est, truth) = run_collection(params, 15, n, 3, 611);
+        let tol = 6.0 * params.variance_approx(n as f64).sqrt();
+        for (v, (&e, &t)) in est.iter().zip(&truth).enumerate() {
+            assert!((e - t).abs() < tol, "v={v}: {e} vs {t} (tol {tol})");
+        }
+    }
+
+    #[test]
+    fn estimates_roughly_sum_to_one() {
+        let params = LolohaParams::bi(2.0, 1.0).unwrap();
+        let (est, _) = run_collection(params, 20, 10_000, 2, 612);
+        let sum: f64 = est.iter().sum();
+        assert!((sum - 1.0).abs() < 0.25, "sum {sum}");
+    }
+
+    #[test]
+    fn ingest_counts_matches_ingest() {
+        let params = LolohaParams::bi(2.0, 1.0).unwrap();
+        let family = CarterWegman::new(2).unwrap();
+        let mut rng = derive_rng(613, 0);
+        let mut a = LolohaServer::new(10, params).unwrap();
+        let mut b = LolohaServer::new(10, params).unwrap();
+        let client = LolohaClient::new(&family, 10, params, &mut rng).unwrap();
+        let id = a.register_user(client.hash_fn());
+        a.ingest(id, 1);
+        // Manually compute the same support counts for b.
+        let pre = Preimages::build(client.hash_fn(), 10);
+        let mut counts = vec![0u64; 10];
+        for &v in pre.cell(1) {
+            counts[v as usize] += 1;
+        }
+        b.ingest_counts(&counts, 1);
+        assert_eq!(a.estimate_and_reset(), b.estimate_and_reset());
+    }
+
+    #[test]
+    #[should_panic(expected = "hash g mismatch")]
+    fn register_rejects_wrong_g() {
+        let params = LolohaParams::bi(2.0, 1.0).unwrap();
+        let mut server = LolohaServer::new(10, params).unwrap();
+        let family = CarterWegman::new(4).unwrap();
+        let mut rng = derive_rng(614, 0);
+        let h = ldp_hash::UniversalFamily::sample(&family, &mut rng);
+        server.register_user(&h);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn ingest_rejects_bad_cell() {
+        let params = LolohaParams::bi(2.0, 1.0).unwrap();
+        let family = CarterWegman::new(2).unwrap();
+        let mut rng = derive_rng(615, 0);
+        let mut server = LolohaServer::new(10, params).unwrap();
+        let client = LolohaClient::new(&family, 10, params, &mut rng).unwrap();
+        let id = server.register_user(client.hash_fn());
+        server.ingest(id, 2);
+    }
+}

@@ -1,0 +1,176 @@
+//! Machine-checkable forms of the paper's §3 theory.
+//!
+//! * Theorem 3.1 — LDP is unsatisfiable as τ → ∞: any longitudinal
+//!   mechanism whose per-step channel leaks at least α cannot be ε-LDP once
+//!   τ ≥ ε/α. [`theorem_3_1_min_tau`] returns that breaking horizon.
+//! * Theorem 3.3 — the hash+PRR composition is ε∞-LDP:
+//!   [`prr_ratio`] computes the exact single-report ratio `p1/q1 = e^{ε∞}`.
+//! * Theorem 3.4 — hash+PRR+IRR is ε1-LDP: [`full_report_ratio`] computes
+//!   the exact two-round ratio (tight at g = 2, conservative above).
+//! * Theorem 3.5 — the client is `g·ε∞`-LDP on the user's values:
+//!   [`LolohaParams::budget_cap`].
+//! * Proposition 3.6 — the asymptotic utility guarantee:
+//!   [`utility_bound`] returns the radius `r` such that
+//!   `max_v |f̂(v) − f(v)| < r` with probability ≥ 1 − β.
+
+use crate::params::LolohaParams;
+
+/// Theorem 3.1: the smallest number of steps after which a longitudinal
+/// mechanism with per-step leakage ≥ `alpha` cannot satisfy ε-LDP.
+///
+/// This is the paper's impossibility horizon τ ≥ ε/α, rounded up.
+pub fn theorem_3_1_min_tau(epsilon: f64, alpha: f64) -> u64 {
+    assert!(epsilon > 0.0 && alpha > 0.0, "budgets must be positive");
+    (epsilon / alpha).ceil() as u64
+}
+
+/// Theorem 3.3: the exact likelihood ratio of the hash+PRR step for any two
+/// inputs — `e^{ε∞}` by construction.
+pub fn prr_ratio(params: &LolohaParams) -> f64 {
+    params.prr().p / params.prr().q
+}
+
+/// Theorem 3.4: the exact likelihood ratio of the full hash+PRR+IRR report.
+///
+/// Over `[g]`, `Pr[x'' = H(v)] = p1·p2 + (g−1)·q1·q2` and for any other
+/// cell `p1·q2 + q1·p2 + (g−2)·q1·q2`; the ratio simplifies to
+/// `(e^{ε∞}·e^{ε_IRR} + g − 1)/(e^{ε∞} + e^{ε_IRR} + g − 2)`.
+pub fn full_report_ratio(params: &LolohaParams) -> f64 {
+    params.effective_first_report_eps().exp()
+}
+
+/// Proposition 3.6: with probability at least `1 − beta`,
+/// `max_v |f̂(v) − f(v)| < sqrt(k / (4·n·β·(p1 − q'1)·(p2 − q2)))`.
+pub fn utility_bound(params: &LolohaParams, n: u64, k: u64, beta: f64) -> f64 {
+    assert!((0.0..1.0).contains(&beta) && beta > 0.0, "beta in (0,1)");
+    let gap1 = params.prr().p - params.q1_server();
+    let gap2 = params.irr().p - params.irr().q;
+    (k as f64 / (4.0 * n as f64 * beta * gap1 * gap2)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::LolohaClient;
+    use crate::server::LolohaServer;
+    use ldp_hash::CarterWegman;
+    use ldp_rand::derive_rng;
+
+    #[test]
+    fn min_tau_matches_paper_statement() {
+        assert_eq!(theorem_3_1_min_tau(1.0, 0.1), 10);
+        assert_eq!(theorem_3_1_min_tau(1.0, 0.3), 4);
+        assert_eq!(theorem_3_1_min_tau(5.0, 5.0), 1);
+    }
+
+    #[test]
+    fn theorem_3_3_prr_is_eps_inf_ldp() {
+        for &g in &[2u32, 4, 16] {
+            let p = LolohaParams::with_g(g, 2.0, 1.0).unwrap();
+            assert!((prr_ratio(&p).ln() - 2.0).abs() < 1e-9, "g={g}");
+        }
+    }
+
+    #[test]
+    fn theorem_3_4_first_report_is_eps1_ldp() {
+        for &g in &[2u32, 3, 8] {
+            let p = LolohaParams::with_g(g, 2.0, 1.0).unwrap();
+            let ratio = full_report_ratio(&p);
+            assert!(ratio.ln() <= 1.0 + 1e-9, "g={g}: {}", ratio.ln());
+        }
+        // Tight at g = 2.
+        let p2 = LolohaParams::bi(2.0, 1.0).unwrap();
+        assert!((full_report_ratio(&p2).ln() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theorem_3_4_empirical_channel_matches_analytic() {
+        // Estimate Pr[x'' = cell | hash cell] by Monte Carlo and compare the
+        // peak/off-peak ratio with the analytic expression.
+        let params = LolohaParams::with_g(4, 2.0, 1.0).unwrap();
+        let family = CarterWegman::new(4).unwrap();
+        let mut rng = derive_rng(620, 0);
+        let trials = 200_000;
+        let mut peak = 0usize;
+        for _ in 0..trials {
+            // Fresh client each trial: the first report's distribution.
+            let mut c = LolohaClient::new(&family, 50, params, &mut rng).unwrap();
+            let v = 3u64;
+            let cell_true = ldp_hash::SeededHash::hash(c.hash_fn(), v);
+            if c.report(v, &mut rng) == cell_true {
+                peak += 1;
+            }
+        }
+        let p_peak = peak as f64 / trials as f64;
+        let a = params.eps_inf().exp();
+        let cexp = params.eps_irr().exp();
+        let g = 4.0;
+        let expected_peak =
+            (a * cexp + g - 1.0) / ((a + g - 1.0) * (cexp + g - 1.0));
+        assert!(
+            (p_peak - expected_peak).abs() < 0.005,
+            "peak {p_peak} vs analytic {expected_peak}"
+        );
+    }
+
+    #[test]
+    fn theorem_3_5_budget_never_exceeded_empirically() {
+        let params = LolohaParams::with_g(3, 1.0, 0.5).unwrap();
+        let family = CarterWegman::new(3).unwrap();
+        let mut rng = derive_rng(621, 0);
+        for _ in 0..20 {
+            let mut c = LolohaClient::new(&family, 500, params, &mut rng).unwrap();
+            for t in 0..2000u64 {
+                let _ = c.report(t * 7 % 500, &mut rng);
+            }
+            assert!(c.privacy_spent() <= params.budget_cap() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn proposition_3_6_bound_holds_empirically() {
+        // Run a one-step collection and check the max-error bound at
+        // β = 0.05 over repeated trials: violations should be rare (≤ β
+        // with slack).
+        let params = LolohaParams::bi(3.0, 1.5).unwrap();
+        let family = CarterWegman::new(2).unwrap();
+        let k = 10u64;
+        let n = 4000usize;
+        let beta = 0.05;
+        let bound = utility_bound(&params, n as u64, k, beta);
+        let trials = 40;
+        let mut violations = 0;
+        for t in 0..trials {
+            let mut rng = derive_rng(622, t);
+            let mut server = LolohaServer::new(k, params).unwrap();
+            let mut max_err: f64 = 0.0;
+            let mut clients: Vec<_> = (0..n)
+                .map(|_| LolohaClient::new(&family, k, params, &mut rng).unwrap())
+                .collect();
+            let ids: Vec<_> =
+                clients.iter().map(|c| server.register_user(c.hash_fn())).collect();
+            for (u, (client, &id)) in clients.iter_mut().zip(&ids).enumerate() {
+                let v = (u as u64) % k; // uniform ground truth
+                let cell = client.report(v, &mut rng);
+                server.ingest(id, cell);
+            }
+            let est = server.estimate_and_reset();
+            for (v, &e) in est.iter().enumerate() {
+                let f = 1.0 / k as f64;
+                max_err = max_err.max((e - f).abs());
+                let _ = v;
+            }
+            if max_err >= bound {
+                violations += 1;
+            }
+        }
+        // β = 5% of 40 trials = 2 expected; allow generous slack (≤ 6).
+        assert!(violations <= 6, "{violations}/{trials} exceeded the bound");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn min_tau_rejects_zero_alpha() {
+        let _ = theorem_3_1_min_tau(1.0, 0.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! The Adult-like workload: a static, heavily skewed histogram under
+//! maximal per-user churn.
+//!
+//! The paper takes UCI Adult's "hours-per-week" attribute (k = 96 distinct
+//! values over n = 45 222 cleaned rows) and simulates τ = 260 collections
+//! by randomly re-permuting the value multiset across users at every step:
+//! population frequencies are constant while each user's private sequence
+//! is an i.i.d.-like draw from the empirical distribution.
+//!
+//! The UCI source is unavailable offline, so the multiset is sampled once
+//! (deterministically) from a synthetic hours-per-week distribution with
+//! the attribute's documented shape: a dominant spike at full-time 40h
+//! (~45% of mass), secondary modes at 20/25/30/35/45/50/60, a preference
+//! for multiples of five, and thin tails toward 1h and 99h.
+
+use crate::spec::{DatasetSpec, EvolvingData};
+use ldp_rand::{derive_rng, shuffle, AliasTable, LdpRng};
+
+/// Specification of the Adult-like dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct AdultLikeDataset {
+    n: usize,
+    tau: usize,
+}
+
+/// Number of distinct hours-per-week values in the cleaned Adult data.
+const K: u64 = 96;
+
+impl AdultLikeDataset {
+    /// The paper's configuration: k = 96, n = 45 222, τ = 260.
+    pub fn paper() -> Self {
+        Self { n: 45_222, tau: 260 }
+    }
+
+    /// A custom (n, τ).
+    ///
+    /// # Panics
+    /// Panics if `n` or `tau` is zero.
+    pub fn new(n: usize, tau: usize) -> Self {
+        assert!(n >= 1 && tau >= 1, "degenerate Adult configuration");
+        Self { n, tau }
+    }
+
+    /// Shrinks `n` and `tau` by the given fractions.
+    pub fn scaled(&self, n_frac: f64, tau_frac: f64) -> Self {
+        Self {
+            n: ((self.n as f64 * n_frac) as usize).max(1),
+            tau: ((self.tau as f64 * tau_frac) as usize).max(1),
+        }
+    }
+
+    /// The synthetic hours-per-week weight table over the 96-value domain.
+    ///
+    /// Index `i` represents the i-th distinct hour value in increasing
+    /// order (roughly hours 1..99 with three unobserved values dropped).
+    pub fn weights() -> Vec<f64> {
+        let hour_of = |i: usize| i as f64 + 1.0; // ≈ hours 1..=96
+        let bump = |x: f64, mu: f64, sigma: f64, w: f64| {
+            w * (-((x - mu) * (x - mu)) / (2.0 * sigma * sigma)).exp()
+        };
+        (0..K as usize)
+            .map(|i| {
+                let h = hour_of(i);
+                let mut w = 0.02; // uniform floor: every value observed
+                w += bump(h, 40.0, 1.1, 100.0); // the full-time spike
+                w += bump(h, 50.0, 2.0, 9.0);
+                w += bump(h, 45.0, 1.5, 6.0);
+                w += bump(h, 60.0, 2.5, 4.5);
+                w += bump(h, 35.0, 1.5, 4.0);
+                w += bump(h, 20.0, 2.0, 3.5);
+                w += bump(h, 30.0, 1.8, 3.2);
+                w += bump(h, 25.0, 1.8, 2.2);
+                w += bump(h, 15.0, 1.5, 1.4);
+                w += bump(h, 55.0, 1.5, 1.1);
+                w += bump(h, 70.0, 2.0, 0.8);
+                w += bump(h, 80.0, 2.0, 0.6);
+                w += bump(h, 10.0, 1.2, 1.0);
+                // Round-number preference.
+                if (h as u64).is_multiple_of(5) {
+                    w *= 2.2;
+                }
+                w
+            })
+            .collect()
+    }
+}
+
+impl DatasetSpec for AdultLikeDataset {
+    fn name(&self) -> &'static str {
+        "Adult"
+    }
+
+    fn k(&self) -> u64 {
+        K
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn tau(&self) -> usize {
+        self.tau
+    }
+
+    fn instantiate(&self, seed: u64) -> Box<dyn EvolvingData> {
+        let mut rng = derive_rng(seed ^ 0x41_44_55, 1); // "ADU"
+        let alias = AliasTable::new(&Self::weights()).expect("static weights valid");
+        // The fixed multiset: sampled once, then only permuted.
+        let values: Vec<u64> = (0..self.n).map(|_| alias.sample(&mut rng) as u64).collect();
+        Box::new(AdultData { rng, values })
+    }
+}
+
+struct AdultData {
+    rng: LdpRng,
+    values: Vec<u64>,
+}
+
+impl EvolvingData for AdultData {
+    fn step(&mut self) -> &[u64] {
+        // "randomly permuted the data τ times": each round is a fresh
+        // assignment of the same multiset to users.
+        shuffle(&mut self.values, &mut self.rng);
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::empirical_histogram;
+
+    #[test]
+    fn population_histogram_is_constant_over_time() {
+        let spec = AdultLikeDataset::new(5_000, 10);
+        let mut data = spec.instantiate(4);
+        let h1 = empirical_histogram(data.step(), K);
+        for _ in 0..5 {
+            let h = empirical_histogram(data.step(), K);
+            assert_eq!(h1, h, "permutation changed the histogram");
+        }
+    }
+
+    #[test]
+    fn users_see_changing_values() {
+        let spec = AdultLikeDataset::new(5_000, 10);
+        let mut data = spec.instantiate(5);
+        let a = data.step().to_vec();
+        let b = data.step().to_vec();
+        let changed = a.iter().zip(&b).filter(|(x, y)| x != y).count();
+        // The dominant 40h spike makes collisions common, but the majority
+        // of users must still change value between rounds.
+        assert!(changed > a.len() / 2, "only {changed} changed");
+    }
+
+    #[test]
+    fn distribution_is_dominated_by_full_time() {
+        let spec = AdultLikeDataset::new(40_000, 2);
+        let mut data = spec.instantiate(6);
+        let h = empirical_histogram(data.step(), K);
+        let (mode, &mode_f) = h
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        // Index 39 ≈ hour 40.
+        assert_eq!(mode, 39, "mode at {mode}");
+        assert!(mode_f > 0.3 && mode_f < 0.6, "mode mass {mode_f}");
+    }
+
+    #[test]
+    fn every_value_has_support() {
+        let w = AdultLikeDataset::weights();
+        assert_eq!(w.len(), 96);
+        assert!(w.iter().all(|&x| x > 0.0));
+    }
+}

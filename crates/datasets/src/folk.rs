@@ -1,0 +1,195 @@
+//! The folktables-like counter workloads (DB_MT, DB_DE).
+//!
+//! The paper treats the 80 person-record replicate-weight columns
+//! (PWGTP1..PWGTP80) of one US-Census survey state as τ = 80 counter
+//! collections: every user holds a positive integer weight that drifts
+//! moderately between replicates, and the union of distinct values across
+//! all columns defines the domain (k = 1412 for Montana, 1234 for
+//! Delaware).
+//!
+//! The synthetic equivalent preserves exactly what the experiments consume:
+//! a *large dense domain* of k values, a *heavily skewed* marginal (weights
+//! are log-normal-ish), and *strong temporal correlation* per user (each
+//! user's value performs a small bounded random walk over the value ranks,
+//! so the number of distinct values per user is far below both k and τ —
+//! the regime where memoization budgets shine or break).
+
+use crate::spec::{DatasetSpec, EvolvingData};
+use ldp_rand::{derive_rng, LdpRng, LogNormal, StandardNormal};
+
+/// Specification of a folktables-like dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct FolkLikeDataset {
+    name: &'static str,
+    k: u64,
+    n: usize,
+    tau: usize,
+    /// Random-walk step scale as a fraction of k.
+    walk_frac: f64,
+}
+
+impl FolkLikeDataset {
+    /// DB_MT: the Montana 2018 configuration (k = 1412, n = 10 336, τ = 80).
+    pub fn montana() -> Self {
+        Self { name: "DB_MT", k: 1412, n: 10_336, tau: 80, walk_frac: 0.004 }
+    }
+
+    /// DB_DE: the Delaware 2018 configuration (k = 1234, n = 9 123, τ = 80).
+    pub fn delaware() -> Self {
+        Self { name: "DB_DE", k: 1234, n: 9_123, tau: 80, walk_frac: 0.004 }
+    }
+
+    /// A custom configuration.
+    ///
+    /// # Panics
+    /// Panics on degenerate shapes.
+    pub fn new(name: &'static str, k: u64, n: usize, tau: usize, walk_frac: f64) -> Self {
+        assert!(k >= 2 && n >= 1 && tau >= 1, "degenerate Folk configuration");
+        assert!(walk_frac >= 0.0, "walk fraction must be non-negative");
+        Self { name, k, n, tau, walk_frac }
+    }
+
+    /// Shrinks `n` and `tau` by the given fractions (k unchanged).
+    pub fn scaled(&self, n_frac: f64, tau_frac: f64) -> Self {
+        Self {
+            n: ((self.n as f64 * n_frac) as usize).max(1),
+            tau: ((self.tau as f64 * tau_frac) as usize).max(1),
+            ..*self
+        }
+    }
+}
+
+impl DatasetSpec for FolkLikeDataset {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn k(&self) -> u64 {
+        self.k
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn tau(&self) -> usize {
+        self.tau
+    }
+
+    fn instantiate(&self, seed: u64) -> Box<dyn EvolvingData> {
+        let mut rng = derive_rng(seed ^ 0x46_4F_4C_4B, 2); // "FOLK"
+        // Log-normal base ranks: median around k/6, long right tail —
+        // the shape of person weights.
+        let base = LogNormal::new((self.k as f64 / 6.0).ln(), 0.6).expect("valid");
+        let ranks: Vec<f64> = (0..self.n)
+            .map(|_| base.sample(&mut rng).min(self.k as f64 - 1.0))
+            .collect();
+        Box::new(FolkData {
+            spec: *self,
+            rng,
+            ranks,
+            values: vec![0; self.n],
+            started: false,
+        })
+    }
+}
+
+struct FolkData {
+    spec: FolkLikeDataset,
+    rng: LdpRng,
+    /// Continuous rank positions (quantized to values on output).
+    ranks: Vec<f64>,
+    values: Vec<u64>,
+    started: bool,
+}
+
+impl EvolvingData for FolkData {
+    fn step(&mut self) -> &[u64] {
+        let k = self.spec.k as f64;
+        let step_scale = k * self.spec.walk_frac;
+        if self.started {
+            for r in &mut self.ranks {
+                let delta = StandardNormal.sample(&mut self.rng) * step_scale;
+                let mut next = *r + delta;
+                // Reflect at the domain boundary.
+                if next < 0.0 {
+                    next = -next;
+                }
+                if next > k - 1.0 {
+                    next = 2.0 * (k - 1.0) - next;
+                }
+                *r = next.clamp(0.0, k - 1.0);
+            }
+        }
+        self.started = true;
+        for (v, &r) in self.values.iter_mut().zip(&self.ranks) {
+            *v = r as u64;
+        }
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::empirical_histogram;
+
+    #[test]
+    fn marginal_is_skewed() {
+        let spec = FolkLikeDataset::montana().scaled(1.0, 0.05);
+        let mut data = spec.instantiate(8);
+        let h = empirical_histogram(data.step(), spec.k());
+        // Mass below k/3 should dominate mass above 2k/3 (long right tail,
+        // bulk at low ranks).
+        let third = spec.k() as usize / 3;
+        let low: f64 = h[..third].iter().sum();
+        let high: f64 = h[2 * third..].iter().sum();
+        assert!(low > 0.6, "low-mass {low}");
+        assert!(high < 0.1, "high-mass {high}");
+    }
+
+    #[test]
+    fn users_drift_slowly() {
+        let spec = FolkLikeDataset::delaware().scaled(0.2, 1.0);
+        let mut data = spec.instantiate(9);
+        let a = data.step().to_vec();
+        let b = data.step().to_vec();
+        let k = spec.k() as f64;
+        // Median absolute move should be well under 2% of the domain.
+        let mut moves: Vec<f64> =
+            a.iter().zip(&b).map(|(&x, &y)| (x as f64 - y as f64).abs() / k).collect();
+        moves.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        let median = moves[moves.len() / 2];
+        assert!(median < 0.02, "median move {median}");
+    }
+
+    #[test]
+    fn distinct_values_per_user_stay_modest() {
+        // The whole point of the workload: over τ = 80 rounds a user sees
+        // far fewer than 80 distinct values.
+        let spec = FolkLikeDataset::montana().scaled(0.01, 1.0);
+        let mut data = spec.instantiate(10);
+        let n = spec.n();
+        let mut seen: Vec<std::collections::BTreeSet<u64>> =
+            vec![std::collections::BTreeSet::new(); n];
+        for _ in 0..spec.tau() {
+            for (u, &v) in data.step().iter().enumerate() {
+                seen[u].insert(v);
+            }
+        }
+        let avg: f64 = seen.iter().map(|s| s.len() as f64).sum::<f64>() / n as f64;
+        assert!(avg < 60.0, "avg distinct {avg}");
+        assert!(avg > 3.0, "values should still drift, avg {avg}");
+    }
+
+    #[test]
+    fn values_cover_a_broad_domain_slice() {
+        let spec = FolkLikeDataset::montana();
+        let mut data = spec.instantiate(11);
+        let values = data.step();
+        let distinct: std::collections::BTreeSet<u64> = values.iter().copied().collect();
+        // With n ≈ 10k draws from a long-tailed marginal over 1412 values,
+        // several hundred distinct values must appear.
+        assert!(distinct.len() > 300, "distinct {}", distinct.len());
+    }
+}

@@ -1,0 +1,63 @@
+//! The dataset abstraction shared by the simulator and the harness.
+
+/// A dataset *specification*: immutable shape parameters plus a factory for
+/// seeded instances.
+pub trait DatasetSpec: Send + Sync {
+    /// Display name matching the paper ("Syn", "Adult", "DB_MT", "DB_DE").
+    fn name(&self) -> &'static str;
+
+    /// Domain size `k` (values are `0..k`).
+    fn k(&self) -> u64;
+
+    /// Number of users `n`.
+    fn n(&self) -> usize;
+
+    /// Number of collection rounds `τ`.
+    fn tau(&self) -> usize;
+
+    /// Creates a deterministic generator instance for one run.
+    fn instantiate(&self, seed: u64) -> Box<dyn EvolvingData>;
+}
+
+/// A running generator: yields every user's private value, one collection
+/// round at a time.
+pub trait EvolvingData: Send {
+    /// Advances to the next round and returns the `n` user values.
+    ///
+    /// Calling `step` more than `tau` times is allowed (generators keep
+    /// evolving); the harness decides where to stop.
+    fn step(&mut self) -> &[u64];
+}
+
+/// The normalized `k`-bin histogram of a batch of values — the ground truth
+/// `{f(v)}_v` at one time step.
+pub fn empirical_histogram(values: &[u64], k: u64) -> Vec<f64> {
+    let mut hist = vec![0.0f64; k as usize];
+    if values.is_empty() {
+        return hist;
+    }
+    let w = 1.0 / values.len() as f64;
+    for &v in values {
+        hist[v as usize] += w;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_normalizes() {
+        let h = empirical_histogram(&[0, 0, 1, 3], 4);
+        assert_eq!(h, vec![0.5, 0.25, 0.0, 0.25]);
+        let sum: f64 = h.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = empirical_histogram(&[], 3);
+        assert_eq!(h, vec![0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,143 @@
+//! The paper's synthetic dataset: telemetry collected every 6 hours.
+//!
+//! k = 360 (minutes in 6 hours), n = 10 000 users, τ = 120 collections
+//! (4×/day over 30 days). Each user starts uniform; at every subsequent
+//! step the value changes with probability `p_ch = 0.25` to a fresh
+//! uniform draw — the *uncorrelated, frequent change* regime where
+//! memoization-based budgets degrade fastest.
+
+use crate::spec::{DatasetSpec, EvolvingData};
+use ldp_rand::{derive_rng, uniform_f64, uniform_u64, LdpRng};
+
+/// Specification of the Syn dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct SynDataset {
+    k: u64,
+    n: usize,
+    tau: usize,
+    p_change: f64,
+}
+
+impl SynDataset {
+    /// The paper's configuration: k = 360, n = 10 000, τ = 120, p_ch = 0.25.
+    pub fn paper() -> Self {
+        Self { k: 360, n: 10_000, tau: 120, p_change: 0.25 }
+    }
+
+    /// A custom configuration.
+    ///
+    /// # Panics
+    /// Panics unless `k ≥ 2`, `n ≥ 1`, `tau ≥ 1` and `p_change ∈ [0, 1]`.
+    pub fn new(k: u64, n: usize, tau: usize, p_change: f64) -> Self {
+        assert!(k >= 2 && n >= 1 && tau >= 1, "degenerate Syn configuration");
+        assert!((0.0..=1.0).contains(&p_change), "p_change must be a probability");
+        Self { k, n, tau, p_change }
+    }
+
+    /// Shrinks `n` and `tau` by the given fractions (k unchanged).
+    pub fn scaled(&self, n_frac: f64, tau_frac: f64) -> Self {
+        Self {
+            n: ((self.n as f64 * n_frac) as usize).max(1),
+            tau: ((self.tau as f64 * tau_frac) as usize).max(1),
+            ..*self
+        }
+    }
+
+    /// The per-step change probability.
+    pub fn p_change(&self) -> f64 {
+        self.p_change
+    }
+}
+
+impl DatasetSpec for SynDataset {
+    fn name(&self) -> &'static str {
+        "Syn"
+    }
+
+    fn k(&self) -> u64 {
+        self.k
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn tau(&self) -> usize {
+        self.tau
+    }
+
+    fn instantiate(&self, seed: u64) -> Box<dyn EvolvingData> {
+        Box::new(SynData {
+            spec: *self,
+            rng: derive_rng(seed ^ 0x53_59_4E, 0), // "SYN"
+            values: Vec::new(),
+        })
+    }
+}
+
+struct SynData {
+    spec: SynDataset,
+    rng: LdpRng,
+    values: Vec<u64>,
+}
+
+impl EvolvingData for SynData {
+    fn step(&mut self) -> &[u64] {
+        if self.values.is_empty() {
+            self.values =
+                (0..self.spec.n).map(|_| uniform_u64(&mut self.rng, self.spec.k)).collect();
+        } else {
+            for v in &mut self.values {
+                if uniform_f64(&mut self.rng) < self.spec.p_change {
+                    *v = uniform_u64(&mut self.rng, self.spec.k);
+                }
+            }
+        }
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::empirical_histogram;
+
+    #[test]
+    fn first_step_is_roughly_uniform() {
+        let spec = SynDataset::new(10, 50_000, 5, 0.25);
+        let mut data = spec.instantiate(1);
+        let hist = empirical_histogram(data.step(), 10);
+        for (v, &f) in hist.iter().enumerate() {
+            assert!((f - 0.1).abs() < 0.01, "value {v}: {f}");
+        }
+    }
+
+    #[test]
+    fn change_rate_matches_p_change() {
+        let spec = SynDataset::new(360, 20_000, 5, 0.25);
+        let mut data = spec.instantiate(2);
+        let first = data.step().to_vec();
+        let second = data.step().to_vec();
+        let changed = first.iter().zip(&second).filter(|(a, b)| a != b).count();
+        let rate = changed as f64 / first.len() as f64;
+        // Changing to a uniform value can hit the old one (prob 1/k), so
+        // the observed rate is p_ch·(1 − 1/k) ≈ 0.2493.
+        let expected = 0.25 * (1.0 - 1.0 / 360.0);
+        assert!((rate - expected).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn zero_change_probability_freezes_values() {
+        let spec = SynDataset::new(20, 100, 3, 0.0);
+        let mut data = spec.instantiate(3);
+        let first = data.step().to_vec();
+        let second = data.step().to_vec();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_bad_p_change() {
+        let _ = SynDataset::new(10, 10, 10, 1.5);
+    }
+}

@@ -1,0 +1,184 @@
+//! A Zipf-distributed evolving workload (extension, beyond the paper).
+//!
+//! The paper's motivating large-domain examples — "Internet domains",
+//! "preferred webpage" — are classically Zipf-distributed: the r-th most
+//! popular value has probability ∝ `1/r^s`. The paper's own generators
+//! (uniform Syn, spiked Adult, log-normal folktables) bracket other
+//! shapes; this one exercises the heavy-hitter regime: a handful of
+//! dominant values above a long noise tail, exactly what PEM and the
+//! hitter tracker consume.
+//!
+//! Dynamics mirror Syn: each user redraws from the *same* Zipf law with
+//! probability `p_change` per round, so the population histogram is
+//! static-in-distribution while individual users churn. Values are
+//! rank-encoded (value `0` is the most popular), which keeps ground-truth
+//! inspection trivial; permute externally if rank order must be hidden.
+
+use crate::spec::{DatasetSpec, EvolvingData};
+use ldp_rand::{derive_rng, uniform_f64, AliasTable, LdpRng};
+
+/// Specification of the Zipf workload.
+#[derive(Debug, Clone, Copy)]
+pub struct ZipfDataset {
+    k: u64,
+    n: usize,
+    tau: usize,
+    exponent: f64,
+    p_change: f64,
+}
+
+impl ZipfDataset {
+    /// A web-domain-like default: k = 1 000, n = 20 000, τ = 60, s = 1.1,
+    /// 10% churn per round.
+    pub fn web() -> Self {
+        Self { k: 1_000, n: 20_000, tau: 60, exponent: 1.1, p_change: 0.10 }
+    }
+
+    /// A custom configuration.
+    ///
+    /// # Panics
+    /// Panics unless `k ≥ 2`, `n ≥ 1`, `tau ≥ 1`, `exponent > 0` and
+    /// `p_change ∈ [0, 1]`.
+    pub fn new(k: u64, n: usize, tau: usize, exponent: f64, p_change: f64) -> Self {
+        assert!(k >= 2 && n >= 1 && tau >= 1, "degenerate Zipf configuration");
+        assert!(exponent > 0.0 && exponent.is_finite(), "exponent must be positive");
+        assert!((0.0..=1.0).contains(&p_change), "p_change must be a probability");
+        Self { k, n, tau, exponent, p_change }
+    }
+
+    /// Shrinks `n` and `tau` by the given fractions (k unchanged).
+    pub fn scaled(&self, n_frac: f64, tau_frac: f64) -> Self {
+        Self {
+            n: ((self.n as f64 * n_frac) as usize).max(1),
+            tau: ((self.tau as f64 * tau_frac) as usize).max(1),
+            ..*self
+        }
+    }
+
+    /// The exact population law: `P(rank r) = r^{−s} / H_{k,s}`.
+    pub fn law(&self) -> Vec<f64> {
+        let mut weights: Vec<f64> =
+            (1..=self.k).map(|r| (r as f64).powf(-self.exponent)).collect();
+        let total: f64 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= total;
+        }
+        weights
+    }
+}
+
+impl DatasetSpec for ZipfDataset {
+    fn name(&self) -> &'static str {
+        "Zipf"
+    }
+
+    fn k(&self) -> u64 {
+        self.k
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn tau(&self) -> usize {
+        self.tau
+    }
+
+    fn instantiate(&self, seed: u64) -> Box<dyn EvolvingData> {
+        let sampler = AliasTable::new(&self.law()).expect("valid Zipf law");
+        Box::new(ZipfData {
+            spec: *self,
+            sampler,
+            rng: derive_rng(seed ^ 0x5A_49_50, 0), // "ZIP"
+            values: Vec::new(),
+        })
+    }
+}
+
+struct ZipfData {
+    spec: ZipfDataset,
+    sampler: AliasTable,
+    rng: LdpRng,
+    values: Vec<u64>,
+}
+
+impl EvolvingData for ZipfData {
+    fn step(&mut self) -> &[u64] {
+        if self.values.is_empty() {
+            self.values =
+                (0..self.spec.n).map(|_| self.sampler.sample(&mut self.rng) as u64).collect();
+        } else {
+            for v in &mut self.values {
+                if uniform_f64(&mut self.rng) < self.spec.p_change {
+                    *v = self.sampler.sample(&mut self.rng) as u64;
+                }
+            }
+        }
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::empirical_histogram;
+
+    #[test]
+    fn law_is_a_normalized_zipf() {
+        let spec = ZipfDataset::new(100, 10, 5, 1.0, 0.1);
+        let law = spec.law();
+        assert!((law.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // P(1)/P(2) = 2^s = 2 at s = 1.
+        assert!((law[0] / law[1] - 2.0).abs() < 1e-9);
+        // Strictly decreasing in rank.
+        for w in law.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+    }
+
+    #[test]
+    fn empirical_histogram_matches_the_law() {
+        let spec = ZipfDataset::new(50, 200_000, 2, 1.2, 0.0);
+        let law = spec.law();
+        let mut data = spec.instantiate(9);
+        let hist = empirical_histogram(data.step(), 50);
+        for (rank, (&f, &p)) in hist.iter().zip(&law).enumerate().take(10) {
+            assert!((f - p).abs() < 0.01, "rank {rank}: {f} vs {p}");
+        }
+    }
+
+    #[test]
+    fn churn_preserves_the_population_law() {
+        let spec = ZipfDataset::new(20, 100_000, 10, 1.1, 0.5);
+        let law = spec.law();
+        let mut data = spec.instantiate(11);
+        for _ in 0..4 {
+            data.step();
+        }
+        let hist = empirical_histogram(data.step(), 20);
+        assert!((hist[0] - law[0]).abs() < 0.01, "head: {} vs {}", hist[0], law[0]);
+    }
+
+    #[test]
+    fn zero_churn_freezes_users() {
+        let spec = ZipfDataset::new(30, 500, 3, 1.0, 0.0);
+        let mut data = spec.instantiate(12);
+        let a = data.step().to_vec();
+        let b = data.step().to_vec();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scaled_shrinks_population_and_rounds() {
+        let spec = ZipfDataset::web().scaled(0.1, 0.5);
+        assert_eq!(spec.n(), 2_000);
+        assert_eq!(spec.tau(), 30);
+        assert_eq!(spec.k(), 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn rejects_non_positive_exponent() {
+        let _ = ZipfDataset::new(10, 10, 10, 0.0, 0.1);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the workload generators.
+
+use ldp_datasets::{
+    empirical_histogram, AdultLikeDataset, DatasetSpec, FolkLikeDataset, SynDataset,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every generator yields exactly n in-domain values per step, is
+    /// deterministic in the seed, and differs across seeds.
+    #[test]
+    fn generators_are_deterministic_and_bounded(
+        seed in any::<u64>(),
+        n in 1usize..400,
+        tau in 1usize..6,
+        k in 2u64..200,
+    ) {
+        let specs: Vec<Box<dyn DatasetSpec>> = vec![
+            Box::new(SynDataset::new(k, n, tau, 0.3)),
+            Box::new(AdultLikeDataset::new(n, tau)),
+            Box::new(FolkLikeDataset::new("T", k, n, tau, 0.01)),
+        ];
+        for spec in &specs {
+            let mut a = spec.instantiate(seed);
+            let mut b = spec.instantiate(seed);
+            for _ in 0..tau {
+                let va = a.step().to_vec();
+                let vb = b.step().to_vec();
+                prop_assert_eq!(&va, &vb, "{} non-deterministic", spec.name());
+                prop_assert_eq!(va.len(), spec.n());
+                prop_assert!(va.iter().all(|&v| v < spec.k()), "{}", spec.name());
+            }
+        }
+    }
+
+    /// Histograms over generated steps always sum to one.
+    #[test]
+    fn histograms_are_normalized(seed in any::<u64>(), n in 10usize..500) {
+        let spec = SynDataset::new(17, n, 2, 0.5);
+        let mut data = spec.instantiate(seed);
+        let h = empirical_histogram(data.step(), 17);
+        let sum: f64 = h.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(h.iter().all(|&f| (0.0..=1.0).contains(&f)));
+    }
+
+    /// The Adult-like multiset is invariant across steps for any seed.
+    #[test]
+    fn adult_multiset_static(seed in any::<u64>()) {
+        let spec = AdultLikeDataset::new(500, 3);
+        let mut data = spec.instantiate(seed);
+        let mut first = data.step().to_vec();
+        let mut second = data.step().to_vec();
+        first.sort_unstable();
+        second.sort_unstable();
+        prop_assert_eq!(first, second);
+    }
+
+    /// Syn with p_change = 0 freezes; p_change = 1 churns almost everyone.
+    #[test]
+    fn syn_change_probability_extremes(seed in any::<u64>()) {
+        let frozen = SynDataset::new(50, 300, 2, 0.0);
+        let mut d = frozen.instantiate(seed);
+        let a = d.step().to_vec();
+        let b = d.step().to_vec();
+        prop_assert_eq!(a, b);
+
+        let churn = SynDataset::new(50, 300, 2, 1.0);
+        let mut d = churn.instantiate(seed);
+        let a = d.step().to_vec();
+        let b = d.step().to_vec();
+        let changed = a.iter().zip(&b).filter(|(x, y)| x != y).count();
+        // Redraw can collide with the old value w.p. 1/k = 2%.
+        prop_assert!(changed > 250, "only {changed}/300 changed");
+    }
+
+    /// Scaling never changes k and keeps n, tau at least 1.
+    #[test]
+    fn scaling_invariants(nf in 0.0f64..1.0, tf in 0.0f64..1.0) {
+        let s = FolkLikeDataset::montana().scaled(nf, tf);
+        prop_assert_eq!(s.k(), 1412);
+        prop_assert!(s.n() >= 1);
+        prop_assert!(s.tau() >= 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! Equal-width domain generalization for dBitFlipPM.
+//!
+//! dBitFlipPM partitions the original domain `[k]` into `b ≤ k` buckets so
+//! that *close* values land in the same bucket (the source of both its
+//! information loss and its longitudinal budget reduction). The paper uses
+//! equal-width buckets; so do we.
+
+/// Maps the ordered domain `[0, k)` onto `b` equal-width buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketMapper {
+    k: u64,
+    b: u32,
+}
+
+impl BucketMapper {
+    /// Creates a mapper from a domain of size `k` onto `b` buckets.
+    ///
+    /// # Errors
+    /// Returns `None` unless `1 ≤ b ≤ k` and `k > 0`.
+    pub fn new(k: u64, b: u32) -> Option<Self> {
+        if k == 0 || b == 0 || b as u64 > k {
+            return None;
+        }
+        Some(Self { k, b })
+    }
+
+    /// The original domain size.
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+
+    /// The number of buckets.
+    pub fn b(&self) -> u32 {
+        self.b
+    }
+
+    /// Maps a value to its bucket in `[0, b)`.
+    ///
+    /// # Panics
+    /// Panics if `value >= k` (a domain violation is a caller bug).
+    #[inline]
+    pub fn bucket(&self, value: u64) -> u32 {
+        assert!(value < self.k, "value {value} outside domain of size {}", self.k);
+        // floor(value · b / k): monotone, covers all buckets, widths differ
+        // by at most one element.
+        ((value as u128 * self.b as u128) / self.k as u128) as u32
+    }
+
+    /// The half-open range of original values `[lo, hi)` covered by `bucket`.
+    pub fn range_of(&self, bucket: u32) -> (u64, u64) {
+        assert!(bucket < self.b, "bucket {bucket} out of range");
+        let lo = ceil_div(bucket as u128 * self.k as u128, self.b as u128);
+        let hi = ceil_div((bucket as u128 + 1) * self.k as u128, self.b as u128);
+        (lo as u64, hi as u64)
+    }
+}
+
+#[inline]
+fn ceil_div(a: u128, b: u128) -> u128 {
+    a.div_ceil(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(BucketMapper::new(0, 1).is_none());
+        assert!(BucketMapper::new(4, 0).is_none());
+        assert!(BucketMapper::new(4, 5).is_none());
+    }
+
+    #[test]
+    fn identity_when_b_equals_k() {
+        let m = BucketMapper::new(10, 10).unwrap();
+        for v in 0..10 {
+            assert_eq!(m.bucket(v), v as u32);
+        }
+    }
+
+    #[test]
+    fn single_bucket_when_b_is_one() {
+        let m = BucketMapper::new(100, 1).unwrap();
+        for v in 0..100 {
+            assert_eq!(m.bucket(v), 0);
+        }
+    }
+
+    #[test]
+    fn is_monotone_and_covers_all_buckets() {
+        let m = BucketMapper::new(360, 90).unwrap();
+        let mut prev = 0;
+        let mut seen = [false; 90];
+        for v in 0..360 {
+            let b = m.bucket(v);
+            assert!(b >= prev, "not monotone at {v}");
+            assert!(b < 90);
+            seen[b as usize] = true;
+            prev = b;
+        }
+        assert!(seen.iter().all(|&s| s), "some bucket is empty");
+    }
+
+    #[test]
+    fn widths_differ_by_at_most_one() {
+        let m = BucketMapper::new(1412, 353).unwrap(); // DB_MT with b = k/4
+        let mut widths = vec![0u64; 353];
+        for v in 0..1412 {
+            widths[m.bucket(v) as usize] += 1;
+        }
+        let min = *widths.iter().min().unwrap();
+        let max = *widths.iter().max().unwrap();
+        assert!(max - min <= 1, "widths range [{min}, {max}]");
+    }
+
+    #[test]
+    fn range_of_is_consistent_with_bucket() {
+        let m = BucketMapper::new(97, 7).unwrap();
+        for b in 0..7u32 {
+            let (lo, hi) = m.range_of(b);
+            assert!(lo < hi);
+            for v in lo..hi {
+                assert_eq!(m.bucket(v), b);
+            }
+        }
+        // Ranges tile the domain exactly.
+        assert_eq!(m.range_of(0).0, 0);
+        assert_eq!(m.range_of(6).1, 97);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn out_of_domain_value_panics() {
+        let m = BucketMapper::new(10, 2).unwrap();
+        let _ = m.bucket(10);
+    }
+}

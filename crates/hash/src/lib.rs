@@ -1,0 +1,123 @@
+//! Universal hash families and domain generalization for local-hashing LDP.
+//!
+//! Local Hashing protocols (BLH/OLH, and LOLOHA on top of them) require each
+//! user to pick a hash function `H : [k] → [g]` uniformly from a *universal*
+//! family: for any fixed pair `v1 ≠ v2`, `Pr_H[H(v1) = H(v2)] ≤ 1/g`. This
+//! crate provides:
+//!
+//! * [`CarterWegman`] — the provably 2-universal family
+//!   `h(x) = ((a·x + b) mod p) mod g` with `p = 2^61 − 1`. Default choice:
+//!   the privacy argument of LOLOHA leans on the universal property.
+//! * [`MixFamily`] — a faster heuristic family built from the SplitMix64
+//!   finalizer (the moral equivalent of the seeded xxhash used by the
+//!   paper's Python reference implementation).
+//! * [`BucketMapper`] — the equal-width domain generalization
+//!   `bucket : [k] → [b]` used by dBitFlipPM.
+//! * [`Preimages`] — a CSR-layout inverse table `[g] → {v : H(v) = x}`,
+//!   which turns server-side support counting from O(k) hash evaluations
+//!   per user into an O(k/g) list walk.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bucket;
+mod carter_wegman;
+mod mix;
+mod preimage;
+
+pub use bucket::BucketMapper;
+pub use carter_wegman::{CarterWegman, CwHash, MERSENNE_P};
+pub use mix::{MixFamily, MixHash};
+pub use preimage::Preimages;
+
+use rand::RngCore;
+
+/// A sampled member of a universal hash family, mapping `u64` inputs to
+/// `[0, g)`.
+pub trait SeededHash {
+    /// The reduced domain size `g ≥ 2`.
+    fn g(&self) -> u32;
+
+    /// Hashes `value` into `[0, g)`. Must be deterministic.
+    fn hash(&self, value: u64) -> u32;
+}
+
+/// A universal family of hash functions `[k] → [g]`.
+pub trait UniversalFamily {
+    /// The concrete hash type produced by [`Self::sample`].
+    type Hash: SeededHash + Clone + Send + Sync + 'static;
+
+    /// The reduced domain size `g ≥ 2` shared by all members.
+    fn g(&self) -> u32;
+
+    /// Draws one hash function uniformly from the family.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> Self::Hash;
+}
+
+/// Measures the empirical pairwise collision rate of a family: the fraction
+/// of sampled hash functions under which `v1` and `v2` collide. Used by
+/// tests and by the documentation examples to demonstrate universality.
+pub fn empirical_collision_rate<F, R>(
+    family: &F,
+    v1: u64,
+    v2: u64,
+    trials: usize,
+    rng: &mut R,
+) -> f64
+where
+    F: UniversalFamily,
+    R: RngCore + ?Sized,
+{
+    let mut collisions = 0usize;
+    for _ in 0..trials {
+        let h = family.sample(rng);
+        if h.hash(v1) == h.hash(v2) {
+            collisions += 1;
+        }
+    }
+    collisions as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_rand::derive_rng;
+
+    fn check_universality<F: UniversalFamily>(family: &F, g: u32, seed: u64) {
+        let mut rng = derive_rng(seed, 0);
+        // A handful of adversarial-ish pairs: adjacent, far apart, powers of
+        // two, and the degenerate 0 input.
+        let pairs = [(0u64, 1u64), (1, 2), (0, 1 << 40), (123, 456), (999, 1000)];
+        let trials = 40_000;
+        for &(a, b) in &pairs {
+            let rate = empirical_collision_rate(family, a, b, trials, &mut rng);
+            let bound = 1.0 / g as f64;
+            // Allow 5-sigma binomial noise above the 1/g bound.
+            let tol = 5.0 * (bound * (1.0 - bound) / trials as f64).sqrt();
+            assert!(
+                rate <= bound + tol,
+                "pair ({a},{b}): collision rate {rate} exceeds 1/{g} + {tol}"
+            );
+        }
+    }
+
+    #[test]
+    fn carter_wegman_is_universal_g2() {
+        check_universality(&CarterWegman::new(2).unwrap(), 2, 100);
+    }
+
+    #[test]
+    fn carter_wegman_is_universal_g7() {
+        check_universality(&CarterWegman::new(7).unwrap(), 7, 101);
+    }
+
+    #[test]
+    fn mix_family_is_universal_g2() {
+        check_universality(&MixFamily::new(2).unwrap(), 2, 102);
+    }
+
+    #[test]
+    fn mix_family_is_universal_g16() {
+        check_universality(&MixFamily::new(16).unwrap(), 16, 103);
+    }
+}

@@ -1,0 +1,137 @@
+//! CSR-layout preimage tables for server-side support counting.
+//!
+//! An LH/LOLOHA server must compute, at every time step, the support count
+//! `C(v) = |{u : H_u(v) = x_u}|` for every `v`. Walking the hash forward is
+//! O(n·k) hash evaluations per step. Instead we invert each user's hash once
+//! at registration: `Preimages` stores, for every cell `x ∈ [g)`, the list of
+//! domain values hashing to `x`. A report `x_u` then contributes one
+//! increment per preimage (k/g on average), with no hashing on the hot path.
+
+use crate::SeededHash;
+
+/// The inverse image of a hash function over a finite domain `[0, k)`,
+/// stored in compressed sparse row layout (one contiguous value buffer plus
+/// `g + 1` offsets).
+#[derive(Debug, Clone)]
+pub struct Preimages {
+    /// Domain values grouped by hash cell.
+    values: Vec<u32>,
+    /// `offsets[x]..offsets[x+1]` delimits the values hashing to `x`.
+    offsets: Vec<u32>,
+}
+
+impl Preimages {
+    /// Builds the preimage table of `hash` over the domain `[0, k)`.
+    ///
+    /// # Panics
+    /// Panics if `k` exceeds `u32::MAX` (domains here are ≤ a few thousand).
+    pub fn build<H: SeededHash>(hash: &H, k: u64) -> Self {
+        assert!(k <= u32::MAX as u64, "domain too large for preimage table");
+        let g = hash.g() as usize;
+        let mut counts = vec![0u32; g + 1];
+        let cells: Vec<u32> = (0..k).map(|v| hash.hash(v)).collect();
+        for &c in &cells {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..g {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut values = vec![0u32; k as usize];
+        for (v, &c) in cells.iter().enumerate() {
+            let slot = cursor[c as usize];
+            values[slot as usize] = v as u32;
+            cursor[c as usize] += 1;
+        }
+        Self { values, offsets }
+    }
+
+    /// The number of hash cells `g`.
+    pub fn g(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// The domain size `k`.
+    pub fn k(&self) -> u64 {
+        self.values.len() as u64
+    }
+
+    /// The domain values hashing to cell `x`.
+    #[inline]
+    pub fn cell(&self, x: u32) -> &[u32] {
+        let lo = self.offsets[x as usize] as usize;
+        let hi = self.offsets[x as usize + 1] as usize;
+        &self.values[lo..hi]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CarterWegman, MixFamily, UniversalFamily};
+    use ldp_rand::derive_rng;
+
+    fn check_partition<H: SeededHash>(h: &H, k: u64) {
+        let pre = Preimages::build(h, k);
+        assert_eq!(pre.k(), k);
+        assert_eq!(pre.g(), h.g());
+        let mut seen = vec![false; k as usize];
+        for x in 0..h.g() {
+            for &v in pre.cell(x) {
+                assert_eq!(h.hash(v as u64), x, "value {v} in wrong cell {x}");
+                assert!(!seen[v as usize], "value {v} appears twice");
+                seen[v as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "partition misses values");
+    }
+
+    #[test]
+    fn partitions_domain_exactly_carter_wegman() {
+        let fam = CarterWegman::new(5).unwrap();
+        let mut rng = derive_rng(220, 0);
+        for _ in 0..5 {
+            let h = fam.sample(&mut rng);
+            check_partition(&h, 360);
+        }
+    }
+
+    #[test]
+    fn partitions_domain_exactly_mix() {
+        let fam = MixFamily::new(2).unwrap();
+        let mut rng = derive_rng(221, 0);
+        for _ in 0..5 {
+            let h = fam.sample(&mut rng);
+            check_partition(&h, 97);
+        }
+    }
+
+    #[test]
+    fn cells_have_expected_average_size() {
+        let fam = CarterWegman::new(4).unwrap();
+        let mut rng = derive_rng(222, 0);
+        let h = fam.sample(&mut rng);
+        let pre = Preimages::build(&h, 1000);
+        let sizes: Vec<usize> = (0..4).map(|x| pre.cell(x).len()).collect();
+        let total: usize = sizes.iter().sum();
+        assert_eq!(total, 1000);
+        for &s in &sizes {
+            // Expected 250 per cell; a universal hash keeps cells within a
+            // few standard deviations.
+            assert!((s as f64 - 250.0).abs() < 100.0, "cell size {s}");
+        }
+    }
+
+    #[test]
+    fn empty_domain_builds() {
+        let fam = CarterWegman::new(3).unwrap();
+        let mut rng = derive_rng(223, 0);
+        let h = fam.sample(&mut rng);
+        let pre = Preimages::build(&h, 0);
+        assert_eq!(pre.k(), 0);
+        for x in 0..3 {
+            assert!(pre.cell(x).is_empty());
+        }
+    }
+}

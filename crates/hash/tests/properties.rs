@@ -1,0 +1,89 @@
+//! Property-based tests for the hash substrate.
+
+use ldp_hash::{BucketMapper, CarterWegman, CwHash, MixFamily, MixHash, Preimages, SeededHash, UniversalFamily};
+use ldp_rand::derive_rng;
+use proptest::prelude::*;
+
+proptest! {
+    /// Both families always hash into [0, g) and are pure functions.
+    #[test]
+    fn hashes_in_range_and_pure(seed in any::<u64>(), g in 2u32..64, v in any::<u64>()) {
+        let mut rng = derive_rng(seed, 0);
+        let cw = CarterWegman::new(g).unwrap().sample(&mut rng);
+        let mix = MixFamily::new(g).unwrap().sample(&mut rng);
+        for h in [&cw as &dyn SeededHash, &mix] {
+            let x = h.hash(v);
+            prop_assert!(x < g);
+            prop_assert_eq!(x, h.hash(v));
+        }
+    }
+
+    /// Reconstructed hash functions agree with the originals everywhere.
+    #[test]
+    fn hash_functions_serialize(seed in any::<u64>(), g in 2u32..32, vs in prop::collection::vec(any::<u64>(), 8)) {
+        let mut rng = derive_rng(seed, 1);
+        let cw = CarterWegman::new(g).unwrap().sample(&mut rng);
+        let (a, b) = cw.parts();
+        let cw2 = CwHash::from_parts(a, b, g).unwrap();
+        let mix = MixFamily::new(g).unwrap().sample(&mut rng);
+        let mix2 = MixHash::from_seed(mix.seed(), g).unwrap();
+        for &v in &vs {
+            prop_assert_eq!(cw.hash(v), cw2.hash(v));
+            prop_assert_eq!(mix.hash(v), mix2.hash(v));
+        }
+    }
+
+    /// Preimages always partition the domain, for any sampled function.
+    #[test]
+    fn preimages_partition(seed in any::<u64>(), g in 2u32..16, k in 1u64..2_000) {
+        let mut rng = derive_rng(seed, 2);
+        let h = CarterWegman::new(g).unwrap().sample(&mut rng);
+        let pre = Preimages::build(&h, k);
+        let total: usize = (0..g).map(|c| pre.cell(c).len()).sum();
+        prop_assert_eq!(total as u64, k);
+        for c in 0..g {
+            for &v in pre.cell(c) {
+                prop_assert_eq!(h.hash(v as u64), c);
+            }
+        }
+    }
+
+    /// Bucket mapping is monotone, surjective onto [0, b), and its ranges
+    /// tile the domain.
+    #[test]
+    fn bucket_mapper_invariants(k in 1u64..10_000, b_frac in 0.0f64..=1.0) {
+        let b = ((k as f64 * b_frac) as u32).clamp(1, k.min(u32::MAX as u64) as u32);
+        let m = BucketMapper::new(k, b).unwrap();
+        let mut prev = 0u32;
+        let mut seen_last = false;
+        let step = (k / 512).max(1);
+        for v in (0..k).step_by(step as usize) {
+            let bu = m.bucket(v);
+            prop_assert!(bu < b);
+            prop_assert!(bu >= prev, "not monotone at {v}");
+            prev = bu;
+            seen_last |= bu == b - 1;
+        }
+        prop_assert_eq!(m.bucket(k - 1), b - 1);
+        let _ = seen_last;
+        // Ranges tile.
+        prop_assert_eq!(m.range_of(0).0, 0);
+        prop_assert_eq!(m.range_of(b - 1).1, k);
+        for c in 1..b.min(64) {
+            prop_assert_eq!(m.range_of(c - 1).1, m.range_of(c).0);
+        }
+    }
+
+    /// Distinct Carter–Wegman samples almost surely differ somewhere on a
+    /// modest domain (the family is rich).
+    #[test]
+    fn family_is_not_degenerate(seed in any::<u64>()) {
+        let fam = CarterWegman::new(8).unwrap();
+        let mut rng = derive_rng(seed, 3);
+        let h1 = fam.sample(&mut rng);
+        let h2 = fam.sample(&mut rng);
+        prop_assume!(h1.parts() != h2.parts());
+        let differs = (0..4096u64).any(|v| h1.hash(v) != h2.hash(v));
+        prop_assert!(differs);
+    }
+}

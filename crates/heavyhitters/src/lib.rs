@@ -1,0 +1,51 @@
+//! Heavy-hitter identification on top of the workspace's frequency oracles.
+//!
+//! Frequency oracles answer "how common is value v?"; heavy-hitter
+//! protocols answer "*which* values are common?" without enumerating an
+//! intractable domain. The paper cites this as the flagship application of
+//! its building blocks (\[8, 9\] in §2.3/§6); this crate supplies three
+//! layers:
+//!
+//! * [`topk`] — significance-aware top-k extraction from any estimated
+//!   histogram: attach a confidence radius (Proposition 3.6), split the
+//!   ranking into *significant* hitters and noise-level entries, and test
+//!   pairwise separations.
+//! * [`pem`] — the Prefix Extending Method for huge bit-string domains
+//!   (`k = 2^bits`): user groups report progressively longer prefixes
+//!   through the OLH oracle, and the server grows a candidate set level by
+//!   level, querying only `O(candidates · 2^step)` estimates instead of
+//!   `2^bits`.
+//! * [`tracker`] — longitudinal heavy-hitter tracking with hysteresis:
+//!   consume one histogram estimate per round (e.g. from the LOLOHA
+//!   monitor) and emit enter/exit events without flapping on estimator
+//!   noise.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ldp_heavyhitters::{top_k_with_radius, HitterTracker};
+//!
+//! // A per-round LDP estimate with its Prop. 3.6 confidence radius.
+//! let estimate = vec![0.02, 0.45, -0.01, 0.30, 0.21];
+//! let top = top_k_with_radius(&estimate, 2, 0.05);
+//! assert_eq!(top[0].value, 1);
+//! assert!(top[0].significant());           // 0.45 − 0.05 > 0
+//! assert!(top[0].separated_from(&top[1])); // 0.40 > 0.35
+//!
+//! // Track the heavy set across rounds without alert flapping.
+//! let mut tracker = HitterTracker::new(0.2, 0.1).unwrap();
+//! let events = tracker.update(&estimate);
+//! assert_eq!(events.len(), 3); // values 1, 3, 4 entered
+//! assert!(tracker.update(&estimate).is_empty()); // steady state: silent
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pem;
+pub mod topk;
+pub mod tracker;
+
+pub use pem::{Pem, PemOutcome};
+pub use topk::{significant_hitters, top_k_with_radius, HeavyHitter};
+pub use tracker::{HitterEvent, HitterTracker};

@@ -1,0 +1,149 @@
+//! Significance-aware top-k extraction.
+//!
+//! A raw LDP estimate ranks *noise* alongside signal: with per-value
+//! standard deviation σ ≈ √V*, any value whose estimate is within a few σ
+//! of zero may be a phantom. This module pairs each ranked value with a
+//! uniform confidence interval (the radius of Proposition 3.6, or any
+//! other), so consumers can distinguish "definitely heavy" from "might be
+//! nothing".
+
+/// One ranked value with its estimate and confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeavyHitter {
+    /// The domain value.
+    pub value: u64,
+    /// Its estimated frequency.
+    pub estimate: f64,
+    /// Lower end of the confidence interval (may be negative).
+    pub lower: f64,
+    /// Upper end of the confidence interval.
+    pub upper: f64,
+}
+
+impl HeavyHitter {
+    /// Whether the interval excludes zero — the value is significantly
+    /// present at the interval's confidence level.
+    pub fn significant(&self) -> bool {
+        self.lower > 0.0
+    }
+
+    /// Whether this hitter is separated from `other`: its lower bound
+    /// clears the other's upper bound, so the ranking between the two is
+    /// statistically meaningful.
+    pub fn separated_from(&self, other: &HeavyHitter) -> bool {
+        self.lower > other.upper
+    }
+}
+
+/// Ranks the `top` largest estimates, attaching a ± `radius` interval to
+/// each. Ties rank by value for determinism. `radius` must be
+/// non-negative; pass the Proposition 3.6 radius (`loloha::theory::
+/// utility_bound`) for simultaneous coverage of all bins.
+pub fn top_k_with_radius(estimate: &[f64], top: usize, radius: f64) -> Vec<HeavyHitter> {
+    let radius = radius.max(0.0);
+    let mut order: Vec<usize> = (0..estimate.len()).collect();
+    order.sort_by(|&a, &b| {
+        estimate[b]
+            .partial_cmp(&estimate[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    order
+        .into_iter()
+        .take(top)
+        .map(|v| HeavyHitter {
+            value: v as u64,
+            estimate: estimate[v],
+            lower: estimate[v] - radius,
+            upper: estimate[v] + radius,
+        })
+        .collect()
+}
+
+/// Returns every value whose estimate is significantly above `threshold`
+/// at the given radius: `estimate − radius > threshold`. With
+/// `threshold = 0` this is the set of certainly-present values.
+pub fn significant_hitters(estimate: &[f64], radius: f64, threshold: f64) -> Vec<HeavyHitter> {
+    let radius = radius.max(0.0);
+    let mut out: Vec<HeavyHitter> = estimate
+        .iter()
+        .enumerate()
+        .filter(|(_, &e)| e - radius > threshold)
+        .map(|(v, &e)| HeavyHitter { value: v as u64, estimate: e, lower: e - radius, upper: e + radius })
+        .collect();
+    out.sort_by(|a, b| {
+        b.estimate
+            .partial_cmp(&a.estimate)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.value.cmp(&b.value))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EST: [f64; 6] = [0.02, 0.45, -0.01, 0.30, 0.21, 0.03];
+
+    #[test]
+    fn top_k_orders_by_estimate() {
+        let top = top_k_with_radius(&EST, 3, 0.05);
+        let values: Vec<u64> = top.iter().map(|h| h.value).collect();
+        assert_eq!(values, vec![1, 3, 4]);
+        assert_eq!(top[0].estimate, 0.45);
+        assert!((top[0].lower - 0.40).abs() < 1e-12);
+        assert!((top[0].upper - 0.50).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_larger_than_domain_returns_all() {
+        let top = top_k_with_radius(&EST, 100, 0.0);
+        assert_eq!(top.len(), EST.len());
+    }
+
+    #[test]
+    fn significance_requires_clearing_the_radius() {
+        let top = top_k_with_radius(&EST, 6, 0.05);
+        assert!(top[0].significant()); // 0.45 ± 0.05
+        let small = top.iter().find(|h| h.value == 0).unwrap(); // 0.02 ± 0.05
+        assert!(!small.significant());
+    }
+
+    #[test]
+    fn separation_test_is_strict() {
+        let top = top_k_with_radius(&EST, 3, 0.05);
+        assert!(top[0].separated_from(&top[1])); // 0.40 > 0.35
+        assert!(!top[1].separated_from(&top[2])); // 0.25 < 0.26
+    }
+
+    #[test]
+    fn significant_hitters_filters_and_sorts() {
+        let hitters = significant_hitters(&EST, 0.05, 0.1);
+        let values: Vec<u64> = hitters.iter().map(|h| h.value).collect();
+        assert_eq!(values, vec![1, 3, 4]); // 0.45, 0.30, 0.21 all clear 0.15
+        let none = significant_hitters(&EST, 0.5, 0.0);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn ties_rank_by_value() {
+        let est = [0.3, 0.3, 0.3];
+        let top = top_k_with_radius(&est, 2, 0.0);
+        assert_eq!(top[0].value, 0);
+        assert_eq!(top[1].value, 1);
+    }
+
+    #[test]
+    fn negative_radius_is_clamped() {
+        let top = top_k_with_radius(&EST, 1, -1.0);
+        assert_eq!(top[0].lower, top[0].estimate);
+        assert_eq!(top[0].upper, top[0].estimate);
+    }
+
+    #[test]
+    fn empty_estimate_yields_empty_ranking() {
+        assert!(top_k_with_radius(&[], 3, 0.1).is_empty());
+        assert!(significant_hitters(&[], 0.1, 0.0).is_empty());
+    }
+}

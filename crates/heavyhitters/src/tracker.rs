@@ -1,0 +1,185 @@
+//! Longitudinal heavy-hitter tracking with hysteresis.
+//!
+//! The paper's setting produces one histogram estimate per round; an
+//! operator usually wants the *stable set* of heavy values and a log of
+//! when values entered or left it. Feeding raw per-round top-k into alerts
+//! flaps: a value sitting near the threshold crosses it every other round
+//! by estimator noise alone. The tracker uses two thresholds —
+//! `enter > exit` — so a value must climb above `enter` to join the set
+//! and fall below `exit` to leave it; noise inside the band `[exit, enter]`
+//! causes no events.
+
+use ldp_primitives::error::ParamError;
+use std::collections::BTreeSet;
+
+/// A change in the tracked heavy-hitter set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HitterEvent {
+    /// `value` rose above the enter threshold at `round`.
+    Entered {
+        /// The domain value.
+        value: u64,
+        /// The round index (as counted by the tracker).
+        round: u64,
+        /// The estimate that triggered the event.
+        estimate: f64,
+    },
+    /// `value` fell below the exit threshold at `round`.
+    Exited {
+        /// The domain value.
+        value: u64,
+        /// The round index.
+        round: u64,
+        /// The estimate that triggered the event.
+        estimate: f64,
+    },
+}
+
+/// Tracks the heavy-hitter set across rounds.
+#[derive(Debug, Clone)]
+pub struct HitterTracker {
+    enter: f64,
+    exit: f64,
+    active: BTreeSet<u64>,
+    round: u64,
+}
+
+impl HitterTracker {
+    /// Creates a tracker with hysteresis thresholds `enter > exit ≥ 0`.
+    ///
+    /// A sensible `enter` is the alerting frequency plus the estimator's
+    /// confidence radius; `exit` the frequency minus it.
+    pub fn new(enter: f64, exit: f64) -> Result<Self, ParamError> {
+        let valid =
+            enter.is_finite() && exit.is_finite() && enter > exit && exit >= 0.0 && enter <= 1.0;
+        if !valid {
+            return Err(ParamError::InvalidProbability { p: enter, q: exit });
+        }
+        Ok(Self { enter, exit, active: BTreeSet::new(), round: 0 })
+    }
+
+    /// Ingests one round's histogram estimate and returns the events it
+    /// triggered (sorted by value; enters before exits is not guaranteed).
+    pub fn update(&mut self, estimate: &[f64]) -> Vec<HitterEvent> {
+        let round = self.round;
+        self.round += 1;
+        let mut events = Vec::new();
+        for (v, &e) in estimate.iter().enumerate() {
+            let value = v as u64;
+            if e > self.enter && !self.active.contains(&value) {
+                self.active.insert(value);
+                events.push(HitterEvent::Entered { value, round, estimate: e });
+            } else if e < self.exit && self.active.contains(&value) {
+                self.active.remove(&value);
+                events.push(HitterEvent::Exited { value, round, estimate: e });
+            }
+        }
+        // Values beyond the estimate's length (domain shrank?) are dropped.
+        let len = estimate.len() as u64;
+        let stale: Vec<u64> = self.active.iter().copied().filter(|&v| v >= len).collect();
+        for value in stale {
+            self.active.remove(&value);
+            events.push(HitterEvent::Exited { value, round, estimate: 0.0 });
+        }
+        events
+    }
+
+    /// The currently active heavy-hitter set (ascending).
+    pub fn active(&self) -> impl Iterator<Item = u64> + '_ {
+        self.active.iter().copied()
+    }
+
+    /// Whether `value` is currently tracked as heavy.
+    pub fn is_active(&self, value: u64) -> bool {
+        self.active.contains(&value)
+    }
+
+    /// Rounds ingested so far.
+    pub fn rounds(&self) -> u64 {
+        self.round
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker() -> HitterTracker {
+        HitterTracker::new(0.2, 0.1).unwrap()
+    }
+
+    #[test]
+    fn value_enters_once_and_exits_once() {
+        let mut t = tracker();
+        assert!(t.update(&[0.05, 0.25]).len() == 1);
+        assert!(t.is_active(1));
+        // Stays active with no new event while above exit.
+        assert!(t.update(&[0.05, 0.15]).is_empty());
+        assert!(t.is_active(1));
+        let events = t.update(&[0.05, 0.05]);
+        assert_eq!(
+            events,
+            vec![HitterEvent::Exited { value: 1, round: 2, estimate: 0.05 }]
+        );
+        assert!(!t.is_active(1));
+    }
+
+    #[test]
+    fn hysteresis_band_does_not_flap() {
+        let mut t = tracker();
+        t.update(&[0.25]);
+        // Oscillate inside (0.1, 0.2): no events.
+        for &e in &[0.19, 0.11, 0.15, 0.12, 0.18] {
+            assert!(t.update(&[e]).is_empty(), "estimate {e} flapped");
+        }
+        assert!(t.is_active(0));
+    }
+
+    #[test]
+    fn naive_threshold_would_flap_where_tracker_does_not() {
+        // The motivating comparison: count naive crossings vs tracker events
+        // on a noisy series hovering around 0.15.
+        let series = [0.16, 0.14, 0.17, 0.13, 0.18, 0.12, 0.19, 0.11];
+        let naive_events = series.windows(2).filter(|w| (w[0] > 0.15) != (w[1] > 0.15)).count();
+        assert!(naive_events >= 6, "series chosen to flap: {naive_events}");
+        let mut t = tracker();
+        let total: usize = series.iter().map(|&e| t.update(&[e]).len()).sum();
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn multiple_values_tracked_independently() {
+        let mut t = tracker();
+        let events = t.update(&[0.3, 0.05, 0.4]);
+        assert_eq!(events.len(), 2);
+        assert!(t.is_active(0) && t.is_active(2) && !t.is_active(1));
+        assert_eq!(t.active().collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn shrinking_domain_expires_stale_values() {
+        let mut t = tracker();
+        t.update(&[0.1, 0.3]);
+        assert!(t.is_active(1));
+        let events = t.update(&[0.1]);
+        assert_eq!(events, vec![HitterEvent::Exited { value: 1, round: 1, estimate: 0.0 }]);
+    }
+
+    #[test]
+    fn thresholds_validated() {
+        assert!(HitterTracker::new(0.1, 0.2).is_err()); // enter < exit
+        assert!(HitterTracker::new(0.2, 0.2).is_err()); // no band
+        assert!(HitterTracker::new(0.2, -0.1).is_err());
+        assert!(HitterTracker::new(1.5, 0.1).is_err());
+        assert!(HitterTracker::new(f64::NAN, 0.1).is_err());
+    }
+
+    #[test]
+    fn rounds_counter_advances() {
+        let mut t = tracker();
+        assert_eq!(t.rounds(), 0);
+        t.update(&[0.0]);
+        t.update(&[0.0]);
+        assert_eq!(t.rounds(), 2);
+    }
+}

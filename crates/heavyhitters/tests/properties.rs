@@ -1,0 +1,123 @@
+//! Property tests for top-k extraction, PEM level structure, and the
+//! hysteresis tracker.
+
+use ldp_heavyhitters::{significant_hitters, top_k_with_radius, HitterTracker, Pem};
+use proptest::prelude::*;
+
+fn estimates(k: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-0.2f64..0.8, k..=k)
+}
+
+proptest! {
+    /// The top-k ranking is sorted, within-domain, and contains the true
+    /// arg-max.
+    #[test]
+    fn top_k_is_sorted_and_complete(est in estimates(12), top in 1usize..15) {
+        let ranked = top_k_with_radius(&est, top, 0.05);
+        prop_assert_eq!(ranked.len(), top.min(est.len()));
+        for w in ranked.windows(2) {
+            prop_assert!(w[0].estimate >= w[1].estimate);
+        }
+        let argmax = est
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0 as u64;
+        prop_assert_eq!(ranked[0].value, argmax);
+        for h in &ranked {
+            prop_assert!((h.value as usize) < est.len());
+            prop_assert!((h.upper - h.lower - 0.1).abs() < 1e-12, "interval width 2·radius");
+        }
+    }
+
+    /// Significant hitters are exactly the entries clearing threshold +
+    /// radius — no more, no fewer.
+    #[test]
+    fn significant_set_matches_definition(
+        est in estimates(10),
+        radius in 0.0f64..0.3,
+        threshold in 0.0f64..0.4,
+    ) {
+        let got: Vec<u64> =
+            significant_hitters(&est, radius, threshold).iter().map(|h| h.value).collect();
+        let expected: Vec<u64> = (0..est.len() as u64)
+            .filter(|&v| est[v as usize] - radius > threshold)
+            .collect();
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, expected);
+    }
+
+    /// PEM's level plan always starts at `start_bits`, ends exactly at
+    /// `bits`, and advances by at most `step_bits`.
+    #[test]
+    fn pem_levels_well_formed(
+        bits in 2u32..40,
+        start_frac in 0.1f64..1.0,
+        step in 1u32..8,
+    ) {
+        let start = ((bits as f64 * start_frac) as u32).clamp(1, bits);
+        let pem = Pem {
+            bits,
+            start_bits: start,
+            step_bits: step,
+            eps: 1.0,
+            threshold: 0.05,
+            max_candidates: 8,
+        };
+        let levels = pem.levels();
+        prop_assert_eq!(levels[0], start);
+        prop_assert_eq!(*levels.last().unwrap(), bits);
+        for w in levels.windows(2) {
+            prop_assert!(w[1] > w[0]);
+            prop_assert!(w[1] - w[0] <= step);
+        }
+    }
+
+    /// The tracker's active set is always consistent with its event log:
+    /// replaying enters minus exits reproduces the set, and no value ever
+    /// enters twice without an exit in between.
+    #[test]
+    fn tracker_events_reconstruct_active_set(
+        rounds in proptest::collection::vec(estimates(6), 1..20),
+    ) {
+        let mut tracker = HitterTracker::new(0.3, 0.1).unwrap();
+        let mut replay = std::collections::BTreeSet::new();
+        for est in &rounds {
+            for event in tracker.update(est) {
+                match event {
+                    ldp_heavyhitters::HitterEvent::Entered { value, .. } => {
+                        prop_assert!(replay.insert(value), "double enter of {value}");
+                    }
+                    ldp_heavyhitters::HitterEvent::Exited { value, .. } => {
+                        prop_assert!(replay.remove(&value), "exit without enter of {value}");
+                    }
+                }
+            }
+            let active: Vec<u64> = tracker.active().collect();
+            prop_assert_eq!(active, replay.iter().copied().collect::<Vec<_>>());
+        }
+    }
+
+    /// Hysteresis invariant: every active value once exceeded `enter`, and
+    /// its latest estimate is at least `exit`.
+    #[test]
+    fn tracker_active_values_respect_thresholds(
+        rounds in proptest::collection::vec(estimates(5), 1..15),
+    ) {
+        let (enter, exit) = (0.35, 0.15);
+        let mut tracker = HitterTracker::new(enter, exit).unwrap();
+        let mut peak = [f64::NEG_INFINITY; 5];
+        for est in &rounds {
+            tracker.update(est);
+            for (v, &e) in est.iter().enumerate() {
+                peak[v] = peak[v].max(e);
+            }
+            for v in tracker.active() {
+                prop_assert!(peak[v as usize] > enter, "active {v} never crossed enter");
+                prop_assert!(est[v as usize] >= exit, "active {v} below exit");
+            }
+        }
+    }
+}

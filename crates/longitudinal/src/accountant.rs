@@ -1,0 +1,127 @@
+//! Per-user longitudinal privacy accounting (Eq. (8) and Definition 3.2).
+//!
+//! Under the paper's "LDP on the users' values" view, a memoizing mechanism
+//! spends a fresh ε∞ every time it memoizes a *new* input class — a distinct
+//! value for RAPPOR/L-OSUE/L-GRR, a distinct hash cell for LOLOHA, a distinct
+//! sampled-bucket pattern for dBitFlipPM — and nothing on repeats. The
+//! accountant tracks the set of classes seen and reports
+//! `ε̌ = ε∞ · |classes|`, capped at `ε∞ · cap` (the protocol's worst case:
+//! k, g, or min(d+1, b)).
+
+/// Tracks the distinct memoized input classes of one user.
+#[derive(Debug, Clone)]
+pub struct BudgetAccountant {
+    eps_inf: f64,
+    cap: u32,
+    seen: Vec<u64>, // bitset over class ids
+    count: u32,
+}
+
+impl BudgetAccountant {
+    /// Creates an accountant for per-class leakage `eps_inf` over at most
+    /// `classes` distinct classes (the protocol's composition cap).
+    pub fn new(eps_inf: f64, classes: u32) -> Self {
+        Self {
+            eps_inf,
+            cap: classes,
+            seen: vec![0u64; (classes as usize).div_ceil(64).max(1)],
+            count: 0,
+        }
+    }
+
+    /// Records that `class` was used as a memoization input this step.
+    /// Returns `true` when the class is new (a fresh ε∞ was spent).
+    #[inline]
+    pub fn observe(&mut self, class: u32) -> bool {
+        debug_assert!(class < self.cap, "class {class} beyond cap {}", self.cap);
+        let (w, b) = ((class / 64) as usize, class % 64);
+        let is_new = self.seen[w] >> b & 1 == 0;
+        if is_new {
+            self.seen[w] |= 1 << b;
+            self.count += 1;
+        }
+        is_new
+    }
+
+    /// Number of distinct classes memoized so far.
+    pub fn classes_seen(&self) -> u32 {
+        self.count
+    }
+
+    /// The accumulated longitudinal privacy loss ε̌ = ε∞ · classes seen.
+    pub fn spent(&self) -> f64 {
+        self.eps_inf * self.count as f64
+    }
+
+    /// The worst-case bound ε∞ · cap this accountant can ever reach.
+    pub fn worst_case(&self) -> f64 {
+        self.eps_inf * self.cap as f64
+    }
+}
+
+/// Clamps a domain size to the `u32` class space used by the accountant.
+pub fn cap_classes_for(k: u64) -> u32 {
+    k.min(u32::MAX as u64) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_accountant_has_spent_nothing() {
+        let a = BudgetAccountant::new(1.5, 10);
+        assert_eq!(a.classes_seen(), 0);
+        assert_eq!(a.spent(), 0.0);
+        assert_eq!(a.worst_case(), 15.0);
+    }
+
+    #[test]
+    fn repeats_are_free() {
+        let mut a = BudgetAccountant::new(2.0, 5);
+        assert!(a.observe(3));
+        assert!(!a.observe(3));
+        assert!(!a.observe(3));
+        assert_eq!(a.classes_seen(), 1);
+        assert_eq!(a.spent(), 2.0);
+    }
+
+    #[test]
+    fn spent_grows_linearly_with_new_classes() {
+        let mut a = BudgetAccountant::new(0.5, 100);
+        for c in 0..7 {
+            assert!(a.observe(c));
+        }
+        assert_eq!(a.classes_seen(), 7);
+        assert!((a.spent() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spent_never_exceeds_worst_case() {
+        let mut a = BudgetAccountant::new(1.0, 8);
+        for c in 0..8 {
+            a.observe(c);
+        }
+        assert_eq!(a.spent(), a.worst_case());
+    }
+
+    #[test]
+    fn monotone_in_observations() {
+        let mut a = BudgetAccountant::new(1.0, 64);
+        let mut prev = 0.0;
+        for c in [5u32, 5, 1, 63, 1, 2, 5] {
+            a.observe(c);
+            assert!(a.spent() >= prev);
+            prev = a.spent();
+        }
+        assert_eq!(a.classes_seen(), 4);
+    }
+
+    #[test]
+    fn large_class_space() {
+        let mut a = BudgetAccountant::new(1.0, 1412);
+        assert!(a.observe(1411));
+        assert!(!a.observe(1411));
+        assert_eq!(a.classes_seen(), 1);
+    }
+}

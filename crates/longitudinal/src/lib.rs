@@ -1,0 +1,49 @@
+//! Memoization-based longitudinal LDP baselines (§2.4 of the LOLOHA paper).
+//!
+//! Longitudinal frequency monitoring cannot simply repeat a one-shot LDP
+//! protocol: fresh noise every step enables averaging attacks, and naive
+//! composition burns `τ·ε`. The state of the art instead *memoizes* a
+//! permanently randomized response (PRR) per distinct input and re-noises it
+//! per report (IRR). This crate implements every such baseline the paper
+//! evaluates:
+//!
+//! * [`LongitudinalUeClient`] — the chained unary-encoding family of
+//!   Arcolezi et al. \[5\]: **L-SUE** (= RAPPOR \[23\]), **L-OSUE**, plus the
+//!   **L-OUE** / **L-SOUE** combinations as extensions.
+//! * [`LgrrClient`] — **L-GRR** \[5\]: GRR chained with GRR.
+//! * [`DBitFlipClient`] — **dBitFlipPM** \[13\]: bucketized one-round
+//!   memoization with `d`-out-of-`b` bit sampling.
+//! * [`ThreshClient`] — **THRESH** (Joseph et al., NeurIPS 2018), the
+//!   data-change-based alternative discussed in §1/§6, as an extension.
+//! * [`DdrmClient`] — a **DDRM**-style difference-tree mechanism (Xue et
+//!   al., TKDE 2022), the other §1/§6 data-change-based baseline, as an
+//!   extension (documented simplification in [`ddrm`]).
+//!
+//! Shared infrastructure:
+//!
+//! * [`chain`] — the (p1, q1, p2, q2) parameterizations: paper closed forms,
+//!   cross-checked against a numeric solver.
+//! * [`memo`] — compact per-user memoization tables.
+//! * [`irr`] — the instantaneous-randomization step over bit vectors.
+//! * [`BudgetAccountant`] — per-user longitudinal privacy loss ε̌ (Eq. (8)).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accountant;
+pub mod chain;
+pub mod dbitflip;
+pub mod ddrm;
+pub mod irr;
+pub mod lgrr;
+pub mod lue;
+pub mod memo;
+pub mod thresh;
+
+pub use accountant::BudgetAccountant;
+pub use chain::{ChainParams, UeChain};
+pub use dbitflip::{DBitFlipClient, DBitFlipServer, DBitReport};
+pub use ddrm::{DdrmClient, DdrmReport, DdrmServer, DyadicNode};
+pub use lgrr::{LgrrClient, LgrrServer};
+pub use lue::{LongitudinalUeClient, LueServer};
+pub use thresh::{ThreshClient, ThreshConfig, ThreshServer};

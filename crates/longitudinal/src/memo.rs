@@ -1,0 +1,202 @@
+//! Compact per-user memoization tables.
+//!
+//! A longitudinal client must remember the PRR output for every distinct
+//! input it has reported. With tens of thousands of simulated users alive at
+//! once, per-user `HashMap`s are too heavy; instead:
+//!
+//! * [`SymbolMemo`] — for symbol-valued PRRs (L-GRR, LOLOHA): a flat
+//!   `Vec<u16>` indexed by input class, `u16::MAX` meaning "not memoized".
+//! * [`UnaryMemo`] — for bit-vector PRRs (RAPPOR / L-UE family): a `u16`
+//!   index table into a single grow-only arena of fixed-width bit blocks,
+//!   so each client performs O(distinct inputs) small allocations in one
+//!   contiguous buffer.
+
+/// Sentinel for "no memoized entry".
+const EMPTY: u16 = u16::MAX;
+
+/// Memoizes one symbol (`< u16::MAX`) per input class.
+#[derive(Debug, Clone)]
+pub struct SymbolMemo {
+    table: Vec<u16>,
+}
+
+impl SymbolMemo {
+    /// Creates an empty memo over `classes` input classes.
+    ///
+    /// # Panics
+    /// Panics if `classes` exceeds `u16::MAX` slots? No — classes may be up
+    /// to `u32`; only the *stored symbols* must fit in `u16 − 1`.
+    pub fn new(classes: u32) -> Self {
+        Self { table: vec![EMPTY; classes as usize] }
+    }
+
+    /// Looks up the memoized symbol for `class`.
+    #[inline]
+    pub fn get(&self, class: u32) -> Option<u16> {
+        match self.table[class as usize] {
+            EMPTY => None,
+            s => Some(s),
+        }
+    }
+
+    /// Stores `symbol` for `class`.
+    ///
+    /// # Panics
+    /// Panics if `symbol == u16::MAX` (reserved) or the slot is taken with a
+    /// different value (memoization must be write-once).
+    #[inline]
+    pub fn insert(&mut self, class: u32, symbol: u16) {
+        assert_ne!(symbol, EMPTY, "symbol u16::MAX is reserved");
+        let slot = &mut self.table[class as usize];
+        assert!(
+            *slot == EMPTY || *slot == symbol,
+            "memoization is write-once (class {class})"
+        );
+        *slot = symbol;
+    }
+
+    /// Number of memoized classes.
+    pub fn len(&self) -> usize {
+        self.table.iter().filter(|&&s| s != EMPTY).count()
+    }
+
+    /// Whether nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.table.iter().all(|&s| s == EMPTY)
+    }
+}
+
+/// Memoizes one fixed-width bit vector per input class, arena-backed.
+#[derive(Debug, Clone)]
+pub struct UnaryMemo {
+    index: Vec<u16>,
+    arena: Vec<u64>,
+    blocks_per_entry: usize,
+    entries: u16,
+}
+
+impl UnaryMemo {
+    /// Creates an empty memo over `classes` input classes, each storing a
+    /// bit vector of `bits` bits.
+    pub fn new(classes: u32, bits: usize) -> Self {
+        Self {
+            index: vec![EMPTY; classes as usize],
+            arena: Vec::new(),
+            blocks_per_entry: bits.div_ceil(64),
+            entries: 0,
+        }
+    }
+
+    /// Looks up the memoized blocks for `class`.
+    #[inline]
+    pub fn get(&self, class: u32) -> Option<&[u64]> {
+        match self.index[class as usize] {
+            EMPTY => None,
+            idx => {
+                let start = idx as usize * self.blocks_per_entry;
+                Some(&self.arena[start..start + self.blocks_per_entry])
+            }
+        }
+    }
+
+    /// Inserts the blocks for `class` and returns them.
+    ///
+    /// # Panics
+    /// Panics if the class is already memoized, the block count is wrong, or
+    /// more than `u16::MAX − 1` entries are inserted.
+    pub fn insert(&mut self, class: u32, blocks: &[u64]) -> &[u64] {
+        assert_eq!(blocks.len(), self.blocks_per_entry, "block count mismatch");
+        assert_eq!(self.index[class as usize], EMPTY, "memoization is write-once");
+        assert!(self.entries < EMPTY, "memo arena full");
+        let idx = self.entries;
+        self.index[class as usize] = idx;
+        self.entries += 1;
+        let start = self.arena.len();
+        self.arena.extend_from_slice(blocks);
+        &self.arena[start..start + self.blocks_per_entry]
+    }
+
+    /// Number of memoized classes.
+    pub fn len(&self) -> usize {
+        self.entries as usize
+    }
+
+    /// Whether nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbol_memo_roundtrip() {
+        let mut m = SymbolMemo::new(10);
+        assert!(m.is_empty());
+        assert_eq!(m.get(3), None);
+        m.insert(3, 7);
+        assert_eq!(m.get(3), Some(7));
+        assert_eq!(m.len(), 1);
+        // Idempotent re-insert of the same value is allowed.
+        m.insert(3, 7);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "write-once")]
+    fn symbol_memo_rejects_overwrite() {
+        let mut m = SymbolMemo::new(4);
+        m.insert(0, 1);
+        m.insert(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn symbol_memo_rejects_sentinel() {
+        let mut m = SymbolMemo::new(4);
+        m.insert(0, u16::MAX);
+    }
+
+    #[test]
+    fn unary_memo_roundtrip() {
+        let mut m = UnaryMemo::new(5, 100); // 2 blocks per entry
+        assert!(m.is_empty());
+        assert_eq!(m.get(2), None);
+        let blocks = [0xDEAD_BEEFu64, 0x1234];
+        m.insert(2, &blocks);
+        assert_eq!(m.get(2), Some(&blocks[..]));
+        let blocks_b = [1u64, 2];
+        m.insert(4, &blocks_b);
+        assert_eq!(m.get(2), Some(&blocks[..]), "arena growth must not corrupt");
+        assert_eq!(m.get(4), Some(&blocks_b[..]));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "write-once")]
+    fn unary_memo_rejects_overwrite() {
+        let mut m = UnaryMemo::new(3, 64);
+        m.insert(1, &[0]);
+        m.insert(1, &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "block count")]
+    fn unary_memo_rejects_wrong_width() {
+        let mut m = UnaryMemo::new(3, 64);
+        m.insert(1, &[0, 1]);
+    }
+
+    #[test]
+    fn unary_memo_many_entries() {
+        let mut m = UnaryMemo::new(1000, 64);
+        for c in 0..1000u32 {
+            m.insert(c, &[c as u64]);
+        }
+        for c in (0..1000u32).rev() {
+            assert_eq!(m.get(c), Some(&[c as u64][..]));
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! THRESH — the data-change-based alternative (Joseph, Roth, Ullman &
+//! Waggoner, NeurIPS 2018), §1/§6 of the LOLOHA paper.
+//!
+//! THRESH takes the opposite bet from memoization: instead of bounding the
+//! leakage per *input class*, it keeps a global estimate frozen and spends
+//! budget only when the population votes that the estimate has drifted.
+//! The paper contrasts it with LOLOHA on two grounds, both visible in this
+//! implementation (and in the `ablation_thresh` bench):
+//!
+//! 1. **Budget splitting is sub-optimal under LDP** — the total budget is
+//!    divided between a per-round voting channel and per-epoch estimation
+//!    channels, so each piece is weak.
+//! 2. **Accuracy decays with the number of distribution changes** — once
+//!    the `max_updates` epochs are exhausted the estimate goes stale no
+//!    matter how wrong it becomes.
+//!
+//! This is a faithful *simplification* of THRESH (documented deviations:
+//! the local "my estimate is stale" evidence is the user's value having
+//! changed since their last estimation epoch, rather than the paper's
+//! concentration-based test; budget is split evenly rather than with their
+//! geometric schedule). It is an extension for comparison — the LOLOHA
+//! paper itself does not evaluate THRESH.
+
+use crate::accountant::{cap_classes_for, BudgetAccountant};
+use ldp_primitives::error::ParamError;
+use ldp_primitives::params::oue_params;
+use ldp_primitives::{BitVec, Grr, PerturbParams, UeClient};
+use rand::RngCore;
+
+/// Shared THRESH configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreshConfig {
+    /// Domain size.
+    pub k: u64,
+    /// Total per-user privacy budget for the whole stream.
+    pub eps_total: f64,
+    /// Number of collection rounds the deployment is provisioned for.
+    pub tau: usize,
+    /// Maximum number of estimation epochs (the paper's `L`).
+    pub max_updates: usize,
+    /// Debiased vote fraction that triggers an update epoch.
+    pub vote_threshold: f64,
+}
+
+impl ThreshConfig {
+    /// Validates a configuration.
+    pub fn new(
+        k: u64,
+        eps_total: f64,
+        tau: usize,
+        max_updates: usize,
+        vote_threshold: f64,
+    ) -> Result<Self, ParamError> {
+        ldp_primitives::error::check_epsilon(eps_total)?;
+        if k < 2 {
+            return Err(ParamError::DomainTooSmall { k, min: 2 });
+        }
+        if tau == 0 || max_updates == 0 || !(0.0..1.0).contains(&vote_threshold) {
+            return Err(ParamError::InvalidProbability {
+                p: vote_threshold,
+                q: vote_threshold,
+            });
+        }
+        Ok(Self { k, eps_total, tau, max_updates, vote_threshold })
+    }
+
+    /// Per-round voting budget: half the total spread over every round.
+    pub fn eps_vote(&self) -> f64 {
+        self.eps_total / 2.0 / self.tau as f64
+    }
+
+    /// Per-epoch estimation budget: half the total spread over the allowed
+    /// updates.
+    pub fn eps_estimate(&self) -> f64 {
+        self.eps_total / 2.0 / self.max_updates as f64
+    }
+}
+
+/// One THRESH user.
+#[derive(Debug, Clone)]
+pub struct ThreshClient {
+    cfg: ThreshConfig,
+    vote_rr: Grr,
+    estimator: UeClient,
+    /// Value at the user's last estimation epoch (the staleness evidence).
+    anchor: Option<u64>,
+    accountant: BudgetAccountant,
+    rounds_voted: u32,
+}
+
+impl ThreshClient {
+    /// Creates a client.
+    pub fn new(cfg: ThreshConfig) -> Result<Self, ParamError> {
+        let vote_rr = Grr::new(2, cfg.eps_vote())?;
+        let estimator = UeClient::oue(cfg.k, cfg.eps_estimate())?;
+        // Budget classes: one per voting round plus one per update epoch.
+        let classes = cap_classes_for((cfg.tau + cfg.max_updates) as u64);
+        Ok(Self {
+            cfg,
+            vote_rr,
+            estimator,
+            anchor: None,
+            accountant: BudgetAccountant::new(1.0, classes),
+            rounds_voted: 0,
+        })
+    }
+
+    /// Produces the vote for this round (every round).
+    pub fn vote<R: RngCore + ?Sized>(&mut self, value: u64, rng: &mut R) -> bool {
+        let stale = match self.anchor {
+            None => true, // never participated in an estimate
+            Some(a) => a != value,
+        };
+        // Spending: one fresh ε_vote class per round.
+        self.accountant.observe(self.rounds_voted);
+        self.rounds_voted += 1;
+        self.vote_rr.perturb(u64::from(stale), rng) == 1
+    }
+
+    /// Produces a fresh estimation report (update epochs only) and anchors
+    /// the current value.
+    pub fn estimate<R: RngCore + ?Sized>(&mut self, value: u64, rng: &mut R) -> BitVec {
+        self.anchor = Some(value);
+        self.accountant.observe(self.cfg.tau as u32 + self.updates_spent());
+        self.estimator.perturb(value, rng)
+    }
+
+    fn updates_spent(&self) -> u32 {
+        (self.accountant.classes_seen()).saturating_sub(self.rounds_voted)
+    }
+
+    /// Total privacy spent so far: votes at ε_vote plus epochs at ε_est.
+    pub fn privacy_spent(&self) -> f64 {
+        self.rounds_voted as f64 * self.cfg.eps_vote()
+            + self.updates_spent() as f64 * self.cfg.eps_estimate()
+    }
+}
+
+/// The THRESH server: counts votes each round, refreshes the global
+/// estimate when the debiased vote fraction crosses the threshold.
+#[derive(Debug, Clone)]
+pub struct ThreshServer {
+    cfg: ThreshConfig,
+    vote_params: PerturbParams,
+    est_params: PerturbParams,
+    global: Vec<f64>,
+    updates_done: usize,
+    votes_this_round: (u64, u64), // (yes, total)
+    est_counts: Vec<u64>,
+    est_n: u64,
+}
+
+impl ThreshServer {
+    /// Creates a server with a uniform prior estimate.
+    pub fn new(cfg: ThreshConfig) -> Result<Self, ParamError> {
+        let vote = Grr::new(2, cfg.eps_vote())?;
+        let (p, q) = oue_params(cfg.eps_estimate());
+        Ok(Self {
+            cfg,
+            vote_params: PerturbParams::new(vote.p(), vote.q())?,
+            est_params: PerturbParams::new(p, q)?,
+            global: vec![1.0 / cfg.k as f64; cfg.k as usize],
+            updates_done: 0,
+            votes_this_round: (0, 0),
+            est_counts: vec![0; cfg.k as usize],
+            est_n: 0,
+        })
+    }
+
+    /// Ingests one vote.
+    pub fn ingest_vote(&mut self, vote: bool) {
+        if vote {
+            self.votes_this_round.0 += 1;
+        }
+        self.votes_this_round.1 += 1;
+    }
+
+    /// Closes the voting phase: returns `true` if an update epoch starts
+    /// (budget for one remains and the debiased vote fraction crosses the
+    /// threshold).
+    pub fn close_votes(&mut self) -> bool {
+        let (yes, total) = self.votes_this_round;
+        self.votes_this_round = (0, 0);
+        if total == 0 || self.updates_done >= self.cfg.max_updates {
+            return false;
+        }
+        // Debias the randomized-response votes (Eq. (1) with k = 2).
+        let frac = ldp_primitives::estimator::frequency_estimate(
+            yes as f64,
+            total as f64,
+            self.vote_params.p,
+            self.vote_params.q,
+        );
+        frac > self.cfg.vote_threshold
+    }
+
+    /// Ingests one estimation report (update epochs).
+    pub fn ingest_estimate(&mut self, bits: &BitVec) {
+        for i in bits.iter_ones() {
+            self.est_counts[i] += 1;
+        }
+        self.est_n += 1;
+    }
+
+    /// Closes an update epoch: replaces the global estimate.
+    pub fn close_update(&mut self) {
+        let counts: Vec<f64> = self.est_counts.iter().map(|&c| c as f64).collect();
+        self.global = ldp_primitives::estimator::frequency_estimates(
+            &counts,
+            self.est_n as f64,
+            self.est_params.p,
+            self.est_params.q,
+        );
+        self.est_counts.fill(0);
+        self.est_n = 0;
+        self.updates_done += 1;
+    }
+
+    /// The current global estimate (stale between update epochs).
+    pub fn estimate(&self) -> &[f64] {
+        &self.global
+    }
+
+    /// Update epochs consumed so far.
+    pub fn updates_done(&self) -> usize {
+        self.updates_done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_rand::{derive_rng, uniform_u64};
+
+    fn cfg(k: u64, tau: usize, updates: usize) -> ThreshConfig {
+        ThreshConfig::new(k, 8.0, tau, updates, 0.3).unwrap()
+    }
+
+    #[test]
+    fn config_validates() {
+        assert!(ThreshConfig::new(1, 1.0, 10, 2, 0.3).is_err());
+        assert!(ThreshConfig::new(10, 0.0, 10, 2, 0.3).is_err());
+        assert!(ThreshConfig::new(10, 1.0, 0, 2, 0.3).is_err());
+        assert!(ThreshConfig::new(10, 1.0, 10, 0, 0.3).is_err());
+        assert!(ThreshConfig::new(10, 1.0, 10, 2, 1.5).is_err());
+    }
+
+    #[test]
+    fn budget_split_is_accounted() {
+        let c = cfg(8, 10, 2);
+        assert!((c.eps_vote() - 0.4).abs() < 1e-12);
+        assert!((c.eps_estimate() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_spend_never_exceeds_eps_total() {
+        let c = cfg(8, 10, 2);
+        let mut client = ThreshClient::new(c).unwrap();
+        let mut rng = derive_rng(900, 0);
+        for t in 0..10u64 {
+            let _ = client.vote(t % 8, &mut rng);
+            if t % 5 == 0 && client.updates_spent() < 2 {
+                let _ = client.estimate(t % 8, &mut rng);
+            }
+        }
+        assert!(client.privacy_spent() <= c.eps_total + 1e-9, "{}", client.privacy_spent());
+    }
+
+    #[test]
+    fn stable_population_triggers_no_updates_after_first() {
+        // After the first estimation epoch anchors everyone, a static
+        // population votes "fresh" and no further updates fire.
+        let c = cfg(6, 8, 4);
+        let n = 4_000;
+        let mut server = ThreshServer::new(c).unwrap();
+        let mut clients: Vec<_> = (0..n).map(|_| ThreshClient::new(c).unwrap()).collect();
+        let mut rng = derive_rng(901, 0);
+        let values: Vec<u64> = (0..n).map(|_| uniform_u64(&mut rng, 6)).collect();
+        let mut updates = 0;
+        for _round in 0..8 {
+            for (u, client) in clients.iter_mut().enumerate() {
+                let v = client.vote(values[u], &mut rng);
+                server.ingest_vote(v);
+            }
+            if server.close_votes() {
+                updates += 1;
+                for (u, client) in clients.iter_mut().enumerate() {
+                    server.ingest_estimate(&client.estimate(values[u], &mut rng));
+                }
+                server.close_update();
+            }
+        }
+        assert_eq!(updates, 1, "static data should settle after one epoch");
+        // And the settled estimate is decent.
+        let est = server.estimate();
+        for (v, &e) in est.iter().enumerate() {
+            assert!((e - 1.0 / 6.0).abs() < 0.1, "v={v}: {e}");
+        }
+    }
+
+    #[test]
+    fn update_budget_exhausts_under_churn() {
+        // Constant churn keeps voting "stale"; after max_updates epochs the
+        // server stops updating and the estimate goes stale.
+        let c = cfg(6, 12, 2);
+        let n = 2_000;
+        let mut server = ThreshServer::new(c).unwrap();
+        let mut clients: Vec<_> = (0..n).map(|_| ThreshClient::new(c).unwrap()).collect();
+        let mut rng = derive_rng(902, 0);
+        for round in 0..12u64 {
+            for (u, client) in clients.iter_mut().enumerate() {
+                // Everyone's value changes every round.
+                let value = (u as u64 + round) % 6;
+                let v = client.vote(value, &mut rng);
+                server.ingest_vote(v);
+            }
+            if server.close_votes() {
+                for (u, client) in clients.iter_mut().enumerate() {
+                    let value = (u as u64 + round) % 6;
+                    server.ingest_estimate(&client.estimate(value, &mut rng));
+                }
+                server.close_update();
+            }
+        }
+        assert_eq!(server.updates_done(), 2, "must stop at max_updates");
+    }
+}

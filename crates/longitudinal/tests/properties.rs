@@ -1,0 +1,92 @@
+//! Property-based tests for the longitudinal baselines.
+
+use ldp_longitudinal::chain::{
+    lgrr_first_report_eps, lgrr_params, lgrr_params_exact, ue_chain_params, UeChain,
+};
+use ldp_longitudinal::{DBitFlipClient, LgrrClient, LongitudinalUeClient};
+use ldp_rand::derive_rng;
+use proptest::prelude::*;
+
+prop_compose! {
+    fn arb_budgets()(ei in 0.3f64..5.0, a in 0.1f64..0.9) -> (f64, f64) {
+        (ei, a * ei)
+    }
+}
+
+proptest! {
+    /// Closed-form L-SUE / L-OSUE chains hit the requested first-report ε
+    /// exactly, on arbitrary budget pairs.
+    #[test]
+    fn closed_form_chains_hit_eps1((ei, e1) in arb_budgets()) {
+        for chain in [UeChain::SueSue, UeChain::OueSue] {
+            let c = ue_chain_params(chain, ei, e1).unwrap();
+            let eps = c.composed().epsilon_unary();
+            prop_assert!((eps - e1).abs() < 1e-8, "{chain:?}: {eps} vs {e1}");
+            prop_assert!((c.prr.epsilon_unary() - ei).abs() < 1e-8);
+            // IRR probabilities are valid.
+            prop_assert!(c.irr.p > 0.5 && c.irr.p < 1.0);
+        }
+    }
+
+    /// The exact L-GRR parameterization is tight and the paper's form is
+    /// conservative, for arbitrary (k, ε∞, ε1).
+    #[test]
+    fn lgrr_forms_ordered((ei, e1) in arb_budgets(), k in 2u64..2_000) {
+        let (prr_e, irr_e) = lgrr_params_exact(k, ei, e1).unwrap();
+        let exact = lgrr_first_report_eps(k, prr_e, irr_e);
+        prop_assert!((exact - e1).abs() < 1e-8, "exact {exact} vs {e1}");
+        let (prr_p, irr_p) = lgrr_params(k, ei, e1).unwrap();
+        let paper = lgrr_first_report_eps(k, prr_p, irr_p);
+        prop_assert!(paper <= e1 + 1e-9, "paper form leaked {paper} > {e1}");
+    }
+
+    /// Memoization is value-stable: repeated reports of one value never
+    /// spend additional budget, for any protocol in the family.
+    #[test]
+    fn memoization_is_idempotent((ei, e1) in arb_budgets(), k in 4u64..64, v_frac in 0.0f64..1.0, seed in any::<u64>()) {
+        let v = ((k as f64 * v_frac) as u64).min(k - 1);
+        let mut rng = derive_rng(seed, 0);
+
+        let mut lue = LongitudinalUeClient::new(UeChain::OueSue, k, ei, e1).unwrap();
+        let mut lgrr = LgrrClient::new(k, ei, e1).unwrap();
+        for _ in 0..5 {
+            let _ = lue.report(v, &mut rng);
+            let _ = lgrr.report(v, &mut rng);
+        }
+        prop_assert_eq!(lue.distinct_values(), 1);
+        prop_assert_eq!(lgrr.distinct_values(), 1);
+        prop_assert!((lue.privacy_spent() - ei).abs() < 1e-12);
+        prop_assert!((lgrr.privacy_spent() - ei).abs() < 1e-12);
+    }
+
+    /// dBitFlipPM reports are deterministic per bucket and the budget obeys
+    /// min(d+1, b)·ε∞ under full-domain churn.
+    #[test]
+    fn dbitflip_budget_cap(seed in any::<u64>(), k in 8u64..256, d_frac in 0.0f64..=1.0, ei in 0.3f64..4.0) {
+        let b = (k / 2).max(2) as u32;
+        let d = ((b as f64 * d_frac) as u32).clamp(1, b);
+        let mut rng = derive_rng(seed, 1);
+        let mut c = DBitFlipClient::new(k, b, d, ei, &mut rng).unwrap();
+        let mut reports = std::collections::HashMap::new();
+        for v in 0..k {
+            let r = c.report(v, &mut rng);
+            let bucket = c.bucket_of(v);
+            // Same bucket ⇒ identical memoized report.
+            if let Some(prev) = reports.insert(bucket, r.bits.clone()) {
+                prop_assert_eq!(prev, r.bits);
+            }
+        }
+        let cap = (d + 1).min(b) as f64 * ei;
+        prop_assert!(c.privacy_spent() <= cap + 1e-9);
+        prop_assert!(c.distinct_classes() <= (d + 1).min(b));
+    }
+
+    /// Reports of the UE family always have the domain's width.
+    #[test]
+    fn lue_report_width((ei, e1) in arb_budgets(), k in 2u64..128, seed in any::<u64>()) {
+        let mut rng = derive_rng(seed, 2);
+        let mut c = LongitudinalUeClient::new(UeChain::SueSue, k, ei, e1).unwrap();
+        let bits = c.report(k - 1, &mut rng);
+        prop_assert_eq!(bits.len() as u64, k);
+    }
+}

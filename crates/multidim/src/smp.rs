@@ -1,0 +1,219 @@
+//! SMP: attribute sampling.
+//!
+//! Each user samples one attribute uniformly at client creation, keeps it
+//! for their whole lifetime (so memoization still protects them), and
+//! spends the *entire* budget on that attribute. The server aggregates each
+//! attribute over the ≈ n/d users who sampled it.
+//!
+//! Compared with SPL the effective population per attribute shrinks by d,
+//! but the per-report noise stays at full-ε strength; since the estimator
+//! variance scales like `1/n` but *exponentially* in ε, SMP wins for all but
+//! the smallest d — the classic result reproduced by this crate's tests and
+//! the `ablation_multidim` bench.
+
+use crate::spl::Flavor;
+use crate::AttributeSpec;
+use ldp_hash::{CarterWegman, CwHash};
+use ldp_primitives::error::ParamError;
+use ldp_rand::uniform_u64;
+use loloha::server::UserId;
+use loloha::{LolohaClient, LolohaParams, LolohaServer};
+use rand::RngCore;
+
+/// A user-side SMP wrapper: one LOLOHA client on one sampled attribute.
+#[derive(Debug)]
+pub struct SmpWrapper {
+    attribute: usize,
+    client: LolohaClient<CwHash>,
+}
+
+impl SmpWrapper {
+    /// Samples the user's attribute uniformly and builds a full-budget
+    /// LOLOHA client for it.
+    pub fn new<R: RngCore + ?Sized>(
+        spec: &AttributeSpec,
+        eps_inf: f64,
+        eps_first: f64,
+        flavor: Flavor,
+        rng: &mut R,
+    ) -> Result<Self, ParamError> {
+        let attribute = uniform_u64(rng, spec.d() as u64) as usize;
+        let params = flavor.params(eps_inf, eps_first)?;
+        let family =
+            CarterWegman::new(params.g()).ok_or(ParamError::InvalidG { g: params.g() })?;
+        let client = LolohaClient::new(&family, spec.k(attribute), params, rng)?;
+        Ok(Self { attribute, client })
+    }
+
+    /// The attribute this user reports (public: SMP reveals the sampled
+    /// attribute to the server, unlike RS+FD).
+    pub fn attribute(&self) -> usize {
+        self.attribute
+    }
+
+    /// One round: sanitizes the sampled attribute's value.
+    ///
+    /// # Panics
+    /// Panics if `values` is shorter than the sampled attribute index or
+    /// the value is outside its domain.
+    pub fn report<R: RngCore + ?Sized>(&mut self, values: &[u64], rng: &mut R) -> u32 {
+        self.client.report(values[self.attribute], rng)
+    }
+
+    /// The client's hash function, registered with the server once.
+    pub fn hash_fn(&self) -> &CwHash {
+        self.client.hash_fn()
+    }
+
+    /// Longitudinal privacy spent (only the sampled attribute leaks).
+    pub fn privacy_spent(&self) -> f64 {
+        self.client.privacy_spent()
+    }
+
+    /// Worst-case cap `g·ε∞` — attribute-count-independent, the whole point
+    /// of SMP.
+    pub fn budget_cap(&self) -> f64 {
+        self.client.params().budget_cap()
+    }
+
+    /// The resolved LOLOHA parameters.
+    pub fn params(&self) -> LolohaParams {
+        self.client.params()
+    }
+}
+
+/// The server side of SMP: a LOLOHA server per attribute, each fed only by
+/// the users who sampled that attribute.
+#[derive(Debug)]
+pub struct SmpServer {
+    servers: Vec<LolohaServer>,
+}
+
+impl SmpServer {
+    /// Creates per-attribute servers at the full budgets.
+    pub fn new(
+        spec: &AttributeSpec,
+        eps_inf: f64,
+        eps_first: f64,
+        flavor: Flavor,
+    ) -> Result<Self, ParamError> {
+        let mut servers = Vec::with_capacity(spec.d());
+        for j in 0..spec.d() {
+            let params = flavor.params(eps_inf, eps_first)?;
+            servers.push(LolohaServer::new(spec.k(j), params)?);
+        }
+        Ok(Self { servers })
+    }
+
+    /// Registers a user under their sampled attribute.
+    pub fn register_user(&mut self, attribute: usize, hash: &CwHash) -> UserId {
+        self.servers[attribute].register_user(hash)
+    }
+
+    /// Ingests one report for the given attribute.
+    pub fn ingest(&mut self, attribute: usize, id: UserId, cell: u32) {
+        self.servers[attribute].ingest(id, cell);
+    }
+
+    /// Number of reports ingested for attribute `j` this round (≈ n/d).
+    pub fn effective_n(&self, j: usize) -> u64 {
+        self.servers[j].n_step()
+    }
+
+    /// Finishes the round: per-attribute frequency estimates, each computed
+    /// over its own sub-population.
+    pub fn estimate_and_reset(&mut self) -> Vec<Vec<f64>> {
+        self.servers.iter_mut().map(|s| s.estimate_and_reset()).collect()
+    }
+}
+
+/// Numeric variance comparison of SPL vs SMP for `n` users and `d`
+/// attributes at total budgets `(ε∞, ε1)`: returns `(V*_spl, V*_smp)`
+/// per-value approximate variances (Eq. (5)), using the BiLOLOHA
+/// parameterization for both.
+///
+/// SPL runs every user at ε/d; SMP runs n/d users at full ε.
+pub fn variance_spl_vs_smp(
+    n: f64,
+    d: usize,
+    eps_inf: f64,
+    eps_first: f64,
+) -> Result<(f64, f64), ParamError> {
+    let df = d as f64;
+    let spl = LolohaParams::bi(eps_inf / df, eps_first / df)?.variance_approx(n);
+    let smp = LolohaParams::bi(eps_inf, eps_first)?.variance_approx(n / df);
+    Ok((spl, smp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_rand::derive_rng;
+
+    fn spec() -> AttributeSpec {
+        AttributeSpec::new(vec![8, 8, 8, 8]).unwrap()
+    }
+
+    #[test]
+    fn smp_attribute_sampling_is_roughly_uniform() {
+        let mut rng = derive_rng(10, 0);
+        let spec = spec();
+        let mut counts = [0u32; 4];
+        for _ in 0..4_000 {
+            let w = SmpWrapper::new(&spec, 1.0, 0.5, Flavor::Bi, &mut rng).unwrap();
+            counts[w.attribute()] += 1;
+        }
+        for (j, &c) in counts.iter().enumerate() {
+            assert!((800..1200).contains(&c), "attribute {j} sampled {c} times");
+        }
+    }
+
+    #[test]
+    fn smp_budget_cap_is_attribute_count_independent() {
+        let mut rng = derive_rng(11, 0);
+        let w = SmpWrapper::new(&spec(), 2.0, 1.0, Flavor::Bi, &mut rng).unwrap();
+        assert!((w.budget_cap() - 4.0).abs() < 1e-12); // g=2 × ε∞=2
+    }
+
+    #[test]
+    fn smp_round_trip_estimates_each_attribute() {
+        let spec = AttributeSpec::new(vec![6, 12]).unwrap();
+        let (ei, e1) = (5.0, 2.5);
+        let mut rng = derive_rng(12, 0);
+        let mut server = SmpServer::new(&spec, ei, e1, Flavor::Bi).unwrap();
+        let n = 8_000;
+        let mut users: Vec<_> = (0..n)
+            .map(|_| SmpWrapper::new(&spec, ei, e1, Flavor::Bi, &mut rng).unwrap())
+            .collect();
+        let ids: Vec<_> =
+            users.iter().map(|u| server.register_user(u.attribute(), u.hash_fn())).collect();
+        // Attribute 0 always 2; attribute 1 always 7.
+        for (u, &id) in users.iter_mut().zip(&ids) {
+            let cell = u.report(&[2, 7], &mut rng);
+            server.ingest(u.attribute(), id, cell);
+        }
+        let n0 = server.effective_n(0);
+        let n1 = server.effective_n(1);
+        assert_eq!(n0 + n1, n as u64);
+        let est = server.estimate_and_reset();
+        assert!(est[0][2] > 0.5, "attr0: {}", est[0][2]);
+        assert!(est[1][7] > 0.5, "attr1: {}", est[1][7]);
+    }
+
+    #[test]
+    fn smp_beats_spl_variance_beyond_two_attributes() {
+        let (spl, smp) = variance_spl_vs_smp(10_000.0, 4, 2.0, 1.0).unwrap();
+        assert!(smp < spl, "SMP {smp} should beat SPL {spl} at d = 4");
+        // And the gap widens with d.
+        let (spl8, smp8) = variance_spl_vs_smp(10_000.0, 8, 2.0, 1.0).unwrap();
+        assert!(smp8 / spl8 < smp / spl);
+    }
+
+    #[test]
+    fn spl_wins_at_d_one() {
+        // Degenerate single-attribute case: both are the same protocol, SPL
+        // has the full population.
+        let (spl, smp) = variance_spl_vs_smp(10_000.0, 1, 2.0, 1.0).unwrap();
+        assert!((spl - smp).abs() < 1e-15);
+    }
+}

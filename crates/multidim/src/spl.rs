@@ -1,0 +1,209 @@
+//! SPL: budget splitting across attributes.
+//!
+//! Each user runs one LOLOHA client per attribute, with both ε∞ and ε1
+//! divided by the number of attributes `d`. By sequential composition each
+//! round's combined report is (Σ_j ε1/d) = ε1-LDP, and the worst-case
+//! longitudinal budget is Σ_j g_j·(ε∞/d). Every attribute is observed by
+//! the full population, but at a much weaker per-attribute ε — the variance
+//! explodes roughly like `e^{ε/d}` terms, which is why SMP usually wins
+//! beyond a handful of attributes.
+
+use crate::AttributeSpec;
+use ldp_hash::{CarterWegman, CwHash};
+use ldp_primitives::error::ParamError;
+use loloha::{LolohaClient, LolohaParams, LolohaServer};
+use rand::RngCore;
+
+/// Which LOLOHA flavor to instantiate per attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flavor {
+    /// BiLOLOHA (`g = 2`): strongest longitudinal protection.
+    Bi,
+    /// OLOLOHA (Eq. (6) optimal `g`): best utility.
+    Optimal,
+}
+
+impl Flavor {
+    /// Resolves the per-attribute parameters at the (already divided)
+    /// budgets.
+    pub fn params(&self, eps_inf: f64, eps_first: f64) -> Result<LolohaParams, ParamError> {
+        match self {
+            Flavor::Bi => LolohaParams::bi(eps_inf, eps_first),
+            Flavor::Optimal => LolohaParams::optimal(eps_inf, eps_first),
+        }
+    }
+}
+
+/// A user-side SPL wrapper: `d` LOLOHA clients at ε/d each.
+#[derive(Debug)]
+pub struct SplWrapper {
+    clients: Vec<LolohaClient<CwHash>>,
+}
+
+impl SplWrapper {
+    /// Creates the per-attribute clients. `eps_inf`/`eps_first` are the
+    /// *total* budgets; each attribute gets a 1/d share.
+    pub fn new<R: RngCore + ?Sized>(
+        spec: &AttributeSpec,
+        eps_inf: f64,
+        eps_first: f64,
+        flavor: Flavor,
+        rng: &mut R,
+    ) -> Result<Self, ParamError> {
+        let d = spec.d() as f64;
+        let mut clients = Vec::with_capacity(spec.d());
+        for j in 0..spec.d() {
+            let params = flavor.params(eps_inf / d, eps_first / d)?;
+            let family =
+                CarterWegman::new(params.g()).ok_or(ParamError::InvalidG { g: params.g() })?;
+            clients.push(LolohaClient::new(&family, spec.k(j), params, rng)?);
+        }
+        Ok(Self { clients })
+    }
+
+    /// One round: sanitizes every attribute. `values[j]` is the user's true
+    /// value for attribute `j`.
+    ///
+    /// # Panics
+    /// Panics if `values.len()` differs from the attribute count or a value
+    /// is outside its domain (mirrors the single-attribute client).
+    pub fn report<R: RngCore + ?Sized>(&mut self, values: &[u64], rng: &mut R) -> Vec<u32> {
+        assert_eq!(values.len(), self.clients.len(), "one value per attribute");
+        self.clients
+            .iter_mut()
+            .zip(values)
+            .map(|(c, &v)| c.report(v, rng))
+            .collect()
+    }
+
+    /// Per-attribute hash functions (registered with the server once).
+    pub fn hash_fns(&self) -> Vec<&CwHash> {
+        self.clients.iter().map(|c| c.hash_fn()).collect()
+    }
+
+    /// Total longitudinal privacy spent across all attributes (Eq. (8)
+    /// composed over attributes).
+    pub fn privacy_spent(&self) -> f64 {
+        self.clients.iter().map(|c| c.privacy_spent()).sum()
+    }
+
+    /// Worst-case longitudinal cap: `Σ_j g_j · ε∞/d`.
+    pub fn budget_cap(&self) -> f64 {
+        self.clients.iter().map(|c| c.params().budget_cap()).sum()
+    }
+
+    /// The resolved per-attribute parameters.
+    pub fn params(&self, j: usize) -> LolohaParams {
+        self.clients[j].params()
+    }
+}
+
+/// The server side of SPL: one LOLOHA aggregation server per attribute.
+#[derive(Debug)]
+pub struct SplServer {
+    servers: Vec<LolohaServer>,
+}
+
+impl SplServer {
+    /// Creates per-attribute servers with the same flavor and split budgets
+    /// as [`SplWrapper::new`].
+    pub fn new(
+        spec: &AttributeSpec,
+        eps_inf: f64,
+        eps_first: f64,
+        flavor: Flavor,
+    ) -> Result<Self, ParamError> {
+        let d = spec.d() as f64;
+        let mut servers = Vec::with_capacity(spec.d());
+        for j in 0..spec.d() {
+            let params = flavor.params(eps_inf / d, eps_first / d)?;
+            servers.push(LolohaServer::new(spec.k(j), params)?);
+        }
+        Ok(Self { servers })
+    }
+
+    /// Registers a user's per-attribute hash functions; returns the user
+    /// ids (one per attribute, in attribute order).
+    pub fn register_user(&mut self, hashes: &[&CwHash]) -> Vec<loloha::server::UserId> {
+        assert_eq!(hashes.len(), self.servers.len(), "one hash per attribute");
+        self.servers
+            .iter_mut()
+            .zip(hashes)
+            .map(|(s, h)| s.register_user(*h))
+            .collect()
+    }
+
+    /// Ingests one user's round of per-attribute reports.
+    pub fn ingest(&mut self, ids: &[loloha::server::UserId], cells: &[u32]) {
+        assert_eq!(ids.len(), self.servers.len());
+        assert_eq!(cells.len(), self.servers.len());
+        for ((s, &id), &cell) in self.servers.iter_mut().zip(ids).zip(cells) {
+            s.ingest(id, cell);
+        }
+    }
+
+    /// Finishes the round: per-attribute frequency estimates.
+    pub fn estimate_and_reset(&mut self) -> Vec<Vec<f64>> {
+        self.servers.iter_mut().map(|s| s.estimate_and_reset()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_rand::derive_rng;
+
+    fn spec() -> AttributeSpec {
+        AttributeSpec::new(vec![8, 16]).unwrap()
+    }
+
+    #[test]
+    fn spl_divides_budgets() {
+        let mut rng = derive_rng(1, 0);
+        let w = SplWrapper::new(&spec(), 2.0, 1.0, Flavor::Bi, &mut rng).unwrap();
+        for j in 0..2 {
+            assert!((w.params(j).eps_inf() - 1.0).abs() < 1e-12);
+            assert!((w.params(j).eps_first() - 0.5).abs() < 1e-12);
+        }
+        assert!((w.budget_cap() - 2.0 * 2.0 * 1.0).abs() < 1e-12); // 2 attrs × g=2 × 1.0
+    }
+
+    #[test]
+    fn spl_round_trip_estimates_each_attribute() {
+        let spec = spec();
+        let (ei, e1) = (8.0, 4.0); // generous budget: the test checks wiring
+        let mut rng = derive_rng(2, 0);
+        let mut server = SplServer::new(&spec, ei, e1, Flavor::Bi).unwrap();
+        let n = 4_000;
+        let mut wrappers: Vec<_> = (0..n)
+            .map(|_| SplWrapper::new(&spec, ei, e1, Flavor::Bi, &mut rng).unwrap())
+            .collect();
+        let ids: Vec<_> = wrappers.iter().map(|w| server.register_user(&w.hash_fns())).collect();
+        // Attribute 0 concentrated on 3, attribute 1 on 12.
+        for (w, ids) in wrappers.iter_mut().zip(&ids) {
+            let cells = w.report(&[3, 12], &mut rng);
+            server.ingest(ids, &cells);
+        }
+        let est = server.estimate_and_reset();
+        assert_eq!(est.len(), 2);
+        assert!(est[0][3] > 0.5, "attr0 estimate {:?}", &est[0][..4]);
+        assert!(est[1][12] > 0.5, "attr1 estimate {}", est[1][12]);
+    }
+
+    #[test]
+    fn spl_privacy_spent_composes_across_attributes() {
+        let mut rng = derive_rng(3, 0);
+        let mut w = SplWrapper::new(&spec(), 2.0, 1.0, Flavor::Bi, &mut rng).unwrap();
+        w.report(&[0, 0], &mut rng);
+        // One distinct cell per attribute so far: 2 × ε∞/d = 2 × 1.0.
+        assert!((w.privacy_spent() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per attribute")]
+    fn spl_report_checks_arity() {
+        let mut rng = derive_rng(4, 0);
+        let mut w = SplWrapper::new(&spec(), 2.0, 1.0, Flavor::Bi, &mut rng).unwrap();
+        w.report(&[1], &mut rng);
+    }
+}

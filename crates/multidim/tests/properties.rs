@@ -1,0 +1,94 @@
+//! Property tests for the multi-attribute wrappers.
+
+use ldp_multidim::rsfd::amplified_epsilon;
+use ldp_multidim::smp::variance_spl_vs_smp;
+use ldp_multidim::spl::Flavor;
+use ldp_multidim::{AttributeSpec, RsfdGrrClient, SmpWrapper, SplWrapper};
+use proptest::prelude::*;
+
+fn domains() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(2u64..20, 1..5)
+}
+
+proptest! {
+    /// The RS+FD amplification is monotone in d and fixes d = 1 to ε.
+    #[test]
+    fn amplification_monotone(eps in 0.2f64..4.0, d in 1usize..10) {
+        let base = amplified_epsilon(eps, 1).unwrap();
+        prop_assert!((base - eps).abs() < 1e-12);
+        let here = amplified_epsilon(eps, d).unwrap();
+        let next = amplified_epsilon(eps, d + 1).unwrap();
+        prop_assert!(here >= eps - 1e-12);
+        prop_assert!(next >= here);
+    }
+
+    /// SMP's variance advantage over SPL grows with the attribute count:
+    /// the SMP/SPL ratio is strictly decreasing over d ∈ {2, 4, 8} and SMP
+    /// wins outright by d = 8. (At d = 2 with a *large* ε, SPL can still
+    /// edge out SMP — splitting a generous budget hurts less than halving
+    /// the population — so no claim is made there; the crossover is the
+    /// point of the `ablation_multidim` bench.)
+    #[test]
+    fn smp_advantage_grows_with_d(eps in 0.5f64..4.0, alpha in 0.2f64..0.8) {
+        let e1 = alpha * eps;
+        let mut last_ratio = f64::INFINITY;
+        for d in [2usize, 4, 8] {
+            let (spl, smp) = variance_spl_vs_smp(10_000.0, d, eps, e1).unwrap();
+            let ratio = smp / spl;
+            prop_assert!(ratio < last_ratio, "d={d}: ratio {ratio} rose from {last_ratio}");
+            last_ratio = ratio;
+        }
+        prop_assert!(last_ratio < 1.0, "SMP must win by d = 8: ratio {last_ratio}");
+    }
+
+    /// SPL always splits the budget exactly: per-attribute ε sums back to
+    /// the total, and the privacy spent after one report is d·(ε∞/d) = ε∞.
+    #[test]
+    fn spl_budget_arithmetic(domains in domains(), eps in 0.5f64..4.0) {
+        let spec = AttributeSpec::new(domains.clone()).unwrap();
+        let d = spec.d() as f64;
+        let mut rng = ldp_rand::derive_rng(99, domains.len() as u64);
+        let mut w = SplWrapper::new(&spec, eps, 0.5 * eps, Flavor::Bi, &mut rng).unwrap();
+        let values: Vec<u64> = domains.iter().map(|_| 0).collect();
+        w.report(&values, &mut rng);
+        // One distinct cell per attribute memoized so far → d × ε∞/d = ε∞.
+        prop_assert!((w.privacy_spent() - eps).abs() < 1e-9);
+        for j in 0..spec.d() {
+            prop_assert!((w.params(j).eps_inf() - eps / d).abs() < 1e-12);
+        }
+    }
+
+    /// SMP reports stay within the sampled attribute's reduced domain and
+    /// the budget never exceeds the attribute-count-independent cap.
+    #[test]
+    fn smp_respects_cap(domains in domains(), eps in 0.5f64..3.0, rounds in 1usize..12) {
+        let spec = AttributeSpec::new(domains.clone()).unwrap();
+        let mut rng = ldp_rand::derive_rng(7, rounds as u64);
+        let mut w = SmpWrapper::new(&spec, eps, 0.5 * eps, Flavor::Bi, &mut rng).unwrap();
+        prop_assert!(w.attribute() < spec.d());
+        for r in 0..rounds {
+            let values: Vec<u64> =
+                domains.iter().map(|&k| (r as u64) % k).collect();
+            let cell = w.report(&values, &mut rng);
+            prop_assert!(cell < 2, "BiLOLOHA cell in [0, 2)");
+        }
+        prop_assert!(w.privacy_spent() <= w.budget_cap() + 1e-9);
+        prop_assert!((w.budget_cap() - 2.0 * eps).abs() < 1e-12);
+    }
+
+    /// RS+FD reports are always in range and the sampled attribute is
+    /// uniform across clients.
+    #[test]
+    fn rsfd_reports_in_range(domains in domains(), eps in 0.3f64..3.0) {
+        let spec = AttributeSpec::new(domains.clone()).unwrap();
+        let mut rng = ldp_rand::derive_rng(13, domains.iter().sum());
+        let client = RsfdGrrClient::new(&spec, eps, &mut rng).unwrap();
+        prop_assert!(client.sampled_attribute() < spec.d());
+        prop_assert!(client.epsilon_prime() >= client.epsilon() - 1e-12);
+        let values: Vec<u64> = domains.iter().map(|&k| k - 1).collect();
+        let report = client.report(&values, &mut rng);
+        for (y, &k) in report.iter().zip(&domains) {
+            prop_assert!(*y < k, "report {y} outside [0, {k})");
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Per-round consistency repair of a raw estimated histogram.
+//!
+//! The methods follow the taxonomy of Wang et al. (NDSS 2020). They trade
+//! off how much structure they impose:
+//!
+//! | method | output guarantees | best when |
+//! |---|---|---|
+//! | [`Consistency::ClipZero`] | `x ≥ 0` | you need honest totals elsewhere |
+//! | [`Consistency::Norm`] | `Σx = 1` | estimates are already ≥ 0 |
+//! | [`Consistency::NormMul`] | `x ≥ 0, Σx = 1` | few dominant values |
+//! | [`Consistency::NormSub`] | `x ≥ 0, Σx = 1` (L2-closest) | general purpose |
+//! | [`Consistency::NormCut`] | `x ≥ 0, Σx ≤ 1` | very sparse histograms |
+//! | [`Consistency::BaseCut`] | `x ≥ 0` (below-threshold zeroed) | heavy hitters |
+//!
+//! `NormSub` is the Euclidean simplex projection and is the recommended
+//! default: it never increases the squared error against any true
+//! distribution (a property of projections onto convex sets containing the
+//! truth, verified empirically by the crate's tests).
+
+use crate::simplex::{clip_nonnegative, project_onto_simplex};
+
+/// A consistency post-processing method for one round's estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Consistency {
+    /// Clip negative entries to zero; do not renormalize.
+    ClipZero,
+    /// Additively shift all entries so they sum to one (entries may remain
+    /// negative).
+    Norm,
+    /// Clip negatives to zero, then rescale multiplicatively to sum one.
+    /// Falls back to uniform when everything clips to zero.
+    NormMul,
+    /// Euclidean projection onto the probability simplex (clip + common
+    /// additive shift on the surviving support).
+    NormSub,
+    /// Clip negatives to zero; if the total still exceeds one, zero the
+    /// *smallest* positive entries until the total is at most one. Never
+    /// rescales, so surviving estimates keep their unbiased magnitudes.
+    NormCut,
+    /// Zero every entry below the significance threshold
+    /// `θ = z · sqrt(V*)`, where `V*` is the estimator's approximate
+    /// per-value variance and `z` the stored z-score; then clip negatives.
+    BaseCut {
+        /// Significance z-score (e.g. `1.96` for ~2.5% one-sided noise
+        /// survival per value).
+        z: f64,
+        /// The protocol's approximate per-value variance `V*` (Eq. (5) /
+        /// `variance_approx` of the protocol's parameter type).
+        variance: f64,
+    },
+}
+
+impl Consistency {
+    /// Applies the method to `estimate` in place.
+    pub fn apply(&self, estimate: &mut [f64]) {
+        match *self {
+            Consistency::ClipZero => clip_nonnegative(estimate),
+            Consistency::Norm => norm_additive(estimate),
+            Consistency::NormMul => norm_mul(estimate),
+            Consistency::NormSub => project_onto_simplex(estimate),
+            Consistency::NormCut => norm_cut(estimate),
+            Consistency::BaseCut { z, variance } => base_cut(estimate, z, variance),
+        }
+    }
+
+    /// Applies the method to a copy and returns it.
+    pub fn applied(&self, estimate: &[f64]) -> Vec<f64> {
+        let mut out = estimate.to_vec();
+        self.apply(&mut out);
+        out
+    }
+}
+
+fn norm_additive(u: &mut [f64]) {
+    if u.is_empty() {
+        return;
+    }
+    let shift = (1.0 - u.iter().sum::<f64>()) / u.len() as f64;
+    for x in u.iter_mut() {
+        *x += shift;
+    }
+}
+
+fn norm_mul(u: &mut [f64]) {
+    clip_nonnegative(u);
+    let total: f64 = u.iter().sum();
+    if total > 0.0 {
+        for x in u.iter_mut() {
+            *x /= total;
+        }
+    } else if !u.is_empty() {
+        let k = u.len() as f64;
+        u.fill(1.0 / k);
+    }
+}
+
+fn norm_cut(u: &mut [f64]) {
+    clip_nonnegative(u);
+    let mut total: f64 = u.iter().sum();
+    if total <= 1.0 {
+        return;
+    }
+    // Zero the smallest positive entries until the total drops to ≤ 1.
+    let mut order: Vec<usize> = (0..u.len()).filter(|&i| u[i] > 0.0).collect();
+    order.sort_by(|&a, &b| u[a].partial_cmp(&u[b]).expect("clipped entries are finite"));
+    for i in order {
+        if total <= 1.0 {
+            break;
+        }
+        total -= u[i];
+        u[i] = 0.0;
+    }
+}
+
+fn base_cut(u: &mut [f64], z: f64, variance: f64) {
+    let theta = z * variance.max(0.0).sqrt();
+    for x in u.iter_mut() {
+        if x.is_nan() || *x < theta {
+            *x = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RAW: [f64; 5] = [0.52, -0.08, 0.31, 0.02, 0.19];
+
+    fn sum(u: &[f64]) -> f64 {
+        u.iter().sum()
+    }
+
+    #[test]
+    fn clip_zero_only_removes_negatives() {
+        let out = Consistency::ClipZero.applied(&RAW);
+        assert_eq!(out[1], 0.0);
+        assert_eq!(out[0], RAW[0]);
+        assert!(sum(&out) > 1.0); // not renormalized
+    }
+
+    #[test]
+    fn norm_restores_unit_sum_without_clipping() {
+        let out = Consistency::Norm.applied(&RAW);
+        assert!((sum(&out) - 1.0).abs() < 1e-12);
+        // The shift is uniform: pairwise differences are preserved.
+        assert!((out[0] - out[2] - (RAW[0] - RAW[2])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm_mul_yields_distribution_proportional_to_clipped() {
+        let out = Consistency::NormMul.applied(&RAW);
+        assert!((sum(&out) - 1.0).abs() < 1e-12);
+        assert!(out.iter().all(|&x| x >= 0.0));
+        // Ratios among surviving entries are preserved.
+        assert!((out[0] / out[2] - RAW[0] / RAW[2]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn norm_mul_all_negative_falls_back_to_uniform() {
+        let out = Consistency::NormMul.applied(&[-0.5, -0.1, -0.2, -0.2]);
+        for &x in &out {
+            assert!((x - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn norm_sub_is_simplex_projection() {
+        let out = Consistency::NormSub.applied(&RAW);
+        assert!((sum(&out) - 1.0).abs() < 1e-12);
+        assert!(out.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn norm_cut_zeroes_smallest_until_sum_at_most_one() {
+        let raw = [0.55, 0.4, 0.3, 0.05, -0.1];
+        let out = Consistency::NormCut.applied(&raw);
+        assert!(sum(&out) <= 1.0 + 1e-12);
+        // Largest survivors are untouched (no rescale)…
+        assert_eq!(out[0], 0.55);
+        assert_eq!(out[1], 0.4);
+        // …after cutting 0.05 (not enough) and then 0.3 (sum now 0.95).
+        assert_eq!(out[2], 0.0);
+        assert_eq!(out[3], 0.0);
+        assert_eq!(out[4], 0.0);
+    }
+
+    #[test]
+    fn norm_cut_noop_when_sum_below_one() {
+        let raw = [0.2, 0.1, -0.05];
+        let out = Consistency::NormCut.applied(&raw);
+        assert_eq!(out, vec![0.2, 0.1, 0.0]);
+    }
+
+    #[test]
+    fn base_cut_zeroes_below_threshold() {
+        // V* = 0.0004 → σ = 0.02; z = 2 → θ = 0.04.
+        let method = Consistency::BaseCut { z: 2.0, variance: 0.0004 };
+        let out = method.applied(&[0.5, 0.03, -0.2, 0.04, 0.041]);
+        assert_eq!(out[0], 0.5);
+        assert_eq!(out[1], 0.0);
+        assert_eq!(out[2], 0.0);
+        assert_eq!(out[3], 0.04); // exactly at threshold survives
+        assert_eq!(out[4], 0.041);
+    }
+
+    #[test]
+    fn base_cut_zero_variance_equals_clip() {
+        let method = Consistency::BaseCut { z: 3.0, variance: 0.0 };
+        assert_eq!(method.applied(&RAW), Consistency::ClipZero.applied(&RAW));
+    }
+
+    #[test]
+    fn all_methods_handle_empty_input() {
+        for m in [
+            Consistency::ClipZero,
+            Consistency::Norm,
+            Consistency::NormMul,
+            Consistency::NormSub,
+            Consistency::NormCut,
+            Consistency::BaseCut { z: 2.0, variance: 0.01 },
+        ] {
+            assert!(m.applied(&[]).is_empty());
+        }
+    }
+}

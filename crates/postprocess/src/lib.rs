@@ -1,0 +1,55 @@
+//! Consistency post-processing and temporal smoothing for LDP frequency
+//! estimates.
+//!
+//! The estimators of the paper (Eq. (1)/(3)) are unbiased but *unconstrained*:
+//! a round's estimated histogram can contain negative frequencies and does not
+//! sum to one. Because LDP is closed under post-processing (Proposition 2.2 of
+//! the paper), the server may project the raw estimate onto the probability
+//! simplex — or any weaker consistency set — *for free*, privacy-wise, and
+//! usually gains accuracy. This crate implements the standard consistency
+//! methods from the LDP literature (Wang et al., "Locally Differentially
+//! Private Frequency Estimation with Consistency", NDSS 2020) plus temporal
+//! smoothers tailored to the paper's longitudinal setting, where the server
+//! sees a *series* of estimates `f̂_1, …, f̂_τ` per value:
+//!
+//! * [`Consistency`] — per-round histogram repair: non-negativity clipping,
+//!   additive renormalization (Norm), multiplicative renormalization
+//!   (Norm-Mul), Euclidean simplex projection (Norm-Sub), significance
+//!   thresholding (Base-Cut), and cut-to-one (Norm-Cut).
+//! * [`simplex::project_onto_simplex`] — the O(k log k) sort-based Euclidean
+//!   projection underlying Norm-Sub.
+//! * [`smoothing`] — per-value time-series smoothers: moving average,
+//!   exponential, and a scalar Kalman filter whose observation noise is the
+//!   protocol's approximate variance `V*` (Eq. (5)) and whose process noise
+//!   models how fast the population histogram drifts.
+//!
+//! Everything here is deterministic post-processing of already-sanitized
+//! data: no randomness, no privacy cost.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ldp_postprocess::{Consistency, KalmanSmoother};
+//!
+//! // A raw LDP estimate: negative entries, does not sum to one.
+//! let raw = vec![0.52, -0.08, 0.31, 0.02, 0.19];
+//! let repaired = Consistency::NormSub.applied(&raw);
+//! assert!((repaired.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+//! assert!(repaired.iter().all(|&f| f >= 0.0));
+//!
+//! // Smooth a longitudinal series: observation noise = the protocol's V*.
+//! let mut filter = KalmanSmoother::new(5, 1e-6, 1e-3).unwrap();
+//! let smoothed = filter.update(&repaired).unwrap();
+//! assert_eq!(smoothed.len(), 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod consistency;
+pub mod simplex;
+pub mod smoothing;
+
+pub use consistency::Consistency;
+pub use simplex::{clip_nonnegative, project_onto_simplex};
+pub use smoothing::{ExponentialSmoother, KalmanSmoother, MovingAverage, SmoothError};

@@ -1,0 +1,176 @@
+//! Euclidean projection onto the probability simplex.
+//!
+//! Given a raw estimate `u ∈ ℝᵏ`, the projection finds the unique point of
+//! `Δᵏ = {x : x ≥ 0, Σx = 1}` closest to `u` in L2. The classic O(k log k)
+//! algorithm (Held–Wolfe–Crowder 1974; popularized by Duchi et al. 2008)
+//! sorts the coordinates, finds the largest support size ρ whose water level
+//! keeps every supported coordinate positive, and shifts-and-clips:
+//!
+//! ```text
+//! ρ = max { j : u_(j) + (1 − Σ_{i≤j} u_(i)) / j > 0 }      (u_(1) ≥ u_(2) ≥ …)
+//! λ = (1 − Σ_{i≤ρ} u_(i)) / ρ
+//! x_i = max(u_i + λ, 0)
+//! ```
+//!
+//! In the LDP consistency literature this is exactly the "Norm-Sub" method:
+//! subtract a common constant from the surviving coordinates and clip the
+//! rest to zero.
+
+/// Projects `u` onto the probability simplex in place (L2-closest point with
+/// non-negative entries summing to one).
+///
+/// Runs in O(k log k). No-op on an empty slice. Non-finite inputs are
+/// clamped: `NaN` is treated as 0 and infinities are clamped to ±1 before
+/// projecting, so the output is always a valid distribution.
+pub fn project_onto_simplex(u: &mut [f64]) {
+    if u.is_empty() {
+        return;
+    }
+    for x in u.iter_mut() {
+        if x.is_nan() {
+            *x = 0.0;
+        } else if !x.is_finite() {
+            *x = x.signum();
+        }
+    }
+    let mut sorted: Vec<f64> = u.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("inputs sanitized to finite"));
+    let mut cumsum = 0.0;
+    let mut lambda = 0.0;
+    let mut found = false;
+    for (j, &uj) in sorted.iter().enumerate() {
+        cumsum += uj;
+        let candidate = (1.0 - cumsum) / (j + 1) as f64;
+        if uj + candidate > 0.0 {
+            lambda = candidate;
+            found = true;
+        } else {
+            break;
+        }
+    }
+    if !found {
+        // All coordinates equal and the water level collapses; fall back to
+        // uniform (only reachable through pathological inputs).
+        let k = u.len() as f64;
+        u.fill(1.0 / k);
+        return;
+    }
+    for x in u.iter_mut() {
+        *x = (*x + lambda).max(0.0);
+    }
+}
+
+/// Clips negative entries to zero in place (the weakest consistency repair:
+/// output is non-negative but need not sum to one).
+pub fn clip_nonnegative(u: &mut [f64]) {
+    for x in u.iter_mut() {
+        if x.is_nan() || *x < 0.0 {
+            *x = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum(u: &[f64]) -> f64 {
+        u.iter().sum()
+    }
+
+    #[test]
+    fn projection_output_is_a_distribution() {
+        let mut u = vec![0.5, -0.2, 0.9, -0.1, 0.3];
+        project_onto_simplex(&mut u);
+        assert!((sum(&u) - 1.0).abs() < 1e-12);
+        assert!(u.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn projection_is_identity_on_the_simplex() {
+        let mut u = vec![0.2, 0.3, 0.5];
+        let orig = u.clone();
+        project_onto_simplex(&mut u);
+        for (a, b) in u.iter().zip(&orig) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn projection_of_uniform_plus_constant_is_uniform() {
+        // Adding a constant shifts all coordinates equally; the projection
+        // must remove it exactly.
+        let k = 7;
+        let mut u: Vec<f64> = (0..k).map(|_| 1.0 / k as f64 + 0.35).collect();
+        project_onto_simplex(&mut u);
+        for &x in &u {
+            assert!((x - 1.0 / k as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn projection_concentrates_dominant_coordinate() {
+        let mut u = vec![5.0, 0.0, 0.0];
+        project_onto_simplex(&mut u);
+        assert!((u[0] - 1.0).abs() < 1e-12);
+        assert_eq!(u[1], 0.0);
+        assert_eq!(u[2], 0.0);
+    }
+
+    #[test]
+    fn projection_preserves_coordinate_order() {
+        let mut u = vec![0.9, 0.1, -0.4, 0.5];
+        project_onto_simplex(&mut u);
+        assert!(u[0] >= u[3] && u[3] >= u[1] && u[1] >= u[2]);
+    }
+
+    #[test]
+    fn projection_matches_brute_force_on_grid() {
+        // Brute-force the k = 2 case: Δ² is the segment (t, 1−t), t ∈ [0,1];
+        // minimize the squared distance by scanning a fine grid.
+        let cases = [[0.8, -0.3], [2.0, 2.0], [-1.0, -2.0], [0.3, 0.4]];
+        for case in cases {
+            let mut u = case.to_vec();
+            project_onto_simplex(&mut u);
+            let mut best = (f64::INFINITY, 0.0);
+            let steps = 100_000;
+            for i in 0..=steps {
+                let t = i as f64 / steps as f64;
+                let d = (case[0] - t).powi(2) + (case[1] - (1.0 - t)).powi(2);
+                if d < best.0 {
+                    best = (d, t);
+                }
+            }
+            assert!((u[0] - best.1).abs() < 1e-4, "case {case:?}: {} vs {}", u[0], best.1);
+        }
+    }
+
+    #[test]
+    fn projection_handles_nan_and_infinity() {
+        let mut u = vec![f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.2];
+        project_onto_simplex(&mut u);
+        assert!((sum(&u) - 1.0).abs() < 1e-12);
+        assert!(u.iter().all(|&x| x.is_finite() && x >= 0.0));
+    }
+
+    #[test]
+    fn projection_on_empty_slice_is_noop() {
+        let mut u: Vec<f64> = vec![];
+        project_onto_simplex(&mut u);
+        assert!(u.is_empty());
+    }
+
+    #[test]
+    fn projection_single_element_is_one() {
+        let mut u = vec![-3.0];
+        project_onto_simplex(&mut u);
+        assert_eq!(u, vec![1.0]);
+    }
+
+    #[test]
+    fn clip_zeroes_negatives_and_keeps_positives() {
+        let mut u = vec![-0.5, 0.25, f64::NAN, 0.0];
+        clip_nonnegative(&mut u);
+        assert_eq!(u, vec![0.0, 0.25, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,350 @@
+//! Temporal smoothing of longitudinal estimate series.
+//!
+//! In the paper's setting the server produces one histogram estimate per
+//! round, `f̂_1, …, f̂_τ`. Each round is unbiased with per-value variance
+//! ≈ `V*` (Eq. (5)), but consecutive rounds estimate *nearly the same*
+//! population histogram (the Syn dataset changes 25% of users per round; the
+//! folktables-like counters drift slowly). A smoother trades a little bias
+//! under drift for a large variance reduction — again free under LDP because
+//! it is server-side post-processing.
+//!
+//! Three smoothers, in increasing sophistication:
+//!
+//! * [`MovingAverage`] — uniform window of the last `w` rounds.
+//! * [`ExponentialSmoother`] — `s_t = λ·x_t + (1−λ)·s_{t−1}`.
+//! * [`KalmanSmoother`] — per-value scalar Kalman filter with a random-walk
+//!   state model. Observation noise `R` should be set to the protocol's
+//!   `V*`; process noise `Q` to the expected squared per-round drift of a
+//!   single frequency. The filter then adapts its gain optimally between
+//!   "trust history" (Q ≪ R) and "trust the new round" (Q ≫ R).
+//!
+//! All smoothers operate on whole histograms (one state per value) and are
+//! allocation-free per round after construction.
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from smoother construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SmoothError {
+    /// The window length must be at least 1.
+    EmptyWindow,
+    /// λ must lie in (0, 1].
+    InvalidLambda(f64),
+    /// Kalman noise parameters must be finite, `R > 0`, `Q ≥ 0`.
+    InvalidNoise {
+        /// Process noise Q.
+        q: f64,
+        /// Observation noise R.
+        r: f64,
+    },
+    /// A round's histogram had a different length than the smoother state.
+    DimensionMismatch {
+        /// Expected number of values (k).
+        expected: usize,
+        /// Received histogram length.
+        got: usize,
+    },
+}
+
+impl fmt::Display for SmoothError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmoothError::EmptyWindow => write!(f, "moving-average window must be >= 1"),
+            SmoothError::InvalidLambda(l) => {
+                write!(f, "exponential smoothing factor must be in (0, 1], got {l}")
+            }
+            SmoothError::InvalidNoise { q, r } => {
+                write!(f, "Kalman noises must be finite with R > 0, Q >= 0; got Q = {q}, R = {r}")
+            }
+            SmoothError::DimensionMismatch { expected, got } => {
+                write!(f, "histogram length {got} does not match smoother dimension {expected}")
+            }
+        }
+    }
+}
+
+impl Error for SmoothError {}
+
+/// Uniform moving average over the last `w` rounds, per value.
+#[derive(Debug, Clone)]
+pub struct MovingAverage {
+    k: usize,
+    window: usize,
+    history: VecDeque<Vec<f64>>,
+    running: Vec<f64>,
+}
+
+impl MovingAverage {
+    /// Creates a smoother for `k`-bin histograms with window length `window`.
+    pub fn new(k: usize, window: usize) -> Result<Self, SmoothError> {
+        if window == 0 {
+            return Err(SmoothError::EmptyWindow);
+        }
+        Ok(Self { k, window, history: VecDeque::with_capacity(window), running: vec![0.0; k] })
+    }
+
+    /// Ingests one round's estimate and returns the smoothed histogram.
+    pub fn update(&mut self, estimate: &[f64]) -> Result<Vec<f64>, SmoothError> {
+        if estimate.len() != self.k {
+            return Err(SmoothError::DimensionMismatch { expected: self.k, got: estimate.len() });
+        }
+        if self.history.len() == self.window {
+            let old = self.history.pop_front().expect("window is non-empty");
+            for (r, o) in self.running.iter_mut().zip(&old) {
+                *r -= o;
+            }
+        }
+        for (r, &e) in self.running.iter_mut().zip(estimate) {
+            *r += e;
+        }
+        self.history.push_back(estimate.to_vec());
+        let denom = self.history.len() as f64;
+        Ok(self.running.iter().map(|&r| r / denom).collect())
+    }
+
+    /// Number of rounds currently inside the window.
+    pub fn fill(&self) -> usize {
+        self.history.len()
+    }
+}
+
+/// Exponentially weighted smoother `s_t = λ·x_t + (1−λ)·s_{t−1}`, per value.
+#[derive(Debug, Clone)]
+pub struct ExponentialSmoother {
+    k: usize,
+    lambda: f64,
+    state: Option<Vec<f64>>,
+}
+
+impl ExponentialSmoother {
+    /// Creates a smoother with factor `lambda ∈ (0, 1]`; `lambda = 1`
+    /// disables smoothing (output = input).
+    pub fn new(k: usize, lambda: f64) -> Result<Self, SmoothError> {
+        if !lambda.is_finite() || lambda <= 0.0 || lambda > 1.0 {
+            return Err(SmoothError::InvalidLambda(lambda));
+        }
+        Ok(Self { k, lambda, state: None })
+    }
+
+    /// Ingests one round's estimate and returns the smoothed histogram. The
+    /// first round initializes the state to the estimate itself.
+    pub fn update(&mut self, estimate: &[f64]) -> Result<Vec<f64>, SmoothError> {
+        if estimate.len() != self.k {
+            return Err(SmoothError::DimensionMismatch { expected: self.k, got: estimate.len() });
+        }
+        match &mut self.state {
+            None => {
+                self.state = Some(estimate.to_vec());
+            }
+            Some(s) => {
+                for (si, &xi) in s.iter_mut().zip(estimate) {
+                    *si = self.lambda * xi + (1.0 - self.lambda) * *si;
+                }
+            }
+        }
+        Ok(self.state.clone().expect("state initialized above"))
+    }
+}
+
+/// Per-value scalar Kalman filter with random-walk dynamics.
+///
+/// State model per value `v`: `f_t(v) = f_{t−1}(v) + w_t`, `w_t ~ (0, Q)`;
+/// observation `f̂_t(v) = f_t(v) + e_t`, `e_t ~ (0, R)`. The posterior
+/// variance `P` and gain `K` are identical for every value (they do not
+/// depend on the data), so the filter stores one `(P)` plus the `k` means.
+#[derive(Debug, Clone)]
+pub struct KalmanSmoother {
+    k: usize,
+    q: f64,
+    r: f64,
+    posterior_var: f64,
+    mean: Option<Vec<f64>>,
+}
+
+impl KalmanSmoother {
+    /// Creates a filter for `k`-bin histograms with process noise `q` (per
+    /// round drift variance) and observation noise `r` (the protocol's `V*`).
+    pub fn new(k: usize, q: f64, r: f64) -> Result<Self, SmoothError> {
+        if !q.is_finite() || !r.is_finite() || q < 0.0 || r <= 0.0 {
+            return Err(SmoothError::InvalidNoise { q, r });
+        }
+        Ok(Self { k, q, r, posterior_var: 0.0, mean: None })
+    }
+
+    /// Ingests one round's estimate and returns the filtered histogram.
+    ///
+    /// The first round initializes the mean to the raw estimate with
+    /// posterior variance `R`.
+    pub fn update(&mut self, estimate: &[f64]) -> Result<Vec<f64>, SmoothError> {
+        if estimate.len() != self.k {
+            return Err(SmoothError::DimensionMismatch { expected: self.k, got: estimate.len() });
+        }
+        match &mut self.mean {
+            None => {
+                self.mean = Some(estimate.to_vec());
+                self.posterior_var = self.r;
+            }
+            Some(mean) => {
+                let prior_var = self.posterior_var + self.q;
+                let gain = prior_var / (prior_var + self.r);
+                for (m, &x) in mean.iter_mut().zip(estimate) {
+                    *m += gain * (x - *m);
+                }
+                self.posterior_var = (1.0 - gain) * prior_var;
+            }
+        }
+        Ok(self.mean.clone().expect("mean initialized above"))
+    }
+
+    /// Current posterior variance `P_t` (identical across values).
+    pub fn posterior_variance(&self) -> f64 {
+        self.posterior_var
+    }
+
+    /// The steady-state gain `K∞` the filter converges to:
+    /// `K∞ = (−Q + sqrt(Q² + 4QR)) / (2R)` … expressed via the steady-state
+    /// prior variance `P⁻ = (Q + sqrt(Q² + 4QR))/2`.
+    pub fn steady_state_gain(&self) -> f64 {
+        let prior = (self.q + (self.q * self.q + 4.0 * self.q * self.r).sqrt()) / 2.0;
+        prior / (prior + self.r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moving_average_of_constant_series_is_constant() {
+        let mut ma = MovingAverage::new(3, 4).unwrap();
+        for _ in 0..10 {
+            let out = ma.update(&[0.2, 0.3, 0.5]).unwrap();
+            assert!((out[0] - 0.2).abs() < 1e-12);
+            assert!((out[2] - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn moving_average_window_slides() {
+        let mut ma = MovingAverage::new(1, 2).unwrap();
+        assert_eq!(ma.update(&[1.0]).unwrap(), vec![1.0]);
+        assert_eq!(ma.update(&[3.0]).unwrap(), vec![2.0]); // (1+3)/2
+        assert_eq!(ma.update(&[5.0]).unwrap(), vec![4.0]); // (3+5)/2, 1 evicted
+        assert_eq!(ma.fill(), 2);
+    }
+
+    #[test]
+    fn moving_average_rejects_zero_window_and_bad_dims() {
+        assert_eq!(MovingAverage::new(3, 0).unwrap_err(), SmoothError::EmptyWindow);
+        let mut ma = MovingAverage::new(3, 2).unwrap();
+        assert!(matches!(
+            ma.update(&[0.0; 4]),
+            Err(SmoothError::DimensionMismatch { expected: 3, got: 4 })
+        ));
+    }
+
+    #[test]
+    fn exponential_first_round_passes_through() {
+        let mut es = ExponentialSmoother::new(2, 0.3).unwrap();
+        assert_eq!(es.update(&[0.7, 0.3]).unwrap(), vec![0.7, 0.3]);
+    }
+
+    #[test]
+    fn exponential_lambda_one_is_identity() {
+        let mut es = ExponentialSmoother::new(2, 1.0).unwrap();
+        es.update(&[0.9, 0.1]).unwrap();
+        assert_eq!(es.update(&[0.4, 0.6]).unwrap(), vec![0.4, 0.6]);
+    }
+
+    #[test]
+    fn exponential_converges_to_constant_input() {
+        let mut es = ExponentialSmoother::new(1, 0.25).unwrap();
+        es.update(&[0.0]).unwrap();
+        let mut out = vec![0.0];
+        for _ in 0..200 {
+            out = es.update(&[1.0]).unwrap();
+        }
+        assert!((out[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exponential_rejects_bad_lambda() {
+        for l in [0.0, -0.5, 1.5, f64::NAN] {
+            assert!(ExponentialSmoother::new(2, l).is_err(), "lambda {l}");
+        }
+    }
+
+    #[test]
+    fn kalman_gain_decreases_when_history_is_trusted() {
+        // Q ≪ R: after convergence the gain should be small (heavy smoothing).
+        let mut kf = KalmanSmoother::new(1, 1e-8, 1e-2).unwrap();
+        for _ in 0..100 {
+            kf.update(&[0.5]).unwrap();
+        }
+        assert!(kf.steady_state_gain() < 0.05, "gain {}", kf.steady_state_gain());
+    }
+
+    #[test]
+    fn kalman_gain_near_one_when_drift_dominates() {
+        let kf = KalmanSmoother::new(1, 1.0, 1e-6).unwrap();
+        assert!(kf.steady_state_gain() > 0.99);
+    }
+
+    #[test]
+    fn kalman_posterior_variance_shrinks_below_observation_noise() {
+        let mut kf = KalmanSmoother::new(1, 1e-6, 1e-2).unwrap();
+        kf.update(&[0.1]).unwrap();
+        let first = kf.posterior_variance();
+        for _ in 0..50 {
+            kf.update(&[0.1]).unwrap();
+        }
+        assert!(kf.posterior_variance() < first);
+        assert!(kf.posterior_variance() < 1e-2);
+    }
+
+    #[test]
+    fn kalman_tracks_a_step_change() {
+        let mut kf = KalmanSmoother::new(1, 1e-4, 1e-3).unwrap();
+        for _ in 0..30 {
+            kf.update(&[0.2]).unwrap();
+        }
+        let mut out = vec![0.0];
+        for _ in 0..60 {
+            out = kf.update(&[0.8]).unwrap();
+        }
+        assert!((out[0] - 0.8).abs() < 0.05, "tracked to {}", out[0]);
+    }
+
+    #[test]
+    fn kalman_rejects_bad_noise() {
+        assert!(KalmanSmoother::new(1, -1.0, 0.1).is_err());
+        assert!(KalmanSmoother::new(1, 0.1, 0.0).is_err());
+        assert!(KalmanSmoother::new(1, f64::NAN, 0.1).is_err());
+    }
+
+    #[test]
+    fn smoothers_reduce_noise_variance_on_static_signal() {
+        // Feed i.i.d. noise around a constant and check the smoothed series'
+        // deviation is much smaller than the raw one. Deterministic stream.
+        use rand::RngCore;
+        let mut rng = ldp_rand::derive_rng(1234, 0);
+        let truth = 0.4;
+        let mut kf = KalmanSmoother::new(1, 1e-8, 1.0 / 12.0).unwrap();
+        let mut raw_sq = 0.0;
+        let mut smooth_sq = 0.0;
+        let rounds = 400;
+        for _ in 0..rounds {
+            let noise = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+            let obs = truth + noise;
+            let out = kf.update(&[obs]).unwrap();
+            raw_sq += (obs - truth).powi(2);
+            smooth_sq += (out[0] - truth).powi(2);
+        }
+        assert!(
+            smooth_sq < raw_sq / 10.0,
+            "smoothed {smooth_sq} vs raw {raw_sq}"
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests for the consistency and smoothing post-processors.
+
+use ldp_postprocess::{project_onto_simplex, Consistency, KalmanSmoother, MovingAverage};
+use proptest::prelude::*;
+
+fn raw_histogram(k: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1.0f64..1.5, k..=k)
+}
+
+proptest! {
+    /// The projection always lands exactly on the simplex.
+    #[test]
+    fn projection_is_feasible(mut u in raw_histogram(8)) {
+        project_onto_simplex(&mut u);
+        let total: f64 = u.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "sum {total}");
+        prop_assert!(u.iter().all(|&x| x >= 0.0));
+    }
+
+    /// Projecting twice equals projecting once (idempotence).
+    #[test]
+    fn projection_is_idempotent(mut u in raw_histogram(6)) {
+        project_onto_simplex(&mut u);
+        let once = u.clone();
+        project_onto_simplex(&mut u);
+        for (a, b) in once.iter().zip(&u) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// The projection is order-preserving: if u_i >= u_j then x_i >= x_j.
+    #[test]
+    fn projection_preserves_order(u in raw_histogram(7)) {
+        let mut x = u.clone();
+        project_onto_simplex(&mut x);
+        for i in 0..u.len() {
+            for j in 0..u.len() {
+                if u[i] > u[j] {
+                    prop_assert!(x[i] >= x[j] - 1e-12);
+                }
+            }
+        }
+    }
+
+    /// The projection is a contraction toward any simplex point: the output
+    /// is never farther from a feasible point than the input was. This is
+    /// the geometric fact that makes Norm-Sub "free accuracy": with the true
+    /// histogram in the simplex, post-processing cannot hurt (in L2).
+    #[test]
+    fn projection_never_moves_away_from_feasible_points(
+        u in raw_histogram(5),
+        weights in proptest::collection::vec(0.01f64..1.0, 5),
+    ) {
+        let total: f64 = weights.iter().sum();
+        let truth: Vec<f64> = weights.iter().map(|w| w / total).collect();
+        let mut x = u.clone();
+        project_onto_simplex(&mut x);
+        let d_before: f64 = u.iter().zip(&truth).map(|(a, b)| (a - b).powi(2)).sum();
+        let d_after: f64 = x.iter().zip(&truth).map(|(a, b)| (a - b).powi(2)).sum();
+        prop_assert!(d_after <= d_before + 1e-9, "after {d_after} > before {d_before}");
+    }
+
+    /// Every simplex-targeting method outputs a valid distribution; every
+    /// clipping method outputs non-negative entries.
+    #[test]
+    fn consistency_methods_meet_their_contracts(u in raw_histogram(9)) {
+        for m in [Consistency::NormMul, Consistency::NormSub] {
+            let out = m.applied(&u);
+            let total: f64 = out.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9, "{m:?} sum {total}");
+            prop_assert!(out.iter().all(|&x| x >= 0.0), "{m:?}");
+        }
+        for m in [
+            Consistency::ClipZero,
+            Consistency::NormCut,
+            Consistency::BaseCut { z: 2.0, variance: 1e-4 },
+        ] {
+            let out = m.applied(&u);
+            prop_assert!(out.iter().all(|&x| x >= 0.0), "{m:?}");
+        }
+        let out = Consistency::NormCut.applied(&u);
+        prop_assert!(out.iter().sum::<f64>() <= 1.0 + 1e-9);
+        let out = Consistency::Norm.applied(&u);
+        prop_assert!((out.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    /// Norm preserves pairwise differences exactly (it is a pure shift).
+    #[test]
+    fn norm_is_a_uniform_shift(u in raw_histogram(4)) {
+        let out = Consistency::Norm.applied(&u);
+        for i in 1..u.len() {
+            prop_assert!(((out[i] - out[0]) - (u[i] - u[0])).abs() < 1e-9);
+        }
+    }
+
+    /// A moving average over a window of length 1 is the identity.
+    #[test]
+    fn window_one_moving_average_is_identity(rounds in proptest::collection::vec(raw_histogram(3), 1..6)) {
+        let mut ma = MovingAverage::new(3, 1).unwrap();
+        for r in &rounds {
+            let out = ma.update(r).unwrap();
+            for (a, b) in out.iter().zip(r) {
+                prop_assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// The Kalman posterior variance is monotonically non-increasing on a
+    /// constant-Q filter and stays within (0, R + Q].
+    #[test]
+    fn kalman_posterior_variance_is_bounded(
+        obs in proptest::collection::vec(-0.5f64..1.5, 2..40),
+        q in 1e-8f64..1e-2,
+        r in 1e-6f64..1e-1,
+    ) {
+        let mut kf = KalmanSmoother::new(1, q, r).unwrap();
+        let mut prev = f64::INFINITY;
+        for &o in &obs {
+            kf.update(&[o]).unwrap();
+            let p = kf.posterior_variance();
+            prop_assert!(p > 0.0);
+            prop_assert!(p <= (r + q) * (1.0 + 1e-9));
+            prop_assert!(p <= prev + q + 1e-12, "variance jumped: {prev} -> {p}");
+            prev = p;
+        }
+    }
+
+    /// The Kalman estimate always lies between the min and max of the
+    /// observations seen so far (convex-combination property of gain ≤ 1).
+    #[test]
+    fn kalman_estimate_stays_in_observed_hull(
+        obs in proptest::collection::vec(0.0f64..1.0, 1..30),
+    ) {
+        let mut kf = KalmanSmoother::new(1, 1e-4, 1e-2).unwrap();
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &o in &obs {
+            lo = lo.min(o);
+            hi = hi.max(o);
+            let out = kf.update(&[o]).unwrap();
+            prop_assert!(out[0] >= lo - 1e-9 && out[0] <= hi + 1e-9);
+        }
+    }
+}

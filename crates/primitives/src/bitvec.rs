@@ -1,0 +1,185 @@
+//! A compact bit vector for unary-encoded reports.
+//!
+//! Unary Encoding ships one bit per domain value; with `k` up to 1412 in the
+//! paper's datasets a report is at most 23 machine words. The server only
+//! needs set-bit iteration (to bump support counts), so the representation
+//! is a plain `Vec<u64>` with trailing-zero scanning.
+
+/// A fixed-length bit vector backed by 64-bit blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitVec {
+    blocks: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates an all-zero bit vector of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        Self { blocks: vec![0u64; len.div_ceil(64)], len }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i` to `value`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.blocks[i / 64] |= mask;
+        } else {
+            self.blocks[i / 64] &= !mask;
+        }
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.blocks[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Flips bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn flip(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.blocks[i / 64] ^= 1u64 << (i % 64);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Iterates the indices of set bits in increasing order.
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes { blocks: &self.blocks, block_idx: 0, current: self.blocks.first().copied().unwrap_or(0) }
+    }
+
+    /// Resets all bits to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.blocks.fill(0);
+    }
+
+    /// The underlying blocks (low bit of block 0 is bit 0).
+    pub fn blocks(&self) -> &[u64] {
+        &self.blocks
+    }
+}
+
+/// Iterator over set-bit indices of a [`BitVec`].
+pub struct IterOnes<'a> {
+    blocks: &'a [u64],
+    block_idx: usize,
+    current: u64,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let tz = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1; // clear lowest set bit
+                return Some(self.block_idx * 64 + tz);
+            }
+            self.block_idx += 1;
+            if self.block_idx >= self.blocks.len() {
+                return None;
+            }
+            self.current = self.blocks[self.block_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_is_all_zero() {
+        let bv = BitVec::zeros(130);
+        assert_eq!(bv.len(), 130);
+        assert_eq!(bv.count_ones(), 0);
+        assert!(bv.iter_ones().next().is_none());
+    }
+
+    #[test]
+    fn set_get_flip_roundtrip() {
+        let mut bv = BitVec::zeros(100);
+        bv.set(0, true);
+        bv.set(63, true);
+        bv.set(64, true);
+        bv.set(99, true);
+        for i in 0..100 {
+            let expect = matches!(i, 0 | 63 | 64 | 99);
+            assert_eq!(bv.get(i), expect, "bit {i}");
+        }
+        bv.flip(63);
+        assert!(!bv.get(63));
+        bv.set(0, false);
+        assert!(!bv.get(0));
+        assert_eq!(bv.count_ones(), 2);
+    }
+
+    #[test]
+    fn iter_ones_in_order() {
+        let mut bv = BitVec::zeros(200);
+        let idxs = [3usize, 64, 65, 127, 128, 199];
+        for &i in &idxs {
+            bv.set(i, true);
+        }
+        let collected: Vec<usize> = bv.iter_ones().collect();
+        assert_eq!(collected, idxs);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut bv = BitVec::zeros(70);
+        bv.set(5, true);
+        bv.set(69, true);
+        bv.clear();
+        assert_eq!(bv.count_ones(), 0);
+        assert_eq!(bv.len(), 70);
+    }
+
+    #[test]
+    fn empty_vector_behaves() {
+        let bv = BitVec::zeros(0);
+        assert!(bv.is_empty());
+        assert_eq!(bv.iter_ones().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        let bv = BitVec::zeros(10);
+        let _ = bv.get(10);
+    }
+
+    #[test]
+    fn non_multiple_of_64_length() {
+        let mut bv = BitVec::zeros(65);
+        bv.set(64, true);
+        assert_eq!(bv.iter_ones().collect::<Vec<_>>(), vec![64]);
+    }
+}

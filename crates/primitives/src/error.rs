@@ -1,0 +1,141 @@
+//! Typed errors for protocol parameter validation.
+//!
+//! Every constructor in the protocol crates validates its inputs and returns
+//! one of these variants instead of panicking: experiment configurations are
+//! user input, and a bad ε or domain size must surface as a recoverable
+//! error, not a crash halfway through a parameter sweep.
+
+use std::error::Error;
+use std::fmt;
+
+/// Reasons a protocol cannot be constructed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamError {
+    /// ε must be a positive finite number.
+    InvalidEpsilon {
+        /// The offending value.
+        value: f64,
+    },
+    /// A two-round protocol needs `0 < ε1 < ε∞`.
+    EpsilonOrder {
+        /// First-report budget ε1.
+        eps_first: f64,
+        /// Longitudinal budget ε∞.
+        eps_inf: f64,
+    },
+    /// The domain must contain at least `min` values.
+    DomainTooSmall {
+        /// Provided domain size.
+        k: u64,
+        /// Minimum required size.
+        min: u64,
+    },
+    /// The reduced domain size `g` must satisfy `g ≥ 2`.
+    InvalidG {
+        /// Provided g.
+        g: u32,
+    },
+    /// dBitFlipPM needs `1 ≤ d ≤ b ≤ k`.
+    InvalidBuckets {
+        /// Number of buckets b.
+        b: u32,
+        /// Number of sampled bits d.
+        d: u32,
+        /// Domain size k.
+        k: u64,
+    },
+    /// A probability parameter escaped `[0, 1]` or `p == q` (which makes the
+    /// estimator undefined).
+    InvalidProbability {
+        /// Retention probability p.
+        p: f64,
+        /// Noise probability q.
+        q: f64,
+    },
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::InvalidEpsilon { value } => {
+                write!(f, "epsilon must be positive and finite, got {value}")
+            }
+            ParamError::EpsilonOrder { eps_first, eps_inf } => write!(
+                f,
+                "two-round protocols require 0 < eps_first < eps_inf, got \
+                 eps_first = {eps_first}, eps_inf = {eps_inf}"
+            ),
+            ParamError::DomainTooSmall { k, min } => {
+                write!(f, "domain size {k} is below the minimum of {min}")
+            }
+            ParamError::InvalidG { g } => {
+                write!(f, "reduced domain size g must be at least 2, got {g}")
+            }
+            ParamError::InvalidBuckets { b, d, k } => write!(
+                f,
+                "dBitFlipPM requires 1 <= d <= b <= k, got d = {d}, b = {b}, k = {k}"
+            ),
+            ParamError::InvalidProbability { p, q } => write!(
+                f,
+                "perturbation probabilities must lie in [0, 1] with p != q, \
+                 got p = {p}, q = {q}"
+            ),
+        }
+    }
+}
+
+impl Error for ParamError {}
+
+/// Validates that ε is positive and finite.
+pub fn check_epsilon(eps: f64) -> Result<(), ParamError> {
+    if eps.is_finite() && eps > 0.0 {
+        Ok(())
+    } else {
+        Err(ParamError::InvalidEpsilon { value: eps })
+    }
+}
+
+/// Validates the `0 < ε1 < ε∞` ordering required by two-round protocols.
+pub fn check_epsilon_order(eps_first: f64, eps_inf: f64) -> Result<(), ParamError> {
+    check_epsilon(eps_first)?;
+    check_epsilon(eps_inf)?;
+    if eps_first < eps_inf {
+        Ok(())
+    } else {
+        Err(ParamError::EpsilonOrder { eps_first, eps_inf })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_epsilon_accepts_positive() {
+        assert!(check_epsilon(0.5).is_ok());
+        assert!(check_epsilon(10.0).is_ok());
+    }
+
+    #[test]
+    fn check_epsilon_rejects_bad_values() {
+        for v in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(check_epsilon(v).is_err(), "{v} accepted");
+        }
+    }
+
+    #[test]
+    fn epsilon_order_enforced() {
+        assert!(check_epsilon_order(0.5, 1.0).is_ok());
+        assert!(check_epsilon_order(1.0, 1.0).is_err());
+        assert!(check_epsilon_order(2.0, 1.0).is_err());
+        assert!(check_epsilon_order(0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn errors_display_meaningfully() {
+        let e = ParamError::DomainTooSmall { k: 1, min: 2 };
+        assert!(e.to_string().contains("below the minimum"));
+        let e = ParamError::InvalidBuckets { b: 3, d: 5, k: 10 };
+        assert!(e.to_string().contains("1 <= d <= b <= k"));
+    }
+}

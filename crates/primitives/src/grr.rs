@@ -1,0 +1,167 @@
+//! Generalized Randomized Response (§2.3.1).
+//!
+//! `M_GRR(v; ε)` reports the true value with probability
+//! `p = e^ε/(e^ε + k − 1)` and any *other* fixed value with probability
+//! `q = (1 − p)/(k − 1)`, which satisfies ε-LDP because `p/q = e^ε`.
+
+use crate::error::{check_epsilon, ParamError};
+use crate::params::grr_params;
+use ldp_rand::{uniform_excluding, Bernoulli};
+use rand::RngCore;
+
+/// A GRR mechanism over the domain `[0, k)`.
+#[derive(Debug, Clone)]
+pub struct Grr {
+    k: u64,
+    eps: f64,
+    p: f64,
+    q: f64,
+    keep: Bernoulli,
+}
+
+impl Grr {
+    /// Creates a GRR mechanism at privacy level `eps` over `k ≥ 2` values.
+    pub fn new(k: u64, eps: f64) -> Result<Self, ParamError> {
+        check_epsilon(eps)?;
+        if k < 2 {
+            return Err(ParamError::DomainTooSmall { k, min: 2 });
+        }
+        let (p, q) = grr_params(eps, k);
+        let keep = Bernoulli::new(p).expect("grr p in [0,1] by construction");
+        Ok(Self { k, eps, p, q, keep })
+    }
+
+    /// Creates a GRR mechanism from an explicit retention probability `p`
+    /// (with `q = (1 − p)/(k − 1)`), as needed when a chained protocol
+    /// prescribes `p2` directly rather than an ε.
+    pub fn with_retention(k: u64, p: f64) -> Result<Self, ParamError> {
+        if k < 2 {
+            return Err(ParamError::DomainTooSmall { k, min: 2 });
+        }
+        let q = (1.0 - p) / (k as f64 - 1.0);
+        if !(p.is_finite() && p > 0.0 && p < 1.0) || p <= q {
+            return Err(ParamError::InvalidProbability { p, q });
+        }
+        let eps = (p / q).ln();
+        let keep = Bernoulli::new(p).expect("validated p");
+        Ok(Self { k, eps, p, q, keep })
+    }
+
+    /// Domain size.
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+
+    /// Privacy level ε.
+    pub fn epsilon(&self) -> f64 {
+        self.eps
+    }
+
+    /// Retention probability `p`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Per-other-value noise probability `q`.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Perturbs one value.
+    ///
+    /// # Panics
+    /// Panics if `value >= k` (domain violations are caller bugs).
+    #[inline]
+    pub fn perturb<R: RngCore + ?Sized>(&self, value: u64, rng: &mut R) -> u64 {
+        assert!(value < self.k, "value {value} outside domain of size {}", self.k);
+        if self.keep.sample(rng) {
+            value
+        } else {
+            uniform_excluding(rng, self.k, value)
+        }
+    }
+
+    /// The exact transition probability `Pr[output = y | input = v]`.
+    /// Exposed for LDP-ratio tests and for the exact-variance checks.
+    pub fn transition(&self, v: u64, y: u64) -> f64 {
+        assert!(v < self.k && y < self.k);
+        if v == y {
+            self.p
+        } else {
+            self.q
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_rand::derive_rng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Grr::new(1, 1.0).is_err());
+        assert!(Grr::new(10, 0.0).is_err());
+        assert!(Grr::new(10, -1.0).is_err());
+        assert!(Grr::new(10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn transition_matrix_satisfies_ldp_exactly() {
+        for &(k, eps) in &[(2u64, 0.5f64), (10, 1.0), (360, 3.0)] {
+            let grr = Grr::new(k, eps).unwrap();
+            // Rows sum to one.
+            let row_sum: f64 = (0..k).map(|y| grr.transition(0, y)).sum();
+            assert!((row_sum - 1.0).abs() < 1e-9);
+            // Max ratio across inputs for any output is exactly e^eps.
+            let ratio = grr.p() / grr.q();
+            assert!((ratio - eps.exp()).abs() < 1e-9 * eps.exp());
+        }
+    }
+
+    #[test]
+    fn perturb_keeps_with_probability_p() {
+        let grr = Grr::new(8, 1.5).unwrap();
+        let mut rng = derive_rng(300, 0);
+        let n = 200_000;
+        let kept = (0..n).filter(|_| grr.perturb(3, &mut rng) == 3).count();
+        let rate = kept as f64 / n as f64;
+        let tol = 5.0 * (grr.p() * (1.0 - grr.p()) / n as f64).sqrt();
+        assert!((rate - grr.p()).abs() < tol, "rate {rate} vs p {}", grr.p());
+    }
+
+    #[test]
+    fn perturb_noise_is_uniform_over_other_values() {
+        let grr = Grr::new(5, 0.8).unwrap();
+        let mut rng = derive_rng(301, 0);
+        let n = 300_000;
+        let mut counts = [0usize; 5];
+        for _ in 0..n {
+            counts[grr.perturb(2, &mut rng) as usize] += 1;
+        }
+        let expected_other = n as f64 * grr.q();
+        for (v, &c) in counts.iter().enumerate() {
+            if v == 2 {
+                continue;
+            }
+            let dev = (c as f64 - expected_other).abs() / expected_other;
+            assert!(dev < 0.05, "value {v} dev {dev}");
+        }
+    }
+
+    #[test]
+    fn binary_domain_is_classic_randomized_response() {
+        let grr = Grr::new(2, 2.0f64.ln()).unwrap();
+        // p = 2/3, q = 1/3 for eps = ln 2, k = 2.
+        assert!((grr.p() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((grr.q() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn out_of_domain_input_panics() {
+        let grr = Grr::new(4, 1.0).unwrap();
+        let mut rng = derive_rng(302, 0);
+        let _ = grr.perturb(4, &mut rng);
+    }
+}

@@ -1,0 +1,306 @@
+//! Hadamard Response (Acharya, Sun & Zhang, AISTATS 2019) — the
+//! communication-efficient one-shot oracle cited as \[2\] by the paper.
+//!
+//! Each value `v` is assigned the nonzero Hadamard row `c_v = v + 1` of the
+//! `K×K` Sylvester matrix (`K` the smallest power of two `> k`). The user
+//! reports a single index `j ∈ [K]`, drawn to favour the `+1` entries of
+//! their row: `Pr[j] = 2p/K` if `H[c_v][j] = +1`, else `2(1−p)/K`, with
+//! `p = e^ε/(e^ε + 1)`. Every output's likelihood ratio across inputs is at
+//! most `p/(1−p) = e^ε`, so the mechanism is ε-LDP with `log2 K` bits of
+//! communication.
+//!
+//! Aggregation is where Hadamard structure shines: with `h` the histogram
+//! of received indices, the support count of *every* value is read off one
+//! fast Walsh–Hadamard transform — `C(v) = (n + ĥ[c_v])/2` where
+//! `ĥ = FWHT(h)` — O(K log K) total instead of O(n·k).
+
+use crate::error::{check_epsilon, ParamError};
+use crate::estimator::frequency_estimate;
+use ldp_rand::{uniform_u64, Bernoulli};
+use rand::RngCore;
+
+/// The Hadamard Response mechanism over `[0, k)`.
+#[derive(Debug, Clone)]
+pub struct HadamardResponse {
+    k: u64,
+    /// Matrix order: smallest power of two strictly greater than `k`.
+    order: u64,
+    p: f64,
+    keep: Bernoulli,
+}
+
+/// Whether the Sylvester-Hadamard entry `H[r][c]` is `+1`:
+/// `popcount(r & c)` even.
+#[inline]
+fn plus(r: u64, c: u64) -> bool {
+    (r & c).count_ones().is_multiple_of(2)
+}
+
+impl HadamardResponse {
+    /// Creates the mechanism at privacy level `eps` over `k ≥ 2` values.
+    pub fn new(k: u64, eps: f64) -> Result<Self, ParamError> {
+        check_epsilon(eps)?;
+        if k < 2 {
+            return Err(ParamError::DomainTooSmall { k, min: 2 });
+        }
+        // Need k+1 distinct nonzero rows, i.e. order > k.
+        let order = (k + 1).next_power_of_two();
+        let e = eps.exp();
+        let p = e / (e + 1.0);
+        let keep = Bernoulli::new(p).expect("p in (0,1)");
+        Ok(Self { k, order, p, keep })
+    }
+
+    /// Domain size `k`.
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+
+    /// The Hadamard order `K` (a power of two, `> k`).
+    pub fn order(&self) -> u64 {
+        self.order
+    }
+
+    /// Retention probability `p = e^ε/(e^ε+1)`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Communication bits per report: `log2 K`.
+    pub fn comm_bits(&self) -> u32 {
+        self.order.trailing_zeros()
+    }
+
+    /// The Hadamard row assigned to `value`.
+    #[inline]
+    pub fn row_of(&self, value: u64) -> u64 {
+        debug_assert!(value < self.k);
+        value + 1
+    }
+
+    /// Produces one ε-LDP report: an index in `[0, K)`.
+    ///
+    /// Sampling is exact and O(1): choose the `+1` half of the row with
+    /// probability `p`, then a uniform member of that half. Each half has
+    /// exactly `K/2` indices for every nonzero row.
+    ///
+    /// # Panics
+    /// Panics if `value >= k`.
+    pub fn perturb<R: RngCore + ?Sized>(&self, value: u64, rng: &mut R) -> u64 {
+        assert!(value < self.k, "value {value} outside domain of size {}", self.k);
+        let row = self.row_of(value);
+        let want_plus = self.keep.sample(rng);
+        // Rejection-free enumeration: the m-th element of the +1 (or −1)
+        // half. Low bit of `row` is set for odd rows... structure varies, so
+        // draw uniformly within the half by index walking: pick a uniform
+        // j0 in [0, K/2) and map it through the half's enumeration.
+        // Simpler and still O(1) expected: rejection sample (accept prob
+        // 1/2 per draw).
+        loop {
+            let j = uniform_u64(rng, self.order);
+            if plus(row, j) == want_plus {
+                return j;
+            }
+        }
+    }
+
+    /// The exact transition probability `Pr[report = j | value]`.
+    pub fn transition(&self, value: u64, j: u64) -> f64 {
+        assert!(value < self.k && j < self.order);
+        let half = self.order as f64 / 2.0;
+        if plus(self.row_of(value), j) {
+            self.p / half
+        } else {
+            (1.0 - self.p) / half
+        }
+    }
+}
+
+/// The aggregation server: accumulates the report histogram and estimates
+/// all `k` frequencies from one Walsh–Hadamard transform.
+#[derive(Debug, Clone)]
+pub struct HrServer {
+    mech: HadamardResponse,
+    histogram: Vec<i64>,
+    n: u64,
+}
+
+impl HrServer {
+    /// Creates a server matching a client's configuration.
+    pub fn new(k: u64, eps: f64) -> Result<Self, ParamError> {
+        let mech = HadamardResponse::new(k, eps)?;
+        let order = mech.order as usize;
+        Ok(Self { mech, histogram: vec![0; order], n: 0 })
+    }
+
+    /// Ingests one report index.
+    ///
+    /// # Panics
+    /// Panics if the index is out of range.
+    pub fn ingest(&mut self, j: u64) {
+        self.histogram[j as usize] += 1;
+        self.n += 1;
+    }
+
+    /// Number of ingested reports.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Estimates the k-bin histogram: one FWHT then Eq. (1) per value with
+    /// `(p, q) = (p, 1/2)`.
+    pub fn estimate(&self) -> Vec<f64> {
+        let mut spectrum = self.histogram.clone();
+        fwht(&mut spectrum);
+        let nf = self.n as f64;
+        (0..self.mech.k)
+            .map(|v| {
+                let row = self.mech.row_of(v) as usize;
+                let support = (nf + spectrum[row] as f64) / 2.0;
+                frequency_estimate(support, nf, self.mech.p, 0.5)
+            })
+            .collect()
+    }
+}
+
+/// In-place fast Walsh–Hadamard transform (Sylvester ordering, unnormalized:
+/// applying it twice multiplies by the length).
+pub fn fwht(data: &mut [i64]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FWHT length must be a power of two");
+    let mut h = 1;
+    while h < n {
+        for block in (0..n).step_by(h * 2) {
+            for i in block..block + h {
+                let (a, b) = (data[i], data[i + h]);
+                data[i] = a + b;
+                data[i + h] = a - b;
+            }
+        }
+        h *= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_rand::{derive_rng, AliasTable};
+
+    #[test]
+    fn constructor_validates() {
+        assert!(HadamardResponse::new(1, 1.0).is_err());
+        assert!(HadamardResponse::new(10, 0.0).is_err());
+        assert!(HrServer::new(10, -1.0).is_err());
+    }
+
+    #[test]
+    fn order_is_smallest_power_of_two_above_k() {
+        assert_eq!(HadamardResponse::new(3, 1.0).unwrap().order(), 4);
+        assert_eq!(HadamardResponse::new(4, 1.0).unwrap().order(), 8);
+        assert_eq!(HadamardResponse::new(96, 1.0).unwrap().order(), 128);
+        assert_eq!(HadamardResponse::new(360, 1.0).unwrap().order(), 512);
+    }
+
+    #[test]
+    fn comm_bits_is_log_order() {
+        let hr = HadamardResponse::new(360, 1.0).unwrap();
+        assert_eq!(hr.comm_bits(), 9);
+    }
+
+    #[test]
+    fn transition_is_a_distribution_with_exact_ldp_ratio() {
+        let hr = HadamardResponse::new(13, 1.7).unwrap();
+        for v in 0..13u64 {
+            let total: f64 = (0..hr.order()).map(|j| hr.transition(v, j)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "v={v} total {total}");
+        }
+        // The worst-case ratio across any pair of inputs at any output is
+        // p/(1-p) = e^eps.
+        let mut max_ratio: f64 = 0.0;
+        for j in 0..hr.order() {
+            let probs: Vec<f64> = (0..13).map(|v| hr.transition(v, j)).collect();
+            let hi = probs.iter().cloned().fold(f64::MIN, f64::max);
+            let lo = probs.iter().cloned().fold(f64::MAX, f64::min);
+            max_ratio = max_ratio.max(hi / lo);
+        }
+        assert!((max_ratio.ln() - 1.7).abs() < 1e-9, "ln ratio {}", max_ratio.ln());
+    }
+
+    #[test]
+    fn rows_are_half_balanced_and_orthogonal() {
+        let hr = HadamardResponse::new(20, 1.0).unwrap();
+        let order = hr.order();
+        for v in 0..20u64 {
+            let plus_count = (0..order).filter(|&j| plus(hr.row_of(v), j)).count() as u64;
+            assert_eq!(plus_count, order / 2, "row {v} unbalanced");
+        }
+        // Orthogonality: two distinct rows agree on exactly half the
+        // columns — the property that cancels cross-terms in estimation.
+        for u in 0..5u64 {
+            for v in (u + 1)..5 {
+                let agree = (0..order)
+                    .filter(|&j| plus(hr.row_of(u), j) == plus(hr.row_of(v), j))
+                    .count() as u64;
+                assert_eq!(agree, order / 2, "rows {u},{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn fwht_involution() {
+        let mut data: Vec<i64> = vec![3, -1, 4, 1, -5, 9, 2, -6];
+        let original = data.clone();
+        fwht(&mut data);
+        fwht(&mut data);
+        for (a, &b) in data.iter().zip(&original) {
+            assert_eq!(*a, b * 8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fwht_rejects_odd_length() {
+        let mut data = vec![1i64, 2, 3];
+        fwht(&mut data);
+    }
+
+    #[test]
+    fn perturb_matches_transition_empirically() {
+        let hr = HadamardResponse::new(6, 1.2).unwrap();
+        let mut rng = derive_rng(1100, 0);
+        let n = 200_000;
+        let v = 3u64;
+        let mut counts = vec![0u64; hr.order() as usize];
+        for _ in 0..n {
+            counts[hr.perturb(v, &mut rng) as usize] += 1;
+        }
+        for (j, &c) in counts.iter().enumerate() {
+            let expected = hr.transition(v, j as u64) * n as f64;
+            let dev = (c as f64 - expected).abs() / expected.max(1.0);
+            assert!(dev < 0.1, "j={j}: {c} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn end_to_end_estimation_accuracy() {
+        let k = 24u64;
+        let eps = 2.0;
+        let n = 60_000;
+        let mut server = HrServer::new(k, eps).unwrap();
+        let client = HadamardResponse::new(k, eps).unwrap();
+        let weights: Vec<f64> = (0..k).map(|v| (v % 4 + 1) as f64).collect();
+        let total: f64 = weights.iter().sum();
+        let truth: Vec<f64> = weights.iter().map(|w| w / total).collect();
+        let alias = AliasTable::new(&weights).unwrap();
+        let mut rng = derive_rng(1101, 0);
+        for _ in 0..n {
+            let v = alias.sample(&mut rng) as u64;
+            server.ingest(client.perturb(v, &mut rng));
+        }
+        let est = server.estimate();
+        for (v, (&e, &t)) in est.iter().zip(&truth).enumerate() {
+            assert!((e - t).abs() < 0.02, "v={v}: {e} vs {t}");
+        }
+        assert_eq!(server.n(), n);
+    }
+}

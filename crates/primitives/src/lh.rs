@@ -1,0 +1,239 @@
+//! Local Hashing protocols (§2.3.2): BLH (`g = 2`) and OLH (`g = ⌊e^ε+1⌉`).
+//!
+//! Each user samples a hash function `H : [k] → [g]` from a universal family,
+//! hashes their value, perturbs the hashed cell with GRR over `[g]`, and
+//! reports `⟨H, y⟩`. The server counts, for every domain value `v`, how many
+//! users reported a cell that `v` hashes to (`support`), then applies Eq. (1)
+//! with `q' = 1/g`.
+
+use crate::error::ParamError;
+use crate::estimator::frequency_estimates;
+use crate::grr::Grr;
+use crate::params::olh_g;
+use ldp_hash::{CarterWegman, Preimages, SeededHash, UniversalFamily};
+use rand::RngCore;
+
+/// How the reduced domain size `g` is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LhMode {
+    /// Binary LH: `g = 2`.
+    Binary,
+    /// Optimal LH: `g = ⌊e^ε + 1⌉` (Wang et al., 2017).
+    Optimal,
+    /// A caller-chosen `g ≥ 2`.
+    Custom(u32),
+}
+
+impl LhMode {
+    /// Resolves the concrete `g` for privacy level `eps`.
+    pub fn g(&self, eps: f64) -> u32 {
+        match *self {
+            LhMode::Binary => 2,
+            LhMode::Optimal => olh_g(eps),
+            LhMode::Custom(g) => g,
+        }
+    }
+}
+
+/// A one-shot LH client: samples a fresh hash function per report.
+#[derive(Debug, Clone)]
+pub struct LhClient<F: UniversalFamily> {
+    family: F,
+    grr: Grr,
+    k: u64,
+}
+
+/// A single LH report: the sampled hash function plus the perturbed cell.
+#[derive(Debug, Clone)]
+pub struct LhReport<H> {
+    /// The hash function the user sampled (sent in the clear).
+    pub hash: H,
+    /// The GRR-perturbed hash cell in `[0, g)`.
+    pub cell: u32,
+}
+
+impl<F: UniversalFamily> LhClient<F> {
+    /// Creates a client over domain `[0, k)` using `family` (which fixes `g`)
+    /// at privacy level `eps`.
+    pub fn new(family: F, k: u64, eps: f64) -> Result<Self, ParamError> {
+        let g = family.g();
+        if g < 2 {
+            return Err(ParamError::InvalidG { g });
+        }
+        if k < 2 {
+            return Err(ParamError::DomainTooSmall { k, min: 2 });
+        }
+        let grr = Grr::new(g as u64, eps)?;
+        Ok(Self { family, grr, k })
+    }
+
+    /// Domain size `k`.
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+
+    /// Reduced domain size `g`.
+    pub fn g(&self) -> u32 {
+        self.family.g()
+    }
+
+    /// The GRR retention probability over the reduced domain.
+    pub fn p(&self) -> f64 {
+        self.grr.p()
+    }
+
+    /// Produces one ε-LDP report for `value`.
+    ///
+    /// # Panics
+    /// Panics if `value >= k`.
+    pub fn report<R: RngCore + ?Sized>(&self, value: u64, rng: &mut R) -> LhReport<F::Hash> {
+        assert!(value < self.k, "value {value} outside domain of size {}", self.k);
+        let hash = self.family.sample(rng);
+        let x = hash.hash(value);
+        let cell = self.grr.perturb(x as u64, rng) as u32;
+        LhReport { hash, cell }
+    }
+}
+
+/// Convenience constructor: Binary LH over the Carter–Wegman family.
+pub fn blh_client(k: u64, eps: f64) -> Result<LhClient<CarterWegman>, ParamError> {
+    let family = CarterWegman::new(2).expect("g = 2 is valid");
+    LhClient::new(family, k, eps)
+}
+
+/// Convenience constructor: Optimal LH over the Carter–Wegman family.
+pub fn olh_client(k: u64, eps: f64) -> Result<LhClient<CarterWegman>, ParamError> {
+    let g = olh_g(eps);
+    let family = CarterWegman::new(g).ok_or(ParamError::InvalidG { g })?;
+    LhClient::new(family, k, eps)
+}
+
+/// The LH aggregation server: accumulates support counts and estimates the
+/// histogram with Eq. (1) using `q' = 1/g`.
+#[derive(Debug, Clone)]
+pub struct LhServer {
+    k: u64,
+    g: u32,
+    p: f64,
+    n: u64,
+    counts: Vec<u64>,
+}
+
+impl LhServer {
+    /// Creates a server for domain `[0, k)`, reduced domain `g`, level `eps`.
+    pub fn new(k: u64, g: u32, eps: f64) -> Result<Self, ParamError> {
+        if g < 2 {
+            return Err(ParamError::InvalidG { g });
+        }
+        if k < 2 {
+            return Err(ParamError::DomainTooSmall { k, min: 2 });
+        }
+        let grr = Grr::new(g as u64, eps)?;
+        Ok(Self { k, g, p: grr.p(), n: 0, counts: vec![0; k as usize] })
+    }
+
+    /// Ingests one report: every domain value hashing to the reported cell
+    /// gains one unit of support.
+    pub fn ingest<H: SeededHash>(&mut self, report: &LhReport<H>) {
+        assert_eq!(report.hash.g(), self.g, "report g mismatch");
+        let pre = Preimages::build(&report.hash, self.k);
+        for &v in pre.cell(report.cell) {
+            self.counts[v as usize] += 1;
+        }
+        self.n += 1;
+    }
+
+    /// Number of ingested reports.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Estimates the k-bin histogram (Eq. (1) with `q' = 1/g`).
+    pub fn estimate(&self) -> Vec<f64> {
+        let counts: Vec<f64> = self.counts.iter().map(|&c| c as f64).collect();
+        frequency_estimates(&counts, self.n as f64, self.p, 1.0 / self.g as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::single_variance_approx;
+    use ldp_rand::derive_rng;
+
+    #[test]
+    fn constructors_validate() {
+        assert!(blh_client(1, 1.0).is_err());
+        assert!(blh_client(10, 0.0).is_err());
+        assert!(LhServer::new(10, 1, 1.0).is_err());
+        assert!(LhServer::new(1, 2, 1.0).is_err());
+    }
+
+    #[test]
+    fn olh_g_grows_with_eps() {
+        assert_eq!(olh_client(100, 0.5).unwrap().g(), 3);
+        assert_eq!(olh_client(100, 3.0).unwrap().g(), 21);
+    }
+
+    fn end_to_end(
+        client_g: LhMode,
+        eps: f64,
+        seed: u64,
+    ) -> (Vec<f64>, Vec<f64>, f64) {
+        let k = 20u64;
+        let n = 30_000usize;
+        let g = client_g.g(eps);
+        let family = CarterWegman::new(g).unwrap();
+        let client = LhClient::new(family, k, eps).unwrap();
+        let mut server = LhServer::new(k, g, eps).unwrap();
+        let mut rng = derive_rng(seed, 0);
+        // Skewed ground truth: value v with weight (v+1).
+        let weights: Vec<f64> = (0..k).map(|v| (v + 1) as f64).collect();
+        let total: f64 = weights.iter().sum();
+        let truth: Vec<f64> = weights.iter().map(|w| w / total).collect();
+        let alias = ldp_rand::AliasTable::new(&weights).unwrap();
+        for _ in 0..n {
+            let v = alias.sample(&mut rng) as u64;
+            let report = client.report(v, &mut rng);
+            server.ingest(&report);
+        }
+        let est = server.estimate();
+        let v_star = single_variance_approx(n as f64, client.p(), 1.0 / g as f64);
+        (est, truth, v_star)
+    }
+
+    #[test]
+    fn blh_estimates_are_accurate() {
+        let (est, truth, v_star) = end_to_end(LhMode::Binary, 1.0, 310);
+        for (v, (&e, &t)) in est.iter().zip(&truth).enumerate() {
+            let tol = 6.0 * v_star.sqrt();
+            assert!((e - t).abs() < tol, "v={v}: {e} vs {t} (tol {tol})");
+        }
+    }
+
+    #[test]
+    fn olh_estimates_are_accurate() {
+        let (est, truth, v_star) = end_to_end(LhMode::Optimal, 2.0, 311);
+        for (v, (&e, &t)) in est.iter().zip(&truth).enumerate() {
+            let tol = 6.0 * v_star.sqrt();
+            assert!((e - t).abs() < tol, "v={v}: {e} vs {t} (tol {tol})");
+        }
+    }
+
+    #[test]
+    fn estimates_roughly_sum_to_one() {
+        let (est, _, _) = end_to_end(LhMode::Optimal, 1.0, 312);
+        let sum: f64 = est.iter().sum();
+        assert!((sum - 1.0).abs() < 0.2, "sum {sum}");
+    }
+
+    #[test]
+    #[should_panic(expected = "g mismatch")]
+    fn mismatched_g_report_panics() {
+        let client = blh_client(10, 1.0).unwrap();
+        let mut server = LhServer::new(10, 4, 1.0).unwrap();
+        let mut rng = derive_rng(313, 0);
+        let report = client.report(0, &mut rng);
+        server.ingest(&report);
+    }
+}

@@ -1,0 +1,142 @@
+//! Perturbation parameter pairs `(p, q)` and the ε they induce.
+//!
+//! Every protocol in the paper is characterized by a retention probability
+//! `p` (a "1" or the true symbol survives) and a noise probability `q` (a
+//! "0" flips up, or a different symbol is emitted). The pair determines both
+//! the privacy level and the estimator; this module is the single home for
+//! that algebra.
+
+use crate::error::ParamError;
+
+/// A validated `(p, q)` perturbation pair with `p ≠ q`, both in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerturbParams {
+    /// Probability that the signal symbol/bit is retained.
+    pub p: f64,
+    /// Probability that a non-signal symbol/bit is emitted.
+    pub q: f64,
+}
+
+impl PerturbParams {
+    /// Validates and wraps a `(p, q)` pair.
+    pub fn new(p: f64, q: f64) -> Result<Self, ParamError> {
+        let valid = p.is_finite()
+            && q.is_finite()
+            && (0.0..=1.0).contains(&p)
+            && (0.0..=1.0).contains(&q)
+            && p != q;
+        if valid {
+            Ok(Self { p, q })
+        } else {
+            Err(ParamError::InvalidProbability { p, q })
+        }
+    }
+
+    /// The ε-LDP level of an independent-bit mechanism with these
+    /// parameters: `ε = ln(p(1−q) / ((1−p)q))` (Wang et al., 2017).
+    ///
+    /// Returns `+∞` when `q = 0` or `p = 1` (a noiseless channel).
+    pub fn epsilon_unary(&self) -> f64 {
+        ((self.p * (1.0 - self.q)) / ((1.0 - self.p) * self.q)).ln()
+    }
+
+    /// The sensitivity denominator `p − q` used by every estimator.
+    pub fn gap(&self) -> f64 {
+        self.p - self.q
+    }
+}
+
+/// GRR parameters over a `k`-ary domain at level ε:
+/// `p = e^ε / (e^ε + k − 1)`, `q = (1 − p)/(k − 1) = 1 / (e^ε + k − 1)`.
+pub fn grr_params(eps: f64, k: u64) -> (f64, f64) {
+    let a = eps.exp();
+    let p = a / (a + k as f64 - 1.0);
+    let q = 1.0 / (a + k as f64 - 1.0);
+    (p, q)
+}
+
+/// SUE (RAPPOR encoding) parameters at level ε:
+/// `p = e^{ε/2} / (e^{ε/2} + 1)`, `q = 1 − p`.
+pub fn sue_params(eps: f64) -> (f64, f64) {
+    let a = (eps / 2.0).exp();
+    let p = a / (a + 1.0);
+    (p, 1.0 - p)
+}
+
+/// OUE parameters at level ε: `p = 1/2`, `q = 1 / (e^ε + 1)`.
+pub fn oue_params(eps: f64) -> (f64, f64) {
+    (0.5, 1.0 / (eps.exp() + 1.0))
+}
+
+/// The optimal LH reduced-domain size: `g = ⌊e^ε + 1⌉` (Wang et al., 2017),
+/// never below 2.
+pub fn olh_g(eps: f64) -> u32 {
+    let g = (eps.exp() + 1.0).round();
+    if g < 2.0 {
+        2
+    } else if g > u32::MAX as f64 {
+        u32::MAX
+    } else {
+        g as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_invalid_pairs() {
+        assert!(PerturbParams::new(0.5, 0.5).is_err());
+        assert!(PerturbParams::new(1.2, 0.1).is_err());
+        assert!(PerturbParams::new(0.5, -0.1).is_err());
+        assert!(PerturbParams::new(f64::NAN, 0.1).is_err());
+    }
+
+    #[test]
+    fn grr_params_satisfy_ratio() {
+        for &eps in &[0.1, 0.5, 1.0, 3.0] {
+            for &k in &[2u64, 10, 360, 1412] {
+                let (p, q) = grr_params(eps, k);
+                assert!((p / q - eps.exp()).abs() < 1e-9, "eps={eps} k={k}");
+                // Total probability mass: p + (k-1) q = 1.
+                assert!((p + (k as f64 - 1.0) * q - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn sue_params_symmetric_and_correct_eps() {
+        for &eps in &[0.5, 1.0, 2.0, 5.0] {
+            let (p, q) = sue_params(eps);
+            assert!((p + q - 1.0).abs() < 1e-12);
+            let pp = PerturbParams::new(p, q).unwrap();
+            assert!((pp.epsilon_unary() - eps).abs() < 1e-9, "eps={eps}");
+        }
+    }
+
+    #[test]
+    fn oue_params_correct_eps() {
+        for &eps in &[0.5, 1.0, 2.0, 5.0] {
+            let (p, q) = oue_params(eps);
+            assert_eq!(p, 0.5);
+            let pp = PerturbParams::new(p, q).unwrap();
+            assert!((pp.epsilon_unary() - eps).abs() < 1e-9, "eps={eps}");
+        }
+    }
+
+    #[test]
+    fn olh_g_matches_paper_examples() {
+        // e^1 + 1 ≈ 3.72 → 4; e^0.5 + 1 ≈ 2.65 → 3; tiny ε floors at 2.
+        assert_eq!(olh_g(1.0), 4);
+        assert_eq!(olh_g(0.5), 3);
+        assert_eq!(olh_g(0.01), 2);
+        assert_eq!(olh_g(3.0), 21);
+    }
+
+    #[test]
+    fn epsilon_unary_infinite_for_noiseless() {
+        let pp = PerturbParams::new(1.0, 0.25).unwrap();
+        assert!(pp.epsilon_unary().is_infinite());
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the one-shot protocol layer.
+//!
+//! These verify the *algebraic* guarantees on randomly drawn parameters:
+//! LDP ratios computed from exact transition probabilities, estimator
+//! unbiasedness as an identity on expectations, and structural invariants
+//! of the bit-vector and parameter helpers.
+
+use ldp_primitives::estimator::{
+    chained_frequency_estimate, chained_variance, chained_variance_approx,
+    frequency_estimate,
+};
+use ldp_primitives::params::{grr_params, olh_g, oue_params, sue_params};
+use ldp_primitives::{BitVec, Grr, PerturbParams, UeClient};
+use proptest::prelude::*;
+
+prop_compose! {
+    fn arb_eps()(e in 0.05f64..6.0) -> f64 { e }
+}
+
+prop_compose! {
+    fn arb_k()(k in 2u64..500) -> u64 { k }
+}
+
+proptest! {
+    /// GRR's transition matrix satisfies the ε-LDP inequality with equality
+    /// at the (v, v) / (v', v) pair.
+    #[test]
+    fn grr_ldp_ratio_is_exact(eps in arb_eps(), k in arb_k()) {
+        let grr = Grr::new(k, eps).unwrap();
+        let ratio = grr.p() / grr.q();
+        prop_assert!((ratio.ln() - eps).abs() < 1e-9);
+        // Row stochasticity.
+        let row: f64 = grr.p() + (k as f64 - 1.0) * grr.q();
+        prop_assert!((row - 1.0).abs() < 1e-9);
+    }
+
+    /// The unary ε of SUE/OUE parameter pairs matches the requested ε.
+    #[test]
+    fn ue_params_epsilon_roundtrip(eps in arb_eps()) {
+        let (ps, qs) = sue_params(eps);
+        let (po, qo) = oue_params(eps);
+        let es = PerturbParams::new(ps, qs).unwrap().epsilon_unary();
+        let eo = PerturbParams::new(po, qo).unwrap().epsilon_unary();
+        prop_assert!((es - eps).abs() < 1e-8, "SUE {es} vs {eps}");
+        prop_assert!((eo - eps).abs() < 1e-8, "OUE {eo} vs {eps}");
+    }
+
+    /// Eq. (1) inverts the expected support count for any frequency.
+    #[test]
+    fn eq1_unbiased_identity(
+        f in 0.0f64..1.0,
+        p in 0.55f64..0.999,
+        q in 0.001f64..0.45,
+        n in 100.0f64..1e6,
+    ) {
+        let expected_count = n * (f * p + (1.0 - f) * q);
+        let est = frequency_estimate(expected_count, n, p, q);
+        prop_assert!((est - f).abs() < 1e-9);
+    }
+
+    /// Eq. (3) inverts the expected support count under two rounds.
+    #[test]
+    fn eq3_unbiased_identity(
+        f in 0.0f64..1.0,
+        p1 in 0.55f64..0.999,
+        q1 in 0.001f64..0.45,
+        p2 in 0.55f64..0.999,
+        q2 in 0.001f64..0.45,
+        n in 100.0f64..1e6,
+    ) {
+        let ps = p1 * p2 + (1.0 - p1) * q2;
+        let qs = q1 * p2 + (1.0 - q1) * q2;
+        let expected_count = n * (f * ps + (1.0 - f) * qs);
+        let est = chained_frequency_estimate(expected_count, n, p1, q1, p2, q2);
+        prop_assert!((est - f).abs() < 1e-8);
+    }
+
+    /// Eq. (4) is non-negative and Eq. (5) equals Eq. (4) at f = 0.
+    #[test]
+    fn variance_formulas_consistent(
+        p1 in 0.55f64..0.999,
+        q1 in 0.001f64..0.45,
+        p2 in 0.55f64..0.999,
+        q2 in 0.001f64..0.45,
+    ) {
+        let n = 10_000.0;
+        let v0 = chained_variance(0.0, n, p1, q1, p2, q2);
+        let vstar = chained_variance_approx(n, p1, q1, p2, q2);
+        prop_assert!(v0 >= 0.0);
+        prop_assert!((v0 - vstar).abs() < 1e-15);
+    }
+
+    /// olh_g is monotone in ε and always at least 2.
+    #[test]
+    fn olh_g_monotone(e1 in arb_eps(), e2 in arb_eps()) {
+        let (lo, hi) = if e1 <= e2 { (e1, e2) } else { (e2, e1) };
+        prop_assert!(olh_g(lo) >= 2);
+        prop_assert!(olh_g(lo) <= olh_g(hi));
+    }
+
+    /// GRR perturbation output always stays in the domain.
+    #[test]
+    fn grr_output_in_domain(eps in arb_eps(), k in arb_k(), seed in any::<u64>()) {
+        let grr = Grr::new(k, eps).unwrap();
+        let mut rng = ldp_rand::derive_rng(seed, 0);
+        for v in [0, k / 2, k - 1] {
+            let y = grr.perturb(v, &mut rng);
+            prop_assert!(y < k);
+        }
+    }
+
+    /// UE reports have the right length and plausible density.
+    #[test]
+    fn ue_report_shape(eps in 0.3f64..4.0, k in 4u64..200, seed in any::<u64>()) {
+        let client = UeClient::oue(k, eps).unwrap();
+        let mut rng = ldp_rand::derive_rng(seed, 1);
+        let bits = client.perturb(k - 1, &mut rng);
+        prop_assert_eq!(bits.len() as u64, k);
+        prop_assert!(bits.count_ones() as u64 <= k);
+    }
+
+    /// BitVec set/get agree for arbitrary index sets.
+    #[test]
+    fn bitvec_set_get(len in 1usize..500, idxs in prop::collection::vec(0usize..500, 0..64)) {
+        let mut bv = BitVec::zeros(len);
+        let mut expected = vec![false; len];
+        for &i in idxs.iter().filter(|&&i| i < len) {
+            bv.set(i, true);
+            expected[i] = true;
+        }
+        for (i, &e) in expected.iter().enumerate() {
+            prop_assert_eq!(bv.get(i), e);
+        }
+        let ones: Vec<usize> = bv.iter_ones().collect();
+        let want: Vec<usize> =
+            expected.iter().enumerate().filter(|(_, &e)| e).map(|(i, _)| i).collect();
+        prop_assert_eq!(ones, want);
+    }
+
+    /// grr_params always form a valid distribution with p/q = e^eps.
+    #[test]
+    fn grr_params_valid(eps in arb_eps(), k in arb_k()) {
+        let (p, q) = grr_params(eps, k);
+        prop_assert!(p > 0.0 && p < 1.0);
+        prop_assert!(q > 0.0 && q < 1.0);
+        prop_assert!(p > q);
+        prop_assert!(((p / q).ln() - eps).abs() < 1e-9);
+    }
+}

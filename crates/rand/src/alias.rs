@@ -1,0 +1,157 @@
+//! Walker's alias method for O(1) sampling from arbitrary discrete
+//! distributions.
+//!
+//! The dataset generators draw millions of values from fixed, skewed
+//! histograms (hours-per-week, replicate-weight ranks); the alias table makes
+//! each draw one uniform integer, one uniform float and one comparison.
+
+use crate::{uniform_f64, uniform_u64};
+use rand::RngCore;
+
+/// A pre-processed discrete distribution supporting O(1) sampling.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds an alias table from non-negative weights (they need not sum
+    /// to one).
+    ///
+    /// # Errors
+    /// Returns `None` if `weights` is empty, contains a negative or
+    /// non-finite value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Option<Self> {
+        if weights.is_empty() || weights.len() > u32::MAX as usize {
+            return None;
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return None;
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let n = weights.len();
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        let mut alias = vec![0u32; n];
+
+        // Split indices into under- and over-full stacks (Vose's variant).
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            let leftover = prob[l as usize] + prob[s as usize] - 1.0;
+            prob[l as usize] = leftover;
+            if leftover < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Whatever remains is numerically 1.0.
+        for i in small.into_iter().chain(large) {
+            prob[i as usize] = 1.0;
+        }
+        Some(Self { prob, alias })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one category index.
+    #[inline]
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = uniform_u64(rng, self.prob.len() as u64) as usize;
+        if uniform_f64(rng) < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::derive_rng;
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(AliasTable::new(&[]).is_none());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_none());
+        assert!(AliasTable::new(&[1.0, -1.0]).is_none());
+        assert!(AliasTable::new(&[1.0, f64::INFINITY]).is_none());
+        assert!(AliasTable::new(&[1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn single_category_always_sampled() {
+        let t = AliasTable::new(&[3.0]).unwrap();
+        let mut rng = derive_rng(30, 0);
+        for _ in 0..50 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zero_weight_category_never_sampled() {
+        let t = AliasTable::new(&[1.0, 0.0, 1.0]).unwrap();
+        let mut rng = derive_rng(31, 0);
+        for _ in 0..10_000 {
+            assert_ne!(t.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_match_weights() {
+        let weights = [0.1, 0.4, 0.2, 0.05, 0.25];
+        let t = AliasTable::new(&weights).unwrap();
+        let mut rng = derive_rng(32, 0);
+        let n = 500_000;
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..n {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            let rate = counts[i] as f64 / n as f64;
+            assert!((rate - w).abs() < 0.005, "cat {i}: {rate} vs {w}");
+        }
+    }
+
+    #[test]
+    fn unnormalized_weights_are_normalized() {
+        let t = AliasTable::new(&[2.0, 6.0]).unwrap();
+        let mut rng = derive_rng(33, 0);
+        let n = 200_000;
+        let ones = (0..n).filter(|_| t.sample(&mut rng) == 1).count();
+        let rate = ones as f64 / n as f64;
+        assert!((rate - 0.75).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn large_table_builds_and_samples() {
+        let weights: Vec<f64> = (1..=10_000).map(|i| 1.0 / i as f64).collect();
+        let t = AliasTable::new(&weights).unwrap();
+        let mut rng = derive_rng(34, 0);
+        for _ in 0..1000 {
+            assert!(t.sample(&mut rng) < weights.len());
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Binomial sampling: BINV inversion for small means, BTRS transformed
+//! rejection (Hörmann, 1993) for large means.
+//!
+//! Used to draw "how many of the k−1 zero bits flip to one" in bulk when
+//! perturbing unary-encoded reports, which turns an O(k) loop of Bernoulli
+//! draws into one binomial draw plus a sparse position sample.
+
+use crate::uniform_f64;
+use rand::RngCore;
+
+/// A Binomial(n, p) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+/// Mean threshold below which plain inversion (BINV) is used.
+const BINV_MAX_MEAN: f64 = 10.0;
+
+impl Binomial {
+    /// Creates a Binomial sampler over `n` trials with success probability `p`.
+    ///
+    /// # Errors
+    /// Returns `None` if `p` is outside `[0, 1]` (including NaN).
+    pub fn new(n: u64, p: f64) -> Option<Self> {
+        if !(0.0..=1.0).contains(&p) {
+            return None;
+        }
+        Some(Self { n, p })
+    }
+
+    /// Number of trials.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Draws one sample in `[0, n]`.
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        let (n, p) = (self.n, self.p);
+        if n == 0 || p == 0.0 {
+            return 0;
+        }
+        if p == 1.0 {
+            return n;
+        }
+        // Work with p' <= 0.5 and mirror the result if we flipped.
+        let (q, flipped) = if p > 0.5 { (1.0 - p, true) } else { (p, false) };
+        let k = if (n as f64) * q <= BINV_MAX_MEAN {
+            sample_binv(n, q, rng)
+        } else {
+            sample_btrs(n, q, rng)
+        };
+        if flipped {
+            n - k
+        } else {
+            k
+        }
+    }
+}
+
+/// BINV: sequential CDF inversion. Exact; expected cost O(n·p). Requires
+/// n·p small enough that (1−p)^n does not underflow (guaranteed by the
+/// `BINV_MAX_MEAN` switch: e^-10 is far from the subnormal range).
+fn sample_binv<R: RngCore + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    debug_assert!(p <= 0.5);
+    let q = 1.0 - p;
+    let s = p / q;
+    let a = (n as f64 + 1.0) * s;
+    loop {
+        let mut r = (n as f64 * q.ln()).exp(); // q^n
+        let mut u = uniform_f64(rng);
+        let mut x: u64 = 0;
+        let bound = n.min((n as f64 * p + 30.0 * (n as f64 * p * q).sqrt().max(1.0)) as u64 + 20);
+        let mut ok = true;
+        while u > r {
+            u -= r;
+            x += 1;
+            if x > bound {
+                // Numerical tail accident (u landed beyond the computed
+                // mass); resample rather than return a biased clamp.
+                ok = false;
+                break;
+            }
+            r *= a / x as f64 - s;
+        }
+        if ok {
+            return x.min(n);
+        }
+    }
+}
+
+/// BTRS: Hörmann's transformed rejection with squeeze. Requires p ≤ 0.5 and
+/// n·p ≥ 10. Expected ~1.15 uniform pairs per variate independent of n.
+fn sample_btrs<R: RngCore + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    debug_assert!(p <= 0.5);
+    let nf = n as f64;
+    let q = 1.0 - p;
+    let spq = (nf * p * q).sqrt();
+    let b = 1.15 + 2.53 * spq;
+    let a = -0.0873 + 0.0248 * b + 0.01 * p;
+    let c = nf * p + 0.5;
+    let v_r = 0.92 - 4.2 / b;
+    let urvr = 0.86 * v_r;
+    let alpha = (2.83 + 5.1 / b) * spq;
+    let lpq = (p / q).ln();
+    let m = ((nf + 1.0) * p).floor();
+    let h = ln_factorial(m as u64) + ln_factorial(n - m as u64);
+
+    loop {
+        let mut v = uniform_f64(rng);
+        let u: f64;
+        if v <= urvr {
+            // Fast acceptance region: no logarithms needed.
+            u = v / v_r - 0.43;
+            let k = ((2.0 * a / (0.5 - u.abs()) + b) * u + c).floor();
+            return k as u64;
+        }
+        if v >= v_r {
+            u = uniform_f64(rng) - 0.5;
+        } else {
+            let w = v / v_r - 0.93;
+            u = 0.5_f64.copysign(w) - w;
+            v = uniform_f64(rng) * v_r;
+        }
+        let us = 0.5 - u.abs();
+        let kf = ((2.0 * a / us + b) * u + c).floor();
+        if kf < 0.0 || kf > nf {
+            continue;
+        }
+        let k = kf as u64;
+        let v2 = v * alpha / (a / (us * us) + b);
+        let accept = v2.ln()
+            <= h - ln_factorial(k) - ln_factorial(n - k) + (kf - m) * lpq;
+        if accept {
+            return k;
+        }
+    }
+}
+
+/// `ln(k!)` via an exact small table plus a Stirling series, accurate to
+/// better than 1e-12 for all k.
+pub fn ln_factorial(k: u64) -> f64 {
+    const TABLE: [f64; 16] = [
+        0.0,
+        0.0,
+        std::f64::consts::LN_2, // ln 2!
+        1.791_759_469_228_055,
+        3.178_053_830_347_945_8,
+        4.787_491_742_782_046,
+        6.579_251_212_010_101,
+        8.525_161_361_065_415,
+        10.604_602_902_745_25,
+        12.801_827_480_081_469,
+        15.104_412_573_075_516,
+        17.502_307_845_873_887,
+        19.987_214_495_661_885,
+        22.552_163_853_123_42,
+        25.191_221_182_738_68,
+        27.899_271_383_840_89,
+    ];
+    if (k as usize) < TABLE.len() {
+        return TABLE[k as usize];
+    }
+    let x = k as f64;
+    // Stirling: ln k! = k ln k − k + ½ ln(2πk) + 1/(12k) − 1/(360k³) + 1/(1260k⁵)
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    x * x.ln() - x
+        + 0.5 * (2.0 * std::f64::consts::PI * x).ln()
+        + inv * (1.0 / 12.0)
+        - inv * inv2 * (1.0 / 360.0)
+        + inv * inv2 * inv2 * (1.0 / 1260.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::derive_rng;
+
+    #[test]
+    fn rejects_invalid_p() {
+        assert!(Binomial::new(10, -0.5).is_none());
+        assert!(Binomial::new(10, 1.5).is_none());
+        assert!(Binomial::new(10, f64::NAN).is_none());
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let mut rng = derive_rng(3, 0);
+        assert_eq!(Binomial::new(0, 0.3).unwrap().sample(&mut rng), 0);
+        assert_eq!(Binomial::new(50, 0.0).unwrap().sample(&mut rng), 0);
+        assert_eq!(Binomial::new(50, 1.0).unwrap().sample(&mut rng), 50);
+    }
+
+    #[test]
+    fn ln_factorial_matches_direct_sum() {
+        let mut acc = 0.0;
+        for k in 1..200u64 {
+            acc += (k as f64).ln();
+            let err = (ln_factorial(k) - acc).abs() / acc.max(1.0);
+            assert!(err < 1e-12, "k={k} err={err}");
+        }
+    }
+
+    fn check_moments(n: u64, p: f64, samples: usize, seed: u64) {
+        let d = Binomial::new(n, p).unwrap();
+        let mut rng = derive_rng(seed, 0);
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..samples {
+            let k = d.sample(&mut rng) as f64;
+            assert!(k <= n as f64);
+            sum += k;
+            sumsq += k * k;
+        }
+        let mean = sum / samples as f64;
+        let var = sumsq / samples as f64 - mean * mean;
+        let true_mean = n as f64 * p;
+        let true_var = n as f64 * p * (1.0 - p);
+        let mean_tol = 6.0 * (true_var / samples as f64).sqrt();
+        assert!(
+            (mean - true_mean).abs() < mean_tol.max(1e-9),
+            "n={n} p={p}: mean {mean} vs {true_mean}"
+        );
+        assert!(
+            (var - true_var).abs() < 0.1 * true_var.max(0.05),
+            "n={n} p={p}: var {var} vs {true_var}"
+        );
+    }
+
+    #[test]
+    fn binv_regime_moments() {
+        check_moments(100, 0.02, 60_000, 41); // np = 2
+        check_moments(40, 0.2, 60_000, 42); // np = 8
+    }
+
+    #[test]
+    fn btrs_regime_moments() {
+        check_moments(1_000, 0.3, 60_000, 43); // np = 300
+        check_moments(10_000, 0.015, 60_000, 44); // np = 150
+    }
+
+    #[test]
+    fn mirrored_p_moments() {
+        check_moments(500, 0.9, 60_000, 45);
+        check_moments(30, 0.97, 60_000, 46);
+    }
+
+    #[test]
+    fn small_n_exact_distribution() {
+        // n = 3, p = 0.5: probabilities (1/8, 3/8, 3/8, 1/8).
+        let d = Binomial::new(3, 0.5).unwrap();
+        let mut rng = derive_rng(47, 0);
+        let mut counts = [0usize; 4];
+        let n = 160_000;
+        for _ in 0..n {
+            counts[d.sample(&mut rng) as usize] += 1;
+        }
+        let expected = [0.125, 0.375, 0.375, 0.125];
+        for (i, &e) in expected.iter().enumerate() {
+            let rate = counts[i] as f64 / n as f64;
+            assert!((rate - e).abs() < 0.01, "k={i}: {rate} vs {e}");
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Normal and log-normal sampling via the Marsaglia polar method.
+//!
+//! The folktables-like counter generator models person-weight magnitudes as
+//! log-normal; nothing here is on a per-report hot path, so clarity wins
+//! over ziggurat-style micro-optimization.
+
+use crate::uniform_f64;
+use rand::RngCore;
+
+/// The standard normal distribution N(0, 1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+impl StandardNormal {
+    /// Draws one standard normal variate (polar Box–Muller; the spare
+    /// variate is intentionally discarded to keep the sampler stateless).
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        loop {
+            let u = 2.0 * uniform_f64(rng) - 1.0;
+            let v = 2.0 * uniform_f64(rng) - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * ((-2.0 * s.ln()) / s).sqrt();
+            }
+        }
+    }
+}
+
+/// A log-normal distribution: `exp(mu + sigma·Z)` with `Z ~ N(0,1)`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal sampler.
+    ///
+    /// # Errors
+    /// Returns `None` if `sigma` is negative or either parameter is
+    /// non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Option<Self> {
+        if !mu.is_finite() || !sigma.is_finite() || sigma < 0.0 {
+            return None;
+        }
+        Some(Self { mu, sigma })
+    }
+
+    /// Draws one sample (always positive).
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * StandardNormal.sample(rng)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::derive_rng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = derive_rng(50, 0);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let z = StandardNormal.sample(&mut rng);
+            sum += z;
+            sumsq += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn normal_tail_mass_is_plausible() {
+        let mut rng = derive_rng(51, 0);
+        let n = 200_000;
+        let beyond2 = (0..n)
+            .filter(|_| StandardNormal.sample(&mut rng).abs() > 2.0)
+            .count();
+        let rate = beyond2 as f64 / n as f64;
+        // P(|Z| > 2) ≈ 0.0455.
+        assert!((rate - 0.0455).abs() < 0.005, "rate {rate}");
+    }
+
+    #[test]
+    fn lognormal_rejects_bad_params() {
+        assert!(LogNormal::new(0.0, -1.0).is_none());
+        assert!(LogNormal::new(f64::NAN, 1.0).is_none());
+        assert!(LogNormal::new(0.0, f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn lognormal_positive_and_median_matches() {
+        let d = LogNormal::new(2.0, 0.5).unwrap();
+        let mut rng = derive_rng(52, 0);
+        let n = 100_000;
+        let mut below = 0usize;
+        for _ in 0..n {
+            let x = d.sample(&mut rng);
+            assert!(x > 0.0);
+            if x < 2.0f64.exp() {
+                below += 1;
+            }
+        }
+        // The median of LogNormal(mu, sigma) is exp(mu).
+        let rate = below as f64 / n as f64;
+        assert!((rate - 0.5).abs() < 0.01, "median rate {rate}");
+    }
+
+    #[test]
+    fn sigma_zero_is_deterministic() {
+        let d = LogNormal::new(1.0, 0.0).unwrap();
+        let mut rng = derive_rng(53, 0);
+        for _ in 0..10 {
+            assert!((d.sample(&mut rng) - 1.0f64.exp()).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Geometric sampling by inversion.
+//!
+//! `Geometric(p)` here counts the number of failures before the first
+//! success (support `{0, 1, 2, …}`). Its main job in this workspace is
+//! *geometric skipping*: when perturbing a long bit vector where each bit
+//! flips independently with small probability `q`, we jump directly between
+//! flip positions in O(k·q) expected time instead of testing all k bits.
+
+use crate::uniform_f64;
+use rand::RngCore;
+
+/// A Geometric distribution over the number of failures before success.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Geometric {
+    /// Pre-computed `1 / ln(1 - p)`; `None` encodes the degenerate p = 1.
+    inv_ln_q: Option<f64>,
+}
+
+impl Geometric {
+    /// Creates a sampler with success probability `p ∈ (0, 1]`.
+    ///
+    /// # Errors
+    /// Returns `None` if `p` is not in `(0, 1]` (p = 0 would never terminate).
+    pub fn new(p: f64) -> Option<Self> {
+        if !(p > 0.0 && p <= 1.0) {
+            return None;
+        }
+        if p == 1.0 {
+            return Some(Self { inv_ln_q: None });
+        }
+        Some(Self { inv_ln_q: Some(1.0 / (-p).ln_1p()) })
+    }
+
+    /// Draws the number of failures before the first success.
+    #[inline]
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        match self.inv_ln_q {
+            None => 0,
+            Some(inv) => {
+                // Inversion: floor(ln(1-U) / ln(1-p)). `1 - U` is in (0, 1],
+                // and ln of it is ≤ 0, so the ratio is ≥ 0.
+                let u = 1.0 - uniform_f64(rng);
+                let x = u.ln() * inv;
+                if x >= u64::MAX as f64 {
+                    u64::MAX
+                } else {
+                    x as u64
+                }
+            }
+        }
+    }
+}
+
+/// Iterator over the success positions of a Bernoulli(`p`) process restricted
+/// to `[0, len)`, produced by geometric skipping.
+pub struct SparseHits<'r, R: RngCore + ?Sized> {
+    geo: Geometric,
+    next: u64,
+    len: u64,
+    rng: &'r mut R,
+}
+
+impl<'r, R: RngCore + ?Sized> SparseHits<'r, R> {
+    /// Creates the iterator. `p` must be in `(0, 1]`.
+    pub fn new(p: f64, len: u64, rng: &'r mut R) -> Option<Self> {
+        let geo = Geometric::new(p)?;
+        let mut it = Self { geo, next: 0, len, rng };
+        it.next = it.geo.sample(it.rng);
+        Some(it)
+    }
+}
+
+impl<R: RngCore + ?Sized> Iterator for SparseHits<'_, R> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.next >= self.len {
+            return None;
+        }
+        let hit = self.next;
+        let gap = self.geo.sample(self.rng);
+        self.next = self.next.saturating_add(1).saturating_add(gap);
+        Some(hit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::derive_rng;
+
+    #[test]
+    fn rejects_invalid_p() {
+        assert!(Geometric::new(0.0).is_none());
+        assert!(Geometric::new(-0.2).is_none());
+        assert!(Geometric::new(1.2).is_none());
+        assert!(Geometric::new(f64::NAN).is_none());
+    }
+
+    #[test]
+    fn p_one_is_always_zero() {
+        let g = Geometric::new(1.0).unwrap();
+        let mut rng = derive_rng(20, 0);
+        for _ in 0..100 {
+            assert_eq!(g.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn empirical_mean_matches() {
+        let mut rng = derive_rng(21, 0);
+        for &p in &[0.1, 0.5, 0.9] {
+            let g = Geometric::new(p).unwrap();
+            let n = 100_000;
+            let mean: f64 =
+                (0..n).map(|_| g.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+            let true_mean = (1.0 - p) / p;
+            assert!(
+                (mean - true_mean).abs() < 0.05 * true_mean.max(0.05),
+                "p={p} mean={mean} vs {true_mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_hits_rate_matches_bernoulli() {
+        let mut rng = derive_rng(22, 0);
+        let p = 0.03;
+        let len = 1_000u64;
+        let trials = 2_000;
+        let mut total = 0usize;
+        for _ in 0..trials {
+            total += SparseHits::new(p, len, &mut rng).unwrap().count();
+        }
+        let rate = total as f64 / (trials as f64 * len as f64);
+        assert!((rate - p).abs() < 0.002, "rate {rate}");
+    }
+
+    #[test]
+    fn sparse_hits_are_strictly_increasing_and_bounded() {
+        let mut rng = derive_rng(23, 0);
+        let hits: Vec<u64> = SparseHits::new(0.2, 500, &mut rng).unwrap().collect();
+        for w in hits.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(hits.iter().all(|&h| h < 500));
+    }
+
+    #[test]
+    fn sparse_hits_p_one_hits_everything() {
+        let mut rng = derive_rng(24, 0);
+        let hits: Vec<u64> = SparseHits::new(1.0, 10, &mut rng).unwrap().collect();
+        assert_eq!(hits, (0..10).collect::<Vec<_>>());
+    }
+}

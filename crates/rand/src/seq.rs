@@ -1,0 +1,179 @@
+//! Sequence-sampling utilities shared by the protocols and generators.
+
+use crate::uniform_u64;
+use rand::RngCore;
+
+/// Draws a uniform value from `[0, k) \ {excluded}`.
+///
+/// This is the noise draw of Generalized Randomized Response: "switch to any
+/// different fixed value with equal probability". Implemented by sampling
+/// from `[0, k-1)` and shifting past the excluded value, which is exactly
+/// uniform over the remaining k−1 values.
+///
+/// # Panics
+/// Panics if `k < 2` or `excluded >= k`.
+#[inline]
+pub fn uniform_excluding<R: RngCore + ?Sized>(rng: &mut R, k: u64, excluded: u64) -> u64 {
+    assert!(k >= 2, "uniform_excluding needs a domain of at least 2");
+    assert!(excluded < k, "excluded value out of domain");
+    let draw = uniform_u64(rng, k - 1);
+    if draw >= excluded {
+        draw + 1
+    } else {
+        draw
+    }
+}
+
+/// In-place Fisher–Yates shuffle.
+pub fn shuffle<T, R: RngCore + ?Sized>(items: &mut [T], rng: &mut R) {
+    for i in (1..items.len()).rev() {
+        let j = uniform_u64(rng, (i + 1) as u64) as usize;
+        items.swap(i, j);
+    }
+}
+
+/// Floyd's algorithm: samples `d` distinct values from `[0, n)` without
+/// replacement in O(d) draws. The result is sorted.
+///
+/// # Panics
+/// Panics if `d > n`.
+pub fn sample_distinct<R: RngCore + ?Sized>(rng: &mut R, n: u64, d: usize) -> Vec<u64> {
+    assert!(d as u64 <= n, "cannot sample {d} distinct values from [0, {n})");
+    let mut chosen: Vec<u64> = Vec::with_capacity(d);
+    for j in (n - d as u64)..n {
+        let t = uniform_u64(rng, j + 1);
+        // binary_search keeps `chosen` sorted, making membership O(log d).
+        match chosen.binary_search(&t) {
+            Ok(_) => {
+                let pos = chosen.binary_search(&j).unwrap_err();
+                chosen.insert(pos, j);
+            }
+            Err(pos) => chosen.insert(pos, t),
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::derive_rng;
+
+    #[test]
+    fn uniform_excluding_never_returns_excluded() {
+        let mut rng = derive_rng(60, 0);
+        for _ in 0..10_000 {
+            let v = uniform_excluding(&mut rng, 5, 2);
+            assert!(v < 5);
+            assert_ne!(v, 2);
+        }
+    }
+
+    #[test]
+    fn uniform_excluding_is_uniform_over_rest() {
+        let mut rng = derive_rng(61, 0);
+        let k = 6u64;
+        let excluded = 3u64;
+        let n = 250_000;
+        let mut counts = vec![0usize; k as usize];
+        for _ in 0..n {
+            counts[uniform_excluding(&mut rng, k, excluded) as usize] += 1;
+        }
+        assert_eq!(counts[excluded as usize], 0);
+        let expected = n as f64 / (k - 1) as f64;
+        for (v, &c) in counts.iter().enumerate() {
+            if v as u64 == excluded {
+                continue;
+            }
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.03, "value {v} dev {dev}");
+        }
+    }
+
+    #[test]
+    fn uniform_excluding_binary_domain() {
+        let mut rng = derive_rng(62, 0);
+        for _ in 0..100 {
+            assert_eq!(uniform_excluding(&mut rng, 2, 0), 1);
+            assert_eq!(uniform_excluding(&mut rng, 2, 1), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "domain of at least 2")]
+    fn uniform_excluding_rejects_k1() {
+        let mut rng = derive_rng(63, 0);
+        let _ = uniform_excluding(&mut rng, 1, 0);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = derive_rng(64, 0);
+        let mut v: Vec<u32> = (0..100).collect();
+        shuffle(&mut v, &mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input unchanged");
+    }
+
+    #[test]
+    fn shuffle_positions_are_uniformish() {
+        let mut rng = derive_rng(65, 0);
+        let trials = 60_000;
+        let mut count_pos0 = [0usize; 4];
+        for _ in 0..trials {
+            let mut v = [0u8, 1, 2, 3];
+            shuffle(&mut v, &mut rng);
+            count_pos0[v[0] as usize] += 1;
+        }
+        for &c in &count_pos0 {
+            let rate = c as f64 / trials as f64;
+            assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+        }
+    }
+
+    #[test]
+    fn sample_distinct_properties() {
+        let mut rng = derive_rng(66, 0);
+        for _ in 0..200 {
+            let s = sample_distinct(&mut rng, 50, 10);
+            assert_eq!(s.len(), 10);
+            for w in s.windows(2) {
+                assert!(w[0] < w[1], "not strictly sorted: {s:?}");
+            }
+            assert!(s.iter().all(|&x| x < 50));
+        }
+    }
+
+    #[test]
+    fn sample_distinct_full_range() {
+        let mut rng = derive_rng(67, 0);
+        let s = sample_distinct(&mut rng, 8, 8);
+        assert_eq!(s, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_distinct_zero() {
+        let mut rng = derive_rng(68, 0);
+        assert!(sample_distinct(&mut rng, 8, 0).is_empty());
+    }
+
+    #[test]
+    fn sample_distinct_is_uniform_over_subsets_marginally() {
+        // Each element of [0, 10) should appear in a 3-subset with
+        // probability 3/10.
+        let mut rng = derive_rng(69, 0);
+        let trials = 50_000;
+        let mut counts = [0usize; 10];
+        for _ in 0..trials {
+            for v in sample_distinct(&mut rng, 10, 3) {
+                counts[v as usize] += 1;
+            }
+        }
+        for (v, &c) in counts.iter().enumerate() {
+            let rate = c as f64 / trials as f64;
+            assert!((rate - 0.3).abs() < 0.02, "value {v} rate {rate}");
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the randomness substrate.
+
+use ldp_rand::{
+    derive_rng, ln_factorial, sample_distinct, shuffle, uniform_excluding, uniform_f64,
+    uniform_u64, AliasTable, Bernoulli, Binomial, Geometric, SplitMix64, Xoshiro256pp,
+};
+use proptest::prelude::*;
+use rand::{RngCore, SeedableRng};
+
+proptest! {
+    /// Derived streams are deterministic functions of (seed, id).
+    #[test]
+    fn derive_rng_deterministic(seed in any::<u64>(), id in any::<u64>()) {
+        let a = derive_rng(seed, id).next_u64();
+        let b = derive_rng(seed, id).next_u64();
+        prop_assert_eq!(a, b);
+    }
+
+    /// uniform_u64 always respects its bound.
+    #[test]
+    fn uniform_u64_in_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = derive_rng(seed, 0);
+        for _ in 0..32 {
+            prop_assert!(uniform_u64(&mut rng, bound) < bound);
+        }
+    }
+
+    /// uniform_f64 lands in [0, 1).
+    #[test]
+    fn uniform_f64_in_unit(seed in any::<u64>()) {
+        let mut rng = derive_rng(seed, 1);
+        for _ in 0..32 {
+            let u = uniform_f64(&mut rng);
+            prop_assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    /// uniform_excluding never returns the excluded value and stays in
+    /// the domain.
+    #[test]
+    fn uniform_excluding_correct(seed in any::<u64>(), k in 2u64..10_000) {
+        let mut rng = derive_rng(seed, 2);
+        let excluded = uniform_u64(&mut rng, k);
+        for _ in 0..32 {
+            let v = uniform_excluding(&mut rng, k, excluded);
+            prop_assert!(v < k);
+            prop_assert_ne!(v, excluded);
+        }
+    }
+
+    /// Bernoulli samples are constant at the endpoints regardless of seed.
+    #[test]
+    fn bernoulli_endpoints(seed in any::<u64>()) {
+        let mut rng = derive_rng(seed, 3);
+        prop_assert!(!Bernoulli::new(0.0).unwrap().sample(&mut rng));
+        prop_assert!(Bernoulli::new(1.0).unwrap().sample(&mut rng));
+    }
+
+    /// Binomial samples always land in [0, n], across both BINV and BTRS
+    /// regimes and the mirrored-p path.
+    #[test]
+    fn binomial_in_range(seed in any::<u64>(), n in 0u64..5_000, p in 0.0f64..=1.0) {
+        let d = Binomial::new(n, p).unwrap();
+        let mut rng = derive_rng(seed, 4);
+        for _ in 0..8 {
+            prop_assert!(d.sample(&mut rng) <= n);
+        }
+    }
+
+    /// Geometric inversion never panics and p = 1 is identically zero.
+    #[test]
+    fn geometric_total(seed in any::<u64>(), p in 0.001f64..=1.0) {
+        let g = Geometric::new(p).unwrap();
+        let mut rng = derive_rng(seed, 5);
+        let x = g.sample(&mut rng);
+        if p == 1.0 {
+            prop_assert_eq!(x, 0);
+        }
+    }
+
+    /// sample_distinct yields exactly d sorted distinct in-range values.
+    #[test]
+    fn sample_distinct_invariants(seed in any::<u64>(), n in 1u64..500, frac in 0.0f64..=1.0) {
+        let d = ((n as f64 * frac) as usize).min(n as usize);
+        let mut rng = derive_rng(seed, 6);
+        let s = sample_distinct(&mut rng, n, d);
+        prop_assert_eq!(s.len(), d);
+        for w in s.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        prop_assert!(s.iter().all(|&x| x < n));
+    }
+
+    /// Shuffle is a permutation for arbitrary content.
+    #[test]
+    fn shuffle_permutes(seed in any::<u64>(), mut xs in prop::collection::vec(any::<u32>(), 0..200)) {
+        let mut rng = derive_rng(seed, 7);
+        let mut expected = xs.clone();
+        shuffle(&mut xs, &mut rng);
+        expected.sort_unstable();
+        xs.sort_unstable();
+        prop_assert_eq!(xs, expected);
+    }
+
+    /// Alias tables sample only categories with positive weight.
+    #[test]
+    fn alias_respects_support(
+        seed in any::<u64>(),
+        weights in prop::collection::vec(0.0f64..10.0, 1..64),
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let t = AliasTable::new(&weights).unwrap();
+        let mut rng = derive_rng(seed, 8);
+        for _ in 0..64 {
+            let c = t.sample(&mut rng);
+            prop_assert!(c < weights.len());
+            // A zero-weight category must never be drawn.
+            prop_assert!(weights[c] > 0.0, "drew zero-weight category {c}");
+        }
+    }
+
+    /// ln_factorial is monotone and consistent with the recurrence
+    /// ln((k+1)!) = ln(k!) + ln(k+1).
+    #[test]
+    fn ln_factorial_recurrence(k in 0u64..100_000) {
+        let a = ln_factorial(k);
+        let b = ln_factorial(k + 1);
+        let expected = a + ((k + 1) as f64).ln();
+        prop_assert!((b - expected).abs() < 1e-7 * expected.max(1.0), "k={k}: {b} vs {expected}");
+    }
+
+    /// SplitMix64 and Xoshiro256++ from_seed round-trips are stable.
+    #[test]
+    fn seedable_streams_are_pure(seed in any::<u64>()) {
+        let mut a = SplitMix64::from_seed(seed.to_le_bytes());
+        let mut b = SplitMix64::from_seed(seed.to_le_bytes());
+        prop_assert_eq!(a.next_u64(), b.next_u64());
+        let mut s = [0u8; 32];
+        s[..8].copy_from_slice(&seed.to_le_bytes());
+        let mut x = Xoshiro256pp::from_seed(s);
+        let mut y = Xoshiro256pp::from_seed(s);
+        prop_assert_eq!(x.next_u64(), y.next_u64());
+    }
+}

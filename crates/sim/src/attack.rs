@@ -1,0 +1,117 @@
+//! The averaging attack that motivates memoization (§2.4).
+//!
+//! If a user re-randomizes their true value with *fresh* noise every round,
+//! an adversary observing the report stream can average the noise away: the
+//! mode of GRR reports converges to the true value as τ grows. Memoization
+//! caps what the stream reveals at the memoized state — the adversary's
+//! mode converges to the *permanently randomized* value instead, which
+//! equals the truth only with probability `p1`.
+//!
+//! [`averaging_attack`] measures the adversary's success rate under both
+//! regimes; the `ablation_averaging_attack` bench binary reproduces the
+//! motivating numbers.
+
+use ldp_longitudinal::LgrrClient;
+use ldp_primitives::error::ParamError;
+use ldp_primitives::Grr;
+use ldp_rand::derive_rng2;
+
+/// Which reporting regime the simulated users follow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Regime {
+    /// Fresh GRR noise at ε1 every round (no memoization).
+    FreshNoise,
+    /// L-GRR memoization: PRR at ε∞ once, IRR per round, first report ε1.
+    Memoized,
+}
+
+/// Simulates `trials` users each reporting their fixed true value for
+/// `tau` rounds; the adversary guesses the mode of the observed reports.
+/// Returns the fraction of users whose true value was recovered.
+pub fn averaging_attack(
+    k: u64,
+    eps_inf: f64,
+    eps_first: f64,
+    tau: usize,
+    trials: usize,
+    regime: Regime,
+    seed: u64,
+) -> Result<f64, ParamError> {
+    ldp_primitives::error::check_epsilon_order(eps_first, eps_inf)?;
+    if k < 2 {
+        return Err(ParamError::DomainTooSmall { k, min: 2 });
+    }
+    let mut successes = 0usize;
+    for trial in 0..trials {
+        let mut rng = derive_rng2(seed, 0x00A7_7AC4, trial as u64);
+        let truth = ldp_rand::uniform_u64(&mut rng, k);
+        let mut histogram = vec![0u64; k as usize];
+        match regime {
+            Regime::FreshNoise => {
+                let grr = Grr::new(k, eps_first)?;
+                for _ in 0..tau {
+                    histogram[grr.perturb(truth, &mut rng) as usize] += 1;
+                }
+            }
+            Regime::Memoized => {
+                let mut client = LgrrClient::new(k, eps_inf, eps_first)?;
+                for _ in 0..tau {
+                    histogram[client.report(truth, &mut rng) as usize] += 1;
+                }
+            }
+        }
+        let guess = histogram
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(v, _)| v as u64)
+            .expect("non-empty histogram");
+        if guess == truth {
+            successes += 1;
+        }
+    }
+    Ok(successes as f64 / trials as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_noise_is_broken_by_long_streams() {
+        // With τ = 200 rounds at ε1 = 1 over k = 8, the mode identifies the
+        // true value essentially always.
+        let rate = averaging_attack(8, 2.0, 1.0, 200, 200, Regime::FreshNoise, 1).unwrap();
+        assert!(rate > 0.95, "fresh-noise attack rate {rate}");
+    }
+
+    #[test]
+    fn memoization_caps_the_attack() {
+        // The adversary can at best learn the memoized PRR value, which is
+        // the truth only with probability p1 = e^{ε∞}/(e^{ε∞}+k−1) ≈ 0.51.
+        let rate = averaging_attack(8, 2.0, 1.0, 200, 300, Regime::Memoized, 2).unwrap();
+        let p1 = (2.0f64.exp()) / (2.0f64.exp() + 7.0);
+        assert!(rate < p1 + 0.1, "memoized attack rate {rate} vs p1 {p1}");
+        assert!(rate > p1 - 0.1, "memoized attack rate {rate} vs p1 {p1}");
+    }
+
+    #[test]
+    fn memoized_is_strictly_safer_than_fresh() {
+        let fresh = averaging_attack(16, 2.0, 1.0, 100, 200, Regime::FreshNoise, 3).unwrap();
+        let memo = averaging_attack(16, 2.0, 1.0, 100, 200, Regime::Memoized, 3).unwrap();
+        assert!(memo < fresh, "memo {memo} vs fresh {fresh}");
+    }
+
+    #[test]
+    fn short_streams_leak_less() {
+        let short = averaging_attack(8, 2.0, 0.5, 1, 400, Regime::FreshNoise, 4).unwrap();
+        let long = averaging_attack(8, 2.0, 0.5, 100, 400, Regime::FreshNoise, 4).unwrap();
+        assert!(short < long, "short {short} vs long {long}");
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(averaging_attack(1, 2.0, 1.0, 1, 1, Regime::FreshNoise, 0).is_err());
+        assert!(averaging_attack(4, 1.0, 2.0, 1, 1, Regime::FreshNoise, 0).is_err());
+    }
+}

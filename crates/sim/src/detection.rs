@@ -1,0 +1,166 @@
+//! The Table 2 change-point detection attack on dBitFlipPM.
+//!
+//! dBitFlipPM memoizes one randomized vector per input class and has no
+//! second sanitization round, so its reports are a *deterministic* function
+//! of the current bucket: a changed report proves the bucket changed. The
+//! attacker therefore flags round `t` whenever `report_t ≠ report_{t−1}`.
+//! The converse does not hold — two buckets may share a memoized vector —
+//! which is why `d = 1` (two classes, often colliding) protects users and
+//! `d = b` (distinct one-hot patterns) exposes nearly all of them.
+//!
+//! Following the paper's worst-case analysis, the reported metric is the
+//! fraction of users for whom **every** bucket change was flagged, among
+//! users that had at least one change.
+
+use ldp_primitives::BitVec;
+
+/// Per-user tracking state for the detection attack.
+#[derive(Debug, Clone)]
+pub struct DetectionTrack {
+    prev_bucket: Option<u32>,
+    prev_bits: Option<BitVec>,
+    any_change: bool,
+    missed: bool,
+}
+
+impl DetectionTrack {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self { prev_bucket: None, prev_bits: None, any_change: false, missed: false }
+    }
+
+    /// Records one round: the user's true bucket and the report sent.
+    pub fn observe(&mut self, bucket: u32, bits: &BitVec) {
+        if let (Some(pb), Some(pbits)) = (self.prev_bucket, &self.prev_bits) {
+            let bucket_changed = pb != bucket;
+            let report_changed = pbits != bits;
+            // Memoized reports are deterministic per bucket: a report change
+            // without a bucket change would be a protocol bug.
+            debug_assert!(!report_changed || bucket_changed);
+            if bucket_changed {
+                self.any_change = true;
+                if !report_changed {
+                    self.missed = true;
+                }
+            }
+        }
+        self.prev_bucket = Some(bucket);
+        self.prev_bits = Some(bits.clone());
+    }
+
+    /// Whether the user changed bucket at least once.
+    pub fn had_changes(&self) -> bool {
+        self.any_change
+    }
+
+    /// Whether *all* of the user's bucket changes were flagged.
+    pub fn fully_detected(&self) -> bool {
+        self.any_change && !self.missed
+    }
+}
+
+impl Default for DetectionTrack {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Aggregate detection outcome over a population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectionSummary {
+    /// Users with at least one bucket change.
+    pub users_with_changes: usize,
+    /// Users whose changes were all detected.
+    pub fully_detected: usize,
+}
+
+impl DetectionSummary {
+    /// Aggregates per-user trackers.
+    pub fn from_tracks<'a>(tracks: impl Iterator<Item = &'a DetectionTrack>) -> Self {
+        let mut s = Self { users_with_changes: 0, fully_detected: 0 };
+        for t in tracks {
+            if t.had_changes() {
+                s.users_with_changes += 1;
+                if t.fully_detected() {
+                    s.fully_detected += 1;
+                }
+            }
+        }
+        s
+    }
+
+    /// The Table 2 percentage: fully detected / users with changes
+    /// (0 when no user changed).
+    pub fn rate(&self) -> f64 {
+        if self.users_with_changes == 0 {
+            0.0
+        } else {
+            self.fully_detected as f64 / self.users_with_changes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(pattern: &[bool]) -> BitVec {
+        let mut b = BitVec::zeros(pattern.len());
+        for (i, &p) in pattern.iter().enumerate() {
+            b.set(i, p);
+        }
+        b
+    }
+
+    #[test]
+    fn no_changes_means_not_counted() {
+        let mut t = DetectionTrack::new();
+        let b = bits(&[true, false]);
+        for _ in 0..5 {
+            t.observe(3, &b);
+        }
+        assert!(!t.had_changes());
+        assert!(!t.fully_detected());
+    }
+
+    #[test]
+    fn detected_change() {
+        let mut t = DetectionTrack::new();
+        t.observe(0, &bits(&[true, false]));
+        t.observe(1, &bits(&[false, true])); // bucket and report changed
+        assert!(t.had_changes());
+        assert!(t.fully_detected());
+    }
+
+    #[test]
+    fn missed_change_is_never_fully_detected() {
+        let mut t = DetectionTrack::new();
+        let same = bits(&[true, true]);
+        t.observe(0, &same);
+        t.observe(1, &same); // bucket changed, report identical → missed
+        t.observe(2, &bits(&[false, false])); // later detected change
+        assert!(t.had_changes());
+        assert!(!t.fully_detected());
+    }
+
+    #[test]
+    fn summary_rates() {
+        let mut a = DetectionTrack::new(); // fully detected
+        a.observe(0, &bits(&[true]));
+        a.observe(1, &bits(&[false]));
+        let mut b = DetectionTrack::new(); // missed
+        b.observe(0, &bits(&[true]));
+        b.observe(1, &bits(&[true]));
+        let c = DetectionTrack::new(); // no changes
+        let s = DetectionSummary::from_tracks([&a, &b, &c].into_iter());
+        assert_eq!(s.users_with_changes, 2);
+        assert_eq!(s.fully_detected, 1);
+        assert!((s.rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_population_rate_is_zero() {
+        let s = DetectionSummary::from_tracks(std::iter::empty());
+        assert_eq!(s.rate(), 0.0);
+    }
+}

@@ -1,0 +1,464 @@
+//! The longitudinal collection runner.
+//!
+//! One call to [`run_experiment`] simulates a full (dataset, method, ε∞, α)
+//! cell: `n` stateful clients over `τ` rounds, server-side estimation each
+//! round, and the paper's metrics at the end.
+//!
+//! Users are partitioned into chunks processed by worker threads. Each user
+//! owns an independent RNG stream derived from `(seed, user)`, so results
+//! are bit-identical regardless of the thread count. Workers accumulate
+//! *support counts* locally (walking LOLOHA hash preimages or UE set bits);
+//! the main thread merges them and applies the protocol's estimator.
+
+use crate::config::{dbit_buckets, ExperimentConfig, Method};
+use crate::detection::{DetectionSummary, DetectionTrack};
+use crate::metrics::mse;
+use ldp_datasets::{empirical_histogram, DatasetSpec};
+use ldp_hash::{BucketMapper, CarterWegman, CwHash, Preimages};
+use ldp_longitudinal::chain::{ue_chain_params, UeChain};
+use ldp_longitudinal::{DBitFlipClient, DBitFlipServer, LgrrClient, LgrrServer, LongitudinalUeClient, LueServer};
+use ldp_primitives::error::ParamError;
+use ldp_primitives::BitVec;
+use ldp_rand::{derive_rng2, LdpRng};
+use loloha::{LolohaClient, LolohaParams, LolohaServer};
+
+/// Outcome of one experiment cell.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Eq. (7): MSE averaged over the τ rounds. `NaN` when the method's
+    /// output histogram is not k-binned (dBitFlipPM with b < k), mirroring
+    /// the paper's exclusion in Figs. 3c/3d.
+    pub mse_avg: f64,
+    /// Eq. (8): longitudinal privacy loss ε̌ averaged over users.
+    pub eps_avg: f64,
+    /// The worst user's ε̌.
+    pub eps_max: f64,
+    /// Average number of distinct memoized input classes per user.
+    pub distinct_avg: f64,
+    /// Table 2 detection outcome (dBitFlipPM only).
+    pub detection: Option<DetectionSummary>,
+    /// The resolved reduced domain size: g for LOLOHA, b for dBitFlipPM.
+    pub reduced_domain: Option<u32>,
+    /// Whether `mse_avg` is a comparable k-bin MSE.
+    pub comparable_mse: bool,
+}
+
+enum ClientState {
+    Lue(Box<LongitudinalUeClient>),
+    Lgrr(Box<LgrrClient>),
+    Loloha { client: Box<LolohaClient<CwHash>>, preimages: Preimages },
+    DBit(Box<DBitFlipClient>),
+}
+
+impl ClientState {
+    fn privacy_spent(&self) -> f64 {
+        match self {
+            ClientState::Lue(c) => c.privacy_spent(),
+            ClientState::Lgrr(c) => c.privacy_spent(),
+            ClientState::Loloha { client, .. } => client.privacy_spent(),
+            ClientState::DBit(c) => c.privacy_spent(),
+        }
+    }
+
+    fn distinct_classes(&self) -> u32 {
+        match self {
+            ClientState::Lue(c) => c.distinct_values(),
+            ClientState::Lgrr(c) => c.distinct_values(),
+            ClientState::Loloha { client, .. } => client.distinct_cells(),
+            ClientState::DBit(c) => c.distinct_classes(),
+        }
+    }
+}
+
+struct SimUser {
+    state: ClientState,
+    rng: LdpRng,
+    detect: Option<DetectionTrack>,
+}
+
+enum Estimator {
+    Lue(LueServer),
+    Lgrr(LgrrServer),
+    Loloha(LolohaServer),
+    DBit { server: DBitFlipServer, mapper: BucketMapper },
+}
+
+impl Estimator {
+    fn dim(&self, k: u64) -> usize {
+        match self {
+            Estimator::DBit { mapper, .. } => mapper.b() as usize,
+            _ => k as usize,
+        }
+    }
+
+    fn estimate(&mut self, counts: &[u64], n: u64) -> Vec<f64> {
+        match self {
+            Estimator::Lue(s) => {
+                s.ingest_counts(counts, n);
+                s.estimate_and_reset()
+            }
+            Estimator::Lgrr(s) => {
+                s.ingest_counts(counts, n);
+                s.estimate_and_reset()
+            }
+            Estimator::Loloha(s) => {
+                s.ingest_counts(counts, n);
+                s.estimate_and_reset()
+            }
+            Estimator::DBit { server, .. } => {
+                server.ingest_counts(counts, n);
+                server.estimate_and_reset()
+            }
+        }
+    }
+}
+
+/// Protocol-wide immutable pieces resolved from the configuration.
+struct MethodSetup {
+    estimator: Estimator,
+    reduced_domain: Option<u32>,
+    comparable_mse: bool,
+    loloha_params: Option<LolohaParams>,
+    dbit: Option<(u32, u32)>, // (b, d)
+}
+
+fn resolve_method(
+    method: Method,
+    k: u64,
+    eps_inf: f64,
+    eps_first: f64,
+) -> Result<MethodSetup, ParamError> {
+    let chain_of = |c: UeChain| ue_chain_params(c, eps_inf, eps_first);
+    Ok(match method {
+        Method::Rappor | Method::LOsue | Method::LOue | Method::LSoue => {
+            let chain = match method {
+                Method::Rappor => UeChain::SueSue,
+                Method::LOsue => UeChain::OueSue,
+                Method::LOue => UeChain::OueOue,
+                _ => UeChain::SueOue,
+            };
+            MethodSetup {
+                estimator: Estimator::Lue(LueServer::new(k, chain_of(chain)?)?),
+                reduced_domain: None,
+                comparable_mse: true,
+                loloha_params: None,
+                dbit: None,
+            }
+        }
+        Method::LGrr => MethodSetup {
+            estimator: Estimator::Lgrr(LgrrServer::new(k, eps_inf, eps_first)?),
+            reduced_domain: None,
+            comparable_mse: true,
+            loloha_params: None,
+            dbit: None,
+        },
+        Method::BiLoloha | Method::OLoloha => {
+            let params = if method == Method::BiLoloha {
+                LolohaParams::bi(eps_inf, eps_first)?
+            } else {
+                LolohaParams::optimal(eps_inf, eps_first)?
+            };
+            MethodSetup {
+                estimator: Estimator::Loloha(LolohaServer::new(k, params)?),
+                reduced_domain: Some(params.g()),
+                comparable_mse: true,
+                loloha_params: Some(params),
+                dbit: None,
+            }
+        }
+        Method::OneBitFlip | Method::BBitFlip => {
+            let b = dbit_buckets(k);
+            let d = if method == Method::OneBitFlip { 1 } else { b };
+            let mapper = BucketMapper::new(k, b)
+                .ok_or(ParamError::InvalidBuckets { b, d, k })?;
+            MethodSetup {
+                estimator: Estimator::DBit {
+                    server: DBitFlipServer::new(b, d, eps_inf)?,
+                    mapper,
+                },
+                reduced_domain: Some(b),
+                comparable_mse: b as u64 == k,
+                loloha_params: None,
+                dbit: Some((b, d)),
+            }
+        }
+    })
+}
+
+fn make_user(
+    setup: &MethodSetup,
+    method: Method,
+    k: u64,
+    eps_inf: f64,
+    eps_first: f64,
+    seed: u64,
+    user: usize,
+) -> Result<SimUser, ParamError> {
+    let mut rng = derive_rng2(seed, 0x00C1_1E47, user as u64);
+    let (state, detect) = match method {
+        Method::Rappor | Method::LOsue | Method::LOue | Method::LSoue => {
+            let chain = match method {
+                Method::Rappor => UeChain::SueSue,
+                Method::LOsue => UeChain::OueSue,
+                Method::LOue => UeChain::OueOue,
+                _ => UeChain::SueOue,
+            };
+            (
+                ClientState::Lue(Box::new(LongitudinalUeClient::new(
+                    chain, k, eps_inf, eps_first,
+                )?)),
+                None,
+            )
+        }
+        Method::LGrr => (
+            ClientState::Lgrr(Box::new(LgrrClient::new(k, eps_inf, eps_first)?)),
+            None,
+        ),
+        Method::BiLoloha | Method::OLoloha => {
+            let params = setup.loloha_params.expect("resolved for LOLOHA methods");
+            let family =
+                CarterWegman::new(params.g()).ok_or(ParamError::InvalidG { g: params.g() })?;
+            let client = LolohaClient::new(&family, k, params, &mut rng)?;
+            let preimages = Preimages::build(client.hash_fn(), k);
+            (ClientState::Loloha { client: Box::new(client), preimages }, None)
+        }
+        Method::OneBitFlip | Method::BBitFlip => {
+            let (b, d) = setup.dbit.expect("resolved for dBitFlip methods");
+            let client = DBitFlipClient::new(k, b, d, eps_inf, &mut rng)?;
+            (ClientState::DBit(Box::new(client)), Some(DetectionTrack::new()))
+        }
+    };
+    Ok(SimUser { state, rng, detect })
+}
+
+/// Processes one user for one round, adding their support into `counts`.
+fn process_user(user: &mut SimUser, value: u64, counts: &mut [u64], scratch: &mut BitVec) {
+    match &mut user.state {
+        ClientState::Lue(c) => {
+            c.report_into(value, &mut user.rng, scratch);
+            for i in scratch.iter_ones() {
+                counts[i] += 1;
+            }
+        }
+        ClientState::Lgrr(c) => {
+            counts[c.report(value, &mut user.rng) as usize] += 1;
+        }
+        ClientState::Loloha { client, preimages } => {
+            let cell = client.report(value, &mut user.rng);
+            for &v in preimages.cell(cell) {
+                counts[v as usize] += 1;
+            }
+        }
+        ClientState::DBit(c) => {
+            let report = c.report(value, &mut user.rng);
+            let sampled = c.sampled();
+            for l in report.bits.iter_ones() {
+                counts[sampled[l] as usize] += 1;
+            }
+            if let Some(track) = &mut user.detect {
+                track.observe(c.bucket_of(value), &report.bits);
+            }
+        }
+    }
+}
+
+/// Runs one experiment cell and returns its metrics.
+pub fn run_experiment(
+    dataset: &dyn DatasetSpec,
+    cfg: &ExperimentConfig,
+) -> Result<RunMetrics, ParamError> {
+    let k = dataset.k();
+    let n = dataset.n();
+    let tau = dataset.tau();
+    let eps_first = cfg.eps_first();
+    let mut setup = resolve_method(cfg.method, k, cfg.eps_inf, eps_first)?;
+    let dim = setup.estimator.dim(k);
+
+    // Build users, chunked for the worker threads.
+    let threads = cfg.effective_threads().clamp(1, n.max(1));
+    let chunk_len = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<SimUser>> = Vec::with_capacity(threads);
+    {
+        let mut users = Vec::with_capacity(n);
+        for u in 0..n {
+            users.push(make_user(&setup, cfg.method, k, cfg.eps_inf, eps_first, cfg.seed, u)?);
+        }
+        let mut rest = users;
+        while !rest.is_empty() {
+            let take = chunk_len.min(rest.len());
+            let tail = rest.split_off(take);
+            chunks.push(rest);
+            rest = tail;
+        }
+    }
+
+    let mut data = dataset.instantiate(cfg.seed);
+    let mut partials: Vec<Vec<u64>> = (0..chunks.len()).map(|_| vec![0u64; dim]).collect();
+    let mut mse_sum = 0.0;
+    let mut mse_rounds = 0usize;
+
+    for _t in 0..tau {
+        let values = data.step();
+        assert_eq!(values.len(), n, "dataset produced wrong population size");
+        for p in &mut partials {
+            p.fill(0);
+        }
+        // Dispatch chunks to scoped worker threads.
+        std::thread::scope(|s| {
+            let mut offset = 0usize;
+            let mut handles = Vec::new();
+            for (chunk, partial) in chunks.iter_mut().zip(&mut partials) {
+                let slice = &values[offset..offset + chunk.len()];
+                offset += chunk.len();
+                let k_usize = k as usize;
+                handles.push(s.spawn(move || {
+                    let mut scratch = BitVec::zeros(k_usize);
+                    for (user, &v) in chunk.iter_mut().zip(slice) {
+                        process_user(user, v, partial, &mut scratch);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("worker thread panicked");
+            }
+        });
+        // Merge and estimate.
+        let mut merged = vec![0u64; dim];
+        for p in &partials {
+            for (m, &c) in merged.iter_mut().zip(p) {
+                *m += c;
+            }
+        }
+        let estimate = setup.estimator.estimate(&merged, n as u64);
+        if setup.comparable_mse {
+            let truth = empirical_histogram(values, k);
+            mse_sum += mse(&estimate, &truth);
+            mse_rounds += 1;
+        }
+    }
+
+    // Final per-user metrics (fixed order: independent of threading).
+    let mut eps_sum = 0.0;
+    let mut eps_max = 0.0f64;
+    let mut distinct_sum = 0.0;
+    for chunk in &chunks {
+        for user in chunk {
+            let spent = user.state.privacy_spent();
+            eps_sum += spent;
+            eps_max = eps_max.max(spent);
+            distinct_sum += user.state.distinct_classes() as f64;
+        }
+    }
+    let detection = if matches!(cfg.method, Method::OneBitFlip | Method::BBitFlip) {
+        Some(DetectionSummary::from_tracks(
+            chunks.iter().flatten().filter_map(|u| u.detect.as_ref()),
+        ))
+    } else {
+        None
+    };
+
+    Ok(RunMetrics {
+        mse_avg: if mse_rounds > 0 { mse_sum / mse_rounds as f64 } else { f64::NAN },
+        eps_avg: eps_sum / n as f64,
+        eps_max,
+        distinct_avg: distinct_sum / n as f64,
+        detection,
+        reduced_domain: setup.reduced_domain,
+        comparable_mse: setup.comparable_mse,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_datasets::SynDataset;
+
+    fn small_syn() -> SynDataset {
+        SynDataset::new(24, 3_000, 6, 0.25)
+    }
+
+    fn run(method: Method, eps_inf: f64, alpha: f64) -> RunMetrics {
+        let cfg = ExperimentConfig::new(method, eps_inf, alpha, 77).unwrap();
+        run_experiment(&small_syn(), &cfg).unwrap()
+    }
+
+    #[test]
+    fn all_methods_produce_finite_metrics() {
+        for method in Method::paper_set() {
+            let m = run(method, 2.0, 0.5);
+            assert!(m.eps_avg.is_finite(), "{method:?}");
+            assert!(m.eps_avg > 0.0, "{method:?}");
+            assert!(m.comparable_mse, "{method:?} (b = k here)");
+            assert!(m.mse_avg.is_finite(), "{method:?}");
+            assert!(m.mse_avg >= 0.0, "{method:?}");
+        }
+    }
+
+    #[test]
+    fn results_are_thread_count_invariant() {
+        let cfg1 = ExperimentConfig::new(Method::BiLoloha, 2.0, 0.5, 5)
+            .unwrap()
+            .with_threads(1);
+        let cfg4 = cfg1.with_threads(4);
+        let ds = small_syn();
+        let a = run_experiment(&ds, &cfg1).unwrap();
+        let b = run_experiment(&ds, &cfg4).unwrap();
+        assert_eq!(a.mse_avg.to_bits(), b.mse_avg.to_bits());
+        assert_eq!(a.eps_avg.to_bits(), b.eps_avg.to_bits());
+    }
+
+    #[test]
+    fn loloha_budget_beats_baselines_under_churn() {
+        // The headline claim: under frequent changes, BiLOLOHA's ε̌_avg is
+        // far below RAPPOR's, and capped at 2ε∞ while RAPPOR keeps growing
+        // with every distinct value (≈ 1 + 0.25·(τ−1) of them here).
+        let ds = SynDataset::new(24, 2_000, 20, 0.25);
+        let rappor = run_experiment(
+            &ds,
+            &ExperimentConfig::new(Method::Rappor, 1.0, 0.5, 77).unwrap(),
+        )
+        .unwrap();
+        let bi = run_experiment(
+            &ds,
+            &ExperimentConfig::new(Method::BiLoloha, 1.0, 0.5, 77).unwrap(),
+        )
+        .unwrap();
+        assert!(
+            bi.eps_avg < rappor.eps_avg / 2.0,
+            "BiLOLOHA {} vs RAPPOR {}",
+            bi.eps_avg,
+            rappor.eps_avg
+        );
+        assert!(bi.eps_max <= 2.0 + 1e-9, "BiLOLOHA cap 2ε∞");
+        assert!(rappor.eps_max > 2.0, "RAPPOR should exceed the LOLOHA cap");
+    }
+
+    #[test]
+    fn one_bitflip_detection_is_rare_and_b_bitflip_near_total() {
+        let one = run(Method::OneBitFlip, 1.0, 0.5);
+        let full = run(Method::BBitFlip, 1.0, 0.5);
+        let one_rate = one.detection.unwrap().rate();
+        let full_rate = full.detection.unwrap().rate();
+        assert!(one_rate < 0.05, "1BitFlipPM rate {one_rate}");
+        assert!(full_rate > 0.95, "bBitFlipPM rate {full_rate}");
+    }
+
+    #[test]
+    fn ololoha_mse_not_worse_than_biloloha_low_privacy() {
+        // In low-privacy regimes OLOLOHA's larger g buys utility.
+        let bi = run(Method::BiLoloha, 5.0, 0.6);
+        let o = run(Method::OLoloha, 5.0, 0.6);
+        assert!(o.reduced_domain.unwrap() > 2);
+        assert!(o.mse_avg <= bi.mse_avg * 1.5, "O {} vs Bi {}", o.mse_avg, bi.mse_avg);
+    }
+
+    #[test]
+    fn large_domain_dbitflip_mse_is_flagged_incomparable() {
+        let ds = ldp_datasets::FolkLikeDataset::new("T", 800, 500, 3, 0.004);
+        let cfg = ExperimentConfig::new(Method::BBitFlip, 1.0, 0.5, 3).unwrap();
+        let m = run_experiment(&ds, &cfg).unwrap();
+        assert!(!m.comparable_mse);
+        assert!(m.mse_avg.is_nan());
+        assert_eq!(m.reduced_domain, Some(200));
+    }
+}

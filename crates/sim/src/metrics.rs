@@ -1,0 +1,91 @@
+//! The paper's evaluation metrics and small summary statistics.
+
+/// Mean squared error between an estimate and ground-truth histogram —
+/// the inner sum of Eq. (7) for one time step.
+pub fn mse(estimate: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(estimate.len(), truth.len(), "histogram length mismatch");
+    assert!(!estimate.is_empty(), "empty histograms");
+    let sum: f64 = estimate
+        .iter()
+        .zip(truth)
+        .map(|(&e, &t)| (e - t) * (e - t))
+        .sum();
+    sum / estimate.len() as f64
+}
+
+/// Arithmetic mean (NaN on empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (0 for fewer than two points).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Mean ± sample standard deviation over repeated runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Mean over runs.
+    pub mean: f64,
+    /// Sample standard deviation over runs.
+    pub std: f64,
+    /// Number of runs aggregated.
+    pub runs: usize,
+}
+
+impl Summary {
+    /// Summarizes a set of per-run values.
+    pub fn of(xs: &[f64]) -> Self {
+        Self { mean: mean(xs), std: std_dev(xs), runs: xs.len() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_of_identical_histograms_is_zero() {
+        let h = [0.25, 0.25, 0.5];
+        assert_eq!(mse(&h, &h), 0.0);
+    }
+
+    #[test]
+    fn mse_matches_hand_computation() {
+        let e = [0.5, 0.5];
+        let t = [0.0, 1.0];
+        assert!((mse(&e, &t) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mse_rejects_mismatched_lengths() {
+        let _ = mse(&[0.1], &[0.1, 0.2]);
+    }
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((mean(&xs) - 2.5).abs() < 1e-12);
+        let sd = std_dev(&xs);
+        assert!((sd - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_summaries() {
+        assert!(mean(&[]).is_nan());
+        assert_eq!(std_dev(&[1.0]), 0.0);
+        let s = Summary::of(&[2.0]);
+        assert_eq!(s.runs, 1);
+        assert_eq!(s.std, 0.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Minimal table emitters for the benchmark harness.
+//!
+//! Every figure/table binary prints two artifacts: a CSV block (one row per
+//! data point, machine-readable for replotting) and a human-readable
+//! markdown table. No serialization dependency needed.
+
+use std::fmt::Write as _;
+
+/// An in-memory table with string headers and formatted cells.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn push_row<S: Into<String>>(&mut self, row: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as CSV (RFC-4180-style quoting for commas/quotes).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            let line: Vec<String> = cells.iter().map(|c| csv_escape(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders the table as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            out.push('|');
+            for (cell, w) in cells.iter().zip(&widths) {
+                let _ = write!(out, " {cell:w$} |");
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.headers);
+        out.push('|');
+        for w in &widths {
+            let _ = write!(out, "{:-<width$}|", "", width = w + 2);
+        }
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+}
+
+fn csv_escape(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Formats a float compactly for tables: scientific for very small/large
+/// magnitudes, fixed otherwise, `NaN` spelled out.
+pub fn fmt_sci(x: f64) -> String {
+    if x.is_nan() {
+        "n/a".to_string()
+    } else if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() < 1e-3 || x.abs() >= 1e6 {
+        format!("{x:.3e}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["1", "2"]);
+        t.push_row(["x,y", "q\"z"]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[2], "\"x,y\",\"q\"\"z\"");
+    }
+
+    #[test]
+    fn markdown_has_separator_and_alignment() {
+        let mut t = Table::new(["name", "v"]);
+        t.push_row(["long-name", "1"]);
+        let md = t.to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("|--"));
+        assert!(lines[2].contains("long-name"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_is_enforced() {
+        let mut t = Table::new(["a"]);
+        t.push_row(["1", "2"]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_sci(f64::NAN), "n/a");
+        assert_eq!(fmt_sci(0.0), "0");
+        assert!(fmt_sci(1.5e-7).contains('e'));
+        assert_eq!(fmt_sci(0.1234567), "0.1235");
+    }
+}

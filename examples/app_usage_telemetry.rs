@@ -1,0 +1,67 @@
+//! The paper's motivating scenario (§5.1 "Syn"): a telemetry service
+//! collects, every 6 hours, how many minutes each user spent in an app
+//! (k = 360 possible answers) and wants the population histogram over 30
+//! days — without learning any individual's usage.
+//!
+//! Compares LOLOHA against RAPPOR on the same stream: similar utility,
+//! drastically different longitudinal budget.
+//!
+//! ```sh
+//! cargo run --release --example app_usage_telemetry
+//! ```
+
+use loloha_suite::datasets::{empirical_histogram, DatasetSpec, SynDataset};
+use loloha_suite::sim::{run_experiment, ExperimentConfig, Method};
+
+fn main() {
+    // A laptop-scale slice of the paper's Syn workload: 2 000 users over 30
+    // collections (the paper uses 10 000 over 120).
+    let dataset = SynDataset::paper().scaled(0.2, 0.25);
+    println!(
+        "workload: k = {}, n = {}, tau = {}, change prob = {}",
+        dataset.k(),
+        dataset.n(),
+        dataset.tau(),
+        dataset.p_change()
+    );
+
+    // Show one round of ground truth for context.
+    let mut preview = dataset.instantiate(7);
+    let truth = empirical_histogram(preview.step(), dataset.k());
+    let busiest = truth
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .expect("non-empty");
+    println!("ground truth example: busiest minute-bucket = {} ({:.4})\n", busiest.0, busiest.1);
+
+    let (eps_inf, alpha) = (1.0, 0.5);
+    println!("eps_inf = {eps_inf}, eps_1 = {}\n", alpha * eps_inf);
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>14}",
+        "method", "MSE_avg", "eps_avg", "eps_max", "budget cap"
+    );
+    for method in [Method::BiLoloha, Method::OLoloha, Method::Rappor, Method::LOsue] {
+        let cfg = ExperimentConfig::new(method, eps_inf, alpha, 42).expect("valid config");
+        let m = run_experiment(&dataset, &cfg).expect("runnable");
+        let cap = match method {
+            Method::BiLoloha | Method::OLoloha => {
+                format!("{:.0} (g·ε∞)", m.reduced_domain.unwrap_or(2) as f64 * eps_inf)
+            }
+            _ => format!("{:.0} (k·ε∞)", dataset.k() as f64 * eps_inf),
+        };
+        println!(
+            "{:<12} {:>12.3e} {:>12.2} {:>12.2} {:>14}",
+            method.name(),
+            m.mse_avg,
+            m.eps_avg,
+            m.eps_max,
+            cap
+        );
+    }
+    println!(
+        "\ntakeaway: utility is comparable, but after 30 rounds of churn the \
+         RAPPOR-family budget has grown with every distinct value while \
+         LOLOHA stays capped at g·ε∞."
+    );
+}

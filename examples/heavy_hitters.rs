@@ -1,0 +1,104 @@
+//! Heavy hitters two ways: PEM over a 16-bit URL-hash domain (too large to
+//! scan bin by bin), then longitudinal top-k tracking with hysteresis on a
+//! LOLOHA monitor feed.
+//!
+//! ```sh
+//! cargo run --release --example heavy_hitters
+//! ```
+
+use loloha_suite::hash::CarterWegman;
+use loloha_suite::heavyhitters::{top_k_with_radius, HitterTracker, Pem};
+use loloha_suite::loloha::theory::utility_bound;
+use loloha_suite::loloha::{LolohaClient, LolohaParams, LolohaServer};
+use loloha_suite::rand::{derive_rng, uniform_f64, uniform_u64};
+
+fn main() {
+    let mut rng = derive_rng(7, 0);
+
+    // ----- Part 1: one-shot identification over 2^16 values with PEM -----
+    let bits = 16u32;
+    let heavy = [0xBEEFu64, 0x1234, 0xC0DE];
+    let shares = [0.22, 0.17, 0.11];
+    let n = 60_000usize;
+    let values: Vec<u64> = (0..n)
+        .map(|_| {
+            let r = uniform_f64(&mut rng);
+            let mut acc = 0.0;
+            for (h, s) in heavy.iter().zip(&shares) {
+                acc += s;
+                if r < acc {
+                    return *h;
+                }
+            }
+            uniform_u64(&mut rng, 1 << bits)
+        })
+        .collect();
+
+    let pem = Pem {
+        bits,
+        start_bits: 6,
+        step_bits: 5,
+        eps: 3.0,
+        threshold: 0.05,
+        max_candidates: 24,
+    };
+    let outcome = pem.identify(&values, &mut rng).expect("valid PEM config");
+    println!(
+        "PEM walked {} levels, queried {} candidates (domain has {} values):",
+        outcome.levels,
+        outcome.candidates_queried,
+        1u64 << bits
+    );
+    for (value, est) in &outcome.hitters {
+        println!("  value {value:#06x}  estimated frequency {est:.3}");
+    }
+
+    // ----- Part 2: longitudinal tracking on a k = 64 LOLOHA feed -----
+    let k = 64u64;
+    let params = LolohaParams::optimal(3.0, 1.5).expect("valid budgets");
+    let family = CarterWegman::new(params.g()).expect("valid g");
+    let mut server = LolohaServer::new(k, params).expect("server");
+    let n = 30_000usize;
+    let mut clients: Vec<_> = (0..n)
+        .map(|_| LolohaClient::new(&family, k, params, &mut rng).expect("client"))
+        .collect();
+    let ids: Vec<_> = clients.iter().map(|c| server.register_user(c.hash_fn())).collect();
+
+    // Value 7 is heavy from the start; value 20 becomes heavy at round 6.
+    let mut tracker = HitterTracker::new(0.12, 0.06).expect("enter > exit");
+    let radius = utility_bound(&params, n as u64, k, 0.05);
+    println!("\nlongitudinal tracking (Prop 3.6 radius at beta = 0.05: {radius:.3}):");
+    for round in 0..12u32 {
+        for (client, &id) in clients.iter_mut().zip(&ids) {
+            let u = uniform_f64(&mut rng);
+            let v = if u < 0.2 {
+                7
+            } else if u < 0.38 && round >= 6 {
+                20
+            } else {
+                uniform_u64(&mut rng, k)
+            };
+            server.ingest(id, client.report(v, &mut rng));
+        }
+        let estimate = server.estimate_and_reset();
+        for event in tracker.update(&estimate) {
+            println!("  round {round:2}: {event:?}");
+        }
+        if round == 11 {
+            println!("  final top-3 with confidence intervals:");
+            for h in top_k_with_radius(&estimate, 3, radius) {
+                println!(
+                    "    value {:2}: {:.3} in [{:.3}, {:.3}] significant={}",
+                    h.value,
+                    h.estimate,
+                    h.lower,
+                    h.upper,
+                    h.significant()
+                );
+            }
+        }
+    }
+    let active: Vec<u64> = tracker.active().collect();
+    println!("tracked heavy-hitter set after 12 rounds: {active:?}");
+    assert!(active.contains(&7) && active.contains(&20));
+}

@@ -1,0 +1,41 @@
+//! Facade crate for the LOLOHA reproduction workspace.
+//!
+//! Re-exports every member crate under one roof so the repository-level
+//! examples and integration tests — and downstream users who just want
+//! "the whole system" — need a single dependency:
+//!
+//! * [`loloha`] — the LOLOHA protocol family (the paper's contribution).
+//! * [`longitudinal`] — the RAPPOR / L-OSUE / L-GRR / dBitFlipPM baselines.
+//! * [`primitives`] — one-shot LDP oracles (GRR, BLH/OLH, SUE/OUE) and the
+//!   estimator/variance toolbox.
+//! * [`hash`] — universal hash families and bucketing.
+//! * [`rand`] — deterministic RNG streams and samplers.
+//! * [`datasets`] — the Syn / Adult-like / folktables-like workloads.
+//! * [`sim`] — the longitudinal collection simulator and metrics.
+//! * [`analysis`] — closed-form Fig. 1 / Fig. 2 / Table 1 reproduction.
+//! * [`shuffle`] — the shuffle-model extension (the paper's future work).
+//! * [`postprocess`] — consistency repair and temporal smoothing of
+//!   estimates (free under LDP post-processing).
+//! * [`attack`] — adversarial analysis: Bayesian ASR, averaging attacks,
+//!   linkability, change-detection exposure.
+//! * [`multidim`] — multi-attribute collection (SPL / SMP / RS+FD), the
+//!   paper's `multi-freq-ldpy` future-work integration.
+//! * [`heavyhitters`] — top-k with confidence, PEM over huge domains, and
+//!   longitudinal heavy-hitter tracking.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ldp_analysis as analysis;
+pub use ldp_attack as attack;
+pub use ldp_datasets as datasets;
+pub use ldp_hash as hash;
+pub use ldp_heavyhitters as heavyhitters;
+pub use ldp_longitudinal as longitudinal;
+pub use ldp_multidim as multidim;
+pub use ldp_postprocess as postprocess;
+pub use ldp_primitives as primitives;
+pub use ldp_rand as rand;
+pub use ldp_shuffle as shuffle;
+pub use ldp_sim as sim;
+pub use loloha;

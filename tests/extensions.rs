@@ -1,0 +1,277 @@
+//! Integration tests spanning the extension crates: a LOLOHA feed flows
+//! through consistency repair, temporal smoothing and heavy-hitter
+//! tracking; the attack crate's closed forms agree with the simulator's
+//! observable behaviour; and the multi-attribute wrappers preserve the
+//! single-attribute guarantees.
+
+use loloha_suite::attack::{
+    dbitflip_change_detection, loloha_change_exposure, MemoStyle,
+};
+use loloha_suite::hash::CarterWegman;
+use loloha_suite::heavyhitters::{top_k_with_radius, HitterTracker, Pem};
+use loloha_suite::loloha::theory::utility_bound;
+use loloha_suite::loloha::{LolohaClient, LolohaParams, LolohaServer};
+use loloha_suite::longitudinal::{DdrmClient, DdrmServer};
+use loloha_suite::multidim::spl::Flavor;
+use loloha_suite::multidim::{AttributeSpec, SmpServer, SmpWrapper};
+use loloha_suite::postprocess::{Consistency, KalmanSmoother};
+use loloha_suite::rand::{derive_rng, uniform_f64, uniform_u64};
+use loloha_suite::sim::{run_experiment, ExperimentConfig, Method};
+
+fn mse(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f64>() / a.len() as f64
+}
+
+/// The full post-processing pipeline on a live LOLOHA collection: raw →
+/// simplex projection → Kalman must be monotonically more accurate on a
+/// slowly drifting population, and the tracker must fire exactly the right
+/// enter events.
+#[test]
+fn pipeline_loloha_postprocess_tracker() {
+    let k = 32u64;
+    let n = 6_000usize;
+    let params = LolohaParams::bi(1.5, 0.6).unwrap();
+    let family = CarterWegman::new(params.g()).unwrap();
+    let mut server = LolohaServer::new(k, params).unwrap();
+    let mut rng = derive_rng(11, 0);
+    let mut clients: Vec<_> =
+        (0..n).map(|_| LolohaClient::new(&family, k, params, &mut rng).unwrap()).collect();
+    let ids: Vec<_> = clients.iter().map(|c| server.register_user(c.hash_fn())).collect();
+
+    let mut kalman = KalmanSmoother::new(k as usize, 1e-7, params.variance_approx(n as f64)).unwrap();
+    let mut tracker = HitterTracker::new(0.15, 0.05).unwrap();
+    let (mut raw_acc, mut proj_acc, mut smooth_acc) = (0.0, 0.0, 0.0);
+    let rounds = 12u32;
+    for round in 0..rounds {
+        let mut truth = vec![0.0; k as usize];
+        for (client, &id) in clients.iter_mut().zip(&ids) {
+            // Value 3 heavy throughout; value 9 heavy from round 6 on.
+            let u = uniform_f64(&mut rng);
+            let v = if u < 0.3 {
+                3
+            } else if u < 0.55 && round >= 6 {
+                9
+            } else {
+                uniform_u64(&mut rng, k)
+            };
+            truth[v as usize] += 1.0 / n as f64;
+            server.ingest(id, client.report(v, &mut rng));
+        }
+        let raw = server.estimate_and_reset();
+        let projected = Consistency::NormSub.applied(&raw);
+        let smoothed = kalman.update(&projected).unwrap();
+        raw_acc += mse(&raw, &truth);
+        proj_acc += mse(&projected, &truth);
+        smooth_acc += mse(&smoothed, &truth);
+        tracker.update(&smoothed);
+    }
+    assert!(proj_acc <= raw_acc, "projection must not hurt: {proj_acc} vs {raw_acc}");
+    assert!(smooth_acc < proj_acc, "smoothing must pay off: {smooth_acc} vs {proj_acc}");
+    let active: Vec<u64> = tracker.active().collect();
+    assert!(active.contains(&3), "always-heavy value tracked: {active:?}");
+    assert!(active.contains(&9), "emerging value tracked: {active:?}");
+    assert!(active.len() <= 4, "no noise values tracked: {active:?}");
+}
+
+/// The closed-form dBitFlipPM per-change exposure (per-class style) must
+/// be consistent with the simulator's Table 2 measurement: near-zero
+/// full-detection at d = 1, near-total at d = b.
+#[test]
+fn change_exposure_consistent_with_sim_detection() {
+    let one = dbitflip_change_detection(24, 1, 1.0, MemoStyle::PerClass).unwrap().expected;
+    let full = dbitflip_change_detection(24, 24, 1.0, MemoStyle::PerClass).unwrap().expected;
+    assert!(one < 0.1);
+    assert!(full > 0.99);
+
+    let ds = loloha_suite::datasets::SynDataset::new(24, 3_000, 8, 0.25);
+    let d1 = run_experiment(&ds, &ExperimentConfig::new(Method::OneBitFlip, 1.0, 0.5, 3).unwrap())
+        .unwrap()
+        .detection
+        .unwrap()
+        .rate();
+    let db = run_experiment(&ds, &ExperimentConfig::new(Method::BBitFlip, 1.0, 0.5, 3).unwrap())
+        .unwrap()
+        .detection
+        .unwrap()
+        .rate();
+    // Sequence-level full detection is a harsher event than per-change
+    // exposure, so the orderings must agree even if magnitudes differ.
+    assert!(d1 < 0.1, "d=1 sequence detection {d1}");
+    assert!(db > 0.9, "d=b sequence detection {db}");
+    assert!((one < full) == (d1 < db));
+}
+
+/// LOLOHA's closed-form change exposure is small exactly where the
+/// protocol's budget advantage lives: compare against the dBitFlipPM d=b
+/// exposure at the same ε.
+#[test]
+fn loloha_exposure_dominated_by_dbitflip() {
+    for eps in [0.5, 1.0, 2.0, 4.0] {
+        let lo = loloha_change_exposure(LolohaParams::bi(eps, 0.5 * eps).unwrap());
+        let db = dbitflip_change_detection(64, 64, eps, MemoStyle::PerClass).unwrap().expected;
+        assert!(lo.tv_advantage() < db, "eps {eps}: {} vs {db}", lo.tv_advantage());
+    }
+}
+
+/// PEM finds the same heavy values a full-domain LOLOHA monitor finds on
+/// an identical population, while querying a fraction of the domain.
+#[test]
+fn pem_agrees_with_full_domain_topk() {
+    let bits = 10u32;
+    let k = 1u64 << bits;
+    let n = 20_000usize;
+    let mut rng = derive_rng(21, 0);
+    let heavy = [512u64, 77, 900];
+    let values: Vec<u64> = (0..n)
+        .map(|_| {
+            let r = uniform_f64(&mut rng);
+            if r < 0.2 {
+                heavy[0]
+            } else if r < 0.35 {
+                heavy[1]
+            } else if r < 0.47 {
+                heavy[2]
+            } else {
+                uniform_u64(&mut rng, k)
+            }
+        })
+        .collect();
+
+    // PEM route (one-shot, ε = 3).
+    let pem = Pem { bits, start_bits: 5, step_bits: 5, eps: 3.0, threshold: 0.04, max_candidates: 16 };
+    let outcome = pem.identify(&values, &mut rng).unwrap();
+    let pem_found: Vec<u64> = outcome.hitters.iter().map(|&(v, _)| v).collect();
+    assert!(outcome.candidates_queried < (k as usize) / 4);
+
+    // Full-domain route: LOLOHA one round + significance top-k.
+    let params = LolohaParams::optimal(3.0, 1.5).unwrap();
+    let family = CarterWegman::new(params.g()).unwrap();
+    let mut server = LolohaServer::new(k, params).unwrap();
+    let mut clients: Vec<_> =
+        (0..n).map(|_| LolohaClient::new(&family, k, params, &mut rng).unwrap()).collect();
+    let ids: Vec<_> = clients.iter().map(|c| server.register_user(c.hash_fn())).collect();
+    for ((client, &id), &v) in clients.iter_mut().zip(&ids).zip(&values) {
+        server.ingest(id, client.report(v, &mut rng));
+    }
+    let estimate = server.estimate_and_reset();
+    let radius = utility_bound(&params, n as u64, k, 0.05);
+    let full_found: Vec<u64> =
+        top_k_with_radius(&estimate, 3, radius).iter().map(|h| h.value).collect();
+
+    for h in heavy {
+        assert!(pem_found.contains(&h), "PEM missed {h}: {pem_found:?}");
+        assert!(full_found.contains(&h), "full scan missed {h}: {full_found:?}");
+    }
+}
+
+/// SMP keeps the single-attribute longitudinal cap while covering several
+/// attributes, and its estimates converge per attribute.
+#[test]
+fn smp_preserves_longitudinal_caps_across_rounds() {
+    let spec = AttributeSpec::new(vec![10, 10, 10]).unwrap();
+    let (ei, e1) = (2.0, 1.0);
+    let mut rng = derive_rng(31, 0);
+    let mut server = SmpServer::new(&spec, ei, e1, Flavor::Bi).unwrap();
+    let n = 6_000usize;
+    let mut users: Vec<_> =
+        (0..n).map(|_| SmpWrapper::new(&spec, ei, e1, Flavor::Bi, &mut rng).unwrap()).collect();
+    let ids: Vec<_> = users.iter().map(|u| server.register_user(u.attribute(), u.hash_fn())).collect();
+    // Several rounds with churning values: the cap must hold regardless.
+    for _ in 0..6 {
+        for (u, &id) in users.iter_mut().zip(&ids) {
+            let values: Vec<u64> = (0..3).map(|_| uniform_u64(&mut rng, 10)).collect();
+            let cell = u.report(&values, &mut rng);
+            server.ingest(u.attribute(), id, cell);
+        }
+        let est = server.estimate_and_reset();
+        assert_eq!(est.len(), 3);
+    }
+    for u in &users {
+        assert!(u.privacy_spent() <= u.budget_cap() + 1e-9);
+        assert!((u.budget_cap() - 2.0 * ei).abs() < 1e-12, "g=2 cap");
+    }
+}
+
+/// The shuffle extension closes the linkability gap the attack crate
+/// measures: without a shuffler the report stream alone links a user's
+/// rounds with measurable accuracy; after shuffling each round, the
+/// within-round permutation destroys the per-user pairing entirely (any
+/// assignment of shuffled reports to users is equally likely), while the
+/// round's estimate is invariant.
+#[test]
+fn shuffling_breaks_linkage_but_not_estimates() {
+    use loloha_suite::shuffle::{AnonymousReport, Shuffler};
+
+    // Baseline: the matching game on raw LOLOHA streams succeeds well
+    // above chance at generous ε and long sequences.
+    let params = LolohaParams::bi(3.0, 1.5).unwrap();
+    let mut rng = derive_rng(51, 0);
+    let raw = loloha_suite::attack::linkability::linkage_accuracy_loloha(
+        32, params, 64, 800, &mut rng,
+    )
+    .unwrap();
+    assert!(raw.accuracy > 0.6, "raw streams must be linkable: {}", raw.accuracy);
+
+    // Shuffled: reports travel as (hash, cell) with no user id and the
+    // shuffler erases submission order — the only remaining identity
+    // signal. Support counting is a multiset sum, so the estimate input is
+    // bit-identical before and after the permutation.
+    let k = 32u64;
+    let family = CarterWegman::new(params.g()).unwrap();
+    let n = 2_000usize;
+    let mut clients: Vec<_> =
+        (0..n).map(|_| LolohaClient::new(&family, k, params, &mut rng).unwrap()).collect();
+    let mut reports: Vec<AnonymousReport<_>> = clients
+        .iter_mut()
+        .map(|c| AnonymousReport { hash: *c.hash_fn(), cell: c.report(5, &mut rng) })
+        .collect();
+    let support = |reports: &[AnonymousReport<loloha_suite::hash::CwHash>]| -> Vec<u64> {
+        let mut counts = vec![0u64; k as usize];
+        for r in reports {
+            let pre = loloha_suite::hash::Preimages::build(&r.hash, k);
+            for &v in pre.cell(r.cell) {
+                counts[v as usize] += 1;
+            }
+        }
+        counts
+    };
+    let direct = support(&reports);
+    Shuffler::shuffle(&mut reports, &mut rng);
+    assert_eq!(direct, support(&reports), "support counts are permutation-invariant");
+}
+
+/// DDRM's flat budget versus LOLOHA's churn-dependent budget, measured on
+/// the same boolean stream.
+#[test]
+fn ddrm_budget_flat_loloha_budget_grows() {
+    let tau = 16u32;
+    let n = 2_000usize;
+    let eps = 1.0;
+    let mut rng = derive_rng(41, 0);
+    let mut ddrm_server = DdrmServer::new(tau, eps).unwrap();
+    let params = LolohaParams::bi(eps, 0.5).unwrap();
+    let family = CarterWegman::new(params.g()).unwrap();
+    let mut lol: Vec<_> =
+        (0..n).map(|_| LolohaClient::new(&family, 2, params, &mut rng).unwrap()).collect();
+    let mut ddrm: Vec<_> = (0..n).map(|_| DdrmClient::new(tau, eps, &mut rng).unwrap()).collect();
+
+    let mut values: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+    for _ in 0..tau {
+        for v in values.iter_mut() {
+            if uniform_f64(&mut rng) < 0.5 {
+                *v = !*v; // heavy churn
+            }
+        }
+        for ((d, l), &v) in ddrm.iter_mut().zip(lol.iter_mut()).zip(&values) {
+            if let Some(r) = d.observe(v, &mut rng) {
+                ddrm_server.ingest(&r);
+            }
+            let _ = l.report(v as u64, &mut rng);
+        }
+    }
+    let ddrm_spent: f64 = ddrm.iter().map(|c| c.privacy_spent()).sum::<f64>() / n as f64;
+    let lol_spent: f64 = lol.iter().map(|c| c.privacy_spent()).sum::<f64>() / n as f64;
+    assert!((ddrm_spent - eps).abs() < 1e-9, "DDRM budget exactly eps");
+    assert!(lol_spent > eps * 1.5, "churned LOLOHA budget near its 2eps cap: {lol_spent}");
+    assert!(lol_spent <= 2.0 * eps + 1e-9);
+}

@@ -1,0 +1,97 @@
+//! System-level property tests: random small configurations through the
+//! full pipeline must respect the protocol invariants.
+
+use loloha_suite::datasets::SynDataset;
+use loloha_suite::sim::{run_experiment, ExperimentConfig, Method};
+use proptest::prelude::*;
+
+fn arb_method() -> impl Strategy<Value = Method> {
+    prop_oneof![
+        Just(Method::Rappor),
+        Just(Method::LOsue),
+        Just(Method::LOue),
+        Just(Method::LSoue),
+        Just(Method::LGrr),
+        Just(Method::BiLoloha),
+        Just(Method::OLoloha),
+        Just(Method::OneBitFlip),
+        Just(Method::BBitFlip),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any (method, ε∞, α, k) cell runs to completion with finite,
+    /// invariant-respecting metrics.
+    #[test]
+    fn pipeline_never_panics_and_respects_caps(
+        method in arb_method(),
+        eps_inf in 0.3f64..5.0,
+        alpha in 0.15f64..0.85,
+        k in 4u64..40,
+        seed in any::<u64>(),
+    ) {
+        let ds = SynDataset::new(k, 300, 4, 0.3);
+        let cfg = ExperimentConfig::new(method, eps_inf, alpha, seed).expect("valid");
+        // The OUE-style IRR (p2 pinned at 1/2) cannot realize first-report
+        // budgets close to eps_inf: its composed leakage is bounded away
+        // from eps_inf even with zero upward noise. Those cells must be
+        // *rejected as errors* (never silently under-delivered); everything
+        // else must run.
+        let m = match run_experiment(&ds, &cfg) {
+            Ok(m) => m,
+            Err(e) => {
+                prop_assert!(
+                    matches!(method, Method::LOue | Method::LSoue),
+                    "{method:?} unexpectedly failed: {e}"
+                );
+                return Ok(());
+            }
+        };
+
+        prop_assert!(m.eps_avg.is_finite());
+        prop_assert!(m.eps_avg > 0.0);
+        prop_assert!(m.eps_max >= m.eps_avg - 1e-12);
+        prop_assert!(m.distinct_avg >= 1.0);
+
+        // Budget caps per protocol family.
+        match method {
+            Method::BiLoloha => prop_assert!(m.eps_max <= 2.0 * eps_inf + 1e-9),
+            Method::OLoloha => {
+                let g = m.reduced_domain.expect("g resolved") as f64;
+                prop_assert!(m.eps_max <= g * eps_inf + 1e-9);
+            }
+            Method::OneBitFlip => prop_assert!(m.eps_max <= 2.0 * eps_inf + 1e-9),
+            Method::BBitFlip => {
+                let b = m.reduced_domain.expect("b resolved") as f64;
+                prop_assert!(m.eps_max <= b * eps_inf + 1e-9);
+            }
+            _ => prop_assert!(m.eps_max <= k as f64 * eps_inf + 1e-9),
+        }
+
+        // MSE is comparable on these small domains and non-negative.
+        prop_assert!(m.comparable_mse);
+        prop_assert!(m.mse_avg >= 0.0);
+    }
+
+    /// The privacy loss never decreases when the stream runs longer.
+    #[test]
+    fn privacy_loss_is_monotone_in_tau(
+        method in arb_method(),
+        seed in any::<u64>(),
+    ) {
+        let short = SynDataset::new(16, 200, 2, 0.4);
+        let long = SynDataset::new(16, 200, 10, 0.4);
+        // α = 0.3 keeps every chain (including the OUE-IRR extensions)
+        // feasible at ε∞ = 1.
+        let cfg = ExperimentConfig::new(method, 1.0, 0.3, seed).expect("valid");
+        let a = run_experiment(&short, &cfg).expect("runnable");
+        let b = run_experiment(&long, &cfg).expect("runnable");
+        prop_assert!(
+            b.eps_avg >= a.eps_avg - 1e-9,
+            "{method:?}: tau=10 spent {} < tau=2 spent {}",
+            b.eps_avg, a.eps_avg
+        );
+    }
+}
