@@ -82,11 +82,20 @@ pub fn fig2_rows(n: f64, eps_grid: &[f64], alphas: &[f64]) -> Vec<Fig2Row> {
             let rappor = ue_chain_params(UeChain::SueSue, eps_inf, e1)
                 .expect("valid grid point")
                 .variance_approx(n);
-            let ololoha =
-                LolohaParams::optimal(eps_inf, e1).expect("valid grid point").variance_approx(n);
-            let biloloha =
-                LolohaParams::bi(eps_inf, e1).expect("valid grid point").variance_approx(n);
-            rows.push(Fig2Row { eps_inf, alpha, losue, ololoha, rappor, biloloha });
+            let ololoha = LolohaParams::optimal(eps_inf, e1)
+                .expect("valid grid point")
+                .variance_approx(n);
+            let biloloha = LolohaParams::bi(eps_inf, e1)
+                .expect("valid grid point")
+                .variance_approx(n);
+            rows.push(Fig2Row {
+                eps_inf,
+                alpha,
+                losue,
+                ololoha,
+                rappor,
+                biloloha,
+            });
         }
     }
     rows
@@ -335,9 +344,7 @@ mod tests {
     #[test]
     fn table1_budget_ordering() {
         let rows = table1_rows(360, 1.0, 0.5, 360, 1);
-        let budget_of = |name: &str| {
-            rows.iter().find(|r| r.protocol == name).unwrap().budget
-        };
+        let budget_of = |name: &str| rows.iter().find(|r| r.protocol == name).unwrap().budget;
         // LOLOHA and 1BitFlipPM are the only sub-linear budgets.
         assert!(budget_of("LOLOHA") < budget_of("RAPPOR"));
         assert!(budget_of("dBitFlipPM") < budget_of("RAPPOR"));

@@ -168,7 +168,10 @@ mod tests {
         let ceiling = memoized_attack_ceiling(k, eps_inf);
         assert!(fresh > 0.9, "fresh {fresh}");
         assert!(memo < ceiling + 0.03, "memo {memo} ceiling {ceiling}");
-        assert!(memo < fresh - 0.2, "memo {memo} should be far below fresh {fresh}");
+        assert!(
+            memo < fresh - 0.2,
+            "memo {memo} should be far below fresh {fresh}"
+        );
     }
 
     #[test]
@@ -177,7 +180,10 @@ mod tests {
         let mut rng = derive_rng(102, 0);
         let long = mode_attack_memoized(k, eps_inf, eps_irr, 120, 8_000, &mut rng).unwrap();
         let ceiling = memoized_attack_ceiling(k, eps_inf);
-        assert!((long - ceiling).abs() < 0.03, "long {long} vs ceiling {ceiling}");
+        assert!(
+            (long - ceiling).abs() < 0.03,
+            "long {long} vs ceiling {ceiling}"
+        );
     }
 
     #[test]

@@ -55,7 +55,10 @@ impl AsrEstimate {
 /// retention probability `p = e^ε/(e^ε + k − 1)`.
 pub fn asr_grr(k: usize, eps: f64) -> Result<AsrEstimate, ChannelError> {
     let ch = Channel::grr(k, eps)?;
-    Ok(AsrEstimate { asr: ch.asr_uniform(), baseline: 1.0 / k as f64 })
+    Ok(AsrEstimate {
+        asr: ch.asr_uniform(),
+        baseline: 1.0 / k as f64,
+    })
 }
 
 /// Exact ASR of an L-GRR *first report* (PRR at ε∞ chained with IRR) over a
@@ -69,7 +72,10 @@ pub fn asr_lgrr_first_report(
     let prr_ch = Channel::symmetric(k, prr.p, prr.q)?;
     let irr_ch = Channel::symmetric(k, irr.p, irr.q)?;
     let composed = prr_ch.compose(&irr_ch)?;
-    Ok(AsrEstimate { asr: composed.asr_uniform(), baseline: 1.0 / k as f64 })
+    Ok(AsrEstimate {
+        asr: composed.asr_uniform(),
+        baseline: 1.0 / k as f64,
+    })
 }
 
 /// ASR of a LOLOHA *first report* at the value level, averaged over
@@ -87,14 +93,20 @@ pub fn asr_loloha_first_report<R: RngCore + ?Sized>(
     rng: &mut R,
 ) -> Result<AsrEstimate, ChannelError> {
     if k < 2 {
-        return Err(ParamError::DomainTooSmall { k: k as u64, min: 2 }.into());
+        return Err(ParamError::DomainTooSmall {
+            k: k as u64,
+            min: 2,
+        }
+        .into());
     }
     if samples == 0 {
-        return Err(ChannelError::BadShape { expected: 1, got: 0 });
+        return Err(ChannelError::BadShape {
+            expected: 1,
+            got: 0,
+        });
     }
     let g = params.g() as usize;
-    let family =
-        CarterWegman::new(params.g()).ok_or(ParamError::InvalidG { g: params.g() })?;
+    let family = CarterWegman::new(params.g()).ok_or(ParamError::InvalidG { g: params.g() })?;
     let prr = Channel::symmetric(g, params.prr().p, params.prr().q)?;
     let irr = Channel::symmetric(g, params.irr().p, params.irr().q)?;
     let cell_channel = prr.compose(&irr)?;
@@ -108,7 +120,10 @@ pub fn asr_loloha_first_report<R: RngCore + ?Sized>(
         let lifted = Channel::via_mapping(&map, &cell_channel)?;
         total += lifted.asr_uniform();
     }
-    Ok(AsrEstimate { asr: total / samples as f64, baseline: 1.0 / k as f64 })
+    Ok(AsrEstimate {
+        asr: total / samples as f64,
+        baseline: 1.0 / k as f64,
+    })
 }
 
 /// Closed-form ASR of the unary-encoding MAP adversary with per-bit pair
@@ -118,7 +133,11 @@ pub fn asr_loloha_first_report<R: RngCore + ?Sized>(
 /// chain (`ChainParams::composed`) for a RAPPOR / L-OSUE first report.
 pub fn asr_ue(k: usize, p: f64, q: f64) -> Result<AsrEstimate, ChannelError> {
     if k < 2 {
-        return Err(ParamError::DomainTooSmall { k: k as u64, min: 2 }.into());
+        return Err(ParamError::DomainTooSmall {
+            k: k as u64,
+            min: 2,
+        }
+        .into());
     }
     if !(0.0..=1.0).contains(&p) || !(0.0..1.0).contains(&q) || p <= q {
         return Err(ParamError::InvalidProbability { p, q }.into());
@@ -126,9 +145,16 @@ pub fn asr_ue(k: usize, p: f64, q: f64) -> Result<AsrEstimate, ChannelError> {
     let kf = k as f64;
     let none_set = (1.0 - q).powi(k as i32 - 1);
     // E[1/(1+S)] with S ~ Bin(k−1, q).
-    let expect_inv = if q == 0.0 { 1.0 } else { (1.0 - (1.0 - q).powi(k as i32)) / (kf * q) };
+    let expect_inv = if q == 0.0 {
+        1.0
+    } else {
+        (1.0 - (1.0 - q).powi(k as i32)) / (kf * q)
+    };
     let asr = p * expect_inv + (1.0 - p) * none_set / kf;
-    Ok(AsrEstimate { asr, baseline: 1.0 / kf })
+    Ok(AsrEstimate {
+        asr,
+        baseline: 1.0 / kf,
+    })
 }
 
 /// Convenience: the one-shot GRR retention probability (for display next to
@@ -170,7 +196,12 @@ mod tests {
         let (k, ei, e1) = (6usize, 2.0, 1.0);
         let chain = asr_lgrr_first_report(k, ei, e1).unwrap();
         let at_first = asr_grr(k, e1).unwrap();
-        assert!(chain.asr <= at_first.asr + 1e-9, "{} vs {}", chain.asr, at_first.asr);
+        assert!(
+            chain.asr <= at_first.asr + 1e-9,
+            "{} vs {}",
+            chain.asr,
+            at_first.asr
+        );
     }
 
     #[test]

@@ -96,7 +96,11 @@ pub fn dbitflip_change_detection(
         .zip(&detect_given_m)
         .map(|(pm, dm)| pm * dm)
         .sum();
-    Ok(ChangeExposure { prob_m, detect_given_m, expected })
+    Ok(ChangeExposure {
+        prob_m,
+        detect_given_m,
+        expected,
+    })
 }
 
 /// `P(X = j)` for `X` ~ Hypergeometric(population `b`, successes `s`,
@@ -261,16 +265,24 @@ mod tests {
         // background bit is almost surely 0 for every bucket → the same
         // report repeats → fewer exposures. Only the per-bucket memo style
         // exhibits this; the per-class style hides m = 0 changes entirely.
-        let lo = dbitflip_change_detection(64, 1, 0.5, MemoStyle::PerBucket).unwrap().expected;
-        let hi = dbitflip_change_detection(64, 1, 5.0, MemoStyle::PerBucket).unwrap().expected;
+        let lo = dbitflip_change_detection(64, 1, 0.5, MemoStyle::PerBucket)
+            .unwrap()
+            .expected;
+        let hi = dbitflip_change_detection(64, 1, 5.0, MemoStyle::PerBucket)
+            .unwrap()
+            .expected;
         assert!(hi < lo, "eps 5 {hi} should expose less than eps 0.5 {lo}");
     }
 
     #[test]
     fn per_class_is_never_more_exposed_than_per_bucket() {
         for &(b, d, eps) in &[(16u32, 1u32, 1.0f64), (32, 8, 2.0), (64, 64, 0.5)] {
-            let pc = dbitflip_change_detection(b, d, eps, MemoStyle::PerClass).unwrap().expected;
-            let pb = dbitflip_change_detection(b, d, eps, MemoStyle::PerBucket).unwrap().expected;
+            let pc = dbitflip_change_detection(b, d, eps, MemoStyle::PerClass)
+                .unwrap()
+                .expected;
+            let pb = dbitflip_change_detection(b, d, eps, MemoStyle::PerBucket)
+                .unwrap()
+                .expected;
             assert!(pc <= pb + 1e-12, "b={b} d={d}: class {pc} vs bucket {pb}");
         }
     }
@@ -280,7 +292,9 @@ mod tests {
         // The Monte Carlo exercises this workspace's client, which memoizes
         // per class.
         let (k, b, d, eps) = (64u64, 16u32, 8u32, 1.5);
-        let exact = dbitflip_change_detection(b, d, eps, MemoStyle::PerClass).unwrap().expected;
+        let exact = dbitflip_change_detection(b, d, eps, MemoStyle::PerClass)
+            .unwrap()
+            .expected;
         let mut rng = derive_rng(300, 0);
         let trials = 4_000;
         let mut detected = 0u32;
@@ -329,8 +343,7 @@ mod tests {
         let trials = 60_000;
         let (mut flips_change, mut flips_same) = (0u32, 0u32);
         for _ in 0..trials {
-            let mut client =
-                loloha::LolohaClient::new(&family, k, params, &mut rng).unwrap();
+            let mut client = loloha::LolohaClient::new(&family, k, params, &mut rng).unwrap();
             let v1 = ldp_rand::uniform_u64(&mut rng, k);
             let v2 = loop {
                 let c = ldp_rand::uniform_u64(&mut rng, k);
@@ -356,7 +369,9 @@ mod tests {
     fn loloha_exposure_far_below_dbitflip_at_d_b() {
         let params = LolohaParams::bi(1.0, 0.5).unwrap();
         let lo = loloha_change_exposure(params).tv_advantage();
-        let db = dbitflip_change_detection(64, 64, 1.0, MemoStyle::PerClass).unwrap().expected;
+        let db = dbitflip_change_detection(64, 64, 1.0, MemoStyle::PerClass)
+            .unwrap()
+            .expected;
         assert!(lo < db / 5.0, "LOLOHA {lo} vs bBitFlipPM {db}");
     }
 
@@ -367,10 +382,8 @@ mod tests {
         // hash/PRR shields still keep it below 1.
         for &(g, eps) in &[(2u32, 1.0f64), (4, 2.0), (8, 5.0)] {
             let prr = prr_only_change_exposure(g, eps).unwrap();
-            let full = loloha_change_exposure(
-                LolohaParams::with_g(g, eps, 0.5 * eps).unwrap(),
-            )
-            .tv_advantage();
+            let full = loloha_change_exposure(LolohaParams::with_g(g, eps, 0.5 * eps).unwrap())
+                .tv_advantage();
             assert!(prr > full, "g={g}: prr {prr} vs full {full}");
             assert!(prr < 1.0);
         }

@@ -85,7 +85,10 @@ impl Channel {
     /// Validates and wraps a row-major matrix.
     pub fn new(inputs: usize, outputs: usize, rows: Vec<f64>) -> Result<Self, ChannelError> {
         if rows.len() != inputs * outputs {
-            return Err(ChannelError::BadShape { expected: inputs * outputs, got: rows.len() });
+            return Err(ChannelError::BadShape {
+                expected: inputs * outputs,
+                got: rows.len(),
+            });
         }
         for (i, row) in rows.chunks_exact(outputs).enumerate() {
             let sum: f64 = row.iter().sum();
@@ -93,7 +96,11 @@ impl Channel {
                 return Err(ChannelError::NotStochastic { row: i, sum });
             }
         }
-        Ok(Self { inputs, outputs, rows })
+        Ok(Self {
+            inputs,
+            outputs,
+            rows,
+        })
     }
 
     /// The GRR channel over a `k`-ary domain at privacy level ε.
@@ -102,7 +109,11 @@ impl Channel {
             return Err(ParamError::InvalidEpsilon { value: eps }.into());
         }
         if k < 2 {
-            return Err(ParamError::DomainTooSmall { k: k as u64, min: 2 }.into());
+            return Err(ParamError::DomainTooSmall {
+                k: k as u64,
+                min: 2,
+            }
+            .into());
         }
         let (p, q) = grr_params(eps, k as u64);
         Self::symmetric(k, p, q)
@@ -218,7 +229,10 @@ impl Channel {
     /// `Σ_y max_x π(x) · P(y|x)`.
     pub fn asr_with_prior(&self, prior: &[f64]) -> Result<f64, ChannelError> {
         if prior.len() != self.inputs {
-            return Err(ChannelError::BadShape { expected: self.inputs, got: prior.len() });
+            return Err(ChannelError::BadShape {
+                expected: self.inputs,
+                got: prior.len(),
+            });
         }
         let mut total = 0.0;
         for y in 0..self.outputs {
@@ -273,7 +287,10 @@ mod tests {
         let b = Channel::grr(4, 1.0).unwrap();
         assert!(matches!(
             a.compose(&b),
-            Err(ChannelError::IncompatibleCompose { outputs: 3, inputs: 4 })
+            Err(ChannelError::IncompatibleCompose {
+                outputs: 3,
+                inputs: 4
+            })
         ));
     }
 

@@ -66,4 +66,6 @@ pub use change::{
     prr_only_change_exposure, ChangeExposure, MemoStyle,
 };
 pub use channel::Channel;
-pub use linkability::{linkage_accuracy_dbitflip, linkage_accuracy_loloha, pseudonym_collision_probability};
+pub use linkability::{
+    linkage_accuracy_dbitflip, linkage_accuracy_loloha, pseudonym_collision_probability,
+};

@@ -83,7 +83,10 @@ pub fn linkage_accuracy_loloha<R: RngCore + ?Sized>(
             correct += 1;
         }
     }
-    Ok(LinkageAccuracy { accuracy: correct as f64 / trials as f64, trials })
+    Ok(LinkageAccuracy {
+        accuracy: correct as f64 / trials as f64,
+        trials,
+    })
 }
 
 /// Plays the same matching game against dBitFlipPM: memoized one-round
@@ -105,9 +108,15 @@ pub fn linkage_accuracy_dbitflip<R: RngCore + ?Sized>(
         let mut user_b = DBitFlipClient::new(k, b, d, eps_inf, rng)?;
         let value_a = uniform_u64(rng, k);
         let value_b = uniform_u64(rng, k);
-        let reference: Vec<_> = (0..tau).map(|_| user_a.report(value_a, rng).bits.clone()).collect();
-        let cont_same: Vec<_> = (0..tau).map(|_| user_a.report(value_a, rng).bits.clone()).collect();
-        let cont_other: Vec<_> = (0..tau).map(|_| user_b.report(value_b, rng).bits.clone()).collect();
+        let reference: Vec<_> = (0..tau)
+            .map(|_| user_a.report(value_a, rng).bits.clone())
+            .collect();
+        let cont_same: Vec<_> = (0..tau)
+            .map(|_| user_a.report(value_a, rng).bits.clone())
+            .collect();
+        let cont_other: Vec<_> = (0..tau)
+            .map(|_| user_b.report(value_b, rng).bits.clone())
+            .collect();
         // Memoized reports are constant; compare the last reference report
         // to each continuation's first (exact-match linker).
         let anchor = reference.last().expect("tau >= 1");
@@ -117,7 +126,10 @@ pub fn linkage_accuracy_dbitflip<R: RngCore + ?Sized>(
             correct += 1;
         }
     }
-    Ok(LinkageAccuracy { accuracy: correct as f64 / trials as f64, trials })
+    Ok(LinkageAccuracy {
+        accuracy: correct as f64 / trials as f64,
+        trials,
+    })
 }
 
 fn report_histogram<R: RngCore + ?Sized>(

@@ -1,7 +1,7 @@
 //! Property tests for the adversarial-analysis crate.
 
-use ldp_attack::{asr_grr, asr_ue, Channel};
 use ldp_attack::change::{dbitflip_change_detection, loloha_change_exposure};
+use ldp_attack::{asr_grr, asr_ue, Channel};
 use ldp_primitives::params::{grr_params, oue_params};
 use loloha::LolohaParams;
 use proptest::prelude::*;

@@ -24,7 +24,13 @@ fn bench_pem_identify(c: &mut Criterion) {
     };
     let mut rng = derive_rng(1, 1);
     let values: Vec<u64> = (0..4_000)
-        .map(|_| if uniform_f64(&mut rng) < 0.3 { 0x2AA } else { ldp_rand::uniform_u64(&mut rng, 1 << 10) })
+        .map(|_| {
+            if uniform_f64(&mut rng) < 0.3 {
+                0x2AA
+            } else {
+                ldp_rand::uniform_u64(&mut rng, 1 << 10)
+            }
+        })
         .collect();
     group.bench_function("n=4000_bits=10", |b| {
         b.iter(|| {

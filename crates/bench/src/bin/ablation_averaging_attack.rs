@@ -17,12 +17,26 @@ fn main() {
     );
     let mut table = Table::new(["tau", "fresh_noise_%", "memoized_%"]);
     for tau in [1usize, 5, 10, 25, 50, 100, 250] {
-        let fresh =
-            averaging_attack(k, eps_inf, eps_first, tau, trials, Regime::FreshNoise, args.seed)
-                .expect("valid attack config");
-        let memo =
-            averaging_attack(k, eps_inf, eps_first, tau, trials, Regime::Memoized, args.seed)
-                .expect("valid attack config");
+        let fresh = averaging_attack(
+            k,
+            eps_inf,
+            eps_first,
+            tau,
+            trials,
+            Regime::FreshNoise,
+            args.seed,
+        )
+        .expect("valid attack config");
+        let memo = averaging_attack(
+            k,
+            eps_inf,
+            eps_first,
+            tau,
+            trials,
+            Regime::Memoized,
+            args.seed,
+        )
+        .expect("valid attack config");
         table.push_row([
             tau.to_string(),
             format!("{:.1}", 100.0 * fresh),

@@ -115,8 +115,7 @@ fn run_cell(n: usize, tau: u32, eps: f64, p_change: f64, seed: u64) -> (f64, f64
         }
 
         counts.fill(0);
-        for ((client, rng), (pre, &v)) in
-            lol_clients.iter_mut().zip(pres.iter().zip(values.iter()))
+        for ((client, rng), (pre, &v)) in lol_clients.iter_mut().zip(pres.iter().zip(values.iter()))
         {
             let cell = client.report(v as u64, rng);
             for &s in pre.cell(cell) {
@@ -135,7 +134,10 @@ fn run_cell(n: usize, tau: u32, eps: f64, p_change: f64, seed: u64) -> (f64, f64
         .map(|(est, truth)| (est - truth).powi(2))
         .sum::<f64>()
         / tau as f64;
-    let lol_eps_avg =
-        lol_clients.iter().map(|(c, _)| c.privacy_spent()).sum::<f64>() / n as f64;
+    let lol_eps_avg = lol_clients
+        .iter()
+        .map(|(c, _)| c.privacy_spent())
+        .sum::<f64>()
+        / n as f64;
     (ddrm_mse, lol_mse_sum / tau as f64, lol_eps_avg)
 }

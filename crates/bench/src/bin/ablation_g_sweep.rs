@@ -92,9 +92,7 @@ fn run_custom_g(ds: &SynDataset, params: LolohaParams, seed: u64) -> (f64, f64) 
     for _ in 0..ds.tau() {
         let values = data.step();
         counts.fill(0);
-        for ((client, rng), (pre, &v)) in
-            clients.iter_mut().zip(pres.iter().zip(values.iter()))
-        {
+        for ((client, rng), (pre, &v)) in clients.iter_mut().zip(pres.iter().zip(values.iter())) {
             let cell = client.report(v, rng);
             for &s in pre.cell(cell) {
                 counts[s as usize] += 1;
@@ -105,7 +103,6 @@ fn run_custom_g(ds: &SynDataset, params: LolohaParams, seed: u64) -> (f64, f64) 
         let truth = empirical_histogram(values, k);
         mse_sum += ldp_sim::mse(&est, &truth);
     }
-    let eps_avg =
-        clients.iter().map(|(c, _)| c.privacy_spent()).sum::<f64>() / n as f64;
+    let eps_avg = clients.iter().map(|(c, _)| c.privacy_spent()).sum::<f64>() / n as f64;
     (mse_sum / ds.tau() as f64, eps_avg)
 }

@@ -34,7 +34,9 @@ fn main() {
     };
     let threshold = 0.02;
     let law = spec.law();
-    let strong: Vec<u64> = (0..k).filter(|&v| law[v as usize] > 1.5 * threshold).collect();
+    let strong: Vec<u64> = (0..k)
+        .filter(|&v| law[v as usize] > 1.5 * threshold)
+        .collect();
     let noise_floor = 0.5 * threshold;
     println!(
         "# Ablation — heavy hitters on Zipf (k = {k}, n = {}, tau = {}, s = 1.4); \
@@ -44,8 +46,12 @@ fn main() {
         strong.len()
     );
 
-    let mut table =
-        Table::new(["pipeline", "strong_recall", "noise_false_positives", "domain_queried"]);
+    let mut table = Table::new([
+        "pipeline",
+        "strong_recall",
+        "noise_false_positives",
+        "domain_queried",
+    ]);
 
     // ---- Pipeline 1: LOLOHA + NormSub + Kalman + tracker ----
     let params = LolohaParams::optimal(2.0, 1.0).expect("params");
@@ -60,10 +66,9 @@ fn main() {
         ids.push(server.register_user(c.hash_fn()));
         clients.push(c);
     }
-    let mut kalman = KalmanSmoother::new(k as usize, 1e-7, params.variance_approx(n as f64))
-        .expect("filter");
-    let mut tracker =
-        HitterTracker::new(threshold, noise_floor).expect("thresholds");
+    let mut kalman =
+        KalmanSmoother::new(k as usize, 1e-7, params.variance_approx(n as f64)).expect("filter");
+    let mut tracker = HitterTracker::new(threshold, noise_floor).expect("thresholds");
     let mut data = spec.instantiate(args.seed);
     for _ in 0..spec.tau() {
         let values = data.step();
@@ -75,7 +80,15 @@ fn main() {
         tracker.update(&smoothed);
     }
     let tracked: Vec<u64> = tracker.active().collect();
-    push_scores(&mut table, "LOLOHA+NormSub+Kalman+tracker", &tracked, &strong, &law, noise_floor, &format!("{k}/{k}"));
+    push_scores(
+        &mut table,
+        "LOLOHA+NormSub+Kalman+tracker",
+        &tracked,
+        &strong,
+        &law,
+        noise_floor,
+        &format!("{k}/{k}"),
+    );
 
     // ---- Pipeline 2: PEM, one shot on the final round ----
     let pem = Pem {
@@ -88,8 +101,12 @@ fn main() {
     };
     let values = data.step().to_vec();
     let outcome = pem.identify(&values, &mut rng).expect("valid PEM");
-    let found: Vec<u64> =
-        outcome.hitters.iter().filter(|&&(_, f)| f > threshold).map(|&(v, _)| v).collect();
+    let found: Vec<u64> = outcome
+        .hitters
+        .iter()
+        .filter(|&&(_, f)| f > threshold)
+        .map(|&(v, _)| v)
+        .collect();
     push_scores(
         &mut table,
         "PEM (one round)",
@@ -120,7 +137,10 @@ fn push_scores(
     queried: &str,
 ) {
     let strong_hits = strong.iter().filter(|v| found.contains(v)).count();
-    let noise_fp = found.iter().filter(|&&v| law[v as usize] < noise_floor).count();
+    let noise_fp = found
+        .iter()
+        .filter(|&&v| law[v as usize] < noise_floor)
+        .count();
     table.push_row([
         name.to_string(),
         format!("{strong_hits}/{}", strong.len()),

@@ -26,15 +26,7 @@ fn main() {
     );
 
     let mut table = Table::new([
-        "d",
-        "V*_SPL",
-        "V*_SMP",
-        "SMP/SPL",
-        "L1_SPL",
-        "L1_SMP",
-        "L1_RSFD",
-        "cap_SPL",
-        "cap_SMP",
+        "d", "V*_SPL", "V*_SMP", "SMP/SPL", "L1_SPL", "L1_SMP", "L1_RSFD", "cap_SPL", "cap_SMP",
     ]);
     for d in [1usize, 2, 4, 8] {
         let (v_spl, v_smp) = variance_spl_vs_smp(n as f64, d, eps_inf, eps_first).unwrap();
@@ -76,7 +68,13 @@ fn measure(
     // Skewed truth: value 0 with probability 0.5, uniform otherwise.
     let draw = |rng: &mut ldp_rand::LdpRng| -> Vec<u64> {
         (0..d)
-            .map(|_| if uniform_f64(rng) < 0.5 { 0 } else { uniform_u64(rng, k) })
+            .map(|_| {
+                if uniform_f64(rng) < 0.5 {
+                    0
+                } else {
+                    uniform_u64(rng, k)
+                }
+            })
             .collect()
     };
     let mut truth0 = vec![0.0; k as usize];
@@ -104,11 +102,15 @@ fn measure(
         let rsfd = RsfdGrrClient::new(&spec, eps_first, &mut rng).unwrap();
         rsfd_server.ingest(&rsfd.report(&values, &mut rng));
     }
-    let l1 = |est: &[f64]| -> f64 {
-        est.iter().zip(&truth0).map(|(a, b)| (a - b).abs()).sum()
-    };
+    let l1 = |est: &[f64]| -> f64 { est.iter().zip(&truth0).map(|(a, b)| (a - b).abs()).sum() };
     let spl_est = spl_server.estimate_and_reset();
     let smp_est = smp_server.estimate_and_reset();
     let rsfd_est = rsfd_server.estimate_and_reset();
-    (l1(&spl_est[0]), l1(&smp_est[0]), l1(&rsfd_est[0]), cap_spl, cap_smp)
+    (
+        l1(&spl_est[0]),
+        l1(&smp_est[0]),
+        l1(&rsfd_est[0]),
+        cap_spl,
+        cap_smp,
+    )
 }

@@ -42,8 +42,14 @@ fn main() {
     }
     let mut table = Table::new(["stage", "mse_avg", "vs_raw"]);
     let raw = mean(&sums[0]);
-    for (label, series) in
-        ["raw Eq.(3)", "clip >= 0", "NormSub (simplex)", "NormSub + Kalman"].iter().zip(&sums)
+    for (label, series) in [
+        "raw Eq.(3)",
+        "clip >= 0",
+        "NormSub (simplex)",
+        "NormSub + Kalman",
+    ]
+    .iter()
+    .zip(&sums)
     {
         let m = mean(series);
         table.push_row([label.to_string(), fmt_sci(m), format!("{:.2}x", raw / m)]);
@@ -81,8 +87,7 @@ fn run_once(ds: &SynDataset, params: LolohaParams, seed: u64) -> [f64; 4] {
     for _ in 0..ds.tau() {
         let values = data.step();
         counts.fill(0);
-        for ((client, rng), (pre, &v)) in clients.iter_mut().zip(pres.iter().zip(values.iter()))
-        {
+        for ((client, rng), (pre, &v)) in clients.iter_mut().zip(pres.iter().zip(values.iter())) {
             let cell = client.report(v, rng);
             for &s in pre.cell(cell) {
                 counts[s as usize] += 1;

@@ -7,7 +7,9 @@
 //! BiLOLOHA for context — reporting utility (MSE_avg), the longitudinal
 //! budget, and the per-change exposure closed form from `ldp-attack`.
 
-use ldp_attack::{dbitflip_change_detection, loloha_change_exposure, prr_only_change_exposure, MemoStyle};
+use ldp_attack::{
+    dbitflip_change_detection, loloha_change_exposure, prr_only_change_exposure, MemoStyle,
+};
 use ldp_bench::HarnessArgs;
 use ldp_datasets::{empirical_histogram, DatasetSpec, SynDataset};
 use ldp_hash::CarterWegman;
@@ -58,7 +60,9 @@ fn main() {
         format!("{:.1}", b as f64 * eps_inf),
         format!(
             "{:.4}",
-            dbitflip_change_detection(b, b, eps_inf, MemoStyle::PerClass).unwrap().expected
+            dbitflip_change_detection(b, b, eps_inf, MemoStyle::PerClass)
+                .unwrap()
+                .expected
         ),
     ]);
 
@@ -86,8 +90,17 @@ fn main() {
     // Closed-form V* across the paper's ε∞ grid (analysis crate), for the
     // same one-round protocols — the analytical counterpart of the table
     // above.
-    println!("\n# Closed-form V* (n = {}), PRR-only g=2 vs dBitFlipPM b={b}", ds.n());
-    let mut cf = Table::new(["eps_inf", "prr_only_v", "bbit_v", "onebit_v", "cap_ratio_bbit/prr"]);
+    println!(
+        "\n# Closed-form V* (n = {}), PRR-only g=2 vs dBitFlipPM b={b}",
+        ds.n()
+    );
+    let mut cf = Table::new([
+        "eps_inf",
+        "prr_only_v",
+        "bbit_v",
+        "onebit_v",
+        "cap_ratio_bbit/prr",
+    ]);
     for row in ldp_analysis::oneround_rows(ds.n() as f64, b, &ldp_analysis::paper_eps_grid()) {
         cf.push_row([
             format!("{:.1}", row.eps_inf),

@@ -37,8 +37,9 @@ fn main() {
 
     // --- THRESH run ---
     let mut thresh_server = ThreshServer::new(cfg).expect("valid");
-    let mut thresh_clients: Vec<ThreshClient> =
-        (0..n).map(|_| ThreshClient::new(cfg).expect("valid")).collect();
+    let mut thresh_clients: Vec<ThreshClient> = (0..n)
+        .map(|_| ThreshClient::new(cfg).expect("valid"))
+        .collect();
     // --- LOLOHA run ---
     let family = CarterWegman::new(params.g()).expect("valid");
     let mut lol_server = LolohaServer::new(k, params).expect("valid");
@@ -74,8 +75,9 @@ fn main() {
 
         // LOLOHA round.
         counts.fill(0);
-        for ((client, crng), (pre, &v)) in
-            lol_clients.iter_mut().zip(lol_pre.iter().zip(values.iter()))
+        for ((client, crng), (pre, &v)) in lol_clients
+            .iter_mut()
+            .zip(lol_pre.iter().zip(values.iter()))
         {
             let cell = client.report(v, crng);
             for &s in pre.cell(cell) {
@@ -97,9 +99,16 @@ fn main() {
     println!("{}", table.to_csv());
     println!("{}", table.to_markdown());
 
-    let thresh_spent = thresh_clients.iter().map(|c| c.privacy_spent()).sum::<f64>() / n as f64;
-    let lol_spent =
-        lol_clients.iter().map(|(c, _)| c.privacy_spent()).sum::<f64>() / n as f64;
+    let thresh_spent = thresh_clients
+        .iter()
+        .map(|c| c.privacy_spent())
+        .sum::<f64>()
+        / n as f64;
+    let lol_spent = lol_clients
+        .iter()
+        .map(|(c, _)| c.privacy_spent())
+        .sum::<f64>()
+        / n as f64;
     println!("avg spent: THRESH {thresh_spent:.3} / LOLOHA {lol_spent:.3} (both ≤ {total_budget})");
     println!(
         "expected shape: THRESH burns its {} update epochs early under Syn's churn \

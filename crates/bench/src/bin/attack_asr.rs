@@ -45,7 +45,9 @@ fn main() {
         let eps1 = alpha * eps_inf;
         let (sp, sq) = sue_params(eps1);
         let (op, oq) = oue_params(eps1);
-        let rappor = ue_chain_params(UeChain::SueSue, eps_inf, eps1).expect("valid").composed();
+        let rappor = ue_chain_params(UeChain::SueSue, eps_inf, eps1)
+            .expect("valid")
+            .composed();
         let bi = LolohaParams::bi(eps_inf, eps1).expect("valid");
         let olo = LolohaParams::optimal(eps_inf, eps1).expect("valid");
         t1.push_row([
@@ -54,9 +56,18 @@ fn main() {
             format!("{:.4}", asr_ue(k, sp, sq).unwrap().asr),
             format!("{:.4}", asr_ue(k, op, oq).unwrap().asr),
             format!("{:.4}", asr_ue(k, rappor.p, rappor.q).unwrap().asr),
-            format!("{:.4}", asr_lgrr_first_report(k, eps_inf, eps1).unwrap().asr),
-            format!("{:.4}", asr_loloha_first_report(k, bi, 16, &mut rng).unwrap().asr),
-            format!("{:.4}", asr_loloha_first_report(k, olo, 16, &mut rng).unwrap().asr),
+            format!(
+                "{:.4}",
+                asr_lgrr_first_report(k, eps_inf, eps1).unwrap().asr
+            ),
+            format!(
+                "{:.4}",
+                asr_loloha_first_report(k, bi, 16, &mut rng).unwrap().asr
+            ),
+            format!(
+                "{:.4}",
+                asr_loloha_first_report(k, olo, 16, &mut rng).unwrap().asr
+            ),
             format!("{:.4}", 1.0 / k as f64),
         ]);
     }
@@ -64,16 +75,30 @@ fn main() {
     println!("{}", t1.to_markdown());
     println!("expected shape: LOLOHA columns sit near g/k of the GRR column — hash collisions cap the adversary\n");
 
-    println!("# Averaging attack: mode of tau reports of a constant value (k = 4, eps per round = 1)");
+    println!(
+        "# Averaging attack: mode of tau reports of a constant value (k = 4, eps per round = 1)"
+    );
     let trials = if args.paper { 40_000 } else { 8_000 };
-    let mut t2 = Table::new(["tau", "fresh_GRR", "fresh_binary_exact(k=2)", "memoized_PRR+IRR", "memo_ceiling_p1"]);
+    let mut t2 = Table::new([
+        "tau",
+        "fresh_GRR",
+        "fresh_binary_exact(k=2)",
+        "memoized_PRR+IRR",
+        "memo_ceiling_p1",
+    ]);
     let ceiling = ldp_attack::averaging::memoized_attack_ceiling(4, 1.0);
     for tau in [1u32, 5, 15, 45, 135] {
         t2.push_row([
             tau.to_string(),
-            format!("{:.3}", mode_attack_fresh_grr(4, 1.0, tau, trials, &mut rng).unwrap()),
+            format!(
+                "{:.3}",
+                mode_attack_fresh_grr(4, 1.0, tau, trials, &mut rng).unwrap()
+            ),
             format!("{:.3}", rr_majority_success_binary(1.0, tau).unwrap()),
-            format!("{:.3}", mode_attack_memoized(4, 1.0, 1.0, tau, trials, &mut rng).unwrap()),
+            format!(
+                "{:.3}",
+                mode_attack_memoized(4, 1.0, 1.0, tau, trials, &mut rng).unwrap()
+            ),
             format!("{:.3}", ceiling),
         ]);
     }
@@ -96,9 +121,24 @@ fn main() {
         let chain = ue_chain_params(UeChain::SueSue, eps_inf, eps1).expect("valid");
         t3.push_row([
             format!("{eps_inf:.1}"),
-            format!("{:.4}", dbitflip_change_detection(64, 1, eps_inf, MemoStyle::PerClass).unwrap().expected),
-            format!("{:.4}", dbitflip_change_detection(64, 1, eps_inf, MemoStyle::PerBucket).unwrap().expected),
-            format!("{:.4}", dbitflip_change_detection(64, 64, eps_inf, MemoStyle::PerClass).unwrap().expected),
+            format!(
+                "{:.4}",
+                dbitflip_change_detection(64, 1, eps_inf, MemoStyle::PerClass)
+                    .unwrap()
+                    .expected
+            ),
+            format!(
+                "{:.4}",
+                dbitflip_change_detection(64, 1, eps_inf, MemoStyle::PerBucket)
+                    .unwrap()
+                    .expected
+            ),
+            format!(
+                "{:.4}",
+                dbitflip_change_detection(64, 64, eps_inf, MemoStyle::PerClass)
+                    .unwrap()
+                    .expected
+            ),
             format!("{:.4}", loloha_change_exposure(bi).tv_advantage()),
             format!("{:.3}", lue_change_exposure(&chain, 100).unwrap()),
         ]);

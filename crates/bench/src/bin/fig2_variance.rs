@@ -18,7 +18,9 @@ fn main() {
     println!("# Fig. 2 — approximate variance V* (Eq. (5)), n = 10000");
     println!("# one panel per alpha; log-scale y in the paper\n");
 
-    let mut table = Table::new(["alpha", "eps_inf", "L-OSUE", "OLOLOHA", "RAPPOR", "BiLOLOHA"]);
+    let mut table = Table::new([
+        "alpha", "eps_inf", "L-OSUE", "OLOLOHA", "RAPPOR", "BiLOLOHA",
+    ]);
     for r in &rows {
         table.push_row([
             format!("{}", r.alpha),

@@ -30,9 +30,13 @@ fn main() {
     );
     let cells = sweep(&datasets, &methods, &eps_grid, &alphas, &args);
 
-    println!("# Fig. 3 — MSE_avg (Eq. (7)), averaged over {} runs", args.runs);
-    let mut table =
-        Table::new(["dataset", "alpha", "eps_inf", "method", "mse_avg", "mse_std"]);
+    println!(
+        "# Fig. 3 — MSE_avg (Eq. (7)), averaged over {} runs",
+        args.runs
+    );
+    let mut table = Table::new([
+        "dataset", "alpha", "eps_inf", "method", "mse_avg", "mse_std",
+    ]);
     for c in &cells {
         table.push_row([
             c.dataset.to_string(),

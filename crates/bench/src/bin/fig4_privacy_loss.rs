@@ -27,7 +27,10 @@ fn main() {
     );
     let cells = sweep(&datasets, &methods, &eps_grid, &alphas, &args);
 
-    println!("# Fig. 4 — longitudinal privacy loss (Eq. (8)), averaged over {} runs", args.runs);
+    println!(
+        "# Fig. 4 — longitudinal privacy loss (Eq. (8)), averaged over {} runs",
+        args.runs
+    );
     let mut table = Table::new([
         "dataset",
         "alpha",
@@ -45,7 +48,9 @@ fn main() {
             c.method.name().to_string(),
             fmt_sci(c.eps_avg.mean),
             fmt_sci(c.eps_avg.std),
-            c.reduced_domain.map(|g| g.to_string()).unwrap_or_else(|| "-".into()),
+            c.reduced_domain
+                .map(|g| g.to_string())
+                .unwrap_or_else(|| "-".into()),
         ]);
     }
     println!("{}", table.to_csv());

@@ -9,7 +9,12 @@ use ldp_sim::table::Table;
 fn main() {
     let _args = HarnessArgs::parse();
     println!("# Table 1 — theoretical comparison (symbolic)\n");
-    let mut sym = Table::new(["protocol", "comm bits/user/step", "server run-time", "budget"]);
+    let mut sym = Table::new([
+        "protocol",
+        "comm bits/user/step",
+        "server run-time",
+        "budget",
+    ]);
     for r in ldp_analysis::table1_rows(360, 1.0, 0.5, 360, 1) {
         sym.push_row([
             r.protocol.to_string(),
@@ -20,7 +25,12 @@ fn main() {
     }
     println!("{}", sym.to_markdown());
 
-    for (k, label) in [(360u64, "Syn"), (96, "Adult"), (1412, "DB_MT"), (1234, "DB_DE")] {
+    for (k, label) in [
+        (360u64, "Syn"),
+        (96, "Adult"),
+        (1412, "DB_MT"),
+        (1234, "DB_DE"),
+    ] {
         let b = dbit_buckets(k);
         let (eps_inf, eps_first) = (1.0, 0.5);
         println!("\n# instantiated at {label}: k = {k}, b = {b}, d = 1, eps_inf = {eps_inf}\n");

@@ -23,11 +23,20 @@ fn main() {
     );
     let cells = sweep(&datasets, &methods, &eps_grid, &alphas, &args);
 
-    println!("# Table 2 — % users with all change points detected ({} runs)", args.runs);
+    println!(
+        "# Table 2 — % users with all change points detected ({} runs)",
+        args.runs
+    );
     let mut table = Table::new(["eps_inf", "d", "dataset", "detected_%", "std_%"]);
     for c in &cells {
-        let d = if c.method == Method::OneBitFlip { "1" } else { "b" };
-        let s = c.detection.expect("dBitFlip methods always produce detection");
+        let d = if c.method == Method::OneBitFlip {
+            "1"
+        } else {
+            "b"
+        };
+        let s = c
+            .detection
+            .expect("dBitFlip methods always produce detection");
         table.push_row([
             format!("{}", c.eps_inf),
             d.to_string(),

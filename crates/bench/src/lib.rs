@@ -63,7 +63,8 @@ impl HarnessArgs {
         let mut out = Self::default();
         let mut it = args.into_iter();
         let need = |it: &mut dyn Iterator<Item = String>, flag: &str| {
-            it.next().unwrap_or_else(|| usage(&format!("missing value for {flag}")))
+            it.next()
+                .unwrap_or_else(|| usage(&format!("missing value for {flag}")))
         };
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -109,7 +110,9 @@ impl HarnessArgs {
                     .filter(|d| d.name().eq_ignore_ascii_case(name))
                     .collect();
                 if matched.is_empty() {
-                    usage(&format!("unknown dataset {name} (Syn, Adult, DB_MT, DB_DE)"));
+                    usage(&format!(
+                        "unknown dataset {name} (Syn, Adult, DB_MT, DB_DE)"
+                    ));
                 }
                 matched
             }
@@ -126,7 +129,8 @@ impl HarnessArgs {
 }
 
 fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> T {
-    s.parse().unwrap_or_else(|_| usage(&format!("invalid value {s} for {flag}")))
+    s.parse()
+        .unwrap_or_else(|_| usage(&format!("invalid value {s} for {flag}")))
 }
 
 fn usage(err: &str) -> ! {
@@ -185,8 +189,8 @@ pub fn sweep(
                         let cfg = ExperimentConfig::new(method, eps_inf, alpha, seed)
                             .expect("validated grid")
                             .with_threads(args.threads);
-                        let m = run_experiment(dataset.as_ref(), &cfg)
-                            .expect("runnable configuration");
+                        let m =
+                            run_experiment(dataset.as_ref(), &cfg).expect("runnable configuration");
                         mses.push(m.mse_avg);
                         epss.push(m.eps_avg);
                         if let Some(d) = m.detection {
@@ -201,7 +205,11 @@ pub fn sweep(
                         alpha,
                         mse: Summary::of(&mses),
                         eps_avg: Summary::of(&epss),
-                        detection: if dets.is_empty() { None } else { Some(Summary::of(&dets)) },
+                        detection: if dets.is_empty() {
+                            None
+                        } else {
+                            Some(Summary::of(&dets))
+                        },
                         reduced_domain: reduced,
                     });
                 }
@@ -250,7 +258,16 @@ mod tests {
 
     #[test]
     fn flags_override_defaults() {
-        let a = parse(&["--runs", "5", "--seed", "9", "--eps-stride", "2", "--threads", "3"]);
+        let a = parse(&[
+            "--runs",
+            "5",
+            "--seed",
+            "9",
+            "--eps-stride",
+            "2",
+            "--threads",
+            "3",
+        ]);
         assert_eq!(a.runs, 5);
         assert_eq!(a.seed, 9);
         assert_eq!(a.eps_stride, 2);
@@ -268,9 +285,24 @@ mod tests {
 
     #[test]
     fn tiny_sweep_produces_cells() {
-        let a = parse(&["--runs", "2", "--n-frac", "0.02", "--tau-frac", "0.05", "--dataset", "Syn"]);
+        let a = parse(&[
+            "--runs",
+            "2",
+            "--n-frac",
+            "0.02",
+            "--tau-frac",
+            "0.05",
+            "--dataset",
+            "Syn",
+        ]);
         let ds = a.datasets();
-        let cells = sweep(&ds, &[Method::BiLoloha, Method::BBitFlip], &[1.0], &[0.5], &a);
+        let cells = sweep(
+            &ds,
+            &[Method::BiLoloha, Method::BBitFlip],
+            &[1.0],
+            &[0.5],
+            &a,
+        );
         assert_eq!(cells.len(), 2);
         let bi = &cells[0];
         assert_eq!(bi.method, Method::BiLoloha);

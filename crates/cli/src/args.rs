@@ -23,7 +23,9 @@ impl Flags {
         let mut it = argv.iter().peekable();
         while let Some(arg) = it.next() {
             let Some(name) = arg.strip_prefix("--") else {
-                return Err(CliError::new(format!("unexpected positional argument `{arg}`")));
+                return Err(CliError::new(format!(
+                    "unexpected positional argument `{arg}`"
+                )));
             };
             if name.is_empty() {
                 return Err(CliError::new("empty flag `--`"));
@@ -34,7 +36,11 @@ impl Flags {
                 let Some(value) = it.next() else {
                     return Err(CliError::new(format!("flag --{name} requires a value")));
                 };
-                if flags.values.insert(name.to_string(), value.clone()).is_some() {
+                if flags
+                    .values
+                    .insert(name.to_string(), value.clone())
+                    .is_some()
+                {
                     return Err(CliError::new(format!("flag --{name} given twice")));
                 }
             }

@@ -22,27 +22,46 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
 
     let (sp, sq) = sue_params(eps1);
     let (op, oq) = oue_params(eps1);
-    let rappor =
-        ue_chain_params(UeChain::SueSue, eps_inf, eps1).map_err(CliError::new)?.composed();
+    let rappor = ue_chain_params(UeChain::SueSue, eps_inf, eps1)
+        .map_err(CliError::new)?
+        .composed();
     let bi = LolohaParams::bi(eps_inf, eps1).map_err(CliError::new)?;
     let olo = LolohaParams::optimal(eps_inf, eps1).map_err(CliError::new)?;
 
     let rows: Vec<(&str, f64)> = vec![
-        ("GRR one-shot @ eps1", asr_grr(k, eps1).map_err(CliError::new)?.asr),
-        ("SUE one-shot @ eps1", asr_ue(k, sp, sq).map_err(CliError::new)?.asr),
-        ("OUE one-shot @ eps1", asr_ue(k, op, oq).map_err(CliError::new)?.asr),
-        ("RAPPOR first report", asr_ue(k, rappor.p, rappor.q).map_err(CliError::new)?.asr),
+        (
+            "GRR one-shot @ eps1",
+            asr_grr(k, eps1).map_err(CliError::new)?.asr,
+        ),
+        (
+            "SUE one-shot @ eps1",
+            asr_ue(k, sp, sq).map_err(CliError::new)?.asr,
+        ),
+        (
+            "OUE one-shot @ eps1",
+            asr_ue(k, op, oq).map_err(CliError::new)?.asr,
+        ),
+        (
+            "RAPPOR first report",
+            asr_ue(k, rappor.p, rappor.q).map_err(CliError::new)?.asr,
+        ),
         (
             "L-GRR first report",
-            asr_lgrr_first_report(k, eps_inf, eps1).map_err(CliError::new)?.asr,
+            asr_lgrr_first_report(k, eps_inf, eps1)
+                .map_err(CliError::new)?
+                .asr,
         ),
         (
             "BiLOLOHA first report",
-            asr_loloha_first_report(k, bi, samples, &mut rng).map_err(CliError::new)?.asr,
+            asr_loloha_first_report(k, bi, samples, &mut rng)
+                .map_err(CliError::new)?
+                .asr,
         ),
         (
             "OLOLOHA first report",
-            asr_loloha_first_report(k, olo, samples, &mut rng).map_err(CliError::new)?.asr,
+            asr_loloha_first_report(k, olo, samples, &mut rng)
+                .map_err(CliError::new)?
+                .asr,
         ),
     ];
     let baseline = 1.0 / k as f64;
@@ -51,9 +70,14 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
          (random-guess baseline {baseline:.4})\n\n"
     );
     for (name, asr) in rows {
-        out.push_str(&format!("  {name:<24} {asr:.4}   (lift {:.2}x)\n", asr / baseline));
+        out.push_str(&format!(
+            "  {name:<24} {asr:.4}   (lift {:.2}x)\n",
+            asr / baseline
+        ));
     }
-    out.push_str("\nlower is safer; LOLOHA's hash collisions cap the adversary near g/k of GRR's p\n");
+    out.push_str(
+        "\nlower is safer; LOLOHA's hash collisions cap the adversary near g/k of GRR's p\n",
+    );
     Ok(out)
 }
 
@@ -65,7 +89,9 @@ mod tests {
     #[test]
     fn table_lists_all_protocols() {
         let out = run(&argv("--k 50 --eps-inf 2.0 --alpha 0.5")).unwrap();
-        for name in ["GRR", "SUE", "OUE", "RAPPOR", "L-GRR", "BiLOLOHA", "OLOLOHA"] {
+        for name in [
+            "GRR", "SUE", "OUE", "RAPPOR", "L-GRR", "BiLOLOHA", "OLOLOHA",
+        ] {
             assert!(out.contains(name), "missing {name}: {out}");
         }
     }

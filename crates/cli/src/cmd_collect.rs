@@ -57,8 +57,11 @@ pub fn parse_records<R: BufRead>(reader: &mut R) -> Result<Vec<Record>, CliError
                 .parse::<u64>()
                 .map_err(|_| CliError::new(format!("line {lineno}: {what} is not an integer")))
         };
-        let record =
-            Record { round: next("round")?, user: next("user")?, value: next("value")? };
+        let record = Record {
+            round: next("round")?,
+            user: next("user")?,
+            value: next("value")?,
+        };
         if parts.next().is_some() {
             return Err(CliError::new(format!("line {lineno}: expected 3 fields")));
         }
@@ -85,7 +88,9 @@ pub fn run<R: BufRead>(argv: &[String], input: &mut R) -> Result<String, CliErro
 
     let records = parse_records(input)?;
     if records.is_empty() {
-        return Err(CliError::new("no input records (expected `round,user,value` lines)"));
+        return Err(CliError::new(
+            "no input records (expected `round,user,value` lines)",
+        ));
     }
     for r in &records {
         if r.value >= k {
@@ -109,8 +114,7 @@ pub fn run<R: BufRead>(argv: &[String], input: &mut R) -> Result<String, CliErro
         entries.push((r.user, r.value));
     }
 
-    let family = CarterWegman::new(params.g())
-        .ok_or_else(|| CliError::new("invalid g"))?;
+    let family = CarterWegman::new(params.g()).ok_or_else(|| CliError::new("invalid g"))?;
     let mut server = LolohaServer::new(k, params).map_err(CliError::new)?;
     let mut clients: BTreeMap<u64, (LolohaClient<ldp_hash::CwHash>, loloha::server::UserId)> =
         BTreeMap::new();
@@ -178,7 +182,14 @@ mod tests {
         let mut src = input("round,user,value\n# comment\n\n0,1,5\n0,2,6\n1,1,5\n");
         let records = parse_records(&mut src).unwrap();
         assert_eq!(records.len(), 3);
-        assert_eq!(records[0], Record { round: 0, user: 1, value: 5 });
+        assert_eq!(
+            records[0],
+            Record {
+                round: 0,
+                user: 1,
+                value: 5
+            }
+        );
     }
 
     #[test]
@@ -219,8 +230,7 @@ mod tests {
 
     #[test]
     fn duplicate_user_round_is_an_error() {
-        let err =
-            run(&argv("--k 4 --eps-inf 1.0"), &mut input("0,1,2\n0,1,3\n")).unwrap_err();
+        let err = run(&argv("--k 4 --eps-inf 1.0"), &mut input("0,1,2\n0,1,3\n")).unwrap_err();
         assert!(err.message.contains("twice"), "{err}");
     }
 

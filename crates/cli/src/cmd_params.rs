@@ -25,7 +25,11 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     };
 
     let mut out = String::new();
-    let name = if params.g() == 2 { "BiLOLOHA" } else { "LOLOHA" };
+    let name = if params.g() == 2 {
+        "BiLOLOHA"
+    } else {
+        "LOLOHA"
+    };
     out.push_str(&format!(
         "{name} parameters for eps_inf = {eps_inf}, eps_1 = {eps_first} (alpha = {alpha})\n\n"
     ));
@@ -34,7 +38,10 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "  optimal g (Eq. 6)      : {}\n",
         optimal_g(eps_inf, eps_first)
     ));
-    out.push_str(&format!("  eps_IRR (Alg. 1 l.3)   : {:.6}\n", params.eps_irr()));
+    out.push_str(&format!(
+        "  eps_IRR (Alg. 1 l.3)   : {:.6}\n",
+        params.eps_irr()
+    ));
     out.push_str(&format!(
         "  PRR pair (p1, q1)      : ({:.6}, {:.6})\n",
         params.prr().p,
@@ -57,7 +64,10 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "  longitudinal cap       : {:.3} (= g * eps_inf, Thm. 3.5)\n",
         params.budget_cap()
     ));
-    out.push_str(&format!("  report size            : {} bit(s)\n", params.comm_bits()));
+    out.push_str(&format!(
+        "  report size            : {} bit(s)\n",
+        params.comm_bits()
+    ));
     Ok(out)
 }
 
@@ -78,7 +88,10 @@ mod tests {
         let out = run(&argv("--eps-inf 5.0 --alpha 0.6 --optimal")).unwrap();
         let g = optimal_g(5.0, 3.0);
         assert!(g > 2, "low privacy regime should pick g > 2");
-        assert!(out.contains(&format!("g (reduced domain)     : {g}")), "{out}");
+        assert!(
+            out.contains(&format!("g (reduced domain)     : {g}")),
+            "{out}"
+        );
     }
 
     #[test]

@@ -48,7 +48,10 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     let (n_frac, tau_frac) = if flags.switch("paper") {
         (1.0, 1.0)
     } else {
-        (flags.f64_or("n-frac", 0.10)?, flags.f64_or("tau-frac", 0.25)?)
+        (
+            flags.f64_or("n-frac", 0.10)?,
+            flags.f64_or("tau-frac", 0.25)?,
+        )
     };
     let ds = find_dataset(flags.required("dataset")?, n_frac, tau_frac)?;
 
@@ -84,7 +87,10 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     out.push_str(&format!("  eps_avg (Eq. 8)        : {:.4}\n", mean(&eps)));
     out.push_str(&format!("  eps_max (worst user)   : {eps_max:.4}\n"));
     if let Some(rate) = detection {
-        out.push_str(&format!("  full-detection rate    : {:.4}% (Table 2 metric)\n", rate * 100.0));
+        out.push_str(&format!(
+            "  full-detection rate    : {:.4}% (Table 2 metric)\n",
+            rate * 100.0
+        ));
     }
     Ok(out)
 }

@@ -37,7 +37,9 @@ pub struct CliError {
 impl CliError {
     /// Builds an error from anything printable.
     pub fn new(message: impl fmt::Display) -> Self {
-        Self { message: message.to_string() }
+        Self {
+            message: message.to_string(),
+        }
     }
 }
 
@@ -78,6 +80,8 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "collect" => cmd_collect::run(rest, &mut std::io::stdin().lock()),
         "asr" => cmd_asr::run(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
-        other => Err(CliError::new(format!("unknown subcommand `{other}`\n\n{USAGE}"))),
+        other => Err(CliError::new(format!(
+            "unknown subcommand `{other}`\n\n{USAGE}"
+        ))),
     }
 }

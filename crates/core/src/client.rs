@@ -93,7 +93,11 @@ impl<H: SeededHash + Clone> LolohaClient<H> {
     /// # Panics
     /// Panics if `value >= k`.
     pub fn report<R: RngCore + ?Sized>(&mut self, value: u64, rng: &mut R) -> u32 {
-        assert!(value < self.k, "value {value} outside domain of size {}", self.k);
+        assert!(
+            value < self.k,
+            "value {value} outside domain of size {}",
+            self.k
+        );
         let x = self.hash.hash(value);
         self.accountant.observe(x);
         let memoized = match self.memo.get(x) {

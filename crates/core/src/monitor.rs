@@ -71,7 +71,13 @@ impl FrequencyMonitor {
                 / 2.0
         });
         self.previous = Some(histogram.clone());
-        RoundEstimate { histogram, n, params: self.params, k: self.k, drift }
+        RoundEstimate {
+            histogram,
+            n,
+            params: self.params,
+            k: self.k,
+            drift,
+        }
     }
 }
 
@@ -94,8 +100,12 @@ pub struct RoundEstimate {
 impl RoundEstimate {
     /// The `top` values by estimated frequency, descending (heavy hitters).
     pub fn top_k(&self, top: usize) -> Vec<(u64, f64)> {
-        let mut ranked: Vec<(u64, f64)> =
-            self.histogram.iter().enumerate().map(|(v, &f)| (v as u64, f)).collect();
+        let mut ranked: Vec<(u64, f64)> = self
+            .histogram
+            .iter()
+            .enumerate()
+            .map(|(v, &f)| (v as u64, f))
+            .collect();
         ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite estimates"));
         ranked.truncate(top);
         ranked
@@ -124,7 +134,11 @@ impl RoundEstimate {
     /// the paper's telemetry motivation ("number of seconds an application
     /// is used") reads the mean straight off the histogram.
     pub fn mean_of(&self, value: impl Fn(u64) -> f64) -> f64 {
-        self.histogram.iter().enumerate().map(|(v, &f)| value(v as u64) * f).sum()
+        self.histogram
+            .iter()
+            .enumerate()
+            .map(|(v, &f)| value(v as u64) * f)
+            .sum()
     }
 }
 
@@ -160,7 +174,13 @@ mod tests {
         // 70% of users hold value 4, the rest uniform.
         let mut rng = derive_rng(800, 0);
         let values: Vec<u64> = (0..8000)
-            .map(|i| if i % 10 < 7 { 4 } else { uniform_u64(&mut rng, k) })
+            .map(|i| {
+                if i % 10 < 7 {
+                    4
+                } else {
+                    uniform_u64(&mut rng, k)
+                }
+            })
             .collect();
         let est = collect_round(&mut monitor, &values, 801, k, params);
         let top = est.top_k(3);
@@ -179,7 +199,10 @@ mod tests {
             k: 10,
             drift: None,
         };
-        let large = RoundEstimate { n: 100_000, ..small.clone() };
+        let large = RoundEstimate {
+            n: 100_000,
+            ..small.clone()
+        };
         assert!(large.confidence_radius(0.05) < small.confidence_radius(0.05));
     }
 

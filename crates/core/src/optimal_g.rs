@@ -20,9 +20,7 @@ use ldp_primitives::estimator::chained_variance_approx;
 pub fn optimal_g(eps_inf: f64, eps_first: f64) -> u32 {
     let a = eps_inf.exp();
     let b = eps_first.exp();
-    let disc = a.powi(4) - 14.0 * a * a + 12.0 * a * b * (1.0 - a * b)
-        + 12.0 * a.powi(3) * b
-        + 1.0;
+    let disc = a.powi(4) - 14.0 * a * a + 12.0 * a * b * (1.0 - a * b) + 12.0 * a.powi(3) * b + 1.0;
     // The discriminant is positive for all 0 < ε1 < ε∞ of practical
     // interest; clamp defensively so NaN can never escape.
     let root = disc.max(0.0).sqrt();

@@ -51,7 +51,14 @@ impl LolohaParams {
         let gf = g as f64;
         let prr = PerturbParams::new(a / (a + gf - 1.0), 1.0 / (a + gf - 1.0))?;
         let irr = PerturbParams::new(c / (c + gf - 1.0), 1.0 / (c + gf - 1.0))?;
-        Ok(Self { g, eps_inf, eps_first, eps_irr, prr, irr })
+        Ok(Self {
+            g,
+            eps_inf,
+            eps_first,
+            eps_irr,
+            prr,
+            irr,
+        })
     }
 
     /// The reduced domain size `g`.

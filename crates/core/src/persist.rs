@@ -189,7 +189,11 @@ mod tests {
     fn rejects_truncated() {
         let bytes = save_client(&make_client(1003));
         for cut in [0usize, 3, 5, 20, bytes.len() - 1] {
-            assert_eq!(load_client(&bytes[..cut]).err(), Some(PersistError::Truncated), "cut {cut}");
+            assert_eq!(
+                load_client(&bytes[..cut]).err(),
+                Some(PersistError::Truncated),
+                "cut {cut}"
+            );
         }
     }
 
@@ -200,7 +204,10 @@ mod tests {
         bad[0] = b'X';
         assert_eq!(load_client(&bad).err(), Some(PersistError::BadMagic));
         bytes[4] = 9; // version 9
-        assert!(matches!(load_client(&bytes), Err(PersistError::UnsupportedVersion(_))));
+        assert!(matches!(
+            load_client(&bytes),
+            Err(PersistError::UnsupportedVersion(_))
+        ));
     }
 
     #[test]
@@ -223,6 +230,9 @@ mod tests {
         let mut bytes = save_client(&client);
         // eps_inf field starts at 4 + 2 + 4 + 8 = 18; NaN it.
         bytes[18..26].copy_from_slice(&f64::NAN.to_le_bytes());
-        assert_eq!(load_client(&bytes).err(), Some(PersistError::Corrupt("invalid budgets")));
+        assert_eq!(
+            load_client(&bytes).err(),
+            Some(PersistError::Corrupt("invalid budgets"))
+        );
     }
 }

@@ -98,7 +98,11 @@ impl<H: SeededHash + Clone> PrrOnlyClient<H> {
     /// # Panics
     /// Panics if `value >= k`.
     pub fn report<R: RngCore + ?Sized>(&mut self, value: u64, rng: &mut R) -> u32 {
-        assert!(value < self.k, "value {value} outside domain of size {}", self.k);
+        assert!(
+            value < self.k,
+            "value {value} outside domain of size {}",
+            self.k
+        );
         let x = self.hash.hash(value);
         self.accountant.observe(x);
         match self.memo.get(x) {
@@ -152,7 +156,14 @@ impl PrrOnlyServer {
             return Err(ParamError::InvalidG { g });
         }
         let grr = Grr::new(g as u64, eps_inf)?;
-        Ok(Self { k, g, p: grr.p(), preimages: Vec::new(), counts: vec![0; k as usize], n_step: 0 })
+        Ok(Self {
+            k,
+            g,
+            p: grr.p(),
+            preimages: Vec::new(),
+            counts: vec![0; k as usize],
+            n_step: 0,
+        })
     }
 
     /// Registers a user's hash function; returns their id.
@@ -254,7 +265,11 @@ mod tests {
             let mut c = PrrOnlyClient::new(&family, k, eps, &mut rng).unwrap();
             let id = server.register_user(c.hash_fn());
             // 60% hold value 3, the rest uniform.
-            let v = if uniform_u64(&mut rng, 10) < 6 { 3 } else { uniform_u64(&mut rng, k) };
+            let v = if uniform_u64(&mut rng, 10) < 6 {
+                3
+            } else {
+                uniform_u64(&mut rng, k)
+            };
             server.ingest(id, c.report(v, &mut rng));
         }
         let est = server.estimate_and_reset();

@@ -34,7 +34,13 @@ impl LolohaServer {
         if k < 2 {
             return Err(ParamError::DomainTooSmall { k, min: 2 });
         }
-        Ok(Self { k, params, preimages: Vec::new(), counts: vec![0; k as usize], n_step: 0 })
+        Ok(Self {
+            k,
+            params,
+            preimages: Vec::new(),
+            counts: vec![0; k as usize],
+            n_step: 0,
+        })
     }
 
     /// Registers a user's hash function (Algorithm 1's "Send H"), inverting
@@ -124,8 +130,10 @@ mod tests {
         let mut clients: Vec<_> = (0..n)
             .map(|_| LolohaClient::new(&family, k, params, &mut rng).unwrap())
             .collect();
-        let ids: Vec<UserId> =
-            clients.iter().map(|c| server.register_user(c.hash_fn())).collect();
+        let ids: Vec<UserId> = clients
+            .iter()
+            .map(|c| server.register_user(c.hash_fn()))
+            .collect();
         let mut values: Vec<u64> = (0..n).map(|_| alias.sample(&mut rng) as u64).collect();
         let mut est = vec![0.0; k as usize];
         for _ in 0..tau {

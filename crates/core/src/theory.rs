@@ -105,8 +105,7 @@ mod tests {
         let a = params.eps_inf().exp();
         let cexp = params.eps_irr().exp();
         let g = 4.0;
-        let expected_peak =
-            (a * cexp + g - 1.0) / ((a + g - 1.0) * (cexp + g - 1.0));
+        let expected_peak = (a * cexp + g - 1.0) / ((a + g - 1.0) * (cexp + g - 1.0));
         assert!(
             (p_peak - expected_peak).abs() < 0.005,
             "peak {p_peak} vs analytic {expected_peak}"
@@ -147,8 +146,10 @@ mod tests {
             let mut clients: Vec<_> = (0..n)
                 .map(|_| LolohaClient::new(&family, k, params, &mut rng).unwrap())
                 .collect();
-            let ids: Vec<_> =
-                clients.iter().map(|c| server.register_user(c.hash_fn())).collect();
+            let ids: Vec<_> = clients
+                .iter()
+                .map(|c| server.register_user(c.hash_fn()))
+                .collect();
             for (u, (client, &id)) in clients.iter_mut().zip(&ids).enumerate() {
                 let v = (u as u64) % k; // uniform ground truth
                 let cell = client.report(v, &mut rng);

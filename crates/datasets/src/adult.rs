@@ -29,7 +29,10 @@ const K: u64 = 96;
 impl AdultLikeDataset {
     /// The paper's configuration: k = 96, n = 45 222, τ = 260.
     pub fn paper() -> Self {
-        Self { n: 45_222, tau: 260 }
+        Self {
+            n: 45_222,
+            tau: 260,
+        }
     }
 
     /// A custom (n, τ).

@@ -31,12 +31,24 @@ pub struct FolkLikeDataset {
 impl FolkLikeDataset {
     /// DB_MT: the Montana 2018 configuration (k = 1412, n = 10 336, τ = 80).
     pub fn montana() -> Self {
-        Self { name: "DB_MT", k: 1412, n: 10_336, tau: 80, walk_frac: 0.004 }
+        Self {
+            name: "DB_MT",
+            k: 1412,
+            n: 10_336,
+            tau: 80,
+            walk_frac: 0.004,
+        }
     }
 
     /// DB_DE: the Delaware 2018 configuration (k = 1234, n = 9 123, τ = 80).
     pub fn delaware() -> Self {
-        Self { name: "DB_DE", k: 1234, n: 9_123, tau: 80, walk_frac: 0.004 }
+        Self {
+            name: "DB_DE",
+            k: 1234,
+            n: 9_123,
+            tau: 80,
+            walk_frac: 0.004,
+        }
     }
 
     /// A custom configuration.
@@ -44,9 +56,18 @@ impl FolkLikeDataset {
     /// # Panics
     /// Panics on degenerate shapes.
     pub fn new(name: &'static str, k: u64, n: usize, tau: usize, walk_frac: f64) -> Self {
-        assert!(k >= 2 && n >= 1 && tau >= 1, "degenerate Folk configuration");
+        assert!(
+            k >= 2 && n >= 1 && tau >= 1,
+            "degenerate Folk configuration"
+        );
         assert!(walk_frac >= 0.0, "walk fraction must be non-negative");
-        Self { name, k, n, tau, walk_frac }
+        Self {
+            name,
+            k,
+            n,
+            tau,
+            walk_frac,
+        }
     }
 
     /// Shrinks `n` and `tau` by the given fractions (k unchanged).
@@ -78,6 +99,7 @@ impl DatasetSpec for FolkLikeDataset {
 
     fn instantiate(&self, seed: u64) -> Box<dyn EvolvingData> {
         let mut rng = derive_rng(seed ^ 0x46_4F_4C_4B, 2); // "FOLK"
+
         // Log-normal base ranks: median around k/6, long right tail —
         // the shape of person weights.
         let base = LogNormal::new((self.k as f64 / 6.0).ln(), 0.6).expect("valid");
@@ -156,8 +178,11 @@ mod tests {
         let b = data.step().to_vec();
         let k = spec.k() as f64;
         // Median absolute move should be well under 2% of the domain.
-        let mut moves: Vec<f64> =
-            a.iter().zip(&b).map(|(&x, &y)| (x as f64 - y as f64).abs() / k).collect();
+        let mut moves: Vec<f64> = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| (x as f64 - y as f64).abs() / k)
+            .collect();
         moves.sort_by(|p, q| p.partial_cmp(q).unwrap());
         let median = moves[moves.len() / 2];
         assert!(median < 0.02, "median move {median}");

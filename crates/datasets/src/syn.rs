@@ -21,7 +21,12 @@ pub struct SynDataset {
 impl SynDataset {
     /// The paper's configuration: k = 360, n = 10 000, τ = 120, p_ch = 0.25.
     pub fn paper() -> Self {
-        Self { k: 360, n: 10_000, tau: 120, p_change: 0.25 }
+        Self {
+            k: 360,
+            n: 10_000,
+            tau: 120,
+            p_change: 0.25,
+        }
     }
 
     /// A custom configuration.
@@ -30,8 +35,16 @@ impl SynDataset {
     /// Panics unless `k ≥ 2`, `n ≥ 1`, `tau ≥ 1` and `p_change ∈ [0, 1]`.
     pub fn new(k: u64, n: usize, tau: usize, p_change: f64) -> Self {
         assert!(k >= 2 && n >= 1 && tau >= 1, "degenerate Syn configuration");
-        assert!((0.0..=1.0).contains(&p_change), "p_change must be a probability");
-        Self { k, n, tau, p_change }
+        assert!(
+            (0.0..=1.0).contains(&p_change),
+            "p_change must be a probability"
+        );
+        Self {
+            k,
+            n,
+            tau,
+            p_change,
+        }
     }
 
     /// Shrinks `n` and `tau` by the given fractions (k unchanged).
@@ -84,8 +97,9 @@ struct SynData {
 impl EvolvingData for SynData {
     fn step(&mut self) -> &[u64] {
         if self.values.is_empty() {
-            self.values =
-                (0..self.spec.n).map(|_| uniform_u64(&mut self.rng, self.spec.k)).collect();
+            self.values = (0..self.spec.n)
+                .map(|_| uniform_u64(&mut self.rng, self.spec.k))
+                .collect();
         } else {
             for v in &mut self.values {
                 if uniform_f64(&mut self.rng) < self.spec.p_change {

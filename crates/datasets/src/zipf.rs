@@ -31,7 +31,13 @@ impl ZipfDataset {
     /// A web-domain-like default: k = 1 000, n = 20 000, τ = 60, s = 1.1,
     /// 10% churn per round.
     pub fn web() -> Self {
-        Self { k: 1_000, n: 20_000, tau: 60, exponent: 1.1, p_change: 0.10 }
+        Self {
+            k: 1_000,
+            n: 20_000,
+            tau: 60,
+            exponent: 1.1,
+            p_change: 0.10,
+        }
     }
 
     /// A custom configuration.
@@ -40,10 +46,25 @@ impl ZipfDataset {
     /// Panics unless `k ≥ 2`, `n ≥ 1`, `tau ≥ 1`, `exponent > 0` and
     /// `p_change ∈ [0, 1]`.
     pub fn new(k: u64, n: usize, tau: usize, exponent: f64, p_change: f64) -> Self {
-        assert!(k >= 2 && n >= 1 && tau >= 1, "degenerate Zipf configuration");
-        assert!(exponent > 0.0 && exponent.is_finite(), "exponent must be positive");
-        assert!((0.0..=1.0).contains(&p_change), "p_change must be a probability");
-        Self { k, n, tau, exponent, p_change }
+        assert!(
+            k >= 2 && n >= 1 && tau >= 1,
+            "degenerate Zipf configuration"
+        );
+        assert!(
+            exponent > 0.0 && exponent.is_finite(),
+            "exponent must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&p_change),
+            "p_change must be a probability"
+        );
+        Self {
+            k,
+            n,
+            tau,
+            exponent,
+            p_change,
+        }
     }
 
     /// Shrinks `n` and `tau` by the given fractions (k unchanged).
@@ -57,8 +78,9 @@ impl ZipfDataset {
 
     /// The exact population law: `P(rank r) = r^{−s} / H_{k,s}`.
     pub fn law(&self) -> Vec<f64> {
-        let mut weights: Vec<f64> =
-            (1..=self.k).map(|r| (r as f64).powf(-self.exponent)).collect();
+        let mut weights: Vec<f64> = (1..=self.k)
+            .map(|r| (r as f64).powf(-self.exponent))
+            .collect();
         let total: f64 = weights.iter().sum();
         for w in &mut weights {
             *w /= total;
@@ -105,8 +127,9 @@ struct ZipfData {
 impl EvolvingData for ZipfData {
     fn step(&mut self) -> &[u64] {
         if self.values.is_empty() {
-            self.values =
-                (0..self.spec.n).map(|_| self.sampler.sample(&mut self.rng) as u64).collect();
+            self.values = (0..self.spec.n)
+                .map(|_| self.sampler.sample(&mut self.rng) as u64)
+                .collect();
         } else {
             for v in &mut self.values {
                 if uniform_f64(&mut self.rng) < self.spec.p_change {
@@ -156,7 +179,12 @@ mod tests {
             data.step();
         }
         let hist = empirical_histogram(data.step(), 20);
-        assert!((hist[0] - law[0]).abs() < 0.01, "head: {} vs {}", hist[0], law[0]);
+        assert!(
+            (hist[0] - law[0]).abs() < 0.01,
+            "head: {} vs {}",
+            hist[0],
+            law[0]
+        );
     }
 
     #[test]

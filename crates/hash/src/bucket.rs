@@ -40,7 +40,11 @@ impl BucketMapper {
     /// Panics if `value >= k` (a domain violation is a caller bug).
     #[inline]
     pub fn bucket(&self, value: u64) -> u32 {
-        assert!(value < self.k, "value {value} outside domain of size {}", self.k);
+        assert!(
+            value < self.k,
+            "value {value} outside domain of size {}",
+            self.k
+        );
         // floor(value · b / k): monotone, covers all buckets, widths differ
         // by at most one element.
         ((value as u128 * self.b as u128) / self.k as u128) as u32

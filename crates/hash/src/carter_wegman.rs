@@ -123,11 +123,7 @@ mod tests {
             (u128::from(u64::MAX) * u128::from(u64::MAX)) >> 6,
         ];
         for &x in &cases {
-            assert_eq!(
-                mod_mersenne(x) as u128,
-                x % MERSENNE_P as u128,
-                "x = {x}"
-            );
+            assert_eq!(mod_mersenne(x) as u128, x % MERSENNE_P as u128, "x = {x}");
         }
     }
 

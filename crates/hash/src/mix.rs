@@ -32,7 +32,10 @@ impl UniversalFamily for MixFamily {
     }
 
     fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> MixHash {
-        MixHash { seed: rng.next_u64(), g: self.g }
+        MixHash {
+            seed: rng.next_u64(),
+            g: self.g,
+        }
     }
 }
 

@@ -1,6 +1,8 @@
 //! Property-based tests for the hash substrate.
 
-use ldp_hash::{BucketMapper, CarterWegman, CwHash, MixFamily, MixHash, Preimages, SeededHash, UniversalFamily};
+use ldp_hash::{
+    BucketMapper, CarterWegman, CwHash, MixFamily, MixHash, Preimages, SeededHash, UniversalFamily,
+};
 use ldp_rand::derive_rng;
 use proptest::prelude::*;
 

@@ -61,15 +61,20 @@ impl Pem {
     /// Validates the configuration.
     pub fn validate(&self) -> Result<(), ParamError> {
         ldp_primitives::error::check_epsilon(self.eps)?;
-        if self.bits == 0 || self.bits > 62 || self.start_bits == 0 || self.start_bits > self.bits
-        {
-            return Err(ParamError::DomainTooSmall { k: self.bits as u64, min: 1 });
+        if self.bits == 0 || self.bits > 62 || self.start_bits == 0 || self.start_bits > self.bits {
+            return Err(ParamError::DomainTooSmall {
+                k: self.bits as u64,
+                min: 1,
+            });
         }
         if self.step_bits == 0 {
             return Err(ParamError::DomainTooSmall { k: 0, min: 1 });
         }
         if self.max_candidates == 0 || !(0.0..1.0).contains(&self.threshold) {
-            return Err(ParamError::InvalidProbability { p: self.threshold, q: 0.0 });
+            return Err(ParamError::InvalidProbability {
+                p: self.threshold,
+                q: 0.0,
+            });
         }
         Ok(())
     }
@@ -131,27 +136,33 @@ impl Pem {
             survivors = candidates
                 .iter()
                 .map(|&c| {
-                    let support = reports
-                        .iter()
-                        .filter(|r| r.hash.hash(c) == r.cell)
-                        .count() as f64;
+                    let support =
+                        reports.iter().filter(|r| r.hash.hash(c) == r.cell).count() as f64;
                     (c, frequency_estimate(support, n, p, 1.0 / g))
                 })
                 .filter(|&(_, est)| est >= self.threshold)
                 .collect();
             survivors.sort_by(|a, b| {
-                b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+                b.1.partial_cmp(&a.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.0.cmp(&b.0))
             });
             survivors.truncate(self.max_candidates);
             if grp + 1 < l {
                 let extend = lens[grp + 1] - len;
                 candidates = survivors
                     .iter()
-                    .flat_map(|&(c, _)| (0..(1u64 << extend)).map(move |suffix| (c << extend) | suffix))
+                    .flat_map(|&(c, _)| {
+                        (0..(1u64 << extend)).map(move |suffix| (c << extend) | suffix)
+                    })
                     .collect();
             }
         }
-        Ok(PemOutcome { hitters: survivors, levels: l, candidates_queried: queried })
+        Ok(PemOutcome {
+            hitters: survivors,
+            levels: l,
+            candidates_queried: queried,
+        })
     }
 }
 
@@ -174,9 +185,18 @@ mod tests {
     #[test]
     fn levels_cover_start_to_full_width() {
         assert_eq!(base_config().levels(), vec![4, 8, 12]);
-        let uneven = Pem { bits: 10, start_bits: 4, step_bits: 4, ..base_config() };
+        let uneven = Pem {
+            bits: 10,
+            start_bits: 4,
+            step_bits: 4,
+            ..base_config()
+        };
         assert_eq!(uneven.levels(), vec![4, 8, 10]);
-        let single = Pem { bits: 4, start_bits: 4, ..base_config() };
+        let single = Pem {
+            bits: 4,
+            start_bits: 4,
+            ..base_config()
+        };
         assert_eq!(single.levels(), vec![4]);
     }
 
@@ -203,11 +223,18 @@ mod tests {
         let outcome = cfg.identify(&values, &mut rng).unwrap();
         let found: Vec<u64> = outcome.hitters.iter().map(|&(v, _)| v).collect();
         for h in heavy {
-            assert!(found.contains(&h), "missing hitter {h:#x}; found {found:x?}");
+            assert!(
+                found.contains(&h),
+                "missing hitter {h:#x}; found {found:x?}"
+            );
         }
         // The dominant value should rank first with a sane estimate.
         assert_eq!(outcome.hitters[0].0, 0xABC);
-        assert!((outcome.hitters[0].1 - 0.25).abs() < 0.08, "est {}", outcome.hitters[0].1);
+        assert!(
+            (outcome.hitters[0].1 - 0.25).abs() < 0.08,
+            "est {}",
+            outcome.hitters[0].1
+        );
     }
 
     #[test]
@@ -227,7 +254,10 @@ mod tests {
 
     #[test]
     fn uniform_noise_produces_no_confident_hitters() {
-        let cfg = Pem { threshold: 0.1, ..base_config() };
+        let cfg = Pem {
+            threshold: 0.1,
+            ..base_config()
+        };
         let mut rng = derive_rng(502, 0);
         let values: Vec<u64> = (0..8_000).map(|_| uniform_u64(&mut rng, 1 << 12)).collect();
         let outcome = cfg.identify(&values, &mut rng).unwrap();
@@ -240,24 +270,75 @@ mod tests {
 
     #[test]
     fn max_candidates_caps_survivors() {
-        let cfg = Pem { max_candidates: 2, threshold: 0.0, ..base_config() };
+        let cfg = Pem {
+            max_candidates: 2,
+            threshold: 0.0,
+            ..base_config()
+        };
         let mut rng = derive_rng(503, 0);
-        let values: Vec<u64> = (0..4_000).map(|u| if u % 2 == 0 { 0x111 } else { 0x999 }).collect();
+        let values: Vec<u64> = (0..4_000)
+            .map(|u| if u % 2 == 0 { 0x111 } else { 0x999 })
+            .collect();
         let outcome = cfg.identify(&values, &mut rng).unwrap();
         assert!(outcome.hitters.len() <= 2);
     }
 
     #[test]
     fn invalid_configs_are_rejected() {
-        assert!(Pem { eps: 0.0, ..base_config() }.validate().is_err());
-        assert!(Pem { bits: 0, ..base_config() }.validate().is_err());
-        assert!(Pem { bits: 63, ..base_config() }.validate().is_err());
-        assert!(Pem { start_bits: 0, ..base_config() }.validate().is_err());
-        assert!(Pem { start_bits: 13, ..base_config() }.validate().is_err());
-        assert!(Pem { step_bits: 0, ..base_config() }.validate().is_err());
-        assert!(Pem { max_candidates: 0, ..base_config() }.validate().is_err());
-        assert!(Pem { threshold: 1.0, ..base_config() }.validate().is_err());
-        assert!(Pem { threshold: -0.1, ..base_config() }.validate().is_err());
+        assert!(Pem {
+            eps: 0.0,
+            ..base_config()
+        }
+        .validate()
+        .is_err());
+        assert!(Pem {
+            bits: 0,
+            ..base_config()
+        }
+        .validate()
+        .is_err());
+        assert!(Pem {
+            bits: 63,
+            ..base_config()
+        }
+        .validate()
+        .is_err());
+        assert!(Pem {
+            start_bits: 0,
+            ..base_config()
+        }
+        .validate()
+        .is_err());
+        assert!(Pem {
+            start_bits: 13,
+            ..base_config()
+        }
+        .validate()
+        .is_err());
+        assert!(Pem {
+            step_bits: 0,
+            ..base_config()
+        }
+        .validate()
+        .is_err());
+        assert!(Pem {
+            max_candidates: 0,
+            ..base_config()
+        }
+        .validate()
+        .is_err());
+        assert!(Pem {
+            threshold: 1.0,
+            ..base_config()
+        }
+        .validate()
+        .is_err());
+        assert!(Pem {
+            threshold: -0.1,
+            ..base_config()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

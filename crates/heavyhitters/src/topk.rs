@@ -69,7 +69,12 @@ pub fn significant_hitters(estimate: &[f64], radius: f64, threshold: f64) -> Vec
         .iter()
         .enumerate()
         .filter(|(_, &e)| e - radius > threshold)
-        .map(|(v, &e)| HeavyHitter { value: v as u64, estimate: e, lower: e - radius, upper: e + radius })
+        .map(|(v, &e)| HeavyHitter {
+            value: v as u64,
+            estimate: e,
+            lower: e - radius,
+            upper: e + radius,
+        })
         .collect();
     out.sort_by(|a, b| {
         b.estimate

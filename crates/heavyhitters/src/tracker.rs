@@ -55,7 +55,12 @@ impl HitterTracker {
         if !valid {
             return Err(ParamError::InvalidProbability { p: enter, q: exit });
         }
-        Ok(Self { enter, exit, active: BTreeSet::new(), round: 0 })
+        Ok(Self {
+            enter,
+            exit,
+            active: BTreeSet::new(),
+            round: 0,
+        })
     }
 
     /// Ingests one round's histogram estimate and returns the events it
@@ -68,10 +73,18 @@ impl HitterTracker {
             let value = v as u64;
             if e > self.enter && !self.active.contains(&value) {
                 self.active.insert(value);
-                events.push(HitterEvent::Entered { value, round, estimate: e });
+                events.push(HitterEvent::Entered {
+                    value,
+                    round,
+                    estimate: e,
+                });
             } else if e < self.exit && self.active.contains(&value) {
                 self.active.remove(&value);
-                events.push(HitterEvent::Exited { value, round, estimate: e });
+                events.push(HitterEvent::Exited {
+                    value,
+                    round,
+                    estimate: e,
+                });
             }
         }
         // Values beyond the estimate's length (domain shrank?) are dropped.
@@ -79,7 +92,11 @@ impl HitterTracker {
         let stale: Vec<u64> = self.active.iter().copied().filter(|&v| v >= len).collect();
         for value in stale {
             self.active.remove(&value);
-            events.push(HitterEvent::Exited { value, round, estimate: 0.0 });
+            events.push(HitterEvent::Exited {
+                value,
+                round,
+                estimate: 0.0,
+            });
         }
         events
     }
@@ -119,7 +136,11 @@ mod tests {
         let events = t.update(&[0.05, 0.05]);
         assert_eq!(
             events,
-            vec![HitterEvent::Exited { value: 1, round: 2, estimate: 0.05 }]
+            vec![HitterEvent::Exited {
+                value: 1,
+                round: 2,
+                estimate: 0.05
+            }]
         );
         assert!(!t.is_active(1));
     }
@@ -140,7 +161,10 @@ mod tests {
         // The motivating comparison: count naive crossings vs tracker events
         // on a noisy series hovering around 0.15.
         let series = [0.16, 0.14, 0.17, 0.13, 0.18, 0.12, 0.19, 0.11];
-        let naive_events = series.windows(2).filter(|w| (w[0] > 0.15) != (w[1] > 0.15)).count();
+        let naive_events = series
+            .windows(2)
+            .filter(|w| (w[0] > 0.15) != (w[1] > 0.15))
+            .count();
         assert!(naive_events >= 6, "series chosen to flap: {naive_events}");
         let mut t = tracker();
         let total: usize = series.iter().map(|&e| t.update(&[e]).len()).sum();
@@ -162,7 +186,14 @@ mod tests {
         t.update(&[0.1, 0.3]);
         assert!(t.is_active(1));
         let events = t.update(&[0.1]);
-        assert_eq!(events, vec![HitterEvent::Exited { value: 1, round: 1, estimate: 0.0 }]);
+        assert_eq!(
+            events,
+            vec![HitterEvent::Exited {
+                value: 1,
+                round: 1,
+                estimate: 0.0
+            }]
+        );
     }
 
     #[test]

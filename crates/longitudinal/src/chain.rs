@@ -100,7 +100,12 @@ pub fn ue_chain_params(
         }
         UeChain::OueOue | UeChain::SueOue => solve_oue_irr(prr, eps_first)?,
     };
-    Ok(ChainParams { prr, irr, eps_inf, eps_first })
+    Ok(ChainParams {
+        prr,
+        irr,
+        eps_inf,
+        eps_first,
+    })
 }
 
 /// Numerically solves for an OUE-style IRR (`p2 = 1/2`, free `q2`) such that
@@ -121,7 +126,10 @@ fn solve_oue_irr(prr: PerturbParams, eps_first: f64) -> Result<PerturbParams, Pa
     // Ensure the target is bracketed; otherwise the (ε∞, ε1) pair is
     // unachievable with this IRR family.
     if composed_eps(lo) < eps_first || composed_eps(hi) > eps_first {
-        return Err(ParamError::EpsilonOrder { eps_first, eps_inf: composed_eps(lo) });
+        return Err(ParamError::EpsilonOrder {
+            eps_first,
+            eps_inf: composed_eps(lo),
+        });
     }
     for _ in 0..200 {
         let mid = 0.5 * (lo + hi);

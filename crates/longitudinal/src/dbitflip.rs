@@ -57,10 +57,11 @@ impl DBitFlipClient {
         if d == 0 || d > b || b as u64 > k {
             return Err(ParamError::InvalidBuckets { b, d, k });
         }
-        let mapper =
-            BucketMapper::new(k, b).ok_or(ParamError::InvalidBuckets { b, d, k })?;
-        let sampled: Vec<u32> =
-            sample_distinct(rng, b as u64, d as usize).into_iter().map(|j| j as u32).collect();
+        let mapper = BucketMapper::new(k, b).ok_or(ParamError::InvalidBuckets { b, d, k })?;
+        let sampled: Vec<u32> = sample_distinct(rng, b as u64, d as usize)
+            .into_iter()
+            .map(|j| j as u32)
+            .collect();
         let (p, q) = sue_params(eps_inf);
         let classes = (d + 1).min(b);
         Ok(Self {
@@ -115,7 +116,9 @@ impl DBitFlipClient {
             }
             self.memo[class as usize] = Some(bits);
         }
-        DBitReport { bits: self.memo[class as usize].clone().expect("just inserted") }
+        DBitReport {
+            bits: self.memo[class as usize].clone().expect("just inserted"),
+        }
     }
 
     fn accountant_classes(&self) -> u32 {
@@ -154,7 +157,14 @@ impl DBitFlipServer {
             return Err(ParamError::InvalidBuckets { b, d, k: b as u64 });
         }
         let (p, q) = sue_params(eps_inf);
-        Ok(Self { b, d, p, q, counts: vec![0; b as usize], n_step: 0 })
+        Ok(Self {
+            b,
+            d,
+            p,
+            q,
+            counts: vec![0; b as usize],
+            n_step: 0,
+        })
     }
 
     /// Ingests one report given the user's registered sampled positions.

@@ -89,7 +89,10 @@ pub fn dyadic_cover(t: u32) -> Vec<DyadicNode> {
     loop {
         let len = 1u32 << bit;
         if t & len != 0 {
-            out.push(DyadicNode { level: bit, index: start >> bit });
+            out.push(DyadicNode {
+                level: bit,
+                index: start >> bit,
+            });
             start += len;
         }
         if bit == 0 {
@@ -162,7 +165,10 @@ impl DdrmClient {
             let diff = value as i8 - anchor; // ∈ {−1, 0, 1}
             self.accountant.observe(0);
             let symbol = self.grr.perturb((diff + 1) as u64, rng) as i8 - 1;
-            return Some(DdrmReport { node: self.node, symbol });
+            return Some(DdrmReport {
+                node: self.node,
+                symbol,
+            });
         }
         None
     }
@@ -194,7 +200,12 @@ impl DdrmServer {
         }
         let grr = Grr::new(3, eps)?;
         let nodes = nodes_for(tau).len();
-        Ok(Self { tau, gap: grr.p() - grr.q(), node_sum: vec![0.0; nodes], node_n: vec![0; nodes] })
+        Ok(Self {
+            tau,
+            gap: grr.p() - grr.q(),
+            node_sum: vec![0.0; nodes],
+            node_n: vec![0; nodes],
+        })
     }
 
     fn node_slot(&self, node: DyadicNode) -> usize {

@@ -31,7 +31,12 @@ impl IrrKernel {
     pub fn new(bits: usize, params: PerturbParams) -> Self {
         let keep = Bernoulli::new(params.p).expect("validated p");
         let noise = Bernoulli::new(params.q).expect("validated q");
-        Self { bits, params, keep, noise }
+        Self {
+            bits,
+            params,
+            keep,
+            noise,
+        }
     }
 
     /// The `(p2, q2)` pair.

@@ -69,7 +69,11 @@ impl LgrrClient {
     /// # Panics
     /// Panics if `value >= k`.
     pub fn report<R: RngCore + ?Sized>(&mut self, value: u64, rng: &mut R) -> u64 {
-        assert!(value < self.k, "value {value} outside domain of size {}", self.k);
+        assert!(
+            value < self.k,
+            "value {value} outside domain of size {}",
+            self.k
+        );
         let class = value as u32;
         self.accountant.observe(class);
         let memoized = match self.memo.get(class) {
@@ -108,7 +112,13 @@ impl LgrrServer {
     /// Creates a server over `[0, k)` matching the client parameterization.
     pub fn new(k: u64, eps_inf: f64, eps_first: f64) -> Result<Self, ParamError> {
         let (prr, irr) = lgrr_params(k, eps_inf, eps_first)?;
-        Ok(Self { k: k as usize, prr, irr, counts: vec![0; k as usize], n_step: 0 })
+        Ok(Self {
+            k: k as usize,
+            prr,
+            irr,
+            counts: vec![0; k as usize],
+            n_step: 0,
+        })
     }
 
     /// Ingests one report symbol.
@@ -177,7 +187,10 @@ mod tests {
         // k > 2: the realized first-report leakage never exceeds ε1.
         let c = LgrrClient::new(20, 2.0, 1.0).unwrap();
         let actual = lgrr_first_report_eps(20, c.prr_params(), c.irr_params());
-        assert!(actual <= 1.0 + 1e-9, "first-report ε {actual} exceeds target");
+        assert!(
+            actual <= 1.0 + 1e-9,
+            "first-report ε {actual} exceeds target"
+        );
         assert!(actual > 0.0);
     }
 

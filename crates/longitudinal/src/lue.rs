@@ -34,12 +34,7 @@ pub struct LongitudinalUeClient {
 impl LongitudinalUeClient {
     /// Creates a client for `chain` over domain `[0, k)` with budgets
     /// `0 < eps_first < eps_inf`.
-    pub fn new(
-        chain: UeChain,
-        k: u64,
-        eps_inf: f64,
-        eps_first: f64,
-    ) -> Result<Self, ParamError> {
+    pub fn new(chain: UeChain, k: u64, eps_inf: f64, eps_first: f64) -> Result<Self, ParamError> {
         if k < 2 {
             return Err(ParamError::DomainTooSmall { k, min: 2 });
         }
@@ -77,12 +72,7 @@ impl LongitudinalUeClient {
     }
 
     /// Like [`Self::report`] but writes into a caller-provided buffer.
-    pub fn report_into<R: RngCore + ?Sized>(
-        &mut self,
-        value: u64,
-        rng: &mut R,
-        out: &mut BitVec,
-    ) {
+    pub fn report_into<R: RngCore + ?Sized>(&mut self, value: u64, rng: &mut R, out: &mut BitVec) {
         assert!((value as usize) < self.k, "value {value} outside domain");
         let class = value as u32;
         self.accountant.observe(class);
@@ -122,7 +112,12 @@ impl LueServer {
         if k < 2 {
             return Err(ParamError::DomainTooSmall { k, min: 2 });
         }
-        Ok(Self { k: k as usize, chain, counts: vec![0; k as usize], n_step: 0 })
+        Ok(Self {
+            k: k as usize,
+            chain,
+            counts: vec![0; k as usize],
+            n_step: 0,
+        })
     }
 
     /// Ingests one report for the current step.
@@ -247,7 +242,10 @@ mod tests {
         let v_star = params.variance_approx(n as f64);
         for (v, (&e, &t)) in last_est.iter().zip(&truth).enumerate() {
             let tol = 6.0 * v_star.sqrt();
-            assert!((e - t).abs() < tol, "{chain:?} v={v}: {e} vs {t} (tol {tol})");
+            assert!(
+                (e - t).abs() < tol,
+                "{chain:?} v={v}: {e} vs {t} (tol {tol})"
+            );
         }
     }
 

@@ -27,7 +27,9 @@ impl SymbolMemo {
     /// Panics if `classes` exceeds `u16::MAX` slots? No — classes may be up
     /// to `u32`; only the *stored symbols* must fit in `u16 − 1`.
     pub fn new(classes: u32) -> Self {
-        Self { table: vec![EMPTY; classes as usize] }
+        Self {
+            table: vec![EMPTY; classes as usize],
+        }
     }
 
     /// Looks up the memoized symbol for `class`.
@@ -106,7 +108,10 @@ impl UnaryMemo {
     /// more than `u16::MAX − 1` entries are inserted.
     pub fn insert(&mut self, class: u32, blocks: &[u64]) -> &[u64] {
         assert_eq!(blocks.len(), self.blocks_per_entry, "block count mismatch");
-        assert_eq!(self.index[class as usize], EMPTY, "memoization is write-once");
+        assert_eq!(
+            self.index[class as usize], EMPTY,
+            "memoization is write-once"
+        );
         assert!(self.entries < EMPTY, "memo arena full");
         let idx = self.entries;
         self.index[class as usize] = idx;

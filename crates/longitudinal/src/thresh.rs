@@ -61,7 +61,13 @@ impl ThreshConfig {
                 q: vote_threshold,
             });
         }
-        Ok(Self { k, eps_total, tau, max_updates, vote_threshold })
+        Ok(Self {
+            k,
+            eps_total,
+            tau,
+            max_updates,
+            vote_threshold,
+        })
     }
 
     /// Per-round voting budget: half the total spread over every round.
@@ -121,7 +127,8 @@ impl ThreshClient {
     /// the current value.
     pub fn estimate<R: RngCore + ?Sized>(&mut self, value: u64, rng: &mut R) -> BitVec {
         self.anchor = Some(value);
-        self.accountant.observe(self.cfg.tau as u32 + self.updates_spent());
+        self.accountant
+            .observe(self.cfg.tau as u32 + self.updates_spent());
         self.estimator.perturb(value, rng)
     }
 
@@ -263,7 +270,11 @@ mod tests {
                 let _ = client.estimate(t % 8, &mut rng);
             }
         }
-        assert!(client.privacy_spent() <= c.eps_total + 1e-9, "{}", client.privacy_spent());
+        assert!(
+            client.privacy_spent() <= c.eps_total + 1e-9,
+            "{}",
+            client.privacy_spent()
+        );
     }
 
     #[test]

@@ -72,7 +72,12 @@ impl RsfdGrrClient {
             .map(|&k| Grr::new(k, eps_prime))
             .collect::<Result<Vec<_>, _>>()?;
         let sampled = uniform_u64(rng, spec.d() as u64) as usize;
-        Ok(Self { grrs, sampled, eps, eps_prime })
+        Ok(Self {
+            grrs,
+            sampled,
+            eps,
+            eps_prime,
+        })
     }
 
     /// The nominal per-round budget ε.
@@ -127,8 +132,17 @@ impl RsfdGrrServer {
     /// Creates the server for the given attribute spec and nominal budget.
     pub fn new(spec: AttributeSpec, eps: f64) -> Result<Self, ParamError> {
         let eps_prime = amplified_epsilon(eps, spec.d())?;
-        let counts = spec.domains().iter().map(|&k| vec![0u64; k as usize]).collect();
-        Ok(Self { spec, eps_prime, counts, n_step: 0 })
+        let counts = spec
+            .domains()
+            .iter()
+            .map(|&k| vec![0u64; k as usize])
+            .collect();
+        Ok(Self {
+            spec,
+            eps_prime,
+            counts,
+            n_step: 0,
+        })
     }
 
     /// Ingests one user's full report vector.
@@ -221,7 +235,11 @@ mod tests {
         server.n_step = n;
         let est = server.estimate_and_reset();
         for (v, &fv) in f.iter().enumerate() {
-            assert!((est[0][v] - fv).abs() < 1e-3, "v={v}: {} vs {fv}", est[0][v]);
+            assert!(
+                (est[0][v] - fv).abs() < 1e-3,
+                "v={v}: {} vs {fv}",
+                est[0][v]
+            );
         }
     }
 
@@ -305,7 +323,10 @@ mod tests {
         let py_v = 0.5 * (p * u) + 0.5 * (u * p); // y = v on both coords
         let py_v2 = 0.5 * (q * u) + 0.5 * (u * q); // v′ differs on both
         let realized = (py_v / py_v2).ln();
-        assert!((realized - eps_prime).abs() < 1e-9, "{realized} vs {eps_prime}");
+        assert!(
+            (realized - eps_prime).abs() < 1e-9,
+            "{realized} vs {eps_prime}"
+        );
         let _ = spec;
     }
 

@@ -39,8 +39,7 @@ impl SmpWrapper {
     ) -> Result<Self, ParamError> {
         let attribute = uniform_u64(rng, spec.d() as u64) as usize;
         let params = flavor.params(eps_inf, eps_first)?;
-        let family =
-            CarterWegman::new(params.g()).ok_or(ParamError::InvalidG { g: params.g() })?;
+        let family = CarterWegman::new(params.g()).ok_or(ParamError::InvalidG { g: params.g() })?;
         let client = LolohaClient::new(&family, spec.k(attribute), params, rng)?;
         Ok(Self { attribute, client })
     }
@@ -123,7 +122,10 @@ impl SmpServer {
     /// Finishes the round: per-attribute frequency estimates, each computed
     /// over its own sub-population.
     pub fn estimate_and_reset(&mut self) -> Vec<Vec<f64>> {
-        self.servers.iter_mut().map(|s| s.estimate_and_reset()).collect()
+        self.servers
+            .iter_mut()
+            .map(|s| s.estimate_and_reset())
+            .collect()
     }
 }
 
@@ -185,8 +187,10 @@ mod tests {
         let mut users: Vec<_> = (0..n)
             .map(|_| SmpWrapper::new(&spec, ei, e1, Flavor::Bi, &mut rng).unwrap())
             .collect();
-        let ids: Vec<_> =
-            users.iter().map(|u| server.register_user(u.attribute(), u.hash_fn())).collect();
+        let ids: Vec<_> = users
+            .iter()
+            .map(|u| server.register_user(u.attribute(), u.hash_fn()))
+            .collect();
         // Attribute 0 always 2; attribute 1 always 7.
         for (u, &id) in users.iter_mut().zip(&ids) {
             let cell = u.report(&[2, 7], &mut rng);

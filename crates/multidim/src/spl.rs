@@ -144,7 +144,10 @@ impl SplServer {
 
     /// Finishes the round: per-attribute frequency estimates.
     pub fn estimate_and_reset(&mut self) -> Vec<Vec<f64>> {
-        self.servers.iter_mut().map(|s| s.estimate_and_reset()).collect()
+        self.servers
+            .iter_mut()
+            .map(|s| s.estimate_and_reset())
+            .collect()
     }
 }
 
@@ -178,7 +181,10 @@ mod tests {
         let mut wrappers: Vec<_> = (0..n)
             .map(|_| SplWrapper::new(&spec, ei, e1, Flavor::Bi, &mut rng).unwrap())
             .collect();
-        let ids: Vec<_> = wrappers.iter().map(|w| server.register_user(&w.hash_fns())).collect();
+        let ids: Vec<_> = wrappers
+            .iter()
+            .map(|w| server.register_user(&w.hash_fns()))
+            .collect();
         // Attribute 0 concentrated on 3, attribute 1 on 12.
         for (w, ids) in wrappers.iter_mut().zip(&ids) {
             let cells = w.report(&[3, 12], &mut rng);

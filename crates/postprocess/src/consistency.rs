@@ -195,7 +195,10 @@ mod tests {
     #[test]
     fn base_cut_zeroes_below_threshold() {
         // V* = 0.0004 → σ = 0.02; z = 2 → θ = 0.04.
-        let method = Consistency::BaseCut { z: 2.0, variance: 0.0004 };
+        let method = Consistency::BaseCut {
+            z: 2.0,
+            variance: 0.0004,
+        };
         let out = method.applied(&[0.5, 0.03, -0.2, 0.04, 0.041]);
         assert_eq!(out[0], 0.5);
         assert_eq!(out[1], 0.0);
@@ -206,7 +209,10 @@ mod tests {
 
     #[test]
     fn base_cut_zero_variance_equals_clip() {
-        let method = Consistency::BaseCut { z: 3.0, variance: 0.0 };
+        let method = Consistency::BaseCut {
+            z: 3.0,
+            variance: 0.0,
+        };
         assert_eq!(method.applied(&RAW), Consistency::ClipZero.applied(&RAW));
     }
 
@@ -218,7 +224,10 @@ mod tests {
             Consistency::NormMul,
             Consistency::NormSub,
             Consistency::NormCut,
-            Consistency::BaseCut { z: 2.0, variance: 0.01 },
+            Consistency::BaseCut {
+                z: 2.0,
+                variance: 0.01,
+            },
         ] {
             assert!(m.applied(&[]).is_empty());
         }

@@ -141,7 +141,12 @@ mod tests {
                     best = (d, t);
                 }
             }
-            assert!((u[0] - best.1).abs() < 1e-4, "case {case:?}: {} vs {}", u[0], best.1);
+            assert!(
+                (u[0] - best.1).abs() < 1e-4,
+                "case {case:?}: {} vs {}",
+                u[0],
+                best.1
+            );
         }
     }
 

@@ -56,10 +56,16 @@ impl fmt::Display for SmoothError {
                 write!(f, "exponential smoothing factor must be in (0, 1], got {l}")
             }
             SmoothError::InvalidNoise { q, r } => {
-                write!(f, "Kalman noises must be finite with R > 0, Q >= 0; got Q = {q}, R = {r}")
+                write!(
+                    f,
+                    "Kalman noises must be finite with R > 0, Q >= 0; got Q = {q}, R = {r}"
+                )
             }
             SmoothError::DimensionMismatch { expected, got } => {
-                write!(f, "histogram length {got} does not match smoother dimension {expected}")
+                write!(
+                    f,
+                    "histogram length {got} does not match smoother dimension {expected}"
+                )
             }
         }
     }
@@ -82,13 +88,21 @@ impl MovingAverage {
         if window == 0 {
             return Err(SmoothError::EmptyWindow);
         }
-        Ok(Self { k, window, history: VecDeque::with_capacity(window), running: vec![0.0; k] })
+        Ok(Self {
+            k,
+            window,
+            history: VecDeque::with_capacity(window),
+            running: vec![0.0; k],
+        })
     }
 
     /// Ingests one round's estimate and returns the smoothed histogram.
     pub fn update(&mut self, estimate: &[f64]) -> Result<Vec<f64>, SmoothError> {
         if estimate.len() != self.k {
-            return Err(SmoothError::DimensionMismatch { expected: self.k, got: estimate.len() });
+            return Err(SmoothError::DimensionMismatch {
+                expected: self.k,
+                got: estimate.len(),
+            });
         }
         if self.history.len() == self.window {
             let old = self.history.pop_front().expect("window is non-empty");
@@ -125,14 +139,21 @@ impl ExponentialSmoother {
         if !lambda.is_finite() || lambda <= 0.0 || lambda > 1.0 {
             return Err(SmoothError::InvalidLambda(lambda));
         }
-        Ok(Self { k, lambda, state: None })
+        Ok(Self {
+            k,
+            lambda,
+            state: None,
+        })
     }
 
     /// Ingests one round's estimate and returns the smoothed histogram. The
     /// first round initializes the state to the estimate itself.
     pub fn update(&mut self, estimate: &[f64]) -> Result<Vec<f64>, SmoothError> {
         if estimate.len() != self.k {
-            return Err(SmoothError::DimensionMismatch { expected: self.k, got: estimate.len() });
+            return Err(SmoothError::DimensionMismatch {
+                expected: self.k,
+                got: estimate.len(),
+            });
         }
         match &mut self.state {
             None => {
@@ -170,7 +191,13 @@ impl KalmanSmoother {
         if !q.is_finite() || !r.is_finite() || q < 0.0 || r <= 0.0 {
             return Err(SmoothError::InvalidNoise { q, r });
         }
-        Ok(Self { k, q, r, posterior_var: 0.0, mean: None })
+        Ok(Self {
+            k,
+            q,
+            r,
+            posterior_var: 0.0,
+            mean: None,
+        })
     }
 
     /// Ingests one round's estimate and returns the filtered histogram.
@@ -179,7 +206,10 @@ impl KalmanSmoother {
     /// posterior variance `R`.
     pub fn update(&mut self, estimate: &[f64]) -> Result<Vec<f64>, SmoothError> {
         if estimate.len() != self.k {
-            return Err(SmoothError::DimensionMismatch { expected: self.k, got: estimate.len() });
+            return Err(SmoothError::DimensionMismatch {
+                expected: self.k,
+                got: estimate.len(),
+            });
         }
         match &mut self.mean {
             None => {
@@ -237,11 +267,17 @@ mod tests {
 
     #[test]
     fn moving_average_rejects_zero_window_and_bad_dims() {
-        assert_eq!(MovingAverage::new(3, 0).unwrap_err(), SmoothError::EmptyWindow);
+        assert_eq!(
+            MovingAverage::new(3, 0).unwrap_err(),
+            SmoothError::EmptyWindow
+        );
         let mut ma = MovingAverage::new(3, 2).unwrap();
         assert!(matches!(
             ma.update(&[0.0; 4]),
-            Err(SmoothError::DimensionMismatch { expected: 3, got: 4 })
+            Err(SmoothError::DimensionMismatch {
+                expected: 3,
+                got: 4
+            })
         ));
     }
 
@@ -283,7 +319,11 @@ mod tests {
         for _ in 0..100 {
             kf.update(&[0.5]).unwrap();
         }
-        assert!(kf.steady_state_gain() < 0.05, "gain {}", kf.steady_state_gain());
+        assert!(
+            kf.steady_state_gain() < 0.05,
+            "gain {}",
+            kf.steady_state_gain()
+        );
     }
 
     #[test]

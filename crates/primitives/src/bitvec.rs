@@ -15,7 +15,10 @@ pub struct BitVec {
 impl BitVec {
     /// Creates an all-zero bit vector of `len` bits.
     pub fn zeros(len: usize) -> Self {
-        Self { blocks: vec![0u64; len.div_ceil(64)], len }
+        Self {
+            blocks: vec![0u64; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// Number of bits.
@@ -70,7 +73,11 @@ impl BitVec {
 
     /// Iterates the indices of set bits in increasing order.
     pub fn iter_ones(&self) -> IterOnes<'_> {
-        IterOnes { blocks: &self.blocks, block_idx: 0, current: self.blocks.first().copied().unwrap_or(0) }
+        IterOnes {
+            blocks: &self.blocks,
+            block_idx: 0,
+            current: self.blocks.first().copied().unwrap_or(0),
+        }
     }
 
     /// Resets all bits to zero, keeping the allocation.

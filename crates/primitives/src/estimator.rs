@@ -15,7 +15,10 @@ pub fn frequency_estimate(count: f64, n: f64, p: f64, q: f64) -> f64 {
 
 /// Eq. (1) applied to a whole histogram of support counts.
 pub fn frequency_estimates(counts: &[f64], n: f64, p: f64, q: f64) -> Vec<f64> {
-    counts.iter().map(|&c| frequency_estimate(c, n, p, q)).collect()
+    counts
+        .iter()
+        .map(|&c| frequency_estimate(c, n, p, q))
+        .collect()
 }
 
 /// Eq. (3): unbiased estimate under two rounds of sanitization.
@@ -24,14 +27,7 @@ pub fn frequency_estimates(counts: &[f64], n: f64, p: f64, q: f64) -> Vec<f64> {
 /// parameters. Derived by inverting the composition of the two linear
 /// response maps.
 #[inline]
-pub fn chained_frequency_estimate(
-    count: f64,
-    n: f64,
-    p1: f64,
-    q1: f64,
-    p2: f64,
-    q2: f64,
-) -> f64 {
+pub fn chained_frequency_estimate(count: f64, n: f64, p1: f64, q1: f64, p2: f64, q2: f64) -> f64 {
     (count - n * (q1 * (p2 - q2) + q2)) / (n * (p1 - q1) * (p2 - q2))
 }
 
@@ -53,8 +49,7 @@ pub fn chained_frequency_estimates(
 /// Eq. (4): the exact variance of the chained estimator for a value with
 /// true frequency `f`.
 pub fn chained_variance(f: f64, n: f64, p1: f64, q1: f64, p2: f64, q2: f64) -> f64 {
-    let gamma = f * (2.0 * p1 * p2 - 2.0 * p1 * q2 + 2.0 * q2 - 1.0) + p2 * q1
-        + q2 * (1.0 - q1);
+    let gamma = f * (2.0 * p1 * p2 - 2.0 * p1 * q2 + 2.0 * q2 - 1.0) + p2 * q1 + q2 * (1.0 - q1);
     gamma * (1.0 - gamma) / (n * (p1 - q1).powi(2) * (p2 - q2).powi(2))
 }
 

@@ -73,7 +73,11 @@ impl Grr {
     /// Panics if `value >= k` (domain violations are caller bugs).
     #[inline]
     pub fn perturb<R: RngCore + ?Sized>(&self, value: u64, rng: &mut R) -> u64 {
-        assert!(value < self.k, "value {value} outside domain of size {}", self.k);
+        assert!(
+            value < self.k,
+            "value {value} outside domain of size {}",
+            self.k
+        );
         if self.keep.sample(rng) {
             value
         } else {

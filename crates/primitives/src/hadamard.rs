@@ -87,7 +87,11 @@ impl HadamardResponse {
     /// # Panics
     /// Panics if `value >= k`.
     pub fn perturb<R: RngCore + ?Sized>(&self, value: u64, rng: &mut R) -> u64 {
-        assert!(value < self.k, "value {value} outside domain of size {}", self.k);
+        assert!(
+            value < self.k,
+            "value {value} outside domain of size {}",
+            self.k
+        );
         let row = self.row_of(value);
         let want_plus = self.keep.sample(rng);
         // Rejection-free enumeration: the m-th element of the +1 (or −1)
@@ -130,7 +134,11 @@ impl HrServer {
     pub fn new(k: u64, eps: f64) -> Result<Self, ParamError> {
         let mech = HadamardResponse::new(k, eps)?;
         let order = mech.order as usize;
-        Ok(Self { mech, histogram: vec![0; order], n: 0 })
+        Ok(Self {
+            mech,
+            histogram: vec![0; order],
+            n: 0,
+        })
     }
 
     /// Ingests one report index.
@@ -223,7 +231,11 @@ mod tests {
             let lo = probs.iter().cloned().fold(f64::MAX, f64::min);
             max_ratio = max_ratio.max(hi / lo);
         }
-        assert!((max_ratio.ln() - 1.7).abs() < 1e-9, "ln ratio {}", max_ratio.ln());
+        assert!(
+            (max_ratio.ln() - 1.7).abs() < 1e-9,
+            "ln ratio {}",
+            max_ratio.ln()
+        );
     }
 
     #[test]

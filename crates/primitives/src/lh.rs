@@ -87,7 +87,11 @@ impl<F: UniversalFamily> LhClient<F> {
     /// # Panics
     /// Panics if `value >= k`.
     pub fn report<R: RngCore + ?Sized>(&self, value: u64, rng: &mut R) -> LhReport<F::Hash> {
-        assert!(value < self.k, "value {value} outside domain of size {}", self.k);
+        assert!(
+            value < self.k,
+            "value {value} outside domain of size {}",
+            self.k
+        );
         let hash = self.family.sample(rng);
         let x = hash.hash(value);
         let cell = self.grr.perturb(x as u64, rng) as u32;
@@ -129,7 +133,13 @@ impl LhServer {
             return Err(ParamError::DomainTooSmall { k, min: 2 });
         }
         let grr = Grr::new(g as u64, eps)?;
-        Ok(Self { k, g, p: grr.p(), n: 0, counts: vec![0; k as usize] })
+        Ok(Self {
+            k,
+            g,
+            p: grr.p(),
+            n: 0,
+            counts: vec![0; k as usize],
+        })
     }
 
     /// Ingests one report: every domain value hashing to the reported cell
@@ -175,11 +185,7 @@ mod tests {
         assert_eq!(olh_client(100, 3.0).unwrap().g(), 21);
     }
 
-    fn end_to_end(
-        client_g: LhMode,
-        eps: f64,
-        seed: u64,
-    ) -> (Vec<f64>, Vec<f64>, f64) {
+    fn end_to_end(client_g: LhMode, eps: f64, seed: u64) -> (Vec<f64>, Vec<f64>, f64) {
         let k = 20u64;
         let n = 30_000usize;
         let g = client_g.g(eps);

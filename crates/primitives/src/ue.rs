@@ -52,7 +52,12 @@ impl UeClient {
         let params = PerturbParams::new(p, q)?;
         let keep = Bernoulli::new(p).expect("validated p");
         let noise = Bernoulli::new(q).expect("validated q");
-        Ok(Self { k: k as usize, params, keep, noise })
+        Ok(Self {
+            k: k as usize,
+            params,
+            keep,
+            noise,
+        })
     }
 
     /// Domain size.
@@ -83,12 +88,7 @@ impl UeClient {
 
     /// Perturbs into a caller-provided buffer (cleared first), avoiding the
     /// allocation on hot paths.
-    pub fn perturb_into<R: RngCore + ?Sized>(
-        &self,
-        value: u64,
-        rng: &mut R,
-        bits: &mut BitVec,
-    ) {
+    pub fn perturb_into<R: RngCore + ?Sized>(&self, value: u64, rng: &mut R, bits: &mut BitVec) {
         assert_eq!(bits.len(), self.k, "buffer length mismatch");
         assert!((value as usize) < self.k, "value {value} outside domain");
         bits.clear();
@@ -97,8 +97,7 @@ impl UeClient {
         if q > 0.0 && q < SPARSE_Q_THRESHOLD {
             // Geometric skipping over all k positions; the true bit's
             // position is overwritten afterwards, so a hit there is ignored.
-            let hits = SparseHits::new(q, self.k as u64, rng)
-                .expect("q in (0, 1) checked above");
+            let hits = SparseHits::new(q, self.k as u64, rng).expect("q in (0, 1) checked above");
             for i in hits {
                 bits.set(i as usize, true);
             }
@@ -129,7 +128,12 @@ impl UeServer {
         if k < 2 {
             return Err(ParamError::DomainTooSmall { k, min: 2 });
         }
-        Ok(Self { k: k as usize, params, n: 0, counts: vec![0; k as usize] })
+        Ok(Self {
+            k: k as usize,
+            params,
+            n: 0,
+            counts: vec![0; k as usize],
+        })
     }
 
     /// Ingests one report.

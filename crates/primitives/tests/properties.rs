@@ -6,8 +6,7 @@
 //! of the bit-vector and parameter helpers.
 
 use ldp_primitives::estimator::{
-    chained_frequency_estimate, chained_variance, chained_variance_approx,
-    frequency_estimate,
+    chained_frequency_estimate, chained_variance, chained_variance_approx, frequency_estimate,
 };
 use ldp_primitives::params::{grr_params, olh_g, oue_params, sue_params};
 use ldp_primitives::{BitVec, Grr, PerturbParams, UeClient};

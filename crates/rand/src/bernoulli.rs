@@ -25,12 +25,18 @@ impl Bernoulli {
             return None;
         }
         if p >= 1.0 {
-            return Some(Self { threshold: u64::MAX, always: true });
+            return Some(Self {
+                threshold: u64::MAX,
+                always: true,
+            });
         }
         // p * 2^64, computed in extended precision. p < 1 here so the product
         // fits; rounding error is at most one part in 2^53 of p.
         let threshold = (p * (u64::MAX as f64 + 1.0)) as u64;
-        Some(Self { threshold, always: false })
+        Some(Self {
+            threshold,
+            always: false,
+        })
     }
 
     /// The success probability this sampler was built with (up to the 64-bit

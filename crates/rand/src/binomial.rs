@@ -135,8 +135,7 @@ fn sample_btrs<R: RngCore + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
         }
         let k = kf as u64;
         let v2 = v * alpha / (a / (us * us) + b);
-        let accept = v2.ln()
-            <= h - ln_factorial(k) - ln_factorial(n - k) + (kf - m) * lpq;
+        let accept = v2.ln() <= h - ln_factorial(k) - ln_factorial(n - k) + (kf - m) * lpq;
         if accept {
             return k;
         }
@@ -171,9 +170,7 @@ pub fn ln_factorial(k: u64) -> f64 {
     // Stirling: ln k! = k ln k − k + ½ ln(2πk) + 1/(12k) − 1/(360k³) + 1/(1260k⁵)
     let inv = 1.0 / x;
     let inv2 = inv * inv;
-    x * x.ln() - x
-        + 0.5 * (2.0 * std::f64::consts::PI * x).ln()
-        + inv * (1.0 / 12.0)
+    x * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI * x).ln() + inv * (1.0 / 12.0)
         - inv * inv2 * (1.0 / 360.0)
         + inv * inv2 * inv2 * (1.0 / 1260.0)
 }

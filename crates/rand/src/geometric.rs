@@ -28,7 +28,9 @@ impl Geometric {
         if p == 1.0 {
             return Some(Self { inv_ln_q: None });
         }
-        Some(Self { inv_ln_q: Some(1.0 / (-p).ln_1p()) })
+        Some(Self {
+            inv_ln_q: Some(1.0 / (-p).ln_1p()),
+        })
     }
 
     /// Draws the number of failures before the first success.
@@ -64,7 +66,12 @@ impl<'r, R: RngCore + ?Sized> SparseHits<'r, R> {
     /// Creates the iterator. `p` must be in `(0, 1]`.
     pub fn new(p: f64, len: u64, rng: &'r mut R) -> Option<Self> {
         let geo = Geometric::new(p)?;
-        let mut it = Self { geo, next: 0, len, rng };
+        let mut it = Self {
+            geo,
+            next: 0,
+            len,
+            rng,
+        };
         it.next = it.geo.sample(it.rng);
         Some(it)
     }
@@ -112,8 +119,7 @@ mod tests {
         for &p in &[0.1, 0.5, 0.9] {
             let g = Geometric::new(p).unwrap();
             let n = 100_000;
-            let mean: f64 =
-                (0..n).map(|_| g.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n).map(|_| g.sample(&mut rng) as f64).sum::<f64>() / n as f64;
             let true_mean = (1.0 - p) / p;
             assert!(
                 (mean - true_mean).abs() < 0.05 * true_mean.max(0.05),

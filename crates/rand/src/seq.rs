@@ -38,7 +38,10 @@ pub fn shuffle<T, R: RngCore + ?Sized>(items: &mut [T], rng: &mut R) {
 /// # Panics
 /// Panics if `d > n`.
 pub fn sample_distinct<R: RngCore + ?Sized>(rng: &mut R, n: u64, d: usize) -> Vec<u64> {
-    assert!(d as u64 <= n, "cannot sample {d} distinct values from [0, {n})");
+    assert!(
+        d as u64 <= n,
+        "cannot sample {d} distinct values from [0, {n})"
+    );
     let mut chosen: Vec<u64> = Vec::with_capacity(d);
     for j in (n - d as u64)..n {
         let t = uniform_u64(rng, j + 1);
@@ -114,7 +117,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input unchanged");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle left input unchanged"
+        );
     }
 
     #[test]

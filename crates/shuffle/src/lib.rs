@@ -100,7 +100,10 @@ mod tests {
         let small = amplified_epsilon(1.0, 1_000, 1e-6).unwrap();
         let large = amplified_epsilon(1.0, 100_000, 1e-6).unwrap();
         assert!(large < small, "{large} vs {small}");
-        assert!(large < 0.1, "1e5 users should amplify far below eps=1: {large}");
+        assert!(
+            large < 0.1,
+            "1e5 users should amplify far below eps=1: {large}"
+        );
     }
 
     #[test]
@@ -124,13 +127,20 @@ mod tests {
         let mut rng = derive_rng(700, 0);
         let family = CarterWegman::new(2).unwrap();
         let mut reports: Vec<AnonymousReport<_>> = (0..100)
-            .map(|i| AnonymousReport { hash: family.sample(&mut rng), cell: i % 2 })
+            .map(|i| AnonymousReport {
+                hash: family.sample(&mut rng),
+                cell: i % 2,
+            })
             .collect();
-        let mut before: Vec<(u64, u64, u32)> =
-            reports.iter().map(|r| (r.hash.parts().0, r.hash.parts().1, r.cell)).collect();
+        let mut before: Vec<(u64, u64, u32)> = reports
+            .iter()
+            .map(|r| (r.hash.parts().0, r.hash.parts().1, r.cell))
+            .collect();
         Shuffler::shuffle(&mut reports, &mut rng);
-        let mut after: Vec<(u64, u64, u32)> =
-            reports.iter().map(|r| (r.hash.parts().0, r.hash.parts().1, r.cell)).collect();
+        let mut after: Vec<(u64, u64, u32)> = reports
+            .iter()
+            .map(|r| (r.hash.parts().0, r.hash.parts().1, r.cell))
+            .collect();
         before.sort_unstable();
         after.sort_unstable();
         assert_eq!(before, after);
@@ -149,7 +159,10 @@ mod tests {
         for u in 0..n {
             let mut c = LolohaClient::new(&family, k, params, &mut rng).unwrap();
             let cell = c.report((u as u64) % k, &mut rng);
-            reports.push(AnonymousReport { hash: *c.hash_fn(), cell });
+            reports.push(AnonymousReport {
+                hash: *c.hash_fn(),
+                cell,
+            });
         }
         let count_supports = |reports: &[AnonymousReport<ldp_hash::CwHash>]| {
             let mut counts = vec![0u64; k as usize];

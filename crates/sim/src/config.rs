@@ -88,7 +88,13 @@ impl ExperimentConfig {
                 eps_inf,
             });
         }
-        Ok(Self { method, eps_inf, alpha, seed, threads: 0 })
+        Ok(Self {
+            method,
+            eps_inf,
+            alpha,
+            seed,
+            threads: 0,
+        })
     }
 
     /// The first-report budget ε1 = α·ε∞.
@@ -107,7 +113,9 @@ impl ExperimentConfig {
         if self.threads > 0 {
             self.threads
         } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         }
     }
 }

@@ -26,7 +26,12 @@ pub struct DetectionTrack {
 impl DetectionTrack {
     /// Creates an empty tracker.
     pub fn new() -> Self {
-        Self { prev_bucket: None, prev_bits: None, any_change: false, missed: false }
+        Self {
+            prev_bucket: None,
+            prev_bits: None,
+            any_change: false,
+            missed: false,
+        }
     }
 
     /// Records one round: the user's true bucket and the report sent.
@@ -77,7 +82,10 @@ pub struct DetectionSummary {
 impl DetectionSummary {
     /// Aggregates per-user trackers.
     pub fn from_tracks<'a>(tracks: impl Iterator<Item = &'a DetectionTrack>) -> Self {
-        let mut s = Self { users_with_changes: 0, fully_detected: 0 };
+        let mut s = Self {
+            users_with_changes: 0,
+            fully_detected: 0,
+        };
         for t in tracks {
             if t.had_changes() {
                 s.users_with_changes += 1;

@@ -16,7 +16,9 @@ use crate::metrics::mse;
 use ldp_datasets::{empirical_histogram, DatasetSpec};
 use ldp_hash::{BucketMapper, CarterWegman, CwHash, Preimages};
 use ldp_longitudinal::chain::{ue_chain_params, UeChain};
-use ldp_longitudinal::{DBitFlipClient, DBitFlipServer, LgrrClient, LgrrServer, LongitudinalUeClient, LueServer};
+use ldp_longitudinal::{
+    DBitFlipClient, DBitFlipServer, LgrrClient, LgrrServer, LongitudinalUeClient, LueServer,
+};
 use ldp_primitives::error::ParamError;
 use ldp_primitives::BitVec;
 use ldp_rand::{derive_rng2, LdpRng};
@@ -46,7 +48,10 @@ pub struct RunMetrics {
 enum ClientState {
     Lue(Box<LongitudinalUeClient>),
     Lgrr(Box<LgrrClient>),
-    Loloha { client: Box<LolohaClient<CwHash>>, preimages: Preimages },
+    Loloha {
+        client: Box<LolohaClient<CwHash>>,
+        preimages: Preimages,
+    },
     DBit(Box<DBitFlipClient>),
 }
 
@@ -80,7 +85,10 @@ enum Estimator {
     Lue(LueServer),
     Lgrr(LgrrServer),
     Loloha(LolohaServer),
-    DBit { server: DBitFlipServer, mapper: BucketMapper },
+    DBit {
+        server: DBitFlipServer,
+        mapper: BucketMapper,
+    },
 }
 
 impl Estimator {
@@ -169,8 +177,7 @@ fn resolve_method(
         Method::OneBitFlip | Method::BBitFlip => {
             let b = dbit_buckets(k);
             let d = if method == Method::OneBitFlip { 1 } else { b };
-            let mapper = BucketMapper::new(k, b)
-                .ok_or(ParamError::InvalidBuckets { b, d, k })?;
+            let mapper = BucketMapper::new(k, b).ok_or(ParamError::InvalidBuckets { b, d, k })?;
             MethodSetup {
                 estimator: Estimator::DBit {
                     server: DBitFlipServer::new(b, d, eps_inf)?,
@@ -220,12 +227,21 @@ fn make_user(
                 CarterWegman::new(params.g()).ok_or(ParamError::InvalidG { g: params.g() })?;
             let client = LolohaClient::new(&family, k, params, &mut rng)?;
             let preimages = Preimages::build(client.hash_fn(), k);
-            (ClientState::Loloha { client: Box::new(client), preimages }, None)
+            (
+                ClientState::Loloha {
+                    client: Box::new(client),
+                    preimages,
+                },
+                None,
+            )
         }
         Method::OneBitFlip | Method::BBitFlip => {
             let (b, d) = setup.dbit.expect("resolved for dBitFlip methods");
             let client = DBitFlipClient::new(k, b, d, eps_inf, &mut rng)?;
-            (ClientState::DBit(Box::new(client)), Some(DetectionTrack::new()))
+            (
+                ClientState::DBit(Box::new(client)),
+                Some(DetectionTrack::new()),
+            )
         }
     };
     Ok(SimUser { state, rng, detect })
@@ -281,7 +297,15 @@ pub fn run_experiment(
     {
         let mut users = Vec::with_capacity(n);
         for u in 0..n {
-            users.push(make_user(&setup, cfg.method, k, cfg.eps_inf, eps_first, cfg.seed, u)?);
+            users.push(make_user(
+                &setup,
+                cfg.method,
+                k,
+                cfg.eps_inf,
+                eps_first,
+                cfg.seed,
+                u,
+            )?);
         }
         let mut rest = users;
         while !rest.is_empty() {
@@ -358,7 +382,11 @@ pub fn run_experiment(
     };
 
     Ok(RunMetrics {
-        mse_avg: if mse_rounds > 0 { mse_sum / mse_rounds as f64 } else { f64::NAN },
+        mse_avg: if mse_rounds > 0 {
+            mse_sum / mse_rounds as f64
+        } else {
+            f64::NAN
+        },
         eps_avg: eps_sum / n as f64,
         eps_max,
         distinct_avg: distinct_sum / n as f64,
@@ -449,7 +477,12 @@ mod tests {
         let bi = run(Method::BiLoloha, 5.0, 0.6);
         let o = run(Method::OLoloha, 5.0, 0.6);
         assert!(o.reduced_domain.unwrap() > 2);
-        assert!(o.mse_avg <= bi.mse_avg * 1.5, "O {} vs Bi {}", o.mse_avg, bi.mse_avg);
+        assert!(
+            o.mse_avg <= bi.mse_avg * 1.5,
+            "O {} vs Bi {}",
+            o.mse_avg,
+            bi.mse_avg
+        );
     }
 
     #[test]

@@ -45,7 +45,11 @@ pub struct Summary {
 impl Summary {
     /// Summarizes a set of per-run values.
     pub fn of(xs: &[f64]) -> Self {
-        Self { mean: mean(xs), std: std_dev(xs), runs: xs.len() }
+        Self {
+            mean: mean(xs),
+            std: std_dev(xs),
+            runs: xs.len(),
+        }
     }
 }
 

@@ -16,7 +16,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
-        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.

@@ -33,7 +33,10 @@ fn main() {
         .enumerate()
         .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
         .expect("non-empty");
-    println!("ground truth example: busiest minute-bucket = {} ({:.4})\n", busiest.0, busiest.1);
+    println!(
+        "ground truth example: busiest minute-bucket = {} ({:.4})\n",
+        busiest.0, busiest.1
+    );
 
     let (eps_inf, alpha) = (1.0, 0.5);
     println!("eps_inf = {eps_inf}, eps_1 = {}\n", alpha * eps_inf);
@@ -41,12 +44,20 @@ fn main() {
         "{:<12} {:>12} {:>12} {:>12} {:>14}",
         "method", "MSE_avg", "eps_avg", "eps_max", "budget cap"
     );
-    for method in [Method::BiLoloha, Method::OLoloha, Method::Rappor, Method::LOsue] {
+    for method in [
+        Method::BiLoloha,
+        Method::OLoloha,
+        Method::Rappor,
+        Method::LOsue,
+    ] {
         let cfg = ExperimentConfig::new(method, eps_inf, alpha, 42).expect("valid config");
         let m = run_experiment(&dataset, &cfg).expect("runnable");
         let cap = match method {
             Method::BiLoloha | Method::OLoloha => {
-                format!("{:.0} (g·ε∞)", m.reduced_domain.unwrap_or(2) as f64 * eps_inf)
+                format!(
+                    "{:.0} (g·ε∞)",
+                    m.reduced_domain.unwrap_or(2) as f64 * eps_inf
+                )
             }
             _ => format!("{:.0} (k·ε∞)", dataset.k() as f64 * eps_inf),
         };

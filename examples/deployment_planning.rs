@@ -68,6 +68,9 @@ fn main() {
     // Where Eq. (6) starts to matter: the g the optimal variant would pick.
     println!("\nEq. (6) optimal g by budget:");
     for eps_inf in [0.5, 1.0, 2.0, 3.0, 4.0, 5.0] {
-        println!("  eps_inf = {eps_inf:<4} alpha = 0.5  ->  g = {}", optimal_g(eps_inf, 0.5 * eps_inf));
+        println!(
+            "  eps_inf = {eps_inf:<4} alpha = 0.5  ->  g = {}",
+            optimal_g(eps_inf, 0.5 * eps_inf)
+        );
     }
 }

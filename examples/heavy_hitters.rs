@@ -62,7 +62,10 @@ fn main() {
     let mut clients: Vec<_> = (0..n)
         .map(|_| LolohaClient::new(&family, k, params, &mut rng).expect("client"))
         .collect();
-    let ids: Vec<_> = clients.iter().map(|c| server.register_user(c.hash_fn())).collect();
+    let ids: Vec<_> = clients
+        .iter()
+        .map(|c| server.register_user(c.hash_fn()))
+        .collect();
 
     // Value 7 is heavy from the start; value 20 becomes heavy at round 6.
     let mut tracker = HitterTracker::new(0.12, 0.06).expect("enter > exit");

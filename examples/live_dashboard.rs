@@ -30,7 +30,10 @@ fn main() {
     let mut clients: Vec<_> = (0..n)
         .map(|_| LolohaClient::new(&family, k, params, &mut rng).expect("client"))
         .collect();
-    let ids: Vec<_> = clients.iter().map(|c| monitor.register(c.hash_fn())).collect();
+    let ids: Vec<_> = clients
+        .iter()
+        .map(|c| monitor.register(c.hash_fn()))
+        .collect();
 
     // Usage starts concentrated on screens 0-7; screen 42 goes viral at
     // round 5. The drift signal should spike there.
@@ -50,10 +53,15 @@ fn main() {
         let est = monitor.close_round();
         let top = est.top_k(3);
         let radius = est.confidence_radius(0.05);
-        let drift = est.drift.map(|d| format!("{d:.3}")).unwrap_or_else(|| "-".into());
+        let drift = est
+            .drift
+            .map(|d| format!("{d:.3}"))
+            .unwrap_or_else(|| "-".into());
         println!(
             "round {round:2}: top3 = {:?} (+/-{radius:.3} w.p. 95%), drift = {drift}",
-            top.iter().map(|(v, f)| (*v, (f * 1000.0).round() / 1000.0)).collect::<Vec<_>>(),
+            top.iter()
+                .map(|(v, f)| (*v, (f * 1000.0).round() / 1000.0))
+                .collect::<Vec<_>>(),
         );
     }
 
@@ -65,7 +73,10 @@ fn main() {
     let mut anon: Vec<AnonymousReport<_>> = clients
         .iter_mut()
         .zip(&values)
-        .map(|(c, &v)| AnonymousReport { hash: *c.hash_fn(), cell: c.report(v, &mut rng) })
+        .map(|(c, &v)| AnonymousReport {
+            hash: *c.hash_fn(),
+            cell: c.report(v, &mut rng),
+        })
         .collect();
     Shuffler::shuffle(&mut anon, &mut rng);
     let mut counts = vec![0u64; k as usize];
@@ -86,9 +97,11 @@ fn main() {
     );
     let mut top: Vec<(usize, f64)> = est.iter().copied().enumerate().collect();
     top.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
-    println!("  top screen from shuffled reports: {} ({:.3})", top[0].0, top[0].1);
-    let central =
-        amplified_epsilon(params.eps_first(), n as u64, 1e-6).expect("amplifiable");
+    println!(
+        "  top screen from shuffled reports: {} ({:.3})",
+        top[0].0, top[0].1
+    );
+    let central = amplified_epsilon(params.eps_first(), n as u64, 1e-6).expect("amplifiable");
     println!(
         "  each eps_1 = {:.2} report is ({:.4}, 1e-6)-central-DP after shuffling",
         params.eps_first(),

@@ -16,9 +16,17 @@ use loloha_suite::rand::{derive_rng, uniform_f64, uniform_u64};
 /// Draws one user's true attribute values: skewed app category, bimodal
 /// session bucket, mostly-zero error class.
 fn draw_user<R: rand::RngCore>(rng: &mut R) -> [u64; 3] {
-    let app = if uniform_f64(rng) < 0.4 { 2 } else { uniform_u64(rng, 12) };
+    let app = if uniform_f64(rng) < 0.4 {
+        2
+    } else {
+        uniform_u64(rng, 12)
+    };
     let session = if uniform_f64(rng) < 0.5 { 1 } else { 6 };
-    let error = if uniform_f64(rng) < 0.85 { 0 } else { 1 + uniform_u64(rng, 5) };
+    let error = if uniform_f64(rng) < 0.85 {
+        0
+    } else {
+        1 + uniform_u64(rng, 5)
+    };
     [app, session, error]
 }
 
@@ -73,9 +81,21 @@ fn main() {
 
     println!("attribute 0 (app category, k = 12), n = {n}:");
     println!("  truth          : {:?}", rounded(&truth0));
-    println!("  SPL   estimate : {:?}  L1 = {:.3}", rounded(&spl_est[0]), l1_error(&spl_est[0], &truth0));
-    println!("  SMP   estimate : {:?}  L1 = {:.3}", rounded(&smp_est[0]), l1_error(&smp_est[0], &truth0));
-    println!("  RS+FD estimate : {:?}  L1 = {:.3}", rounded(&rsfd_est[0]), l1_error(&rsfd_est[0], &truth0));
+    println!(
+        "  SPL   estimate : {:?}  L1 = {:.3}",
+        rounded(&spl_est[0]),
+        l1_error(&spl_est[0], &truth0)
+    );
+    println!(
+        "  SMP   estimate : {:?}  L1 = {:.3}",
+        rounded(&smp_est[0]),
+        l1_error(&smp_est[0], &truth0)
+    );
+    println!(
+        "  RS+FD estimate : {:?}  L1 = {:.3}",
+        rounded(&rsfd_est[0]),
+        l1_error(&rsfd_est[0], &truth0)
+    );
     println!();
     println!("worst-case longitudinal caps: SPL = {spl_cap:.1} (sum over attributes), SMP = {smp_cap:.1} (one attribute)");
     println!("RS+FD hides WHICH attribute each user reported (fake uniform reports elsewhere).");

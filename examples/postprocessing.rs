@@ -13,7 +13,11 @@ use loloha_suite::postprocess::{Consistency, KalmanSmoother};
 use loloha_suite::rand::{derive_rng, uniform_f64, uniform_u64};
 
 fn mse(estimate: &[f64], truth: &[f64]) -> f64 {
-    estimate.iter().zip(truth).map(|(a, b)| (a - b).powi(2)).sum::<f64>()
+    estimate
+        .iter()
+        .zip(truth)
+        .map(|(a, b)| (a - b).powi(2))
+        .sum::<f64>()
         / estimate.len() as f64
 }
 
@@ -28,7 +32,10 @@ fn main() {
     let mut clients: Vec<_> = (0..n)
         .map(|_| LolohaClient::new(&family, k, params, &mut rng).expect("client"))
         .collect();
-    let ids: Vec<_> = clients.iter().map(|c| server.register_user(c.hash_fn())).collect();
+    let ids: Vec<_> = clients
+        .iter()
+        .map(|c| server.register_user(c.hash_fn()))
+        .collect();
 
     // The Kalman observation noise is the protocol's V*; the process noise
     // reflects the slow drift we inject (≈2% of users move per round).
@@ -56,7 +63,11 @@ fn main() {
         let projected = Consistency::NormSub.applied(&raw);
         let smoothed = kalman.update(&projected).expect("matching dimension");
 
-        let (r, p, s) = (mse(&raw, &truth), mse(&projected, &truth), mse(&smoothed, &truth));
+        let (r, p, s) = (
+            mse(&raw, &truth),
+            mse(&projected, &truth),
+            mse(&smoothed, &truth),
+        );
         raw_mse += r;
         proj_mse += p;
         smooth_mse += s;

@@ -18,14 +18,29 @@ fn main() {
     let (eps_inf, alpha) = (2.0, 0.5);
 
     // 1. Averaging attack: the adversary takes the mode of τ reports.
-    println!("1) averaging attack success (k = 16, eps_1 = {}):", alpha * eps_inf);
+    println!(
+        "1) averaging attack success (k = 16, eps_1 = {}):",
+        alpha * eps_inf
+    );
     println!("   {:<6} {:>14} {:>14}", "tau", "fresh noise", "memoized");
     for tau in [1usize, 10, 100] {
-        let fresh = averaging_attack(16, eps_inf, alpha * eps_inf, tau, 300, Regime::FreshNoise, 1)
-            .expect("valid");
+        let fresh = averaging_attack(
+            16,
+            eps_inf,
+            alpha * eps_inf,
+            tau,
+            300,
+            Regime::FreshNoise,
+            1,
+        )
+        .expect("valid");
         let memo = averaging_attack(16, eps_inf, alpha * eps_inf, tau, 300, Regime::Memoized, 1)
             .expect("valid");
-        println!("   {tau:<6} {:>13.1}% {:>13.1}%", 100.0 * fresh, 100.0 * memo);
+        println!(
+            "   {tau:<6} {:>13.1}% {:>13.1}%",
+            100.0 * fresh,
+            100.0 * memo
+        );
     }
     println!("   -> without memoization the true value leaks as tau grows.\n");
 
@@ -47,12 +62,20 @@ fn main() {
     println!("   -> LOLOHA's IRR step makes this attack impossible by design.\n");
 
     // 3. Budget audit after real churn.
-    println!("3) longitudinal budget after {} rounds of churn:", dataset.tau());
+    println!(
+        "3) longitudinal budget after {} rounds of churn:",
+        dataset.tau()
+    );
     println!(
         "   {:<12} {:>10} {:>10} {:>12}",
         "method", "eps_avg", "eps_max", "worst case"
     );
-    for method in [Method::BiLoloha, Method::OLoloha, Method::Rappor, Method::LGrr] {
+    for method in [
+        Method::BiLoloha,
+        Method::OLoloha,
+        Method::Rappor,
+        Method::LGrr,
+    ] {
         let cfg = ExperimentConfig::new(method, eps_inf, alpha, 6).expect("valid");
         let m = run_experiment(&dataset, &cfg).expect("runnable");
         let worst = match m.reduced_domain {

@@ -5,8 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use loloha_suite::loloha::{LolohaClient, LolohaParams, LolohaServer};
 use loloha_suite::hash::CarterWegman;
+use loloha_suite::loloha::{LolohaClient, LolohaParams, LolohaServer};
 use loloha_suite::rand::{derive_rng, uniform_f64, uniform_u64};
 
 fn main() {
@@ -30,7 +30,10 @@ fn main() {
     let mut clients: Vec<_> = (0..n)
         .map(|_| LolohaClient::new(&family, k, params, &mut rng).expect("client"))
         .collect();
-    let ids: Vec<_> = clients.iter().map(|c| server.register_user(c.hash_fn())).collect();
+    let ids: Vec<_> = clients
+        .iter()
+        .map(|c| server.register_user(c.hash_fn()))
+        .collect();
 
     // Ground truth: a skewed histogram that drifts over 10 rounds.
     let mut values: Vec<u64> = (0..n).map(|_| uniform_u64(&mut rng, k / 5)).collect();
@@ -55,9 +58,11 @@ fn main() {
     }
 
     // Privacy accounting: no user ever exceeds g·ε∞, no matter the churn.
-    let max_spent = clients.iter().map(|c| c.privacy_spent()).fold(0.0f64, f64::max);
-    let avg_spent =
-        clients.iter().map(|c| c.privacy_spent()).sum::<f64>() / clients.len() as f64;
+    let max_spent = clients
+        .iter()
+        .map(|c| c.privacy_spent())
+        .fold(0.0f64, f64::max);
+    let avg_spent = clients.iter().map(|c| c.privacy_spent()).sum::<f64>() / clients.len() as f64;
     println!(
         "longitudinal privacy spent: avg = {avg_spent:.2}, max = {max_spent:.2} \
          (cap = {:.2})",

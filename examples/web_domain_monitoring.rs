@@ -9,9 +9,9 @@
 //! ```
 
 use loloha_suite::analysis::table1_rows;
-use loloha_suite::loloha::{LolohaClient, LolohaParams};
 use loloha_suite::datasets::{DatasetSpec, FolkLikeDataset};
 use loloha_suite::hash::CarterWegman;
+use loloha_suite::loloha::{LolohaClient, LolohaParams};
 use loloha_suite::rand::derive_rng2;
 use loloha_suite::sim::config::dbit_buckets;
 use loloha_suite::sim::{run_experiment, ExperimentConfig, Method};
@@ -21,7 +21,11 @@ fn main() {
     // k = 1412 values, strongly correlated per user day-to-day.
     let dataset = FolkLikeDataset::montana().scaled(0.15, 0.5);
     let k = dataset.k();
-    println!("domain size k = {k}, users = {}, rounds = {}\n", dataset.n(), dataset.tau());
+    println!(
+        "domain size k = {k}, users = {}, rounds = {}\n",
+        dataset.n(),
+        dataset.tau()
+    );
 
     let (eps_inf, alpha) = (2.0, 0.5);
 
@@ -36,7 +40,12 @@ fn main() {
 
     // Measured behaviour.
     println!("\nmeasured on the evolving stream:");
-    for method in [Method::BiLoloha, Method::OLoloha, Method::LOsue, Method::LGrr] {
+    for method in [
+        Method::BiLoloha,
+        Method::OLoloha,
+        Method::LOsue,
+        Method::LGrr,
+    ] {
         let cfg = ExperimentConfig::new(method, eps_inf, alpha, 99).expect("valid");
         let m = run_experiment(&dataset, &cfg).expect("runnable");
         println!(
@@ -58,6 +67,8 @@ fn main() {
     println!(
         "\nplausible-deniability set sizes per hash cell (k/g ≈ {}): {:?}",
         k / params.g() as u64,
-        (0..params.g()).map(|c| pre.cell(c).len()).collect::<Vec<_>>()
+        (0..params.g())
+            .map(|c| pre.cell(c).len())
+            .collect::<Vec<_>>()
     );
 }

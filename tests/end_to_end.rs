@@ -39,7 +39,10 @@ fn fig3_utility_ordering_holds() {
     // each other (the paper's "competitive utility" claim).
     let best = losue.min(ololoha).min(rappor).min(biloloha);
     let worst = losue.max(ololoha).max(rappor).max(biloloha);
-    assert!(worst / best < 4.0, "double-randomization spread {best}..{worst}");
+    assert!(
+        worst / best < 4.0,
+        "double-randomization spread {best}..{worst}"
+    );
     // The laggards lag by an order of magnitude or more.
     assert!(onebit > 5.0 * worst, "1BitFlipPM {onebit} vs {worst}");
     assert!(lgrr > 5.0 * worst, "L-GRR {lgrr} vs {worst}");
@@ -79,12 +82,19 @@ fn fig4_budget_ordering_holds() {
 #[test]
 fn table2_detection_shape_holds() {
     let ds = SynDataset::new(90, 3_000, 10, 0.25);
-    let one_low = run(&ds, Method::OneBitFlip, 0.5, 0.5, 17).detection.unwrap();
-    let one_high = run(&ds, Method::OneBitFlip, 5.0, 0.5, 17).detection.unwrap();
+    let one_low = run(&ds, Method::OneBitFlip, 0.5, 0.5, 17)
+        .detection
+        .unwrap();
+    let one_high = run(&ds, Method::OneBitFlip, 5.0, 0.5, 17)
+        .detection
+        .unwrap();
     let full = run(&ds, Method::BBitFlip, 0.5, 0.5, 17).detection.unwrap();
 
     assert!(one_low.rate() < 0.02, "d=1 at eps 0.5: {}", one_low.rate());
-    assert!(one_high.rate() <= one_low.rate() + 0.01, "rate should not grow with eps");
+    assert!(
+        one_high.rate() <= one_low.rate() + 0.01,
+        "rate should not grow with eps"
+    );
     assert!(full.rate() > 0.98, "d=b: {}", full.rate());
 }
 
@@ -113,7 +123,11 @@ fn runs_are_reproducible() {
         assert_eq!(a.mse_avg.to_bits(), b.mse_avg.to_bits(), "{method:?}");
         assert_eq!(a.eps_avg.to_bits(), b.eps_avg.to_bits(), "{method:?}");
         let c = run(&ds, method, 2.0, 0.4, 32);
-        assert_ne!(a.mse_avg.to_bits(), c.mse_avg.to_bits(), "{method:?} seed-insensitive");
+        assert_ne!(
+            a.mse_avg.to_bits(),
+            c.mse_avg.to_bits(),
+            "{method:?} seed-insensitive"
+        );
     }
 }
 

@@ -4,9 +4,7 @@
 //! observable behaviour; and the multi-attribute wrappers preserve the
 //! single-attribute guarantees.
 
-use loloha_suite::attack::{
-    dbitflip_change_detection, loloha_change_exposure, MemoStyle,
-};
+use loloha_suite::attack::{dbitflip_change_detection, loloha_change_exposure, MemoStyle};
 use loloha_suite::hash::CarterWegman;
 use loloha_suite::heavyhitters::{top_k_with_radius, HitterTracker, Pem};
 use loloha_suite::loloha::theory::utility_bound;
@@ -34,11 +32,16 @@ fn pipeline_loloha_postprocess_tracker() {
     let family = CarterWegman::new(params.g()).unwrap();
     let mut server = LolohaServer::new(k, params).unwrap();
     let mut rng = derive_rng(11, 0);
-    let mut clients: Vec<_> =
-        (0..n).map(|_| LolohaClient::new(&family, k, params, &mut rng).unwrap()).collect();
-    let ids: Vec<_> = clients.iter().map(|c| server.register_user(c.hash_fn())).collect();
+    let mut clients: Vec<_> = (0..n)
+        .map(|_| LolohaClient::new(&family, k, params, &mut rng).unwrap())
+        .collect();
+    let ids: Vec<_> = clients
+        .iter()
+        .map(|c| server.register_user(c.hash_fn()))
+        .collect();
 
-    let mut kalman = KalmanSmoother::new(k as usize, 1e-7, params.variance_approx(n as f64)).unwrap();
+    let mut kalman =
+        KalmanSmoother::new(k as usize, 1e-7, params.variance_approx(n as f64)).unwrap();
     let mut tracker = HitterTracker::new(0.15, 0.05).unwrap();
     let (mut raw_acc, mut proj_acc, mut smooth_acc) = (0.0, 0.0, 0.0);
     let rounds = 12u32;
@@ -65,10 +68,19 @@ fn pipeline_loloha_postprocess_tracker() {
         smooth_acc += mse(&smoothed, &truth);
         tracker.update(&smoothed);
     }
-    assert!(proj_acc <= raw_acc, "projection must not hurt: {proj_acc} vs {raw_acc}");
-    assert!(smooth_acc < proj_acc, "smoothing must pay off: {smooth_acc} vs {proj_acc}");
+    assert!(
+        proj_acc <= raw_acc,
+        "projection must not hurt: {proj_acc} vs {raw_acc}"
+    );
+    assert!(
+        smooth_acc < proj_acc,
+        "smoothing must pay off: {smooth_acc} vs {proj_acc}"
+    );
     let active: Vec<u64> = tracker.active().collect();
-    assert!(active.contains(&3), "always-heavy value tracked: {active:?}");
+    assert!(
+        active.contains(&3),
+        "always-heavy value tracked: {active:?}"
+    );
     assert!(active.contains(&9), "emerging value tracked: {active:?}");
     assert!(active.len() <= 4, "no noise values tracked: {active:?}");
 }
@@ -78,22 +90,32 @@ fn pipeline_loloha_postprocess_tracker() {
 /// full-detection at d = 1, near-total at d = b.
 #[test]
 fn change_exposure_consistent_with_sim_detection() {
-    let one = dbitflip_change_detection(24, 1, 1.0, MemoStyle::PerClass).unwrap().expected;
-    let full = dbitflip_change_detection(24, 24, 1.0, MemoStyle::PerClass).unwrap().expected;
+    let one = dbitflip_change_detection(24, 1, 1.0, MemoStyle::PerClass)
+        .unwrap()
+        .expected;
+    let full = dbitflip_change_detection(24, 24, 1.0, MemoStyle::PerClass)
+        .unwrap()
+        .expected;
     assert!(one < 0.1);
     assert!(full > 0.99);
 
     let ds = loloha_suite::datasets::SynDataset::new(24, 3_000, 8, 0.25);
-    let d1 = run_experiment(&ds, &ExperimentConfig::new(Method::OneBitFlip, 1.0, 0.5, 3).unwrap())
-        .unwrap()
-        .detection
-        .unwrap()
-        .rate();
-    let db = run_experiment(&ds, &ExperimentConfig::new(Method::BBitFlip, 1.0, 0.5, 3).unwrap())
-        .unwrap()
-        .detection
-        .unwrap()
-        .rate();
+    let d1 = run_experiment(
+        &ds,
+        &ExperimentConfig::new(Method::OneBitFlip, 1.0, 0.5, 3).unwrap(),
+    )
+    .unwrap()
+    .detection
+    .unwrap()
+    .rate();
+    let db = run_experiment(
+        &ds,
+        &ExperimentConfig::new(Method::BBitFlip, 1.0, 0.5, 3).unwrap(),
+    )
+    .unwrap()
+    .detection
+    .unwrap()
+    .rate();
     // Sequence-level full detection is a harsher event than per-change
     // exposure, so the orderings must agree even if magnitudes differ.
     assert!(d1 < 0.1, "d=1 sequence detection {d1}");
@@ -108,8 +130,14 @@ fn change_exposure_consistent_with_sim_detection() {
 fn loloha_exposure_dominated_by_dbitflip() {
     for eps in [0.5, 1.0, 2.0, 4.0] {
         let lo = loloha_change_exposure(LolohaParams::bi(eps, 0.5 * eps).unwrap());
-        let db = dbitflip_change_detection(64, 64, eps, MemoStyle::PerClass).unwrap().expected;
-        assert!(lo.tv_advantage() < db, "eps {eps}: {} vs {db}", lo.tv_advantage());
+        let db = dbitflip_change_detection(64, 64, eps, MemoStyle::PerClass)
+            .unwrap()
+            .expected;
+        assert!(
+            lo.tv_advantage() < db,
+            "eps {eps}: {} vs {db}",
+            lo.tv_advantage()
+        );
     }
 }
 
@@ -138,7 +166,14 @@ fn pem_agrees_with_full_domain_topk() {
         .collect();
 
     // PEM route (one-shot, ε = 3).
-    let pem = Pem { bits, start_bits: 5, step_bits: 5, eps: 3.0, threshold: 0.04, max_candidates: 16 };
+    let pem = Pem {
+        bits,
+        start_bits: 5,
+        step_bits: 5,
+        eps: 3.0,
+        threshold: 0.04,
+        max_candidates: 16,
+    };
     let outcome = pem.identify(&values, &mut rng).unwrap();
     let pem_found: Vec<u64> = outcome.hitters.iter().map(|&(v, _)| v).collect();
     assert!(outcome.candidates_queried < (k as usize) / 4);
@@ -147,20 +182,29 @@ fn pem_agrees_with_full_domain_topk() {
     let params = LolohaParams::optimal(3.0, 1.5).unwrap();
     let family = CarterWegman::new(params.g()).unwrap();
     let mut server = LolohaServer::new(k, params).unwrap();
-    let mut clients: Vec<_> =
-        (0..n).map(|_| LolohaClient::new(&family, k, params, &mut rng).unwrap()).collect();
-    let ids: Vec<_> = clients.iter().map(|c| server.register_user(c.hash_fn())).collect();
+    let mut clients: Vec<_> = (0..n)
+        .map(|_| LolohaClient::new(&family, k, params, &mut rng).unwrap())
+        .collect();
+    let ids: Vec<_> = clients
+        .iter()
+        .map(|c| server.register_user(c.hash_fn()))
+        .collect();
     for ((client, &id), &v) in clients.iter_mut().zip(&ids).zip(&values) {
         server.ingest(id, client.report(v, &mut rng));
     }
     let estimate = server.estimate_and_reset();
     let radius = utility_bound(&params, n as u64, k, 0.05);
-    let full_found: Vec<u64> =
-        top_k_with_radius(&estimate, 3, radius).iter().map(|h| h.value).collect();
+    let full_found: Vec<u64> = top_k_with_radius(&estimate, 3, radius)
+        .iter()
+        .map(|h| h.value)
+        .collect();
 
     for h in heavy {
         assert!(pem_found.contains(&h), "PEM missed {h}: {pem_found:?}");
-        assert!(full_found.contains(&h), "full scan missed {h}: {full_found:?}");
+        assert!(
+            full_found.contains(&h),
+            "full scan missed {h}: {full_found:?}"
+        );
     }
 }
 
@@ -173,9 +217,13 @@ fn smp_preserves_longitudinal_caps_across_rounds() {
     let mut rng = derive_rng(31, 0);
     let mut server = SmpServer::new(&spec, ei, e1, Flavor::Bi).unwrap();
     let n = 6_000usize;
-    let mut users: Vec<_> =
-        (0..n).map(|_| SmpWrapper::new(&spec, ei, e1, Flavor::Bi, &mut rng).unwrap()).collect();
-    let ids: Vec<_> = users.iter().map(|u| server.register_user(u.attribute(), u.hash_fn())).collect();
+    let mut users: Vec<_> = (0..n)
+        .map(|_| SmpWrapper::new(&spec, ei, e1, Flavor::Bi, &mut rng).unwrap())
+        .collect();
+    let ids: Vec<_> = users
+        .iter()
+        .map(|u| server.register_user(u.attribute(), u.hash_fn()))
+        .collect();
     // Several rounds with churning values: the cap must hold regardless.
     for _ in 0..6 {
         for (u, &id) in users.iter_mut().zip(&ids) {
@@ -206,11 +254,14 @@ fn shuffling_breaks_linkage_but_not_estimates() {
     // above chance at generous ε and long sequences.
     let params = LolohaParams::bi(3.0, 1.5).unwrap();
     let mut rng = derive_rng(51, 0);
-    let raw = loloha_suite::attack::linkability::linkage_accuracy_loloha(
-        32, params, 64, 800, &mut rng,
-    )
-    .unwrap();
-    assert!(raw.accuracy > 0.6, "raw streams must be linkable: {}", raw.accuracy);
+    let raw =
+        loloha_suite::attack::linkability::linkage_accuracy_loloha(32, params, 64, 800, &mut rng)
+            .unwrap();
+    assert!(
+        raw.accuracy > 0.6,
+        "raw streams must be linkable: {}",
+        raw.accuracy
+    );
 
     // Shuffled: reports travel as (hash, cell) with no user id and the
     // shuffler erases submission order — the only remaining identity
@@ -219,11 +270,15 @@ fn shuffling_breaks_linkage_but_not_estimates() {
     let k = 32u64;
     let family = CarterWegman::new(params.g()).unwrap();
     let n = 2_000usize;
-    let mut clients: Vec<_> =
-        (0..n).map(|_| LolohaClient::new(&family, k, params, &mut rng).unwrap()).collect();
+    let mut clients: Vec<_> = (0..n)
+        .map(|_| LolohaClient::new(&family, k, params, &mut rng).unwrap())
+        .collect();
     let mut reports: Vec<AnonymousReport<_>> = clients
         .iter_mut()
-        .map(|c| AnonymousReport { hash: *c.hash_fn(), cell: c.report(5, &mut rng) })
+        .map(|c| AnonymousReport {
+            hash: *c.hash_fn(),
+            cell: c.report(5, &mut rng),
+        })
         .collect();
     let support = |reports: &[AnonymousReport<loloha_suite::hash::CwHash>]| -> Vec<u64> {
         let mut counts = vec![0u64; k as usize];
@@ -237,7 +292,11 @@ fn shuffling_breaks_linkage_but_not_estimates() {
     };
     let direct = support(&reports);
     Shuffler::shuffle(&mut reports, &mut rng);
-    assert_eq!(direct, support(&reports), "support counts are permutation-invariant");
+    assert_eq!(
+        direct,
+        support(&reports),
+        "support counts are permutation-invariant"
+    );
 }
 
 /// DDRM's flat budget versus LOLOHA's churn-dependent budget, measured on
@@ -251,9 +310,12 @@ fn ddrm_budget_flat_loloha_budget_grows() {
     let mut ddrm_server = DdrmServer::new(tau, eps).unwrap();
     let params = LolohaParams::bi(eps, 0.5).unwrap();
     let family = CarterWegman::new(params.g()).unwrap();
-    let mut lol: Vec<_> =
-        (0..n).map(|_| LolohaClient::new(&family, 2, params, &mut rng).unwrap()).collect();
-    let mut ddrm: Vec<_> = (0..n).map(|_| DdrmClient::new(tau, eps, &mut rng).unwrap()).collect();
+    let mut lol: Vec<_> = (0..n)
+        .map(|_| LolohaClient::new(&family, 2, params, &mut rng).unwrap())
+        .collect();
+    let mut ddrm: Vec<_> = (0..n)
+        .map(|_| DdrmClient::new(tau, eps, &mut rng).unwrap())
+        .collect();
 
     let mut values: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
     for _ in 0..tau {
@@ -272,6 +334,9 @@ fn ddrm_budget_flat_loloha_budget_grows() {
     let ddrm_spent: f64 = ddrm.iter().map(|c| c.privacy_spent()).sum::<f64>() / n as f64;
     let lol_spent: f64 = lol.iter().map(|c| c.privacy_spent()).sum::<f64>() / n as f64;
     assert!((ddrm_spent - eps).abs() < 1e-9, "DDRM budget exactly eps");
-    assert!(lol_spent > eps * 1.5, "churned LOLOHA budget near its 2eps cap: {lol_spent}");
+    assert!(
+        lol_spent > eps * 1.5,
+        "churned LOLOHA budget near its 2eps cap: {lol_spent}"
+    );
     assert!(lol_spent <= 2.0 * eps + 1e-9);
 }

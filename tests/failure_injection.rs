@@ -6,6 +6,7 @@
 
 use loloha_suite::attack;
 use loloha_suite::heavyhitters::{HitterTracker, Pem};
+use loloha_suite::loloha::{LolohaParams, LolohaServer, PrrOnlyServer};
 use loloha_suite::longitudinal::chain::{lgrr_params, ue_chain_params, UeChain};
 use loloha_suite::longitudinal::{DBitFlipClient, DdrmClient, DdrmServer, LgrrClient};
 use loloha_suite::multidim::spl::Flavor;
@@ -13,7 +14,6 @@ use loloha_suite::multidim::{AttributeSpec, RsfdGrrClient, SmpWrapper, SplWrappe
 use loloha_suite::postprocess::{ExponentialSmoother, KalmanSmoother, MovingAverage};
 use loloha_suite::primitives::{Grr, UeClient};
 use loloha_suite::rand::derive_rng;
-use loloha_suite::loloha::{LolohaParams, LolohaServer, PrrOnlyServer};
 use loloha_suite::sim::{ExperimentConfig, Method};
 
 /// The ε values every constructor must reject.
@@ -24,15 +24,30 @@ fn all_epsilon_constructors_reject_degenerate_budgets() {
     let mut rng = derive_rng(1, 0);
     for eps in BAD_EPSILONS {
         assert!(Grr::new(8, eps).is_err(), "Grr eps {eps}");
-        assert!(LolohaParams::bi(eps, eps / 2.0).is_err(), "LolohaParams eps {eps}");
-        assert!(LgrrClient::new(8, eps, eps / 2.0).is_err(), "LgrrClient eps {eps}");
+        assert!(
+            LolohaParams::bi(eps, eps / 2.0).is_err(),
+            "LolohaParams eps {eps}"
+        );
+        assert!(
+            LgrrClient::new(8, eps, eps / 2.0).is_err(),
+            "LgrrClient eps {eps}"
+        );
         assert!(
             ue_chain_params(UeChain::SueSue, eps, eps / 2.0).is_err(),
             "ue_chain eps {eps}"
         );
-        assert!(lgrr_params(8, eps, eps / 2.0).is_err(), "lgrr_params eps {eps}");
-        assert!(DBitFlipClient::new(16, 4, 2, eps, &mut rng).is_err(), "dbitflip eps {eps}");
-        assert!(DdrmClient::new(8, eps, &mut rng).is_err(), "ddrm client eps {eps}");
+        assert!(
+            lgrr_params(8, eps, eps / 2.0).is_err(),
+            "lgrr_params eps {eps}"
+        );
+        assert!(
+            DBitFlipClient::new(16, 4, 2, eps, &mut rng).is_err(),
+            "dbitflip eps {eps}"
+        );
+        assert!(
+            DdrmClient::new(8, eps, &mut rng).is_err(),
+            "ddrm client eps {eps}"
+        );
         assert!(DdrmServer::new(8, eps).is_err(), "ddrm server eps {eps}");
         assert!(PrrOnlyServer::new(8, 2, eps).is_err(), "prr-only eps {eps}");
         assert!(
@@ -50,16 +65,21 @@ fn all_epsilon_constructors_reject_degenerate_budgets() {
 fn epsilon_ordering_is_enforced_everywhere() {
     // Two-round protocols need 0 < ε1 < ε∞ strictly.
     for (ei, e1) in [(1.0, 1.0), (1.0, 1.5), (1.0, 0.0), (1.0, -0.5)] {
-        assert!(LolohaParams::bi(ei, e1).is_err(), "LolohaParams ({ei}, {e1})");
-        assert!(LolohaParams::optimal(ei, e1).is_err(), "optimal ({ei}, {e1})");
+        assert!(
+            LolohaParams::bi(ei, e1).is_err(),
+            "LolohaParams ({ei}, {e1})"
+        );
+        assert!(
+            LolohaParams::optimal(ei, e1).is_err(),
+            "optimal ({ei}, {e1})"
+        );
         assert!(
             ue_chain_params(UeChain::OueSue, ei, e1).is_err(),
             "ue_chain ({ei}, {e1})"
         );
         assert!(lgrr_params(8, ei, e1).is_err(), "lgrr ({ei}, {e1})");
         assert!(
-            ExperimentConfig::new(Method::BiLoloha, ei, e1 / ei, 1).is_err()
-                || e1 <= 0.0, // alpha ≤ 0 may be caught as epsilon instead
+            ExperimentConfig::new(Method::BiLoloha, ei, e1 / ei, 1).is_err() || e1 <= 0.0, // alpha ≤ 0 may be caught as epsilon instead
             "ExperimentConfig ({ei}, {e1})"
         );
     }
@@ -79,9 +99,18 @@ fn domain_bounds_are_enforced_everywhere() {
     assert!(LolohaParams::with_g(0, 1.0, 0.5).is_err());
     assert!(PrrOnlyServer::new(8, 1, 1.0).is_err());
     // dBitFlipPM needs 1 ≤ d ≤ b ≤ k.
-    assert!(DBitFlipClient::new(16, 4, 0, 1.0, &mut rng).is_err(), "d = 0");
-    assert!(DBitFlipClient::new(16, 4, 5, 1.0, &mut rng).is_err(), "d > b");
-    assert!(DBitFlipClient::new(16, 32, 4, 1.0, &mut rng).is_err(), "b > k");
+    assert!(
+        DBitFlipClient::new(16, 4, 0, 1.0, &mut rng).is_err(),
+        "d = 0"
+    );
+    assert!(
+        DBitFlipClient::new(16, 4, 5, 1.0, &mut rng).is_err(),
+        "d > b"
+    );
+    assert!(
+        DBitFlipClient::new(16, 32, 4, 1.0, &mut rng).is_err(),
+        "b > k"
+    );
     // Attribute specs need at least one attribute, each with k ≥ 2.
     assert!(AttributeSpec::new(vec![]).is_err());
     assert!(AttributeSpec::new(vec![4, 0]).is_err());
@@ -108,14 +137,41 @@ fn extension_constructors_reject_degenerate_shapes() {
     assert!(HitterTracker::new(0.1, 0.2).is_err());
     assert!(HitterTracker::new(1.2, 0.1).is_err());
     // PEM structural validation.
-    let good = Pem { bits: 10, start_bits: 4, step_bits: 3, eps: 1.0, threshold: 0.05, max_candidates: 8 };
+    let good = Pem {
+        bits: 10,
+        start_bits: 4,
+        step_bits: 3,
+        eps: 1.0,
+        threshold: 0.05,
+        max_candidates: 8,
+    };
     assert!(good.validate().is_ok());
     assert!(Pem { bits: 0, ..good }.validate().is_err());
     assert!(Pem { bits: 63, ..good }.validate().is_err());
-    assert!(Pem { start_bits: 11, ..good }.validate().is_err());
-    assert!(Pem { step_bits: 0, ..good }.validate().is_err());
-    assert!(Pem { threshold: 1.0, ..good }.validate().is_err());
-    assert!(Pem { max_candidates: 0, ..good }.validate().is_err());
+    assert!(Pem {
+        start_bits: 11,
+        ..good
+    }
+    .validate()
+    .is_err());
+    assert!(Pem {
+        step_bits: 0,
+        ..good
+    }
+    .validate()
+    .is_err());
+    assert!(Pem {
+        threshold: 1.0,
+        ..good
+    }
+    .validate()
+    .is_err());
+    assert!(Pem {
+        max_candidates: 0,
+        ..good
+    }
+    .validate()
+    .is_err());
 }
 
 #[test]
@@ -134,7 +190,13 @@ fn errors_are_displayable_and_comparable() {
 fn sweeps_survive_bad_cells() {
     // The property the error policy buys: a grid containing invalid cells
     // completes, collecting errors instead of aborting.
-    let grid = [(0.5f64, 0.5f64), (0.0, 0.5), (1.0, 0.99), (1.0, 1.01), (2.0, 0.4)];
+    let grid = [
+        (0.5f64, 0.5f64),
+        (0.0, 0.5),
+        (1.0, 0.99),
+        (1.0, 1.01),
+        (2.0, 0.4),
+    ];
     let mut ok = 0;
     let mut rejected = 0;
     for (ei, alpha) in grid {

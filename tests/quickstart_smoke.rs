@@ -1,0 +1,64 @@
+//! Workspace smoke test: the `examples/quickstart.rs` flow end-to-end at
+//! tiny scale, exercising the exact facade re-export paths the example uses
+//! (`loloha_suite::{loloha, hash, rand}`). If a facade re-export is renamed
+//! or unwired, this fails at compile time; if the protocol pipeline breaks,
+//! it fails at run time. CI additionally runs the full example via
+//! `cargo run --example quickstart`.
+
+use loloha_suite::hash::CarterWegman;
+use loloha_suite::loloha::{LolohaClient, LolohaParams, LolohaServer};
+use loloha_suite::rand::{derive_rng, uniform_f64, uniform_u64};
+
+#[test]
+fn quickstart_flow_runs_end_to_end() {
+    // Tiny version of the quickstart scenario: k = 12, 60 users, 3 rounds.
+    let k = 12u64;
+    let params = LolohaParams::bi(1.5, 0.6).expect("valid budgets");
+    assert_eq!(params.g(), 2, "BiLOLOHA fixes g = 2");
+    assert!(params.eps_irr() > 0.0);
+
+    let family = CarterWegman::new(params.g()).expect("valid g");
+    let mut server = LolohaServer::new(k, params).expect("valid server");
+    let mut rng = derive_rng(2023, 0);
+
+    let n = 60usize;
+    let mut clients: Vec<_> = (0..n)
+        .map(|_| LolohaClient::new(&family, k, params, &mut rng).expect("client"))
+        .collect();
+    let ids: Vec<_> = clients
+        .iter()
+        .map(|c| server.register_user(c.hash_fn()))
+        .collect();
+
+    let mut values: Vec<u64> = (0..n).map(|_| uniform_u64(&mut rng, k / 3)).collect();
+    for _round in 0..3usize {
+        for ((client, &id), value) in clients.iter_mut().zip(&ids).zip(&mut values) {
+            if uniform_f64(&mut rng) < 0.1 {
+                *value = uniform_u64(&mut rng, k);
+            }
+            let cell = client.report(*value, &mut rng);
+            server.ingest(id, cell);
+        }
+        let estimate = server.estimate_and_reset();
+        assert_eq!(estimate.len(), k as usize);
+        assert!(
+            estimate.iter().all(|f| f.is_finite()),
+            "estimates must be finite"
+        );
+        // Unbiased estimates sum to ~1 up to protocol noise; at this tiny
+        // scale allow a wide but still diagnostic tolerance.
+        let total: f64 = estimate.iter().sum();
+        assert!(
+            (total - 1.0).abs() < 0.75,
+            "estimate mass {total} strayed far from 1"
+        );
+    }
+
+    // Longitudinal accounting: nobody exceeds the g·ε∞ cap.
+    let max_spent = clients
+        .iter()
+        .map(|c| c.privacy_spent())
+        .fold(0.0f64, f64::max);
+    assert!(max_spent <= params.budget_cap() + 1e-9);
+    assert!(max_spent > 0.0, "privacy ledger should record spending");
+}

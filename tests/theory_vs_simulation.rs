@@ -73,7 +73,10 @@ fn ololoha_beats_biloloha_in_low_privacy_measured() {
         &ExperimentConfig::new(Method::OLoloha, ei, a, 3).expect("valid"),
     )
     .expect("runnable");
-    assert!(o.reduced_domain.unwrap() > 2, "optimal g must exceed 2 here");
+    assert!(
+        o.reduced_domain.unwrap() > 2,
+        "optimal g must exceed 2 here"
+    );
     assert!(
         o.mse_avg < bi.mse_avg,
         "OLOLOHA {} should beat BiLOLOHA {} at eps=5, alpha=0.6",

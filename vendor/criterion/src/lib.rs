@@ -1,0 +1,185 @@
+//! Vendored stand-in for the `criterion` crate (offline build).
+//!
+//! Provides the group / `bench_function` / `iter` / `iter_batched` surface
+//! the workspace's benches are written against, backed by a simple
+//! wall-clock median-of-samples measurement. No statistics engine, plots or
+//! baselines — just honest per-iteration timings on stderr, so
+//! `cargo bench` produces comparable numbers offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost. Only a hint here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs: batch many iterations together.
+    SmallInput,
+    /// Large inputs: fewer iterations per batch.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver, created by [`criterion_group!`].
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.to_string(), self.sample_size, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timing samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(&format!("  {name}"), samples, f);
+        self
+    }
+
+    /// Ends the group. (No-op: kept for API compatibility.)
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(label: &str, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        samples: samples.max(1),
+        per_iter: Vec::new(),
+    };
+    f(&mut bencher);
+    let mut times = bencher.per_iter;
+    if times.is_empty() {
+        eprintln!("{label}: no measurement");
+        return;
+    }
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    eprintln!(
+        "{label}: median {median:?}/iter over {} samples",
+        times.len()
+    );
+}
+
+/// Passed to each benchmark closure; runs and times the measured routine.
+pub struct Bencher {
+    samples: usize,
+    per_iter: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, one sample per call.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = routine();
+            self.per_iter.push(start.elapsed());
+            drop(out);
+        }
+    }
+
+    /// Times `routine` on inputs built by `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.per_iter.push(start.elapsed());
+            drop(out);
+        }
+    }
+}
+
+/// Bundles benchmark functions into one group runner, mirroring criterion's
+/// `criterion_group!(name, target, ...)` form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("add", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, spin);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

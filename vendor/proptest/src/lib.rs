@@ -1,0 +1,407 @@
+//! Vendored stand-in for the `proptest` crate (offline build).
+//!
+//! A small, fully deterministic property-testing harness that covers exactly
+//! the surface this workspace's test suites use:
+//!
+//! * [`proptest!`] — the test-definition macro (with optional
+//!   `#![proptest_config(...)]` header).
+//! * [`prop_compose!`] and [`prop_oneof!`] — strategy composition.
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`] — in-case assertions and rejection.
+//! * [`Strategy`] for integer/float ranges, [`any`], [`Just`],
+//!   [`collection::vec`], unions and closures.
+//!
+//! Unlike upstream proptest there is no shrinking: a failing case reports the
+//! exact generated inputs (which are reproducible — the RNG stream is a pure
+//! function of test name and case index) and panics.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Debug;
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{any, Arbitrary, Just, Strategy, Union};
+
+/// Why a single generated test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was vetoed by [`prop_assume!`]; it does not count as a run.
+    Reject(String),
+    /// An assertion failed; the test fails with this message.
+    Fail(String),
+}
+
+/// The result type every generated test case body evaluates to.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration, selected with `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` successful cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream proptest defaults to 256; this suite leans on closed-form
+        // checks rather than rare-event search, so a smaller default keeps
+        // tier-1 fast while still exercising wide input ranges.
+        Self { cases: 96 }
+    }
+}
+
+/// Deterministic per-case random source (SplitMix64 core).
+///
+/// The stream is a pure function of `(test identifier, case index)`, so a
+/// reported failure is reproducible by rerunning the same test binary.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Derives the RNG for one case of one property.
+    pub fn for_case(file: &str, test_name: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in file.bytes().chain(test_name.bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut rng = Self {
+            state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        };
+        // One warm-up step decorrelates nearby case indices.
+        rng.next_u64();
+        rng
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`. `bound` must be positive.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Rejection-free multiply-shift (Lemire); bias is < 2^-64 per draw,
+        // far below anything a test at this scale can observe.
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Executes one property: generates cases until `config.cases` of them run
+/// (rejections via [`prop_assume!`] are retried), panicking on the first
+/// failure with the generated inputs.
+///
+/// This is the engine behind the [`proptest!`] macro; tests never call it
+/// directly.
+pub fn run_property<F>(config: &ProptestConfig, file: &str, test_name: &str, mut one_case: F)
+where
+    F: FnMut(&mut TestRng) -> (String, TestCaseResult),
+{
+    let mut passed: u32 = 0;
+    let mut attempt: u64 = 0;
+    let max_attempts = (config.cases as u64) * 64 + 1024;
+    while passed < config.cases {
+        attempt += 1;
+        if attempt > max_attempts {
+            panic!(
+                "proptest stub: too many rejected cases in `{test_name}` \
+                 ({passed}/{} passed after {max_attempts} attempts)",
+                config.cases
+            );
+        }
+        let mut rng = TestRng::for_case(file, test_name, attempt);
+        let (inputs, outcome) = one_case(&mut rng);
+        match outcome {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest case failed: {msg}\n  test: {test_name} (case #{attempt})\n  inputs: {inputs}"
+                );
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy, Union};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof,
+        proptest, ProptestConfig, TestCaseError, TestCaseResult,
+    };
+
+    /// The `prop` namespace (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests. Each item looks like a `#[test]` function whose
+/// arguments are `pattern in strategy` pairs; the body may use the
+/// `prop_assert*`/`prop_assume!` macros.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal item-by-item expander for [`proptest!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($config:expr); ) => {};
+    (config = ($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            $crate::run_property(&__config, file!(), stringify!($name), |__rng| {
+                let mut __inputs = String::new();
+                $(
+                    let __value = $crate::Strategy::sample(&($strat), __rng);
+                    if !__inputs.is_empty() {
+                        __inputs.push_str(", ");
+                    }
+                    __inputs.push_str(concat!(stringify!($pat), " = "));
+                    __inputs.push_str(&format!("{:?}", &__value));
+                    let $pat = __value;
+                )+
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || -> $crate::TestCaseResult {
+                        $body
+                        Ok(())
+                    }),
+                );
+                match __outcome {
+                    Ok(result) => (__inputs, result),
+                    Err(payload) => {
+                        eprintln!(
+                            "proptest case panicked\n  test: {}\n  inputs: {}",
+                            stringify!($name),
+                            __inputs
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            });
+        }
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+}
+
+/// Defines a named strategy-returning function from inner strategies plus a
+/// mapping body: `prop_compose! { fn f()(x in 0..10u64) -> u64 { x * 2 } }`.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($outer:tt)*)
+        ($($pat:pat_param in $strat:expr),+ $(,)?) -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($outer)*) -> impl $crate::Strategy<Value = $ret> {
+            $crate::strategy::from_fn(move |__rng: &mut $crate::TestRng| -> $ret {
+                $(let $pat = $crate::Strategy::sample(&($strat), __rng);)+
+                $body
+            })
+        }
+    };
+}
+
+/// A strategy drawing uniformly from one of several alternative strategies
+/// that share a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}
+
+/// Asserts a condition inside a property body, failing the case (with the
+/// generated inputs reported) instead of unwinding immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} at {}:{}: {}",
+                stringify!($cond), file!(), line!(), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// [`prop_assert!`] for equality, reporting both operands.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                        "assertion failed: `{} == {}` at {}:{}\n  left: {:?}\n  right: {:?}",
+                        stringify!($left), stringify!($right), file!(), line!(), __l, __r
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                        "assertion failed: `{} == {}` at {}:{}: {}\n  left: {:?}\n  right: {:?}",
+                        stringify!($left), stringify!($right), file!(), line!(),
+                        format!($($fmt)+), __l, __r
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// [`prop_assert!`] for inequality, reporting both operands.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                        "assertion failed: `{} != {}` at {}:{}\n  both: {:?}",
+                        stringify!($left), stringify!($right), file!(), line!(), __l
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::core::result::Result::Err($crate::TestCaseError::Fail(format!(
+                        "assertion failed: `{} != {}` at {}:{}: {}\n  both: {:?}",
+                        stringify!($left), stringify!($right), file!(), line!(),
+                        format!($($fmt)+), __l
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Vetoes the current case: it is discarded (not failed) and regenerated.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum Coin {
+        Heads,
+        Tails,
+    }
+
+    fn arb_coin() -> impl Strategy<Value = Coin> {
+        prop_oneof![Just(Coin::Heads), Just(Coin::Tails)]
+    }
+
+    prop_compose! {
+        fn arb_pair()(a in 1u64..10, b in 1u64..10) -> (u64, u64) { (a, b) }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_are_honored(x in 3u64..17, f in -1.5f64..2.5, g in 0.0f64..=1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.5..2.5).contains(&f));
+            prop_assert!((0.0..=1.0).contains(&g));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in prop::collection::vec(0u32..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn oneof_and_compose(c in arb_coin(), (a, b) in arb_pair()) {
+            prop_assert!(c == Coin::Heads || c == Coin::Tails);
+            prop_assert!(a >= 1 && b >= 1);
+        }
+
+        #[test]
+        fn assume_rejects_but_never_fails(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+            prop_assert_ne!(x, 1);
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let mut a = crate::TestRng::for_case("f", "t", 7);
+        let mut b = crate::TestRng::for_case("f", "t", 7);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failures_panic_with_inputs() {
+        // No #[test] on the inner property: it is invoked by hand so the
+        // panic can be observed by the enclosing #[should_panic] test.
+        proptest! {
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

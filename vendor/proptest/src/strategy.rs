@@ -1,0 +1,276 @@
+//! Strategies: composable recipes for generating random test inputs.
+
+use crate::TestRng;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for producing random values of one type.
+///
+/// Mirrors the subset of `proptest::strategy::Strategy` this workspace uses:
+/// generation only, no shrinking.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value: Debug;
+
+    /// Draws one value from the strategy.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<T: Debug> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// Boxes a strategy for storage in heterogeneous collections ([`Union`]).
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// A strategy that always yields a clone of one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A uniform choice between alternative strategies over one value type.
+/// Built by the [`prop_oneof!`](crate::prop_oneof) macro.
+pub struct Union<T: Debug> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T: Debug> Union<T> {
+    /// A union over the given non-empty set of alternatives.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].sample(rng)
+    }
+}
+
+/// A strategy computed by a closure over the RNG. Backs
+/// [`prop_compose!`](crate::prop_compose) and ad-hoc generators.
+pub struct FnStrategy<F, T> {
+    f: F,
+    _marker: PhantomData<fn() -> T>,
+}
+
+/// Wraps a sampling closure as a [`Strategy`].
+pub fn from_fn<T, F>(f: F) -> FnStrategy<F, T>
+where
+    T: Debug,
+    F: Fn(&mut TestRng) -> T,
+{
+    FnStrategy {
+        f,
+        _marker: PhantomData,
+    }
+}
+
+impl<T, F> Strategy for FnStrategy<F, T>
+where
+    T: Debug,
+    F: Fn(&mut TestRng) -> T,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(rng)
+    }
+}
+
+/// Types with a canonical "any value" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized + Debug {
+    /// Draws an unconstrained value, biased toward boundary cases.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone)]
+pub struct AnyStrategy<T>(PhantomData<fn() -> T>);
+
+/// A strategy over every value of `T`, edge-case biased.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // One case in eight is a boundary value; the rest are uniform.
+                if rng.below(8) == 0 {
+                    const EDGES: [$t; 5] = [0, 1, 2, <$t>::MAX, <$t>::MAX - 1];
+                    EDGES[rng.below(EDGES.len() as u64) as usize]
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )+};
+}
+
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! arbitrary_int {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                if rng.below(8) == 0 {
+                    const EDGES: [$t; 6] = [0, 1, -1, <$t>::MAX, <$t>::MIN, <$t>::MIN + 1];
+                    EDGES[rng.below(EDGES.len() as u64) as usize]
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )+};
+}
+
+arbitrary_int!(i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.below(2) == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        if rng.below(8) == 0 {
+            const EDGES: [f64; 6] = [0.0, -0.0, 1.0, -1.0, f64::MAX, f64::MIN_POSITIVE];
+            EDGES[rng.below(EDGES.len() as u64) as usize]
+        } else {
+            // A wide but finite spread: sign * unit * 2^[-64, 64].
+            let sign = if rng.below(2) == 0 { 1.0 } else { -1.0 };
+            let exp = rng.below(129) as i32 - 64;
+            sign * rng.unit_f64() * (2.0f64).powi(exp)
+        }
+    }
+}
+
+macro_rules! range_strategy_int {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )+};
+}
+
+range_strategy_int!(u8, u16, u32, u64, usize);
+
+macro_rules! range_strategy_sint {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )+};
+}
+
+range_strategy_sint!(i8, i16, i32, i64, isize);
+
+macro_rules! range_strategy_float {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let u = rng.unit_f64() as $t;
+                let v = self.start + u * (self.end - self.start);
+                // Guard against round-up at the top of the interval.
+                if v >= self.end { self.start } else { v }
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                // Hit the exact endpoints occasionally: closed ranges are
+                // usually written to probe them (p = 0, p = 1, ...).
+                match rng.below(16) {
+                    0 => lo,
+                    1 => hi,
+                    _ => {
+                        let u = rng.unit_f64() as $t;
+                        let v = lo + u * (hi - lo);
+                        v.clamp(lo, hi)
+                    }
+                }
+            }
+        }
+    )+};
+}
+
+range_strategy_float!(f32, f64);
