@@ -1,0 +1,86 @@
+//! Criterion micro-benchmark: server-side ingestion of one collection
+//! round at paper scale (Syn: k = 360, n = 10 000 reports), comparing the
+//! pre-runtime fixed-chunk merge loop against the sharded streaming
+//! aggregator that replaced it, at several shard counts — plus the cost of
+//! a mid-stream snapshot.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ldp_rand::{derive_rng, uniform_u64};
+use ldp_runtime::{Method, ShardedAggregator};
+use loloha::{LolohaParams, LolohaServer};
+use std::hint::black_box;
+
+/// Paper-scale Syn round: k = 360, n = 10 000.
+const K: u64 = 360;
+const N_REPORTS: u64 = 10_000;
+
+/// Builds `parts` pre-aggregated partial histograms that together hold one
+/// round's worth of support counts (as the old engine's worker threads
+/// produced them).
+fn partials(parts: usize, seed: u64) -> Vec<Vec<u64>> {
+    let mut rng = derive_rng(seed, 0xBE7C);
+    let per_part = N_REPORTS / parts as u64;
+    (0..parts)
+        .map(|_| {
+            let mut counts = vec![0u64; K as usize];
+            // LOLOHA at g = 2 supports ~k/2 values per report.
+            for _ in 0..per_part * (K / 2) {
+                counts[uniform_u64(&mut rng, K) as usize] += 1;
+            }
+            counts
+        })
+        .collect()
+}
+
+/// The pre-runtime aggregation path: a hand-rolled merge loop over the
+/// fixed per-thread chunks, then one estimator call.
+fn fixed_chunk_merge(server: &mut LolohaServer, parts: &[Vec<u64>]) -> Vec<f64> {
+    let mut merged = vec![0u64; K as usize];
+    for p in parts {
+        for (m, &c) in merged.iter_mut().zip(p) {
+            *m += c;
+        }
+    }
+    server.ingest_counts(&merged, N_REPORTS);
+    server.estimate_and_reset()
+}
+
+fn bench_ingestion(c: &mut Criterion) {
+    let params = LolohaParams::bi(1.0, 0.5).expect("valid budgets");
+    let parts = partials(8, 99);
+    let batch_refs: Vec<(&[u64], u64)> = parts
+        .iter()
+        .map(|p| (p.as_slice(), N_REPORTS / parts.len() as u64))
+        .collect();
+
+    let mut group = c.benchmark_group("round_ingestion_syn_paper_scale");
+    group.sample_size(30);
+
+    group.bench_function("old_fixed_chunk_merge", |b| {
+        let mut server = LolohaServer::new(K, params).expect("valid");
+        b.iter(|| black_box(fixed_chunk_merge(&mut server, black_box(&parts))));
+    });
+
+    for shards in [1usize, 4, 8] {
+        group.bench_function(format!("sharded_one_shot_{shards}_shards"), |b| {
+            let mut agg = ShardedAggregator::for_method(Method::BiLoloha, K, 1.0, 0.5, shards)
+                .expect("valid");
+            b.iter(|| black_box(agg.one_shot(black_box(&batch_refs))));
+        });
+    }
+
+    group.bench_function("streaming_snapshot_mid_round", |b| {
+        let mut agg =
+            ShardedAggregator::for_method(Method::BiLoloha, K, 1.0, 0.5, 8).expect("valid");
+        agg.begin_round();
+        for (i, &(counts, reports)) in batch_refs.iter().enumerate() {
+            agg.push_batch(i % 8, counts, reports);
+        }
+        b.iter(|| black_box(agg.snapshot()));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingestion);
+criterion_main!(benches);

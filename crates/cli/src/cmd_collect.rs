@@ -14,8 +14,9 @@
 
 use crate::args::Flags;
 use crate::CliError;
-use ldp_hash::CarterWegman;
-use loloha::{LolohaClient, LolohaParams, LolohaServer};
+use ldp_hash::{CarterWegman, Preimages};
+use ldp_runtime::ShardedAggregator;
+use loloha::{LolohaClient, LolohaParams};
 use std::collections::BTreeMap;
 use std::io::BufRead;
 
@@ -73,12 +74,13 @@ pub fn parse_records<R: BufRead>(reader: &mut R) -> Result<Vec<Record>, CliError
 /// Runs the subcommand over `input`; returns the per-round estimates.
 pub fn run<R: BufRead>(argv: &[String], input: &mut R) -> Result<String, CliError> {
     let flags = Flags::parse(argv, &["optimal"])?;
-    flags.ensure_known(&["k", "eps-inf", "alpha", "seed", "top", "optimal"])?;
+    flags.ensure_known(&["k", "eps-inf", "alpha", "seed", "top", "shards", "optimal"])?;
     let k = flags.required_u64("k")?;
     let eps_inf = flags.required_f64("eps-inf")?;
     let alpha = flags.f64_or("alpha", 0.5)?;
     let seed = flags.u64_or("seed", 7)?;
     let top = flags.u64_or("top", 5)? as usize;
+    let shards = flags.u64_or("shards", 1)?.max(1);
     let params = if flags.switch("optimal") {
         LolohaParams::optimal(eps_inf, alpha * eps_inf)
     } else {
@@ -115,9 +117,12 @@ pub fn run<R: BufRead>(argv: &[String], input: &mut R) -> Result<String, CliErro
     }
 
     let family = CarterWegman::new(params.g()).ok_or_else(|| CliError::new("invalid g"))?;
-    let mut server = LolohaServer::new(k, params).map_err(CliError::new)?;
-    let mut clients: BTreeMap<u64, (LolohaClient<ldp_hash::CwHash>, loloha::server::UserId)> =
-        BTreeMap::new();
+    // The server side is the shared sharded aggregator: each user's report
+    // lands in the shard `user % shards`, and the merge is deterministic
+    // regardless of the shard count.
+    let mut agg =
+        ShardedAggregator::for_loloha(k, params, shards as usize).map_err(CliError::new)?;
+    let mut clients: BTreeMap<u64, (LolohaClient<ldp_hash::CwHash>, Preimages)> = BTreeMap::new();
     let mut rng = ldp_rand::derive_rng(seed, 0xC11);
 
     let mut out = format!(
@@ -128,19 +133,22 @@ pub fn run<R: BufRead>(argv: &[String], input: &mut R) -> Result<String, CliErro
     );
     for (round, entries) in &rounds {
         for &(user, value) in entries {
-            let (client, id) = match clients.entry(user) {
+            let (client, preimages) = match clients.entry(user) {
                 std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
                 std::collections::btree_map::Entry::Vacant(e) => {
                     let client =
                         LolohaClient::new(&family, k, params, &mut rng).map_err(CliError::new)?;
-                    let id = server.register_user(client.hash_fn());
-                    e.insert((client, id))
+                    let preimages = Preimages::build(client.hash_fn(), k);
+                    e.insert((client, preimages))
                 }
             };
             let cell = client.report(value, &mut rng);
-            server.ingest(*id, cell);
+            agg.push_report(
+                (user % shards) as usize,
+                preimages.cell(cell).iter().map(|&v| v as usize),
+            );
         }
-        let estimate = server.estimate_and_reset();
+        let estimate = agg.finish_round().estimate;
         let mut ranked: Vec<(usize, f64)> = estimate.iter().copied().enumerate().collect();
         ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         let shown: Vec<String> = ranked
@@ -220,6 +228,26 @@ mod tests {
             assert!(line.contains("top-2 = [3:"), "{line}");
         }
         assert!(out.contains("worst user spent"), "{out}");
+    }
+
+    #[test]
+    fn collect_output_is_shard_count_invariant() {
+        // The aggregator merge is deterministic, so spreading users over
+        // any number of shards must not change a single output byte.
+        let mut csv = String::from("round,user,value\n");
+        for u in 0..120u64 {
+            csv.push_str(&format!("0,{u},{}\n1,{u},{}\n", u % 6, (u + 1) % 6));
+        }
+        let args = "--k 6 --eps-inf 4.0 --alpha 0.5 --top 3";
+        let reference = run(&argv(args), &mut input(&csv)).unwrap();
+        for shards in [3u64, 8] {
+            let got = run(
+                &argv(&format!("{args} --shards {shards}")),
+                &mut input(&csv),
+            )
+            .unwrap();
+            assert_eq!(reference, got, "{shards} shards");
+        }
     }
 
     #[test]

@@ -60,6 +60,7 @@ USAGE:
   loloha-cli simulate --method M --dataset D --eps-inf E --alpha A
                       [--runs R] [--n-frac F] [--tau-frac F] [--seed S]
   loloha-cli collect  --k K --eps-inf E --alpha A [--optimal] [--seed S]
+                      [--shards N]
                       (reads `round,user,value` CSV lines from stdin)
   loloha-cli asr      --k K --eps-inf E --alpha A [--seed S]
 

@@ -2,64 +2,9 @@
 
 use ldp_primitives::error::ParamError;
 
-/// The longitudinal protocols evaluated in the paper (plus the two L-UE
-/// chaining extensions from Arcolezi et al. \[5\]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Method {
-    /// RAPPOR / L-SUE: SUE chained with SUE \[23\].
-    Rappor,
-    /// L-OSUE: OUE (PRR) chained with SUE (IRR) \[5\].
-    LOsue,
-    /// L-OUE: OUE chained with OUE (extension).
-    LOue,
-    /// L-SOUE: SUE chained with OUE (extension).
-    LSoue,
-    /// L-GRR: GRR chained with GRR \[5\].
-    LGrr,
-    /// BiLOLOHA: LOLOHA at g = 2 (privacy-tuned).
-    BiLoloha,
-    /// OLOLOHA: LOLOHA at the Eq. (6) optimal g (utility-tuned).
-    OLoloha,
-    /// 1BitFlipPM: dBitFlipPM with d = 1 (privacy-tuned) \[13\].
-    OneBitFlip,
-    /// bBitFlipPM: dBitFlipPM with d = b (utility-tuned) \[13\].
-    BBitFlip,
-}
-
-impl Method {
-    /// Display name matching the paper's figure legends.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Method::Rappor => "RAPPOR",
-            Method::LOsue => "L-OSUE",
-            Method::LOue => "L-OUE",
-            Method::LSoue => "L-SOUE",
-            Method::LGrr => "L-GRR",
-            Method::BiLoloha => "BiLOLOHA",
-            Method::OLoloha => "OLOLOHA",
-            Method::OneBitFlip => "1BitFlipPM",
-            Method::BBitFlip => "bBitFlipPM",
-        }
-    }
-
-    /// The seven methods of Figs. 3–4.
-    pub fn paper_set() -> [Method; 7] {
-        [
-            Method::BBitFlip,
-            Method::LOsue,
-            Method::OLoloha,
-            Method::Rappor,
-            Method::BiLoloha,
-            Method::OneBitFlip,
-            Method::LGrr,
-        ]
-    }
-
-    /// Whether the method is single-round (no IRR step): only dBitFlipPM.
-    pub fn single_round(&self) -> bool {
-        matches!(self, Method::OneBitFlip | Method::BBitFlip)
-    }
-}
+// The method registry lives in the aggregation runtime so every front end
+// (simulator, CLI, bench harness, examples) shares one protocol list.
+pub use ldp_runtime::{dbit_buckets, Method};
 
 /// One experiment cell: a method at a budget point.
 #[derive(Debug, Clone, Copy)]
@@ -120,33 +65,9 @@ impl ExperimentConfig {
     }
 }
 
-/// The paper's bucket choice for dBitFlipPM: `b = k` when `k ≤ 360`
-/// (Syn, Adult), `b = ⌊k/4⌋` for the large census domains.
-pub fn dbit_buckets(k: u64) -> u32 {
-    if k <= 360 {
-        k as u32
-    } else {
-        (k / 4) as u32
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn names_match_paper_legends() {
-        assert_eq!(Method::Rappor.name(), "RAPPOR");
-        assert_eq!(Method::BBitFlip.name(), "bBitFlipPM");
-        assert_eq!(Method::OneBitFlip.name(), "1BitFlipPM");
-    }
-
-    #[test]
-    fn paper_set_has_seven_methods() {
-        let set = Method::paper_set();
-        assert_eq!(set.len(), 7);
-        assert!(!set.contains(&Method::LOue));
-    }
 
     #[test]
     fn config_validation() {
@@ -155,14 +76,6 @@ mod tests {
         assert!(ExperimentConfig::new(Method::Rappor, 1.0, 1.0, 0).is_err());
         // Single-round methods ignore alpha entirely.
         assert!(ExperimentConfig::new(Method::BBitFlip, 1.0, 0.0, 0).is_ok());
-    }
-
-    #[test]
-    fn dbit_bucket_rule() {
-        assert_eq!(dbit_buckets(96), 96);
-        assert_eq!(dbit_buckets(360), 360);
-        assert_eq!(dbit_buckets(1412), 353);
-        assert_eq!(dbit_buckets(1234), 308);
     }
 
     #[test]

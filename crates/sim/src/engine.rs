@@ -4,25 +4,25 @@
 //! cell: `n` stateful clients over `τ` rounds, server-side estimation each
 //! round, and the paper's metrics at the end.
 //!
-//! Users are partitioned into chunks processed by worker threads. Each user
-//! owns an independent RNG stream derived from `(seed, user)`, so results
-//! are bit-identical regardless of the thread count. Workers accumulate
-//! *support counts* locally (walking LOLOHA hash preimages or UE set bits);
-//! the main thread merges them and applies the protocol's estimator.
+//! The engine is a thin driver over [`ldp_runtime::ShardedAggregator`]:
+//! users are partitioned into chunks, each worker thread fills one
+//! aggregator shard with its chunk's support counts, and the aggregator
+//! merges and estimates at the end of every round. Each user owns an
+//! independent RNG stream derived from `(seed, user)` and the shard merge
+//! is an order-independent sum, so results are bit-identical regardless of
+//! the thread/shard count.
 
-use crate::config::{dbit_buckets, ExperimentConfig, Method};
+use crate::config::{ExperimentConfig, Method};
 use crate::detection::{DetectionSummary, DetectionTrack};
 use crate::metrics::mse;
 use ldp_datasets::{empirical_histogram, DatasetSpec};
-use ldp_hash::{BucketMapper, CarterWegman, CwHash, Preimages};
-use ldp_longitudinal::chain::{ue_chain_params, UeChain};
-use ldp_longitudinal::{
-    DBitFlipClient, DBitFlipServer, LgrrClient, LgrrServer, LongitudinalUeClient, LueServer,
-};
+use ldp_hash::{CarterWegman, CwHash, Preimages};
+use ldp_longitudinal::{DBitFlipClient, LgrrClient, LongitudinalUeClient};
 use ldp_primitives::error::ParamError;
 use ldp_primitives::BitVec;
 use ldp_rand::{derive_rng2, LdpRng};
-use loloha::{LolohaClient, LolohaParams, LolohaServer};
+use ldp_runtime::{Shard, ShardedAggregator};
+use loloha::LolohaClient;
 
 /// Outcome of one experiment cell.
 #[derive(Debug, Clone)]
@@ -81,119 +81,8 @@ struct SimUser {
     detect: Option<DetectionTrack>,
 }
 
-enum Estimator {
-    Lue(LueServer),
-    Lgrr(LgrrServer),
-    Loloha(LolohaServer),
-    DBit {
-        server: DBitFlipServer,
-        mapper: BucketMapper,
-    },
-}
-
-impl Estimator {
-    fn dim(&self, k: u64) -> usize {
-        match self {
-            Estimator::DBit { mapper, .. } => mapper.b() as usize,
-            _ => k as usize,
-        }
-    }
-
-    fn estimate(&mut self, counts: &[u64], n: u64) -> Vec<f64> {
-        match self {
-            Estimator::Lue(s) => {
-                s.ingest_counts(counts, n);
-                s.estimate_and_reset()
-            }
-            Estimator::Lgrr(s) => {
-                s.ingest_counts(counts, n);
-                s.estimate_and_reset()
-            }
-            Estimator::Loloha(s) => {
-                s.ingest_counts(counts, n);
-                s.estimate_and_reset()
-            }
-            Estimator::DBit { server, .. } => {
-                server.ingest_counts(counts, n);
-                server.estimate_and_reset()
-            }
-        }
-    }
-}
-
-/// Protocol-wide immutable pieces resolved from the configuration.
-struct MethodSetup {
-    estimator: Estimator,
-    reduced_domain: Option<u32>,
-    comparable_mse: bool,
-    loloha_params: Option<LolohaParams>,
-    dbit: Option<(u32, u32)>, // (b, d)
-}
-
-fn resolve_method(
-    method: Method,
-    k: u64,
-    eps_inf: f64,
-    eps_first: f64,
-) -> Result<MethodSetup, ParamError> {
-    let chain_of = |c: UeChain| ue_chain_params(c, eps_inf, eps_first);
-    Ok(match method {
-        Method::Rappor | Method::LOsue | Method::LOue | Method::LSoue => {
-            let chain = match method {
-                Method::Rappor => UeChain::SueSue,
-                Method::LOsue => UeChain::OueSue,
-                Method::LOue => UeChain::OueOue,
-                _ => UeChain::SueOue,
-            };
-            MethodSetup {
-                estimator: Estimator::Lue(LueServer::new(k, chain_of(chain)?)?),
-                reduced_domain: None,
-                comparable_mse: true,
-                loloha_params: None,
-                dbit: None,
-            }
-        }
-        Method::LGrr => MethodSetup {
-            estimator: Estimator::Lgrr(LgrrServer::new(k, eps_inf, eps_first)?),
-            reduced_domain: None,
-            comparable_mse: true,
-            loloha_params: None,
-            dbit: None,
-        },
-        Method::BiLoloha | Method::OLoloha => {
-            let params = if method == Method::BiLoloha {
-                LolohaParams::bi(eps_inf, eps_first)?
-            } else {
-                LolohaParams::optimal(eps_inf, eps_first)?
-            };
-            MethodSetup {
-                estimator: Estimator::Loloha(LolohaServer::new(k, params)?),
-                reduced_domain: Some(params.g()),
-                comparable_mse: true,
-                loloha_params: Some(params),
-                dbit: None,
-            }
-        }
-        Method::OneBitFlip | Method::BBitFlip => {
-            let b = dbit_buckets(k);
-            let d = if method == Method::OneBitFlip { 1 } else { b };
-            let mapper = BucketMapper::new(k, b).ok_or(ParamError::InvalidBuckets { b, d, k })?;
-            MethodSetup {
-                estimator: Estimator::DBit {
-                    server: DBitFlipServer::new(b, d, eps_inf)?,
-                    mapper,
-                },
-                reduced_domain: Some(b),
-                comparable_mse: b as u64 == k,
-                loloha_params: None,
-                dbit: Some((b, d)),
-            }
-        }
-    })
-}
-
 fn make_user(
-    setup: &MethodSetup,
+    agg: &ShardedAggregator,
     method: Method,
     k: u64,
     eps_inf: f64,
@@ -204,12 +93,7 @@ fn make_user(
     let mut rng = derive_rng2(seed, 0x00C1_1E47, user as u64);
     let (state, detect) = match method {
         Method::Rappor | Method::LOsue | Method::LOue | Method::LSoue => {
-            let chain = match method {
-                Method::Rappor => UeChain::SueSue,
-                Method::LOsue => UeChain::OueSue,
-                Method::LOue => UeChain::OueOue,
-                _ => UeChain::SueOue,
-            };
+            let chain = method.ue_chain().expect("UE-chained method");
             (
                 ClientState::Lue(Box::new(LongitudinalUeClient::new(
                     chain, k, eps_inf, eps_first,
@@ -222,7 +106,7 @@ fn make_user(
             None,
         ),
         Method::BiLoloha | Method::OLoloha => {
-            let params = setup.loloha_params.expect("resolved for LOLOHA methods");
+            let params = agg.loloha_params().expect("resolved for LOLOHA methods");
             let family =
                 CarterWegman::new(params.g()).ok_or(ParamError::InvalidG { g: params.g() })?;
             let client = LolohaClient::new(&family, k, params, &mut rng)?;
@@ -236,7 +120,7 @@ fn make_user(
             )
         }
         Method::OneBitFlip | Method::BBitFlip => {
-            let (b, d) = setup.dbit.expect("resolved for dBitFlip methods");
+            let (b, d) = agg.dbit_config().expect("resolved for dBitFlip methods");
             let client = DBitFlipClient::new(k, b, d, eps_inf, &mut rng)?;
             (
                 ClientState::DBit(Box::new(client)),
@@ -247,30 +131,24 @@ fn make_user(
     Ok(SimUser { state, rng, detect })
 }
 
-/// Processes one user for one round, adding their support into `counts`.
-fn process_user(user: &mut SimUser, value: u64, counts: &mut [u64], scratch: &mut BitVec) {
+/// Processes one user for one round, folding their report into `shard`.
+fn process_user(user: &mut SimUser, value: u64, shard: &mut Shard, scratch: &mut BitVec) {
     match &mut user.state {
         ClientState::Lue(c) => {
             c.report_into(value, &mut user.rng, scratch);
-            for i in scratch.iter_ones() {
-                counts[i] += 1;
-            }
+            shard.add_report(scratch.iter_ones());
         }
         ClientState::Lgrr(c) => {
-            counts[c.report(value, &mut user.rng) as usize] += 1;
+            shard.add_report(std::iter::once(c.report(value, &mut user.rng) as usize));
         }
         ClientState::Loloha { client, preimages } => {
             let cell = client.report(value, &mut user.rng);
-            for &v in preimages.cell(cell) {
-                counts[v as usize] += 1;
-            }
+            shard.add_report(preimages.cell(cell).iter().map(|&v| v as usize));
         }
         ClientState::DBit(c) => {
             let report = c.report(value, &mut user.rng);
             let sampled = c.sampled();
-            for l in report.bits.iter_ones() {
-                counts[sampled[l] as usize] += 1;
-            }
+            shard.add_report(report.bits.iter_ones().map(|l| sampled[l] as usize));
             if let Some(track) = &mut user.detect {
                 track.observe(c.bucket_of(value), &report.bits);
             }
@@ -287,18 +165,19 @@ pub fn run_experiment(
     let n = dataset.n();
     let tau = dataset.tau();
     let eps_first = cfg.eps_first();
-    let mut setup = resolve_method(cfg.method, k, cfg.eps_inf, eps_first)?;
-    let dim = setup.estimator.dim(k);
+
+    // One aggregator shard per worker thread.
+    let threads = cfg.effective_threads().clamp(1, n.max(1));
+    let mut agg = ShardedAggregator::for_method(cfg.method, k, cfg.eps_inf, eps_first, threads)?;
 
     // Build users, chunked for the worker threads.
-    let threads = cfg.effective_threads().clamp(1, n.max(1));
     let chunk_len = n.div_ceil(threads);
     let mut chunks: Vec<Vec<SimUser>> = Vec::with_capacity(threads);
     {
         let mut users = Vec::with_capacity(n);
         for u in 0..n {
             users.push(make_user(
-                &setup,
+                &agg,
                 cfg.method,
                 k,
                 cfg.eps_inf,
@@ -317,28 +196,26 @@ pub fn run_experiment(
     }
 
     let mut data = dataset.instantiate(cfg.seed);
-    let mut partials: Vec<Vec<u64>> = (0..chunks.len()).map(|_| vec![0u64; dim]).collect();
     let mut mse_sum = 0.0;
     let mut mse_rounds = 0usize;
 
     for _t in 0..tau {
         let values = data.step();
         assert_eq!(values.len(), n, "dataset produced wrong population size");
-        for p in &mut partials {
-            p.fill(0);
-        }
-        // Dispatch chunks to scoped worker threads.
+        // The aggregator starts zeroed and finish_round resets the shards,
+        // so each iteration begins on a clean round.
+        // Dispatch chunks to scoped worker threads, one shard each.
         std::thread::scope(|s| {
             let mut offset = 0usize;
             let mut handles = Vec::new();
-            for (chunk, partial) in chunks.iter_mut().zip(&mut partials) {
+            for (chunk, shard) in chunks.iter_mut().zip(agg.shards_mut()) {
                 let slice = &values[offset..offset + chunk.len()];
                 offset += chunk.len();
                 let k_usize = k as usize;
                 handles.push(s.spawn(move || {
                     let mut scratch = BitVec::zeros(k_usize);
                     for (user, &v) in chunk.iter_mut().zip(slice) {
-                        process_user(user, v, partial, &mut scratch);
+                        process_user(user, v, shard, &mut scratch);
                     }
                 }));
             }
@@ -346,17 +223,11 @@ pub fn run_experiment(
                 h.join().expect("worker thread panicked");
             }
         });
-        // Merge and estimate.
-        let mut merged = vec![0u64; dim];
-        for p in &partials {
-            for (m, &c) in merged.iter_mut().zip(p) {
-                *m += c;
-            }
-        }
-        let estimate = setup.estimator.estimate(&merged, n as u64);
-        if setup.comparable_mse {
+        let round = agg.finish_round();
+        debug_assert_eq!(round.reports, n as u64, "every user reports every round");
+        if agg.k_binned() {
             let truth = empirical_histogram(values, k);
-            mse_sum += mse(&estimate, &truth);
+            mse_sum += mse(&round.estimate, &truth);
             mse_rounds += 1;
         }
     }
@@ -391,8 +262,8 @@ pub fn run_experiment(
         eps_max,
         distinct_avg: distinct_sum / n as f64,
         detection,
-        reduced_domain: setup.reduced_domain,
-        comparable_mse: setup.comparable_mse,
+        reduced_domain: agg.reduced_domain(),
+        comparable_mse: agg.k_binned(),
     })
 }
 
@@ -423,16 +294,33 @@ mod tests {
     }
 
     #[test]
-    fn results_are_thread_count_invariant() {
-        let cfg1 = ExperimentConfig::new(Method::BiLoloha, 2.0, 0.5, 5)
-            .unwrap()
-            .with_threads(1);
-        let cfg4 = cfg1.with_threads(4);
-        let ds = small_syn();
-        let a = run_experiment(&ds, &cfg1).unwrap();
-        let b = run_experiment(&ds, &cfg4).unwrap();
-        assert_eq!(a.mse_avg.to_bits(), b.mse_avg.to_bits());
-        assert_eq!(a.eps_avg.to_bits(), b.eps_avg.to_bits());
+    fn results_are_shard_count_invariant_for_every_method() {
+        // The aggregator merge is an order-independent sum and every user
+        // owns a (seed, user)-derived RNG stream, so 1, 3, and 8 worker
+        // shards must agree bit-for-bit — for all nine protocol variants.
+        let ds = SynDataset::new(16, 240, 3, 0.3);
+        for method in Method::all() {
+            let base = ExperimentConfig::new(method, 2.0, 0.5, 5).unwrap();
+            let reference = run_experiment(&ds, &base.with_threads(1)).unwrap();
+            for threads in [3usize, 8] {
+                let m = run_experiment(&ds, &base.with_threads(threads)).unwrap();
+                assert_eq!(
+                    reference.mse_avg.to_bits(),
+                    m.mse_avg.to_bits(),
+                    "{method:?} mse at {threads} threads"
+                );
+                assert_eq!(
+                    reference.eps_avg.to_bits(),
+                    m.eps_avg.to_bits(),
+                    "{method:?} eps at {threads} threads"
+                );
+                assert_eq!(
+                    reference.distinct_avg.to_bits(),
+                    m.distinct_avg.to_bits(),
+                    "{method:?} distinct at {threads} threads"
+                );
+            }
+        }
     }
 
     #[test]

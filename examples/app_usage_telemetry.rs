@@ -10,8 +10,7 @@
 //! cargo run --release --example app_usage_telemetry
 //! ```
 
-use loloha_suite::datasets::{empirical_histogram, DatasetSpec, SynDataset};
-use loloha_suite::sim::{run_experiment, ExperimentConfig, Method};
+use loloha_suite::prelude::*;
 
 fn main() {
     // A laptop-scale slice of the paper's Syn workload: 2 000 users over 30

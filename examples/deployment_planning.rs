@@ -8,7 +8,7 @@
 //! ```
 
 use loloha_suite::loloha::theory::utility_bound;
-use loloha_suite::loloha::{optimal_g, LolohaParams};
+use loloha_suite::prelude::*;
 
 /// Smallest n such that the Prop. 3.6 radius at confidence `1 − beta`
 /// drops below `target` (binary search; the radius is ∝ 1/√n).

@@ -6,11 +6,9 @@
 //! cargo run --release --example heavy_hitters
 //! ```
 
-use loloha_suite::hash::CarterWegman;
 use loloha_suite::heavyhitters::{top_k_with_radius, HitterTracker, Pem};
 use loloha_suite::loloha::theory::utility_bound;
-use loloha_suite::loloha::{LolohaClient, LolohaParams, LolohaServer};
-use loloha_suite::rand::{derive_rng, uniform_f64, uniform_u64};
+use loloha_suite::prelude::*;
 
 fn main() {
     let mut rng = derive_rng(7, 0);

@@ -1,16 +1,15 @@
 //! A live monitoring dashboard built on the high-level `FrequencyMonitor`
 //! API: heavy hitters, Prop. 3.6 confidence radii, drift alarms, and — as a
 //! final section — the shuffle-model pipeline where the server estimates
-//! from an *anonymized multiset* of reports instead of registered users.
+//! from an *anonymized multiset* of reports flowing through the sharded
+//! streaming aggregator, with a mid-stream snapshot taken before the last
+//! batch arrives.
 //!
 //! ```sh
 //! cargo run --release --example live_dashboard
 //! ```
 
-use loloha_suite::hash::{CarterWegman, Preimages};
-use loloha_suite::loloha::{FrequencyMonitor, LolohaClient, LolohaParams};
-use loloha_suite::primitives::estimator::chained_frequency_estimates;
-use loloha_suite::rand::{derive_rng, uniform_f64, uniform_u64};
+use loloha_suite::prelude::*;
 use loloha_suite::shuffle::{amplified_epsilon, AnonymousReport, Shuffler};
 
 fn main() {
@@ -65,11 +64,12 @@ fn main() {
         );
     }
 
-    // --- Shuffle-model round -------------------------------------------
+    // --- Shuffle-model round through the streaming aggregator -----------
     // Reports travel as (hash, cell) pairs with no user identifier; the
-    // shuffler permutes them and the server counts supports directly from
-    // each report's hash. Same estimator, no pseudonymous linkage.
-    println!("\nshuffle-model round (anonymized multiset):");
+    // shuffler permutes them and each report's hash preimages feed one of
+    // the aggregator's shards. Same estimator, no pseudonymous linkage —
+    // and a non-destructive snapshot serves the dashboard mid-stream.
+    println!("\nshuffle-model round (anonymized multiset, 4-shard stream):");
     let mut anon: Vec<AnonymousReport<_>> = clients
         .iter_mut()
         .zip(&values)
@@ -79,27 +79,29 @@ fn main() {
         })
         .collect();
     Shuffler::shuffle(&mut anon, &mut rng);
-    let mut counts = vec![0u64; k as usize];
-    for r in &anon {
-        let pre = Preimages::build(&r.hash, k);
-        for &v in pre.cell(r.cell) {
-            counts[v as usize] += 1;
+
+    let shards = 4usize;
+    let mut agg = ShardedAggregator::for_loloha(k, params, shards).expect("valid params");
+    let midpoint = anon.len() / 2;
+    for (i, r) in anon.iter().enumerate() {
+        if i == midpoint {
+            // Halfway through the stream: peek without closing the round.
+            let snap = agg.snapshot();
+            let (screen, freq) = top_screen(&snap.estimate);
+            println!(
+                "  after {} of {} reports: provisional top screen {screen} ({freq:.3})",
+                snap.reports,
+                anon.len()
+            );
         }
+        let pre = Preimages::build(&r.hash, k);
+        agg.push_report(i % shards, pre.cell(r.cell).iter().map(|&v| v as usize));
     }
-    let counts_f: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
-    let est = chained_frequency_estimates(
-        &counts_f,
-        n as f64,
-        params.prr().p,
-        params.q1_server(),
-        params.irr().p,
-        params.irr().q,
-    );
-    let mut top: Vec<(usize, f64)> = est.iter().copied().enumerate().collect();
-    top.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    let final_round = agg.finish_round();
+    let (screen, freq) = top_screen(&final_round.estimate);
     println!(
-        "  top screen from shuffled reports: {} ({:.3})",
-        top[0].0, top[0].1
+        "  final ({} reports): top screen {screen} ({freq:.3})",
+        final_round.reports
     );
     let central = amplified_epsilon(params.eps_first(), n as u64, 1e-6).expect("amplifiable");
     println!(
@@ -107,4 +109,13 @@ fn main() {
         params.eps_first(),
         central
     );
+}
+
+fn top_screen(estimate: &[f64]) -> (usize, f64) {
+    estimate
+        .iter()
+        .copied()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .expect("non-empty")
 }

@@ -7,10 +7,8 @@
 //! cargo run --release --example postprocessing
 //! ```
 
-use loloha_suite::hash::CarterWegman;
-use loloha_suite::loloha::{LolohaClient, LolohaParams, LolohaServer};
 use loloha_suite::postprocess::{Consistency, KalmanSmoother};
-use loloha_suite::rand::{derive_rng, uniform_f64, uniform_u64};
+use loloha_suite::prelude::*;
 
 fn mse(estimate: &[f64], truth: &[f64]) -> f64 {
     estimate

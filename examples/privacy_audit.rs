@@ -10,9 +10,8 @@
 //! cargo run --release --example privacy_audit
 //! ```
 
-use loloha_suite::datasets::{DatasetSpec, SynDataset};
+use loloha_suite::prelude::*;
 use loloha_suite::sim::attack::{averaging_attack, Regime};
-use loloha_suite::sim::{run_experiment, ExperimentConfig, Method};
 
 fn main() {
     let (eps_inf, alpha) = (2.0, 0.5);

@@ -5,9 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use loloha_suite::hash::CarterWegman;
-use loloha_suite::loloha::{LolohaClient, LolohaParams, LolohaServer};
-use loloha_suite::rand::{derive_rng, uniform_f64, uniform_u64};
+use loloha_suite::prelude::*;
 
 fn main() {
     // Domain: k = 50 possible values; budgets: ε∞ = 1.5 over the whole

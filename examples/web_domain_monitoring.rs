@@ -9,12 +9,7 @@
 //! ```
 
 use loloha_suite::analysis::table1_rows;
-use loloha_suite::datasets::{DatasetSpec, FolkLikeDataset};
-use loloha_suite::hash::CarterWegman;
-use loloha_suite::loloha::{LolohaClient, LolohaParams};
-use loloha_suite::rand::derive_rng2;
-use loloha_suite::sim::config::dbit_buckets;
-use loloha_suite::sim::{run_experiment, ExperimentConfig, Method};
+use loloha_suite::prelude::*;
 
 fn main() {
     // A census-scale domain standing in for "favourite site of the day":

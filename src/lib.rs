@@ -22,9 +22,17 @@
 //!   paper's `multi-freq-ldpy` future-work integration.
 //! * [`heavyhitters`] — top-k with confidence, PEM over huge domains, and
 //!   longitudinal heavy-hitter tracking.
+//! * [`runtime`] — the sharded streaming aggregation engine every front
+//!   end (simulator, CLI, examples) collects reports through.
+//!
+//! Downstream users who only need the stable surface should prefer
+//! [`prelude`], which curates the commonly used items instead of exposing
+//! every internal of every crate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod prelude;
 
 pub use ldp_analysis as analysis;
 pub use ldp_attack as attack;
@@ -36,6 +44,7 @@ pub use ldp_multidim as multidim;
 pub use ldp_postprocess as postprocess;
 pub use ldp_primitives as primitives;
 pub use ldp_rand as rand;
+pub use ldp_runtime as runtime;
 pub use ldp_shuffle as shuffle;
 pub use ldp_sim as sim;
 pub use loloha;

@@ -75,6 +75,45 @@ proptest! {
         prop_assert!(m.mse_avg >= 0.0);
     }
 
+    /// `run_experiment` is a pure function of the cell: spreading the same
+    /// users over 1, 3, or 8 worker shards yields bit-identical metrics
+    /// (per-user RNG streams + the aggregator's order-independent merge).
+    #[test]
+    fn run_experiment_is_shard_count_invariant(
+        method in arb_method(),
+        eps_inf in 0.4f64..4.0,
+        k in 4u64..24,
+        seed in any::<u64>(),
+    ) {
+        let ds = SynDataset::new(k, 180, 3, 0.3);
+        let base = ExperimentConfig::new(method, eps_inf, 0.3, seed).expect("valid");
+        // Infeasible (method, budget) cells are covered by the validation
+        // suites; here only runnable cells are compared across shard counts.
+        let reference = match run_experiment(&ds, &base.with_threads(1)) {
+            Ok(m) => m,
+            Err(_) => return Ok(()),
+        };
+        for threads in [3usize, 8] {
+            let m = run_experiment(&ds, &base.with_threads(threads)).expect("runnable");
+            prop_assert_eq!(
+                reference.mse_avg.to_bits(), m.mse_avg.to_bits(),
+                "{:?} mse differs at {} threads", method, threads
+            );
+            prop_assert_eq!(
+                reference.eps_avg.to_bits(), m.eps_avg.to_bits(),
+                "{:?} eps_avg differs at {} threads", method, threads
+            );
+            prop_assert_eq!(
+                reference.eps_max.to_bits(), m.eps_max.to_bits(),
+                "{:?} eps_max differs at {} threads", method, threads
+            );
+            prop_assert_eq!(
+                reference.distinct_avg.to_bits(), m.distinct_avg.to_bits(),
+                "{:?} distinct_avg differs at {} threads", method, threads
+            );
+        }
+    }
+
     /// The privacy loss never decreases when the stream runs longer.
     #[test]
     fn privacy_loss_is_monotone_in_tau(

@@ -54,8 +54,9 @@ impl Default for ProptestConfig {
     fn default() -> Self {
         // Upstream proptest defaults to 256; this suite leans on closed-form
         // checks rather than rare-event search, so a smaller default keeps
-        // tier-1 fast while still exercising wide input ranges.
-        Self { cases: 96 }
+        // tier-1 fast while still exercising wide input ranges. (Heavier
+        // statistical checks live in the tier-2 `--ignored` suite.)
+        Self { cases: 160 }
     }
 }
 
