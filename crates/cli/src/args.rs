@@ -92,6 +92,11 @@ impl Flags {
         }
     }
 
+    /// An optional u64 flag without a default (absent stays `None`).
+    pub fn optional_u64(&self, name: &str) -> Result<Option<u64>, CliError> {
+        self.optional(name).map(|v| parse_u64(name, v)).transpose()
+    }
+
     /// Rejects flags that were provided but not consumed by the command,
     /// guarding against typos (`--epsinf 2` silently ignored).
     pub fn ensure_known(&self, known: &[&str]) -> Result<(), CliError> {
@@ -180,5 +185,14 @@ mod tests {
         assert_eq!(f.f64_or("alpha", 0.5).unwrap(), 0.5);
         assert_eq!(f.u64_or("seed", 42).unwrap(), 42);
         assert!(f.required("k").is_err());
+    }
+
+    #[test]
+    fn optional_u64_distinguishes_absent_from_invalid() {
+        let f = Flags::parse(&argv("--workers 4"), &[]).unwrap();
+        assert_eq!(f.optional_u64("workers").unwrap(), Some(4));
+        assert_eq!(f.optional_u64("shards").unwrap(), None);
+        let f = Flags::parse(&argv("--workers four"), &[]).unwrap();
+        assert!(f.optional_u64("workers").is_err());
     }
 }

@@ -11,14 +11,51 @@
 //! The tool plays *both* sides — it sanitizes each user's value with a
 //! per-user LOLOHA client and aggregates with the server — so its output
 //! demonstrates what the server would learn, never the raw histogram.
+//!
+//! Server-side scaling flags: `--shards N` spreads the in-process
+//! aggregator over N shards; `--workers N` collects through the
+//! concurrent `ldp_ingest` worker pipeline instead; `--checkpoint PATH`
+//! additionally persists the shard state mid-round and resumes from the
+//! file (a simulated restart). All of them leave the output byte-identical
+//! — the aggregation merge is order-independent — which the unit tests pin.
 
 use crate::args::Flags;
 use crate::CliError;
 use ldp_hash::{CarterWegman, Preimages};
+use ldp_ingest::{IngestPipeline, ShardStore};
 use ldp_runtime::ShardedAggregator;
 use loloha::{LolohaClient, LolohaParams};
 use std::collections::BTreeMap;
 use std::io::BufRead;
+
+/// The server side of the subcommand: either the in-process sharded
+/// aggregator (default) or the concurrent `ldp_ingest` worker pipeline
+/// (`--workers`). Both produce bit-identical output for the same input —
+/// the aggregation runtime's merge is order-independent — so the flag only
+/// changes the collection topology, never the estimates.
+enum Collector {
+    Direct { agg: ShardedAggregator, shards: u64 },
+    Piped(IngestPipeline),
+}
+
+impl Collector {
+    fn push(&mut self, user: u64, support: impl Iterator<Item = usize>) -> Result<(), CliError> {
+        match self {
+            Collector::Direct { agg, shards } => {
+                agg.push_report((user % *shards) as usize, support);
+                Ok(())
+            }
+            Collector::Piped(pipe) => pipe.submit(user, support).map_err(CliError::new),
+        }
+    }
+
+    fn finish_round(&mut self) -> Result<Vec<f64>, CliError> {
+        match self {
+            Collector::Direct { agg, .. } => Ok(agg.finish_round().estimate),
+            Collector::Piped(pipe) => Ok(pipe.finish_round().map_err(CliError::new)?.estimate),
+        }
+    }
+}
 
 /// One parsed input record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,13 +111,35 @@ pub fn parse_records<R: BufRead>(reader: &mut R) -> Result<Vec<Record>, CliError
 /// Runs the subcommand over `input`; returns the per-round estimates.
 pub fn run<R: BufRead>(argv: &[String], input: &mut R) -> Result<String, CliError> {
     let flags = Flags::parse(argv, &["optimal"])?;
-    flags.ensure_known(&["k", "eps-inf", "alpha", "seed", "top", "shards", "optimal"])?;
+    flags.ensure_known(&[
+        "k",
+        "eps-inf",
+        "alpha",
+        "seed",
+        "top",
+        "shards",
+        "workers",
+        "checkpoint",
+        "optimal",
+    ])?;
     let k = flags.required_u64("k")?;
     let eps_inf = flags.required_f64("eps-inf")?;
     let alpha = flags.f64_or("alpha", 0.5)?;
     let seed = flags.u64_or("seed", 7)?;
     let top = flags.u64_or("top", 5)? as usize;
-    let shards = flags.u64_or("shards", 1)?.max(1);
+    let shards = flags.u64_or("shards", 1)?;
+    if shards == 0 {
+        return Err(CliError::new(
+            "--shards must be at least 1 (0 shards cannot hold any report)",
+        ));
+    }
+    let workers = flags.optional_u64("workers")?;
+    if workers == Some(0) {
+        return Err(CliError::new(
+            "--workers must be at least 1 (0 workers cannot drain any report)",
+        ));
+    }
+    let store = flags.optional("checkpoint").map(ShardStore::new);
     let params = if flags.switch("optimal") {
         LolohaParams::optimal(eps_inf, alpha * eps_inf)
     } else {
@@ -117,11 +176,22 @@ pub fn run<R: BufRead>(argv: &[String], input: &mut R) -> Result<String, CliErro
     }
 
     let family = CarterWegman::new(params.g()).ok_or_else(|| CliError::new("invalid g"))?;
-    // The server side is the shared sharded aggregator: each user's report
-    // lands in the shard `user % shards`, and the merge is deterministic
-    // regardless of the shard count.
-    let mut agg =
-        ShardedAggregator::for_loloha(k, params, shards as usize).map_err(CliError::new)?;
+    // The server side: by default the shared sharded aggregator (each
+    // user's report lands in the shard `user % shards`); with `--workers`
+    // (or `--checkpoint`) the concurrent ingest pipeline, routing by a
+    // stable hash of the user id. The merge is deterministic either way.
+    let piped_workers = workers.unwrap_or(1).max(1) as usize;
+    let mut collector = if workers.is_some() || store.is_some() {
+        Collector::Piped(
+            IngestPipeline::for_loloha(k, params, piped_workers).map_err(CliError::new)?,
+        )
+    } else {
+        Collector::Direct {
+            agg: ShardedAggregator::for_loloha(k, params, shards as usize)
+                .map_err(CliError::new)?,
+            shards,
+        }
+    };
     let mut clients: BTreeMap<u64, (LolohaClient<ldp_hash::CwHash>, Preimages)> = BTreeMap::new();
     let mut rng = ldp_rand::derive_rng(seed, 0xC11);
 
@@ -131,8 +201,9 @@ pub fn run<R: BufRead>(argv: &[String], input: &mut R) -> Result<String, CliErro
         alpha * eps_inf,
         params.budget_cap()
     );
+    let mut checkpointed = false;
     for (round, entries) in &rounds {
-        for &(user, value) in entries {
+        for (i, &(user, value)) in entries.iter().enumerate() {
             let (client, preimages) = match clients.entry(user) {
                 std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
                 std::collections::btree_map::Entry::Vacant(e) => {
@@ -143,12 +214,32 @@ pub fn run<R: BufRead>(argv: &[String], input: &mut R) -> Result<String, CliErro
                 }
             };
             let cell = client.report(value, &mut rng);
-            agg.push_report(
-                (user % shards) as usize,
-                preimages.cell(cell).iter().map(|&v| v as usize),
-            );
+            collector.push(user, preimages.cell(cell).iter().map(|&v| v as usize))?;
+
+            // With `--checkpoint`, exercise the full durability path once,
+            // at the midpoint of the first round: persist the shard state,
+            // tear the pipeline down (a simulated restart), and resume
+            // mid-fill from the file. The output must be byte-identical to
+            // an uninterrupted run — the restore is an order-independent
+            // re-merge of the saved partials.
+            if let (Some(store), false) = (&store, checkpointed) {
+                if i + 1 == entries.len().div_ceil(2) {
+                    if let Collector::Piped(pipe) = &mut collector {
+                        store
+                            .save(&pipe.checkpoint().map_err(CliError::new)?)
+                            .map_err(CliError::new)?;
+                        let mut fresh = IngestPipeline::for_loloha(k, params, piped_workers)
+                            .map_err(CliError::new)?;
+                        fresh
+                            .restore(&store.load().map_err(CliError::new)?)
+                            .map_err(CliError::new)?;
+                        *pipe = fresh;
+                    }
+                    checkpointed = true;
+                }
+            }
         }
-        let estimate = agg.finish_round().estimate;
+        let estimate = collector.finish_round()?;
         let mut ranked: Vec<(usize, f64)> = estimate.iter().copied().enumerate().collect();
         ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         let shown: Vec<String> = ranked
@@ -172,6 +263,12 @@ pub fn run<R: BufRead>(argv: &[String], input: &mut R) -> Result<String, CliErro
         params.budget_cap(),
         clients.len()
     ));
+    if let Some(store) = &store {
+        out.push_str(&format!(
+            "checkpoint: shard state saved and restored mid-round at {}\n",
+            store.path().display()
+        ));
+    }
     Ok(out)
 }
 
@@ -248,6 +345,73 @@ mod tests {
             .unwrap();
             assert_eq!(reference, got, "{shards} shards");
         }
+    }
+
+    #[test]
+    fn zero_shards_and_zero_workers_are_rejected() {
+        let err = run(
+            &argv("--k 4 --eps-inf 1.0 --shards 0"),
+            &mut input("0,1,2\n"),
+        )
+        .unwrap_err();
+        assert!(err.message.contains("--shards must be at least 1"), "{err}");
+        let err = run(
+            &argv("--k 4 --eps-inf 1.0 --workers 0"),
+            &mut input("0,1,2\n"),
+        )
+        .unwrap_err();
+        assert!(
+            err.message.contains("--workers must be at least 1"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn pipeline_output_matches_direct_aggregation() {
+        // `--workers` only changes the collection topology; the estimates
+        // (and therefore every output byte) must match the direct path.
+        let mut csv = String::from("round,user,value\n");
+        for u in 0..90u64 {
+            csv.push_str(&format!("0,{u},{}\n1,{u},{}\n", u % 5, (u + 2) % 5));
+        }
+        let args = "--k 5 --eps-inf 3.0 --alpha 0.5 --top 3";
+        let reference = run(&argv(args), &mut input(&csv)).unwrap();
+        for workers in [1u64, 2, 4] {
+            let got = run(
+                &argv(&format!("{args} --workers {workers}")),
+                &mut input(&csv),
+            )
+            .unwrap();
+            assert_eq!(reference, got, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn checkpoint_restart_does_not_change_output() {
+        let path = std::env::temp_dir().join(format!(
+            "loloha_cli_collect_ckpt_{}.bin",
+            std::process::id()
+        ));
+        let mut csv = String::from("round,user,value\n");
+        for u in 0..60u64 {
+            csv.push_str(&format!("0,{u},{}\n1,{u},{}\n", u % 4, (u + 1) % 4));
+        }
+        let args = "--k 4 --eps-inf 2.0 --alpha 0.5 --top 2";
+        let reference = run(&argv(args), &mut input(&csv)).unwrap();
+        let got = run(
+            &argv(&format!(
+                "{args} --workers 3 --checkpoint {}",
+                path.display()
+            )),
+            &mut input(&csv),
+        )
+        .unwrap();
+        // Identical except for the trailing checkpoint notice.
+        let (body, notice) = got.rsplit_once("checkpoint: ").expect("notice line");
+        assert_eq!(reference, body, "checkpointed run must match");
+        assert!(notice.contains("saved and restored mid-round"), "{notice}");
+        assert!(path.exists(), "checkpoint file must be written");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -60,8 +60,11 @@ USAGE:
   loloha-cli simulate --method M --dataset D --eps-inf E --alpha A
                       [--runs R] [--n-frac F] [--tau-frac F] [--seed S]
   loloha-cli collect  --k K --eps-inf E --alpha A [--optimal] [--seed S]
-                      [--shards N]
-                      (reads `round,user,value` CSV lines from stdin)
+                      [--shards N] [--workers N] [--checkpoint PATH]
+                      (reads `round,user,value` CSV lines from stdin;
+                       --workers collects through the concurrent ingest
+                       pipeline, --checkpoint persists + restores the
+                       shard state mid-round)
   loloha-cli asr      --k K --eps-inf E --alpha A [--seed S]
 
 METHODS:   rappor | l-osue | l-oue | l-soue | l-grr | biloloha | ololoha |

@@ -1,0 +1,46 @@
+//! Concurrent shard-parallel ingestion with durable shard-state
+//! checkpoints.
+//!
+//! `ldp_runtime` gives the workspace *sharded* aggregation — independent
+//! partial histograms with a deterministic, order-independent merge — but
+//! filling those shards was still the caller's job, on the caller's
+//! thread. This crate adds the missing collector half for population-scale
+//! deployments:
+//!
+//! * [`IngestPipeline`] — a worker-per-shard thread pool over bounded
+//!   `mpsc` channels: report envelopes (single supports, pre-aggregated
+//!   batches, or expand-on-worker tasks) are routed to a worker, drained
+//!   into its own [`ldp_runtime::Shard`], and merged at round close.
+//!   Bounded channels give backpressure instead of unbounded buffering.
+//! * [`Router`] — deterministic report → shard placement (stable key hash
+//!   or round-robin), so replays fill the same shards.
+//! * [`ShardStore`] / [`ShardCheckpoint`] — a versioned, length-prefixed,
+//!   checksummed binary snapshot of per-shard counts + report totals with
+//!   atomic file replacement, so a collection round can resume *mid-fill*
+//!   after a restart. Decoding failures are typed [`ShardStoreError`]s,
+//!   never panics.
+//!
+//! # Determinism contract
+//!
+//! Concurrent runs are bit-identical to single-threaded replay for any
+//! worker count: shard accumulation and the cross-shard merge are both
+//! order-independent sums, and routing is a pure function of the report
+//! key (or submission index). See the [`pipeline`] module docs for the
+//! precise argument, and `tests/` for the property suite that pins it
+//! across every [`Method`](ldp_runtime::Method) and worker counts
+//! {1, 2, 4, 8}.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pipeline;
+pub mod router;
+pub mod store;
+
+pub use pipeline::{
+    IngestError, IngestHandle, IngestPipeline, ShardState, DEFAULT_CHANNEL_CAPACITY,
+};
+pub use router::Router;
+pub use store::{
+    decode_checkpoint, encode_checkpoint, ShardCheckpoint, ShardStore, ShardStoreError,
+};

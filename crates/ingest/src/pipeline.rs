@@ -1,0 +1,647 @@
+//! The worker-per-shard concurrent ingestion pipeline.
+//!
+//! An [`IngestPipeline`] owns N OS threads, each draining a bounded
+//! `mpsc` channel of report envelopes into its own [`Shard`]. Submission
+//! (routing + channel send) is cheap; expansion and accumulation happen on
+//! the worker. Backpressure is the channel bound: when a worker falls
+//! behind, submitters block instead of buffering without limit.
+//!
+//! # Determinism contract
+//!
+//! Every result the pipeline produces is **bit-identical to a
+//! single-threaded replay of the same reports**, for any worker count and
+//! any thread interleaving, because both halves of the path are
+//! order-independent sums:
+//!
+//! 1. a shard's state is `(Σ support counts, Σ reports)` over the
+//!    envelopes routed to it — addition commutes, so arrival order within
+//!    a worker's queue is irrelevant;
+//! 2. the merge is an index-wise sum over shards
+//!    ([`ShardedAggregator::merged_counts`]), so *which* worker held a
+//!    report is irrelevant too.
+//!
+//! The [`Router`](crate::Router) adds a stronger, orthogonal guarantee for
+//! durability: keyed submission always fills the *same* shard for the same
+//! key, so a checkpoint taken at a given submission prefix is reproducible.
+//!
+//! # Quiescence points
+//!
+//! [`IngestPipeline::snapshot`], [`IngestPipeline::checkpoint`] and
+//! [`IngestPipeline::finish_round`] are barriers: each worker answers only
+//! after draining everything enqueued before the barrier message (channel
+//! FIFO order). Reports submitted through a cloned [`IngestHandle`] on
+//! another thread are included iff their send happened before the barrier.
+
+use crate::router::Router;
+use crate::store::ShardCheckpoint;
+use ldp_primitives::error::ParamError;
+use ldp_runtime::{AggregateSnapshot, Method, Shard, ShardedAggregator};
+use loloha::LolohaParams;
+use std::error::Error;
+use std::fmt;
+use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::thread::JoinHandle;
+
+/// Default bound of each worker's envelope channel. Deep enough to absorb
+/// submission bursts, shallow enough that a stalled worker exerts
+/// backpressure within ~a thousand envelopes.
+pub const DEFAULT_CHANNEL_CAPACITY: usize = 1024;
+
+/// One shard's accumulated state, as captured at a quiescence point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardState {
+    /// Partial support counts (length = aggregation dimension).
+    pub counts: Vec<u64>,
+    /// Reports folded into these counts.
+    pub reports: u64,
+}
+
+impl ShardState {
+    fn of(shard: &Shard) -> Self {
+        Self {
+            counts: shard.counts().to_vec(),
+            reports: shard.reports(),
+        }
+    }
+}
+
+/// Why a pipeline operation was rejected.
+#[derive(Debug)]
+pub enum IngestError {
+    /// A report's support set names an index outside the aggregation
+    /// dimension.
+    SupportOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The pipeline's aggregation dimension.
+        dim: usize,
+    },
+    /// A pre-aggregated batch's length differs from the aggregation
+    /// dimension.
+    BatchLenMismatch {
+        /// The batch's length.
+        got: usize,
+        /// The pipeline's aggregation dimension.
+        dim: usize,
+    },
+    /// A checkpoint's dimension differs from the pipeline's.
+    CheckpointDimMismatch {
+        /// The checkpoint's dimension.
+        got: usize,
+        /// The pipeline's aggregation dimension.
+        dim: usize,
+    },
+    /// A worker thread is gone (it panicked on a poisoned task); the
+    /// pipeline can no longer guarantee complete rounds.
+    WorkerLost,
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::SupportOutOfRange { index, dim } => {
+                write!(
+                    f,
+                    "support index {index} outside aggregation dimension {dim}"
+                )
+            }
+            IngestError::BatchLenMismatch { got, dim } => {
+                write!(
+                    f,
+                    "batch length {got} differs from aggregation dimension {dim}"
+                )
+            }
+            IngestError::CheckpointDimMismatch { got, dim } => {
+                write!(
+                    f,
+                    "checkpoint dimension {got} differs from pipeline dimension {dim}"
+                )
+            }
+            IngestError::WorkerLost => write!(f, "a shard worker thread terminated unexpectedly"),
+        }
+    }
+}
+
+impl Error for IngestError {}
+
+/// What travels to a shard worker.
+enum Envelope {
+    /// One report's validated support set.
+    Report(Vec<usize>),
+    /// A pre-aggregated partial histogram covering `u64` reports.
+    Batch(Vec<u64>, u64),
+    /// Work expanded on the worker (e.g. hash-preimage enumeration), so
+    /// submission stays cheap while the O(k) part parallelizes.
+    Task(Box<dyn FnOnce(&mut Shard) + Send>),
+    /// Barrier: reply with the current state, keep accumulating.
+    Flush(SyncSender<ShardState>),
+    /// Barrier: reply with the current state, then reset for a new round.
+    EndRound(SyncSender<ShardState>),
+    /// Terminate the worker after draining everything enqueued before
+    /// this message, even while cloned [`IngestHandle`] senders are still
+    /// alive (a plain channel-closed exit would wait on them forever).
+    Shutdown,
+}
+
+fn worker_loop(dim: usize, rx: Receiver<Envelope>) {
+    let mut shard = Shard::with_dim(dim);
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Envelope::Report(support) => shard.add_report(support),
+            Envelope::Batch(counts, reports) => shard.add_batch(&counts, reports),
+            Envelope::Task(task) => task(&mut shard),
+            Envelope::Flush(reply) => {
+                let _ = reply.send(ShardState::of(&shard));
+            }
+            Envelope::EndRound(reply) => {
+                let state = ShardState::of(&shard);
+                shard.reset();
+                let _ = reply.send(state);
+            }
+            Envelope::Shutdown => break,
+        }
+    }
+}
+
+/// A cloneable, thread-safe submission handle onto a pipeline's workers.
+///
+/// Handles route **by key only** (stable hashing): round-robin from
+/// multiple threads would make shard contents depend on thread timing,
+/// which the checkpoint layer forbids. Drop all handles before calling
+/// [`IngestPipeline::finish_round`] if the round must include everything
+/// the submitting threads produced (scoped threads enforce this shape).
+///
+/// A handle may safely outlive its pipeline: dropping the pipeline shuts
+/// the workers down regardless of live handles, whose subsequent submits
+/// then fail with [`IngestError::WorkerLost`].
+#[derive(Clone)]
+pub struct IngestHandle {
+    txs: Vec<SyncSender<Envelope>>,
+    router: Router,
+    dim: usize,
+}
+
+impl IngestHandle {
+    /// Submits one report's support set, routed by a stable hash of `key`
+    /// — the same [`Router::route_key`] mapping the owning pipeline uses,
+    /// so handle and pipeline submissions fill identical shards. Blocks
+    /// when the target worker's channel is full (backpressure).
+    pub fn submit<I>(&self, key: u64, support: I) -> Result<(), IngestError>
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        let support = validate_support(support, self.dim)?;
+        self.txs[self.router.route_key(key)]
+            .send(Envelope::Report(support))
+            .map_err(|_| IngestError::WorkerLost)
+    }
+}
+
+fn validate_support<I>(support: I, dim: usize) -> Result<Vec<usize>, IngestError>
+where
+    I: IntoIterator<Item = usize>,
+{
+    let it = support.into_iter();
+    let mut out = Vec::with_capacity(it.size_hint().0);
+    for index in it {
+        if index >= dim {
+            return Err(IngestError::SupportOutOfRange { index, dim });
+        }
+        out.push(index);
+    }
+    Ok(out)
+}
+
+/// The concurrent shard-parallel ingestion pipeline.
+///
+/// See the [module docs](self) for the threading model and the determinism
+/// contract. Workers persist across rounds: [`IngestPipeline::finish_round`]
+/// resets their shards without tearing the threads down.
+pub struct IngestPipeline {
+    agg: ShardedAggregator,
+    router: Router,
+    txs: Vec<SyncSender<Envelope>>,
+    joins: Vec<JoinHandle<()>>,
+}
+
+impl fmt::Debug for IngestPipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("IngestPipeline")
+            .field("workers", &self.txs.len())
+            .field("dim", &self.agg.dim())
+            .field("k", &self.agg.k())
+            .finish()
+    }
+}
+
+impl IngestPipeline {
+    /// Creates a pipeline for `method` (same parameter resolution as
+    /// [`ShardedAggregator::for_method`]) with `workers` shard workers
+    /// (clamped to ≥ 1) and the default channel capacity.
+    pub fn for_method(
+        method: Method,
+        k: u64,
+        eps_inf: f64,
+        eps_first: f64,
+        workers: usize,
+    ) -> Result<Self, ParamError> {
+        let agg = ShardedAggregator::for_method(method, k, eps_inf, eps_first, workers)?;
+        Ok(Self::from_aggregator(agg, DEFAULT_CHANNEL_CAPACITY))
+    }
+
+    /// Creates a LOLOHA pipeline from explicit parameters.
+    pub fn for_loloha(k: u64, params: LolohaParams, workers: usize) -> Result<Self, ParamError> {
+        let agg = ShardedAggregator::for_loloha(k, params, workers)?;
+        Ok(Self::from_aggregator(agg, DEFAULT_CHANNEL_CAPACITY))
+    }
+
+    /// Wraps an existing aggregator: one worker per aggregator shard, each
+    /// envelope channel bounded at `capacity` (clamped to ≥ 1). The
+    /// aggregator should be freshly reset; its shards hold merged round
+    /// state between [`Self::finish_round`] calls.
+    pub fn from_aggregator(mut agg: ShardedAggregator, capacity: usize) -> Self {
+        agg.begin_round();
+        let workers = agg.shard_count();
+        let dim = agg.dim();
+        let capacity = capacity.max(1);
+        let mut txs = Vec::with_capacity(workers);
+        let mut joins = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = mpsc::sync_channel(capacity);
+            txs.push(tx);
+            joins.push(std::thread::spawn(move || worker_loop(dim, rx)));
+        }
+        Self {
+            agg,
+            router: Router::new(workers),
+            txs,
+            joins,
+        }
+    }
+
+    /// The aggregation dimension (`k`, or `b` for bucketized dBitFlipPM).
+    pub fn dim(&self) -> usize {
+        self.agg.dim()
+    }
+
+    /// The input domain size the pipeline was built for.
+    pub fn k(&self) -> u64 {
+        self.agg.k()
+    }
+
+    /// Number of shard workers.
+    pub fn worker_count(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// The underlying aggregator's method metadata (reduced domain,
+    /// k-binnedness, LOLOHA params, dBitFlip config).
+    pub fn aggregator(&self) -> &ShardedAggregator {
+        &self.agg
+    }
+
+    /// A cloneable submission handle for concurrent producers.
+    pub fn handle(&self) -> IngestHandle {
+        IngestHandle {
+            txs: self.txs.clone(),
+            router: self.router.clone(),
+            dim: self.agg.dim(),
+        }
+    }
+
+    fn send(&self, worker: usize, envelope: Envelope) -> Result<(), IngestError> {
+        self.txs[worker]
+            .send(envelope)
+            .map_err(|_| IngestError::WorkerLost)
+    }
+
+    /// Submits one report's support set, routed by a stable hash of `key`
+    /// (e.g. the user id). Blocks on backpressure.
+    pub fn submit<I>(&mut self, key: u64, support: I) -> Result<(), IngestError>
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        let support = validate_support(support, self.agg.dim())?;
+        self.send(self.router.route_key(key), Envelope::Report(support))
+    }
+
+    /// Submits one report's support set round-robin on submission order.
+    pub fn submit_next<I>(&mut self, support: I) -> Result<(), IngestError>
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        let support = validate_support(support, self.agg.dim())?;
+        let worker = self.router.route_next();
+        self.send(worker, Envelope::Report(support))
+    }
+
+    /// Submits a pre-aggregated partial histogram covering `reports`
+    /// reports, round-robin on submission order.
+    pub fn submit_batch(&mut self, counts: Vec<u64>, reports: u64) -> Result<(), IngestError> {
+        if counts.len() != self.agg.dim() {
+            return Err(IngestError::BatchLenMismatch {
+                got: counts.len(),
+                dim: self.agg.dim(),
+            });
+        }
+        let worker = self.router.route_next();
+        self.send(worker, Envelope::Batch(counts, reports))
+    }
+
+    /// Submits work that expands *on the worker* — e.g. enumerating hash
+    /// preimages before counting — routed by a stable hash of `key`. The
+    /// task must only add to the shard it is given; a panicking task kills
+    /// its worker and surfaces as [`IngestError::WorkerLost`] later.
+    pub fn submit_task<F>(&mut self, key: u64, task: F) -> Result<(), IngestError>
+    where
+        F: FnOnce(&mut Shard) + Send + 'static,
+    {
+        self.send(self.router.route_key(key), Envelope::Task(Box::new(task)))
+    }
+
+    /// Collects one reply per worker after a barrier envelope.
+    fn barrier<B>(&self, make: B) -> Result<Vec<ShardState>, IngestError>
+    where
+        B: Fn(SyncSender<ShardState>) -> Envelope,
+    {
+        let mut replies = Vec::with_capacity(self.txs.len());
+        for worker in 0..self.txs.len() {
+            let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+            self.send(worker, make(reply_tx))?;
+            replies.push(reply_rx);
+        }
+        replies
+            .into_iter()
+            .map(|rx| rx.recv().map_err(|_| IngestError::WorkerLost))
+            .collect()
+    }
+
+    /// Non-destructive streaming view: merges and estimates everything
+    /// enqueued before the call, leaving worker state untouched.
+    pub fn snapshot(&self) -> Result<AggregateSnapshot, IngestError> {
+        let states = self.barrier(Envelope::Flush)?;
+        let mut agg = self.agg.clone();
+        agg.begin_round();
+        for (i, s) in states.iter().enumerate() {
+            agg.push_batch(i, &s.counts, s.reports);
+        }
+        Ok(agg.snapshot())
+    }
+
+    /// Captures the current per-shard states for durable persistence (see
+    /// [`crate::ShardStore`]). Non-destructive; ingestion continues after.
+    pub fn checkpoint(&self) -> Result<ShardCheckpoint, IngestError> {
+        let states = self.barrier(Envelope::Flush)?;
+        Ok(ShardCheckpoint {
+            dim: self.agg.dim(),
+            shards: states,
+        })
+    }
+
+    /// Folds a previously captured checkpoint back in, resuming its round
+    /// mid-fill. The checkpoint may come from a run with a *different*
+    /// worker count: saved shard states are redistributed round-robin, and
+    /// the order-independent merge makes the final round bit-identical
+    /// either way.
+    pub fn restore(&mut self, cp: &ShardCheckpoint) -> Result<(), IngestError> {
+        if cp.dim != self.agg.dim() {
+            return Err(IngestError::CheckpointDimMismatch {
+                got: cp.dim,
+                dim: self.agg.dim(),
+            });
+        }
+        for state in &cp.shards {
+            if state.counts.len() != cp.dim {
+                return Err(IngestError::BatchLenMismatch {
+                    got: state.counts.len(),
+                    dim: cp.dim,
+                });
+            }
+            self.submit_batch(state.counts.clone(), state.reports)?;
+        }
+        Ok(())
+    }
+
+    /// Closes the round: drains every worker, merges, estimates, and
+    /// resets the workers' shards for the next round. The worker threads
+    /// stay alive.
+    pub fn finish_round(&mut self) -> Result<AggregateSnapshot, IngestError> {
+        let states = self.barrier(Envelope::EndRound)?;
+        self.agg.begin_round();
+        for (i, s) in states.iter().enumerate() {
+            self.agg.push_batch(i, &s.counts, s.reports);
+        }
+        Ok(self.agg.finish_round())
+    }
+}
+
+impl Drop for IngestPipeline {
+    fn drop(&mut self) {
+        // An explicit shutdown envelope (not just closing our senders)
+        // ends each worker loop even when cloned `IngestHandle`s are still
+        // alive somewhere — otherwise this join would wait on them
+        // forever. Failed sends mean the worker is already gone.
+        for tx in &self.txs {
+            let _ = tx.send(Envelope::Shutdown);
+        }
+        self.txs.clear();
+        for join in self.joins.drain(..) {
+            let _ = join.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(dim_reports: &[(Vec<usize>, u64)], method: Method, k: u64) -> AggregateSnapshot {
+        let mut agg = ShardedAggregator::for_method(method, k, 2.0, 1.0, 1).unwrap();
+        for (support, _) in dim_reports {
+            agg.push_report(0, support.iter().copied());
+        }
+        agg.finish_round()
+    }
+
+    fn assert_snap_eq(a: &AggregateSnapshot, b: &AggregateSnapshot, ctx: &str) {
+        assert_eq!(a.counts, b.counts, "{ctx}: counts");
+        assert_eq!(a.reports, b.reports, "{ctx}: reports");
+        assert_eq!(a.estimate.len(), b.estimate.len(), "{ctx}: estimate len");
+        for (i, (x, y)) in a.estimate.iter().zip(&b.estimate).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: estimate[{i}]");
+        }
+    }
+
+    #[test]
+    fn pipeline_matches_single_thread_for_every_worker_count() {
+        let reports: Vec<(Vec<usize>, u64)> = (0..60u64)
+            .map(|i| (vec![(i % 8) as usize, ((i * 3) % 8) as usize], i))
+            .collect();
+        let want = reference(&reports, Method::LGrr, 8);
+        for workers in [1usize, 2, 4, 8] {
+            let mut pipe = IngestPipeline::for_method(Method::LGrr, 8, 2.0, 1.0, workers).unwrap();
+            for (support, key) in &reports {
+                pipe.submit(*key, support.iter().copied()).unwrap();
+            }
+            let got = pipe.finish_round().unwrap();
+            assert_snap_eq(&want, &got, &format!("{workers} workers"));
+        }
+    }
+
+    #[test]
+    fn workers_persist_across_rounds() {
+        let mut pipe = IngestPipeline::for_method(Method::Rappor, 6, 2.0, 1.0, 3).unwrap();
+        for round in 0..3u64 {
+            for i in 0..20u64 {
+                pipe.submit(i, [((i + round) % 6) as usize]).unwrap();
+            }
+            let snap = pipe.finish_round().unwrap();
+            assert_eq!(snap.reports, 20, "round {round}");
+        }
+    }
+
+    #[test]
+    fn snapshot_is_non_destructive_and_ordered() {
+        let mut pipe = IngestPipeline::for_method(Method::LGrr, 5, 2.0, 1.0, 2).unwrap();
+        pipe.submit(1, [2usize]).unwrap();
+        pipe.submit(2, [4usize]).unwrap();
+        let snap = pipe.snapshot().unwrap();
+        assert_eq!(snap.reports, 2);
+        assert_eq!(snap.counts[2], 1);
+        assert_eq!(snap.counts[4], 1);
+        pipe.submit(3, [2usize]).unwrap();
+        let fin = pipe.finish_round().unwrap();
+        assert_eq!(fin.reports, 3);
+        assert_eq!(fin.counts[2], 2);
+    }
+
+    #[test]
+    fn handle_submission_from_many_threads_matches_single_thread() {
+        let reports: Vec<Vec<usize>> = (0..200u64)
+            .map(|i| vec![(i % 10) as usize, ((i * 7) % 10) as usize])
+            .collect();
+        let as_pairs: Vec<(Vec<usize>, u64)> = reports
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.clone(), i as u64))
+            .collect();
+        let want = reference(&as_pairs, Method::Rappor, 10);
+        let mut pipe = IngestPipeline::for_method(Method::Rappor, 10, 2.0, 1.0, 4).unwrap();
+        let handle = pipe.handle();
+        std::thread::scope(|s| {
+            for (t, chunk) in reports.chunks(50).enumerate() {
+                let h = handle.clone();
+                s.spawn(move || {
+                    for (j, support) in chunk.iter().enumerate() {
+                        let key = (t * 50 + j) as u64;
+                        h.submit(key, support.iter().copied()).unwrap();
+                    }
+                });
+            }
+        });
+        drop(handle);
+        let got = pipe.finish_round().unwrap();
+        assert_snap_eq(&want, &got, "4 submitter threads");
+    }
+
+    #[test]
+    fn backpressure_capacity_one_still_completes() {
+        let agg = ShardedAggregator::for_method(Method::LGrr, 4, 2.0, 1.0, 2).unwrap();
+        let mut pipe = IngestPipeline::from_aggregator(agg, 1);
+        for i in 0..500u64 {
+            pipe.submit(i, [(i % 4) as usize]).unwrap();
+        }
+        let snap = pipe.finish_round().unwrap();
+        assert_eq!(snap.reports, 500);
+    }
+
+    #[test]
+    fn out_of_range_support_is_rejected_before_send() {
+        let mut pipe = IngestPipeline::for_method(Method::LGrr, 4, 2.0, 1.0, 2).unwrap();
+        let err = pipe.submit(0, [7usize]).unwrap_err();
+        assert!(matches!(
+            err,
+            IngestError::SupportOutOfRange { index: 7, dim: 4 }
+        ));
+        // The pipeline is still healthy.
+        pipe.submit(0, [3usize]).unwrap();
+        assert_eq!(pipe.finish_round().unwrap().reports, 1);
+    }
+
+    #[test]
+    fn batch_length_mismatch_is_rejected() {
+        let mut pipe = IngestPipeline::for_method(Method::LGrr, 4, 2.0, 1.0, 2).unwrap();
+        let err = pipe.submit_batch(vec![0; 3], 1).unwrap_err();
+        assert!(matches!(
+            err,
+            IngestError::BatchLenMismatch { got: 3, dim: 4 }
+        ));
+    }
+
+    #[test]
+    fn restore_rejects_dim_mismatch() {
+        let mut pipe = IngestPipeline::for_method(Method::LGrr, 4, 2.0, 1.0, 2).unwrap();
+        let cp = ShardCheckpoint {
+            dim: 9,
+            shards: vec![],
+        };
+        assert!(matches!(
+            pipe.restore(&cp).unwrap_err(),
+            IngestError::CheckpointDimMismatch { got: 9, dim: 4 }
+        ));
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_mid_round() {
+        let mut uninterrupted =
+            IngestPipeline::for_method(Method::BiLoloha, 12, 2.0, 1.0, 3).unwrap();
+        let mut first = IngestPipeline::for_method(Method::BiLoloha, 12, 2.0, 1.0, 3).unwrap();
+        for i in 0..40u64 {
+            uninterrupted.submit(i, [(i % 12) as usize]).unwrap();
+            first.submit(i, [(i % 12) as usize]).unwrap();
+        }
+        // "Crash" after 40 reports; resume on a pipeline with a different
+        // worker count.
+        let cp = first.checkpoint().unwrap();
+        drop(first);
+        let mut resumed = IngestPipeline::for_method(Method::BiLoloha, 12, 2.0, 1.0, 5).unwrap();
+        resumed.restore(&cp).unwrap();
+        for i in 40..90u64 {
+            uninterrupted.submit(i, [(i % 12) as usize]).unwrap();
+            resumed.submit(i, [(i % 12) as usize]).unwrap();
+        }
+        let want = uninterrupted.finish_round().unwrap();
+        let got = resumed.finish_round().unwrap();
+        assert_snap_eq(&want, &got, "checkpoint resume");
+    }
+
+    #[test]
+    fn tasks_expand_on_the_worker() {
+        let mut pipe = IngestPipeline::for_method(Method::LGrr, 6, 2.0, 1.0, 2).unwrap();
+        for i in 0..30u64 {
+            pipe.submit_task(i, move |shard| {
+                shard.add_report([(i % 6) as usize]);
+            })
+            .unwrap();
+        }
+        let snap = pipe.finish_round().unwrap();
+        assert_eq!(snap.reports, 30);
+        assert_eq!(snap.counts.iter().sum::<u64>(), 30);
+    }
+
+    #[test]
+    fn dropping_the_pipeline_with_a_live_handle_does_not_hang() {
+        let pipe = IngestPipeline::for_method(Method::LGrr, 4, 2.0, 1.0, 2).unwrap();
+        let handle = pipe.handle();
+        handle.submit(0, [1usize]).unwrap();
+        drop(pipe); // must join the workers despite the live handle
+        let err = handle.submit(1, [2usize]).unwrap_err();
+        assert!(matches!(err, IngestError::WorkerLost));
+    }
+
+    #[test]
+    fn worker_count_clamps_to_one() {
+        let pipe = IngestPipeline::for_method(Method::LGrr, 4, 2.0, 1.0, 0).unwrap();
+        assert_eq!(pipe.worker_count(), 1);
+    }
+}

@@ -1,0 +1,410 @@
+//! Durable shard-state checkpoints.
+//!
+//! A long-running collection round loses everything on a crash unless the
+//! per-shard partial counts survive restarts. This module provides a
+//! compact, versioned, dependency-free binary encoding of a pipeline's
+//! shard states — the same codec idiom as the client-side
+//! `loloha::persist` module — plus a file-backed [`ShardStore`] that writes
+//! atomically (temp file + rename) so a crash mid-checkpoint never corrupts
+//! the previous checkpoint.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic "LDPS" | version u16 | dim u64 | shard_count u32
+//! | per shard: reports u64 | len u64 | len × u64 counts
+//! | checksum u64 (FNV-1a over every preceding byte)
+//! ```
+//!
+//! Every failure mode returns a typed [`ShardStoreError`], never a panic:
+//! truncation, foreign files, future format versions, bit-flips (caught by
+//! the checksum), and structurally valid but inconsistent layouts.
+
+use crate::pipeline::ShardState;
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 4] = b"LDPS";
+const VERSION: u16 = 1;
+
+/// A point-in-time capture of a pipeline's shard states, produced by
+/// [`crate::IngestPipeline::checkpoint`] and consumed by
+/// [`crate::IngestPipeline::restore`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardCheckpoint {
+    /// The aggregation dimension every shard's counts share.
+    pub dim: usize,
+    /// One state per shard worker, in worker-index order.
+    pub shards: Vec<ShardState>,
+}
+
+impl ShardCheckpoint {
+    /// Total reports captured across all shards.
+    pub fn reports(&self) -> u64 {
+        self.shards.iter().map(|s| s.reports).sum()
+    }
+}
+
+/// Why a checkpoint failed to decode or a file operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardStoreError {
+    /// The buffer is shorter than the declared layout.
+    Truncated,
+    /// The magic bytes do not match (not a shard checkpoint).
+    BadMagic,
+    /// The version is newer than this build understands.
+    UnsupportedVersion(u16),
+    /// The trailing checksum does not match the content (bit rot or a
+    /// partial overwrite).
+    ChecksumMismatch,
+    /// A decoded field is outside its domain (corrupt checkpoint).
+    Corrupt(&'static str),
+    /// An underlying filesystem operation failed.
+    Io(String),
+}
+
+impl fmt::Display for ShardStoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardStoreError::Truncated => write!(f, "checkpoint is truncated"),
+            ShardStoreError::BadMagic => write!(f, "checkpoint has wrong magic bytes"),
+            ShardStoreError::UnsupportedVersion(v) => {
+                write!(f, "checkpoint version {v} is not supported by this build")
+            }
+            ShardStoreError::ChecksumMismatch => {
+                write!(f, "checkpoint checksum mismatch (corrupt file)")
+            }
+            ShardStoreError::Corrupt(what) => write!(f, "checkpoint is corrupt: {what}"),
+            ShardStoreError::Io(e) => write!(f, "checkpoint i/o failed: {e}"),
+        }
+    }
+}
+
+impl Error for ShardStoreError {}
+
+/// FNV-1a, 64-bit: tiny, dependency-free corruption detection. Not a
+/// cryptographic integrity guarantee — the checkpoint trusts its storage.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Serializes a checkpoint into a fresh byte buffer.
+pub fn encode_checkpoint(cp: &ShardCheckpoint) -> Vec<u8> {
+    let per_shard: usize = cp.shards.iter().map(|s| 16 + 8 * s.counts.len()).sum();
+    let mut out = Vec::with_capacity(4 + 2 + 8 + 4 + per_shard + 8);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(cp.dim as u64).to_le_bytes());
+    out.extend_from_slice(&(cp.shards.len() as u32).to_le_bytes());
+    for shard in &cp.shards {
+        out.extend_from_slice(&shard.reports.to_le_bytes());
+        out.extend_from_slice(&(shard.counts.len() as u64).to_le_bytes());
+        for &c in &shard.counts {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+    }
+    let sum = fnv1a(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Restores a checkpoint from a buffer produced by [`encode_checkpoint`].
+pub fn decode_checkpoint(bytes: &[u8]) -> Result<ShardCheckpoint, ShardStoreError> {
+    // Fixed header (magic + version + dim + shard_count) plus the checksum.
+    const MIN: usize = 4 + 2 + 8 + 4 + 8;
+    if bytes.len() < MIN {
+        return Err(ShardStoreError::Truncated);
+    }
+    let mut r = Reader { bytes, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(ShardStoreError::BadMagic);
+    }
+    let version = u16::from_le_bytes(r.array()?);
+    if version != VERSION {
+        return Err(ShardStoreError::UnsupportedVersion(version));
+    }
+    // Verify the trailer before trusting any length field.
+    let (body, trailer) = bytes.split_at(bytes.len() - 8);
+    let declared = u64::from_le_bytes(trailer.try_into().expect("8-byte trailer"));
+    if fnv1a(body) != declared {
+        return Err(ShardStoreError::ChecksumMismatch);
+    }
+    let dim64 = u64::from_le_bytes(r.array()?);
+    let dim = usize::try_from(dim64).map_err(|_| ShardStoreError::Corrupt("dim overflow"))?;
+    let shard_count = u32::from_le_bytes(r.array()?);
+    // The checksum is forgeable (FNV, not cryptographic), so the declared
+    // layout must be proven against the actual buffer size *before* any
+    // allocation sized from it — a crafted dim/shard_count must yield a
+    // typed error, never an OOM or capacity-overflow panic.
+    let payload = (body.len() - r.pos) as u64;
+    let per_shard = 8u64
+        .checked_add(8)
+        .and_then(|fixed| dim64.checked_mul(8).and_then(|c| fixed.checked_add(c)))
+        .ok_or(ShardStoreError::Corrupt("shard size overflow"))?;
+    if u64::from(shard_count)
+        .checked_mul(per_shard)
+        .is_none_or(|total| total != payload)
+    {
+        return Err(ShardStoreError::Corrupt("layout disagrees with file size"));
+    }
+    let mut shards = Vec::with_capacity(shard_count as usize);
+    for _ in 0..shard_count {
+        let reports = u64::from_le_bytes(r.array()?);
+        let len = u64::from_le_bytes(r.array()?);
+        if len != dim64 {
+            return Err(ShardStoreError::Corrupt("shard length differs from dim"));
+        }
+        let mut counts = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            counts.push(u64::from_le_bytes(r.array()?));
+        }
+        shards.push(ShardState { counts, reports });
+    }
+    debug_assert_eq!(r.pos, body.len(), "layout check guarantees exact parse");
+    Ok(ShardCheckpoint { dim, shards })
+}
+
+/// A file-backed checkpoint location with atomic writes.
+#[derive(Debug, Clone)]
+pub struct ShardStore {
+    path: PathBuf,
+}
+
+impl ShardStore {
+    /// Creates a store writing to / reading from `path`.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Self { path: path.into() }
+    }
+
+    /// The checkpoint file location.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Whether a checkpoint file currently exists at the store's path.
+    pub fn exists(&self) -> bool {
+        self.path.exists()
+    }
+
+    /// Durably writes `cp`, replacing any previous checkpoint atomically:
+    /// the bytes land in a sibling temp file first and are renamed over the
+    /// destination, so a crash mid-write never leaves a half checkpoint.
+    pub fn save(&self, cp: &ShardCheckpoint) -> Result<(), ShardStoreError> {
+        let bytes = encode_checkpoint(cp);
+        let mut tmp = self.path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        fs::write(&tmp, &bytes).map_err(|e| ShardStoreError::Io(e.to_string()))?;
+        fs::rename(&tmp, &self.path).map_err(|e| ShardStoreError::Io(e.to_string()))
+    }
+
+    /// Reads and decodes the checkpoint at the store's path.
+    pub fn load(&self) -> Result<ShardCheckpoint, ShardStoreError> {
+        let bytes = fs::read(&self.path).map_err(|e| ShardStoreError::Io(e.to_string()))?;
+        decode_checkpoint(&bytes)
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ShardStoreError> {
+        let end = self.pos.checked_add(n).ok_or(ShardStoreError::Truncated)?;
+        // The last 8 bytes are the checksum trailer, not shard payload.
+        if end + 8 > self.bytes.len() {
+            return Err(ShardStoreError::Truncated);
+        }
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], ShardStoreError> {
+        Ok(self.take(N)?.try_into().expect("exact length"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ShardCheckpoint {
+        ShardCheckpoint {
+            dim: 5,
+            shards: vec![
+                ShardState {
+                    counts: vec![1, 0, 3, 0, 7],
+                    reports: 4,
+                },
+                ShardState {
+                    counts: vec![0, 2, 0, 9, 1],
+                    reports: 6,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let cp = sample();
+        let restored = decode_checkpoint(&encode_checkpoint(&cp)).unwrap();
+        assert_eq!(restored, cp);
+        assert_eq!(restored.reports(), 10);
+    }
+
+    #[test]
+    fn empty_checkpoint_roundtrips() {
+        let cp = ShardCheckpoint {
+            dim: 3,
+            shards: vec![],
+        };
+        assert_eq!(decode_checkpoint(&encode_checkpoint(&cp)).unwrap(), cp);
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_prefix() {
+        let bytes = encode_checkpoint(&sample());
+        for cut in 0..bytes.len() {
+            let err = decode_checkpoint(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ShardStoreError::Truncated | ShardStoreError::ChecksumMismatch
+                ),
+                "cut {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = encode_checkpoint(&sample());
+        bytes[0] = b'X';
+        assert_eq!(
+            decode_checkpoint(&bytes).err(),
+            Some(ShardStoreError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn rejects_future_version() {
+        let mut bytes = encode_checkpoint(&sample());
+        bytes[4..6].copy_from_slice(&7u16.to_le_bytes());
+        assert_eq!(
+            decode_checkpoint(&bytes).err(),
+            Some(ShardStoreError::UnsupportedVersion(7))
+        );
+    }
+
+    #[test]
+    fn any_single_bit_flip_in_the_body_is_detected() {
+        let bytes = encode_checkpoint(&sample());
+        // Flip one bit in every body byte past the version field; each must
+        // be rejected (checksum, or a structural check for length fields).
+        for i in 6..bytes.len() - 8 {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            assert!(decode_checkpoint(&bad).is_err(), "byte {i} flip accepted");
+        }
+    }
+
+    #[test]
+    fn rejects_shard_length_disagreeing_with_dim() {
+        // Hand-craft a size-consistent checkpoint (one shard, three counts)
+        // whose shard nonetheless declares len ≠ dim, with a valid
+        // checksum, so the structural check itself is exercised.
+        let mut body = Vec::new();
+        body.extend_from_slice(MAGIC);
+        body.extend_from_slice(&VERSION.to_le_bytes());
+        body.extend_from_slice(&3u64.to_le_bytes()); // dim = 3
+        body.extend_from_slice(&1u32.to_le_bytes()); // one shard
+        body.extend_from_slice(&5u64.to_le_bytes()); // reports
+        body.extend_from_slice(&2u64.to_le_bytes()); // len = 2 ≠ dim
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.extend_from_slice(&2u64.to_le_bytes());
+        body.extend_from_slice(&3u64.to_le_bytes());
+        let sum = fnv1a(&body);
+        body.extend_from_slice(&sum.to_le_bytes());
+        assert_eq!(
+            decode_checkpoint(&body).err(),
+            Some(ShardStoreError::Corrupt("shard length differs from dim"))
+        );
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_with_valid_checksum() {
+        let mut body = encode_checkpoint(&sample());
+        body.truncate(body.len() - 8); // strip checksum
+        body.extend_from_slice(&[0u8; 4]); // garbage
+        let sum = fnv1a(&body);
+        body.extend_from_slice(&sum.to_le_bytes());
+        assert_eq!(
+            decode_checkpoint(&body).err(),
+            Some(ShardStoreError::Corrupt("layout disagrees with file size"))
+        );
+    }
+
+    #[test]
+    fn huge_declared_sizes_with_forged_checksum_never_panic_or_allocate() {
+        // FNV is forgeable, so an attacker-controlled file can carry any
+        // dim/shard_count with a valid trailer; decoding must reject it
+        // with a typed error before sizing any allocation from it.
+        for (dim, shard_count) in [
+            (1u64 << 61, 1u32),
+            (u64::MAX, 1),
+            (4, u32::MAX),
+            (u64::MAX / 8, u32::MAX),
+        ] {
+            let mut body = Vec::new();
+            body.extend_from_slice(MAGIC);
+            body.extend_from_slice(&VERSION.to_le_bytes());
+            body.extend_from_slice(&dim.to_le_bytes());
+            body.extend_from_slice(&shard_count.to_le_bytes());
+            body.extend_from_slice(&0u64.to_le_bytes()); // a little payload
+            let sum = fnv1a(&body);
+            body.extend_from_slice(&sum.to_le_bytes());
+            assert!(
+                matches!(decode_checkpoint(&body), Err(ShardStoreError::Corrupt(_))),
+                "dim {dim}, shards {shard_count}"
+            );
+        }
+    }
+
+    #[test]
+    fn file_store_roundtrips_and_replaces_atomically() {
+        let path =
+            std::env::temp_dir().join(format!("ldp_ingest_store_test_{}.ckpt", std::process::id()));
+        let store = ShardStore::new(&path);
+        assert!(!store.exists());
+        store.save(&sample()).unwrap();
+        assert!(store.exists());
+        assert_eq!(store.load().unwrap(), sample());
+        // Overwrite with a different checkpoint; the new content wins.
+        let other = ShardCheckpoint {
+            dim: 5,
+            shards: vec![ShardState {
+                counts: vec![9; 5],
+                reports: 1,
+            }],
+        };
+        store.save(&other).unwrap();
+        assert_eq!(store.load().unwrap(), other);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let store = ShardStore::new("/nonexistent/dir/never.ckpt");
+        assert!(matches!(store.load(), Err(ShardStoreError::Io(_))));
+    }
+}

@@ -1,0 +1,140 @@
+//! Durability properties: a round interrupted by `save → restore` must
+//! finish bit-identically to an uninterrupted run, through the real file
+//! store; corrupt and foreign files must be rejected with typed errors.
+
+use ldp_ingest::{IngestPipeline, ShardStore, ShardStoreError};
+use ldp_rand::{derive_rng, uniform_u64};
+use ldp_runtime::Method;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn arb_method() -> impl Strategy<Value = Method> {
+    prop_oneof![
+        Just(Method::Rappor),
+        Just(Method::LOsue),
+        Just(Method::LOue),
+        Just(Method::LSoue),
+        Just(Method::LGrr),
+        Just(Method::BiLoloha),
+        Just(Method::OLoloha),
+        Just(Method::OneBitFlip),
+        Just(Method::BBitFlip),
+    ]
+}
+
+fn synth_reports(dim: usize, n: usize, seed: u64) -> Vec<Vec<usize>> {
+    let mut rng = derive_rng(seed, 0xC4EC);
+    (0..n)
+        .map(|_| {
+            let len = 1 + uniform_u64(&mut rng, 3) as usize;
+            (0..len)
+                .map(|_| uniform_u64(&mut rng, dim as u64) as usize)
+                .collect()
+        })
+        .collect()
+}
+
+/// A unique scratch file per call so parallel test threads never collide.
+fn scratch_path() -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("ldp_ingest_ckpt_{}_{id}.bin", std::process::id()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// save → (new pipeline, possibly different worker count) → restore →
+    /// finish_round ≡ an uninterrupted run, for every method.
+    #[test]
+    fn file_checkpoint_resume_matches_uninterrupted_run(
+        method in arb_method(),
+        k in 6u64..16,
+        n in 2usize..40,
+        cut_frac in 0.1f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        let mut uninterrupted =
+            IngestPipeline::for_method(method, k, 2.0, 1.0, 3).expect("valid");
+        let mut before_crash =
+            IngestPipeline::for_method(method, k, 2.0, 1.0, 3).expect("valid");
+        let dim = uninterrupted.dim();
+        let reports = synth_reports(dim, n, seed);
+        let cut = ((n as f64 * cut_frac) as usize).clamp(1, n - 1);
+
+        for (i, support) in reports.iter().take(cut).enumerate() {
+            uninterrupted.submit(i as u64, support.iter().copied()).expect("submit");
+            before_crash.submit(i as u64, support.iter().copied()).expect("submit");
+        }
+        let path = scratch_path();
+        let store = ShardStore::new(&path);
+        store.save(&before_crash.checkpoint().expect("quiesce")).expect("save");
+        drop(before_crash); // the "crash"
+
+        let mut resumed =
+            IngestPipeline::for_method(method, k, 2.0, 1.0, 5).expect("valid");
+        resumed.restore(&store.load().expect("load")).expect("restore");
+        std::fs::remove_file(&path).ok();
+
+        for (i, support) in reports.iter().enumerate().skip(cut) {
+            uninterrupted.submit(i as u64, support.iter().copied()).expect("submit");
+            resumed.submit(i as u64, support.iter().copied()).expect("submit");
+        }
+        let want = uninterrupted.finish_round().expect("workers alive");
+        let got = resumed.finish_round().expect("workers alive");
+        prop_assert_eq!(&want.counts, &got.counts);
+        prop_assert_eq!(want.reports, got.reports);
+        for (x, y) in want.estimate.iter().zip(&got.estimate) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}
+
+#[test]
+fn corrupt_file_is_rejected_with_a_typed_error() {
+    let mut pipe = IngestPipeline::for_method(Method::BiLoloha, 10, 2.0, 1.0, 2).unwrap();
+    for i in 0..20u64 {
+        pipe.submit(i, [(i % 10) as usize]).unwrap();
+    }
+    let path = scratch_path();
+    let store = ShardStore::new(&path);
+    store.save(&pipe.checkpoint().unwrap()).unwrap();
+
+    // Flip a byte in the middle of the file: checksum must catch it.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+    assert_eq!(store.load().err(), Some(ShardStoreError::ChecksumMismatch));
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn old_or_foreign_files_are_rejected_not_panicked() {
+    let path = scratch_path();
+    let store = ShardStore::new(&path);
+
+    // A foreign file (wrong magic).
+    std::fs::write(&path, b"definitely not a checkpoint").unwrap();
+    assert_eq!(store.load().err(), Some(ShardStoreError::BadMagic));
+
+    // A future format version with an otherwise plausible layout.
+    let mut pipe = IngestPipeline::for_method(Method::LGrr, 6, 2.0, 1.0, 2).unwrap();
+    pipe.submit(0, [1usize]).unwrap();
+    store.save(&pipe.checkpoint().unwrap()).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[4..6].copy_from_slice(&9u16.to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+    assert_eq!(
+        store.load().err(),
+        Some(ShardStoreError::UnsupportedVersion(9))
+    );
+
+    // Truncation below the fixed header.
+    std::fs::write(&path, &bytes[..10]).unwrap();
+    assert_eq!(store.load().err(), Some(ShardStoreError::Truncated));
+
+    std::fs::remove_file(&path).ok();
+}

@@ -70,6 +70,14 @@ impl Shard {
         }
     }
 
+    /// Creates an empty shard of aggregation dimension `dim`, for callers
+    /// (such as `ldp_ingest` workers) that accumulate shard state outside a
+    /// [`ShardedAggregator`] and merge it back in via
+    /// [`ShardedAggregator::push_batch`].
+    pub fn with_dim(dim: usize) -> Self {
+        Self::new(dim)
+    }
+
     /// Folds one report's support set in: every listed index gains a count.
     ///
     /// # Panics
@@ -106,7 +114,9 @@ impl Shard {
         self.reports
     }
 
-    fn reset(&mut self) {
+    /// Clears the shard back to the empty state (all-zero counts, zero
+    /// reports), retaining its dimension.
+    pub fn reset(&mut self) {
         self.counts.fill(0);
         self.reports = 0;
     }

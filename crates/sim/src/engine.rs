@@ -4,19 +4,28 @@
 //! cell: `n` stateful clients over `τ` rounds, server-side estimation each
 //! round, and the paper's metrics at the end.
 //!
-//! The engine is a thin driver over [`ldp_runtime::ShardedAggregator`]:
-//! users are partitioned into chunks, each worker thread fills one
-//! aggregator shard with its chunk's support counts, and the aggregator
-//! merges and estimates at the end of every round. Each user owns an
-//! independent RNG stream derived from `(seed, user)` and the shard merge
-//! is an order-independent sum, so results are bit-identical regardless of
-//! the thread/shard count.
+//! The engine is a thin driver over [`ldp_runtime::ShardedAggregator`],
+//! with two collection paths that agree bit-for-bit:
+//!
+//! * [`run_experiment`] — users are partitioned into chunks, each worker
+//!   thread fills one aggregator shard with its chunk's support counts,
+//!   and the aggregator merges and estimates at the end of every round.
+//! * [`run_experiment_piped`] — the same client chunks submit report
+//!   envelopes through the concurrent `ldp_ingest` pipeline, whose shard
+//!   workers accumulate while sanitization is still running (the
+//!   production collector topology).
+//!
+//! Each user owns an independent RNG stream derived from `(seed, user)`
+//! and the shard merge is an order-independent sum, so results are
+//! bit-identical regardless of the thread/shard/worker count and of which
+//! path collected the reports.
 
 use crate::config::{ExperimentConfig, Method};
 use crate::detection::{DetectionSummary, DetectionTrack};
 use crate::metrics::mse;
 use ldp_datasets::{empirical_histogram, DatasetSpec};
 use ldp_hash::{CarterWegman, CwHash, Preimages};
+use ldp_ingest::IngestPipeline;
 use ldp_longitudinal::{DBitFlipClient, LgrrClient, LongitudinalUeClient};
 use ldp_primitives::error::ParamError;
 use ldp_primitives::BitVec;
@@ -132,6 +141,8 @@ fn make_user(
 }
 
 /// Processes one user for one round, folding their report into `shard`.
+/// The support set streams straight from the client's report into the
+/// shard — no intermediate buffer on this hot path.
 fn process_user(user: &mut SimUser, value: u64, shard: &mut Shard, scratch: &mut BitVec) {
     match &mut user.state {
         ClientState::Lue(c) => {
@@ -156,6 +167,113 @@ fn process_user(user: &mut SimUser, value: u64, shard: &mut Shard, scratch: &mut
     }
 }
 
+/// [`process_user`]'s counterpart for the pipelined path, which must hand
+/// an owned support set to the ingest channel: writes the report's support
+/// indices into `support` (cleared first). The RNG draw sequence is
+/// identical to [`process_user`]'s arm for arm — the equivalence suites
+/// (engine, ingest, system) pin the two paths bit-for-bit.
+fn sanitize_report(user: &mut SimUser, value: u64, scratch: &mut BitVec, support: &mut Vec<usize>) {
+    support.clear();
+    match &mut user.state {
+        ClientState::Lue(c) => {
+            c.report_into(value, &mut user.rng, scratch);
+            support.extend(scratch.iter_ones());
+        }
+        ClientState::Lgrr(c) => {
+            support.push(c.report(value, &mut user.rng) as usize);
+        }
+        ClientState::Loloha { client, preimages } => {
+            let cell = client.report(value, &mut user.rng);
+            support.extend(preimages.cell(cell).iter().map(|&v| v as usize));
+        }
+        ClientState::DBit(c) => {
+            let report = c.report(value, &mut user.rng);
+            let sampled = c.sampled();
+            support.extend(report.bits.iter_ones().map(|l| sampled[l] as usize));
+            if let Some(track) = &mut user.detect {
+                track.observe(c.bucket_of(value), &report.bits);
+            }
+        }
+    }
+}
+
+/// Builds the population, chunked for `threads` worker threads. Users are
+/// created in index order so the per-user RNG streams are independent of
+/// the chunking.
+fn build_user_chunks(
+    agg: &ShardedAggregator,
+    cfg: &ExperimentConfig,
+    k: u64,
+    n: usize,
+    threads: usize,
+) -> Result<Vec<Vec<SimUser>>, ParamError> {
+    let chunk_len = n.div_ceil(threads);
+    let mut users = Vec::with_capacity(n);
+    for u in 0..n {
+        users.push(make_user(
+            agg,
+            cfg.method,
+            k,
+            cfg.eps_inf,
+            cfg.eps_first(),
+            cfg.seed,
+            u,
+        )?);
+    }
+    let mut chunks: Vec<Vec<SimUser>> = Vec::with_capacity(threads);
+    let mut rest = users;
+    while !rest.is_empty() {
+        let take = chunk_len.min(rest.len());
+        let tail = rest.split_off(take);
+        chunks.push(rest);
+        rest = tail;
+    }
+    Ok(chunks)
+}
+
+/// Final per-user metrics, read in fixed user order (independent of the
+/// threading layout during collection).
+fn finalize_metrics(
+    chunks: &[Vec<SimUser>],
+    cfg: &ExperimentConfig,
+    n: usize,
+    mse_sum: f64,
+    mse_rounds: usize,
+    agg: &ShardedAggregator,
+) -> RunMetrics {
+    let mut eps_sum = 0.0;
+    let mut eps_max = 0.0f64;
+    let mut distinct_sum = 0.0;
+    for chunk in chunks {
+        for user in chunk {
+            let spent = user.state.privacy_spent();
+            eps_sum += spent;
+            eps_max = eps_max.max(spent);
+            distinct_sum += user.state.distinct_classes() as f64;
+        }
+    }
+    let detection = if matches!(cfg.method, Method::OneBitFlip | Method::BBitFlip) {
+        Some(DetectionSummary::from_tracks(
+            chunks.iter().flatten().filter_map(|u| u.detect.as_ref()),
+        ))
+    } else {
+        None
+    };
+    RunMetrics {
+        mse_avg: if mse_rounds > 0 {
+            mse_sum / mse_rounds as f64
+        } else {
+            f64::NAN
+        },
+        eps_avg: eps_sum / n as f64,
+        eps_max,
+        distinct_avg: distinct_sum / n as f64,
+        detection,
+        reduced_domain: agg.reduced_domain(),
+        comparable_mse: agg.k_binned(),
+    }
+}
+
 /// Runs one experiment cell and returns its metrics.
 pub fn run_experiment(
     dataset: &dyn DatasetSpec,
@@ -164,36 +282,12 @@ pub fn run_experiment(
     let k = dataset.k();
     let n = dataset.n();
     let tau = dataset.tau();
-    let eps_first = cfg.eps_first();
 
     // One aggregator shard per worker thread.
     let threads = cfg.effective_threads().clamp(1, n.max(1));
-    let mut agg = ShardedAggregator::for_method(cfg.method, k, cfg.eps_inf, eps_first, threads)?;
-
-    // Build users, chunked for the worker threads.
-    let chunk_len = n.div_ceil(threads);
-    let mut chunks: Vec<Vec<SimUser>> = Vec::with_capacity(threads);
-    {
-        let mut users = Vec::with_capacity(n);
-        for u in 0..n {
-            users.push(make_user(
-                &agg,
-                cfg.method,
-                k,
-                cfg.eps_inf,
-                eps_first,
-                cfg.seed,
-                u,
-            )?);
-        }
-        let mut rest = users;
-        while !rest.is_empty() {
-            let take = chunk_len.min(rest.len());
-            let tail = rest.split_off(take);
-            chunks.push(rest);
-            rest = tail;
-        }
-    }
+    let mut agg =
+        ShardedAggregator::for_method(cfg.method, k, cfg.eps_inf, cfg.eps_first(), threads)?;
+    let mut chunks = build_user_chunks(&agg, cfg, k, n, threads)?;
 
     let mut data = dataset.instantiate(cfg.seed);
     let mut mse_sum = 0.0;
@@ -232,39 +326,76 @@ pub fn run_experiment(
         }
     }
 
-    // Final per-user metrics (fixed order: independent of threading).
-    let mut eps_sum = 0.0;
-    let mut eps_max = 0.0f64;
-    let mut distinct_sum = 0.0;
-    for chunk in &chunks {
-        for user in chunk {
-            let spent = user.state.privacy_spent();
-            eps_sum += spent;
-            eps_max = eps_max.max(spent);
-            distinct_sum += user.state.distinct_classes() as f64;
+    Ok(finalize_metrics(&chunks, cfg, n, mse_sum, mse_rounds, &agg))
+}
+
+/// Runs one experiment cell through the concurrent ingestion pipeline
+/// (`ldp_ingest`): client chunks sanitize their reports on scoped threads
+/// and submit keyed envelopes to the pipeline's shard workers, which
+/// accumulate concurrently with sanitization.
+///
+/// Bit-identical to [`run_experiment`] for every method and thread count:
+/// each user owns a `(seed, user)`-derived RNG stream, routing is a stable
+/// hash of the user index, and both shard accumulation and the merge are
+/// order-independent sums.
+pub fn run_experiment_piped(
+    dataset: &dyn DatasetSpec,
+    cfg: &ExperimentConfig,
+) -> Result<RunMetrics, ParamError> {
+    let k = dataset.k();
+    let n = dataset.n();
+    let tau = dataset.tau();
+
+    let workers = cfg.effective_threads().clamp(1, n.max(1));
+    let mut pipe =
+        IngestPipeline::for_method(cfg.method, k, cfg.eps_inf, cfg.eps_first(), workers)?;
+    let mut chunks = build_user_chunks(pipe.aggregator(), cfg, k, n, workers)?;
+
+    let mut data = dataset.instantiate(cfg.seed);
+    let mut mse_sum = 0.0;
+    let mut mse_rounds = 0usize;
+
+    for _t in 0..tau {
+        let values = data.step();
+        assert_eq!(values.len(), n, "dataset produced wrong population size");
+        let handle = pipe.handle();
+        std::thread::scope(|s| {
+            let mut offset = 0usize;
+            for chunk in chunks.iter_mut() {
+                let slice = &values[offset..offset + chunk.len()];
+                let base = offset;
+                offset += chunk.len();
+                let k_usize = k as usize;
+                let h = handle.clone();
+                s.spawn(move || {
+                    let mut scratch = BitVec::zeros(k_usize);
+                    let mut support = Vec::new();
+                    for (j, (user, &v)) in chunk.iter_mut().zip(slice).enumerate() {
+                        sanitize_report(user, v, &mut scratch, &mut support);
+                        h.submit((base + j) as u64, support.iter().copied())
+                            .expect("ingest worker lost");
+                    }
+                });
+            }
+        });
+        drop(handle);
+        let round = pipe.finish_round().expect("ingest worker lost");
+        debug_assert_eq!(round.reports, n as u64, "every user reports every round");
+        if pipe.aggregator().k_binned() {
+            let truth = empirical_histogram(values, k);
+            mse_sum += mse(&round.estimate, &truth);
+            mse_rounds += 1;
         }
     }
-    let detection = if matches!(cfg.method, Method::OneBitFlip | Method::BBitFlip) {
-        Some(DetectionSummary::from_tracks(
-            chunks.iter().flatten().filter_map(|u| u.detect.as_ref()),
-        ))
-    } else {
-        None
-    };
 
-    Ok(RunMetrics {
-        mse_avg: if mse_rounds > 0 {
-            mse_sum / mse_rounds as f64
-        } else {
-            f64::NAN
-        },
-        eps_avg: eps_sum / n as f64,
-        eps_max,
-        distinct_avg: distinct_sum / n as f64,
-        detection,
-        reduced_domain: agg.reduced_domain(),
-        comparable_mse: agg.k_binned(),
-    })
+    Ok(finalize_metrics(
+        &chunks,
+        cfg,
+        n,
+        mse_sum,
+        mse_rounds,
+        pipe.aggregator(),
+    ))
 }
 
 #[cfg(test)]
@@ -319,6 +450,44 @@ mod tests {
                     m.distinct_avg.to_bits(),
                     "{method:?} distinct at {threads} threads"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn piped_engine_is_bit_identical_for_every_method() {
+        // The ingest-pipeline collection path must agree with the direct
+        // shard-filling path bit-for-bit, for all nine protocol variants
+        // and across worker counts.
+        let ds = SynDataset::new(16, 240, 3, 0.3);
+        for method in Method::all() {
+            let base = ExperimentConfig::new(method, 2.0, 0.5, 5).unwrap();
+            let reference = run_experiment(&ds, &base.with_threads(1)).unwrap();
+            for threads in [1usize, 4] {
+                let m = run_experiment_piped(&ds, &base.with_threads(threads)).unwrap();
+                assert_eq!(
+                    reference.mse_avg.to_bits(),
+                    m.mse_avg.to_bits(),
+                    "{method:?} mse piped at {threads} workers"
+                );
+                assert_eq!(
+                    reference.eps_avg.to_bits(),
+                    m.eps_avg.to_bits(),
+                    "{method:?} eps piped at {threads} workers"
+                );
+                assert_eq!(
+                    reference.eps_max.to_bits(),
+                    m.eps_max.to_bits(),
+                    "{method:?} eps_max piped at {threads} workers"
+                );
+                assert_eq!(
+                    reference.distinct_avg.to_bits(),
+                    m.distinct_avg.to_bits(),
+                    "{method:?} distinct piped at {threads} workers"
+                );
+                if let (Some(a), Some(b)) = (&reference.detection, &m.detection) {
+                    assert_eq!(a.rate().to_bits(), b.rate().to_bits(), "{method:?}");
+                }
             }
         }
     }

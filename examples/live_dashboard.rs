@@ -64,12 +64,17 @@ fn main() {
         );
     }
 
-    // --- Shuffle-model round through the streaming aggregator -----------
+    // --- Shuffle-model round through the concurrent ingest pipeline -----
     // Reports travel as (hash, cell) pairs with no user identifier; the
-    // shuffler permutes them and each report's hash preimages feed one of
-    // the aggregator's shards. Same estimator, no pseudonymous linkage —
-    // and a non-destructive snapshot serves the dashboard mid-stream.
-    println!("\nshuffle-model round (anonymized multiset, 4-shard stream):");
+    // shuffler permutes them and each report is submitted as an
+    // expand-on-worker task: the O(k) hash-preimage enumeration runs on
+    // one of four shard workers, not on the submitting thread. Halfway
+    // through the stream the demo takes a non-destructive snapshot,
+    // persists a shard-state checkpoint, tears the whole pipeline down (a
+    // simulated collector restart) and resumes mid-fill from the encoded
+    // bytes — the final estimate is unaffected, because the restore is an
+    // order-independent re-merge of the saved partials.
+    println!("\nshuffle-model round (anonymized multiset, 4-worker ingest pipeline):");
     let mut anon: Vec<AnonymousReport<_>> = clients
         .iter_mut()
         .zip(&values)
@@ -80,24 +85,39 @@ fn main() {
         .collect();
     Shuffler::shuffle(&mut anon, &mut rng);
 
-    let shards = 4usize;
-    let mut agg = ShardedAggregator::for_loloha(k, params, shards).expect("valid params");
+    let workers = 4usize;
+    let mut pipe = IngestPipeline::for_loloha(k, params, workers).expect("valid params");
     let midpoint = anon.len() / 2;
     for (i, r) in anon.iter().enumerate() {
         if i == midpoint {
             // Halfway through the stream: peek without closing the round.
-            let snap = agg.snapshot();
+            let snap = pipe.snapshot().expect("workers alive");
             let (screen, freq) = top_screen(&snap.estimate);
             println!(
                 "  after {} of {} reports: provisional top screen {screen} ({freq:.3})",
                 snap.reports,
                 anon.len()
             );
+            // Durability drill: checkpoint, "crash", restore, continue.
+            let bytes = encode_checkpoint(&pipe.checkpoint().expect("workers alive"));
+            drop(pipe);
+            pipe = IngestPipeline::for_loloha(k, params, workers).expect("valid params");
+            pipe.restore(&decode_checkpoint(&bytes).expect("own checkpoint decodes"))
+                .expect("dimensions match");
+            println!(
+                "  checkpointed {} bytes, restarted the pipeline, resumed mid-round",
+                bytes.len()
+            );
         }
-        let pre = Preimages::build(&r.hash, k);
-        agg.push_report(i % shards, pre.cell(r.cell).iter().map(|&v| v as usize));
+        let hash = r.hash;
+        let cell = r.cell;
+        pipe.submit_task(i as u64, move |shard| {
+            let pre = Preimages::build(&hash, k);
+            shard.add_report(pre.cell(cell).iter().map(|&v| v as usize));
+        })
+        .expect("workers alive");
     }
-    let final_round = agg.finish_round();
+    let final_round = pipe.finish_round().expect("workers alive");
     let (screen, freq) = top_screen(&final_round.estimate);
     println!(
         "  final ({} reports): top screen {screen} ({freq:.3})",

@@ -24,6 +24,9 @@
 //!   longitudinal heavy-hitter tracking.
 //! * [`runtime`] — the sharded streaming aggregation engine every front
 //!   end (simulator, CLI, examples) collects reports through.
+//! * [`ingest`] — the concurrent worker-per-shard ingestion pipeline over
+//!   the runtime, with durable shard-state checkpoints for restart-safe
+//!   collection rounds.
 //!
 //! Downstream users who only need the stable surface should prefer
 //! [`prelude`], which curates the commonly used items instead of exposing
@@ -39,6 +42,7 @@ pub use ldp_attack as attack;
 pub use ldp_datasets as datasets;
 pub use ldp_hash as hash;
 pub use ldp_heavyhitters as heavyhitters;
+pub use ldp_ingest as ingest;
 pub use ldp_longitudinal as longitudinal;
 pub use ldp_multidim as multidim;
 pub use ldp_postprocess as postprocess;

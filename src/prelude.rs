@@ -37,6 +37,12 @@ pub use ldp_primitives::{BitVec, Grr, UeClient, UeServer};
 // The sharded streaming aggregation runtime.
 pub use ldp_runtime::{dbit_buckets, AggregateSnapshot, Method, Shard, ShardedAggregator};
 
+// Concurrent ingestion and durable shard-state checkpoints.
+pub use ldp_ingest::{
+    decode_checkpoint, encode_checkpoint, IngestError, IngestHandle, IngestPipeline,
+    ShardCheckpoint, ShardState, ShardStore, ShardStoreError,
+};
+
 // Hashing substrate (LOLOHA's domain reduction needs these at the edges).
 pub use ldp_hash::{CarterWegman, CwHash, Preimages, SeededHash};
 
@@ -48,4 +54,4 @@ pub use ldp_datasets::{
     empirical_histogram, paper_datasets, scaled_datasets, AdultLikeDataset, DatasetSpec,
     FolkLikeDataset, SynDataset,
 };
-pub use ldp_sim::{run_experiment, ExperimentConfig, RunMetrics};
+pub use ldp_sim::{run_experiment, run_experiment_piped, ExperimentConfig, RunMetrics};
