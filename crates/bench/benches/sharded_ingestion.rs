@@ -157,5 +157,60 @@ fn bench_concurrent_fill(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ingestion, bench_concurrent_fill);
+/// End-to-end client-side sanitize + concurrent ingest of one collection
+/// round at paper scale: an `ldp_client::ClientPool` of 10 000 memoizing
+/// BiLOLOHA users sanitizes on 1/2/4/8 worker threads, feeding report
+/// envelopes straight into the pipeline's shard workers — the full
+/// production collector topology, against a single-threaded
+/// sanitize-into-shard baseline. (On a 1-CPU host the numbers measure
+/// pipeline + pool overhead, not speedup; see the printed parallelism.)
+fn bench_sanitize_and_ingest(c: &mut Criterion) {
+    use ldp_client::{ClientConfig, ClientPool};
+
+    let params = LolohaParams::bi(1.0, 0.5).expect("valid budgets");
+    let cfg = ClientConfig::for_loloha(K, params);
+    let n = N_REPORTS as usize;
+    let mut rng = derive_rng(11, 0x5A11);
+    let values: Vec<u64> = (0..n).map(|_| uniform_u64(&mut rng, K)).collect();
+
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    println!("sanitize_and_ingest host parallelism: {cores} hardware thread(s)");
+
+    let mut group = c.benchmark_group("sanitize_and_ingest_syn_paper_scale");
+    group.sample_size(10);
+
+    group.bench_function("single_thread_baseline", |b| {
+        let mut pool = ClientPool::new(cfg, 11, n).expect("valid");
+        let mut agg = ShardedAggregator::for_loloha(K, params, 1).expect("valid");
+        b.iter(|| {
+            pool.sanitize_round_into_shards(black_box(&values), agg.shards_mut());
+            black_box(agg.finish_round())
+        });
+    });
+
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_function(format!("pool_pipeline_{workers}_workers"), |b| {
+            let mut pool = ClientPool::new(cfg, 11, n).expect("valid");
+            let mut pipe = IngestPipeline::for_loloha(K, params, workers).expect("valid");
+            b.iter(|| {
+                let handle = pipe.handle();
+                pool.sanitize_round(black_box(&values), workers, &handle)
+                    .expect("workers alive");
+                drop(handle);
+                black_box(pipe.finish_round().expect("workers alive"))
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ingestion,
+    bench_concurrent_fill,
+    bench_sanitize_and_ingest
+);
 criterion_main!(benches);

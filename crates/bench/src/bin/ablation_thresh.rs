@@ -67,7 +67,7 @@ fn main() {
         }
         if thresh_server.close_votes() {
             for (client, &v) in thresh_clients.iter_mut().zip(&values) {
-                thresh_server.ingest_estimate(&client.estimate(v, &mut rng));
+                thresh_server.ingest_estimate(&client.report(v, &mut rng));
             }
             thresh_server.close_update();
         }

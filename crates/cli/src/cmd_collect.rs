@@ -8,23 +8,27 @@
 //! from a round simply skip it (their memoized state persists, exactly as
 //! a real deployment's offline users do).
 //!
-//! The tool plays *both* sides — it sanitizes each user's value with a
-//! per-user LOLOHA client and aggregates with the server — so its output
+//! The tool plays *both* sides — every distinct user gets a LOLOHA client
+//! in an `ldp_client::ClientPool` (one `(seed, user)`-derived RNG stream
+//! each), and the server aggregates the sanitized reports — so its output
 //! demonstrates what the server would learn, never the raw histogram.
 //!
-//! Server-side scaling flags: `--shards N` spreads the in-process
+//! Scaling and durability flags: `--shards N` spreads the in-process
 //! aggregator over N shards; `--workers N` collects through the
-//! concurrent `ldp_ingest` worker pipeline instead; `--checkpoint PATH`
-//! additionally persists the shard state mid-round and resumes from the
-//! file (a simulated restart). All of them leave the output byte-identical
-//! — the aggregation merge is order-independent — which the unit tests pin.
+//! concurrent `ldp_ingest` worker pipeline *and* sanitizes with N client
+//! worker threads; `--checkpoint PATH` persists the shard state mid-round
+//! and resumes from the file; `--client-checkpoint PATH` does the same
+//! for the client pool (memo tables + RNG stream positions), so the pair
+//! simulates a full-collector restart. All of them leave the output
+//! byte-identical — per-user RNG streams are independent and the
+//! aggregation merge is order-independent — which the unit tests pin.
 
 use crate::args::Flags;
 use crate::CliError;
-use ldp_hash::{CarterWegman, Preimages};
+use ldp_client::{ClientConfig, ClientPool, ClientStore, ReportBuf};
 use ldp_ingest::{IngestPipeline, ShardStore};
 use ldp_runtime::ShardedAggregator;
-use loloha::{LolohaClient, LolohaParams};
+use loloha::LolohaParams;
 use std::collections::BTreeMap;
 use std::io::BufRead;
 
@@ -39,16 +43,6 @@ enum Collector {
 }
 
 impl Collector {
-    fn push(&mut self, user: u64, support: impl Iterator<Item = usize>) -> Result<(), CliError> {
-        match self {
-            Collector::Direct { agg, shards } => {
-                agg.push_report((user % *shards) as usize, support);
-                Ok(())
-            }
-            Collector::Piped(pipe) => pipe.submit(user, support).map_err(CliError::new),
-        }
-    }
-
     fn finish_round(&mut self) -> Result<Vec<f64>, CliError> {
         match self {
             Collector::Direct { agg, .. } => Ok(agg.finish_round().estimate),
@@ -120,6 +114,7 @@ pub fn run<R: BufRead>(argv: &[String], input: &mut R) -> Result<String, CliErro
         "shards",
         "workers",
         "checkpoint",
+        "client-checkpoint",
         "optimal",
     ])?;
     let k = flags.required_u64("k")?;
@@ -140,6 +135,7 @@ pub fn run<R: BufRead>(argv: &[String], input: &mut R) -> Result<String, CliErro
         ));
     }
     let store = flags.optional("checkpoint").map(ShardStore::new);
+    let client_store = flags.optional("client-checkpoint").map(ClientStore::new);
     let params = if flags.switch("optimal") {
         LolohaParams::optimal(eps_inf, alpha * eps_inf)
     } else {
@@ -175,11 +171,25 @@ pub fn run<R: BufRead>(argv: &[String], input: &mut R) -> Result<String, CliErro
         entries.push((r.user, r.value));
     }
 
-    let family = CarterWegman::new(params.g()).ok_or_else(|| CliError::new("invalid g"))?;
+    // Dense user index: every distinct user id, in ascending order, gets a
+    // pool slot with its own (seed, index)-derived RNG stream.
+    let index: BTreeMap<u64, usize> = {
+        let mut ids: Vec<u64> = records.iter().map(|r| r.user).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.into_iter().enumerate().map(|(i, u)| (u, i)).collect()
+    };
+    let mut pool = ClientPool::new(ClientConfig::for_loloha(k, params), seed, index.len())
+        .map_err(CliError::new)?;
+
     // The server side: by default the shared sharded aggregator (each
     // user's report lands in the shard `user % shards`); with `--workers`
     // (or `--checkpoint`) the concurrent ingest pipeline, routing by a
-    // stable hash of the user id. The merge is deterministic either way.
+    // stable hash of the user's dense pool index (the routing key for a
+    // given user therefore depends on which other users appear in the
+    // input, not just their id). The merge is an order-independent sum,
+    // so the estimates are deterministic and placement-independent
+    // either way.
     let piped_workers = workers.unwrap_or(1).max(1) as usize;
     let mut collector = if workers.is_some() || store.is_some() {
         Collector::Piped(
@@ -192,8 +202,6 @@ pub fn run<R: BufRead>(argv: &[String], input: &mut R) -> Result<String, CliErro
             shards,
         }
     };
-    let mut clients: BTreeMap<u64, (LolohaClient<ldp_hash::CwHash>, Preimages)> = BTreeMap::new();
-    let mut rng = ldp_rand::derive_rng(seed, 0xC11);
 
     let mut out = format!(
         "LOLOHA collect: k = {k}, g = {}, eps_inf = {eps_inf}, eps_1 = {:.3}, cap = {:.1}\n",
@@ -201,42 +209,64 @@ pub fn run<R: BufRead>(argv: &[String], input: &mut R) -> Result<String, CliErro
         alpha * eps_inf,
         params.budget_cap()
     );
-    let mut checkpointed = false;
+    let mut drilled = false;
     for (round, entries) in &rounds {
-        for (i, &(user, value)) in entries.iter().enumerate() {
-            let (client, preimages) = match clients.entry(user) {
-                std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
-                std::collections::btree_map::Entry::Vacant(e) => {
-                    let client =
-                        LolohaClient::new(&family, k, params, &mut rng).map_err(CliError::new)?;
-                    let preimages = Preimages::build(client.hash_fn(), k);
-                    e.insert((client, preimages))
-                }
-            };
-            let cell = client.report(value, &mut rng);
-            collector.push(user, preimages.cell(cell).iter().map(|&v| v as usize))?;
-
-            // With `--checkpoint`, exercise the full durability path once,
-            // at the midpoint of the first round: persist the shard state,
-            // tear the pipeline down (a simulated restart), and resume
-            // mid-fill from the file. The output must be byte-identical to
-            // an uninterrupted run — the restore is an order-independent
-            // re-merge of the saved partials.
-            if let (Some(store), false) = (&store, checkpointed) {
-                if i + 1 == entries.len().div_ceil(2) {
-                    if let Collector::Piped(pipe) = &mut collector {
-                        store
-                            .save(&pipe.checkpoint().map_err(CliError::new)?)
-                            .map_err(CliError::new)?;
-                        let mut fresh = IngestPipeline::for_loloha(k, params, piped_workers)
-                            .map_err(CliError::new)?;
-                        fresh
-                            .restore(&store.load().map_err(CliError::new)?)
-                            .map_err(CliError::new)?;
-                        *pipe = fresh;
+        // Entries mapped to pool indices; dense index is the ingest
+        // routing key, the raw user id keeps the direct path's shard
+        // placement.
+        let assignments: Vec<(usize, u64)> = entries.iter().map(|&(u, v)| (index[&u], v)).collect();
+        // With a durability drill pending, split the round at its
+        // midpoint: sanitize the first half, persist + restore (a
+        // simulated full-collector restart), then finish the round. The
+        // output must be byte-identical to an uninterrupted run.
+        let do_drill = !drilled && (store.is_some() || client_store.is_some());
+        let mid = if do_drill {
+            assignments.len().div_ceil(2)
+        } else {
+            assignments.len()
+        };
+        for (part_i, range) in [0..mid, mid..assignments.len()].into_iter().enumerate() {
+            if range.is_empty() && part_i == 1 {
+                continue;
+            }
+            match &mut collector {
+                Collector::Direct { agg, shards } => {
+                    let mut buf = ReportBuf::new();
+                    for i in range.clone() {
+                        let (idx, value) = assignments[i];
+                        let (user, _) = entries[i];
+                        pool.sanitize_one(idx, value, &mut buf);
+                        agg.push_report((user % *shards) as usize, buf.support().iter().copied());
                     }
-                    checkpointed = true;
                 }
+                Collector::Piped(pipe) => {
+                    let handle = pipe.handle();
+                    pool.sanitize_assignments(&assignments[range.clone()], piped_workers, &handle)
+                        .map_err(CliError::new)?;
+                }
+            }
+            if do_drill && part_i == 0 {
+                // Server half: persist the shard state, tear the pipeline
+                // down, resume mid-fill from the file.
+                if let (Some(store), Collector::Piped(pipe)) = (&store, &mut collector) {
+                    store
+                        .save(&pipe.checkpoint().map_err(CliError::new)?)
+                        .map_err(CliError::new)?;
+                    let mut fresh = IngestPipeline::for_loloha(k, params, piped_workers)
+                        .map_err(CliError::new)?;
+                    fresh
+                        .restore(&store.load().map_err(CliError::new)?)
+                        .map_err(CliError::new)?;
+                    *pipe = fresh;
+                }
+                // Client half: persist every user's memo + RNG position
+                // and fold it back into a rebuilt pool.
+                if let Some(cs) = &client_store {
+                    cs.save(&pool.checkpoint()).map_err(CliError::new)?;
+                    pool.restore(&cs.load().map_err(CliError::new)?)
+                        .map_err(CliError::new)?;
+                }
+                drilled = true;
             }
         }
         let estimate = collector.finish_round()?;
@@ -253,20 +283,26 @@ pub fn run<R: BufRead>(argv: &[String], input: &mut R) -> Result<String, CliErro
             shown.join(", ")
         ));
     }
-    let worst = clients
-        .values()
-        .map(|(c, _)| c.privacy_spent())
+    let worst = pool
+        .states()
+        .map(|s| s.privacy_spent())
         .fold(0.0f64, f64::max);
     out.push_str(&format!(
         "privacy: worst user spent {:.3} of the {:.1} cap across {} user(s)\n",
         worst,
         params.budget_cap(),
-        clients.len()
+        pool.len()
     ));
     if let Some(store) = &store {
         out.push_str(&format!(
             "checkpoint: shard state saved and restored mid-round at {}\n",
             store.path().display()
+        ));
+    }
+    if let Some(cs) = &client_store {
+        out.push_str(&format!(
+            "client-checkpoint: client state saved and restored mid-round at {}\n",
+            cs.path().display()
         ));
     }
     Ok(out)
@@ -368,8 +404,9 @@ mod tests {
 
     #[test]
     fn pipeline_output_matches_direct_aggregation() {
-        // `--workers` only changes the collection topology; the estimates
-        // (and therefore every output byte) must match the direct path.
+        // `--workers` only changes the collection topology (and the
+        // sanitize-thread count); the estimates — and therefore every
+        // output byte — must match the direct path.
         let mut csv = String::from("round,user,value\n");
         for u in 0..90u64 {
             csv.push_str(&format!("0,{u},{}\n1,{u},{}\n", u % 5, (u + 2) % 5));
@@ -411,6 +448,72 @@ mod tests {
         assert_eq!(reference, body, "checkpointed run must match");
         assert!(notice.contains("saved and restored mid-round"), "{notice}");
         assert!(path.exists(), "checkpoint file must be written");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dual_checkpoint_restart_is_byte_identical() {
+        // The full-collector restart drill: shard state *and* client state
+        // persist mid-round, both halves resume from their files, and the
+        // output matches an uninterrupted run byte for byte — across
+        // worker counts.
+        let base =
+            std::env::temp_dir().join(format!("loloha_cli_collect_dual_{}", std::process::id()));
+        let shard_path = base.with_extension("shards.ckpt");
+        let client_path = base.with_extension("clients.ckpt");
+        let mut csv = String::from("round,user,value\n");
+        for u in 0..50u64 {
+            csv.push_str(&format!(
+                "0,{u},{}\n1,{u},{}\n2,{u},{}\n",
+                u % 4,
+                (u + 1) % 4,
+                u % 2
+            ));
+        }
+        let args = "--k 4 --eps-inf 2.0 --alpha 0.5 --top 2";
+        let reference = run(&argv(args), &mut input(&csv)).unwrap();
+        for workers in [1u64, 4] {
+            let got = run(
+                &argv(&format!(
+                    "{args} --workers {workers} --checkpoint {} --client-checkpoint {}",
+                    shard_path.display(),
+                    client_path.display()
+                )),
+                &mut input(&csv),
+            )
+            .unwrap();
+            let (body, _) = got.split_once("checkpoint: ").expect("notice lines");
+            assert_eq!(reference, body, "dual-checkpoint run at {workers} workers");
+            assert!(
+                got.contains("client-checkpoint: client state saved"),
+                "{got}"
+            );
+        }
+        assert!(shard_path.exists() && client_path.exists());
+        std::fs::remove_file(&shard_path).ok();
+        std::fs::remove_file(&client_path).ok();
+    }
+
+    #[test]
+    fn client_checkpoint_alone_works_on_the_direct_path() {
+        let path = std::env::temp_dir().join(format!(
+            "loloha_cli_collect_client_only_{}.ckpt",
+            std::process::id()
+        ));
+        let mut csv = String::from("round,user,value\n");
+        for u in 0..40u64 {
+            csv.push_str(&format!("0,{u},{}\n1,{u},{}\n", u % 4, (u + 3) % 4));
+        }
+        let args = "--k 4 --eps-inf 2.0 --alpha 0.5 --top 2";
+        let reference = run(&argv(args), &mut input(&csv)).unwrap();
+        let got = run(
+            &argv(&format!("{args} --client-checkpoint {}", path.display())),
+            &mut input(&csv),
+        )
+        .unwrap();
+        let (body, notice) = got.rsplit_once("client-checkpoint: ").expect("notice line");
+        assert_eq!(reference, body, "client-checkpointed run must match");
+        assert!(notice.contains("saved and restored mid-round"), "{notice}");
         std::fs::remove_file(&path).ok();
     }
 

@@ -72,7 +72,7 @@ METHODS:   rappor | l-osue | l-oue | l-soue | l-grr | biloloha | ololoha |
 DATASETS:  syn | adult | db_mt | db_de
 ";
 
-/// Dispatches a full argument vector (excluding argv[0]); returns the
+/// Dispatches a full argument vector (excluding `argv[0]`); returns the
 /// textual output to print on success.
 pub fn run(argv: &[String]) -> Result<String, CliError> {
     let Some((cmd, rest)) = argv.split_first() else {

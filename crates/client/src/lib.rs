@@ -1,0 +1,50 @@
+//! Unified client-side protocol state with parallel sanitization and
+//! durable client checkpoints.
+//!
+//! Every longitudinal protocol in this workspace — the L-UE chains, L-GRR,
+//! LOLOHA, dBitFlipPM — is "memoized client state + per-round report", yet
+//! each crate historically exposed a slightly different surface and every
+//! front end re-implemented its own per-method dispatch. This crate is the
+//! client-side counterpart of `ldp_runtime` (aggregation) and `ldp_ingest`
+//! (collection):
+//!
+//! * [`ClientState`] — the object-safe per-user abstraction:
+//!   buffer-reusing [`ClientState::report_into`] sanitization, privacy
+//!   accounting, and serde-style [`ClientState::save_state`] /
+//!   [`ClientState::load_state`] hooks.
+//! * [`ClientConfig`] — the registry: one resolved parameterization per
+//!   [`Method`](ldp_runtime::Method) (or a custom LOLOHA `g`), with the
+//!   single [`ClientConfig::build_state`] constructor every front end
+//!   dispatches through.
+//! * [`ClientPool`] — the owner of all per-user state in a dense layout
+//!   with `(seed, user)`-derived SplitMix/Xoshiro RNG streams, and
+//!   [`ClientPool::sanitize_round`]: N-way parallel sanitization feeding
+//!   report envelopes straight into `ldp_ingest::IngestPipeline` handles,
+//!   bit-identical to a single-threaded pass for any worker count.
+//! * [`ClientStore`] / [`ClientCheckpoint`] — versioned, length-prefixed,
+//!   FNV-checksummed, atomically replaced client-state checkpoints (the
+//!   `ldp_ingest::ShardStore` idiom), so `collect --checkpoint
+//!   --client-checkpoint` resumes *both* shard and client state mid-round
+//!   byte-identically. Decoding failures are typed [`ClientStoreError`]s,
+//!   never panics.
+//! * [`DetectionTrack`] — the dBitFlipPM change-detection tracker, which
+//!   is client state (it checkpoints with the memo so resumed runs
+//!   reproduce the Table 2 metrics exactly).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod detect;
+pub mod pool;
+pub mod state;
+pub mod store;
+
+pub use config::ClientConfig;
+pub use detect::DetectionTrack;
+pub use pool::{ClientPool, USER_STREAM_TAG};
+pub use state::{ClientState, DBitState, LolohaState, ReportBuf};
+pub use store::{
+    decode_client_checkpoint, encode_client_checkpoint, CheckpointMeta, ClientCheckpoint,
+    ClientRecord, ClientStore, ClientStoreError,
+};

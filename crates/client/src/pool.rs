@@ -1,0 +1,419 @@
+//! The owner of all per-user memoized client state.
+//!
+//! A [`ClientPool`] holds the population's [`ClientState`]s in a dense
+//! user-index-ordered layout, each paired with an independent RNG stream
+//! derived from `(seed, user)` through SplitMix64 diffusion
+//! ([`ldp_rand::derive_rng2`]). Because every user owns their stream and
+//! the downstream shard merge is an order-independent sum, sanitization
+//! partitions users across any number of worker threads and the collected
+//! round is **bit-identical to a single-threaded pass** — the property
+//! suites pin this for every method × worker counts {1, 2, 4, 8}.
+//!
+//! The pool is also the unit of durability: [`ClientPool::checkpoint`]
+//! captures every user's memoized state *and* RNG position, and
+//! [`ClientPool::restore`] folds a checkpoint back into a pool built with
+//! the same configuration and seed (anything else is rejected as foreign),
+//! so a collector can resume mid-round with both halves — shard state via
+//! `ldp_ingest::ShardStore`, client state via [`crate::ClientStore`] —
+//! and produce output byte-identical to an uninterrupted run.
+
+use crate::config::ClientConfig;
+use crate::state::{ClientState, ReportBuf};
+use crate::store::{ClientCheckpoint, ClientRecord, ClientStoreError};
+use ldp_ingest::{IngestError, IngestHandle};
+use ldp_primitives::error::ParamError;
+use ldp_rand::{derive_rng2, LdpRng, Xoshiro256pp};
+use ldp_runtime::Shard;
+
+/// The stream tag under which per-user RNGs derive from the master seed.
+/// Pinned: changing it would re-randomize every reproduction seed.
+pub const USER_STREAM_TAG: u64 = 0x00C1_1E47;
+
+struct UserSlot {
+    state: Box<dyn ClientState>,
+    rng: LdpRng,
+}
+
+/// All per-user client state for one collection population.
+pub struct ClientPool {
+    cfg: ClientConfig,
+    seed: u64,
+    users: Vec<UserSlot>,
+}
+
+impl std::fmt::Debug for ClientPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientPool")
+            .field("users", &self.users.len())
+            .field("cfg", &self.cfg)
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+impl ClientPool {
+    /// Builds `n` users in index order, each constructed from the registry
+    /// with its own `(seed, user)`-derived RNG stream.
+    pub fn new(cfg: ClientConfig, seed: u64, n: usize) -> Result<Self, ParamError> {
+        let mut users = Vec::with_capacity(n);
+        for u in 0..n {
+            let mut rng = derive_rng2(seed, USER_STREAM_TAG, u as u64);
+            let state = cfg.build_state(&mut rng)?;
+            users.push(UserSlot { state, rng });
+        }
+        Ok(Self { cfg, seed, users })
+    }
+
+    /// Number of users in the pool.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Whether the pool holds no users.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// The resolved configuration the pool was built from.
+    pub fn config(&self) -> &ClientConfig {
+        &self.cfg
+    }
+
+    /// The master seed the per-user streams derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Iterates the users' states in index order (for privacy accounting
+    /// and detection summaries).
+    pub fn states(&self) -> impl Iterator<Item = &dyn ClientState> {
+        self.users.iter().map(|u| u.state.as_ref())
+    }
+
+    /// Sanitizes one user's value into `buf` (single-threaded callers:
+    /// the CLI's direct path, tests).
+    ///
+    /// # Panics
+    /// Panics if `user` is out of range.
+    pub fn sanitize_one(&mut self, user: usize, value: u64, buf: &mut ReportBuf) {
+        let slot = &mut self.users[user];
+        slot.state.report_into(value, &mut slot.rng, buf);
+    }
+
+    /// Sanitizes a full round — `values[u]` is user `u`'s value — across
+    /// `workers` threads, submitting each report envelope to the ingest
+    /// pipeline keyed by user index. Bit-identical to a single-threaded
+    /// pass for any worker count.
+    ///
+    /// # Panics
+    /// Panics if `values.len()` differs from the population size.
+    pub fn sanitize_round(
+        &mut self,
+        values: &[u64],
+        workers: usize,
+        handle: &IngestHandle,
+    ) -> Result<(), IngestError> {
+        assert_eq!(values.len(), self.users.len(), "one value per user");
+        let chunk_len = chunk_len(self.users.len(), workers);
+        let results: Vec<Result<(), IngestError>> = std::thread::scope(|s| {
+            let mut joins = Vec::new();
+            for (ci, chunk) in self.users.chunks_mut(chunk_len).enumerate() {
+                let base = ci * chunk_len;
+                let slice = &values[base..base + chunk.len()];
+                let h = handle.clone();
+                joins.push(s.spawn(move || {
+                    let mut buf = ReportBuf::new();
+                    for (j, (slot, &value)) in chunk.iter_mut().zip(slice).enumerate() {
+                        slot.state.report_into(value, &mut slot.rng, &mut buf);
+                        h.submit((base + j) as u64, buf.support().iter().copied())?;
+                    }
+                    Ok(())
+                }));
+            }
+            joins
+                .into_iter()
+                .map(|j| j.join().expect("sanitize worker panicked"))
+                .collect()
+        });
+        results.into_iter().collect()
+    }
+
+    /// Sanitizes a full round directly into aggregator shards: users are
+    /// split into `shards.len()` contiguous chunks, chunk `i` filling
+    /// `shards[i]` on its own thread (the non-pipelined engine path).
+    /// Bit-identical to [`ClientPool::sanitize_round`] — the shard merge
+    /// is order-independent.
+    ///
+    /// # Panics
+    /// Panics if `values.len()` differs from the population size or
+    /// `shards` is empty.
+    pub fn sanitize_round_into_shards(&mut self, values: &[u64], shards: &mut [Shard]) {
+        assert_eq!(values.len(), self.users.len(), "one value per user");
+        assert!(!shards.is_empty(), "at least one shard");
+        let chunk_len = chunk_len(self.users.len(), shards.len());
+        std::thread::scope(|s| {
+            let mut offset = 0usize;
+            for (chunk, shard) in self.users.chunks_mut(chunk_len).zip(shards.iter_mut()) {
+                let slice = &values[offset..offset + chunk.len()];
+                offset += chunk.len();
+                s.spawn(move || {
+                    let mut buf = ReportBuf::new();
+                    for (slot, &value) in chunk.iter_mut().zip(slice) {
+                        slot.state.report_into(value, &mut slot.rng, &mut buf);
+                        shard.add_report(buf.support().iter().copied());
+                    }
+                });
+            }
+        });
+    }
+
+    /// Sanitizes a sparse round — `(user, value)` assignments for the
+    /// users reporting this round — across `workers` threads, submitting
+    /// to the pipeline keyed by user index. Each worker owns a contiguous
+    /// user-index range and handles the assignments falling in it, so the
+    /// result is bit-identical for any worker count.
+    ///
+    /// # Panics
+    /// Panics if an assignment names an out-of-range user. A user assigned
+    /// twice in one call sanitizes twice (the protocols allow it, but the
+    /// CLI rejects duplicate user/round pairs upstream).
+    pub fn sanitize_assignments(
+        &mut self,
+        assignments: &[(usize, u64)],
+        workers: usize,
+        handle: &IngestHandle,
+    ) -> Result<(), IngestError> {
+        let chunk_len = chunk_len(self.users.len(), workers);
+        // One O(assignments) bucketing pass: each worker receives only its
+        // own entries, in their original order, instead of every worker
+        // re-scanning the whole slice.
+        let n_buckets = self.users.len().div_ceil(chunk_len);
+        let mut buckets: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n_buckets];
+        for &(u, value) in assignments {
+            assert!(u < self.users.len(), "assignment names user {u}");
+            buckets[u / chunk_len].push((u, value));
+        }
+        let results: Vec<Result<(), IngestError>> = std::thread::scope(|s| {
+            let mut joins = Vec::new();
+            for ((ci, chunk), bucket) in self.users.chunks_mut(chunk_len).enumerate().zip(buckets) {
+                let base = ci * chunk_len;
+                let h = handle.clone();
+                joins.push(s.spawn(move || {
+                    let mut buf = ReportBuf::new();
+                    for (u, value) in bucket {
+                        let slot = &mut chunk[u - base];
+                        slot.state.report_into(value, &mut slot.rng, &mut buf);
+                        h.submit(u as u64, buf.support().iter().copied())?;
+                    }
+                    Ok(())
+                }));
+            }
+            joins
+                .into_iter()
+                .map(|j| j.join().expect("sanitize worker panicked"))
+                .collect()
+        });
+        results.into_iter().collect()
+    }
+
+    /// Captures every user's memoized state and RNG position for durable
+    /// persistence (see [`crate::ClientStore`]). Non-destructive.
+    pub fn checkpoint(&self) -> ClientCheckpoint {
+        let users = self
+            .users
+            .iter()
+            .map(|slot| {
+                let mut state = Vec::new();
+                slot.state.save_state(&mut state);
+                ClientRecord {
+                    rng: slot.rng.state(),
+                    state,
+                }
+            })
+            .collect();
+        ClientCheckpoint {
+            meta: self.cfg.meta(self.seed),
+            users,
+        }
+    }
+
+    /// Folds a previously captured checkpoint back in, rebuilding every
+    /// user from the registry (re-deriving the construction draws from the
+    /// same `(seed, user)` streams), loading the memoized state, and
+    /// resuming the saved RNG positions. Rejects checkpoints captured
+    /// under a different configuration, seed, or population size.
+    pub fn restore(&mut self, cp: &ClientCheckpoint) -> Result<(), ClientStoreError> {
+        self.cfg.verify_meta(&cp.meta, self.seed)?;
+        if cp.users.len() != self.users.len() {
+            return Err(ClientStoreError::Mismatch("population size differs"));
+        }
+        let mut rebuilt = Vec::with_capacity(self.users.len());
+        for (u, record) in cp.users.iter().enumerate() {
+            let mut rng = derive_rng2(self.seed, USER_STREAM_TAG, u as u64);
+            let mut state = self
+                .cfg
+                .build_state(&mut rng)
+                .map_err(|_| ClientStoreError::Corrupt("configuration no longer constructs"))?;
+            state.load_state(&record.state)?;
+            let rng = Xoshiro256pp::from_state(record.rng)
+                .ok_or(ClientStoreError::Corrupt("all-zero RNG state"))?;
+            rebuilt.push(UserSlot { state, rng });
+        }
+        self.users = rebuilt;
+        Ok(())
+    }
+}
+
+/// Contiguous chunk length for splitting `n` users over `workers` threads
+/// (the last chunk may be shorter; `workers` clamps to ≥ 1).
+fn chunk_len(n: usize, workers: usize) -> usize {
+    n.div_ceil(workers.max(1)).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_ingest::IngestPipeline;
+    use ldp_runtime::{Method, ShardedAggregator};
+
+    fn pool(method: Method, n: usize) -> ClientPool {
+        let cfg = ClientConfig::for_method(method, 16, 2.0, 1.0).unwrap();
+        ClientPool::new(cfg, 5, n).unwrap()
+    }
+
+    fn values(n: usize) -> Vec<u64> {
+        (0..n as u64).map(|i| (i * 7) % 16).collect()
+    }
+
+    #[test]
+    fn piped_round_is_worker_count_invariant_for_every_method() {
+        for method in Method::all() {
+            let vals = values(60);
+            let mut reference = None;
+            for workers in [1usize, 2, 4, 8] {
+                let mut p = pool(method, 60);
+                let mut pipe = IngestPipeline::for_method(method, 16, 2.0, 1.0, workers).unwrap();
+                let handle = pipe.handle();
+                p.sanitize_round(&vals, workers, &handle).unwrap();
+                drop(handle);
+                let snap = pipe.finish_round().unwrap();
+                match &reference {
+                    None => reference = Some(snap),
+                    Some(want) => {
+                        assert_eq!(want.counts, snap.counts, "{method:?} at {workers} workers");
+                        assert_eq!(want.reports, snap.reports, "{method:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn direct_and_piped_rounds_agree() {
+        for method in Method::all() {
+            let vals = values(40);
+            let mut agg = ShardedAggregator::for_method(method, 16, 2.0, 1.0, 3).unwrap();
+            let mut direct = pool(method, 40);
+            direct.sanitize_round_into_shards(&vals, agg.shards_mut());
+            let want = agg.finish_round();
+
+            let mut piped = pool(method, 40);
+            let mut pipe = IngestPipeline::for_method(method, 16, 2.0, 1.0, 4).unwrap();
+            let handle = pipe.handle();
+            piped.sanitize_round(&vals, 4, &handle).unwrap();
+            drop(handle);
+            let got = pipe.finish_round().unwrap();
+            assert_eq!(want.counts, got.counts, "{method:?}");
+            assert_eq!(want.reports, got.reports, "{method:?}");
+        }
+    }
+
+    #[test]
+    fn assignments_match_dense_round_for_full_population() {
+        let vals = values(30);
+        let dense_assign: Vec<(usize, u64)> = vals.iter().copied().enumerate().collect();
+        let mut a = pool(Method::LOsue, 30);
+        let mut pipe_a = IngestPipeline::for_method(Method::LOsue, 16, 2.0, 1.0, 2).unwrap();
+        let ha = pipe_a.handle();
+        a.sanitize_round(&vals, 2, &ha).unwrap();
+        drop(ha);
+        let want = pipe_a.finish_round().unwrap();
+
+        let mut b = pool(Method::LOsue, 30);
+        let mut pipe_b = IngestPipeline::for_method(Method::LOsue, 16, 2.0, 1.0, 3).unwrap();
+        let hb = pipe_b.handle();
+        b.sanitize_assignments(&dense_assign, 4, &hb).unwrap();
+        drop(hb);
+        let got = pipe_b.finish_round().unwrap();
+        assert_eq!(want.counts, got.counts);
+        assert_eq!(want.reports, got.reports);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_restores_exact_streams() {
+        for method in Method::all() {
+            let vals = values(20);
+            let mut original = pool(method, 20);
+            let mut agg = ShardedAggregator::for_method(method, 16, 2.0, 1.0, 1).unwrap();
+            original.sanitize_round_into_shards(&vals, agg.shards_mut());
+            let _ = agg.finish_round();
+
+            let cp = original.checkpoint();
+            let mut restored = pool(method, 20);
+            restored.restore(&cp).unwrap();
+
+            // Continuing both pools produces identical rounds.
+            let vals2 = values(20).iter().map(|v| (v + 3) % 16).collect::<Vec<_>>();
+            let mut agg_a = ShardedAggregator::for_method(method, 16, 2.0, 1.0, 1).unwrap();
+            let mut agg_b = ShardedAggregator::for_method(method, 16, 2.0, 1.0, 1).unwrap();
+            original.sanitize_round_into_shards(&vals2, agg_a.shards_mut());
+            restored.sanitize_round_into_shards(&vals2, agg_b.shards_mut());
+            let a = agg_a.finish_round();
+            let b = agg_b.finish_round();
+            assert_eq!(a.counts, b.counts, "{method:?}");
+            for (x, y) in original.states().zip(restored.states()) {
+                assert_eq!(x.privacy_spent(), y.privacy_spent(), "{method:?}");
+                assert_eq!(x.distinct_classes(), y.distinct_classes(), "{method:?}");
+                assert_eq!(x.detection(), y.detection(), "{method:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn restore_rejects_foreign_checkpoints() {
+        let mut p = pool(Method::Rappor, 10);
+        let cp = p.checkpoint();
+        // Different seed.
+        let cfg = ClientConfig::for_method(Method::Rappor, 16, 2.0, 1.0).unwrap();
+        let mut other_seed = ClientPool::new(cfg, 6, 10).unwrap();
+        assert!(matches!(
+            other_seed.restore(&cp),
+            Err(ClientStoreError::Mismatch("seed differs"))
+        ));
+        // Different population.
+        let mut other_n = ClientPool::new(cfg, 5, 11).unwrap();
+        assert!(matches!(
+            other_n.restore(&cp),
+            Err(ClientStoreError::Mismatch("population size differs"))
+        ));
+        // Different method.
+        let mut other_m = pool(Method::LGrr, 10);
+        assert!(matches!(
+            other_m.restore(&cp),
+            Err(ClientStoreError::Mismatch(_))
+        ));
+        // The original still accepts its own checkpoint.
+        p.restore(&cp).unwrap();
+    }
+
+    #[test]
+    fn restore_rejects_zero_rng_state() {
+        let mut p = pool(Method::Rappor, 2);
+        let mut cp = p.checkpoint();
+        cp.users[1].rng = [0; 4];
+        assert!(matches!(
+            p.restore(&cp),
+            Err(ClientStoreError::Corrupt("all-zero RNG state"))
+        ));
+    }
+}

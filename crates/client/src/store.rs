@@ -1,0 +1,451 @@
+//! Durable client-state checkpoints.
+//!
+//! A collection round that loses its *client* state on a crash cannot
+//! resume: the memoized PRRs would be re-randomized (silently degrading
+//! into the fresh-noise regime the averaging attack breaks) and the
+//! per-user RNG streams would restart, so the resumed run would diverge
+//! from an uninterrupted one. This module persists everything the
+//! [`ClientPool`](crate::ClientPool) owns — per-user protocol state and
+//! the exact RNG stream positions — in the same codec idiom as the shard
+//! checkpoints in `ldp_ingest::store`: compact, versioned, length-prefixed,
+//! FNV-checksummed, written atomically (temp file + rename), and decoded
+//! with typed errors, never panics.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic "LDCC" | version u16 | method_tag u8 | k u64
+//! | g u32 | b u32 | d u32 | eps_inf f64 | eps_first f64 | seed u64
+//! | user_count u64
+//! | per user: rng 4 × u64 | state_len u32 | state_len bytes
+//! | checksum u64 (FNV-1a over every preceding byte)
+//! ```
+//!
+//! The per-user state payload is the protocol's own encoding (memo tables
+//! and, for dBitFlipPM, the detection tracker); hash functions and sampled
+//! bucket positions are *not* stored — they are re-derived from the
+//! pool's `(seed, user)` construction streams, and the header pins the
+//! configuration so a checkpoint can never be folded into a pool built
+//! with different parameters.
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 4] = b"LDCC";
+const VERSION: u16 = 1;
+
+/// The pool configuration a checkpoint was captured under. Every field is
+/// verified on restore; a disagreement is a foreign checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckpointMeta {
+    /// Protocol registry tag (index in `Method::all()`, 255 for a custom
+    /// LOLOHA parameterization).
+    pub method_tag: u8,
+    /// Input domain size.
+    pub k: u64,
+    /// LOLOHA hash range `g` (0 when the method is not LOLOHA-backed).
+    pub g: u32,
+    /// dBitFlipPM bucket count `b` (0 when the method is not dBitFlipPM).
+    pub b: u32,
+    /// dBitFlipPM sampled-bit count `d` (0 when not dBitFlipPM).
+    pub d: u32,
+    /// Longitudinal budget ε∞.
+    pub eps_inf: f64,
+    /// First-report budget ε1.
+    pub eps_first: f64,
+    /// The pool's master seed (per-user streams derive from it).
+    pub seed: u64,
+}
+
+/// One user's captured state: the RNG stream position plus the protocol's
+/// own state payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientRecord {
+    /// The user's Xoshiro256++ state at capture time.
+    pub rng: [u64; 4],
+    /// Protocol-specific state bytes (see the `state` module encoders).
+    pub state: Vec<u8>,
+}
+
+/// A point-in-time capture of a whole [`ClientPool`](crate::ClientPool),
+/// produced by [`ClientPool::checkpoint`](crate::ClientPool::checkpoint)
+/// and consumed by [`ClientPool::restore`](crate::ClientPool::restore).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientCheckpoint {
+    /// The configuration fingerprint the checkpoint is only valid for.
+    pub meta: CheckpointMeta,
+    /// One record per user, in user-index order.
+    pub users: Vec<ClientRecord>,
+}
+
+/// Why a client checkpoint failed to decode, validate, or hit disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientStoreError {
+    /// The buffer is shorter than the declared layout.
+    Truncated,
+    /// The magic bytes do not match (not a client checkpoint).
+    BadMagic,
+    /// The version is newer than this build understands.
+    UnsupportedVersion(u16),
+    /// The trailing checksum does not match the content.
+    ChecksumMismatch,
+    /// A decoded field is outside its domain (corrupt checkpoint).
+    Corrupt(&'static str),
+    /// The checkpoint was captured under a different pool configuration
+    /// (seed, method, domain, budgets, or population size).
+    Mismatch(&'static str),
+    /// An underlying filesystem operation failed.
+    Io(String),
+}
+
+impl fmt::Display for ClientStoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientStoreError::Truncated => write!(f, "client checkpoint is truncated"),
+            ClientStoreError::BadMagic => write!(f, "client checkpoint has wrong magic bytes"),
+            ClientStoreError::UnsupportedVersion(v) => {
+                write!(f, "client checkpoint version {v} is not supported")
+            }
+            ClientStoreError::ChecksumMismatch => {
+                write!(f, "client checkpoint checksum mismatch (corrupt file)")
+            }
+            ClientStoreError::Corrupt(what) => write!(f, "client checkpoint is corrupt: {what}"),
+            ClientStoreError::Mismatch(what) => {
+                write!(f, "client checkpoint does not match this pool: {what}")
+            }
+            ClientStoreError::Io(e) => write!(f, "client checkpoint i/o failed: {e}"),
+        }
+    }
+}
+
+impl Error for ClientStoreError {}
+
+/// FNV-1a, 64-bit: tiny, dependency-free corruption detection. Not a
+/// cryptographic integrity guarantee — the checkpoint trusts its storage.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Serializes a checkpoint into a fresh byte buffer.
+pub fn encode_client_checkpoint(cp: &ClientCheckpoint) -> Vec<u8> {
+    let per_user: usize = cp.users.iter().map(|u| 32 + 4 + u.state.len()).sum();
+    let mut out = Vec::with_capacity(4 + 2 + 1 + 8 + 12 + 16 + 8 + 8 + per_user + 8);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.push(cp.meta.method_tag);
+    out.extend_from_slice(&cp.meta.k.to_le_bytes());
+    out.extend_from_slice(&cp.meta.g.to_le_bytes());
+    out.extend_from_slice(&cp.meta.b.to_le_bytes());
+    out.extend_from_slice(&cp.meta.d.to_le_bytes());
+    out.extend_from_slice(&cp.meta.eps_inf.to_le_bytes());
+    out.extend_from_slice(&cp.meta.eps_first.to_le_bytes());
+    out.extend_from_slice(&cp.meta.seed.to_le_bytes());
+    out.extend_from_slice(&(cp.users.len() as u64).to_le_bytes());
+    for user in &cp.users {
+        for word in user.rng {
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+        out.extend_from_slice(&(user.state.len() as u32).to_le_bytes());
+        out.extend_from_slice(&user.state);
+    }
+    let sum = fnv1a(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Restores a checkpoint from a buffer produced by
+/// [`encode_client_checkpoint`].
+pub fn decode_client_checkpoint(bytes: &[u8]) -> Result<ClientCheckpoint, ClientStoreError> {
+    // Fixed header plus the checksum trailer.
+    const HEADER: usize = 4 + 2 + 1 + 8 + 4 + 4 + 4 + 8 + 8 + 8 + 8;
+    if bytes.len() < HEADER + 8 {
+        return Err(ClientStoreError::Truncated);
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 8);
+    let mut r = Reader {
+        bytes: body,
+        pos: 0,
+    };
+    if r.take(4)? != MAGIC {
+        return Err(ClientStoreError::BadMagic);
+    }
+    let version = u16::from_le_bytes(r.array()?);
+    if version != VERSION {
+        return Err(ClientStoreError::UnsupportedVersion(version));
+    }
+    // Verify the trailer before trusting any length field.
+    let declared = u64::from_le_bytes(trailer.try_into().expect("8-byte trailer"));
+    if fnv1a(body) != declared {
+        return Err(ClientStoreError::ChecksumMismatch);
+    }
+    let method_tag = r.array::<1>()?[0];
+    let k = u64::from_le_bytes(r.array()?);
+    let g = u32::from_le_bytes(r.array()?);
+    let b = u32::from_le_bytes(r.array()?);
+    let d = u32::from_le_bytes(r.array()?);
+    let eps_inf = f64::from_le_bytes(r.array()?);
+    let eps_first = f64::from_le_bytes(r.array()?);
+    let seed = u64::from_le_bytes(r.array()?);
+    let user_count = u64::from_le_bytes(r.array()?);
+    // The checksum is forgeable (FNV, not cryptographic), so a declared
+    // user count must be proven against the actual buffer size *before*
+    // sizing any allocation from it: each record occupies at least 36
+    // bytes (RNG state + length prefix).
+    let remaining = (body.len() - r.pos) as u64;
+    if user_count.checked_mul(36).is_none_or(|min| min > remaining) {
+        return Err(ClientStoreError::Corrupt("user count exceeds file size"));
+    }
+    let mut users = Vec::with_capacity(user_count as usize);
+    for _ in 0..user_count {
+        let mut rng = [0u64; 4];
+        for word in &mut rng {
+            *word = u64::from_le_bytes(r.array()?);
+        }
+        let state_len = u32::from_le_bytes(r.array()?) as usize;
+        let state = r.take(state_len)?.to_vec();
+        users.push(ClientRecord { rng, state });
+    }
+    if r.pos != body.len() {
+        return Err(ClientStoreError::Corrupt("trailing bytes after last user"));
+    }
+    Ok(ClientCheckpoint {
+        meta: CheckpointMeta {
+            method_tag,
+            k,
+            g,
+            b,
+            d,
+            eps_inf,
+            eps_first,
+            seed,
+        },
+        users,
+    })
+}
+
+/// A file-backed client-checkpoint location with atomic writes.
+#[derive(Debug, Clone)]
+pub struct ClientStore {
+    path: PathBuf,
+}
+
+impl ClientStore {
+    /// Creates a store writing to / reading from `path`.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Self { path: path.into() }
+    }
+
+    /// The checkpoint file location.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Whether a checkpoint file currently exists at the store's path.
+    pub fn exists(&self) -> bool {
+        self.path.exists()
+    }
+
+    /// Durably writes `cp`, replacing any previous checkpoint atomically:
+    /// the bytes land in a sibling temp file first and are renamed over
+    /// the destination, so a crash mid-write never leaves a half
+    /// checkpoint.
+    pub fn save(&self, cp: &ClientCheckpoint) -> Result<(), ClientStoreError> {
+        let bytes = encode_client_checkpoint(cp);
+        let mut tmp = self.path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        fs::write(&tmp, &bytes).map_err(|e| ClientStoreError::Io(e.to_string()))?;
+        fs::rename(&tmp, &self.path).map_err(|e| ClientStoreError::Io(e.to_string()))
+    }
+
+    /// Reads and decodes the checkpoint at the store's path.
+    pub fn load(&self) -> Result<ClientCheckpoint, ClientStoreError> {
+        let bytes = fs::read(&self.path).map_err(|e| ClientStoreError::Io(e.to_string()))?;
+        decode_client_checkpoint(&bytes)
+    }
+}
+
+/// Bounds-checked little-endian reader shared by the checkpoint codec and
+/// the per-protocol state payloads.
+pub(crate) struct Reader<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], ClientStoreError> {
+        let end = self.pos.checked_add(n).ok_or(ClientStoreError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(ClientStoreError::Truncated);
+        }
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    pub(crate) fn array<const N: usize>(&mut self) -> Result<[u8; N], ClientStoreError> {
+        Ok(self.take(N)?.try_into().expect("exact length"))
+    }
+
+    pub(crate) fn finish(&self) -> Result<(), ClientStoreError> {
+        if self.pos != self.bytes.len() {
+            return Err(ClientStoreError::Corrupt("trailing bytes in state"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ClientCheckpoint {
+        ClientCheckpoint {
+            meta: CheckpointMeta {
+                method_tag: 3,
+                k: 24,
+                g: 0,
+                b: 0,
+                d: 0,
+                eps_inf: 2.0,
+                eps_first: 1.0,
+                seed: 77,
+            },
+            users: vec![
+                ClientRecord {
+                    rng: [1, 2, 3, 4],
+                    state: vec![9, 8, 7],
+                },
+                ClientRecord {
+                    rng: [5, 6, 7, 8],
+                    state: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let cp = sample();
+        assert_eq!(
+            decode_client_checkpoint(&encode_client_checkpoint(&cp)).unwrap(),
+            cp
+        );
+    }
+
+    #[test]
+    fn empty_population_roundtrips() {
+        let mut cp = sample();
+        cp.users.clear();
+        assert_eq!(
+            decode_client_checkpoint(&encode_client_checkpoint(&cp)).unwrap(),
+            cp
+        );
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_prefix() {
+        let bytes = encode_client_checkpoint(&sample());
+        for cut in 0..bytes.len() {
+            let err = decode_client_checkpoint(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ClientStoreError::Truncated | ClientStoreError::ChecksumMismatch
+                ),
+                "cut {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_future_version() {
+        let mut bytes = encode_client_checkpoint(&sample());
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert_eq!(
+            decode_client_checkpoint(&bad).err(),
+            Some(ClientStoreError::BadMagic)
+        );
+        bytes[4..6].copy_from_slice(&9u16.to_le_bytes());
+        assert_eq!(
+            decode_client_checkpoint(&bytes).err(),
+            Some(ClientStoreError::UnsupportedVersion(9))
+        );
+    }
+
+    #[test]
+    fn any_single_bit_flip_in_the_body_is_detected() {
+        let bytes = encode_client_checkpoint(&sample());
+        for i in 6..bytes.len() - 8 {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            assert!(
+                decode_client_checkpoint(&bad).is_err(),
+                "byte {i} flip accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn huge_forged_user_count_never_allocates() {
+        // Forge a valid checksum over a tiny body declaring 2^60 users:
+        // decoding must reject before sizing any allocation.
+        let mut cp = sample();
+        cp.users.clear();
+        let mut body = encode_client_checkpoint(&cp);
+        body.truncate(body.len() - 8); // strip checksum
+        let count_at = body.len() - 8;
+        body[count_at..].copy_from_slice(&(1u64 << 60).to_le_bytes());
+        body.extend_from_slice(&fnv1a(&body).to_le_bytes());
+        assert_eq!(
+            decode_client_checkpoint(&body).err(),
+            Some(ClientStoreError::Corrupt("user count exceeds file size"))
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_with_valid_checksum_is_rejected() {
+        let mut body = encode_client_checkpoint(&sample());
+        body.truncate(body.len() - 8);
+        body.extend_from_slice(&[0u8; 3]);
+        body.extend_from_slice(&fnv1a(&body).to_le_bytes());
+        assert!(matches!(
+            decode_client_checkpoint(&body),
+            Err(ClientStoreError::Truncated | ClientStoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn file_store_roundtrips_and_replaces_atomically() {
+        let path =
+            std::env::temp_dir().join(format!("ldp_client_store_test_{}.ckpt", std::process::id()));
+        let store = ClientStore::new(&path);
+        assert!(!store.exists());
+        store.save(&sample()).unwrap();
+        assert!(store.exists());
+        assert_eq!(store.load().unwrap(), sample());
+        let mut other = sample();
+        other.users.pop();
+        store.save(&other).unwrap();
+        assert_eq!(store.load().unwrap(), other);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let store = ClientStore::new("/nonexistent/dir/never.ckpt");
+        assert!(matches!(store.load(), Err(ClientStoreError::Io(_))));
+    }
+}

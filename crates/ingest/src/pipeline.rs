@@ -20,7 +20,7 @@
 //!    ([`ShardedAggregator::merged_counts`]), so *which* worker held a
 //!    report is irrelevant too.
 //!
-//! The [`Router`](crate::Router) adds a stronger, orthogonal guarantee for
+//! The [`Router`] adds a stronger, orthogonal guarantee for
 //! durability: keyed submission always fills the *same* shard for the same
 //! key, so a checkpoint taken at a given submission prefix is reproducible.
 //!

@@ -100,6 +100,18 @@ impl DBitFlipClient {
     /// # Panics
     /// Panics if `value` is outside the domain.
     pub fn report<R: RngCore + ?Sized>(&mut self, value: u64, rng: &mut R) -> DBitReport {
+        let mut bits = BitVec::zeros(self.sampled.len());
+        self.report_into(value, rng, &mut bits);
+        DBitReport { bits }
+    }
+
+    /// Like [`Self::report`] but writes the `d` report bits into a
+    /// caller-provided buffer, avoiding the per-report allocation on the
+    /// hot path. The RNG draw sequence is identical to [`Self::report`].
+    ///
+    /// # Panics
+    /// Panics if `value` is outside the domain or `out.len() != d`.
+    pub fn report_into<R: RngCore + ?Sized>(&mut self, value: u64, rng: &mut R, out: &mut BitVec) {
         let bucket = self.mapper.bucket(value);
         let class = self.class_of(bucket);
         // The "none sampled" class only exists when d < b.
@@ -116,9 +128,7 @@ impl DBitFlipClient {
             }
             self.memo[class as usize] = Some(bits);
         }
-        DBitReport {
-            bits: self.memo[class as usize].clone().expect("just inserted"),
-        }
+        out.copy_from(self.memo[class as usize].as_ref().expect("just inserted"));
     }
 
     fn accountant_classes(&self) -> u32 {
@@ -133,6 +143,47 @@ impl DBitFlipClient {
     /// Number of distinct memoized input classes so far.
     pub fn distinct_classes(&self) -> u32 {
         self.accountant.classes_seen()
+    }
+
+    /// The number of sampled bits `d` (the report width).
+    pub fn d(&self) -> usize {
+        self.sampled.len()
+    }
+
+    /// The bucket count `b`.
+    pub fn b(&self) -> u32 {
+        self.mapper.b()
+    }
+
+    /// Iterates the memoized `(class, d-bit vector)` pairs in class order
+    /// (the persistence layer's traversal). Classes `0..d` are sampled
+    /// positions; class `d` is the shared "none of my sampled buckets"
+    /// vector.
+    pub fn memo_entries(&self) -> impl Iterator<Item = (u32, &BitVec)> + '_ {
+        self.memo
+            .iter()
+            .enumerate()
+            .filter_map(|(c, m)| m.as_ref().map(|bits| (c as u32, bits)))
+    }
+
+    /// Restores a memoized report vector when rebuilding a client from a
+    /// snapshot, charging the accountant exactly as the original
+    /// memoization did.
+    ///
+    /// # Panics
+    /// Panics if `class > d`, the class is already memoized with different
+    /// bits, or the vector width differs from `d`.
+    pub fn restore_memo(&mut self, class: u32, bits: &BitVec) {
+        assert!((class as usize) < self.memo.len(), "class outside [0, d]");
+        assert_eq!(bits.len(), self.sampled.len(), "report width mismatch");
+        let slot = &mut self.memo[class as usize];
+        assert!(
+            slot.is_none() || slot.as_ref() == Some(bits),
+            "memoization is write-once (class {class})"
+        );
+        *slot = Some(bits.clone());
+        self.accountant
+            .observe(class.min(self.accountant_classes() - 1));
     }
 }
 
@@ -273,6 +324,44 @@ mod tests {
         }
         assert_eq!(c.distinct_classes(), 8);
         assert!((c.privacy_spent() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_into_matches_report_draw_for_draw() {
+        let mut rng_a = derive_rng(529, 0);
+        let mut rng_b = derive_rng(529, 0);
+        let mut a = DBitFlipClient::new(100, 10, 4, 1.5, &mut rng_a).unwrap();
+        let mut b = DBitFlipClient::new(100, 10, 4, 1.5, &mut rng_b).unwrap();
+        let mut buf = BitVec::zeros(a.d());
+        for v in [3u64, 47, 3, 91, 12] {
+            a.report_into(v, &mut rng_a, &mut buf);
+            assert_eq!(buf, b.report(v, &mut rng_b).bits, "value {v}");
+        }
+    }
+
+    #[test]
+    fn restore_memo_rebuilds_state_and_accounting() {
+        let mut rng = derive_rng(530, 0);
+        let mut original = DBitFlipClient::new(100, 10, 4, 1.5, &mut rng).unwrap();
+        for v in [3u64, 47, 91] {
+            let _ = original.report(v, &mut rng);
+        }
+        let mut restored = DBitFlipClient::new(100, 10, 4, 1.5, &mut derive_rng(530, 0)).unwrap();
+        // Same construction seed ⇒ same sampled positions.
+        assert_eq!(original.sampled(), restored.sampled());
+        for (class, bits) in original.memo_entries() {
+            restored.restore_memo(class, bits);
+        }
+        assert_eq!(original.distinct_classes(), restored.distinct_classes());
+        assert_eq!(original.privacy_spent(), restored.privacy_spent());
+        // Memoized classes replay identically without touching the RNG.
+        let mut dummy = derive_rng(531, 0);
+        for v in [3u64, 47, 91] {
+            assert_eq!(
+                original.report(v, &mut derive_rng(532, 0)),
+                restored.report(v, &mut dummy)
+            );
+        }
     }
 
     #[test]

@@ -96,6 +96,25 @@ impl LgrrClient {
     pub fn distinct_values(&self) -> u32 {
         self.accountant.classes_seen()
     }
+
+    /// Iterates the memoized `(class, symbol)` pairs in class order (the
+    /// persistence layer's traversal).
+    pub fn memo_entries(&self) -> impl Iterator<Item = (u32, u16)> + '_ {
+        self.memo.iter()
+    }
+
+    /// Restores a memoized PRR symbol when rebuilding a client from a
+    /// snapshot, charging the accountant exactly as the original
+    /// memoization did.
+    ///
+    /// # Panics
+    /// Panics if the cell already holds a different symbol (memoization is
+    /// write-once) or `symbol >= k`.
+    pub fn restore_memo(&mut self, class: u32, symbol: u16) {
+        assert!((symbol as u64) < self.k, "symbol outside [0, k)");
+        self.memo.insert(class, symbol);
+        self.accountant.observe(class);
+    }
 }
 
 /// The L-GRR aggregation server (per-step counting + Eq. (3)).
@@ -204,6 +223,24 @@ mod tests {
         assert_eq!(c.distinct_values(), 1);
         let _ = c.report(9, &mut rng);
         assert!((c.privacy_spent() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restore_memo_rebuilds_state_and_accounting() {
+        let mut c = LgrrClient::new(10, 1.5, 0.5).unwrap();
+        let mut rng = derive_rng(514, 0);
+        for v in [2u64, 9, 2, 4] {
+            let _ = c.report(v, &mut rng);
+        }
+        let mut restored = LgrrClient::new(10, 1.5, 0.5).unwrap();
+        let entries: Vec<(u32, u16)> = c.memo_entries().collect();
+        assert_eq!(entries.len(), 3);
+        for &(class, sym) in &entries {
+            restored.restore_memo(class, sym);
+        }
+        assert_eq!(restored.distinct_values(), c.distinct_values());
+        assert_eq!(restored.privacy_spent(), c.privacy_spent());
+        assert_eq!(restored.memo_entries().collect::<Vec<_>>(), entries);
     }
 
     #[test]

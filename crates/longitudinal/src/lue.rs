@@ -93,6 +93,25 @@ impl LongitudinalUeClient {
     pub fn distinct_values(&self) -> u32 {
         self.accountant.classes_seen()
     }
+
+    /// Iterates the memoized `(class, PRR blocks)` pairs in class order
+    /// (the persistence layer's traversal; blocks are
+    /// `ceil(k/64)`-word little-endian bit vectors).
+    pub fn memo_entries(&self) -> impl Iterator<Item = (u32, &[u64])> + '_ {
+        self.memo.iter()
+    }
+
+    /// Restores a memoized PRR vector when rebuilding a client from a
+    /// snapshot, charging the accountant exactly as the original
+    /// memoization did.
+    ///
+    /// # Panics
+    /// Panics if the class is already memoized or the block count differs
+    /// from `ceil(k/64)`.
+    pub fn restore_memo(&mut self, class: u32, blocks: &[u64]) {
+        self.memo.insert(class, blocks);
+        self.accountant.observe(class);
+    }
 }
 
 /// The aggregation server for longitudinal UE protocols. Counts are per
@@ -206,6 +225,29 @@ mod tests {
         }
         assert!(any_diff, "IRR never changed the report across 20 draws");
         assert_eq!(c.distinct_values(), 1);
+    }
+
+    #[test]
+    fn restore_memo_rebuilds_state_and_accounting() {
+        let mut c = LongitudinalUeClient::new(UeChain::OueSue, 12, 2.0, 1.0).unwrap();
+        let mut rng = derive_rng(505, 0);
+        for v in [3u64, 9, 3, 11] {
+            let _ = c.report(v, &mut rng);
+        }
+        let mut restored = LongitudinalUeClient::new(UeChain::OueSue, 12, 2.0, 1.0).unwrap();
+        let entries: Vec<(u32, Vec<u64>)> =
+            c.memo_entries().map(|(k, b)| (k, b.to_vec())).collect();
+        assert_eq!(entries.len(), 3);
+        for (class, blocks) in &entries {
+            restored.restore_memo(*class, blocks);
+        }
+        assert_eq!(restored.distinct_values(), c.distinct_values());
+        assert_eq!(restored.privacy_spent(), c.privacy_spent());
+        let back: Vec<(u32, Vec<u64>)> = restored
+            .memo_entries()
+            .map(|(k, b)| (k, b.to_vec()))
+            .collect();
+        assert_eq!(back, entries);
     }
 
     fn run_protocol(chain: UeChain, seed: u64) {

@@ -66,6 +66,16 @@ impl SymbolMemo {
     pub fn is_empty(&self) -> bool {
         self.table.iter().all(|&s| s == EMPTY)
     }
+
+    /// Iterates the memoized `(class, symbol)` pairs in class order (the
+    /// persistence layer's traversal).
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u16)> + '_ {
+        self.table
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s != EMPTY)
+            .map(|(c, &s)| (c as u32, s))
+    }
 }
 
 /// Memoizes one fixed-width bit vector per input class, arena-backed.
@@ -130,6 +140,19 @@ impl UnaryMemo {
     pub fn is_empty(&self) -> bool {
         self.entries == 0
     }
+
+    /// Iterates the memoized `(class, blocks)` pairs in class order (the
+    /// persistence layer's traversal).
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &[u64])> + '_ {
+        self.index
+            .iter()
+            .enumerate()
+            .filter(|(_, &idx)| idx != EMPTY)
+            .map(|(c, &idx)| {
+                let start = idx as usize * self.blocks_per_entry;
+                (c as u32, &self.arena[start..start + self.blocks_per_entry])
+            })
+    }
 }
 
 #[cfg(test)]
@@ -192,6 +215,19 @@ mod tests {
     fn unary_memo_rejects_wrong_width() {
         let mut m = UnaryMemo::new(3, 64);
         m.insert(1, &[0, 1]);
+    }
+
+    #[test]
+    fn iterators_walk_entries_in_class_order() {
+        let mut s = SymbolMemo::new(8);
+        s.insert(5, 2);
+        s.insert(1, 9);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![(1, 9), (5, 2)]);
+        let mut u = UnaryMemo::new(6, 64);
+        u.insert(4, &[7]);
+        u.insert(0, &[3]);
+        let entries: Vec<(u32, Vec<u64>)> = u.iter().map(|(c, b)| (c, b.to_vec())).collect();
+        assert_eq!(entries, vec![(0, vec![3]), (4, vec![7])]);
     }
 
     #[test]

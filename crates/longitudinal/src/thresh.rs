@@ -125,11 +125,30 @@ impl ThreshClient {
 
     /// Produces a fresh estimation report (update epochs only) and anchors
     /// the current value.
-    pub fn estimate<R: RngCore + ?Sized>(&mut self, value: u64, rng: &mut R) -> BitVec {
+    pub fn report<R: RngCore + ?Sized>(&mut self, value: u64, rng: &mut R) -> BitVec {
+        let mut out = BitVec::zeros(self.cfg.k as usize);
+        self.report_into(value, rng, &mut out);
+        out
+    }
+
+    /// Like [`Self::report`] but writes into a caller-provided buffer,
+    /// avoiding the per-epoch allocation.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != k`.
+    pub fn report_into<R: RngCore + ?Sized>(&mut self, value: u64, rng: &mut R, out: &mut BitVec) {
         self.anchor = Some(value);
         self.accountant
             .observe(self.cfg.tau as u32 + self.updates_spent());
-        self.estimator.perturb(value, rng)
+        self.estimator.perturb_into(value, rng, out);
+    }
+
+    /// Deprecated name of [`Self::report`]: the client *generates a
+    /// report* for the server's estimation epoch, it does not estimate
+    /// anything itself.
+    #[deprecated(since = "0.1.0", note = "renamed to `report`")]
+    pub fn estimate<R: RngCore + ?Sized>(&mut self, value: u64, rng: &mut R) -> BitVec {
+        self.report(value, rng)
     }
 
     fn updates_spent(&self) -> u32 {
@@ -267,7 +286,7 @@ mod tests {
         for t in 0..10u64 {
             let _ = client.vote(t % 8, &mut rng);
             if t % 5 == 0 && client.updates_spent() < 2 {
-                let _ = client.estimate(t % 8, &mut rng);
+                let _ = client.report(t % 8, &mut rng);
             }
         }
         assert!(
@@ -296,7 +315,7 @@ mod tests {
             if server.close_votes() {
                 updates += 1;
                 for (u, client) in clients.iter_mut().enumerate() {
-                    server.ingest_estimate(&client.estimate(values[u], &mut rng));
+                    server.ingest_estimate(&client.report(values[u], &mut rng));
                 }
                 server.close_update();
             }
@@ -306,6 +325,34 @@ mod tests {
         let est = server.estimate();
         for (v, &e) in est.iter().enumerate() {
             assert!((e - 1.0 / 6.0).abs() < 0.1, "v={v}: {e}");
+        }
+    }
+
+    #[test]
+    fn deprecated_estimate_shim_forwards_to_report() {
+        let c = cfg(8, 10, 2);
+        let mut via_report = ThreshClient::new(c).unwrap();
+        let mut via_shim = ThreshClient::new(c).unwrap();
+        let mut rng_a = derive_rng(903, 0);
+        let mut rng_b = derive_rng(903, 0);
+        let a = via_report.report(3, &mut rng_a);
+        #[allow(deprecated)]
+        let b = via_shim.estimate(3, &mut rng_b);
+        assert_eq!(a, b);
+        assert_eq!(via_report.privacy_spent(), via_shim.privacy_spent());
+    }
+
+    #[test]
+    fn report_into_reuses_buffer_and_matches_report() {
+        let c = cfg(8, 10, 4);
+        let mut x = ThreshClient::new(c).unwrap();
+        let mut y = ThreshClient::new(c).unwrap();
+        let mut rng_a = derive_rng(904, 0);
+        let mut rng_b = derive_rng(904, 0);
+        let mut buf = BitVec::zeros(8);
+        for v in [1u64, 5, 2] {
+            x.report_into(v, &mut rng_a, &mut buf);
+            assert_eq!(buf, y.report(v, &mut rng_b), "value {v}");
         }
     }
 
@@ -328,7 +375,7 @@ mod tests {
             if server.close_votes() {
                 for (u, client) in clients.iter_mut().enumerate() {
                     let value = (u as u64 + round) % 6;
-                    server.ingest_estimate(&client.estimate(value, &mut rng));
+                    server.ingest_estimate(&client.report(value, &mut rng));
                 }
                 server.close_update();
             }

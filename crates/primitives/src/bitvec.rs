@@ -85,6 +85,37 @@ impl BitVec {
         self.blocks.fill(0);
     }
 
+    /// Overwrites this vector with `other`'s bits, keeping the allocation.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn copy_from(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "length mismatch in copy_from");
+        self.blocks.copy_from_slice(&other.blocks);
+    }
+
+    /// Overwrites this vector from raw little-endian blocks. Stray bits
+    /// beyond `len` in the last block are masked off, so untrusted block
+    /// data can never make [`BitVec::iter_ones`] yield an out-of-range
+    /// index.
+    ///
+    /// # Panics
+    /// Panics if the block count differs from `ceil(len/64)`.
+    pub fn copy_from_blocks(&mut self, blocks: &[u64]) {
+        assert_eq!(
+            self.blocks.len(),
+            blocks.len(),
+            "block count mismatch in copy_from_blocks"
+        );
+        self.blocks.copy_from_slice(blocks);
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.blocks.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
     /// The underlying blocks (low bit of block 0 is bit 0).
     pub fn blocks(&self) -> &[u64] {
         &self.blocks
@@ -157,6 +188,29 @@ mod tests {
         }
         let collected: Vec<usize> = bv.iter_ones().collect();
         assert_eq!(collected, idxs);
+    }
+
+    #[test]
+    fn copy_from_and_blocks_roundtrip() {
+        let mut src = BitVec::zeros(70);
+        src.set(3, true);
+        src.set(69, true);
+        let mut dst = BitVec::zeros(70);
+        dst.set(10, true);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        let mut from_blocks = BitVec::zeros(70);
+        from_blocks.copy_from_blocks(src.blocks());
+        assert_eq!(from_blocks, src);
+    }
+
+    #[test]
+    fn copy_from_blocks_masks_stray_tail_bits() {
+        let mut bv = BitVec::zeros(70);
+        // Bits 70..128 of the raw blocks are out of range and must vanish.
+        bv.copy_from_blocks(&[0, u64::MAX]);
+        let ones: Vec<usize> = bv.iter_ones().collect();
+        assert_eq!(ones, vec![64, 65, 66, 67, 68, 69]);
     }
 
     #[test]

@@ -8,67 +8,16 @@
 //! which is why `d = 1` (two classes, often colliding) protects users and
 //! `d = b` (distinct one-hot patterns) exposes nearly all of them.
 //!
+//! The per-user tracker is *client state* (it must checkpoint and resume
+//! with the memo), so it lives in `ldp_client` and rides inside the
+//! [`ClientPool`](ldp_client::ClientPool); this module keeps the
+//! population-level summary the simulator reports.
+//!
 //! Following the paper's worst-case analysis, the reported metric is the
 //! fraction of users for whom **every** bucket change was flagged, among
 //! users that had at least one change.
 
-use ldp_primitives::BitVec;
-
-/// Per-user tracking state for the detection attack.
-#[derive(Debug, Clone)]
-pub struct DetectionTrack {
-    prev_bucket: Option<u32>,
-    prev_bits: Option<BitVec>,
-    any_change: bool,
-    missed: bool,
-}
-
-impl DetectionTrack {
-    /// Creates an empty tracker.
-    pub fn new() -> Self {
-        Self {
-            prev_bucket: None,
-            prev_bits: None,
-            any_change: false,
-            missed: false,
-        }
-    }
-
-    /// Records one round: the user's true bucket and the report sent.
-    pub fn observe(&mut self, bucket: u32, bits: &BitVec) {
-        if let (Some(pb), Some(pbits)) = (self.prev_bucket, &self.prev_bits) {
-            let bucket_changed = pb != bucket;
-            let report_changed = pbits != bits;
-            // Memoized reports are deterministic per bucket: a report change
-            // without a bucket change would be a protocol bug.
-            debug_assert!(!report_changed || bucket_changed);
-            if bucket_changed {
-                self.any_change = true;
-                if !report_changed {
-                    self.missed = true;
-                }
-            }
-        }
-        self.prev_bucket = Some(bucket);
-        self.prev_bits = Some(bits.clone());
-    }
-
-    /// Whether the user changed bucket at least once.
-    pub fn had_changes(&self) -> bool {
-        self.any_change
-    }
-
-    /// Whether *all* of the user's bucket changes were flagged.
-    pub fn fully_detected(&self) -> bool {
-        self.any_change && !self.missed
-    }
-}
-
-impl Default for DetectionTrack {
-    fn default() -> Self {
-        Self::new()
-    }
-}
+pub use ldp_client::DetectionTrack;
 
 /// Aggregate detection outcome over a population.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,6 +60,7 @@ impl DetectionSummary {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ldp_primitives::BitVec;
 
     fn bits(pattern: &[bool]) -> BitVec {
         let mut b = BitVec::zeros(pattern.len());
@@ -118,37 +68,6 @@ mod tests {
             b.set(i, p);
         }
         b
-    }
-
-    #[test]
-    fn no_changes_means_not_counted() {
-        let mut t = DetectionTrack::new();
-        let b = bits(&[true, false]);
-        for _ in 0..5 {
-            t.observe(3, &b);
-        }
-        assert!(!t.had_changes());
-        assert!(!t.fully_detected());
-    }
-
-    #[test]
-    fn detected_change() {
-        let mut t = DetectionTrack::new();
-        t.observe(0, &bits(&[true, false]));
-        t.observe(1, &bits(&[false, true])); // bucket and report changed
-        assert!(t.had_changes());
-        assert!(t.fully_detected());
-    }
-
-    #[test]
-    fn missed_change_is_never_fully_detected() {
-        let mut t = DetectionTrack::new();
-        let same = bits(&[true, true]);
-        t.observe(0, &same);
-        t.observe(1, &same); // bucket changed, report identical → missed
-        t.observe(2, &bits(&[false, false])); // later detected change
-        assert!(t.had_changes());
-        assert!(!t.fully_detected());
     }
 
     #[test]

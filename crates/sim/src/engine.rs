@@ -4,16 +4,20 @@
 //! cell: `n` stateful clients over `τ` rounds, server-side estimation each
 //! round, and the paper's metrics at the end.
 //!
-//! The engine is a thin driver over [`ldp_runtime::ShardedAggregator`],
-//! with two collection paths that agree bit-for-bit:
+//! The engine is a thin driver: all per-user client state lives in an
+//! [`ldp_client::ClientPool`] (constructed through the method registry, so
+//! there is no per-method dispatch here at all) and all aggregation in
+//! [`ldp_runtime::ShardedAggregator`]. Two collection paths agree
+//! bit-for-bit:
 //!
-//! * [`run_experiment`] — users are partitioned into chunks, each worker
-//!   thread fills one aggregator shard with its chunk's support counts,
-//!   and the aggregator merges and estimates at the end of every round.
-//! * [`run_experiment_piped`] — the same client chunks submit report
-//!   envelopes through the concurrent `ldp_ingest` pipeline, whose shard
-//!   workers accumulate while sanitization is still running (the
-//!   production collector topology).
+//! * [`run_experiment`] — the pool's users are partitioned into chunks,
+//!   each worker thread sanitizing one chunk straight into its own
+//!   aggregator shard, and the aggregator merges and estimates at the end
+//!   of every round.
+//! * [`run_experiment_piped`] — the same chunks submit report envelopes
+//!   through the concurrent `ldp_ingest` pipeline, whose shard workers
+//!   accumulate while sanitization is still running (the production
+//!   collector topology).
 //!
 //! Each user owns an independent RNG stream derived from `(seed, user)`
 //! and the shard merge is an order-independent sum, so results are
@@ -21,17 +25,13 @@
 //! path collected the reports.
 
 use crate::config::{ExperimentConfig, Method};
-use crate::detection::{DetectionSummary, DetectionTrack};
+use crate::detection::DetectionSummary;
 use crate::metrics::mse;
+use ldp_client::{ClientConfig, ClientPool};
 use ldp_datasets::{empirical_histogram, DatasetSpec};
-use ldp_hash::{CarterWegman, CwHash, Preimages};
 use ldp_ingest::IngestPipeline;
-use ldp_longitudinal::{DBitFlipClient, LgrrClient, LongitudinalUeClient};
 use ldp_primitives::error::ParamError;
-use ldp_primitives::BitVec;
-use ldp_rand::{derive_rng2, LdpRng};
-use ldp_runtime::{Shard, ShardedAggregator};
-use loloha::LolohaClient;
+use ldp_runtime::ShardedAggregator;
 
 /// Outcome of one experiment cell.
 #[derive(Debug, Clone)]
@@ -54,187 +54,18 @@ pub struct RunMetrics {
     pub comparable_mse: bool,
 }
 
-enum ClientState {
-    Lue(Box<LongitudinalUeClient>),
-    Lgrr(Box<LgrrClient>),
-    Loloha {
-        client: Box<LolohaClient<CwHash>>,
-        preimages: Preimages,
-    },
-    DBit(Box<DBitFlipClient>),
-}
-
-impl ClientState {
-    fn privacy_spent(&self) -> f64 {
-        match self {
-            ClientState::Lue(c) => c.privacy_spent(),
-            ClientState::Lgrr(c) => c.privacy_spent(),
-            ClientState::Loloha { client, .. } => client.privacy_spent(),
-            ClientState::DBit(c) => c.privacy_spent(),
-        }
-    }
-
-    fn distinct_classes(&self) -> u32 {
-        match self {
-            ClientState::Lue(c) => c.distinct_values(),
-            ClientState::Lgrr(c) => c.distinct_values(),
-            ClientState::Loloha { client, .. } => client.distinct_cells(),
-            ClientState::DBit(c) => c.distinct_classes(),
-        }
-    }
-}
-
-struct SimUser {
-    state: ClientState,
-    rng: LdpRng,
-    detect: Option<DetectionTrack>,
-}
-
-fn make_user(
-    agg: &ShardedAggregator,
-    method: Method,
-    k: u64,
-    eps_inf: f64,
-    eps_first: f64,
-    seed: u64,
-    user: usize,
-) -> Result<SimUser, ParamError> {
-    let mut rng = derive_rng2(seed, 0x00C1_1E47, user as u64);
-    let (state, detect) = match method {
-        Method::Rappor | Method::LOsue | Method::LOue | Method::LSoue => {
-            let chain = method.ue_chain().expect("UE-chained method");
-            (
-                ClientState::Lue(Box::new(LongitudinalUeClient::new(
-                    chain, k, eps_inf, eps_first,
-                )?)),
-                None,
-            )
-        }
-        Method::LGrr => (
-            ClientState::Lgrr(Box::new(LgrrClient::new(k, eps_inf, eps_first)?)),
-            None,
-        ),
-        Method::BiLoloha | Method::OLoloha => {
-            let params = agg.loloha_params().expect("resolved for LOLOHA methods");
-            let family =
-                CarterWegman::new(params.g()).ok_or(ParamError::InvalidG { g: params.g() })?;
-            let client = LolohaClient::new(&family, k, params, &mut rng)?;
-            let preimages = Preimages::build(client.hash_fn(), k);
-            (
-                ClientState::Loloha {
-                    client: Box::new(client),
-                    preimages,
-                },
-                None,
-            )
-        }
-        Method::OneBitFlip | Method::BBitFlip => {
-            let (b, d) = agg.dbit_config().expect("resolved for dBitFlip methods");
-            let client = DBitFlipClient::new(k, b, d, eps_inf, &mut rng)?;
-            (
-                ClientState::DBit(Box::new(client)),
-                Some(DetectionTrack::new()),
-            )
-        }
-    };
-    Ok(SimUser { state, rng, detect })
-}
-
-/// Processes one user for one round, folding their report into `shard`.
-/// The support set streams straight from the client's report into the
-/// shard — no intermediate buffer on this hot path.
-fn process_user(user: &mut SimUser, value: u64, shard: &mut Shard, scratch: &mut BitVec) {
-    match &mut user.state {
-        ClientState::Lue(c) => {
-            c.report_into(value, &mut user.rng, scratch);
-            shard.add_report(scratch.iter_ones());
-        }
-        ClientState::Lgrr(c) => {
-            shard.add_report(std::iter::once(c.report(value, &mut user.rng) as usize));
-        }
-        ClientState::Loloha { client, preimages } => {
-            let cell = client.report(value, &mut user.rng);
-            shard.add_report(preimages.cell(cell).iter().map(|&v| v as usize));
-        }
-        ClientState::DBit(c) => {
-            let report = c.report(value, &mut user.rng);
-            let sampled = c.sampled();
-            shard.add_report(report.bits.iter_ones().map(|l| sampled[l] as usize));
-            if let Some(track) = &mut user.detect {
-                track.observe(c.bucket_of(value), &report.bits);
-            }
-        }
-    }
-}
-
-/// [`process_user`]'s counterpart for the pipelined path, which must hand
-/// an owned support set to the ingest channel: writes the report's support
-/// indices into `support` (cleared first). The RNG draw sequence is
-/// identical to [`process_user`]'s arm for arm — the equivalence suites
-/// (engine, ingest, system) pin the two paths bit-for-bit.
-fn sanitize_report(user: &mut SimUser, value: u64, scratch: &mut BitVec, support: &mut Vec<usize>) {
-    support.clear();
-    match &mut user.state {
-        ClientState::Lue(c) => {
-            c.report_into(value, &mut user.rng, scratch);
-            support.extend(scratch.iter_ones());
-        }
-        ClientState::Lgrr(c) => {
-            support.push(c.report(value, &mut user.rng) as usize);
-        }
-        ClientState::Loloha { client, preimages } => {
-            let cell = client.report(value, &mut user.rng);
-            support.extend(preimages.cell(cell).iter().map(|&v| v as usize));
-        }
-        ClientState::DBit(c) => {
-            let report = c.report(value, &mut user.rng);
-            let sampled = c.sampled();
-            support.extend(report.bits.iter_ones().map(|l| sampled[l] as usize));
-            if let Some(track) = &mut user.detect {
-                track.observe(c.bucket_of(value), &report.bits);
-            }
-        }
-    }
-}
-
-/// Builds the population, chunked for `threads` worker threads. Users are
-/// created in index order so the per-user RNG streams are independent of
-/// the chunking.
-fn build_user_chunks(
-    agg: &ShardedAggregator,
-    cfg: &ExperimentConfig,
-    k: u64,
-    n: usize,
-    threads: usize,
-) -> Result<Vec<Vec<SimUser>>, ParamError> {
-    let chunk_len = n.div_ceil(threads);
-    let mut users = Vec::with_capacity(n);
-    for u in 0..n {
-        users.push(make_user(
-            agg,
-            cfg.method,
-            k,
-            cfg.eps_inf,
-            cfg.eps_first(),
-            cfg.seed,
-            u,
-        )?);
-    }
-    let mut chunks: Vec<Vec<SimUser>> = Vec::with_capacity(threads);
-    let mut rest = users;
-    while !rest.is_empty() {
-        let take = chunk_len.min(rest.len());
-        let tail = rest.split_off(take);
-        chunks.push(rest);
-        rest = tail;
-    }
-    Ok(chunks)
+/// Builds the population behind the method registry: every user's state
+/// and RNG stream comes from `ldp_client`, with no per-method dispatch in
+/// the engine.
+fn build_pool(cfg: &ExperimentConfig, k: u64, n: usize) -> Result<ClientPool, ParamError> {
+    let client_cfg = ClientConfig::for_method(cfg.method, k, cfg.eps_inf, cfg.eps_first())?;
+    ClientPool::new(client_cfg, cfg.seed, n)
 }
 
 /// Final per-user metrics, read in fixed user order (independent of the
 /// threading layout during collection).
 fn finalize_metrics(
-    chunks: &[Vec<SimUser>],
+    pool: &ClientPool,
     cfg: &ExperimentConfig,
     n: usize,
     mse_sum: f64,
@@ -244,17 +75,15 @@ fn finalize_metrics(
     let mut eps_sum = 0.0;
     let mut eps_max = 0.0f64;
     let mut distinct_sum = 0.0;
-    for chunk in chunks {
-        for user in chunk {
-            let spent = user.state.privacy_spent();
-            eps_sum += spent;
-            eps_max = eps_max.max(spent);
-            distinct_sum += user.state.distinct_classes() as f64;
-        }
+    for state in pool.states() {
+        let spent = state.privacy_spent();
+        eps_sum += spent;
+        eps_max = eps_max.max(spent);
+        distinct_sum += state.distinct_classes() as f64;
     }
     let detection = if matches!(cfg.method, Method::OneBitFlip | Method::BBitFlip) {
         Some(DetectionSummary::from_tracks(
-            chunks.iter().flatten().filter_map(|u| u.detect.as_ref()),
+            pool.states().filter_map(|s| s.detection()),
         ))
     } else {
         None
@@ -287,7 +116,7 @@ pub fn run_experiment(
     let threads = cfg.effective_threads().clamp(1, n.max(1));
     let mut agg =
         ShardedAggregator::for_method(cfg.method, k, cfg.eps_inf, cfg.eps_first(), threads)?;
-    let mut chunks = build_user_chunks(&agg, cfg, k, n, threads)?;
+    let mut pool = build_pool(cfg, k, n)?;
 
     let mut data = dataset.instantiate(cfg.seed);
     let mut mse_sum = 0.0;
@@ -298,25 +127,7 @@ pub fn run_experiment(
         assert_eq!(values.len(), n, "dataset produced wrong population size");
         // The aggregator starts zeroed and finish_round resets the shards,
         // so each iteration begins on a clean round.
-        // Dispatch chunks to scoped worker threads, one shard each.
-        std::thread::scope(|s| {
-            let mut offset = 0usize;
-            let mut handles = Vec::new();
-            for (chunk, shard) in chunks.iter_mut().zip(agg.shards_mut()) {
-                let slice = &values[offset..offset + chunk.len()];
-                offset += chunk.len();
-                let k_usize = k as usize;
-                handles.push(s.spawn(move || {
-                    let mut scratch = BitVec::zeros(k_usize);
-                    for (user, &v) in chunk.iter_mut().zip(slice) {
-                        process_user(user, v, shard, &mut scratch);
-                    }
-                }));
-            }
-            for h in handles {
-                h.join().expect("worker thread panicked");
-            }
-        });
+        pool.sanitize_round_into_shards(values, agg.shards_mut());
         let round = agg.finish_round();
         debug_assert_eq!(round.reports, n as u64, "every user reports every round");
         if agg.k_binned() {
@@ -326,12 +137,12 @@ pub fn run_experiment(
         }
     }
 
-    Ok(finalize_metrics(&chunks, cfg, n, mse_sum, mse_rounds, &agg))
+    Ok(finalize_metrics(&pool, cfg, n, mse_sum, mse_rounds, &agg))
 }
 
 /// Runs one experiment cell through the concurrent ingestion pipeline
-/// (`ldp_ingest`): client chunks sanitize their reports on scoped threads
-/// and submit keyed envelopes to the pipeline's shard workers, which
+/// (`ldp_ingest`): the client pool sanitizes its users on scoped threads
+/// and submits keyed envelopes to the pipeline's shard workers, which
 /// accumulate concurrently with sanitization.
 ///
 /// Bit-identical to [`run_experiment`] for every method and thread count:
@@ -349,7 +160,7 @@ pub fn run_experiment_piped(
     let workers = cfg.effective_threads().clamp(1, n.max(1));
     let mut pipe =
         IngestPipeline::for_method(cfg.method, k, cfg.eps_inf, cfg.eps_first(), workers)?;
-    let mut chunks = build_user_chunks(pipe.aggregator(), cfg, k, n, workers)?;
+    let mut pool = build_pool(cfg, k, n)?;
 
     let mut data = dataset.instantiate(cfg.seed);
     let mut mse_sum = 0.0;
@@ -358,27 +169,8 @@ pub fn run_experiment_piped(
     for _t in 0..tau {
         let values = data.step();
         assert_eq!(values.len(), n, "dataset produced wrong population size");
-        let handle = pipe.handle();
-        std::thread::scope(|s| {
-            let mut offset = 0usize;
-            for chunk in chunks.iter_mut() {
-                let slice = &values[offset..offset + chunk.len()];
-                let base = offset;
-                offset += chunk.len();
-                let k_usize = k as usize;
-                let h = handle.clone();
-                s.spawn(move || {
-                    let mut scratch = BitVec::zeros(k_usize);
-                    let mut support = Vec::new();
-                    for (j, (user, &v)) in chunk.iter_mut().zip(slice).enumerate() {
-                        sanitize_report(user, v, &mut scratch, &mut support);
-                        h.submit((base + j) as u64, support.iter().copied())
-                            .expect("ingest worker lost");
-                    }
-                });
-            }
-        });
-        drop(handle);
+        pool.sanitize_round(values, workers, &pipe.handle())
+            .expect("ingest worker lost");
         let round = pipe.finish_round().expect("ingest worker lost");
         debug_assert_eq!(round.reports, n as u64, "every user reports every round");
         if pipe.aggregator().k_binned() {
@@ -389,7 +181,7 @@ pub fn run_experiment_piped(
     }
 
     Ok(finalize_metrics(
-        &chunks,
+        &pool,
         cfg,
         n,
         mse_sum,

@@ -27,6 +27,10 @@
 //! * [`ingest`] — the concurrent worker-per-shard ingestion pipeline over
 //!   the runtime, with durable shard-state checkpoints for restart-safe
 //!   collection rounds.
+//! * [`client`] — the unified client side: the object-safe `ClientState`
+//!   trait, the registry-driven `ClientPool` with parallel sanitization
+//!   into the ingest pipeline, and durable client-state checkpoints for
+//!   full-collector resume.
 //!
 //! Downstream users who only need the stable surface should prefer
 //! [`prelude`], which curates the commonly used items instead of exposing
@@ -39,6 +43,7 @@ pub mod prelude;
 
 pub use ldp_analysis as analysis;
 pub use ldp_attack as attack;
+pub use ldp_client as client;
 pub use ldp_datasets as datasets;
 pub use ldp_hash as hash;
 pub use ldp_heavyhitters as heavyhitters;

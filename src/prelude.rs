@@ -43,6 +43,13 @@ pub use ldp_ingest::{
     ShardCheckpoint, ShardState, ShardStore, ShardStoreError,
 };
 
+// The unified client side: per-user state behind one trait, pooled with
+// parallel sanitization and durable client checkpoints.
+pub use ldp_client::{
+    ClientCheckpoint, ClientConfig, ClientPool, ClientState, ClientStore, ClientStoreError,
+    ReportBuf,
+};
+
 // Hashing substrate (LOLOHA's domain reduction needs these at the edges).
 pub use ldp_hash::{CarterWegman, CwHash, Preimages, SeededHash};
 

@@ -147,22 +147,20 @@ fn grr_bias_and_variance_match_theory() {
     assert_bias_and_variance("GRR", &estimates, &truth, &theo_var);
 }
 
-#[test]
-#[ignore = "tier-2: run with cargo test --release -- --ignored"]
-fn lue_rappor_bias_and_variance_match_theory() {
-    // RAPPOR (L-SUE): the symmetric SUE∘SUE chain, exactly the regime of
-    // the paper's Eq. (4)/(5) closed forms.
+/// Shared harness for the chained-UE protocols: `TRIALS` single-round
+/// collections of fresh clients, estimated with Eq. (3) and checked
+/// against the Eq. (4) chained variance at the true frequency.
+fn lue_chain_bias_and_variance(label: &str, ue_chain: UeChain, seed: u64) {
     let (k, n) = (12usize, 10_000usize);
     let (eps_inf, eps_first) = (2.0f64, 1.0f64);
     let truth = truth(k);
-    let chain = ue_chain_params(UeChain::SueSue, eps_inf, eps_first).expect("valid");
+    let chain = ue_chain_params(ue_chain, eps_inf, eps_first).expect("valid");
 
-    let estimates = run_trials(n, 0xB0B, &truth, |rng, values| {
+    let estimates = run_trials(n, seed, &truth, |rng, values| {
         let mut counts = vec![0.0f64; k];
         for &v in values {
             let mut client =
-                LongitudinalUeClient::new(UeChain::SueSue, k as u64, eps_inf, eps_first)
-                    .expect("valid");
+                LongitudinalUeClient::new(ue_chain, k as u64, eps_inf, eps_first).expect("valid");
             let bits = client.report(v, rng);
             for i in bits.iter_ones() {
                 counts[i] += 1.0;
@@ -192,7 +190,24 @@ fn lue_rappor_bias_and_variance_match_theory() {
             )
         })
         .collect();
-    assert_bias_and_variance("L-SUE (RAPPOR)", &estimates, &truth, &theo_var);
+    assert_bias_and_variance(label, &estimates, &truth, &theo_var);
+}
+
+#[test]
+#[ignore = "tier-2: run with cargo test --release -- --ignored"]
+fn lue_rappor_bias_and_variance_match_theory() {
+    // RAPPOR (L-SUE): the symmetric SUE∘SUE chain, exactly the regime of
+    // the paper's Eq. (4)/(5) closed forms.
+    lue_chain_bias_and_variance("L-SUE (RAPPOR)", UeChain::SueSue, 0xB0B);
+}
+
+#[test]
+#[ignore = "tier-2: run with cargo test --release -- --ignored"]
+fn lue_losue_bias_and_variance_match_theory() {
+    // L-OSUE: the paper's recommended OUE (PRR) ∘ SUE (IRR) chain — the
+    // asymmetric (p1, q1) ≠ (p2, q2) regime, so this exercises the
+    // cross-terms of Eq. (4) that the symmetric RAPPOR case cannot.
+    lue_chain_bias_and_variance("L-OSUE", UeChain::OueSue, 0x105E);
 }
 
 #[test]
