@@ -19,9 +19,14 @@
 //! worker threads; `--checkpoint PATH` persists the shard state mid-round
 //! and resumes from the file; `--client-checkpoint PATH` does the same
 //! for the client pool (memo tables + RNG stream positions), so the pair
-//! simulates a full-collector restart. All of them leave the output
-//! byte-identical — per-user RNG streams are independent and the
-//! aggregation merge is order-independent — which the unit tests pin.
+//! simulates a full-collector restart. `--client-checkpoint-chunk N`
+//! switches the client store to its incremental (segmented) mode: PATH
+//! becomes a directory, the pool is split into N-user segments, and every
+//! finished round persists only the segments whose users reported —
+//! O(changed users) per round instead of a full rewrite. All of them
+//! leave the output byte-identical — per-user RNG streams are independent
+//! and the aggregation merge is order-independent — which the unit tests
+//! pin.
 
 use crate::args::Flags;
 use crate::CliError;
@@ -115,6 +120,7 @@ pub fn run<R: BufRead>(argv: &[String], input: &mut R) -> Result<String, CliErro
         "workers",
         "checkpoint",
         "client-checkpoint",
+        "client-checkpoint-chunk",
         "optimal",
     ])?;
     let k = flags.required_u64("k")?;
@@ -135,7 +141,23 @@ pub fn run<R: BufRead>(argv: &[String], input: &mut R) -> Result<String, CliErro
         ));
     }
     let store = flags.optional("checkpoint").map(ShardStore::new);
-    let client_store = flags.optional("client-checkpoint").map(ClientStore::new);
+    let client_chunk = flags.optional_u64("client-checkpoint-chunk")?;
+    if client_chunk == Some(0) {
+        return Err(CliError::new(
+            "--client-checkpoint-chunk must be at least 1 (a segment holds at least one user)",
+        ));
+    }
+    let client_store = flags
+        .optional("client-checkpoint")
+        .map(|p| match client_chunk {
+            Some(c) => ClientStore::chunked(p, c as usize),
+            None => ClientStore::new(p),
+        });
+    if client_chunk.is_some() && client_store.is_none() {
+        return Err(CliError::new(
+            "--client-checkpoint-chunk requires --client-checkpoint PATH",
+        ));
+    }
     let params = if flags.switch("optimal") {
         LolohaParams::optimal(eps_inf, alpha * eps_inf)
     } else {
@@ -210,6 +232,11 @@ pub fn run<R: BufRead>(argv: &[String], input: &mut R) -> Result<String, CliErro
         params.budget_cap()
     );
     let mut drilled = false;
+    // Chunked-mode accounting: how many segment files the per-round
+    // incremental saves rewrote, against the rewrites a full-save-per-
+    // round policy would have cost.
+    let mut seg_written = 0usize;
+    let mut seg_possible = 0usize;
     for (round, entries) in &rounds {
         // Entries mapped to pool indices; dense index is the ingest
         // routing key, the raw user id keeps the direct path's shard
@@ -260,13 +287,27 @@ pub fn run<R: BufRead>(argv: &[String], input: &mut R) -> Result<String, CliErro
                     *pipe = fresh;
                 }
                 // Client half: persist every user's memo + RNG position
-                // and fold it back into a rebuilt pool.
+                // and fold it back into a rebuilt pool. The pool state
+                // now matches this very store, so it is marked clean and
+                // later incremental saves rewrite only what reports next.
                 if let Some(cs) = &client_store {
-                    cs.save(&pool.checkpoint()).map_err(CliError::new)?;
+                    cs.save_pool(&mut pool).map_err(CliError::new)?;
                     pool.restore(&cs.load().map_err(CliError::new)?)
                         .map_err(CliError::new)?;
+                    pool.mark_clean();
                 }
                 drilled = true;
+            }
+        }
+        // Incremental per-round persistence: with a chunked client store
+        // every finished round checkpoints the users that reported — and
+        // only those — so a crash between rounds resumes from the last
+        // completed round at O(changed users) write cost.
+        if let Some(cs) = &client_store {
+            if cs.chunk().is_some() {
+                let stats = cs.save_pool(&mut pool).map_err(CliError::new)?;
+                seg_written += stats.written;
+                seg_possible += stats.total;
             }
         }
         let estimate = collector.finish_round()?;
@@ -300,10 +341,17 @@ pub fn run<R: BufRead>(argv: &[String], input: &mut R) -> Result<String, CliErro
         ));
     }
     if let Some(cs) = &client_store {
-        out.push_str(&format!(
-            "client-checkpoint: client state saved and restored mid-round at {}\n",
-            cs.path().display()
-        ));
+        match cs.chunk() {
+            None => out.push_str(&format!(
+                "client-checkpoint: client state saved and restored mid-round at {}\n",
+                cs.path().display()
+            )),
+            Some(chunk) => out.push_str(&format!(
+                "client-checkpoint: client state saved and restored mid-round at {} \
+                 (chunk {chunk}: incremental saves rewrote {seg_written} of {seg_possible} segment files)\n",
+                cs.path().display()
+            )),
+        }
     }
     Ok(out)
 }
@@ -515,6 +563,68 @@ mod tests {
         assert_eq!(reference, body, "client-checkpointed run must match");
         assert!(notice.contains("saved and restored mid-round"), "{notice}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chunked_client_checkpoint_is_byte_identical_and_incremental() {
+        // The chunked store must not change a single output byte relative
+        // to an uninterrupted run, and rounds that touch only a few users
+        // must rewrite only their segments.
+        let dir =
+            std::env::temp_dir().join(format!("loloha_cli_collect_chunked_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut csv = String::from("round,user,value\n");
+        for u in 0..40u64 {
+            csv.push_str(&format!("0,{u},{}\n", u % 4));
+        }
+        // Round 1 touches only users 0..4 — one segment at chunk 8.
+        for u in 0..4u64 {
+            csv.push_str(&format!("1,{u},{}\n", (u + 1) % 4));
+        }
+        let args = "--k 4 --eps-inf 2.0 --alpha 0.5 --top 2";
+        let reference = run(&argv(args), &mut input(&csv)).unwrap();
+        let got = run(
+            &argv(&format!(
+                "{args} --client-checkpoint {} --client-checkpoint-chunk 8",
+                dir.display()
+            )),
+            &mut input(&csv),
+        )
+        .unwrap();
+        let (body, notice) = got.rsplit_once("client-checkpoint: ").expect("notice line");
+        assert_eq!(reference, body, "chunked run must match");
+        // Round 0: drill saves (all 5 segments dirty), then the post-drill
+        // incremental save rewrites only the second half of the mid-round
+        // split; round 1: exactly one segment (users 0..4) is dirty.
+        assert!(notice.contains("chunk 8"), "{notice}");
+        assert!(dir.join("manifest.ckpt").exists());
+        let segs: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with("seg-"))
+            .collect();
+        assert_eq!(segs.len(), 5, "40 users at chunk 8: {segs:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chunk_flag_without_client_checkpoint_is_an_error() {
+        let err = run(
+            &argv("--k 4 --eps-inf 1.0 --client-checkpoint-chunk 8"),
+            &mut input("0,1,2\n"),
+        )
+        .unwrap_err();
+        assert!(
+            err.message.contains("requires --client-checkpoint"),
+            "{err}"
+        );
+        let err = run(
+            &argv("--k 4 --eps-inf 1.0 --client-checkpoint /tmp/x --client-checkpoint-chunk 0"),
+            &mut input("0,1,2\n"),
+        )
+        .unwrap_err();
+        assert!(err.message.contains("at least 1"), "{err}");
     }
 
     #[test]

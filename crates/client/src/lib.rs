@@ -21,11 +21,15 @@
 //!   [`ClientPool::sanitize_round`]: N-way parallel sanitization feeding
 //!   report envelopes straight into `ldp_ingest::IngestPipeline` handles,
 //!   bit-identical to a single-threaded pass for any worker count.
-//! * [`ClientStore`] / [`ClientCheckpoint`] — versioned, length-prefixed,
-//!   FNV-checksummed, atomically replaced client-state checkpoints (the
-//!   `ldp_ingest::ShardStore` idiom), so `collect --checkpoint
+//! * [`ClientStore`] / [`ClientCheckpoint`] — durable client-state
+//!   checkpoints in the workspace's unified container codec
+//!   ([`ldp_primitives::codec`]; on-disk spec in
+//!   `docs/CHECKPOINT_FORMAT.md`), so `collect --checkpoint
 //!   --client-checkpoint` resumes *both* shard and client state mid-round
-//!   byte-identically. Decoding failures are typed [`ClientStoreError`]s,
+//!   byte-identically. A chunked store ([`ClientStore::chunked`] +
+//!   [`ClientStore::save_pool`]) snapshots incrementally: only segments
+//!   whose users reported since the last save are rewritten, O(changed
+//!   users) per round. Decoding failures are typed [`ClientStoreError`]s,
 //!   never panics.
 //! * [`DetectionTrack`] — the dBitFlipPM change-detection tracker, which
 //!   is client state (it checkpoints with the memo so resumed runs
@@ -46,5 +50,5 @@ pub use pool::{ClientPool, USER_STREAM_TAG};
 pub use state::{ClientState, DBitState, LolohaState, ReportBuf};
 pub use store::{
     decode_client_checkpoint, encode_client_checkpoint, CheckpointMeta, ClientCheckpoint,
-    ClientRecord, ClientStore, ClientStoreError,
+    ClientRecord, ClientStore, ClientStoreError, SaveStats,
 };

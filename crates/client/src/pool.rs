@@ -16,6 +16,12 @@
 //! so a collector can resume mid-round with both halves — shard state via
 //! `ldp_ingest::ShardStore`, client state via [`crate::ClientStore`] —
 //! and produce output byte-identical to an uninterrupted run.
+//!
+//! The pool also tracks which users changed since the last durable save
+//! ([`ClientPool::dirty`] / [`ClientPool::mark_clean`]): a chunked
+//! [`crate::ClientStore`] uses those flags to rewrite only the segments
+//! whose users actually reported, so per-round checkpoint cost scales
+//! with the *changed* population, not the whole pool.
 
 use crate::config::ClientConfig;
 use crate::state::{ClientState, ReportBuf};
@@ -39,6 +45,11 @@ pub struct ClientPool {
     cfg: ClientConfig,
     seed: u64,
     users: Vec<UserSlot>,
+    /// `dirty[u]` is set when user `u`'s state or RNG position changed
+    /// since the last [`ClientPool::mark_clean`] — the incremental
+    /// checkpoint layer ([`crate::ClientStore::save_pool`]) uses it to
+    /// rewrite only the segments that actually changed.
+    dirty: Vec<bool>,
 }
 
 impl std::fmt::Debug for ClientPool {
@@ -61,7 +72,13 @@ impl ClientPool {
             let state = cfg.build_state(&mut rng)?;
             users.push(UserSlot { state, rng });
         }
-        Ok(Self { cfg, seed, users })
+        let dirty = vec![true; n];
+        Ok(Self {
+            cfg,
+            seed,
+            users,
+            dirty,
+        })
     }
 
     /// Number of users in the pool.
@@ -98,6 +115,7 @@ impl ClientPool {
     pub fn sanitize_one(&mut self, user: usize, value: u64, buf: &mut ReportBuf) {
         let slot = &mut self.users[user];
         slot.state.report_into(value, &mut slot.rng, buf);
+        self.dirty[user] = true;
     }
 
     /// Sanitizes a full round — `values[u]` is user `u`'s value — across
@@ -114,6 +132,7 @@ impl ClientPool {
         handle: &IngestHandle,
     ) -> Result<(), IngestError> {
         assert_eq!(values.len(), self.users.len(), "one value per user");
+        self.dirty.iter_mut().for_each(|d| *d = true);
         let chunk_len = chunk_len(self.users.len(), workers);
         let results: Vec<Result<(), IngestError>> = std::thread::scope(|s| {
             let mut joins = Vec::new();
@@ -150,6 +169,7 @@ impl ClientPool {
     pub fn sanitize_round_into_shards(&mut self, values: &[u64], shards: &mut [Shard]) {
         assert_eq!(values.len(), self.users.len(), "one value per user");
         assert!(!shards.is_empty(), "at least one shard");
+        self.dirty.iter_mut().for_each(|d| *d = true);
         let chunk_len = chunk_len(self.users.len(), shards.len());
         std::thread::scope(|s| {
             let mut offset = 0usize;
@@ -191,6 +211,7 @@ impl ClientPool {
         let mut buckets: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n_buckets];
         for &(u, value) in assignments {
             assert!(u < self.users.len(), "assignment names user {u}");
+            self.dirty[u] = true;
             buckets[u / chunk_len].push((u, value));
         }
         let results: Vec<Result<(), IngestError>> = std::thread::scope(|s| {
@@ -216,24 +237,42 @@ impl ClientPool {
         results.into_iter().collect()
     }
 
+    /// Captures one user's memoized state and RNG position — the unit the
+    /// incremental checkpoint layer encodes per dirty segment.
+    ///
+    /// # Panics
+    /// Panics if `user` is out of range.
+    pub fn record(&self, user: usize) -> ClientRecord {
+        let slot = &self.users[user];
+        let mut state = Vec::new();
+        slot.state.save_state(&mut state);
+        ClientRecord {
+            rng: slot.rng.state(),
+            state,
+        }
+    }
+
+    /// Which users changed since the last [`ClientPool::mark_clean`]
+    /// (one flag per user, in index order).
+    pub fn dirty(&self) -> &[bool] {
+        &self.dirty
+    }
+
+    /// Declares the pool's current state durably persisted: clears every
+    /// dirty flag. [`crate::ClientStore::save_pool`] calls this after a
+    /// successful save; call it manually only when the pool's state is
+    /// known to match the checkpoint on disk (e.g. right after restoring
+    /// from that same store).
+    pub fn mark_clean(&mut self) {
+        self.dirty.iter_mut().for_each(|d| *d = false);
+    }
+
     /// Captures every user's memoized state and RNG position for durable
     /// persistence (see [`crate::ClientStore`]). Non-destructive.
     pub fn checkpoint(&self) -> ClientCheckpoint {
-        let users = self
-            .users
-            .iter()
-            .map(|slot| {
-                let mut state = Vec::new();
-                slot.state.save_state(&mut state);
-                ClientRecord {
-                    rng: slot.rng.state(),
-                    state,
-                }
-            })
-            .collect();
         ClientCheckpoint {
             meta: self.cfg.meta(self.seed),
-            users,
+            users: (0..self.users.len()).map(|u| self.record(u)).collect(),
         }
     }
 
@@ -260,6 +299,10 @@ impl ClientPool {
             rebuilt.push(UserSlot { state, rng });
         }
         self.users = rebuilt;
+        // Conservative: the pool cannot know whether `cp` came from the
+        // store the next incremental save will target, so everything is
+        // dirty until the caller says otherwise (see `mark_clean`).
+        self.dirty.iter_mut().for_each(|d| *d = true);
         Ok(())
     }
 }

@@ -19,9 +19,10 @@
 //!   Table 2 metrics to resume bit-identically).
 
 use crate::detect::DetectionTrack;
-use crate::store::{ClientStoreError, Reader};
+use crate::store::ClientStoreError;
 use ldp_hash::{CwHash, Preimages};
 use ldp_longitudinal::{DBitFlipClient, LgrrClient, LongitudinalUeClient};
+use ldp_primitives::codec::CodecReader;
 use ldp_primitives::BitVec;
 use loloha::LolohaClient;
 use rand::RngCore;
@@ -110,7 +111,7 @@ fn put_u32(out: &mut Vec<u8>, v: u32) {
 /// class ids `< cap` — which both rejects duplicates (the memo tables are
 /// write-once) and pins the canonical encoding order.
 fn read_class(
-    r: &mut Reader<'_>,
+    r: &mut CodecReader<'_>,
     prev: &mut Option<u32>,
     cap: u32,
 ) -> Result<u32, ClientStoreError> {
@@ -156,7 +157,7 @@ impl ClientState for LongitudinalUeClient {
     }
 
     fn load_state(&mut self, bytes: &[u8]) -> Result<(), ClientStoreError> {
-        let mut r = Reader::new(bytes);
+        let mut r = CodecReader::raw(bytes);
         let count = u32::from_le_bytes(r.array()?);
         let blocks_per_entry = (self.k() as usize).div_ceil(64);
         let cap = self.k().min(u32::MAX as u64) as u32;
@@ -203,7 +204,7 @@ impl ClientState for LgrrClient {
     }
 
     fn load_state(&mut self, bytes: &[u8]) -> Result<(), ClientStoreError> {
-        let mut r = Reader::new(bytes);
+        let mut r = CodecReader::raw(bytes);
         let count = u32::from_le_bytes(r.array()?);
         let cap = self.k().min(u32::MAX as u64) as u32;
         if count > cap {
@@ -269,7 +270,7 @@ impl ClientState for LolohaState {
     }
 
     fn load_state(&mut self, bytes: &[u8]) -> Result<(), ClientStoreError> {
-        let mut r = Reader::new(bytes);
+        let mut r = CodecReader::raw(bytes);
         let count = u32::from_le_bytes(r.array()?);
         let g = self.client.params().g();
         if count > g {
@@ -355,7 +356,7 @@ impl ClientState for DBitState {
     }
 
     fn load_state(&mut self, bytes: &[u8]) -> Result<(), ClientStoreError> {
-        let mut r = Reader::new(bytes);
+        let mut r = CodecReader::raw(bytes);
         let d = self.client.d();
         let blocks_per_entry = d.div_ceil(64);
         let count = u32::from_le_bytes(r.array()?);

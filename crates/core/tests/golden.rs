@@ -1,0 +1,57 @@
+//! Golden-fixture pins for the LOLOHA client snapshot format.
+//!
+//! `tests/fixtures/` holds known-good snapshot files: the version-1 bytes
+//! written before the unified codec (PR 3 era) and the current version-2
+//! container. Any drift in either direction fails loudly here:
+//!
+//! * the v1 file must keep loading through the migration shim, and must
+//!   decode to exactly the same client as the v2 file;
+//! * re-encoding the decoded v2 fixture must reproduce its bytes —
+//!   byte-stability is what makes checkpoint diffs meaningful;
+//! * changing the on-disk layout without bumping the format version (and
+//!   regenerating the fixture deliberately) is therefore impossible to
+//!   merge unnoticed.
+
+use loloha::{load_client, save_client};
+
+fn fixture(name: &str) -> Vec<u8> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read(&path).unwrap_or_else(|e| panic!("fixture {}: {e}", path.display()))
+}
+
+#[test]
+fn v1_fixture_still_loads_through_the_migration_shim() {
+    let client = load_client(&fixture("loloha_client_v1.ckpt")).expect("v1 file must keep loading");
+    // The fixture was captured from a g=4, k=50 client that reported
+    // values {0, 7, 13, 49}; pin the semantic content, not just success.
+    assert_eq!(client.k(), 50);
+    assert_eq!(client.params().g(), 4);
+    assert!(client.distinct_cells() >= 1);
+}
+
+#[test]
+fn v2_fixture_reencodes_byte_stably() {
+    let bytes = fixture("loloha_client_v2.ckpt");
+    let client = load_client(&bytes).expect("current-version fixture must load");
+    assert_eq!(
+        save_client(&client),
+        bytes,
+        "re-encode drifted: the format changed without a version bump"
+    );
+}
+
+#[test]
+fn v1_and_v2_fixtures_decode_to_the_same_client() {
+    let old = load_client(&fixture("loloha_client_v1.ckpt")).unwrap();
+    let new = load_client(&fixture("loloha_client_v2.ckpt")).unwrap();
+    assert_eq!(old.k(), new.k());
+    assert_eq!(old.params(), new.params());
+    assert_eq!(old.privacy_spent(), new.privacy_spent());
+    for cell in 0..old.params().g() {
+        assert_eq!(old.memoized_symbol(cell), new.memoized_symbol(cell));
+    }
+    // Migrating the old file yields exactly the new file.
+    assert_eq!(save_client(&old), fixture("loloha_client_v2.ckpt"));
+}

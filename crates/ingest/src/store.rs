@@ -1,33 +1,37 @@
 //! Durable shard-state checkpoints.
 //!
 //! A long-running collection round loses everything on a crash unless the
-//! per-shard partial counts survive restarts. This module provides a
-//! compact, versioned, dependency-free binary encoding of a pipeline's
-//! shard states — the same codec idiom as the client-side
-//! `loloha::persist` module — plus a file-backed [`ShardStore`] that writes
-//! atomically (temp file + rename) so a crash mid-checkpoint never corrupts
-//! the previous checkpoint.
+//! per-shard partial counts survive restarts. This module persists a
+//! pipeline's shard states as one instance of the workspace's unified
+//! checkpoint container ([`ldp_primitives::codec`]; byte-level spec in
+//! `docs/CHECKPOINT_FORMAT.md`), via a file-backed [`ShardStore`] that
+//! writes atomically (temp file + rename) so a crash mid-checkpoint never
+//! corrupts the previous checkpoint.
 //!
-//! Format (little-endian):
+//! Container payload (little-endian), under the shared
+//! `magic "LDPS" | version | fingerprint` header and FNV-1a trailer:
 //!
 //! ```text
-//! magic "LDPS" | version u16 | dim u64 | shard_count u32
+//! dim u64 | shard_count u32
 //! | per shard: reports u64 | len u64 | len × u64 counts
-//! | checksum u64 (FNV-1a over every preceding byte)
 //! ```
+//!
+//! The fingerprint is FNV-1a over the little-endian `dim`, so a checkpoint
+//! can be identified as belonging to a differently-sized aggregation
+//! before its body is even parsed. Version-1 files (PR 3's pre-container
+//! format, without the fingerprint field) still load through a migration
+//! shim; saving always writes the current version.
 //!
 //! Every failure mode returns a typed [`ShardStoreError`], never a panic:
 //! truncation, foreign files, future format versions, bit-flips (caught by
 //! the checksum), and structurally valid but inconsistent layouts.
 
 use crate::pipeline::ShardState;
-use std::error::Error;
-use std::fmt;
-use std::fs;
+use ldp_primitives::codec::{self, CodecReader, CodecWriter};
 use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"LDPS";
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
 
 /// A point-in-time capture of a pipeline's shard states, produced by
 /// [`crate::IngestPipeline::checkpoint`] and consumed by
@@ -47,103 +51,80 @@ impl ShardCheckpoint {
     }
 }
 
-/// Why a checkpoint failed to decode or a file operation failed.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ShardStoreError {
-    /// The buffer is shorter than the declared layout.
-    Truncated,
-    /// The magic bytes do not match (not a shard checkpoint).
-    BadMagic,
-    /// The version is newer than this build understands.
-    UnsupportedVersion(u16),
-    /// The trailing checksum does not match the content (bit rot or a
-    /// partial overwrite).
-    ChecksumMismatch,
-    /// A decoded field is outside its domain (corrupt checkpoint).
-    Corrupt(&'static str),
-    /// An underlying filesystem operation failed.
-    Io(String),
-}
+/// Why a checkpoint failed to decode or a file operation failed — the
+/// workspace-wide checkpoint error type
+/// (see [`ldp_primitives::codec::CodecError`]).
+pub type ShardStoreError = codec::CodecError;
 
-impl fmt::Display for ShardStoreError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ShardStoreError::Truncated => write!(f, "checkpoint is truncated"),
-            ShardStoreError::BadMagic => write!(f, "checkpoint has wrong magic bytes"),
-            ShardStoreError::UnsupportedVersion(v) => {
-                write!(f, "checkpoint version {v} is not supported by this build")
-            }
-            ShardStoreError::ChecksumMismatch => {
-                write!(f, "checkpoint checksum mismatch (corrupt file)")
-            }
-            ShardStoreError::Corrupt(what) => write!(f, "checkpoint is corrupt: {what}"),
-            ShardStoreError::Io(e) => write!(f, "checkpoint i/o failed: {e}"),
-        }
-    }
-}
-
-impl Error for ShardStoreError {}
-
-/// FNV-1a, 64-bit: tiny, dependency-free corruption detection. Not a
-/// cryptographic integrity guarantee — the checkpoint trusts its storage.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+/// The header fingerprint of a shard checkpoint: FNV-1a over the
+/// little-endian aggregation dimension.
+fn fingerprint(dim: u64) -> u64 {
+    codec::fnv1a(&dim.to_le_bytes())
 }
 
 /// Serializes a checkpoint into a fresh byte buffer.
 pub fn encode_checkpoint(cp: &ShardCheckpoint) -> Vec<u8> {
     let per_shard: usize = cp.shards.iter().map(|s| 16 + 8 * s.counts.len()).sum();
-    let mut out = Vec::with_capacity(4 + 2 + 8 + 4 + per_shard + 8);
-    out.extend_from_slice(MAGIC);
-    out.extend_from_slice(&VERSION.to_le_bytes());
-    out.extend_from_slice(&(cp.dim as u64).to_le_bytes());
-    out.extend_from_slice(&(cp.shards.len() as u32).to_le_bytes());
+    let mut w = CodecWriter::with_capacity(
+        MAGIC,
+        VERSION,
+        fingerprint(cp.dim as u64),
+        8 + 4 + per_shard,
+    );
+    w.put_u64(cp.dim as u64);
+    w.put_u32(cp.shards.len() as u32);
     for shard in &cp.shards {
-        out.extend_from_slice(&shard.reports.to_le_bytes());
-        out.extend_from_slice(&(shard.counts.len() as u64).to_le_bytes());
+        w.put_u64(shard.reports);
+        w.put_u64(shard.counts.len() as u64);
         for &c in &shard.counts {
-            out.extend_from_slice(&c.to_le_bytes());
+            w.put_u64(c);
         }
     }
-    let sum = fnv1a(&out);
-    out.extend_from_slice(&sum.to_le_bytes());
-    out
+    w.finish()
 }
 
-/// Restores a checkpoint from a buffer produced by [`encode_checkpoint`].
+/// Restores a checkpoint from a buffer produced by [`encode_checkpoint`]
+/// (current or any older supported format version).
 pub fn decode_checkpoint(bytes: &[u8]) -> Result<ShardCheckpoint, ShardStoreError> {
-    // Fixed header (magic + version + dim + shard_count) plus the checksum.
-    const MIN: usize = 4 + 2 + 8 + 4 + 8;
-    if bytes.len() < MIN {
-        return Err(ShardStoreError::Truncated);
+    match codec::sniff_version(bytes, MAGIC)? {
+        1 => {
+            // Migration shim: the PR 3 layout had no fingerprint field —
+            // `magic | version | payload | checksum`.
+            let body = codec::split_checksummed(bytes)?;
+            let mut r = CodecReader::raw(body);
+            let _ = r.take(6)?; // magic + version, already sniffed
+            decode_body(&mut r, None)
+        }
+        VERSION => {
+            let mut r = CodecReader::open(bytes, MAGIC, VERSION)?;
+            let fp = r.fingerprint();
+            decode_body(&mut r, Some(fp))
+        }
+        v => Err(ShardStoreError::UnsupportedVersion(v)),
     }
-    let mut r = Reader { bytes, pos: 0 };
-    if r.take(4)? != MAGIC {
-        return Err(ShardStoreError::BadMagic);
-    }
-    let version = u16::from_le_bytes(r.array()?);
-    if version != VERSION {
-        return Err(ShardStoreError::UnsupportedVersion(version));
-    }
-    // Verify the trailer before trusting any length field.
-    let (body, trailer) = bytes.split_at(bytes.len() - 8);
-    let declared = u64::from_le_bytes(trailer.try_into().expect("8-byte trailer"));
-    if fnv1a(body) != declared {
-        return Err(ShardStoreError::ChecksumMismatch);
-    }
-    let dim64 = u64::from_le_bytes(r.array()?);
+}
+
+/// The version-independent payload: `dim | shard_count | shards`, with the
+/// declared layout proven against the buffer size before any allocation.
+fn decode_body(
+    r: &mut CodecReader<'_>,
+    fingerprint_to_check: Option<u64>,
+) -> Result<ShardCheckpoint, ShardStoreError> {
+    let dim64 = r.get_u64()?;
     let dim = usize::try_from(dim64).map_err(|_| ShardStoreError::Corrupt("dim overflow"))?;
-    let shard_count = u32::from_le_bytes(r.array()?);
+    if let Some(fp) = fingerprint_to_check {
+        if fp != fingerprint(dim64) {
+            return Err(ShardStoreError::Mismatch(
+                "fingerprint disagrees with the checkpoint dimension",
+            ));
+        }
+    }
+    let shard_count = r.get_u32()?;
     // The checksum is forgeable (FNV, not cryptographic), so the declared
     // layout must be proven against the actual buffer size *before* any
     // allocation sized from it — a crafted dim/shard_count must yield a
     // typed error, never an OOM or capacity-overflow panic.
-    let payload = (body.len() - r.pos) as u64;
+    let payload = r.remaining() as u64;
     let per_shard = 8u64
         .checked_add(8)
         .and_then(|fixed| dim64.checked_mul(8).and_then(|c| fixed.checked_add(c)))
@@ -156,18 +137,18 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<ShardCheckpoint, ShardStoreErro
     }
     let mut shards = Vec::with_capacity(shard_count as usize);
     for _ in 0..shard_count {
-        let reports = u64::from_le_bytes(r.array()?);
-        let len = u64::from_le_bytes(r.array()?);
+        let reports = r.get_u64()?;
+        let len = r.get_u64()?;
         if len != dim64 {
             return Err(ShardStoreError::Corrupt("shard length differs from dim"));
         }
         let mut counts = Vec::with_capacity(dim);
         for _ in 0..dim {
-            counts.push(u64::from_le_bytes(r.array()?));
+            counts.push(r.get_u64()?);
         }
         shards.push(ShardState { counts, reports });
     }
-    debug_assert_eq!(r.pos, body.len(), "layout check guarantees exact parse");
+    r.finish()?;
     Ok(ShardCheckpoint { dim, shards })
 }
 
@@ -193,44 +174,16 @@ impl ShardStore {
         self.path.exists()
     }
 
-    /// Durably writes `cp`, replacing any previous checkpoint atomically:
-    /// the bytes land in a sibling temp file first and are renamed over the
-    /// destination, so a crash mid-write never leaves a half checkpoint.
+    /// Durably writes `cp`, replacing any previous checkpoint atomically
+    /// (via [`codec::write_atomic`]), so a crash mid-write never leaves a
+    /// half checkpoint.
     pub fn save(&self, cp: &ShardCheckpoint) -> Result<(), ShardStoreError> {
-        let bytes = encode_checkpoint(cp);
-        let mut tmp = self.path.as_os_str().to_owned();
-        tmp.push(".tmp");
-        let tmp = PathBuf::from(tmp);
-        fs::write(&tmp, &bytes).map_err(|e| ShardStoreError::Io(e.to_string()))?;
-        fs::rename(&tmp, &self.path).map_err(|e| ShardStoreError::Io(e.to_string()))
+        codec::write_atomic(&self.path, &encode_checkpoint(cp))
     }
 
     /// Reads and decodes the checkpoint at the store's path.
     pub fn load(&self) -> Result<ShardCheckpoint, ShardStoreError> {
-        let bytes = fs::read(&self.path).map_err(|e| ShardStoreError::Io(e.to_string()))?;
-        decode_checkpoint(&bytes)
-    }
-}
-
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], ShardStoreError> {
-        let end = self.pos.checked_add(n).ok_or(ShardStoreError::Truncated)?;
-        // The last 8 bytes are the checksum trailer, not shard payload.
-        if end + 8 > self.bytes.len() {
-            return Err(ShardStoreError::Truncated);
-        }
-        let out = &self.bytes[self.pos..end];
-        self.pos = end;
-        Ok(out)
-    }
-
-    fn array<const N: usize>(&mut self) -> Result<[u8; N], ShardStoreError> {
-        Ok(self.take(N)?.try_into().expect("exact length"))
+        decode_checkpoint(&codec::read_file(&self.path)?)
     }
 }
 
@@ -272,71 +225,20 @@ mod tests {
     }
 
     #[test]
-    fn rejects_truncation_at_every_prefix() {
-        let bytes = encode_checkpoint(&sample());
-        for cut in 0..bytes.len() {
-            let err = decode_checkpoint(&bytes[..cut]).unwrap_err();
-            assert!(
-                matches!(
-                    err,
-                    ShardStoreError::Truncated | ShardStoreError::ChecksumMismatch
-                ),
-                "cut {cut}: {err:?}"
-            );
-        }
-    }
-
-    #[test]
-    fn rejects_bad_magic() {
-        let mut bytes = encode_checkpoint(&sample());
-        bytes[0] = b'X';
-        assert_eq!(
-            decode_checkpoint(&bytes).err(),
-            Some(ShardStoreError::BadMagic)
-        );
-    }
-
-    #[test]
-    fn rejects_future_version() {
-        let mut bytes = encode_checkpoint(&sample());
-        bytes[4..6].copy_from_slice(&7u16.to_le_bytes());
-        assert_eq!(
-            decode_checkpoint(&bytes).err(),
-            Some(ShardStoreError::UnsupportedVersion(7))
-        );
-    }
-
-    #[test]
-    fn any_single_bit_flip_in_the_body_is_detected() {
-        let bytes = encode_checkpoint(&sample());
-        // Flip one bit in every body byte past the version field; each must
-        // be rejected (checksum, or a structural check for length fields).
-        for i in 6..bytes.len() - 8 {
-            let mut bad = bytes.clone();
-            bad[i] ^= 0x10;
-            assert!(decode_checkpoint(&bad).is_err(), "byte {i} flip accepted");
-        }
-    }
-
-    #[test]
     fn rejects_shard_length_disagreeing_with_dim() {
         // Hand-craft a size-consistent checkpoint (one shard, three counts)
         // whose shard nonetheless declares len ≠ dim, with a valid
         // checksum, so the structural check itself is exercised.
-        let mut body = Vec::new();
-        body.extend_from_slice(MAGIC);
-        body.extend_from_slice(&VERSION.to_le_bytes());
-        body.extend_from_slice(&3u64.to_le_bytes()); // dim = 3
-        body.extend_from_slice(&1u32.to_le_bytes()); // one shard
-        body.extend_from_slice(&5u64.to_le_bytes()); // reports
-        body.extend_from_slice(&2u64.to_le_bytes()); // len = 2 ≠ dim
-        body.extend_from_slice(&1u64.to_le_bytes());
-        body.extend_from_slice(&2u64.to_le_bytes());
-        body.extend_from_slice(&3u64.to_le_bytes());
-        let sum = fnv1a(&body);
-        body.extend_from_slice(&sum.to_le_bytes());
+        let mut w = CodecWriter::new(MAGIC, VERSION, fingerprint(3));
+        w.put_u64(3); // dim = 3
+        w.put_u32(1); // one shard
+        w.put_u64(5); // reports
+        w.put_u64(2); // len = 2 ≠ dim
+        w.put_u64(1);
+        w.put_u64(2);
+        w.put_u64(3);
         assert_eq!(
-            decode_checkpoint(&body).err(),
+            decode_checkpoint(&w.finish()).err(),
             Some(ShardStoreError::Corrupt("shard length differs from dim"))
         );
     }
@@ -346,12 +248,23 @@ mod tests {
         let mut body = encode_checkpoint(&sample());
         body.truncate(body.len() - 8); // strip checksum
         body.extend_from_slice(&[0u8; 4]); // garbage
-        let sum = fnv1a(&body);
+        let sum = codec::fnv1a(&body);
         body.extend_from_slice(&sum.to_le_bytes());
         assert_eq!(
             decode_checkpoint(&body).err(),
             Some(ShardStoreError::Corrupt("layout disagrees with file size"))
         );
+    }
+
+    #[test]
+    fn rejects_a_fingerprint_for_a_different_dimension() {
+        let mut w = CodecWriter::new(MAGIC, VERSION, fingerprint(7)); // claims dim 7
+        w.put_u64(3); // actual dim 3
+        w.put_u32(0);
+        assert!(matches!(
+            decode_checkpoint(&w.finish()),
+            Err(ShardStoreError::Mismatch(_))
+        ));
     }
 
     #[test]
@@ -365,16 +278,15 @@ mod tests {
             (4, u32::MAX),
             (u64::MAX / 8, u32::MAX),
         ] {
-            let mut body = Vec::new();
-            body.extend_from_slice(MAGIC);
-            body.extend_from_slice(&VERSION.to_le_bytes());
-            body.extend_from_slice(&dim.to_le_bytes());
-            body.extend_from_slice(&shard_count.to_le_bytes());
-            body.extend_from_slice(&0u64.to_le_bytes()); // a little payload
-            let sum = fnv1a(&body);
-            body.extend_from_slice(&sum.to_le_bytes());
+            let mut w = CodecWriter::new(MAGIC, VERSION, fingerprint(dim));
+            w.put_u64(dim);
+            w.put_u32(shard_count);
+            w.put_u64(0); // a little payload
             assert!(
-                matches!(decode_checkpoint(&body), Err(ShardStoreError::Corrupt(_))),
+                matches!(
+                    decode_checkpoint(&w.finish()),
+                    Err(ShardStoreError::Corrupt(_))
+                ),
                 "dim {dim}, shards {shard_count}"
             );
         }

@@ -124,7 +124,8 @@ fn old_or_foreign_files_are_rejected_not_panicked() {
     let mut pipe = IngestPipeline::for_method(Method::LGrr, 6, 2.0, 1.0, 2).unwrap();
     pipe.submit(0, [1usize]).unwrap();
     store.save(&pipe.checkpoint().unwrap()).unwrap();
-    let mut bytes = std::fs::read(&path).unwrap();
+    let good = std::fs::read(&path).unwrap();
+    let mut bytes = good.clone();
     bytes[4..6].copy_from_slice(&9u16.to_le_bytes());
     std::fs::write(&path, &bytes).unwrap();
     assert_eq!(
@@ -133,7 +134,7 @@ fn old_or_foreign_files_are_rejected_not_panicked() {
     );
 
     // Truncation below the fixed header.
-    std::fs::write(&path, &bytes[..10]).unwrap();
+    std::fs::write(&path, &good[..10]).unwrap();
     assert_eq!(store.load().err(), Some(ShardStoreError::Truncated));
 
     std::fs::remove_file(&path).ok();

@@ -1,0 +1,56 @@
+//! Golden-fixture pins for the shard checkpoint format.
+//!
+//! `tests/fixtures/` holds known-good checkpoint files: the version-1
+//! bytes written by PR 3's private codec and the current version-2
+//! unified container. The v1 file must keep loading through the
+//! migration shim and agree with the v2 decode; the v2 file must
+//! re-encode byte-for-byte, so any accidental layout change fails here.
+
+use ldp_ingest::{decode_checkpoint, encode_checkpoint, ShardState};
+
+fn fixture(name: &str) -> Vec<u8> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read(&path).unwrap_or_else(|e| panic!("fixture {}: {e}", path.display()))
+}
+
+#[test]
+fn v1_fixture_still_loads_through_the_migration_shim() {
+    let cp = decode_checkpoint(&fixture("shards_v1.ckpt")).expect("v1 file must keep loading");
+    // Pin the exact content the fixture was captured from.
+    assert_eq!(cp.dim, 5);
+    assert_eq!(
+        cp.shards,
+        vec![
+            ShardState {
+                counts: vec![1, 0, 3, 0, 7],
+                reports: 4,
+            },
+            ShardState {
+                counts: vec![0, 2, 0, 9, 1],
+                reports: 6,
+            },
+        ]
+    );
+}
+
+#[test]
+fn v2_fixture_reencodes_byte_stably() {
+    let bytes = fixture("shards_v2.ckpt");
+    let cp = decode_checkpoint(&bytes).expect("current-version fixture must load");
+    assert_eq!(
+        encode_checkpoint(&cp),
+        bytes,
+        "re-encode drifted: the format changed without a version bump"
+    );
+}
+
+#[test]
+fn v1_and_v2_fixtures_decode_identically() {
+    let old = decode_checkpoint(&fixture("shards_v1.ckpt")).unwrap();
+    let new = decode_checkpoint(&fixture("shards_v2.ckpt")).unwrap();
+    assert_eq!(old, new);
+    // Migrating the old file yields exactly the new file.
+    assert_eq!(encode_checkpoint(&old), fixture("shards_v2.ckpt"));
+}

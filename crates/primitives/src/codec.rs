@@ -1,0 +1,475 @@
+//! The one checkpoint codec every durable format in this workspace is
+//! built on.
+//!
+//! Three subsystems persist state across restarts — the standalone LOLOHA
+//! client snapshots (`loloha::persist`), the shard-state checkpoints
+//! (`ldp_ingest::store`), and the client-pool checkpoints
+//! (`ldp_client::store`) — and all of them share one container format,
+//! implemented here exactly once. The normative on-disk specification
+//! lives in `docs/CHECKPOINT_FORMAT.md`; this module is its reference
+//! implementation.
+//!
+//! Container layout (little-endian throughout):
+//!
+//! ```text
+//! magic [u8; 4] | version u16 | fingerprint u64
+//! | payload (store-specific, length-prefixed frames for variable parts)
+//! | checksum u64 (FNV-1a over every preceding byte)
+//! ```
+//!
+//! * The **magic** names the store; a file with a different magic is
+//!   foreign ([`CodecError::BadMagic`]).
+//! * The **version** is the store's format version. Decoders sniff it
+//!   first ([`sniff_version`]) so they can route legacy versions to
+//!   migration shims; versions newer than the build are rejected as
+//!   [`CodecError::UnsupportedVersion`], never guessed at.
+//! * The **fingerprint** pins the configuration the payload is only valid
+//!   for (each store documents what it hashes); folding a checkpoint into
+//!   a differently-configured consumer is a [`CodecError::Mismatch`].
+//! * The **checksum** is FNV-1a ([`fnv1a`]) — tiny, dependency-free
+//!   corruption detection, *not* a cryptographic integrity guarantee: the
+//!   checkpoint trusts its storage, so decoders must still prove every
+//!   declared length against the actual buffer before sizing an
+//!   allocation from it.
+//!
+//! [`CodecWriter`] builds a container (header up front, checksum appended
+//! by [`CodecWriter::finish`]); [`CodecReader::open`] verifies magic,
+//! version, and checksum before exposing a single payload byte, then
+//! hands out bounds-checked reads. [`CodecReader::raw`] runs the same
+//! bounds-checked reads over a bare sub-payload (no header, no trailer) —
+//! the per-protocol state blobs nested inside client checkpoints use it.
+//! [`write_atomic`] is the shared durable-write path: temp file + rename,
+//! so a crash mid-write never clobbers the previous checkpoint.
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Bytes of the fixed container header: magic + version + fingerprint.
+pub const HEADER_LEN: usize = 4 + 2 + 8;
+/// Bytes of the FNV-1a checksum trailer.
+pub const CHECKSUM_LEN: usize = 8;
+
+/// Why a checkpoint failed to decode, validate, or hit disk. The single
+/// error type shared by every durable format in the workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer is shorter than the declared layout.
+    Truncated,
+    /// The magic bytes do not match (a foreign file).
+    BadMagic,
+    /// The version is newer than this build understands.
+    UnsupportedVersion(u16),
+    /// The trailing checksum does not match the content (bit rot or a
+    /// partial overwrite).
+    ChecksumMismatch,
+    /// A decoded field is outside its domain (corrupt checkpoint).
+    Corrupt(&'static str),
+    /// The checkpoint was captured under a different configuration than
+    /// the consumer it is being folded into.
+    Mismatch(&'static str),
+    /// An underlying filesystem operation failed.
+    Io(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "checkpoint is truncated"),
+            CodecError::BadMagic => write!(f, "checkpoint has wrong magic bytes (foreign file)"),
+            CodecError::UnsupportedVersion(v) => {
+                write!(f, "checkpoint version {v} is not supported by this build")
+            }
+            CodecError::ChecksumMismatch => {
+                write!(f, "checkpoint checksum mismatch (corrupt file)")
+            }
+            CodecError::Corrupt(what) => write!(f, "checkpoint is corrupt: {what}"),
+            CodecError::Mismatch(what) => {
+                write!(f, "checkpoint does not match this configuration: {what}")
+            }
+            CodecError::Io(e) => write!(f, "checkpoint i/o failed: {e}"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+/// FNV-1a, 64-bit: the workspace's checksum and fingerprint hash. Tiny and
+/// dependency-free; forgeable by construction, so it detects accidents,
+/// not adversaries.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Reads the magic and version of a container without touching the rest,
+/// so decoders can route legacy versions to migration shims before the
+/// full (checksummed) open.
+pub fn sniff_version(bytes: &[u8], magic: &[u8; 4]) -> Result<u16, CodecError> {
+    if bytes.len() >= 4 && &bytes[..4] != magic {
+        return Err(CodecError::BadMagic);
+    }
+    if bytes.len() < 6 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(u16::from_le_bytes([bytes[4], bytes[5]]))
+}
+
+/// Verifies the FNV-1a trailer of a checksummed buffer and returns the
+/// body (everything before the trailer). Legacy (pre-unified-header)
+/// decoders use this to share the trailer check without the fingerprint
+/// field.
+pub fn split_checksummed(bytes: &[u8]) -> Result<&[u8], CodecError> {
+    if bytes.len() < CHECKSUM_LEN {
+        return Err(CodecError::Truncated);
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - CHECKSUM_LEN);
+    let declared = u64::from_le_bytes(trailer.try_into().expect("8-byte trailer"));
+    if fnv1a(body) != declared {
+        return Err(CodecError::ChecksumMismatch);
+    }
+    Ok(body)
+}
+
+/// Builds one container: header eagerly, payload via the `put_*` methods,
+/// checksum appended by [`CodecWriter::finish`].
+#[derive(Debug)]
+pub struct CodecWriter {
+    buf: Vec<u8>,
+}
+
+impl CodecWriter {
+    /// Starts a container with the given magic, format version, and
+    /// configuration fingerprint.
+    pub fn new(magic: &[u8; 4], version: u16, fingerprint: u64) -> Self {
+        Self::with_capacity(magic, version, fingerprint, 0)
+    }
+
+    /// Like [`CodecWriter::new`], pre-reserving `payload` bytes beyond the
+    /// header and trailer.
+    pub fn with_capacity(magic: &[u8; 4], version: u16, fingerprint: u64, payload: usize) -> Self {
+        let mut buf = Vec::with_capacity(HEADER_LEN + payload + CHECKSUM_LEN);
+        buf.extend_from_slice(magic);
+        buf.extend_from_slice(&version.to_le_bytes());
+        buf.extend_from_slice(&fingerprint.to_le_bytes());
+        Self { buf }
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian IEEE-754 `f64` (bit pattern, so NaN
+    /// payloads and signed zeros round-trip exactly).
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends raw bytes with no framing (fixed-width fields).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a length-prefixed frame: `len u32 | len bytes`.
+    ///
+    /// # Panics
+    /// Panics if `bytes` exceeds `u32::MAX` — frames are for per-record
+    /// payloads, which are orders of magnitude smaller.
+    pub fn put_frame(&mut self, bytes: &[u8]) {
+        let len = u32::try_from(bytes.len()).expect("frame exceeds u32::MAX");
+        self.put_u32(len);
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes written so far (header included).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written (never true: the header is eager).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends the FNV-1a trailer over everything written and returns the
+    /// finished container.
+    pub fn finish(mut self) -> Vec<u8> {
+        let sum = fnv1a(&self.buf);
+        self.buf.extend_from_slice(&sum.to_le_bytes());
+        self.buf
+    }
+}
+
+/// Bounds-checked little-endian reads over a container payload (via
+/// [`CodecReader::open`]) or a bare sub-payload (via [`CodecReader::raw`]).
+/// Every failure mode is a typed [`CodecError`], never a panic.
+#[derive(Debug)]
+pub struct CodecReader<'a> {
+    /// The readable region: container payload (header consumed, trailer
+    /// excluded) or the raw slice.
+    bytes: &'a [u8],
+    pos: usize,
+    fingerprint: u64,
+}
+
+impl<'a> CodecReader<'a> {
+    /// Opens a container: verifies the magic, requires exactly `version`
+    /// (legacy versions must be routed to shims via [`sniff_version`]
+    /// *before* calling this), and verifies the checksum trailer before
+    /// exposing any payload byte.
+    pub fn open(bytes: &'a [u8], magic: &[u8; 4], version: u16) -> Result<Self, CodecError> {
+        let got = sniff_version(bytes, magic)?;
+        if got != version {
+            return Err(CodecError::UnsupportedVersion(got));
+        }
+        if bytes.len() < HEADER_LEN + CHECKSUM_LEN {
+            return Err(CodecError::Truncated);
+        }
+        let body = split_checksummed(bytes)?;
+        let fingerprint = u64::from_le_bytes(body[6..HEADER_LEN].try_into().expect("header"));
+        Ok(Self {
+            bytes: &body[HEADER_LEN..],
+            pos: 0,
+            fingerprint,
+        })
+    }
+
+    /// Wraps a bare sub-payload (no header, no checksum) in the same
+    /// bounds-checked reads — for state blobs nested inside a container.
+    pub fn raw(bytes: &'a [u8]) -> Self {
+        Self {
+            bytes,
+            pos: 0,
+            fingerprint: 0,
+        }
+    }
+
+    /// The container's configuration fingerprint (0 for raw readers).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Requires the container's fingerprint to equal `want`; anything else
+    /// is a foreign checkpoint.
+    pub fn expect_fingerprint(&self, want: u64, what: &'static str) -> Result<(), CodecError> {
+        if self.fingerprint != want {
+            return Err(CodecError::Mismatch(what));
+        }
+        Ok(())
+    }
+
+    /// Unread payload bytes.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Takes the next `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(n).ok_or(CodecError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(CodecError::Truncated);
+        }
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Takes an exact-width array.
+    pub fn array<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
+        Ok(self.take(N)?.try_into().expect("exact length"))
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.array::<1>()?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.array()?))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.array()?))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.array()?))
+    }
+
+    /// Reads a little-endian `f64` bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_le_bytes(self.array()?))
+    }
+
+    /// Reads a length-prefixed frame written by [`CodecWriter::put_frame`].
+    pub fn get_frame(&mut self) -> Result<&'a [u8], CodecError> {
+        let len = self.get_u32()? as usize;
+        self.take(len)
+    }
+
+    /// Requires the payload to be fully consumed — trailing bytes mean a
+    /// forged length field or a hand-edited file.
+    pub fn finish(&self) -> Result<(), CodecError> {
+        if self.pos != self.bytes.len() {
+            return Err(CodecError::Corrupt("trailing bytes after payload"));
+        }
+        Ok(())
+    }
+}
+
+/// Durably writes `bytes` to `path`: the content lands in a sibling
+/// `.tmp` file first and is renamed over the destination, so a crash
+/// mid-write never leaves a half-written checkpoint where a valid one
+/// stood.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CodecError> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    fs::write(&tmp, bytes).map_err(|e| CodecError::Io(e.to_string()))?;
+    fs::rename(&tmp, path).map_err(|e| CodecError::Io(e.to_string()))
+}
+
+/// Reads a whole checkpoint file, mapping filesystem failures to
+/// [`CodecError::Io`].
+pub fn read_file(path: &Path) -> Result<Vec<u8>, CodecError> {
+    fs::read(path).map_err(|e| CodecError::Io(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAGIC: &[u8; 4] = b"TEST";
+
+    fn sample() -> Vec<u8> {
+        let mut w = CodecWriter::new(MAGIC, 3, 0xF00D);
+        w.put_u8(7);
+        w.put_u16(300);
+        w.put_u32(70_000);
+        w.put_u64(1 << 40);
+        w.put_f64(-0.0);
+        w.put_frame(b"abc");
+        w.finish()
+    }
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let bytes = sample();
+        let mut r = CodecReader::open(&bytes, MAGIC, 3).unwrap();
+        assert_eq!(r.fingerprint(), 0xF00D);
+        r.expect_fingerprint(0xF00D, "cfg").unwrap();
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u16().unwrap(), 300);
+        assert_eq!(r.get_u32().unwrap(), 70_000);
+        assert_eq!(r.get_u64().unwrap(), 1 << 40);
+        assert_eq!(r.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.get_frame().unwrap(), b"abc");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn open_rejects_foreign_magic_and_versions() {
+        let bytes = sample();
+        assert_eq!(
+            CodecReader::open(&bytes, b"ELSE", 3).err(),
+            Some(CodecError::BadMagic)
+        );
+        assert_eq!(
+            CodecReader::open(&bytes, MAGIC, 2).err(),
+            Some(CodecError::UnsupportedVersion(3))
+        );
+        assert_eq!(sniff_version(&bytes, MAGIC).unwrap(), 3);
+    }
+
+    #[test]
+    fn open_rejects_every_truncation_with_a_typed_error() {
+        let bytes = sample();
+        for cut in 0..bytes.len() {
+            let err = CodecReader::open(&bytes[..cut], MAGIC, 3).unwrap_err();
+            assert!(
+                matches!(err, CodecError::Truncated | CodecError::ChecksumMismatch),
+                "cut {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn checksum_catches_payload_bit_flips() {
+        let bytes = sample();
+        for i in HEADER_LEN..bytes.len() - CHECKSUM_LEN {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x20;
+            assert_eq!(
+                CodecReader::open(&bad, MAGIC, 3).err(),
+                Some(CodecError::ChecksumMismatch),
+                "byte {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_fingerprint_is_a_mismatch() {
+        let bytes = sample();
+        let r = CodecReader::open(&bytes, MAGIC, 3).unwrap();
+        assert_eq!(
+            r.expect_fingerprint(0xBEEF, "seed differs").err(),
+            Some(CodecError::Mismatch("seed differs"))
+        );
+    }
+
+    #[test]
+    fn forged_frame_lengths_never_read_out_of_bounds() {
+        let mut w = CodecWriter::new(MAGIC, 1, 0);
+        w.put_u32(u32::MAX); // frame claiming 4 GiB
+        let bytes = w.finish();
+        let mut r = CodecReader::open(&bytes, MAGIC, 1).unwrap();
+        assert_eq!(r.get_frame().err(), Some(CodecError::Truncated));
+    }
+
+    #[test]
+    fn raw_reader_finish_rejects_trailing_bytes() {
+        let mut r = CodecReader::raw(&[1, 2, 3]);
+        assert_eq!(r.get_u16().unwrap(), 0x0201);
+        assert_eq!(
+            r.finish().err(),
+            Some(CodecError::Corrupt("trailing bytes after payload"))
+        );
+        assert_eq!(r.get_u8().unwrap(), 3);
+        r.finish().unwrap();
+        assert_eq!(r.get_u8().err(), Some(CodecError::Truncated));
+    }
+
+    #[test]
+    fn atomic_write_replaces_previous_content() {
+        let path = std::env::temp_dir().join(format!("ldp_codec_test_{}.bin", std::process::id()));
+        write_atomic(&path, b"first").unwrap();
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(read_file(&path).unwrap(), b"second");
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(read_file(&path), Err(CodecError::Io(_))));
+    }
+}

@@ -27,11 +27,19 @@
 //! All mechanisms expose their exact transition probabilities so tests can
 //! verify the ε-LDP inequality directly on the transition matrix rather
 //! than trusting the algebra.
+//!
+//! Finally, the crate hosts the workspace's single durable-format
+//! substrate: [`codec`], the versioned checkpoint container (magic +
+//! version + fingerprint header, length-prefixed framing, FNV-1a checksum
+//! trailer, atomic file replacement) that `loloha::persist`,
+//! `ldp_ingest::store`, and `ldp_client::store` all encode through. The
+//! normative byte-level spec is `docs/CHECKPOINT_FORMAT.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bitvec;
+pub mod codec;
 pub mod error;
 pub mod estimator;
 pub mod grr;
@@ -41,6 +49,7 @@ pub mod params;
 pub mod ue;
 
 pub use bitvec::BitVec;
+pub use codec::{CodecError, CodecReader, CodecWriter};
 pub use error::ParamError;
 pub use grr::Grr;
 pub use hadamard::{HadamardResponse, HrServer};

@@ -17,6 +17,11 @@
 
 // Parameterization and closed-form theory.
 pub use ldp_primitives::{ParamError, PerturbParams};
+
+// The unified checkpoint codec every durable format encodes through
+// (`ShardStoreError`, `ClientStoreError`, and `loloha::PersistError` are
+// aliases of `CodecError`).
+pub use ldp_primitives::{CodecError, CodecReader, CodecWriter};
 pub use loloha::{optimal_g, LolohaParams};
 
 // Client-side protocol state.
@@ -47,7 +52,7 @@ pub use ldp_ingest::{
 // parallel sanitization and durable client checkpoints.
 pub use ldp_client::{
     ClientCheckpoint, ClientConfig, ClientPool, ClientState, ClientStore, ClientStoreError,
-    ReportBuf,
+    ReportBuf, SaveStats,
 };
 
 // Hashing substrate (LOLOHA's domain reduction needs these at the edges).
