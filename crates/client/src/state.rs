@@ -160,6 +160,7 @@ impl ClientState for LongitudinalUeClient {
         let mut r = CodecReader::raw(bytes);
         let count = u32::from_le_bytes(r.array()?);
         let blocks_per_entry = (self.k() as usize).div_ceil(64);
+        // ldp_lint::allow(D002): min-clamped to u32::MAX first, so the cast is lossless
         let cap = self.k().min(u32::MAX as u64) as u32;
         if count > cap {
             return Err(ClientStoreError::Corrupt("memo entry count exceeds domain"));
@@ -206,6 +207,7 @@ impl ClientState for LgrrClient {
     fn load_state(&mut self, bytes: &[u8]) -> Result<(), ClientStoreError> {
         let mut r = CodecReader::raw(bytes);
         let count = u32::from_le_bytes(r.array()?);
+        // ldp_lint::allow(D002): min-clamped to u32::MAX first, so the cast is lossless
         let cap = self.k().min(u32::MAX as u64) as u32;
         if count > cap {
             return Err(ClientStoreError::Corrupt("memo entry count exceeds domain"));
@@ -351,8 +353,8 @@ impl ClientState for DBitState {
             None => out.push(0),
         }
         let (any_change, missed) = self.track.flags();
-        out.push(any_change as u8);
-        out.push(missed as u8);
+        out.push(u8::from(any_change));
+        out.push(u8::from(missed));
     }
 
     fn load_state(&mut self, bytes: &[u8]) -> Result<(), ClientStoreError> {
@@ -364,6 +366,7 @@ impl ClientState for DBitState {
         // sampled buckets" — which is only reachable when d < b (with
         // every bucket sampled no value can miss them all), so a legal
         // file can never carry it then.
+        // ldp_lint::allow(D002): d ≤ b ≤ u32::MAX by construction, the cast is lossless
         let cap = (d as u32 + 1).min(self.client.b());
         if count > cap {
             return Err(ClientStoreError::Corrupt(
@@ -406,8 +409,8 @@ impl ClientState for DBitState {
                 .client
                 .sampled()
                 .binary_search(&bucket)
-                .map(|l| l as u32)
-                .unwrap_or(d as u32);
+                .map(|l| l as u32) // ldp_lint::allow(D002): index into d ≤ u32::MAX entries
+                .unwrap_or(d as u32); // ldp_lint::allow(D002): d ≤ b ≤ u32::MAX by construction
             match self.client.memo_entries().find(|&(c, _)| c == class) {
                 Some((_, memo_bits)) if *memo_bits == prev_bits => {}
                 _ => {

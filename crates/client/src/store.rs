@@ -106,19 +106,21 @@ impl CheckpointMeta {
     pub fn fingerprint(&self) -> u64 {
         codec::fnv1a(&self.encode())
     }
-}
 
-fn read_meta(r: &mut CodecReader<'_>) -> Result<CheckpointMeta, ClientStoreError> {
-    Ok(CheckpointMeta {
-        method_tag: r.get_u8()?,
-        k: r.get_u64()?,
-        g: r.get_u32()?,
-        b: r.get_u32()?,
-        d: r.get_u32()?,
-        eps_inf: r.get_f64()?,
-        eps_first: r.get_f64()?,
-        seed: r.get_u64()?,
-    })
+    /// Reads the meta block back — the field-for-field mirror of
+    /// [`CheckpointMeta::encode`].
+    fn decode(r: &mut CodecReader<'_>) -> Result<CheckpointMeta, ClientStoreError> {
+        Ok(CheckpointMeta {
+            method_tag: r.get_u8()?,
+            k: r.get_u64()?,
+            g: r.get_u32()?,
+            b: r.get_u32()?,
+            d: r.get_u32()?,
+            eps_inf: r.get_f64()?,
+            eps_first: r.get_f64()?,
+            seed: r.get_u64()?,
+        })
+    }
 }
 
 /// One user's captured state: the RNG stream position plus the protocol's
@@ -224,7 +226,7 @@ fn decode_body(
     r: &mut CodecReader<'_>,
     fingerprint_to_check: Option<u64>,
 ) -> Result<ClientCheckpoint, ClientStoreError> {
-    let meta = read_meta(r)?;
+    let meta = CheckpointMeta::decode(r)?;
     if let Some(fp) = fingerprint_to_check {
         if fp != meta.fingerprint() {
             return Err(ClientStoreError::Mismatch(
@@ -360,6 +362,14 @@ impl ClientStore {
         Ok(stats)
     }
 
+    /// Loads the checkpoint and folds it into `pool` — the read-side
+    /// counterpart of [`ClientStore::save_pool`]. Equivalent to
+    /// [`ClientStore::load`] followed by
+    /// [`ClientPool::restore`](crate::ClientPool::restore).
+    pub fn load_pool(&self, pool: &mut ClientPool) -> Result<(), ClientStoreError> {
+        pool.restore(&self.load()?)
+    }
+
     /// The chunked-mode write path: encodes dirty segments to
     /// content-addressed files, reuses the previous manifest's entries for
     /// clean ones, swaps the manifest in atomically, then garbage-collects
@@ -368,6 +378,7 @@ impl ClientStore {
     /// `record` is only invoked for users inside segments that actually
     /// get rewritten, which is what keeps an incremental save's encode
     /// cost O(changed users), not O(users).
+    // ldp_lint::allow(C002): read path is split across load_manifest/load_segment
     fn save_segments(
         &self,
         meta: &CheckpointMeta,
@@ -407,9 +418,9 @@ impl ClientStore {
                 }
             }
             let mut w = CodecWriter::new(SEGMENT_MAGIC, SEGMENT_VERSION, fp);
-            w.put_u32(i as u32);
+            w.put_u32(u32::try_from(i).expect("segment index fits u32"));
             w.put_u64((i * chunk) as u64);
-            w.put_u32(range.len() as u32);
+            w.put_u32(u32::try_from(range.len()).expect("segment size fits u32"));
             for u in range {
                 put_record(&mut w, &record(u));
             }
@@ -424,7 +435,7 @@ impl ClientStore {
         w.put_bytes(&meta.encode());
         w.put_u64(n as u64);
         w.put_u64(chunk as u64);
-        w.put_u32(total as u32);
+        w.put_u32(u32::try_from(total).expect("segment count fits u32"));
         for &sum in &checksums {
             w.put_u64(sum);
         }
@@ -457,7 +468,7 @@ impl ClientStore {
     fn load_manifest(&self) -> Result<Manifest, ClientStoreError> {
         let bytes = codec::read_file(&self.manifest_path())?;
         let mut r = CodecReader::open(&bytes, MANIFEST_MAGIC, MANIFEST_VERSION)?;
-        let meta = read_meta(&mut r)?;
+        let meta = CheckpointMeta::decode(&mut r)?;
         r.expect_fingerprint(
             meta.fingerprint(),
             "manifest fingerprint disagrees with its configuration",

@@ -210,3 +210,23 @@ fn garbage_collection_leaves_exactly_the_referenced_segments() {
     }
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn load_pool_is_the_read_side_mirror_of_save_pool() {
+    let dir = scratch("load_pool");
+    let store = ClientStore::chunked(&dir, 3);
+    let mut p = pool(Method::BiLoloha, 41, 8);
+    let vals = values(8, 0, 41);
+    let reported = run_round(&mut p, &vals);
+    store.save_pool(&mut p).unwrap();
+
+    // A fresh pool folded from disk carries the same state and produces
+    // the same continued round as the original.
+    let mut resumed = pool(Method::BiLoloha, 41, 8);
+    store.load_pool(&mut resumed).unwrap();
+    assert_eq!(resumed.checkpoint(), p.checkpoint());
+    assert_ne!(reported.len(), 0);
+    let next = values(8, 1, 41);
+    assert_eq!(run_round(&mut resumed, &next), run_round(&mut p, &next));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -72,7 +72,7 @@ pub fn encode_checkpoint(cp: &ShardCheckpoint) -> Vec<u8> {
         8 + 4 + per_shard,
     );
     w.put_u64(cp.dim as u64);
-    w.put_u32(cp.shards.len() as u32);
+    w.put_u32(u32::try_from(cp.shards.len()).expect("shard count fits u32"));
     for shard in &cp.shards {
         w.put_u64(shard.reports);
         w.put_u64(shard.counts.len() as u64);

@@ -1,0 +1,119 @@
+//! Command-line entry point for `ldp_lint`.
+//!
+//! ```text
+//! ldp_lint check [--root DIR] [--format human|json] [--json-out PATH]
+//! ldp_lint snapshot-prelude [--root DIR]
+//! ```
+//!
+//! Exit codes: `0` clean (warnings allowed), `1` at least one
+//! error-level finding, `2` usage or engine failure.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("ldp_lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    let mut root: Option<PathBuf> = None;
+    let mut format = "human".to_string();
+    let mut json_out: Option<PathBuf> = None;
+    let mut i = 1usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                root = Some(PathBuf::from(take_value(args, &mut i)?));
+            }
+            "--format" => {
+                format = take_value(args, &mut i)?;
+                if format != "human" && format != "json" {
+                    return Err(format!("unknown format `{format}` (human|json)"));
+                }
+            }
+            "--json-out" => {
+                json_out = Some(PathBuf::from(take_value(args, &mut i)?));
+            }
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+        i += 1;
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            ldp_lint::discover_root(&cwd)
+                .ok_or("no workspace Cargo.toml above the current directory; pass --root")?
+        }
+    };
+
+    match cmd.as_str() {
+        "check" => {
+            let report = ldp_lint::run_check(&root).map_err(|e| e.to_string())?;
+            if let Some(path) = &json_out {
+                std::fs::write(path, report.render_json())
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+            }
+            match format.as_str() {
+                "json" => print!("{}", report.render_json()),
+                _ => print!("{}", report.render_human()),
+            }
+            Ok(if report.failed() {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            })
+        }
+        "snapshot-prelude" => {
+            let surface = ldp_lint::prelude_surface_of(&root).map_err(|e| e.to_string())?;
+            if surface.is_empty() {
+                return Err(format!(
+                    "{} not found or exports nothing",
+                    ldp_lint::rules::compat::PRELUDE_SRC
+                ));
+            }
+            let path = root.join(ldp_lint::rules::compat::PRELUDE_SNAPSHOT);
+            let mut text = String::from(
+                "# The pinned public surface of `loloha_suite::prelude` (rule C003).\n\
+                 # One re-exported name per line. Regenerate deliberately with\n\
+                 # `cargo run -p ldp_lint -- snapshot-prelude` when the surface changes.\n",
+            );
+            for name in &surface {
+                text.push_str(name);
+                text.push('\n');
+            }
+            std::fs::write(&path, text).map_err(|e| format!("{}: {e}", path.display()))?;
+            println!(
+                "pinned {} prelude names to {}",
+                surface.len(),
+                path.display()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn take_value(args: &[String], i: &mut usize) -> Result<String, String> {
+    let flag = args[*i].clone();
+    *i += 1;
+    args.get(*i)
+        .cloned()
+        .ok_or_else(|| format!("`{flag}` needs a value"))
+}
+
+fn usage() -> String {
+    "usage: ldp_lint <check|snapshot-prelude> [--root DIR] [--format human|json] \
+     [--json-out PATH]"
+        .to_string()
+}

@@ -1,0 +1,269 @@
+//! Findings, severities, suppression accounting, and output rendering.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Finding severity. `Error` findings fail the check; `Warn` findings
+/// are reported but do not affect the exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warn,
+    Error,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One finding: rule, location, message.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub severity: Severity,
+    /// Path relative to the scan root, forward slashes.
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+}
+
+/// One applied (or stale) suppression, for the allowlist-drift summary.
+#[derive(Debug, Clone)]
+pub struct AppliedAllow {
+    pub rule: String,
+    pub file: String,
+    pub line: u32,
+    pub reason: String,
+    /// How many findings this annotation suppressed (0 = stale).
+    pub suppressed: usize,
+}
+
+/// The result of one full check run.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub allows: Vec<AppliedAllow>,
+    /// Files scanned, for the summary line.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    pub fn error_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+
+    pub fn warn_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warn)
+            .count()
+    }
+
+    /// Whether the check should fail (any error-level finding).
+    pub fn failed(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// Deterministic ordering: file, then line, then rule.
+    pub fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        self.allows
+            .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    }
+
+    /// Human-readable rendering.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(
+                out,
+                "{}: [{}] {}:{}: {}",
+                f.severity.as_str(),
+                f.rule,
+                f.file,
+                f.line,
+                f.message
+            );
+        }
+        let active: Vec<&AppliedAllow> = self.allows.iter().filter(|a| a.suppressed > 0).collect();
+        if !active.is_empty() {
+            let _ = writeln!(out, "\nsuppressions in effect ({}):", active.len());
+            for a in &active {
+                let _ = writeln!(
+                    out,
+                    "  [{}] {}:{} ({} finding{}): {}",
+                    a.rule,
+                    a.file,
+                    a.line,
+                    a.suppressed,
+                    if a.suppressed == 1 { "" } else { "s" },
+                    a.reason
+                );
+            }
+        }
+        let rules_hit: BTreeSet<&str> = self.findings.iter().map(|f| f.rule).collect();
+        let _ = writeln!(
+            out,
+            "\n{} file{} scanned: {} error{}, {} warning{}{}",
+            self.files_scanned,
+            if self.files_scanned == 1 { "" } else { "s" },
+            self.error_count(),
+            if self.error_count() == 1 { "" } else { "s" },
+            self.warn_count(),
+            if self.warn_count() == 1 { "" } else { "s" },
+            if rules_hit.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    " ({})",
+                    rules_hit.into_iter().collect::<Vec<_>>().join(", ")
+                )
+            }
+        );
+        out
+    }
+
+    /// Machine-readable rendering: one JSON object, findings and
+    /// suppressions as arrays. Hand-rolled serialization (no deps); every
+    /// string passes through [`json_escape`].
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"rule\": \"{}\", \"severity\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+                if i == 0 { "" } else { "," },
+                f.rule,
+                f.severity.as_str(),
+                json_escape(&f.file),
+                f.line,
+                json_escape(&f.message)
+            );
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"suppressions\": [");
+        for (i, a) in self.allows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"suppressed\": {}, \"reason\": \"{}\"}}",
+                if i == 0 { "" } else { "," },
+                json_escape(&a.rule),
+                json_escape(&a.file),
+                a.line,
+                a.suppressed,
+                json_escape(&a.reason)
+            );
+        }
+        if !self.allows.is_empty() {
+            out.push_str("\n  ");
+        }
+        let _ = write!(
+            out,
+            "],\n  \"files_scanned\": {},\n  \"errors\": {},\n  \"warnings\": {}\n}}\n",
+            self.files_scanned,
+            self.error_count(),
+            self.warn_count()
+        );
+        out
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            findings: vec![
+                Finding {
+                    rule: "P001",
+                    severity: Severity::Error,
+                    file: "crates/core/src/lib.rs".into(),
+                    line: 10,
+                    message: "ambient entropy: `thread_rng`".into(),
+                },
+                Finding {
+                    rule: "L001",
+                    severity: Severity::Warn,
+                    file: "crates/a/src/lib.rs".into(),
+                    line: 3,
+                    message: "panic on decode path".into(),
+                },
+            ],
+            allows: vec![AppliedAllow {
+                rule: "D002".into(),
+                file: "crates/client/src/state.rs".into(),
+                line: 7,
+                reason: "clamped".into(),
+                suppressed: 1,
+            }],
+            files_scanned: 2,
+        }
+    }
+
+    #[test]
+    fn sort_orders_by_file_then_line() {
+        let mut r = sample();
+        r.sort();
+        assert_eq!(r.findings[0].rule, "L001");
+        assert_eq!(r.findings[1].rule, "P001");
+    }
+
+    #[test]
+    fn counts_and_failure() {
+        let r = sample();
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warn_count(), 1);
+        assert!(r.failed());
+        assert!(!Report::default().failed());
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let mut r = sample();
+        r.findings[0].message = "quote \" and \\ back".into();
+        let j = r.render_json();
+        assert!(j.contains("quote \\\" and \\\\ back"));
+        assert!(j.contains("\"errors\": 1"));
+        // Balanced braces/brackets as a cheap structural check.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn human_output_lists_suppressions() {
+        let h = sample().render_human();
+        assert!(h.contains("error: [P001]"));
+        assert!(h.contains("suppressions in effect (1):"));
+        assert!(h.contains("clamped"));
+    }
+}

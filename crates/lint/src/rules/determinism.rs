@@ -1,0 +1,385 @@
+//! D-series: determinism rules.
+//!
+//! Checkpoint bytes and merge results must be functions of logical
+//! state, never of allocator or hash-seed accidents: iterating a
+//! `HashMap`/`HashSet` while encoding produces order-dependent bytes,
+//! and a truncating `as` cast silently corrupts wide values instead of
+//! failing loudly.
+
+use crate::report::{Finding, Severity};
+use crate::scan::{FnItem, SourceFile};
+use crate::tokenize::{TokKind, Token};
+use std::collections::BTreeMap;
+
+/// Fn-name prefixes that put a body in encode/merge scope for D001.
+const D001_PREFIXES: &[&str] = &["encode", "save", "merge", "snapshot", "checkpoint"];
+/// Additional exact fn names in D001 scope.
+const D001_EXACT: &[&str] = &["finish_round"];
+
+/// Fn-name prefixes that put a body in codec scope for D002.
+const D002_PREFIXES: &[&str] = &[
+    "encode_", "decode_", "save_", "load_", "put_", "get_", "read_", "write_", "sniff", "split",
+    "open",
+];
+
+/// Casts to these targets can truncate; wider or platform-width targets
+/// (`u64`, `usize`, `f64`, …) cannot lose value bits from our sources.
+const NARROW_TARGETS: &[(&str, u8)] = &[
+    ("u8", 1),
+    ("i8", 1),
+    ("u16", 2),
+    ("i16", 2),
+    ("u32", 4),
+    ("i32", 4),
+];
+
+/// Unordered-iteration methods on HashMap/HashSet.
+const UNORDERED_ITERS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+fn in_d001_scope(f: &FnItem) -> bool {
+    D001_PREFIXES.iter().any(|p| f.name.starts_with(p)) || D001_EXACT.iter().any(|e| f.name == *e)
+}
+
+fn in_d002_scope(f: &FnItem, tokens: &[Token]) -> bool {
+    D002_PREFIXES.iter().any(|p| f.name.starts_with(p))
+        || tokens[f.body.0..f.body.1]
+            .iter()
+            .any(|t| t.is_ident("CodecReader") || t.is_ident("CodecWriter"))
+}
+
+/// D001: HashMap/HashSet iteration in an encode/merge path.
+pub fn d001(file: &SourceFile, out: &mut Vec<Finding>) {
+    for f in file.fns.iter().filter(|f| in_d001_scope(f)) {
+        let body = &file.tokens[f.body.0..f.body.1];
+        let unordered = unordered_bindings(body);
+        if unordered.is_empty() {
+            continue;
+        }
+        let mut i = 0usize;
+        while i < body.len() {
+            let t = &body[i];
+            // `name.iter()` / `name.drain()` / …
+            if t.kind == TokKind::Ident
+                && unordered.contains_key(t.text.as_str())
+                && body.get(i + 1).is_some_and(|n| n.is_punct('.'))
+                && body
+                    .get(i + 2)
+                    .is_some_and(|m| UNORDERED_ITERS.iter().any(|u| m.is_ident(u)))
+            {
+                out.push(Finding {
+                    rule: "D001",
+                    severity: Severity::Error,
+                    file: file.rel.clone(),
+                    line: t.line,
+                    message: format!(
+                        "`{}.{}()` iterates an unordered collection inside `{}`; encode/merge \
+                         paths must use an ordered container or sort first",
+                        t.text,
+                        body[i + 2].text,
+                        f.name
+                    ),
+                });
+                i += 3;
+                continue;
+            }
+            // `for pat in [&[mut]] name { … }`
+            if t.is_ident("for") {
+                if let Some(j) = body[i..].iter().position(|x| x.is_ident("in")) {
+                    let mut k = i + j + 1;
+                    while k < body.len() && !body[k].is_punct('{') {
+                        let x = &body[k];
+                        if x.kind == TokKind::Ident && unordered.contains_key(x.text.as_str()) {
+                            // A method call on the binding (`.iter()` etc.)
+                            // is caught above; a bare `in name` is caught
+                            // here.
+                            let bare = !body.get(k + 1).is_some_and(|n| n.is_punct('.'));
+                            if bare {
+                                out.push(Finding {
+                                    rule: "D001",
+                                    severity: Severity::Error,
+                                    file: file.rel.clone(),
+                                    line: x.line,
+                                    message: format!(
+                                        "`for … in {}` iterates an unordered collection inside \
+                                         `{}`; encode/merge paths must use an ordered container \
+                                         or sort first",
+                                        x.text, f.name
+                                    ),
+                                });
+                            }
+                        }
+                        k += 1;
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Local bindings whose initializer or type mentions HashMap/HashSet.
+/// Value is the binding line (unused beyond debugging).
+fn unordered_bindings(body: &[Token]) -> BTreeMap<&str, u32> {
+    let mut map = BTreeMap::new();
+    let mut i = 0usize;
+    while i < body.len() {
+        if body[i].is_ident("let") {
+            let mut j = i + 1;
+            if body.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            if let Some(name) = body.get(j).filter(|t| t.kind == TokKind::Ident) {
+                // Scan the statement to its `;` (brace-balanced).
+                let mut depth = 0isize;
+                let mut k = j + 1;
+                let mut unordered = false;
+                while k < body.len() {
+                    let t = &body[k];
+                    if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+                        depth += 1;
+                    } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+                        depth -= 1;
+                    } else if t.is_punct(';') && depth <= 0 {
+                        break;
+                    } else if t.is_ident("HashMap") || t.is_ident("HashSet") {
+                        unordered = true;
+                    }
+                    k += 1;
+                }
+                if unordered {
+                    map.insert(name.text.as_str(), name.line);
+                }
+                i = k;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    map
+}
+
+/// D002: truncating `as` casts on codec paths.
+///
+/// A cast `x as <narrow>` is skipped only when the micro-inference can
+/// *prove* it widening: `x` is a local bound from `get_u8`/`get_u16`/
+/// `get_u32`/`from_le_bytes` (or explicitly annotated) with a width no
+/// larger than the target, or `x` is a literal.
+pub fn d002(file: &SourceFile, out: &mut Vec<Finding>) {
+    for f in &file.fns {
+        if !in_d002_scope(f, &file.tokens) {
+            continue;
+        }
+        let body = &file.tokens[f.body.0..f.body.1];
+        let widths = known_widths(body);
+        let mut i = 1usize;
+        while i + 1 < body.len() {
+            if body[i].is_ident("as") {
+                if let Some(&(_, target)) =
+                    NARROW_TARGETS.iter().find(|(n, _)| body[i + 1].is_ident(n))
+                {
+                    let src = &body[i - 1];
+                    let proven_ok = match src.kind {
+                        TokKind::Literal => true,
+                        TokKind::Ident => {
+                            // A bare local (not a field access `x.y as …`).
+                            let bare = !body
+                                .get(i.wrapping_sub(2))
+                                .is_some_and(|p| p.is_punct('.') || p.is_punct(')'));
+                            bare && widths.get(src.text.as_str()).is_some_and(|&w| w <= target)
+                        }
+                        _ => false,
+                    };
+                    if !proven_ok {
+                        out.push(Finding {
+                            rule: "D002",
+                            severity: Severity::Error,
+                            file: file.rel.clone(),
+                            line: body[i].line,
+                            message: format!(
+                                "`{} as {}` in `{}` can truncate; use `{}::try_from` (or prove \
+                                 the width and allow)",
+                                src.text,
+                                body[i + 1].text,
+                                f.name,
+                                body[i + 1].text
+                            ),
+                        });
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Micro type-inference: widths (in bytes) of local bindings whose
+/// source width is knowable from the initializer or an annotation.
+fn known_widths(body: &[Token]) -> BTreeMap<&str, u8> {
+    let mut map: BTreeMap<&str, u8> = BTreeMap::new();
+    let mut i = 0usize;
+    while i < body.len() {
+        if body[i].is_ident("let") {
+            let mut j = i + 1;
+            if body.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            let Some(name) = body.get(j).filter(|t| t.kind == TokKind::Ident) else {
+                i += 1;
+                continue;
+            };
+            // Statement extent (brace-balanced, to `;`).
+            let mut depth = 0isize;
+            let mut k = j + 1;
+            let mut width: Option<u8> = None;
+            while k < body.len() {
+                let t = &body[k];
+                if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+                    depth -= 1;
+                } else if t.is_punct(';') && depth <= 0 {
+                    break;
+                } else if t.kind == TokKind::Ident {
+                    let w = match t.text.as_str() {
+                        "get_u8" => Some(1),
+                        "get_u16" => Some(2),
+                        "get_u32" => Some(4),
+                        "get_u64" => Some(8),
+                        "u8" => Some(1),
+                        "u16" => Some(2),
+                        "u32" => Some(4),
+                        "u64" => Some(8),
+                        _ => None,
+                    };
+                    // First width evidence wins (`let x: u16 = …` or
+                    // `let x = r.get_u16()?`); later arithmetic like
+                    // `* 4u64` must not override it.
+                    if width.is_none() {
+                        width = w;
+                    }
+                }
+                k += 1;
+            }
+            // Rebinding with unknown width shadows any earlier knowledge.
+            match width {
+                Some(w) => {
+                    map.insert(name.text.as_str(), w);
+                }
+                None => {
+                    map.remove(name.text.as_str());
+                }
+            }
+            i = k;
+            continue;
+        }
+        i += 1;
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_source;
+
+    fn run(src: &str, rule: fn(&SourceFile, &mut Vec<Finding>)) -> Vec<Finding> {
+        let f = scan_source("crates/x/src/lib.rs", src, &["D001", "D002"]);
+        let mut out = Vec::new();
+        rule(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn d001_flags_hashmap_iteration_in_encode_scope() {
+        let bad = "
+            fn encode_checkpoint(&self) {
+                let m = HashMap::new();
+                for (k, v) in m.iter() { w.put_u64(*v); }
+            }
+        ";
+        let bad_bare = "
+            fn save(&self) {
+                let mut s: HashSet<u64> = HashSet::new();
+                for v in s { w.put_u64(v); }
+            }
+        ";
+        let ok_btree = "
+            fn encode_checkpoint(&self) {
+                let m = BTreeMap::new();
+                for (k, v) in m.iter() { w.put_u64(*v); }
+            }
+        ";
+        let ok_contains = "
+            fn save_segments(&self) {
+                let s = HashSet::new();
+                if s.contains(&1) { work(); }
+            }
+        ";
+        let ok_outside_scope = "
+            fn estimate(&self) {
+                let m = HashMap::new();
+                for v in m.values() { sum += v; }
+            }
+        ";
+        assert_eq!(run(bad, d001).len(), 1);
+        assert_eq!(run(bad_bare, d001).len(), 1);
+        assert!(run(ok_btree, d001).is_empty());
+        assert!(run(ok_contains, d001).is_empty());
+        assert!(run(ok_outside_scope, d001).is_empty());
+    }
+
+    #[test]
+    fn d002_flags_truncation_but_not_proven_widening() {
+        let bad = "
+            fn encode_checkpoint(w: &mut CodecWriter) {
+                w.put_u32(items.len() as u32);
+            }
+        ";
+        let ok_widening = "
+            fn load_client(r: &mut CodecReader) {
+                let sym = r.get_u16()?;
+                if sym as u32 >= g { fail(); }
+            }
+        ";
+        let ok_annotated = "
+            fn decode_body(r: &mut R) {
+                let n: u16 = r.next();
+                let wide = n as u32;
+            }
+        ";
+        let ok_literal = "
+            fn put_header(w: &mut W) {
+                let v = 0xFFFF as u32;
+            }
+        ";
+        let ok_out_of_scope = "
+            fn estimate(&self) { let x = big as u32; }
+        ";
+        assert_eq!(run(bad, d002).len(), 1);
+        assert!(run(ok_widening, d002).is_empty());
+        assert!(run(ok_annotated, d002).is_empty());
+        assert!(run(ok_literal, d002).is_empty());
+        assert!(run(ok_out_of_scope, d002).is_empty());
+    }
+
+    #[test]
+    fn d002_field_access_is_not_proven() {
+        let src = "
+            fn save_state(&self, out: &mut Vec<u8>) {
+                out.push(self.flag as u8);
+            }
+        ";
+        assert_eq!(run(src, d002).len(), 1);
+    }
+}

@@ -1,0 +1,116 @@
+//! L-series: library-hygiene rules (warn level).
+//!
+//! Decode and parse paths are reachable from untrusted bytes on disk; a
+//! panic there turns a corrupt checkpoint into a crash instead of a
+//! typed `CodecError`. L001 holds the line after the audit that
+//! converted the reachable cases.
+
+use crate::report::{Finding, Severity};
+use crate::scan::{FnItem, SourceFile};
+
+/// Fn-name prefixes that mark a body as a decode/parse path.
+const DECODE_PREFIXES: &[&str] = &["load", "decode", "read_", "parse", "open", "sniff", "split"];
+
+/// Impl types whose every method is a decode path.
+const DECODE_TYPES: &[&str] = &["CodecReader"];
+
+fn in_scope(f: &FnItem) -> bool {
+    DECODE_PREFIXES.iter().any(|p| f.name.starts_with(p))
+        || f.impl_type
+            .as_deref()
+            .is_some_and(|t| DECODE_TYPES.contains(&t))
+}
+
+/// L001: `.unwrap()` / `.expect(` / `panic!` / `unreachable!` on a
+/// decode path. `unwrap_or`/`unwrap_or_else` and friends are distinct
+/// identifiers and are never matched.
+pub fn l001(file: &SourceFile, out: &mut Vec<Finding>) {
+    for f in file.fns.iter().filter(|f| in_scope(f)) {
+        let body = &file.tokens[f.body.0..f.body.1];
+        for (i, t) in body.iter().enumerate() {
+            let dot_before = i > 0 && body[i - 1].is_punct('.');
+            let call_after = body.get(i + 1).is_some_and(|n| n.is_punct('('));
+            let bang_after = body.get(i + 1).is_some_and(|n| n.is_punct('!'));
+            let hit: Option<&str> = if dot_before && call_after && t.is_ident("unwrap") {
+                Some(".unwrap()")
+            } else if dot_before && call_after && t.is_ident("expect") {
+                Some(".expect(…)")
+            } else if bang_after && t.is_ident("panic") {
+                Some("panic!")
+            } else if bang_after && t.is_ident("unreachable") {
+                Some("unreachable!")
+            } else {
+                None
+            };
+            if let Some(what) = hit {
+                out.push(Finding {
+                    rule: "L001",
+                    severity: Severity::Warn,
+                    file: file.rel.clone(),
+                    line: t.line,
+                    message: format!(
+                        "`{what}` in `{}` can panic on untrusted input; return a typed error \
+                         (or allow with an infallibility argument)",
+                        f.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_source;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let f = scan_source("crates/x/src/lib.rs", src, &["L001"]);
+        let mut out = Vec::new();
+        l001(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_panics_on_decode_paths_only() {
+        let bad = "
+            fn load_client(bytes: &[u8]) -> State {
+                let n = bytes.first().unwrap();
+                let m = hdr.expect(\"header\");
+                if n > 4 { panic!(\"bad\"); }
+            }
+        ";
+        let ok_scope = "
+            fn estimate(&self) -> f64 { self.cache.unwrap() }
+        ";
+        let ok_variants = "
+            fn decode_body(r: &mut R) -> u64 {
+                r.next().unwrap_or(0);
+                r.next().unwrap_or_else(|| 0)
+            }
+        ";
+        assert_eq!(run(bad).len(), 3);
+        assert!(run(ok_scope).is_empty());
+        assert!(run(ok_variants).is_empty());
+    }
+
+    #[test]
+    fn codec_reader_methods_are_always_in_scope() {
+        let src = "
+            impl CodecReader {
+                fn array(&mut self) -> [u8; 4] {
+                    self.take(4).try_into().expect(\"exact\")
+                }
+            }
+        ";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn finding_has_warn_severity() {
+        let src = "fn parse_row(s: &str) { s.parse::<u64>().unwrap(); }";
+        let out = run(src);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].severity, Severity::Warn);
+    }
+}

@@ -1,0 +1,228 @@
+//! P-series: privacy-flow rules.
+//!
+//! The LDP guarantee holds only if (a) no privacy-bearing crate can
+//! reach ambient entropy or the wall clock, (b) every
+//! `ClientState::report_into` draws randomness exclusively from the
+//! per-user stream handed to it, and (c) a user's raw value reaches the
+//! report buffer only through a sanitizer call, never verbatim.
+
+use crate::report::{Finding, Severity};
+use crate::rules::crate_of;
+use crate::scan::SourceFile;
+
+/// Crates in which P001 bans ambient entropy outright.
+const PRIVACY_CRATES: &[&str] = &["core", "client", "hash", "primitives"];
+
+/// Identifiers that smuggle nondeterminism or wall-clock state into a
+/// privacy-bearing crate.
+const AMBIENT_SOURCES: &[&str] = &[
+    "thread_rng",
+    "from_entropy",
+    "OsRng",
+    "getrandom",
+    "SystemTime",
+    "UNIX_EPOCH",
+    "Instant",
+];
+
+/// RNG constructors that would give `report_into` a stream other than
+/// the per-user one it was handed.
+const RNG_CONSTRUCTORS: &[&str] = &[
+    "derive_rng",
+    "derive_rng2",
+    "seed_from_u64",
+    "from_seed",
+    "from_rng",
+    "from_entropy",
+    "thread_rng",
+    "OsRng",
+    "StdRng",
+    "SmallRng",
+];
+
+/// Module prefixes whose `report_into` impls are registered sanitizers:
+/// the protocol crates that implement the actual perturbation are
+/// allowed to touch the raw value; glue crates are not.
+const SANITIZER_MODULES: &[&str] = &[
+    "crates/primitives/src/",
+    "crates/longitudinal/src/",
+    "crates/core/src/",
+];
+
+/// P001: ambient entropy / wall clock in a privacy-bearing crate.
+pub fn p001(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !crate_of(&file.rel).is_some_and(|c| PRIVACY_CRATES.contains(&c)) {
+        return;
+    }
+    for t in &file.tokens {
+        if AMBIENT_SOURCES.iter().any(|s| t.is_ident(s)) {
+            out.push(Finding {
+                rule: "P001",
+                severity: Severity::Error,
+                file: file.rel.clone(),
+                line: t.line,
+                message: format!(
+                    "`{}` is an ambient entropy/clock source; privacy-bearing crates must be \
+                     deterministic functions of their seeded inputs",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// P002: `report_into` constructing its own RNG.
+pub fn p002(file: &SourceFile, out: &mut Vec<Finding>) {
+    for f in report_into_impls(file) {
+        for t in &file.tokens[f.0..f.1] {
+            if RNG_CONSTRUCTORS.iter().any(|s| t.is_ident(s)) {
+                out.push(Finding {
+                    rule: "P002",
+                    severity: Severity::Error,
+                    file: file.rel.clone(),
+                    line: t.line,
+                    message: format!(
+                        "`{}` constructs a randomness stream inside `report_into`; reports must \
+                         be driven only by the per-user rng parameter",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// P003: raw value identifier written directly into the report buffer.
+///
+/// Inside a non-sanitizer `report_into`, the first value parameter may
+/// appear in `.push(…)`/`.extend(…)` arguments only *nested* inside
+/// another call (i.e. after a sanitizer has transformed it) — never at
+/// the argument list's top level.
+pub fn p003(file: &SourceFile, out: &mut Vec<Finding>) {
+    if SANITIZER_MODULES.iter().any(|m| file.rel.starts_with(m)) {
+        return;
+    }
+    let sinks = ["push", "extend", "extend_from_slice"];
+    for (start, end, value) in report_into_value_params(file) {
+        let toks = &file.tokens[start..end];
+        let mut i = 0usize;
+        while i + 1 < toks.len() {
+            let is_sink_call = toks[i].is_punct('.')
+                && sinks.iter().any(|s| toks[i + 1].is_ident(s))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct('('));
+            if is_sink_call {
+                // Walk the argument list; depth 1 = top level of the args.
+                let mut depth = 0isize;
+                let mut j = i + 2;
+                while j < toks.len() {
+                    let t = &toks[j];
+                    if t.is_punct('(') || t.is_punct('[') {
+                        depth += 1;
+                    } else if t.is_punct(')') || t.is_punct(']') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else if depth == 1 && t.is_ident(&value) {
+                        out.push(Finding {
+                            rule: "P003",
+                            severity: Severity::Error,
+                            file: file.rel.clone(),
+                            line: t.line,
+                            message: format!(
+                                "raw input `{value}` written into the report buffer without a \
+                                 sanitizer call around it"
+                            ),
+                        });
+                    }
+                    j += 1;
+                }
+                i = j;
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Body ranges of every `ClientState::report_into` impl in the file.
+fn report_into_impls(file: &SourceFile) -> Vec<(usize, usize)> {
+    file.fns
+        .iter()
+        .filter(|f| f.name == "report_into" && f.impl_trait.as_deref() == Some("ClientState"))
+        .map(|f| f.body)
+        .collect()
+}
+
+/// `(body_start, body_end, value_param_name)` for each `report_into`.
+fn report_into_value_params(file: &SourceFile) -> Vec<(usize, usize, String)> {
+    file.fns
+        .iter()
+        .filter(|f| f.name == "report_into" && f.impl_trait.as_deref() == Some("ClientState"))
+        .filter_map(|f| f.params.first().map(|v| (f.body.0, f.body.1, v.clone())))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_source;
+
+    fn run(rel: &str, src: &str, rule: fn(&SourceFile, &mut Vec<Finding>)) -> Vec<Finding> {
+        let f = scan_source(rel, src, &["P001", "P002", "P003"]);
+        let mut out = Vec::new();
+        rule(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn p001_flags_only_privacy_crates() {
+        let src = "fn f() { let r = thread_rng(); }";
+        assert_eq!(run("crates/core/src/lib.rs", src, p001).len(), 1);
+        assert_eq!(run("crates/hash/src/lib.rs", src, p001).len(), 1);
+        assert!(run("crates/sim/src/lib.rs", src, p001).is_empty());
+        assert!(run("src/prelude.rs", src, p001).is_empty());
+    }
+
+    #[test]
+    fn p002_scopes_to_client_state_report_into() {
+        let bad = "
+            impl ClientState for S {
+                fn report_into(&mut self, value: u64, rng: &mut R, out: &mut ReportBuf) {
+                    let mine = derive_rng(self.seed, 0);
+                }
+            }
+        ";
+        let ok = "
+            impl ClientState for S {
+                fn report_into(&mut self, value: u64, rng: &mut R, out: &mut ReportBuf) {
+                    out.push(self.report(value, rng) as usize);
+                }
+            }
+            fn elsewhere() { let r = derive_rng(1, 2); }
+        ";
+        assert_eq!(run("crates/x/src/lib.rs", bad, p002).len(), 1);
+        assert!(run("crates/x/src/lib.rs", ok, p002).is_empty());
+    }
+
+    #[test]
+    fn p003_flags_top_level_value_but_not_nested() {
+        let bad = "
+            impl ClientState for S {
+                fn report_into(&mut self, value: u64, rng: &mut R, out: &mut ReportBuf) {
+                    out.push(value as usize);
+                }
+            }
+        ";
+        let ok = "
+            impl ClientState for S {
+                fn report_into(&mut self, value: u64, rng: &mut R, out: &mut ReportBuf) {
+                    out.push(self.report(value, rng) as usize);
+                }
+            }
+        ";
+        assert_eq!(run("crates/client/src/state.rs", bad, p003).len(), 1);
+        assert!(run("crates/client/src/state.rs", ok, p003).is_empty());
+        // Registered sanitizer modules are exempt.
+        assert!(run("crates/longitudinal/src/lue.rs", bad, p003).is_empty());
+    }
+}

@@ -1,0 +1,548 @@
+//! Lightweight item/scope scanner over the token stream.
+//!
+//! Extracts exactly the structure the rules need — functions (with their
+//! impl context and body extent), 4-byte-magic constants, and inline
+//! suppression comments — without attempting to parse Rust. `#[cfg(test)]
+//! mod` subtrees are stripped before anything else runs: test code may
+//! legitimately use ambient entropy, unwrap, and unordered maps.
+
+use crate::tokenize::{lex, Comment, Lexed, TokKind, Token};
+
+/// A function item: enough context to scope every body-level rule.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    pub line: u32,
+    /// `impl Trait for Type` context, if the fn lives in one.
+    pub impl_trait: Option<String>,
+    /// `impl Type` / `impl Trait for Type` — the Self type name.
+    pub impl_type: Option<String>,
+    /// Parameter names in order, `self` excluded.
+    pub params: Vec<String>,
+    /// Token index range of the body, *exclusive* of the outer braces.
+    pub body: (usize, usize),
+}
+
+/// A `const NAME: &[u8; 4] = b"XXXX";` item (magic constants for C001).
+#[derive(Debug, Clone)]
+pub struct MagicConst {
+    pub name: String,
+    /// The four ASCII characters inside the byte-string literal.
+    pub value: String,
+    pub line: u32,
+}
+
+/// A `const NAME: u16 = N;` item (version constants for C001).
+#[derive(Debug, Clone)]
+pub struct VersionConst {
+    pub name: String,
+    pub value: u16,
+    pub line: u32,
+}
+
+/// One parsed suppression comment.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    pub rule: String,
+    pub reason: String,
+    /// Line the comment sits on; it suppresses findings on this line or
+    /// the next code line below it.
+    pub line: u32,
+}
+
+/// One scanned source file.
+pub struct SourceFile {
+    /// Path relative to the scan root, with forward slashes.
+    pub rel: String,
+    pub tokens: Vec<Token>,
+    pub fns: Vec<FnItem>,
+    pub magics: Vec<MagicConst>,
+    pub versions: Vec<VersionConst>,
+    pub allows: Vec<Allow>,
+    /// Lines that carry at least one non-comment token (for resolving
+    /// which code line an allow comment anchors to).
+    pub code_lines: Vec<u32>,
+}
+
+/// The suppression marker. Built with `concat!` so this file never
+/// matches its own definition when the lint scans itself.
+const ALLOW_MARKER: &str = concat!("ldp_lint::", "allow(");
+
+/// Scans one file's source text. `registered` is the set of known rule
+/// IDs: a marker naming an unknown-but-well-formed ID is surfaced via
+/// [`Allow`] with its rule kept, so A001 can flag it; text that does not
+/// look like a rule ID at all (e.g. the `RULE_ID` placeholder in docs)
+/// is ignored entirely.
+pub fn scan_source(rel: &str, src: &str, registered: &[&str]) -> SourceFile {
+    let Lexed { tokens, comments } = lex(src);
+    let tokens = strip_test_mods(tokens);
+    let allows = collect_allows(&comments, registered);
+    let mut code_lines: Vec<u32> = tokens.iter().map(|t| t.line).collect();
+    code_lines.dedup();
+
+    let mut file = SourceFile {
+        rel: rel.to_string(),
+        fns: Vec::new(),
+        magics: Vec::new(),
+        versions: Vec::new(),
+        allows,
+        code_lines,
+        tokens,
+    };
+    collect_items(&mut file);
+    file
+}
+
+/// Removes every `#[cfg(test)] mod name { … }` subtree from the stream.
+fn strip_test_mods(tokens: Vec<Token>) -> Vec<Token> {
+    let mut keep = vec![true; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // `#` `[` cfg `(` test `)` `]` … mod
+        if tokens[i].is_punct('#')
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+            && tokens.get(i + 2).is_some_and(|t| t.is_ident("cfg"))
+            && tokens.get(i + 3).is_some_and(|t| t.is_punct('('))
+            && tokens.get(i + 4).is_some_and(|t| t.is_ident("test"))
+            && tokens.get(i + 5).is_some_and(|t| t.is_punct(')'))
+            && tokens.get(i + 6).is_some_and(|t| t.is_punct(']'))
+        {
+            // Skip any further attributes between the cfg and the item.
+            let mut j = i + 7;
+            while tokens.get(j).is_some_and(|t| t.is_punct('#')) {
+                j = skip_attr(&tokens, j);
+            }
+            if tokens.get(j).is_some_and(|t| t.is_ident("mod")) {
+                // Find the opening brace, then its match.
+                let mut k = j;
+                while k < tokens.len() && !tokens[k].is_punct('{') && !tokens[k].is_punct(';') {
+                    k += 1;
+                }
+                if tokens.get(k).is_some_and(|t| t.is_punct('{')) {
+                    let end = match_brace(&tokens, k);
+                    for slot in keep.iter_mut().take(end + 1).skip(i) {
+                        *slot = false;
+                    }
+                    i = end + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    tokens
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(t, k)| k.then_some(t))
+        .collect()
+}
+
+/// Given `tokens[open]` == `{`, returns the index of the matching `}`
+/// (or the last index if unbalanced).
+pub fn match_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Given `tokens[at]` == `#`, returns the index one past the attribute.
+fn skip_attr(tokens: &[Token], at: usize) -> usize {
+    let mut i = at + 1;
+    if tokens.get(i).is_some_and(|t| t.is_punct('[')) {
+        let mut depth = 0usize;
+        while i < tokens.len() {
+            if tokens[i].is_punct('[') {
+                depth += 1;
+            } else if tokens[i].is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Extracts fn items (with impl context), magic constants, and version
+/// constants from the stripped stream.
+fn collect_items(file: &mut SourceFile) {
+    let tokens = &file.tokens.clone();
+    // Impl-context stack entries: (trait name, type name, close index).
+    let mut impls: Vec<(Option<String>, Option<String>, usize)> = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        impls.retain(|&(_, _, close)| i <= close);
+        let t = &tokens[i];
+        if t.is_ident("impl") {
+            if let Some((tr, ty, open)) = parse_impl_header(tokens, i) {
+                let close = match_brace(tokens, open);
+                impls.push((tr, ty, close));
+                i = open + 1;
+                continue;
+            }
+        } else if t.is_ident("fn") {
+            if let Some(f) = parse_fn(tokens, i, impls.last()) {
+                let next = f.body.1 + 1;
+                file.fns.push(f);
+                i = next;
+                continue;
+            }
+        } else if t.is_ident("const") {
+            parse_const(tokens, i, file);
+        }
+        i += 1;
+    }
+}
+
+/// Parses `impl [<…>] [Trait for] Type … {`; returns (trait, type, index
+/// of the opening brace).
+fn parse_impl_header(
+    tokens: &[Token],
+    at: usize,
+) -> Option<(Option<String>, Option<String>, usize)> {
+    let mut i = at + 1;
+    // Skip generic params `<…>`.
+    if tokens.get(i).is_some_and(|t| t.is_punct('<')) {
+        let mut depth = 0isize;
+        while i < tokens.len() {
+            if tokens[i].is_punct('<') {
+                depth += 1;
+            } else if tokens[i].is_punct('>') {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    // Collect idents up to `for`, `{`, or `;`; the last path segment
+    // before `for` is the trait, the last before `{` is the type.
+    let mut first: Option<String> = None;
+    let mut saw_for = false;
+    let mut second: Option<String> = None;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('{') {
+            let (tr, ty) = if saw_for {
+                (first, second)
+            } else {
+                (None, first)
+            };
+            return Some((tr, ty, i));
+        }
+        if t.is_punct(';') {
+            return None;
+        }
+        if t.is_ident("for") {
+            saw_for = true;
+        } else if t.is_ident("where") {
+            // Type name is already collected; keep scanning to `{`.
+        } else if t.kind == TokKind::Ident {
+            if saw_for {
+                second = Some(t.text.clone());
+            } else {
+                first = Some(t.text.clone());
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parses a `fn` item starting at the `fn` keyword.
+fn parse_fn(
+    tokens: &[Token],
+    at: usize,
+    ctx: Option<&(Option<String>, Option<String>, usize)>,
+) -> Option<FnItem> {
+    let name_tok = tokens.get(at + 1)?;
+    if name_tok.kind != TokKind::Ident {
+        return None;
+    }
+    let name = name_tok.text.clone();
+    let line = name_tok.line;
+    // Find the parameter list `(`.
+    let mut i = at + 2;
+    if tokens.get(i).is_some_and(|t| t.is_punct('<')) {
+        let mut depth = 0isize;
+        while i < tokens.len() {
+            if tokens[i].is_punct('<') {
+                depth += 1;
+            } else if tokens[i].is_punct('>') {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    if !tokens.get(i).is_some_and(|t| t.is_punct('(')) {
+        return None;
+    }
+    // Walk the parameter list: a param name is an ident directly followed
+    // by `:` at paren depth 1 (skipping `mut`, patterns are out of scope).
+    let mut params = Vec::new();
+    let mut depth = 0isize;
+    let params_end;
+    loop {
+        let t = tokens.get(i)?;
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                params_end = i;
+                break;
+            }
+        } else if depth == 1
+            && t.kind == TokKind::Ident
+            && t.text != "self"
+            && t.text != "mut"
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && !tokens.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && !tokens
+                .get(i.wrapping_sub(1))
+                .is_some_and(|p| p.is_punct(':'))
+        {
+            params.push(t.text.clone());
+        }
+        i += 1;
+    }
+    // Find the body `{` (skip return type / where clause) or `;`. A `;`
+    // only ends a bodyless declaration at the top level — `[u8; 4]` in a
+    // return type or `(impl Fn(); …)` must not terminate the search.
+    let mut j = params_end + 1;
+    let mut angle = 0isize;
+    let mut nest = 0isize;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') && angle > 0 {
+            angle -= 1;
+        } else if t.is_punct('(') || t.is_punct('[') {
+            nest += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            nest -= 1;
+        } else if t.is_punct(';') && angle == 0 && nest == 0 {
+            return None; // trait method declaration, no body
+        } else if t.is_punct('{') && angle == 0 && nest == 0 {
+            let close = match_brace(tokens, j);
+            let (impl_trait, impl_type) = match ctx {
+                Some((tr, ty, _)) => (tr.clone(), ty.clone()),
+                None => (None, None),
+            };
+            return Some(FnItem {
+                name,
+                line,
+                impl_trait,
+                impl_type,
+                params,
+                body: (j + 1, close),
+            });
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Parses `const NAME: &[u8; 4] = b"XXXX";` and `const NAME: u16 = N;`
+/// starting at the `const` keyword, appending to the file's lists.
+fn parse_const(tokens: &[Token], at: usize, file: &mut SourceFile) {
+    let Some(name_tok) = tokens.get(at + 1) else {
+        return;
+    };
+    if name_tok.kind != TokKind::Ident || !tokens.get(at + 2).is_some_and(|t| t.is_punct(':')) {
+        return;
+    }
+    let name = &name_tok.text;
+    let line = name_tok.line;
+    // Magic shape: `:` `&` `[` u8 `;` 4 `]` `=` <byte string> `;`
+    let rest: Vec<&Token> = tokens.iter().skip(at + 3).take(8).collect();
+    if rest.len() >= 8
+        && rest[0].is_punct('&')
+        && rest[1].is_punct('[')
+        && rest[2].is_ident("u8")
+        && rest[3].is_punct(';')
+        && rest[4].kind == TokKind::Literal
+        && rest[4].text == "4"
+        && rest[5].is_punct(']')
+        && rest[6].is_punct('=')
+        && rest[7].kind == TokKind::Literal
+        && rest[7].text.starts_with("b\"")
+    {
+        let inner = rest[7].text.trim_start_matches("b\"").trim_end_matches('"');
+        if inner.len() == 4 {
+            file.magics.push(MagicConst {
+                name: name.clone(),
+                value: inner.to_string(),
+                line,
+            });
+        }
+        return;
+    }
+    // Version shape: `:` u16 `=` <integer> `;`
+    if rest.len() >= 3
+        && rest[0].is_ident("u16")
+        && rest[1].is_punct('=')
+        && rest[2].kind == TokKind::Literal
+    {
+        if let Ok(v) = rest[2]
+            .text
+            .trim_end_matches("u16")
+            .trim_end_matches('_')
+            .parse::<u16>()
+        {
+            file.versions.push(VersionConst {
+                name: name.clone(),
+                value: v,
+                line,
+            });
+        }
+    }
+}
+
+/// Extracts suppression markers from the comment list. A marker must name
+/// a well-formed rule ID (`[A-Z]` + 3 digits); other text in the parens
+/// (like a docs placeholder) is skipped silently. Unknown-but-well-formed
+/// IDs are kept so the engine can flag them.
+fn collect_allows(comments: &[Comment], registered: &[&str]) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for c in comments {
+        let mut rest = c.text.as_str();
+        while let Some(pos) = rest.find(ALLOW_MARKER) {
+            let after = &rest[pos + ALLOW_MARKER.len()..];
+            rest = after;
+            let Some(close) = after.find(')') else {
+                continue;
+            };
+            let rule = after[..close].trim();
+            let well_formed = rule.len() == 4
+                && rule.as_bytes()[0].is_ascii_uppercase()
+                && rule.bytes().skip(1).all(|b| b.is_ascii_digit());
+            if !well_formed {
+                continue;
+            }
+            let tail = &after[close + 1..];
+            let reason = tail
+                .strip_prefix(':')
+                .map(|r| {
+                    // The reason runs to the end of the line (or comment).
+                    let end = r.find('\n').unwrap_or(r.len());
+                    r[..end].trim().trim_end_matches("*/").trim().to_string()
+                })
+                .unwrap_or_default();
+            // Registered or not, keep it — the engine decides whether it
+            // is a real suppression (registered) or an A001 finding.
+            let _ = registered;
+            out.push(Allow {
+                rule: rule.to_string(),
+                reason,
+                line: c.line,
+            });
+        }
+    }
+    out
+}
+
+impl SourceFile {
+    /// The code line an allow on `line` anchors to: the first entry of
+    /// `code_lines` at or after `line`. (Consecutive comment/blank lines
+    /// between the allow and the code it guards are skipped implicitly.)
+    pub fn allow_target(&self, line: u32) -> Option<u32> {
+        self.code_lines.iter().copied().find(|&l| l >= line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RULES: &[&str] = &["P001", "D002"];
+
+    #[test]
+    fn fns_carry_impl_context_and_params() {
+        let src = "
+            impl ClientState for UeState {
+                fn report_into(&mut self, value: u64, rng: &mut LdpRng) { body(); }
+            }
+            fn free(x: u32) -> u32 { x }
+        ";
+        let f = scan_source("a.rs", src, RULES);
+        assert_eq!(f.fns.len(), 2);
+        let r = &f.fns[0];
+        assert_eq!(r.name, "report_into");
+        assert_eq!(r.impl_trait.as_deref(), Some("ClientState"));
+        assert_eq!(r.impl_type.as_deref(), Some("UeState"));
+        assert_eq!(r.params, ["value", "rng"]);
+        assert_eq!(f.fns[1].params, ["x"]);
+        assert!(f.fns[1].impl_trait.is_none());
+    }
+
+    #[test]
+    fn cfg_test_mods_are_stripped() {
+        let src = "
+            fn live() {}
+            #[cfg(test)]
+            mod tests {
+                fn helper() { thread_rng(); }
+            }
+        ";
+        let f = scan_source("a.rs", src, RULES);
+        assert_eq!(f.fns.len(), 1);
+        assert_eq!(f.fns[0].name, "live");
+        assert!(!f.tokens.iter().any(|t| t.is_ident("thread_rng")));
+    }
+
+    #[test]
+    fn magic_and_version_consts_are_extracted() {
+        let src = "
+            const MAGIC: &[u8; 4] = b\"LLHA\";
+            const VERSION: u16 = 2;
+            const OTHER: u32 = 7;
+        ";
+        let f = scan_source("a.rs", src, RULES);
+        assert_eq!(f.magics.len(), 1);
+        assert_eq!(f.magics[0].value, "LLHA");
+        assert_eq!(f.versions.len(), 1);
+        assert_eq!(f.versions[0].value, 2);
+    }
+
+    #[test]
+    fn allow_comments_are_parsed_with_reasons() {
+        let marker = super::ALLOW_MARKER;
+        let src = format!(
+            "// {m}D002): clamped to u32::MAX, lossless\nlet x = 1;\n// {m}P001)\nlet y = 2;\n// {m}RULE_ID): docs placeholder\n",
+            m = marker
+        );
+        let f = scan_source("a.rs", &src, RULES);
+        assert_eq!(f.allows.len(), 2);
+        assert_eq!(f.allows[0].rule, "D002");
+        assert_eq!(f.allows[0].reason, "clamped to u32::MAX, lossless");
+        assert!(f.allows[1].reason.is_empty());
+        assert_eq!(f.allow_target(1), Some(2));
+    }
+
+    #[test]
+    fn trait_method_declarations_have_no_body() {
+        let src = "trait T { fn declared(&self, n: usize); fn provided(&self) { x(); } }";
+        let f = scan_source("a.rs", src, RULES);
+        assert_eq!(f.fns.len(), 1);
+        assert_eq!(f.fns[0].name, "provided");
+    }
+}

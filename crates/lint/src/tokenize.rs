@@ -1,0 +1,383 @@
+//! A hand-rolled Rust lexer: just enough to drive the item scanner and
+//! the rule engine, with zero dependencies.
+//!
+//! The lexer is deliberately *not* a full Rust grammar — it only has to
+//! classify source bytes into identifiers, literals, punctuation, and
+//! comments with correct line numbers, so that no rule ever mistakes a
+//! string literal or a comment for code (the classic grep failure mode
+//! this tool exists to replace). Anything the rules reason about beyond
+//! that (items, scopes, call shapes) lives in [`crate::scan`].
+
+/// What a token is, at the granularity the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `thread_rng`, `u32`, …).
+    Ident,
+    /// Lifetime (`'a`) — kept distinct so `'a` is never read as a char.
+    Lifetime,
+    /// Any literal: string, raw string, byte string, char, number. The
+    /// token text preserves prefixes and quotes (`b"LLHA"`, `0xFF`, `2`).
+    Literal,
+    /// One punctuation character (`(`, `)`, `.`, `:`, `=`, …).
+    Punct,
+}
+
+/// One lexed token with its 1-indexed source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// One comment (line or block) with the line it starts on. Comments are
+/// lexed out of the token stream; the suppression parser reads them.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` into tokens and comments. Unterminated constructs (a
+/// string or block comment running to EOF) terminate the affected token
+/// at EOF rather than failing: the tool must keep scanning a tree that
+/// `rustc` would reject, because fixtures are exactly such trees.
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let count_lines = |s: &[u8]| s.iter().filter(|&&b| b == b'\n').count() as u32;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    line: start_line,
+                });
+            }
+            b'"' => {
+                let (end, crossed) = scan_string(bytes, i);
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: src[i..end].to_string(),
+                    line,
+                });
+                line += crossed;
+                i = end;
+            }
+            b'\'' => {
+                // Lifetime vs char literal: `'ident` not followed by a
+                // closing quote is a lifetime.
+                let is_lifetime = matches!(bytes.get(i + 1),
+                    Some(&c) if c == b'_' || c.is_ascii_alphabetic())
+                    && {
+                        let mut j = i + 1;
+                        while j < bytes.len()
+                            && (bytes[j] == b'_' || bytes[j].is_ascii_alphanumeric())
+                        {
+                            j += 1;
+                        }
+                        bytes.get(j) != Some(&b'\'')
+                    };
+                if is_lifetime {
+                    let mut j = i + 1;
+                    while j < bytes.len() && (bytes[j] == b'_' || bytes[j].is_ascii_alphanumeric())
+                    {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: src[i..j].to_string(),
+                        line,
+                    });
+                    i = j;
+                } else {
+                    let end = scan_char(bytes, i);
+                    out.tokens.push(Token {
+                        kind: TokKind::Literal,
+                        text: src[i..end].to_string(),
+                        line,
+                    });
+                    i = end;
+                }
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                // String/byte-string prefixes: r"", r#""#, b"", br"", b''.
+                let next = bytes.get(i).copied();
+                let prefixed = matches!(
+                    (word, next),
+                    ("r" | "b" | "br" | "rb", Some(b'"'))
+                        | ("r" | "br" | "rb", Some(b'#'))
+                        | ("b", Some(b'\''))
+                );
+                if prefixed {
+                    let end = if next == Some(b'\'') {
+                        scan_char(bytes, i + 1)
+                    } else if word.contains('r') {
+                        scan_raw_string(bytes, i)
+                    } else {
+                        scan_string(bytes, i).0
+                    };
+                    let text = src[start..end].to_string();
+                    line += count_lines(&bytes[start..end]);
+                    out.tokens.push(Token {
+                        kind: TokKind::Literal,
+                        text,
+                        line,
+                    });
+                    i = end;
+                } else {
+                    out.tokens.push(Token {
+                        kind: TokKind::Ident,
+                        text: word.to_string(),
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    let d = bytes[i];
+                    if d == b'_' || d.is_ascii_alphanumeric() {
+                        // Exponent sign: 1e-12 / 2E+3.
+                        if (d == b'e' || d == b'E')
+                            && start + 1 < i + 1
+                            && matches!(bytes.get(i + 1), Some(&b'+') | Some(&b'-'))
+                            && !src[start..i].starts_with("0x")
+                            && !src[start..i].starts_with("0b")
+                        {
+                            i += 2;
+                            continue;
+                        }
+                        i += 1;
+                    } else if d == b'.'
+                        && matches!(bytes.get(i + 1), Some(&n) if n.is_ascii_digit())
+                    {
+                        // `1.5` continues the number; `0..n` does not.
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: (b as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Scans a `"…"` string starting at the opening quote (or prefix end),
+/// honoring escapes. Returns (index one past the closing quote, lines
+/// crossed).
+fn scan_string(bytes: &[u8], start: usize) -> (usize, u32) {
+    let mut i = start;
+    // Skip to the opening quote (handles the `b` prefix case).
+    while i < bytes.len() && bytes[i] != b'"' {
+        i += 1;
+    }
+    i += 1;
+    let mut lines = 0u32;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return (i + 1, lines),
+            b'\n' => {
+                lines += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (bytes.len(), lines)
+}
+
+/// Scans a raw string `r#*"…"#*` starting at the prefix. Returns the index
+/// one past the closing delimiter.
+fn scan_raw_string(bytes: &[u8], start: usize) -> usize {
+    let mut i = start;
+    while i < bytes.len() && bytes[i] != b'"' && bytes[i] != b'#' {
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while i < bytes.len() && bytes[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'"' {
+        i += 1;
+    }
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while seen < hashes && j < bytes.len() && bytes[j] == b'#' {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+/// Scans a `'…'` char literal starting at the opening quote. Returns the
+/// index one past the closing quote.
+fn scan_char(bytes: &[u8], start: usize) -> usize {
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    bytes.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r#"
+            // thread_rng in a comment
+            let s = "thread_rng in a string";
+            /* block thread_rng */
+            let m: &[u8; 4] = b"LLHA";
+        "#;
+        let lx = lex(src);
+        assert!(!idents(src).iter().any(|i| i == "thread_rng"));
+        assert_eq!(lx.comments.len(), 2);
+        assert!(lx
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Literal && t.text == "b\"LLHA\""));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lx = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(lx
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+        assert!(lx
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Literal && t.text == "'x'"));
+    }
+
+    #[test]
+    fn numbers_stop_at_range_operators() {
+        let lx = lex("for i in 0..count { let x = 1.5e-3; }");
+        let lits: Vec<_> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lits, ["0", "1.5e-3"]);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let src = "let a = 1;\n/* two\nlines */\nlet b = 2;";
+        let lx = lex(src);
+        let b = lx.tokens.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 4);
+        assert_eq!(lx.comments[0].line, 2);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_terminate_correctly() {
+        let lx = lex(r##"let s = r#"quote " inside"#; let t = 3;"##);
+        assert!(lx.tokens.iter().any(|t| t.is_ident("t")));
+    }
+}

@@ -1,0 +1,6 @@
+//! A001 trigger: a suppression with no reason string.
+pub fn roll() -> u64 {
+    // ldp_lint::allow(P001)
+    let mut rng = thread_rng();
+    rng.next_u64()
+}

@@ -1,0 +1,6 @@
+//! A002 trigger: a suppression that no longer suppresses anything.
+pub fn roll(seed: u64) -> u64 {
+    // ldp_lint::allow(P001): historical — the ambient source is long gone
+    let mut rng = derive_rng(seed, 0);
+    rng.next_u64()
+}

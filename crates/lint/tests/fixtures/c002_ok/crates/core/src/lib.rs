@@ -1,0 +1,20 @@
+//! C002 pass: every width written is read back, including through a
+//! same-file helper on each side.
+pub fn save_client(w: &mut CodecWriter, s: &State) {
+    w.put_u32(s.g);
+    write_body(w, s);
+}
+
+fn write_body(w: &mut CodecWriter, s: &State) {
+    w.put_u64(s.k);
+}
+
+pub fn load_client(r: &mut CodecReader) -> State {
+    let g = r.get_u32()?;
+    let k = body(r)?;
+    State { g, k }
+}
+
+fn body(r: &mut CodecReader) -> Result<u64, CodecError> {
+    r.get_u64()
+}

@@ -1,0 +1,2 @@
+//! C003 trigger: `Bar` is exported but missing from the snapshot.
+pub use inner::{Bar, Foo};

@@ -1,0 +1,2 @@
+//! C003 pass: surface and snapshot agree.
+pub use inner::{Bar, Foo};

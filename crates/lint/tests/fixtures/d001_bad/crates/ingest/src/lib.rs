@@ -1,0 +1,13 @@
+//! D001 trigger: encoding iterates a HashMap, so the checkpoint bytes
+//! depend on hash-seed accidents.
+pub fn encode_checkpoint(w: &mut CodecWriter, counts: ()) {
+    let m: HashMap<u64, u64> = build(counts);
+    for (k, v) in m.iter() {
+        w.put_u64(*k);
+        w.put_u64(*v);
+    }
+}
+
+pub fn decode_checkpoint(r: &mut CodecReader) -> (u64, u64) {
+    (r.get_u64()?, r.get_u64()?)
+}

@@ -1,0 +1,16 @@
+//! D001 pass: a BTreeMap iterates in key order; a HashSet used only for
+//! membership tests never leaks its ordering into the bytes.
+pub fn encode_checkpoint(w: &mut CodecWriter, counts: ()) {
+    let m: BTreeMap<u64, u64> = build(counts);
+    let seen: HashSet<u64> = index(counts);
+    for (k, v) in m.iter() {
+        if seen.contains(k) {
+            w.put_u64(*k);
+            w.put_u64(*v);
+        }
+    }
+}
+
+pub fn decode_checkpoint(r: &mut CodecReader) -> (u64, u64) {
+    (r.get_u64()?, r.get_u64()?)
+}

@@ -1,0 +1,9 @@
+//! D002 trigger: a truncating cast on the encode path silently corrupts
+//! counts above u32::MAX instead of failing loudly.
+pub fn encode_checkpoint(w: &mut CodecWriter, shards: &[Shard]) {
+    w.put_u32(shards.len() as u32);
+}
+
+pub fn decode_checkpoint(r: &mut CodecReader) -> u32 {
+    r.get_u32()?
+}

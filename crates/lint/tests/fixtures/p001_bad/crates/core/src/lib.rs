@@ -1,0 +1,5 @@
+//! P001 trigger: ambient entropy inside a privacy-bearing crate.
+pub fn roll() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}

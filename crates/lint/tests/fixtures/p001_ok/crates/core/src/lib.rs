@@ -1,0 +1,5 @@
+//! P001 pass: randomness comes from a seeded, derived stream.
+pub fn roll(seed: u64, user: u64) -> u64 {
+    let mut rng = derive_rng(seed, user);
+    rng.next_u64()
+}

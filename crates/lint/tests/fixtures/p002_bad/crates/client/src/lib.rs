@@ -1,0 +1,8 @@
+//! P002 trigger: report_into derives its own stream instead of using
+//! the per-user one it was handed.
+impl ClientState for BadState {
+    fn report_into(&mut self, value: u64, rng: &mut LdpRng, out: &mut ReportBuf) {
+        let mut mine = derive_rng(self.seed, self.user);
+        out.push(self.report(value, &mut mine) as usize);
+    }
+}

@@ -1,0 +1,6 @@
+//! P002 pass: all randomness flows from the passed-in per-user stream.
+impl ClientState for GoodState {
+    fn report_into(&mut self, value: u64, rng: &mut LdpRng, out: &mut ReportBuf) {
+        out.push(self.report(value, rng) as usize);
+    }
+}

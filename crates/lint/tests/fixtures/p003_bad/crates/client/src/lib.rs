@@ -1,0 +1,7 @@
+//! P003 trigger: the raw input value lands in the report buffer with no
+//! sanitizer call around it.
+impl ClientState for BadState {
+    fn report_into(&mut self, value: u64, rng: &mut LdpRng, out: &mut ReportBuf) {
+        out.push(value as usize);
+    }
+}

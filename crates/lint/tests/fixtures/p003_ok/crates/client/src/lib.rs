@@ -1,0 +1,6 @@
+//! P003 pass: the value only reaches the buffer through the sanitizer.
+impl ClientState for GoodState {
+    fn report_into(&mut self, value: u64, rng: &mut LdpRng, out: &mut ReportBuf) {
+        out.push(self.report(value, rng) as usize);
+    }
+}

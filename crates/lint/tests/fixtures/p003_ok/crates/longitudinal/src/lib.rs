@@ -1,0 +1,8 @@
+//! P003 scope check: registered sanitizer modules may touch the raw
+//! value directly — that is where the perturbation itself lives.
+impl ClientState for SanitizerState {
+    fn report_into(&mut self, value: u64, rng: &mut LdpRng, out: &mut ReportBuf) {
+        let perturbed = if rng.coin(self.p) { value } else { rng.uniform(self.k) };
+        out.push(perturbed as usize);
+    }
+}

@@ -1,0 +1,88 @@
+//! Tier-1 doc-drift gate: the `docs/CHECKPOINT_FORMAT.md` §3 magic
+//! registry and the in-code `*MAGIC`/`*VERSION` constants must agree —
+//! in both directions, with matching current versions. This is rule
+//! C001 run standalone, so the contract holds even for workflows that
+//! run `cargo test` without the lint binary.
+
+use ldp_lint::rules::compat::{code_magics, registry_entries, REGISTRY_DOC};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint has a workspace root two levels up")
+}
+
+#[test]
+fn magic_registry_matches_code_constants() {
+    let root = workspace_root();
+    let doc = std::fs::read_to_string(root.join(REGISTRY_DOC)).expect("registry doc exists");
+    let registry: BTreeMap<String, u16> = registry_entries(&doc)
+        .into_iter()
+        .map(|e| (e.magic, e.version))
+        .collect();
+
+    let sources = ldp_lint::collect_sources(root).expect("workspace scans");
+    let registered = ldp_lint::rules::suppressible_ids();
+    let files: Vec<_> = sources
+        .iter()
+        .map(|(rel, text)| ldp_lint::scan::scan_source(rel, text, &registered))
+        .collect();
+    let magics = code_magics(&files);
+    assert!(!magics.is_empty(), "no magic constants found in the tree");
+
+    for m in &magics {
+        let version = m.version.unwrap_or_else(|| {
+            panic!(
+                "{}: magic `{}` has no paired version constant",
+                m.file, m.magic
+            )
+        });
+        let registered = registry.get(&m.magic).unwrap_or_else(|| {
+            panic!(
+                "{}: magic `{}` missing from {REGISTRY_DOC}",
+                m.file, m.magic
+            )
+        });
+        assert_eq!(
+            version, *registered,
+            "{}: magic `{}` is v{version} in code, v{registered} in the registry",
+            m.file, m.magic
+        );
+    }
+    for magic in registry.keys() {
+        assert!(
+            magics.iter().any(|m| &m.magic == magic),
+            "registry lists `{magic}` but no scanned source defines it"
+        );
+    }
+}
+
+#[test]
+fn the_five_store_magics_are_pinned() {
+    // The registry is a compatibility contract: entries are never
+    // removed or renumbered, only added (with version bumps recorded in
+    // the doc). Losing one of these rows would orphan existing files.
+    let doc = std::fs::read_to_string(workspace_root().join(REGISTRY_DOC)).unwrap();
+    let registry: BTreeMap<String, u16> = registry_entries(&doc)
+        .into_iter()
+        .map(|e| (e.magic, e.version))
+        .collect();
+    for (magic, at_least) in [
+        ("LLHA", 2),
+        ("LDPS", 2),
+        ("LDCC", 2),
+        ("LDCM", 1),
+        ("LDCG", 1),
+    ] {
+        let v = registry
+            .get(magic)
+            .unwrap_or_else(|| panic!("magic `{magic}` vanished from the registry"));
+        assert!(
+            *v >= at_least,
+            "magic `{magic}` regressed below its pinned floor (v{v} < v{at_least})"
+        );
+    }
+}

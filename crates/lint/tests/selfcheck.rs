@@ -1,0 +1,29 @@
+//! The workspace must be lint-clean: zero findings of any severity.
+//! (Warn-level findings do not fail `ldp_lint check`'s exit code, but
+//! they do fail this test — the tree itself holds a stricter line.)
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint has a workspace root two levels up");
+    let report = ldp_lint::run_check(root).expect("workspace scans");
+    assert!(
+        report.findings.is_empty(),
+        "workspace has lint findings:\n{}",
+        report.render_human()
+    );
+    // Suppressions must all carry reasons (A001 would have fired above,
+    // but keep the invariant explicit).
+    for a in &report.allows {
+        assert!(
+            !a.reason.is_empty(),
+            "reasonless suppression at {}:{}",
+            a.file,
+            a.line
+        );
+    }
+}

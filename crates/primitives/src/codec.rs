@@ -129,6 +129,7 @@ pub fn split_checksummed(bytes: &[u8]) -> Result<&[u8], CodecError> {
         return Err(CodecError::Truncated);
     }
     let (body, trailer) = bytes.split_at(bytes.len() - CHECKSUM_LEN);
+    // ldp_lint::allow(L001): split_at(len - 8) makes the trailer exactly 8 bytes
     let declared = u64::from_le_bytes(trailer.try_into().expect("8-byte trailer"));
     if fnv1a(body) != declared {
         return Err(CodecError::ChecksumMismatch);
@@ -247,6 +248,7 @@ impl<'a> CodecReader<'a> {
             return Err(CodecError::Truncated);
         }
         let body = split_checksummed(bytes)?;
+        // ldp_lint::allow(L001): the length floor above proves 8 header bytes exist
         let fingerprint = u64::from_le_bytes(body[6..HEADER_LEN].try_into().expect("header"));
         Ok(Self {
             bytes: &body[HEADER_LEN..],
@@ -297,6 +299,7 @@ impl<'a> CodecReader<'a> {
 
     /// Takes an exact-width array.
     pub fn array<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
+        // ldp_lint::allow(L001): take(N) returns exactly N bytes or errors first
         Ok(self.take(N)?.try_into().expect("exact length"))
     }
 
