@@ -1,0 +1,63 @@
+//! Records the perf trajectory: runs the resumable harness over the
+//! shared-flag grid and writes `results/BENCH_<host>_<pr>.json`.
+//!
+//! `cargo run --release -p ldp_bench --bin perf_trajectory -- [flags]`
+//!
+//! Shares [`HarnessArgs`] with the figure/table binaries so `run_all`
+//! can drive it with the same flags; the trajectory-specific identity
+//! comes from the environment (`BENCH_HOST`, `BENCH_PR`, `BENCH_DIR` —
+//! defaulting to `local`, `0`, `results`). The sweep checkpoints per
+//! cell, so an interrupted invocation resumes instead of restarting.
+
+use ldp_bench::HarnessArgs;
+use ldp_harness::{ExperimentRunner, RunnerConfig};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let cfg = RunnerConfig {
+        name: "trajectory".to_string(),
+        host: std::env::var("BENCH_HOST").unwrap_or_else(|_| "local".to_string()),
+        pr: std::env::var("BENCH_PR")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0),
+        out_dir: std::env::var("BENCH_DIR")
+            .unwrap_or_else(|_| "results".to_string())
+            .into(),
+        dataset: args.dataset.clone(),
+        eps_grid: args.eps_grid(),
+        runs: args.runs,
+        n_frac: args.n_frac,
+        tau_frac: args.tau_frac,
+        seed: args.seed,
+        threads: args.threads,
+        ..RunnerConfig::default()
+    };
+
+    std::fs::create_dir_all(&cfg.out_dir).expect("create results directory");
+    let runner = ExperimentRunner::new(cfg).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    match runner.run() {
+        Ok(result) => {
+            println!(
+                "sweep: {} cells computed, {} restored",
+                result.sweep.executed, result.sweep.restored
+            );
+            println!(
+                "{} {}",
+                if result.wrote_bench {
+                    "trajectory written to"
+                } else {
+                    "no-op: trajectory already valid at"
+                },
+                result.bench_path.display()
+            );
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -4,7 +4,8 @@
 //!
 //! Equivalent to invoking, in order: fig1_optimal_g, fig2_variance,
 //! table1_comparison, fig3_mse, fig4_privacy_loss, table2_detection,
-//! ablation_g_sweep, ablation_averaging_attack — as separate processes so
+//! the ablations, and finally perf_trajectory (the resumable harness
+//! writing `results/BENCH_<host>_<pr>.json`) — as separate processes so
 //! each binary stays independently runnable.
 
 use std::process::Command;
@@ -27,6 +28,7 @@ fn main() {
         "attack_asr",
         "ablation_prr_only",
         "ablation_heavyhitters",
+        "perf_trajectory",
     ];
     let exe = std::env::current_exe().expect("current exe path");
     let dir = exe.parent().expect("exe directory");

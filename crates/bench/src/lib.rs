@@ -1,4 +1,5 @@
-//! Shared harness for the figure/table reproduction binaries.
+//! Shared flag parsing and sweep plumbing for the figure/table
+//! reproduction binaries.
 //!
 //! Each binary in `src/bin/` regenerates one artifact of the paper's
 //! evaluation (see DESIGN.md §3 for the index). They share:
@@ -6,15 +7,25 @@
 //! * [`HarnessArgs`] — a tiny flag parser (`--paper`, `--runs R`,
 //!   `--n-frac F`, `--tau-frac F`, `--dataset NAME`, `--seed S`,
 //!   `--threads T`) so every experiment can be run at paper scale or at a
-//!   laptop-friendly default.
+//!   laptop-friendly default. Values are validated
+//!   ([`HarnessArgs::try_parse_from`] returns a typed [`UsageError`]), so
+//!   `--n-frac 0` is a usage error, not a downstream panic.
 //! * [`sweep`] — the (dataset × method × ε∞ × α × run) grid runner that
-//!   backs Figs. 3–4 and Table 2, aggregating run metrics into summaries.
+//!   backs Figs. 3–4 and Table 2. It delegates cell execution to
+//!   [`ldp_harness::run_cell`], which derives every run's seed from the
+//!   **full cell coordinates** (dataset, method, ε∞ bits, α bits, run)
+//!   via [`ldp_harness::cell_seed`] — distinct cells get distinct RNG
+//!   streams. (The previous seeding used `run` alone, replaying the same
+//!   streams in every cell; arXiv:2103.16640 §5 warns that correlates
+//!   errors across the grid and distorts method comparisons.)
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use ldp_datasets::{paper_datasets, scaled_datasets, DatasetSpec};
-use ldp_sim::{run_experiment, ExperimentConfig, Method, Summary};
+use ldp_sim::Method;
+
+pub use ldp_harness::CellResult as SweepCell;
 
 /// Command-line options shared by all experiment binaries.
 #[derive(Debug, Clone)]
@@ -23,9 +34,9 @@ pub struct HarnessArgs {
     pub paper: bool,
     /// Repetitions per cell (the paper averages 20).
     pub runs: usize,
-    /// Fraction of each dataset's n.
+    /// Fraction of each dataset's n, in (0, 1].
     pub n_frac: f64,
-    /// Fraction of each dataset's τ.
+    /// Fraction of each dataset's τ, in (0, 1].
     pub tau_frac: f64,
     /// Restrict to one dataset by name (case-insensitive), or all.
     pub dataset: Option<String>,
@@ -52,19 +63,74 @@ impl Default for HarnessArgs {
     }
 }
 
+/// A rejected command line: which flag (or pseudo-flag) and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageError {
+    /// The flag at fault (`"--n-frac"`, …), or `"--help"` for the help
+    /// request pseudo-error.
+    pub flag: String,
+    /// Human-readable reason; empty for `--help`.
+    pub message: String,
+}
+
+impl UsageError {
+    fn new(flag: &str, message: impl Into<String>) -> Self {
+        Self {
+            flag: flag.to_string(),
+            message: message.into(),
+        }
+    }
+
+    /// Whether this "error" is just `--help`.
+    pub fn is_help(&self) -> bool {
+        self.flag == "--help"
+    }
+}
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_help() {
+            write!(f, "help requested")
+        } else {
+            write!(f, "{}: {}", self.flag, self.message)
+        }
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+const USAGE: &str = "usage: <bin> [--paper] [--runs R] [--n-frac F] [--tau-frac F] \
+                     [--dataset NAME] [--seed S] [--threads T] [--eps-stride K]";
+
 impl HarnessArgs {
     /// Parses `std::env::args`, exiting with usage on error.
     pub fn parse() -> Self {
         Self::parse_from(std::env::args().skip(1))
     }
 
-    /// Parses an explicit argument list (testable).
+    /// Parses an explicit argument list, exiting with usage on error.
     pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
+        match Self::try_parse_from(args) {
+            Ok(out) => out,
+            Err(e) if e.is_help() => {
+                eprintln!("{USAGE}");
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("error: {e}\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses and validates an explicit argument list (testable; the
+    /// binaries funnel through [`HarnessArgs::parse`]).
+    pub fn try_parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Self, UsageError> {
         let mut out = Self::default();
         let mut it = args.into_iter();
         let need = |it: &mut dyn Iterator<Item = String>, flag: &str| {
             it.next()
-                .unwrap_or_else(|| usage(&format!("missing value for {flag}")))
+                .ok_or_else(|| UsageError::new(flag, "missing value"))
         };
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -74,47 +140,65 @@ impl HarnessArgs {
                     out.n_frac = 1.0;
                     out.tau_frac = 1.0;
                 }
-                "--runs" => out.runs = parse_num(&need(&mut it, "--runs"), "--runs"),
-                "--n-frac" => out.n_frac = parse_num(&need(&mut it, "--n-frac"), "--n-frac"),
+                "--runs" => out.runs = parse_num(&need(&mut it, "--runs")?, "--runs")?,
+                "--n-frac" => out.n_frac = parse_num(&need(&mut it, "--n-frac")?, "--n-frac")?,
                 "--tau-frac" => {
-                    out.tau_frac = parse_num(&need(&mut it, "--tau-frac"), "--tau-frac")
+                    out.tau_frac = parse_num(&need(&mut it, "--tau-frac")?, "--tau-frac")?
                 }
-                "--dataset" => out.dataset = Some(need(&mut it, "--dataset")),
-                "--seed" => out.seed = parse_num(&need(&mut it, "--seed"), "--seed"),
-                "--threads" => out.threads = parse_num(&need(&mut it, "--threads"), "--threads"),
+                "--dataset" => out.dataset = Some(need(&mut it, "--dataset")?),
+                "--seed" => out.seed = parse_num(&need(&mut it, "--seed")?, "--seed")?,
+                "--threads" => out.threads = parse_num(&need(&mut it, "--threads")?, "--threads")?,
                 "--eps-stride" => {
-                    out.eps_stride = parse_num(&need(&mut it, "--eps-stride"), "--eps-stride")
+                    out.eps_stride = parse_num(&need(&mut it, "--eps-stride")?, "--eps-stride")?
                 }
-                "--help" | "-h" => usage(""),
-                other => usage(&format!("unknown flag {other}")),
+                "--help" | "-h" => return Err(UsageError::new("--help", "")),
+                other => return Err(UsageError::new(other, "unknown flag")),
             }
         }
-        if out.runs == 0 || out.eps_stride == 0 {
-            usage("--runs and --eps-stride must be positive");
+        if out.runs == 0 {
+            return Err(UsageError::new("--runs", "must be positive"));
         }
-        out
+        if out.eps_stride == 0 {
+            return Err(UsageError::new("--eps-stride", "must be positive"));
+        }
+        check_frac(out.n_frac, "--n-frac")?;
+        check_frac(out.tau_frac, "--tau-frac")?;
+        Ok(out)
     }
 
     /// The datasets selected by the flags (paper scale or scaled down).
     pub fn datasets(&self) -> Vec<Box<dyn DatasetSpec>> {
+        match self.try_datasets() {
+            Ok(ds) => ds,
+            Err(e) => {
+                eprintln!("error: {e}\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The datasets selected by the flags, with an unknown `--dataset`
+    /// name as a typed error.
+    pub fn try_datasets(&self) -> Result<Vec<Box<dyn DatasetSpec>>, UsageError> {
         let all = if self.paper {
             paper_datasets()
         } else {
             scaled_datasets(self.n_frac, self.tau_frac)
         };
         match &self.dataset {
-            None => all,
+            None => Ok(all),
             Some(name) => {
                 let matched: Vec<_> = all
                     .into_iter()
                     .filter(|d| d.name().eq_ignore_ascii_case(name))
                     .collect();
                 if matched.is_empty() {
-                    usage(&format!(
-                        "unknown dataset {name} (Syn, Adult, DB_MT, DB_DE)"
+                    return Err(UsageError::new(
+                        "--dataset",
+                        format!("unknown dataset {name} (Syn, Adult, DB_MT, DB_DE)"),
                     ));
                 }
-                matched
+                Ok(matched)
             }
         }
     }
@@ -128,44 +212,23 @@ impl HarnessArgs {
     }
 }
 
-fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, UsageError> {
     s.parse()
-        .unwrap_or_else(|_| usage(&format!("invalid value {s} for {flag}")))
+        .map_err(|_| UsageError::new(flag, format!("invalid value {s}")))
 }
 
-fn usage(err: &str) -> ! {
-    if !err.is_empty() {
-        eprintln!("error: {err}\n");
+fn check_frac(v: f64, flag: &str) -> Result<(), UsageError> {
+    if v.is_finite() && v > 0.0 && v <= 1.0 {
+        Ok(())
+    } else {
+        Err(UsageError::new(flag, format!("{v} must be in (0, 1]")))
     }
-    eprintln!(
-        "usage: <bin> [--paper] [--runs R] [--n-frac F] [--tau-frac F] \
-         [--dataset NAME] [--seed S] [--threads T] [--eps-stride K]"
-    );
-    std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
-/// One aggregated cell of a sweep.
-#[derive(Debug, Clone)]
-pub struct SweepCell {
-    /// Dataset name.
-    pub dataset: &'static str,
-    /// Protocol under test.
-    pub method: Method,
-    /// Longitudinal budget ε∞.
-    pub eps_inf: f64,
-    /// First-report fraction α.
-    pub alpha: f64,
-    /// MSE_avg over runs (Eq. (7)); NaN mean when incomparable.
-    pub mse: Summary,
-    /// ε̌_avg over runs (Eq. (8)).
-    pub eps_avg: Summary,
-    /// Detection rate over runs (dBitFlipPM only).
-    pub detection: Option<Summary>,
-    /// Resolved g (LOLOHA) or b (dBitFlipPM).
-    pub reduced_domain: Option<u32>,
-}
-
-/// Runs the full (dataset × method × ε∞ × α) grid, `runs` times per cell.
+/// Runs the full (dataset × method × ε∞ × α) grid, `runs` times per
+/// cell, each run seeded from its full cell coordinates (no
+/// common-random-numbers pairing; the figure/table binaries compare
+/// independent replications, matching the paper's protocol).
 pub fn sweep(
     datasets: &[Box<dyn DatasetSpec>],
     methods: &[Method],
@@ -178,40 +241,16 @@ pub fn sweep(
         for &method in methods {
             for &eps_inf in eps_grid {
                 for &alpha in alphas {
-                    let mut mses = Vec::with_capacity(args.runs);
-                    let mut epss = Vec::with_capacity(args.runs);
-                    let mut dets = Vec::with_capacity(args.runs);
-                    let mut reduced = None;
-                    for run in 0..args.runs {
-                        let seed = args
-                            .seed
-                            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(run as u64 + 1));
-                        let cfg = ExperimentConfig::new(method, eps_inf, alpha, seed)
-                            .expect("validated grid")
-                            .with_threads(args.threads);
-                        let m =
-                            run_experiment(dataset.as_ref(), &cfg).expect("runnable configuration");
-                        mses.push(m.mse_avg);
-                        epss.push(m.eps_avg);
-                        if let Some(d) = m.detection {
-                            dets.push(d.rate());
-                        }
-                        reduced = m.reduced_domain;
-                    }
-                    cells.push(SweepCell {
-                        dataset: leak_name(dataset.name()),
+                    cells.push(ldp_harness::run_cell(
+                        dataset.as_ref(),
                         method,
                         eps_inf,
                         alpha,
-                        mse: Summary::of(&mses),
-                        eps_avg: Summary::of(&epss),
-                        detection: if dets.is_empty() {
-                            None
-                        } else {
-                            Some(Summary::of(&dets))
-                        },
-                        reduced_domain: reduced,
-                    });
+                        args.runs,
+                        args.threads,
+                        args.seed,
+                        false,
+                    ));
                 }
             }
         }
@@ -219,24 +258,12 @@ pub fn sweep(
     cells
 }
 
-/// Dataset names are 'static in practice; normalize through a match to
-/// avoid leaking arbitrary strings.
-fn leak_name(name: &str) -> &'static str {
-    match name {
-        "Syn" => "Syn",
-        "Adult" => "Adult",
-        "DB_MT" => "DB_MT",
-        "DB_DE" => "DB_DE",
-        _ => "custom",
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn parse(args: &[&str]) -> HarnessArgs {
-        HarnessArgs::parse_from(args.iter().map(|s| s.to_string()))
+        HarnessArgs::try_parse_from(args.iter().map(|s| s.to_string())).unwrap()
     }
 
     #[test]
@@ -276,11 +303,57 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_fractions_are_usage_errors() {
+        // Regression: `--n-frac 0` used to parse fine and blow up (or
+        // silently degenerate) deep inside dataset scaling.
+        for (flag, value) in [
+            ("--n-frac", "0"),
+            ("--n-frac", "-0.5"),
+            ("--n-frac", "1.5"),
+            ("--n-frac", "nan"),
+            ("--n-frac", "inf"),
+            ("--tau-frac", "0.0"),
+            ("--tau-frac", "2"),
+        ] {
+            let err =
+                HarnessArgs::try_parse_from([flag.to_string(), value.to_string()]).unwrap_err();
+            assert_eq!(err.flag, flag, "{flag} {value}: {err}");
+            assert!(err.message.contains("(0, 1]"), "{flag} {value}: {err}");
+        }
+    }
+
+    #[test]
+    fn malformed_flags_are_usage_errors_naming_the_flag() {
+        let err = HarnessArgs::try_parse_from(["--runs".to_string()]).unwrap_err();
+        assert_eq!(err.flag, "--runs");
+        assert!(err.message.contains("missing value"));
+
+        let err =
+            HarnessArgs::try_parse_from(["--seed".to_string(), "twelve".to_string()]).unwrap_err();
+        assert_eq!(err.flag, "--seed");
+        assert!(err.message.contains("invalid value"));
+
+        let err = HarnessArgs::try_parse_from(["--runs".to_string(), "0".to_string()]).unwrap_err();
+        assert_eq!(err.flag, "--runs");
+
+        let err = HarnessArgs::try_parse_from(["--bogus".to_string()]).unwrap_err();
+        assert_eq!(err.flag, "--bogus");
+        assert!(err.message.contains("unknown flag"));
+
+        let help = HarnessArgs::try_parse_from(["-h".to_string()]).unwrap_err();
+        assert!(help.is_help());
+    }
+
+    #[test]
     fn dataset_filter_selects_one() {
         let a = parse(&["--dataset", "syn", "--n-frac", "0.01", "--tau-frac", "0.05"]);
-        let ds = a.datasets();
+        let ds = a.try_datasets().unwrap();
         assert_eq!(ds.len(), 1);
         assert_eq!(ds[0].name(), "Syn");
+        let mut bad = a.clone();
+        bad.dataset = Some("nosuch".to_string());
+        let err = bad.try_datasets().err().expect("unknown dataset rejected");
+        assert_eq!(err.flag, "--dataset");
     }
 
     #[test]
@@ -310,5 +383,17 @@ mod tests {
         assert!(bi.mse.mean.is_finite());
         let bbit = &cells[1];
         assert!(bbit.detection.is_some());
+    }
+
+    #[test]
+    fn sweep_cells_differ_across_grid_coordinates() {
+        // The cross-cell seed-reuse regression, at the sweep level: two
+        // ε∞ points on the same dataset/method must not share RNG
+        // streams, so their MSEs must differ bitwise.
+        let a = parse(&["--runs", "1", "--n-frac", "0.02", "--tau-frac", "0.05"]);
+        let ds = a.try_datasets().unwrap();
+        let cells = sweep(&ds[..1], &[Method::BiLoloha], &[0.5, 1.0], &[0.5], &a);
+        assert_eq!(cells.len(), 2);
+        assert_ne!(cells[0].mse.mean.to_bits(), cells[1].mse.mean.to_bits());
     }
 }

@@ -1,6 +1,6 @@
 //! `loloha-cli` — the command-line front end for the LOLOHA toolkit.
 //!
-//! Four subcommands, each a thin shell over the library crates:
+//! Five subcommands, each a thin shell over the library crates:
 //!
 //! * `params` — resolve a LOLOHA parameterization (g, ε_IRR, the
 //!   perturbation pairs, V*, the budget cap) from `(ε∞, α)`.
@@ -12,6 +12,8 @@
 //!   over them, and print the per-round estimated histogram.
 //! * `asr` — print the Bayesian MAP attack-success table for a
 //!   configuration (the `ldp-attack` closed forms).
+//! * `bench` — run (or resume) a resumable harness experiment and write
+//!   the `BENCH_<host>_<pr>.json` perf trajectory (`ldp_harness`).
 //!
 //! The crate is a library so the argument parser and command
 //! implementations are unit-testable; `main.rs` is a two-line shim.
@@ -21,6 +23,7 @@
 
 pub mod args;
 pub mod cmd_asr;
+pub mod cmd_bench;
 pub mod cmd_collect;
 pub mod cmd_params;
 pub mod cmd_simulate;
@@ -66,6 +69,14 @@ USAGE:
                        pipeline, --checkpoint persists + restores the
                        shard state mid-round)
   loloha-cli asr      --k K --eps-inf E --alpha A [--seed S]
+  loloha-cli bench    [--config SPEC] [--name N] [--host H] [--pr P]
+                      [--out-dir DIR] [--dataset D] [--methods M,..]
+                      [--eps E,..] [--alphas A,..] [--runs R]
+                      [--n-frac F] [--tau-frac F] [--seed S] [--threads T]
+                      [--bench-users N] [--bench-samples S]
+                      [--pair-methods] [--sweep-only]
+                      (resumable sweep + hot-path throughput; writes
+                       BENCH_<host>_<pr>.json and a per-cell checkpoint)
 
 METHODS:   rappor | l-osue | l-oue | l-soue | l-grr | biloloha | ololoha |
            1bitflip | bbitflip
@@ -83,6 +94,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "simulate" => cmd_simulate::run(rest),
         "collect" => cmd_collect::run(rest, &mut std::io::stdin().lock()),
         "asr" => cmd_asr::run(rest),
+        "bench" => cmd_bench::run(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::new(format!(
             "unknown subcommand `{other}`\n\n{USAGE}"

@@ -1,0 +1,158 @@
+//! Hot-path throughput measurement.
+//!
+//! Three paths, matching the production dataflow (`docs/ARCHITECTURE.md`):
+//!
+//! * **sanitize** — `ClientPool::sanitize_round_into_shards`: per-user
+//!   perturbation straight into aggregator shards (the direct engine
+//!   path).
+//! * **ingest** — one full piped round: parallel sanitization submitting
+//!   envelopes through `IngestPipeline` shard workers plus the
+//!   end-of-round merge/estimate (the production collector topology).
+//! * **estimate** — `ShardedAggregator::snapshot`: the non-destructive
+//!   merge + frequency estimation over filled shards.
+//!
+//! Timings come from the vendored criterion stub's [`measure`] — the
+//! same order statistics (`min`/`median`/`mean`/`p90`/`iters`) the bench
+//! binaries print, recorded per method into `BENCH_*.json` so the perf
+//! trajectory is reviewable across PRs. Wall-clock numbers are
+//! machine-dependent by nature; everything else in the trajectory file
+//! is deterministic.
+
+use crate::HarnessError;
+use criterion::{measure, SampleStats};
+use ldp_client::{ClientConfig, ClientPool};
+use ldp_ingest::IngestPipeline;
+use ldp_rand::{derive_rng, uniform_u64};
+use ldp_runtime::ShardedAggregator;
+use ldp_sim::Method;
+
+/// Domain size the throughput population reports over. Fixed (not the
+/// sweep's dataset domains) so trajectory numbers are comparable across
+/// configs.
+const BENCH_K: u64 = 128;
+const BENCH_EPS_INF: f64 = 1.0;
+const BENCH_EPS_FIRST: f64 = 0.5;
+
+/// Timing of one hot path at a known per-iteration workload.
+#[derive(Debug, Clone, Copy)]
+pub struct PathStats {
+    /// Reports processed per timed iteration.
+    pub reports_per_iter: usize,
+    /// Wall-clock order statistics over the iterations.
+    pub stats: SampleStats,
+}
+
+impl PathStats {
+    /// Mean throughput in reports per second.
+    pub fn reports_per_sec(&self) -> f64 {
+        let secs = self.stats.mean.as_secs_f64();
+        if secs > 0.0 {
+            self.reports_per_iter as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// The three hot-path timings for one method.
+#[derive(Debug, Clone, Copy)]
+pub struct MethodThroughput {
+    /// Protocol measured.
+    pub method: Method,
+    /// Direct sanitize-into-shards round.
+    pub sanitize: PathStats,
+    /// Full piped round (sanitize + concurrent shard ingestion).
+    pub ingest: PathStats,
+    /// Aggregator snapshot (merge + estimate).
+    pub estimate: PathStats,
+}
+
+/// Synthetic uniform population values (deterministic in `seed`).
+fn bench_values(users: usize, seed: u64) -> Vec<u64> {
+    let mut rng = derive_rng(seed, u64::MAX);
+    (0..users).map(|_| uniform_u64(&mut rng, BENCH_K)).collect()
+}
+
+/// Measures the three hot paths for `method` over a `users`-strong
+/// population, `samples` timed rounds each.
+pub fn measure_method(
+    method: Method,
+    users: usize,
+    samples: usize,
+    threads: usize,
+    seed: u64,
+) -> Result<MethodThroughput, HarnessError> {
+    let workers = threads.clamp(1, users.max(1));
+    let values = bench_values(users, seed);
+    let mk_pool = || -> Result<ClientPool, HarnessError> {
+        let cfg = ClientConfig::for_method(method, BENCH_K, BENCH_EPS_INF, BENCH_EPS_FIRST)
+            .map_err(|e| HarnessError::Config(format!("{method:?}: {e}")))?;
+        ClientPool::new(cfg, seed, users).map_err(|e| HarnessError::Config(e.to_string()))
+    };
+
+    // Sanitize path: shards accumulate across iterations (counts grow,
+    // cost per round does not), memoization reaches steady state after
+    // the first round — which is the regime a long collection runs in.
+    let mut pool = mk_pool()?;
+    let mut agg =
+        ShardedAggregator::for_method(method, BENCH_K, BENCH_EPS_INF, BENCH_EPS_FIRST, workers)
+            .map_err(|e| HarnessError::Config(e.to_string()))?;
+    let sanitize = measure(samples, || {
+        pool.sanitize_round_into_shards(&values, agg.shards_mut())
+    })
+    .expect("samples >= 1");
+
+    // Estimate path: snapshot the shards the sanitize loop just filled
+    // (non-destructive merge + estimate).
+    let estimate = measure(samples, || agg.snapshot()).expect("samples >= 1");
+
+    // Ingest path: the full piped round, end to end.
+    let mut pool = mk_pool()?;
+    let mut pipe =
+        IngestPipeline::for_method(method, BENCH_K, BENCH_EPS_INF, BENCH_EPS_FIRST, workers)
+            .map_err(|e| HarnessError::Config(e.to_string()))?;
+    let ingest = measure(samples, || {
+        pool.sanitize_round(&values, workers, &pipe.handle())
+            .expect("ingest workers alive");
+        pipe.finish_round().expect("ingest workers alive")
+    })
+    .expect("samples >= 1");
+
+    Ok(MethodThroughput {
+        method,
+        sanitize: PathStats {
+            reports_per_iter: users,
+            stats: sanitize,
+        },
+        ingest: PathStats {
+            reports_per_iter: users,
+            stats: ingest,
+        },
+        estimate: PathStats {
+            // A snapshot folds every report the shards absorbed so far;
+            // normalize per shard-resident report at snapshot time is
+            // not meaningful across iterations (counts grow), so the
+            // workload unit is one population's worth of reports.
+            reports_per_iter: users,
+            stats: estimate,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_all_three_paths_for_a_loloha_and_a_ue_method() {
+        for method in [Method::BiLoloha, Method::Rappor] {
+            let t = measure_method(method, 200, 2, 1, 42).unwrap();
+            assert_eq!(t.sanitize.reports_per_iter, 200);
+            assert_eq!(t.sanitize.stats.iters, 2);
+            assert_eq!(t.ingest.stats.iters, 2);
+            assert_eq!(t.estimate.stats.iters, 2);
+            assert!(t.sanitize.reports_per_sec() > 0.0);
+            assert!(t.sanitize.stats.min <= t.sanitize.stats.p90);
+        }
+    }
+}

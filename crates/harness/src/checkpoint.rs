@@ -1,0 +1,307 @@
+//! The `LDHS` sweep-progress checkpoint.
+//!
+//! A sweep executes its grid in a fixed order (dataset × method × ε∞ ×
+//! α, as enumerated by the runner), so progress is a *prefix*: the
+//! checkpoint stores the metrics of the first `done` cells under the
+//! config fingerprint, and nothing else. Cell identity is re-derived
+//! from the configuration on resume — a checkpoint can never
+//! misattribute a metric to the wrong cell without tripping the
+//! fingerprint first. Layout (normative): `docs/CHECKPOINT_FORMAT.md`
+//! §8. Saved atomically after every completed cell, so a kill loses at
+//! most the in-flight cell.
+
+use crate::grid::CellResult;
+use ldp_primitives::codec::{self, CodecError, CodecReader, CodecWriter};
+use ldp_sim::Summary;
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"LDHS";
+const VERSION: u16 = 1;
+
+/// Minimum encoded size of one cell record: two summaries (8+8+8 each)
+/// plus two presence flags. Used to prove a declared cell count against
+/// the buffer before sizing an allocation from it.
+const MIN_CELL_LEN: usize = 2 * 24 + 2;
+
+/// The metrics of one completed cell, in grid order. Identity
+/// (dataset, method, ε∞, α) deliberately lives outside the file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellMetrics {
+    /// MSE_avg summary (mean may be NaN: bit-preserved).
+    pub mse: Summary,
+    /// ε̌_avg summary.
+    pub eps_avg: Summary,
+    /// Detection-rate summary (dBitFlipPM only).
+    pub detection: Option<Summary>,
+    /// Resolved g (LOLOHA) or b (dBitFlipPM).
+    pub reduced_domain: Option<u32>,
+}
+
+impl CellMetrics {
+    /// Strips the grid identity off a finished cell.
+    pub fn of(cell: &CellResult) -> Self {
+        Self {
+            mse: cell.mse,
+            eps_avg: cell.eps_avg,
+            detection: cell.detection,
+            reduced_domain: cell.reduced_domain,
+        }
+    }
+}
+
+/// Sweep progress: `cells` holds the completed prefix of a `total`-cell
+/// grid.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SweepProgress {
+    /// Grid size the sweep was started with.
+    pub total: u32,
+    /// Completed cells, in grid order (`len() ≤ total`).
+    pub cells: Vec<CellMetrics>,
+}
+
+impl SweepProgress {
+    /// Whether every cell has completed.
+    pub fn complete(&self) -> bool {
+        self.cells.len() == self.total as usize
+    }
+}
+
+fn encode_summary(w: &mut CodecWriter, s: &Summary) {
+    w.put_f64(s.mean);
+    w.put_f64(s.std);
+    w.put_u64(s.runs as u64);
+}
+
+fn decode_summary(r: &mut CodecReader<'_>) -> Result<Summary, CodecError> {
+    let mean = r.get_f64()?;
+    let std = r.get_f64()?;
+    let runs = usize::try_from(r.get_u64()?)
+        .map_err(|_| CodecError::Corrupt("summary run count exceeds usize"))?;
+    if runs == 0 {
+        return Err(CodecError::Corrupt("summary with zero runs"));
+    }
+    Ok(Summary { mean, std, runs })
+}
+
+fn encode_cell(w: &mut CodecWriter, cell: &CellMetrics) {
+    encode_summary(w, &cell.mse);
+    encode_summary(w, &cell.eps_avg);
+    match &cell.detection {
+        None => w.put_u8(0),
+        Some(det) => {
+            w.put_u8(1);
+            encode_summary(w, det);
+        }
+    }
+    match cell.reduced_domain {
+        None => w.put_u8(0),
+        Some(rd) => {
+            w.put_u8(1);
+            w.put_u32(rd);
+        }
+    }
+}
+
+fn decode_cell(r: &mut CodecReader<'_>) -> Result<CellMetrics, CodecError> {
+    let mse = decode_summary(r)?;
+    let eps_avg = decode_summary(r)?;
+    let detection = match r.get_u8()? {
+        0 => None,
+        1 => Some(decode_summary(r)?),
+        _ => return Err(CodecError::Corrupt("detection flag not 0/1")),
+    };
+    let reduced_domain = match r.get_u8()? {
+        0 => None,
+        1 => Some(r.get_u32()?),
+        _ => return Err(CodecError::Corrupt("reduced-domain flag not 0/1")),
+    };
+    Ok(CellMetrics {
+        mse,
+        eps_avg,
+        detection,
+        reduced_domain,
+    })
+}
+
+/// Encodes progress into an `LDHS` container under `fingerprint`.
+pub fn encode_progress(fingerprint: u64, progress: &SweepProgress) -> Vec<u8> {
+    debug_assert!(progress.cells.len() <= progress.total as usize);
+    let mut w = CodecWriter::with_capacity(
+        MAGIC,
+        VERSION,
+        fingerprint,
+        8 + progress.cells.len() * (MIN_CELL_LEN + 24 + 4),
+    );
+    w.put_u32(progress.total);
+    let done = u32::try_from(progress.cells.len()).expect("grid fits in u32");
+    w.put_u32(done);
+    for cell in &progress.cells {
+        encode_cell(&mut w, cell);
+    }
+    w.finish()
+}
+
+/// Decodes an `LDHS` container, verifying it was written under
+/// `fingerprint` (the sweep configuration) before touching the payload.
+pub fn decode_progress(bytes: &[u8], fingerprint: u64) -> Result<SweepProgress, CodecError> {
+    let mut r = CodecReader::open(bytes, MAGIC, VERSION)?;
+    r.expect_fingerprint(fingerprint, "sweep configuration")?;
+    let total = r.get_u32()?;
+    let done = r.get_u32()?;
+    if done > total {
+        return Err(CodecError::Corrupt("done cells exceed grid size"));
+    }
+    let done = done as usize;
+    if r.remaining() < done.saturating_mul(MIN_CELL_LEN) {
+        return Err(CodecError::Corrupt("cell count exceeds payload"));
+    }
+    let mut cells = Vec::with_capacity(done);
+    for _ in 0..done {
+        cells.push(decode_cell(&mut r)?);
+    }
+    r.finish()?;
+    Ok(SweepProgress { total, cells })
+}
+
+/// Atomically writes `progress` to `path` (tmp + rename; §2.1).
+pub fn save_progress(
+    path: &Path,
+    fingerprint: u64,
+    progress: &SweepProgress,
+) -> Result<(), CodecError> {
+    codec::write_atomic(path, &encode_progress(fingerprint, progress))
+}
+
+/// Loads progress from `path`; a missing file is an empty sweep
+/// (`Ok(None)`), anything else must decode cleanly under `fingerprint`.
+pub fn load_progress(path: &Path, fingerprint: u64) -> Result<Option<SweepProgress>, CodecError> {
+    if !path.exists() {
+        return Ok(None);
+    }
+    let bytes = codec::read_file(path)?;
+    decode_progress(&bytes, fingerprint).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(mean: f64, std: f64, runs: usize) -> Summary {
+        Summary { mean, std, runs }
+    }
+
+    fn sample() -> SweepProgress {
+        SweepProgress {
+            total: 4,
+            cells: vec![
+                CellMetrics {
+                    mse: summary(1.5e-4, 2.0e-5, 3),
+                    eps_avg: summary(2.25, 0.1, 3),
+                    detection: None,
+                    reduced_domain: Some(2),
+                },
+                CellMetrics {
+                    mse: summary(f64::NAN, f64::NAN, 2),
+                    eps_avg: summary(1.0, 0.0, 2),
+                    detection: Some(summary(0.96, 0.01, 2)),
+                    reduced_domain: None,
+                },
+            ],
+        }
+    }
+
+    fn bits_eq(a: &SweepProgress, b: &SweepProgress) -> bool {
+        a.total == b.total
+            && a.cells.len() == b.cells.len()
+            && a.cells.iter().zip(&b.cells).all(|(x, y)| {
+                let s = |p: &Summary, q: &Summary| {
+                    p.mean.to_bits() == q.mean.to_bits()
+                        && p.std.to_bits() == q.std.to_bits()
+                        && p.runs == q.runs
+                };
+                s(&x.mse, &y.mse)
+                    && s(&x.eps_avg, &y.eps_avg)
+                    && match (&x.detection, &y.detection) {
+                        (None, None) => true,
+                        (Some(p), Some(q)) => s(p, q),
+                        _ => false,
+                    }
+                    && x.reduced_domain == y.reduced_domain
+            })
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_bit_including_nan() {
+        let p = sample();
+        let bytes = encode_progress(7, &p);
+        let back = decode_progress(&bytes, 7).unwrap();
+        assert!(bits_eq(&p, &back));
+        // Byte-stable re-encode.
+        assert_eq!(encode_progress(7, &back), bytes);
+    }
+
+    #[test]
+    fn foreign_fingerprint_is_rejected_before_the_payload() {
+        let bytes = encode_progress(7, &sample());
+        assert!(matches!(
+            decode_progress(&bytes, 8),
+            Err(CodecError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_declared_counts_are_typed_errors_not_allocations() {
+        // done > total.
+        let mut w = CodecWriter::new(MAGIC, VERSION, 1);
+        w.put_u32(1);
+        w.put_u32(2);
+        assert!(matches!(
+            decode_progress(&w.finish(), 1),
+            Err(CodecError::Corrupt(_))
+        ));
+        // done claims more cells than the payload holds.
+        let mut w = CodecWriter::new(MAGIC, VERSION, 1);
+        w.put_u32(u32::MAX);
+        w.put_u32(u32::MAX);
+        assert!(matches!(
+            decode_progress(&w.finish(), 1),
+            Err(CodecError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_and_bad_flags_are_corrupt() {
+        let mut bytes = encode_progress(3, &sample());
+        // Append a byte before the checksum: recompute via re-encode of
+        // a tampered buffer is awkward, so just extend and expect a
+        // checksum failure (any mutation past the trailer is caught).
+        bytes.push(0);
+        assert!(decode_progress(&bytes, 3).is_err());
+
+        let mut w = CodecWriter::new(MAGIC, VERSION, 1);
+        w.put_u32(1);
+        w.put_u32(1);
+        encode_summary(&mut w, &summary(0.0, 0.0, 1));
+        encode_summary(&mut w, &summary(0.0, 0.0, 1));
+        w.put_u8(9); // invalid detection flag
+        w.put_u8(0);
+        assert!(matches!(
+            decode_progress(&w.finish(), 1),
+            Err(CodecError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn save_load_roundtrips_and_missing_file_is_none() {
+        let dir = std::env::temp_dir().join(format!("ldhs_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("probe.sweep.ckpt");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(load_progress(&path, 5).unwrap(), None);
+        let p = sample();
+        save_progress(&path, 5, &p).unwrap();
+        let back = load_progress(&path, 5).unwrap().unwrap();
+        assert!(bits_eq(&p, &back));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,95 @@
+//! Golden-file compatibility for the `LDHS` sweep checkpoint.
+//!
+//! The fixture was produced by the v1 encoder; this test proves today's
+//! build still reads it bit-for-bit and re-encodes it byte-identically.
+//! If the format ever needs to change, bump the version, keep v1
+//! readable, and add a new fixture — never regenerate this one silently
+//! (see `docs/CHECKPOINT_FORMAT.md` §9).
+
+use ldp_harness::checkpoint::{decode_progress, encode_progress, CellMetrics, SweepProgress};
+use ldp_sim::Summary;
+use std::path::PathBuf;
+
+/// Fingerprint the fixture was written under (arbitrary but pinned).
+const FIXTURE_FP: u64 = 0x4c44_4853_5f76_3101;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/sweep_v1.ckpt")
+}
+
+/// The exact progress the fixture encodes: a 3-cell prefix of a 6-cell
+/// grid exercising every optional field, including a NaN mean.
+fn fixture_progress() -> SweepProgress {
+    let s = |mean: f64, std: f64, runs: usize| Summary { mean, std, runs };
+    SweepProgress {
+        total: 6,
+        cells: vec![
+            CellMetrics {
+                mse: s(3.25e-4, 4.5e-5, 3),
+                eps_avg: s(2.125, 0.25, 3),
+                detection: None,
+                reduced_domain: Some(2),
+            },
+            CellMetrics {
+                mse: s(f64::NAN, f64::NAN, 3),
+                eps_avg: s(1.0, 0.0, 3),
+                detection: Some(s(0.9375, 0.03125, 3)),
+                reduced_domain: Some(16),
+            },
+            CellMetrics {
+                mse: s(7.5e-3, 1.25e-3, 3),
+                eps_avg: s(0.5, 0.125, 3),
+                detection: None,
+                reduced_domain: None,
+            },
+        ],
+    }
+}
+
+fn bits_eq(a: &SweepProgress, b: &SweepProgress) -> bool {
+    let sum = |p: &Summary, q: &Summary| {
+        p.mean.to_bits() == q.mean.to_bits()
+            && p.std.to_bits() == q.std.to_bits()
+            && p.runs == q.runs
+    };
+    a.total == b.total
+        && a.cells.len() == b.cells.len()
+        && a.cells.iter().zip(&b.cells).all(|(x, y)| {
+            sum(&x.mse, &y.mse)
+                && sum(&x.eps_avg, &y.eps_avg)
+                && match (&x.detection, &y.detection) {
+                    (None, None) => true,
+                    (Some(p), Some(q)) => sum(p, q),
+                    _ => false,
+                }
+                && x.reduced_domain == y.reduced_domain
+        })
+}
+
+#[test]
+fn v1_fixture_decodes_and_reencodes_byte_identically() {
+    let bytes = std::fs::read(fixture_path()).expect("fixture checked in");
+    let decoded = decode_progress(&bytes, FIXTURE_FP).unwrap();
+    assert!(
+        bits_eq(&decoded, &fixture_progress()),
+        "fixture content drifted from the pinned progress"
+    );
+    assert_eq!(
+        encode_progress(FIXTURE_FP, &decoded),
+        bytes,
+        "encoder no longer byte-stable against the v1 fixture"
+    );
+}
+
+/// Regenerates the fixture. Run manually after an *intentional*,
+/// version-bumped format change:
+/// `cargo test -p ldp_harness --test golden -- --ignored`
+/// (CI's `--ignored` pass runs only `statistical_tier2`, so this never
+/// fires there.)
+#[test]
+#[ignore = "writes the golden fixture; run only on intentional format changes"]
+fn regenerate_fixture() {
+    let bytes = encode_progress(FIXTURE_FP, &fixture_progress());
+    std::fs::create_dir_all(fixture_path().parent().unwrap()).unwrap();
+    std::fs::write(fixture_path(), bytes).unwrap();
+}

@@ -143,14 +143,6 @@ impl ThreshClient {
         self.estimator.perturb_into(value, rng, out);
     }
 
-    /// Deprecated name of [`Self::report`]: the client *generates a
-    /// report* for the server's estimation epoch, it does not estimate
-    /// anything itself.
-    #[deprecated(since = "0.1.0", note = "renamed to `report`")]
-    pub fn estimate<R: RngCore + ?Sized>(&mut self, value: u64, rng: &mut R) -> BitVec {
-        self.report(value, rng)
-    }
-
     fn updates_spent(&self) -> u32 {
         (self.accountant.classes_seen()).saturating_sub(self.rounds_voted)
     }
@@ -326,20 +318,6 @@ mod tests {
         for (v, &e) in est.iter().enumerate() {
             assert!((e - 1.0 / 6.0).abs() < 0.1, "v={v}: {e}");
         }
-    }
-
-    #[test]
-    fn deprecated_estimate_shim_forwards_to_report() {
-        let c = cfg(8, 10, 2);
-        let mut via_report = ThreshClient::new(c).unwrap();
-        let mut via_shim = ThreshClient::new(c).unwrap();
-        let mut rng_a = derive_rng(903, 0);
-        let mut rng_b = derive_rng(903, 0);
-        let a = via_report.report(3, &mut rng_a);
-        #[allow(deprecated)]
-        let b = via_shim.estimate(3, &mut rng_b);
-        assert_eq!(a, b);
-        assert_eq!(via_report.privacy_spent(), via_shim.privacy_spent());
     }
 
     #[test]

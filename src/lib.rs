@@ -31,6 +31,9 @@
 //!   trait, the registry-driven `ClientPool` with parallel sanitization
 //!   into the ingest pipeline, and durable client-state checkpoints for
 //!   full-collector resume.
+//! * [`harness`] — the resumable experiment runner: per-cell seeded
+//!   sweeps with `LDHS` checkpoints, hot-path throughput measurement,
+//!   and the checked-in `BENCH_<host>_<pr>.json` perf trajectory.
 //!
 //! Downstream users who only need the stable surface should prefer
 //! [`prelude`], which curates the commonly used items instead of exposing
@@ -45,6 +48,7 @@ pub use ldp_analysis as analysis;
 pub use ldp_attack as attack;
 pub use ldp_client as client;
 pub use ldp_datasets as datasets;
+pub use ldp_harness as harness;
 pub use ldp_hash as hash;
 pub use ldp_heavyhitters as heavyhitters;
 pub use ldp_ingest as ingest;

@@ -67,3 +67,6 @@ pub use ldp_datasets::{
     FolkLikeDataset, SynDataset,
 };
 pub use ldp_sim::{run_experiment, run_experiment_piped, ExperimentConfig, RunMetrics};
+
+// The resumable experiment harness (sweeps, checkpoints, perf trajectory).
+pub use ldp_harness::{cell_seed, CellResult, ExperimentRunner, RunnerConfig};

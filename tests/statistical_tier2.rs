@@ -300,3 +300,75 @@ fn loloha_variance_matches_eq5_and_optimal_g_minimizes_it() {
         opt.g()
     );
 }
+
+/// The exact LOLOHA support probability at true frequency `f` — the
+/// collision terms Eq. (5) approximates away, derived from first
+/// principles:
+///
+/// * value v's own reporters support v with
+///   `γ_same = p1·p2 + (1 − p1)·q2` (the PRR keeps the hashed cell with
+///   p1; whichever cell the PRR lands on, the IRR keeps it with p2 and a
+///   non-matching cell moves onto h(v) with q2);
+/// * any *other* reporter collides with h(v) with probability 1/g under
+///   a pairwise-uniform hash, giving
+///   `γ_other = (1/g)·p2 + (1 − 1/g)·q2` after averaging the same chain
+///   over the hash draw;
+/// * so `γ(f) = γ_other + f·(γ_same − γ_other)`, with
+///   `γ_same − γ_other = (p1 − 1/g)·(p2 − q2)` — exactly the estimator's
+///   debias denominator `A`.
+///
+/// With users drawing values i.i.d., the support count is
+/// `Binomial(n, γ(f))`, so `Var(f̂_v) = γ(1−γ) / (n·A²)` exactly.
+/// (Carter–Wegman pairwise uniformity holds to within 2⁻⁵⁷, far below
+/// the test bands.)
+fn loloha_exact_variance(params: &LolohaParams, f: f64, n: f64) -> f64 {
+    let g_inv = 1.0 / params.g() as f64;
+    let (p1, p2, q2) = (params.prr().p, params.irr().p, params.irr().q);
+    let a = (p1 - g_inv) * (p2 - q2);
+    let gamma = g_inv * p2 + (1.0 - g_inv) * q2 + f * a;
+    gamma * (1.0 - gamma) / (n * a * a)
+}
+
+#[test]
+#[ignore = "tier-2: run with cargo test --release -- --ignored"]
+fn loloha_collision_terms_match_exact_variance_at_f_above_zero() {
+    // The f > 0 regime the previous test deliberately skips: every value
+    // of the non-uniform histogram, checked against the exact
+    // support-probability closed form (collision terms included) rather
+    // than the f = 0 approximation V*.
+    let (k, n) = (16usize, 10_000usize);
+    let (eps_inf, eps_first) = (1.5f64, 0.75f64);
+    let params = LolohaParams::bi(eps_inf, eps_first).expect("valid");
+    let family = CarterWegman::new(params.g()).expect("valid g");
+    let truth = truth(k);
+
+    let estimates = run_trials(n, 0xF0C0, &truth, |rng, values| {
+        let mut agg = ShardedAggregator::for_loloha(k as u64, params, 3).expect("valid");
+        for (i, &v) in values.iter().enumerate() {
+            let mut client =
+                LolohaClient::new(&family, k as u64, params, rng).expect("valid client");
+            let cell = client.report(v, rng);
+            let pre = Preimages::build(client.hash_fn(), k as u64);
+            agg.push_report(i % 3, pre.cell(cell).iter().map(|&x| x as usize));
+        }
+        agg.finish_round().estimate
+    });
+
+    let theo_var: Vec<f64> = truth
+        .iter()
+        .map(|&f| loloha_exact_variance(&params, f, n as f64))
+        .collect();
+    // Sanity: the f-dependence is real — at g = 2 the IRR is symmetric
+    // (p2 + q2 = 1), so γ(0) = 1/2 sits at the peak of γ(1−γ) and f > 0
+    // strictly *shrinks* the variance; Eq. (5)'s f = 0 form cannot be a
+    // stand-in for these cells.
+    let (v0, v3) = (
+        loloha_exact_variance(&params, 0.0, n as f64),
+        loloha_exact_variance(&params, 0.3, n as f64),
+    );
+    assert!(
+        v3 < v0 * (1.0 - 1e-6),
+        "f must move the exact variance at g = 2: {v3:.6e} vs {v0:.6e}"
+    );
+    assert_bias_and_variance("BiLOLOHA (f > 0, exact)", &estimates, &truth, &theo_var);
+}

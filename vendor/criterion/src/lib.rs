@@ -2,9 +2,12 @@
 //!
 //! Provides the group / `bench_function` / `iter` / `iter_batched` surface
 //! the workspace's benches are written against, backed by a simple
-//! wall-clock median-of-samples measurement. No statistics engine, plots or
-//! baselines — just honest per-iteration timings on stderr, so
-//! `cargo bench` produces comparable numbers offline.
+//! wall-clock measurement. No statistics engine, plots or baselines — just
+//! honest per-iteration order statistics ([`SampleStats`]: min / median /
+//! mean / p90 and the iteration count) on stderr, so `cargo bench`
+//! produces comparable numbers offline. The same statistics are available
+//! programmatically through [`measure`], which is what the experiment
+//! harness (`ldp_harness`) records into `BENCH_*.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -82,6 +85,60 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// Order statistics over one benchmark's per-iteration wall-clock
+/// timings. Every recorded quantile is an actual sample (nearest-rank on
+/// the sorted timings), so the numbers are honest even at tiny sample
+/// counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleStats {
+    /// Number of timed iterations the statistics summarize.
+    pub iters: usize,
+    /// Fastest iteration.
+    pub min: Duration,
+    /// Median iteration (upper median for even counts).
+    pub median: Duration,
+    /// Arithmetic mean over all iterations.
+    pub mean: Duration,
+    /// 90th-percentile iteration (nearest rank).
+    pub p90: Duration,
+}
+
+impl SampleStats {
+    /// Computes the statistics from raw per-iteration timings; `None`
+    /// when nothing was measured.
+    pub fn from_times(mut times: Vec<Duration>) -> Option<Self> {
+        if times.is_empty() {
+            return None;
+        }
+        times.sort_unstable();
+        let iters = times.len();
+        let total: Duration = times.iter().sum();
+        Some(Self {
+            iters,
+            min: times[0],
+            median: times[iters / 2],
+            mean: total / u32::try_from(iters).unwrap_or(u32::MAX).max(1),
+            p90: times[(iters * 9 / 10).min(iters - 1)],
+        })
+    }
+}
+
+/// Times `routine` for `samples` iterations and returns the order
+/// statistics without printing anything. This is the programmatic
+/// surface consumers (the `ldp_harness` experiment runner) record from;
+/// the bench binaries go through [`Criterion`] instead.
+pub fn measure<O, R>(samples: usize, routine: R) -> Option<SampleStats>
+where
+    R: FnMut() -> O,
+{
+    let mut bencher = Bencher {
+        samples: samples.max(1),
+        per_iter: Vec::new(),
+    };
+    bencher.iter(routine);
+    SampleStats::from_times(bencher.per_iter)
+}
+
 fn run_one<F>(label: &str, samples: usize, mut f: F)
 where
     F: FnMut(&mut Bencher),
@@ -91,17 +148,13 @@ where
         per_iter: Vec::new(),
     };
     f(&mut bencher);
-    let mut times = bencher.per_iter;
-    if times.is_empty() {
-        eprintln!("{label}: no measurement");
-        return;
+    match SampleStats::from_times(bencher.per_iter) {
+        None => eprintln!("{label}: no measurement"),
+        Some(s) => eprintln!(
+            "{label}: median {:?}/iter (min {:?}, mean {:?}, p90 {:?}) over {} samples",
+            s.median, s.min, s.mean, s.p90, s.iters
+        ),
     }
-    times.sort_unstable();
-    let median = times[times.len() / 2];
-    eprintln!(
-        "{label}: median {median:?}/iter over {} samples",
-        times.len()
-    );
 }
 
 /// Passed to each benchmark closure; runs and times the measured routine.
@@ -181,5 +234,39 @@ mod tests {
     #[test]
     fn harness_runs() {
         benches();
+    }
+
+    #[test]
+    fn sample_stats_are_nearest_rank_order_statistics() {
+        let times: Vec<Duration> = (1..=10).map(Duration::from_millis).collect();
+        let s = SampleStats::from_times(times).unwrap();
+        assert_eq!(s.iters, 10);
+        assert_eq!(s.min, Duration::from_millis(1));
+        assert_eq!(s.median, Duration::from_millis(6));
+        assert_eq!(s.mean, Duration::from_micros(5_500));
+        assert_eq!(s.p90, Duration::from_millis(10));
+    }
+
+    #[test]
+    fn sample_stats_handle_degenerate_inputs() {
+        assert!(SampleStats::from_times(Vec::new()).is_none());
+        let s = SampleStats::from_times(vec![Duration::from_nanos(7)]).unwrap();
+        assert_eq!(s.iters, 1);
+        assert_eq!(s.min, s.median);
+        assert_eq!(s.median, s.p90);
+        assert_eq!(s.mean, Duration::from_nanos(7));
+    }
+
+    #[test]
+    fn measure_runs_the_requested_samples() {
+        let mut calls = 0usize;
+        let s = measure(4, || {
+            calls += 1;
+            std::hint::black_box(calls)
+        })
+        .unwrap();
+        assert_eq!(calls, 4);
+        assert_eq!(s.iters, 4);
+        assert!(s.min <= s.median && s.median <= s.p90);
     }
 }
