@@ -3,7 +3,9 @@
 //! pre-runtime fixed-chunk merge loop against the sharded streaming
 //! aggregator that replaced it, at several shard counts — plus the cost of
 //! a mid-stream snapshot, and the `ldp_ingest` concurrent worker pipeline
-//! (1/2/4/8 workers) against a single-threaded fill of the same round.
+//! (1/2/4/8 workers) against a single-threaded fill of the same round —
+//! plus the cost of running that round with `ldp_obs` telemetry enabled
+//! versus hard-disabled.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ldp_hash::{CarterWegman, CwHash, Preimages};
@@ -207,10 +209,51 @@ fn bench_sanitize_and_ingest(c: &mut Criterion) {
     group.finish();
 }
 
+/// Telemetry overhead: the identical pool + pipeline round (2 workers),
+/// once recording into a live `ldp_obs` registry — counters on every
+/// envelope, histograms around merge/estimate, exactly what
+/// `collect --metrics` enables — and once with telemetry hard-disabled
+/// (every handle a no-op that never reads the clock). The delta is the
+/// whole cost of leaving instrumentation compiled in and switched on.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    use ldp_client::{ClientConfig, ClientPool};
+    use ldp_obs::MetricsRegistry;
+
+    const WORKERS: usize = 2;
+    let params = LolohaParams::bi(1.0, 0.5).expect("valid budgets");
+    let cfg = ClientConfig::for_loloha(K, params);
+    let n = N_REPORTS as usize;
+    let mut rng = derive_rng(11, 0x5A11);
+    let values: Vec<u64> = (0..n).map(|_| uniform_u64(&mut rng, K)).collect();
+
+    let mut group = c.benchmark_group("telemetry_overhead_syn_paper_scale");
+    group.sample_size(10);
+
+    for (label, reg) in [
+        ("obs_enabled", MetricsRegistry::new()),
+        ("obs_disabled", MetricsRegistry::disabled()),
+    ] {
+        group.bench_function(label, |b| {
+            let mut pool = ClientPool::with_obs(cfg, 11, n, &reg).expect("valid");
+            let mut pipe = IngestPipeline::for_loloha_obs(K, params, WORKERS, &reg).expect("valid");
+            b.iter(|| {
+                let handle = pipe.handle();
+                pool.sanitize_round(black_box(&values), WORKERS, &handle)
+                    .expect("workers alive");
+                drop(handle);
+                black_box(pipe.finish_round().expect("workers alive"))
+            });
+        });
+    }
+
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_ingestion,
     bench_concurrent_fill,
-    bench_sanitize_and_ingest
+    bench_sanitize_and_ingest,
+    bench_telemetry_overhead
 );
 criterion_main!(benches);

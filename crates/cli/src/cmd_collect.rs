@@ -27,15 +27,27 @@
 //! leave the output byte-identical — per-user RNG streams are independent
 //! and the aggregation merge is order-independent — which the unit tests
 //! pin.
+//!
+//! `--metrics PATH` turns on the `ldp_obs` telemetry layer for the run: a
+//! fresh (run-local) registry is threaded through the client pool, the
+//! collector, and both checkpoint stores, and after every finished round
+//! the cumulative snapshot is atomically rewritten at PATH in the
+//! [OBS_FORMAT.md](../../../docs/OBS_FORMAT.md) JSON schema. The snapshot
+//! carries only operational aggregates (counts, byte totals, duration
+//! histograms) — never report contents — and the flag does not change a
+//! single byte of the estimate output, only appends a trailing notice.
 
 use crate::args::Flags;
 use crate::CliError;
 use ldp_client::{ClientConfig, ClientPool, ClientStore, ReportBuf};
 use ldp_ingest::{IngestPipeline, ShardStore};
+use ldp_obs::MetricsRegistry;
+use ldp_primitives::codec;
 use ldp_runtime::ShardedAggregator;
 use loloha::LolohaParams;
 use std::collections::BTreeMap;
 use std::io::BufRead;
+use std::path::Path;
 
 /// The server side of the subcommand: either the in-process sharded
 /// aggregator (default) or the concurrent `ldp_ingest` worker pipeline
@@ -121,6 +133,7 @@ pub fn run<R: BufRead>(argv: &[String], input: &mut R) -> Result<String, CliErro
         "checkpoint",
         "client-checkpoint",
         "client-checkpoint-chunk",
+        "metrics",
         "optimal",
     ])?;
     let k = flags.required_u64("k")?;
@@ -140,19 +153,29 @@ pub fn run<R: BufRead>(argv: &[String], input: &mut R) -> Result<String, CliErro
             "--workers must be at least 1 (0 workers cannot drain any report)",
         ));
     }
-    let store = flags.optional("checkpoint").map(ShardStore::new);
+    let metrics_path = flags.optional("metrics").map(std::path::PathBuf::from);
+    // Run-local registry: fresh when snapshots were requested (so two
+    // runs in one process never share counters), a no-op otherwise.
+    let reg = match &metrics_path {
+        Some(_) => MetricsRegistry::new(),
+        None => MetricsRegistry::disabled(),
+    };
+    let store = flags
+        .optional("checkpoint")
+        .map(|p| ShardStore::with_obs(p, &reg));
     let client_chunk = flags.optional_u64("client-checkpoint-chunk")?;
     if client_chunk == Some(0) {
         return Err(CliError::new(
             "--client-checkpoint-chunk must be at least 1 (a segment holds at least one user)",
         ));
     }
-    let client_store = flags
-        .optional("client-checkpoint")
-        .map(|p| match client_chunk {
+    let client_store = flags.optional("client-checkpoint").map(|p| {
+        match client_chunk {
             Some(c) => ClientStore::chunked(p, c as usize),
             None => ClientStore::new(p),
-        });
+        }
+        .with_obs(&reg)
+    });
     if client_chunk.is_some() && client_store.is_none() {
         return Err(CliError::new(
             "--client-checkpoint-chunk requires --client-checkpoint PATH",
@@ -201,8 +224,9 @@ pub fn run<R: BufRead>(argv: &[String], input: &mut R) -> Result<String, CliErro
         ids.dedup();
         ids.into_iter().enumerate().map(|(i, u)| (u, i)).collect()
     };
-    let mut pool = ClientPool::new(ClientConfig::for_loloha(k, params), seed, index.len())
-        .map_err(CliError::new)?;
+    let mut pool =
+        ClientPool::with_obs(ClientConfig::for_loloha(k, params), seed, index.len(), &reg)
+            .map_err(CliError::new)?;
 
     // The server side: by default the shared sharded aggregator (each
     // user's report lands in the shard `user % shards`); with `--workers`
@@ -215,11 +239,12 @@ pub fn run<R: BufRead>(argv: &[String], input: &mut R) -> Result<String, CliErro
     let piped_workers = workers.unwrap_or(1).max(1) as usize;
     let mut collector = if workers.is_some() || store.is_some() {
         Collector::Piped(
-            IngestPipeline::for_loloha(k, params, piped_workers).map_err(CliError::new)?,
+            IngestPipeline::for_loloha_obs(k, params, piped_workers, &reg)
+                .map_err(CliError::new)?,
         )
     } else {
         Collector::Direct {
-            agg: ShardedAggregator::for_loloha(k, params, shards as usize)
+            agg: ShardedAggregator::for_loloha_obs(k, params, shards as usize, &reg)
                 .map_err(CliError::new)?,
             shards,
         }
@@ -279,7 +304,7 @@ pub fn run<R: BufRead>(argv: &[String], input: &mut R) -> Result<String, CliErro
                     store
                         .save(&pipe.checkpoint().map_err(CliError::new)?)
                         .map_err(CliError::new)?;
-                    let mut fresh = IngestPipeline::for_loloha(k, params, piped_workers)
+                    let mut fresh = IngestPipeline::for_loloha_obs(k, params, piped_workers, &reg)
                         .map_err(CliError::new)?;
                     fresh
                         .restore(&store.load().map_err(CliError::new)?)
@@ -323,6 +348,12 @@ pub fn run<R: BufRead>(argv: &[String], input: &mut R) -> Result<String, CliErro
             entries.len(),
             shown.join(", ")
         ));
+        // Durable telemetry: every finished round atomically replaces the
+        // snapshot file, so a crash leaves the last complete round's
+        // cumulative metrics on disk, never a torn write.
+        if let Some(mp) = &metrics_path {
+            write_metrics(&reg, mp, *round)?;
+        }
     }
     let worst = pool
         .states()
@@ -353,7 +384,25 @@ pub fn run<R: BufRead>(argv: &[String], input: &mut R) -> Result<String, CliErro
             )),
         }
     }
+    if let Some(mp) = &metrics_path {
+        out.push_str(&format!(
+            "metrics: telemetry snapshot written to {} ({} round(s))\n",
+            mp.display(),
+            rounds.len()
+        ));
+    }
     Ok(out)
+}
+
+/// Atomically rewrites the cumulative telemetry snapshot at `path`. The
+/// snapshot body is deterministic; the meta block names the producing
+/// subcommand and the round just finished.
+fn write_metrics(reg: &MetricsRegistry, path: &Path, round: u64) -> Result<(), CliError> {
+    let round = round.to_string();
+    let json = reg
+        .snapshot()
+        .to_json_string(&[("source", "collect"), ("round", &round)]);
+    codec::write_atomic(path, json.as_bytes()).map_err(CliError::new)
 }
 
 #[cfg(test)]
@@ -625,6 +674,111 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.message.contains("at least 1"), "{err}");
+    }
+
+    #[test]
+    fn metrics_snapshot_validates_and_accounts_every_report() {
+        let path = std::env::temp_dir().join(format!(
+            "loloha_cli_collect_metrics_{}.json",
+            std::process::id()
+        ));
+        let mut csv = String::from("round,user,value\n");
+        for u in 0..80u64 {
+            csv.push_str(&format!("0,{u},{}\n1,{u},{}\n", u % 5, (u + 2) % 5));
+        }
+        let args = "--k 5 --eps-inf 3.0 --alpha 0.5 --top 3";
+        let reference = run(&argv(args), &mut input(&csv)).unwrap();
+        let got = run(
+            &argv(&format!("{args} --workers 3 --metrics {}", path.display())),
+            &mut input(&csv),
+        )
+        .unwrap();
+        // Telemetry must not perturb the estimates: output identical to
+        // the uninstrumented direct run up to the trailing notice.
+        let (body, notice) = got.rsplit_once("metrics: ").expect("notice line");
+        assert_eq!(reference, body, "metrics run must match");
+        assert!(notice.contains("2 round(s)"), "{notice}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        ldp_obs::validate_snapshot_str(&text).expect("snapshot validates");
+        let (meta, snap) = ldp_obs::ObsSnapshot::parse_json_str(&text).unwrap();
+        assert!(meta.contains(&("source".to_string(), "collect".to_string())));
+        assert!(meta.contains(&("round".to_string(), "1".to_string())));
+        // Every submitted record — 80 users × 2 rounds — is visible in
+        // the per-shard routed counters and the pool's report counter.
+        assert_eq!(
+            snap.counter_total("ldp.ingest.pipeline.reports_routed"),
+            160
+        );
+        assert_eq!(snap.counter_total("ldp.client.pool.reports"), 160);
+        assert_eq!(snap.counter_total("ldp.runtime.aggregator.rounds"), 2);
+        assert!(snap.hist_count("ldp.client.pool.sanitize_ns") > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn metrics_checkpoint_counters_agree_with_save_stats() {
+        let base = std::env::temp_dir().join(format!(
+            "loloha_cli_collect_metrics_ckpt_{}",
+            std::process::id()
+        ));
+        let shard_path = base.with_extension("shards.ckpt");
+        let dir = base.with_extension("clients.d");
+        let snap_path = base.with_extension("metrics.json");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut csv = String::from("round,user,value\n");
+        for u in 0..40u64 {
+            csv.push_str(&format!("0,{u},{}\n", u % 4));
+        }
+        for u in 0..4u64 {
+            csv.push_str(&format!("1,{u},{}\n", (u + 1) % 4));
+        }
+        let got = run(
+            &argv(&format!(
+                "--k 4 --eps-inf 2.0 --alpha 0.5 --top 2 --workers 2 \
+                 --checkpoint {} --client-checkpoint {} \
+                 --client-checkpoint-chunk 8 --metrics {}",
+                shard_path.display(),
+                dir.display(),
+                snap_path.display()
+            )),
+            &mut input(&csv),
+        )
+        .unwrap();
+        // The notice line reports the incremental SaveStats roll-up; the
+        // mid-round drill itself full-saves all 5 segments (40 users at
+        // chunk 8) before any incremental save runs.
+        let notice = got
+            .lines()
+            .find(|l| l.starts_with("client-checkpoint:"))
+            .expect("client notice");
+        let rest = notice.split("rewrote ").nth(1).expect("notice stats");
+        let mut nums = rest
+            .split(|c: char| !c.is_ascii_digit())
+            .filter(|s| !s.is_empty())
+            .map(|s| s.parse::<u64>().unwrap());
+        let (written, possible) = (nums.next().unwrap(), nums.next().unwrap());
+        let (_, snap) =
+            ldp_obs::ObsSnapshot::parse_json_str(&std::fs::read_to_string(&snap_path).unwrap())
+                .unwrap();
+        assert_eq!(
+            snap.counter_total("ldp.client.store.segments_written"),
+            written + 5,
+            "store counters must equal the SaveStats total plus the drill"
+        );
+        assert_eq!(
+            snap.counter_total("ldp.client.store.segments_total"),
+            possible + 5
+        );
+        // Drill save + two per-round incremental saves; one restore load.
+        assert_eq!(snap.hist_count("ldp.client.store.save_ns"), 3);
+        assert_eq!(snap.hist_count("ldp.client.store.load_ns"), 1);
+        // Shard store: one mid-round save, one restore, real bytes.
+        assert_eq!(snap.hist_count("ldp.ingest.store.save_ns"), 1);
+        assert_eq!(snap.hist_count("ldp.ingest.store.load_ns"), 1);
+        assert!(snap.counter_total("ldp.ingest.store.bytes_written") > 0);
+        std::fs::remove_file(&shard_path).ok();
+        std::fs::remove_file(&snap_path).ok();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -81,6 +81,17 @@ impl ClientConfig {
         self.method
     }
 
+    /// A static label for this configuration's protocol, suitable as a
+    /// telemetry label (metric labels must be `&'static str` — see
+    /// `ldp_obs`). Bespoke LOLOHA parameterizations built through
+    /// [`Self::for_loloha`] share one label.
+    pub fn method_label(&self) -> &'static str {
+        match self.method {
+            Some(m) => m.name(),
+            None => "LOLOHA (custom)",
+        }
+    }
+
     /// Input domain size.
     pub fn k(&self) -> u64 {
         self.k

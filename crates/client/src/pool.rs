@@ -27,6 +27,7 @@ use crate::config::ClientConfig;
 use crate::state::{ClientState, ReportBuf};
 use crate::store::{ClientCheckpoint, ClientRecord, ClientStoreError};
 use ldp_ingest::{IngestError, IngestHandle};
+use ldp_obs::{Counter, Gauge, Histogram, MetricsRegistry, Span};
 use ldp_primitives::error::ParamError;
 use ldp_rand::{derive_rng2, LdpRng, Xoshiro256pp};
 use ldp_runtime::Shard;
@@ -40,6 +41,26 @@ struct UserSlot {
     rng: LdpRng,
 }
 
+/// Pool-side telemetry handles (`ldp.client.pool.*`). Only operational
+/// quantities flow through these — sanitize-pass durations, report
+/// *counts*, dirty-flag counts — never report payloads or memoized
+/// protocol state (`ldp_lint` rule P004 enforces the latter).
+struct PoolObs {
+    sanitize_ns: Histogram,
+    reports: Counter,
+    dirty_users: Gauge,
+}
+
+impl PoolObs {
+    fn new(obs: &MetricsRegistry, cfg: &ClientConfig) -> Self {
+        Self {
+            sanitize_ns: obs.histogram_labeled("ldp.client.pool.sanitize_ns", cfg.method_label()),
+            reports: obs.counter("ldp.client.pool.reports"),
+            dirty_users: obs.gauge("ldp.client.pool.dirty_users"),
+        }
+    }
+}
+
 /// All per-user client state for one collection population.
 pub struct ClientPool {
     cfg: ClientConfig,
@@ -50,6 +71,7 @@ pub struct ClientPool {
     /// checkpoint layer ([`crate::ClientStore::save_pool`]) uses it to
     /// rewrite only the segments that actually changed.
     dirty: Vec<bool>,
+    obs: PoolObs,
 }
 
 impl std::fmt::Debug for ClientPool {
@@ -65,7 +87,21 @@ impl std::fmt::Debug for ClientPool {
 impl ClientPool {
     /// Builds `n` users in index order, each constructed from the registry
     /// with its own `(seed, user)`-derived RNG stream.
+    ///
+    /// Telemetry lands in the process-wide [`MetricsRegistry::global`];
+    /// use [`Self::with_obs`] to direct it elsewhere.
     pub fn new(cfg: ClientConfig, seed: u64, n: usize) -> Result<Self, ParamError> {
+        Self::with_obs(cfg, seed, n, &MetricsRegistry::global())
+    }
+
+    /// [`Self::new`] with an explicit telemetry registry (pass
+    /// [`MetricsRegistry::disabled`] to make every instrument a no-op).
+    pub fn with_obs(
+        cfg: ClientConfig,
+        seed: u64,
+        n: usize,
+        obs: &MetricsRegistry,
+    ) -> Result<Self, ParamError> {
         let mut users = Vec::with_capacity(n);
         for u in 0..n {
             let mut rng = derive_rng2(seed, USER_STREAM_TAG, u as u64);
@@ -73,12 +109,21 @@ impl ClientPool {
             users.push(UserSlot { state, rng });
         }
         let dirty = vec![true; n];
+        let obs = PoolObs::new(obs, &cfg);
         Ok(Self {
             cfg,
             seed,
             users,
             dirty,
+            obs,
         })
+    }
+
+    /// The number of users whose state or RNG position changed since the
+    /// last [`Self::mark_clean`], pushed to the `ldp.client.pool.dirty_users`
+    /// gauge after every mutation.
+    fn dirty_count(&self) -> u64 {
+        self.dirty.iter().filter(|&&d| d).count() as u64
     }
 
     /// Number of users in the pool.
@@ -113,9 +158,12 @@ impl ClientPool {
     /// # Panics
     /// Panics if `user` is out of range.
     pub fn sanitize_one(&mut self, user: usize, value: u64, buf: &mut ReportBuf) {
+        let _timed = Span::enter(&self.obs.sanitize_ns);
         let slot = &mut self.users[user];
         slot.state.report_into(value, &mut slot.rng, buf);
         self.dirty[user] = true;
+        self.obs.reports.inc();
+        self.obs.dirty_users.set(self.dirty_count());
     }
 
     /// Sanitizes a full round — `values[u]` is user `u`'s value — across
@@ -132,6 +180,7 @@ impl ClientPool {
         handle: &IngestHandle,
     ) -> Result<(), IngestError> {
         assert_eq!(values.len(), self.users.len(), "one value per user");
+        let _timed = Span::enter(&self.obs.sanitize_ns);
         self.dirty.iter_mut().for_each(|d| *d = true);
         let chunk_len = chunk_len(self.users.len(), workers);
         let results: Vec<Result<(), IngestError>> = std::thread::scope(|s| {
@@ -154,6 +203,8 @@ impl ClientPool {
                 .map(|j| j.join().expect("sanitize worker panicked"))
                 .collect()
         });
+        self.obs.reports.inc_by(values.len() as u64);
+        self.obs.dirty_users.set(self.dirty_count());
         results.into_iter().collect()
     }
 
@@ -169,7 +220,10 @@ impl ClientPool {
     pub fn sanitize_round_into_shards(&mut self, values: &[u64], shards: &mut [Shard]) {
         assert_eq!(values.len(), self.users.len(), "one value per user");
         assert!(!shards.is_empty(), "at least one shard");
+        let _timed = Span::enter(&self.obs.sanitize_ns);
+        self.obs.reports.inc_by(values.len() as u64);
         self.dirty.iter_mut().for_each(|d| *d = true);
+        self.obs.dirty_users.set(self.users.len() as u64);
         let chunk_len = chunk_len(self.users.len(), shards.len());
         std::thread::scope(|s| {
             let mut offset = 0usize;
@@ -203,6 +257,8 @@ impl ClientPool {
         workers: usize,
         handle: &IngestHandle,
     ) -> Result<(), IngestError> {
+        let _timed = Span::enter(&self.obs.sanitize_ns);
+        self.obs.reports.inc_by(assignments.len() as u64);
         let chunk_len = chunk_len(self.users.len(), workers);
         // One O(assignments) bucketing pass: each worker receives only its
         // own entries, in their original order, instead of every worker
@@ -214,6 +270,7 @@ impl ClientPool {
             self.dirty[u] = true;
             buckets[u / chunk_len].push((u, value));
         }
+        self.obs.dirty_users.set(self.dirty_count());
         let results: Vec<Result<(), IngestError>> = std::thread::scope(|s| {
             let mut joins = Vec::new();
             for ((ci, chunk), bucket) in self.users.chunks_mut(chunk_len).enumerate().zip(buckets) {
@@ -265,6 +322,7 @@ impl ClientPool {
     /// from that same store).
     pub fn mark_clean(&mut self) {
         self.dirty.iter_mut().for_each(|d| *d = false);
+        self.obs.dirty_users.set(0);
     }
 
     /// Captures every user's memoized state and RNG position for durable
@@ -303,6 +361,7 @@ impl ClientPool {
         // store the next incremental save will target, so everything is
         // dirty until the caller says otherwise (see `mark_clean`).
         self.dirty.iter_mut().for_each(|d| *d = true);
+        self.obs.dirty_users.set(self.users.len() as u64);
         Ok(())
     }
 }

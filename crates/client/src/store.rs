@@ -45,6 +45,7 @@
 //! version.
 
 use crate::pool::ClientPool;
+use ldp_obs::{Counter, Histogram, MetricsRegistry, Span};
 use ldp_primitives::codec::{self, CodecReader, CodecWriter};
 use std::path::{Path, PathBuf};
 
@@ -260,6 +261,29 @@ struct Manifest {
     segments: Vec<u64>,
 }
 
+/// Client-store telemetry handles (`ldp.client.store.*`). Durations, byte
+/// totals and segment counts only — never checkpoint payloads.
+#[derive(Debug, Clone)]
+struct StoreObs {
+    save_ns: Histogram,
+    load_ns: Histogram,
+    bytes_written: Counter,
+    segments_written: Counter,
+    segments_total: Counter,
+}
+
+impl StoreObs {
+    fn new(obs: &MetricsRegistry) -> Self {
+        Self {
+            save_ns: obs.histogram("ldp.client.store.save_ns"),
+            load_ns: obs.histogram("ldp.client.store.load_ns"),
+            bytes_written: obs.counter("ldp.client.store.bytes_written"),
+            segments_written: obs.counter("ldp.client.store.segments_written"),
+            segments_total: obs.counter("ldp.client.store.segments_total"),
+        }
+    }
+}
+
 /// A file-backed client-checkpoint location with atomic writes: one file
 /// (default) or a directory of per-segment files plus a manifest
 /// ([`ClientStore::chunked`]).
@@ -267,14 +291,19 @@ struct Manifest {
 pub struct ClientStore {
     path: PathBuf,
     chunk: Option<usize>,
+    obs: StoreObs,
 }
 
 impl ClientStore {
-    /// Creates a single-file store writing to / reading from `path`.
+    /// Creates a single-file store writing to / reading from `path`,
+    /// reporting checkpoint telemetry (`ldp.client.store.*`) to the
+    /// process-wide [`MetricsRegistry::global`]; chain [`Self::with_obs`]
+    /// to direct it elsewhere.
     pub fn new(path: impl Into<PathBuf>) -> Self {
         Self {
             path: path.into(),
             chunk: None,
+            obs: StoreObs::new(&MetricsRegistry::global()),
         }
     }
 
@@ -289,7 +318,15 @@ impl ClientStore {
         Self {
             path: dir.into(),
             chunk: Some(chunk),
+            obs: StoreObs::new(&MetricsRegistry::global()),
         }
+    }
+
+    /// Rebinds this store's telemetry to an explicit registry (builder
+    /// style: `ClientStore::chunked(dir, 64).with_obs(&reg)`).
+    pub fn with_obs(mut self, obs: &MetricsRegistry) -> Self {
+        self.obs = StoreObs::new(obs);
+        self
     }
 
     /// The checkpoint location: the file (single-file mode) or the
@@ -326,14 +363,27 @@ impl ClientStore {
     /// [`ClientStore::save_pool`] for per-round saves — it skips clean
     /// segments.
     pub fn save(&self, cp: &ClientCheckpoint) -> Result<(), ClientStoreError> {
+        let _timed = Span::enter(&self.obs.save_ns);
         match self.chunk {
-            None => codec::write_atomic(&self.path, &encode_client_checkpoint(cp)),
+            None => self.save_single(cp),
             Some(chunk) => self
                 .save_segments(&cp.meta, cp.users.len(), chunk, None, &|u| {
                     cp.users[u].clone()
                 })
                 .map(|_| ()),
         }
+    }
+
+    /// The single-file write path, shared by [`Self::save`] and
+    /// [`Self::save_pool`], accounting one written "segment" of one.
+    // ldp_lint::allow(C002): the single-file read path is the un-chunked branch of load()
+    fn save_single(&self, cp: &ClientCheckpoint) -> Result<(), ClientStoreError> {
+        let bytes = encode_client_checkpoint(cp);
+        codec::write_atomic(&self.path, &bytes)?;
+        self.obs.bytes_written.inc_by(bytes.len() as u64);
+        self.obs.segments_written.inc();
+        self.obs.segments_total.inc();
+        Ok(())
     }
 
     /// Durably saves the pool's current state and marks the pool clean.
@@ -343,9 +393,10 @@ impl ClientStore {
     /// rewritten — O(changed users), not O(users) — and the returned
     /// [`SaveStats`] says how many hit disk.
     pub fn save_pool(&self, pool: &mut ClientPool) -> Result<SaveStats, ClientStoreError> {
+        let _timed = Span::enter(&self.obs.save_ns);
         let stats = match self.chunk {
             None => {
-                codec::write_atomic(&self.path, &encode_client_checkpoint(&pool.checkpoint()))?;
+                self.save_single(&pool.checkpoint())?;
                 SaveStats {
                     written: 1,
                     total: 1,
@@ -427,6 +478,7 @@ impl ClientStore {
             let bytes = w.finish();
             let sum = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("trailer"));
             codec::write_atomic(&self.segment_path(i, sum), &bytes)?;
+            self.obs.bytes_written.inc_by(bytes.len() as u64);
             checksums.push(sum);
             written += 1;
         }
@@ -439,7 +491,9 @@ impl ClientStore {
         for &sum in &checksums {
             w.put_u64(sum);
         }
-        codec::write_atomic(&self.manifest_path(), &w.finish())?;
+        let manifest_bytes = w.finish();
+        codec::write_atomic(&self.manifest_path(), &manifest_bytes)?;
+        self.obs.bytes_written.inc_by(manifest_bytes.len() as u64);
         // Garbage-collect segment files the new manifest no longer
         // references (previous generations, orphans from crashed saves)
         // and `.tmp` files left by a `write_atomic` that died between
@@ -462,6 +516,8 @@ impl ClientStore {
                 }
             }
         }
+        self.obs.segments_written.inc_by(written as u64);
+        self.obs.segments_total.inc_by(total as u64);
         Ok(SaveStats { written, total })
     }
 
@@ -548,6 +604,7 @@ impl ClientStore {
     /// chunked mode the manifest and every segment are reassembled into
     /// the same [`ClientCheckpoint`] a single-file load would produce.
     pub fn load(&self) -> Result<ClientCheckpoint, ClientStoreError> {
+        let _timed = Span::enter(&self.obs.load_ns);
         match self.chunk {
             None => decode_client_checkpoint(&codec::read_file(&self.path)?),
             Some(_) => {
@@ -849,6 +906,43 @@ mod tests {
             .unwrap();
         assert_eq!(stats.written, 0);
         assert_eq!(calls.get(), 0, "clean segment must not touch its users");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_telemetry_agrees_with_save_stats() {
+        let dir = scratch_dir("obs_counters");
+        let reg = MetricsRegistry::new();
+        let store = ClientStore::chunked(&dir, 1).with_obs(&reg);
+        let cp = sample(); // 2 users → 2 segments at chunk 1
+
+        store.save(&cp).unwrap(); // full save: both segments hit disk
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_total("ldp.client.store.segments_written"), 2);
+        assert_eq!(snap.counter_total("ldp.client.store.segments_total"), 2);
+        assert_eq!(snap.hist_count("ldp.client.store.save_ns"), 1);
+        assert!(snap.counter_total("ldp.client.store.bytes_written") > 0);
+
+        // Incremental save with one dirty user: exactly the stats delta
+        // lands on the cumulative counters.
+        let stats = store
+            .save_segments(&cp.meta, 2, 1, Some(&[true, false]), &|u| {
+                cp.users[u].clone()
+            })
+            .unwrap();
+        assert_eq!(
+            stats,
+            SaveStats {
+                written: 1,
+                total: 2
+            }
+        );
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_total("ldp.client.store.segments_written"), 3);
+        assert_eq!(snap.counter_total("ldp.client.store.segments_total"), 4);
+
+        store.load().unwrap();
+        assert_eq!(reg.snapshot().hist_count("ldp.client.store.load_ns"), 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

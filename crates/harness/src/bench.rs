@@ -22,6 +22,7 @@ use crate::HarnessError;
 use criterion::{measure, SampleStats};
 use ldp_client::{ClientConfig, ClientPool};
 use ldp_ingest::IngestPipeline;
+use ldp_obs::MetricsRegistry;
 use ldp_rand::{derive_rng, uniform_u64};
 use ldp_runtime::ShardedAggregator;
 use ldp_sim::Method;
@@ -54,17 +55,49 @@ impl PathStats {
     }
 }
 
-/// The three hot-path timings for one method.
+/// Telemetry roll-up from the instrumented ingest rounds' registry.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IngestObs {
+    /// Reports routed to shard workers across all timed rounds.
+    pub reports_routed: u64,
+    /// Submissions that found their shard channel full.
+    pub send_blocked: u64,
+    /// Total nanoseconds spent blocked on full channels.
+    pub send_blocked_ns: u64,
+}
+
+/// The hot-path timings for one method.
 #[derive(Debug, Clone, Copy)]
 pub struct MethodThroughput {
     /// Protocol measured.
     pub method: Method,
     /// Direct sanitize-into-shards round.
     pub sanitize: PathStats,
-    /// Full piped round (sanitize + concurrent shard ingestion).
+    /// Full piped round (sanitize + concurrent shard ingestion), with
+    /// `ldp_obs` telemetry recording into a run-local registry — the
+    /// production collector configuration.
     pub ingest: PathStats,
+    /// The same piped round with telemetry hard-disabled (no-op
+    /// handles): the baseline `ingest` is compared against.
+    pub ingest_noobs: PathStats,
+    /// What the instrumented rounds' registry accumulated.
+    pub obs: IngestObs,
     /// Aggregator snapshot (merge + estimate).
     pub estimate: PathStats,
+}
+
+impl MethodThroughput {
+    /// Mean instrumented-vs-disabled ingest overhead in percent. Can be
+    /// negative within measurement noise — the interesting signal is its
+    /// magnitude staying in the low single digits.
+    pub fn obs_overhead_pct(&self) -> f64 {
+        let base = self.ingest_noobs.stats.mean.as_secs_f64();
+        if base > 0.0 {
+            (self.ingest.stats.mean.as_secs_f64() / base - 1.0) * 100.0
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Synthetic uniform population values (deterministic in `seed`).
@@ -84,19 +117,27 @@ pub fn measure_method(
 ) -> Result<MethodThroughput, HarnessError> {
     let workers = threads.clamp(1, users.max(1));
     let values = bench_values(users, seed);
-    let mk_pool = || -> Result<ClientPool, HarnessError> {
+    let mk_pool = |reg: &MetricsRegistry| -> Result<ClientPool, HarnessError> {
         let cfg = ClientConfig::for_method(method, BENCH_K, BENCH_EPS_INF, BENCH_EPS_FIRST)
             .map_err(|e| HarnessError::Config(format!("{method:?}: {e}")))?;
-        ClientPool::new(cfg, seed, users).map_err(|e| HarnessError::Config(e.to_string()))
+        ClientPool::with_obs(cfg, seed, users, reg).map_err(|e| HarnessError::Config(e.to_string()))
     };
+    let off = MetricsRegistry::disabled();
 
     // Sanitize path: shards accumulate across iterations (counts grow,
     // cost per round does not), memoization reaches steady state after
     // the first round — which is the regime a long collection runs in.
-    let mut pool = mk_pool()?;
-    let mut agg =
-        ShardedAggregator::for_method(method, BENCH_K, BENCH_EPS_INF, BENCH_EPS_FIRST, workers)
-            .map_err(|e| HarnessError::Config(e.to_string()))?;
+    // Telemetry stays disabled here: this number is the pure hot path.
+    let mut pool = mk_pool(&off)?;
+    let mut agg = ShardedAggregator::for_method_obs(
+        method,
+        BENCH_K,
+        BENCH_EPS_INF,
+        BENCH_EPS_FIRST,
+        workers,
+        &off,
+    )
+    .map_err(|e| HarnessError::Config(e.to_string()))?;
     let sanitize = measure(samples, || {
         pool.sanitize_round_into_shards(&values, agg.shards_mut())
     })
@@ -106,12 +147,45 @@ pub fn measure_method(
     // (non-destructive merge + estimate).
     let estimate = measure(samples, || agg.snapshot()).expect("samples >= 1");
 
-    // Ingest path: the full piped round, end to end.
-    let mut pool = mk_pool()?;
-    let mut pipe =
-        IngestPipeline::for_method(method, BENCH_K, BENCH_EPS_INF, BENCH_EPS_FIRST, workers)
-            .map_err(|e| HarnessError::Config(e.to_string()))?;
+    // Ingest path, instrumented: the full piped round end to end with a
+    // live run-local registry, exactly as `collect --metrics` runs it.
+    let reg = MetricsRegistry::new();
+    let mut pool = mk_pool(&reg)?;
+    let mut pipe = IngestPipeline::for_method_obs(
+        method,
+        BENCH_K,
+        BENCH_EPS_INF,
+        BENCH_EPS_FIRST,
+        workers,
+        &reg,
+    )
+    .map_err(|e| HarnessError::Config(e.to_string()))?;
     let ingest = measure(samples, || {
+        pool.sanitize_round(&values, workers, &pipe.handle())
+            .expect("ingest workers alive");
+        pipe.finish_round().expect("ingest workers alive")
+    })
+    .expect("samples >= 1");
+    let snap = reg.snapshot();
+    let obs = IngestObs {
+        reports_routed: snap.counter_total("ldp.ingest.pipeline.reports_routed"),
+        send_blocked: snap.counter_total("ldp.ingest.pipeline.send_blocked"),
+        send_blocked_ns: snap.hist_sum("ldp.ingest.pipeline.send_blocked_ns"),
+    };
+
+    // The same piped round with telemetry hard-disabled (every handle a
+    // no-op): the pair quantifies the instrumentation overhead.
+    let mut pool = mk_pool(&off)?;
+    let mut pipe = IngestPipeline::for_method_obs(
+        method,
+        BENCH_K,
+        BENCH_EPS_INF,
+        BENCH_EPS_FIRST,
+        workers,
+        &off,
+    )
+    .map_err(|e| HarnessError::Config(e.to_string()))?;
+    let ingest_noobs = measure(samples, || {
         pool.sanitize_round(&values, workers, &pipe.handle())
             .expect("ingest workers alive");
         pipe.finish_round().expect("ingest workers alive")
@@ -128,6 +202,11 @@ pub fn measure_method(
             reports_per_iter: users,
             stats: ingest,
         },
+        ingest_noobs: PathStats {
+            reports_per_iter: users,
+            stats: ingest_noobs,
+        },
+        obs,
         estimate: PathStats {
             // A snapshot folds every report the shards absorbed so far;
             // normalize per shard-resident report at snapshot time is
@@ -150,9 +229,14 @@ mod tests {
             assert_eq!(t.sanitize.reports_per_iter, 200);
             assert_eq!(t.sanitize.stats.iters, 2);
             assert_eq!(t.ingest.stats.iters, 2);
+            assert_eq!(t.ingest_noobs.stats.iters, 2);
             assert_eq!(t.estimate.stats.iters, 2);
             assert!(t.sanitize.reports_per_sec() > 0.0);
             assert!(t.sanitize.stats.min <= t.sanitize.stats.p90);
+            // The instrumented rounds' registry saw every routed report:
+            // 200 users × 2 timed iterations.
+            assert_eq!(t.obs.reports_routed, 400);
+            assert!(t.obs_overhead_pct().is_finite());
         }
     }
 }

@@ -247,6 +247,22 @@ impl ExperimentRunner {
                         ("method".into(), Json::Str(t.method.name().to_string())),
                         ("sanitize".into(), path_json(&t.sanitize)),
                         ("ingest".into(), path_json(&t.ingest)),
+                        ("ingest_noobs".into(), path_json(&t.ingest_noobs)),
+                        (
+                            "obs".into(),
+                            Json::Obj(vec![
+                                (
+                                    "reports_routed".into(),
+                                    Json::Num(t.obs.reports_routed as f64),
+                                ),
+                                ("send_blocked".into(), Json::Num(t.obs.send_blocked as f64)),
+                                (
+                                    "send_blocked_ns".into(),
+                                    Json::Num(t.obs.send_blocked_ns as f64),
+                                ),
+                                ("overhead_pct".into(), Json::Num(t.obs_overhead_pct())),
+                            ]),
+                        ),
                         ("estimate".into(), path_json(&t.estimate)),
                     ])
                 })
@@ -386,6 +402,23 @@ pub fn validate_bench(doc: &Json) -> Result<(), String> {
                 "reports_per_sec",
             ] {
                 need_num(&p, key).map_err(|e| format!("throughput.{path}: {e}"))?;
+            }
+        }
+        // Telemetry comparison keys are optional (files predating them
+        // stay valid) but must be well-formed when present.
+        if let Some(p) = row.get("ingest_noobs") {
+            for key in ["reports_per_iter", "iters", "mean_ns", "reports_per_sec"] {
+                need_num(p, key).map_err(|e| format!("throughput.ingest_noobs: {e}"))?;
+            }
+        }
+        if let Some(o) = row.get("obs") {
+            for key in [
+                "reports_routed",
+                "send_blocked",
+                "send_blocked_ns",
+                "overhead_pct",
+            ] {
+                need_num(o, key).map_err(|e| format!("throughput.obs: {e}"))?;
             }
         }
     }

@@ -34,12 +34,13 @@
 
 use crate::router::Router;
 use crate::store::ShardCheckpoint;
+use ldp_obs::{Counter, Histogram, MetricsRegistry, Span};
 use ldp_primitives::error::ParamError;
 use ldp_runtime::{AggregateSnapshot, Method, Shard, ShardedAggregator};
 use loloha::LolohaParams;
 use std::error::Error;
 use std::fmt;
-use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::thread::JoinHandle;
 
 /// Default bound of each worker's envelope channel. Deep enough to absorb
@@ -143,6 +144,81 @@ enum Envelope {
     Shutdown,
 }
 
+/// The pipeline's instrument handles (see `docs/OBS_FORMAT.md`). Shared
+/// between the pipeline and every cloned [`IngestHandle`], so submissions
+/// are accounted identically regardless of which side sends.
+#[derive(Clone)]
+struct PipelineObs {
+    /// Per-shard `Report` envelopes routed (`index` = shard).
+    routed: Vec<Counter>,
+    batch_reports: Counter,
+    batch_size: Histogram,
+    send_blocked: Counter,
+    send_blocked_ns: Histogram,
+    env_report: Counter,
+    env_batch: Counter,
+    env_task: Counter,
+    env_flush: Counter,
+    env_end_round: Counter,
+}
+
+impl PipelineObs {
+    fn new(obs: &MetricsRegistry, workers: usize) -> Self {
+        const ENVELOPES: &str = "ldp.ingest.pipeline.envelopes";
+        Self {
+            routed: (0..workers)
+                .map(|w| obs.counter_indexed("ldp.ingest.pipeline.reports_routed", w as u32))
+                .collect(),
+            batch_reports: obs.counter("ldp.ingest.pipeline.batch_reports"),
+            batch_size: obs.histogram("ldp.ingest.pipeline.batch_size"),
+            send_blocked: obs.counter("ldp.ingest.pipeline.send_blocked"),
+            send_blocked_ns: obs.histogram("ldp.ingest.pipeline.send_blocked_ns"),
+            env_report: obs.counter_labeled(ENVELOPES, "report"),
+            env_batch: obs.counter_labeled(ENVELOPES, "batch"),
+            env_task: obs.counter_labeled(ENVELOPES, "task"),
+            env_flush: obs.counter_labeled(ENVELOPES, "flush"),
+            env_end_round: obs.counter_labeled(ENVELOPES, "end_round"),
+        }
+    }
+}
+
+/// The single send funnel: accounts the envelope, then tries a
+/// non-blocking send first so the send-block counter and the blocked-time
+/// histogram capture exactly the submissions that hit backpressure. The
+/// blocking fallback preserves per-sender FIFO order (same channel, same
+/// thread), so the quiescence contract is unchanged.
+fn send_tracked(
+    obs: &PipelineObs,
+    worker: usize,
+    tx: &SyncSender<Envelope>,
+    envelope: Envelope,
+) -> Result<(), IngestError> {
+    match &envelope {
+        Envelope::Report(_) => {
+            obs.env_report.inc();
+            obs.routed[worker].inc();
+        }
+        Envelope::Batch(_, reports) => {
+            obs.env_batch.inc();
+            obs.batch_reports.inc_by(*reports);
+            obs.batch_size.record(*reports);
+        }
+        Envelope::Task(_) => obs.env_task.inc(),
+        Envelope::Flush(_) => obs.env_flush.inc(),
+        Envelope::EndRound(_) => obs.env_end_round.inc(),
+        Envelope::Shutdown => {}
+    }
+    match tx.try_send(envelope) {
+        Ok(()) => Ok(()),
+        Err(TrySendError::Full(envelope)) => {
+            obs.send_blocked.inc();
+            let _blocked = Span::enter(&obs.send_blocked_ns);
+            tx.send(envelope).map_err(|_| IngestError::WorkerLost)
+        }
+        Err(TrySendError::Disconnected(_)) => Err(IngestError::WorkerLost),
+    }
+}
+
 fn worker_loop(dim: usize, rx: Receiver<Envelope>) {
     let mut shard = Shard::with_dim(dim);
     while let Ok(msg) = rx.recv() {
@@ -179,6 +255,7 @@ pub struct IngestHandle {
     txs: Vec<SyncSender<Envelope>>,
     router: Router,
     dim: usize,
+    obs: PipelineObs,
 }
 
 impl IngestHandle {
@@ -191,9 +268,13 @@ impl IngestHandle {
         I: IntoIterator<Item = usize>,
     {
         let support = validate_support(support, self.dim)?;
-        self.txs[self.router.route_key(key)]
-            .send(Envelope::Report(support))
-            .map_err(|_| IngestError::WorkerLost)
+        let worker = self.router.route_key(key);
+        send_tracked(
+            &self.obs,
+            worker,
+            &self.txs[worker],
+            Envelope::Report(support),
+        )
     }
 }
 
@@ -222,6 +303,7 @@ pub struct IngestPipeline {
     router: Router,
     txs: Vec<SyncSender<Envelope>>,
     joins: Vec<JoinHandle<()>>,
+    obs: PipelineObs,
 }
 
 impl fmt::Debug for IngestPipeline {
@@ -245,21 +327,70 @@ impl IngestPipeline {
         eps_first: f64,
         workers: usize,
     ) -> Result<Self, ParamError> {
-        let agg = ShardedAggregator::for_method(method, k, eps_inf, eps_first, workers)?;
-        Ok(Self::from_aggregator(agg, DEFAULT_CHANNEL_CAPACITY))
+        Self::for_method_obs(
+            method,
+            k,
+            eps_inf,
+            eps_first,
+            workers,
+            &MetricsRegistry::global(),
+        )
+    }
+
+    /// [`Self::for_method`] with an explicit telemetry registry (the
+    /// default constructors instrument into the process-wide one).
+    pub fn for_method_obs(
+        method: Method,
+        k: u64,
+        eps_inf: f64,
+        eps_first: f64,
+        workers: usize,
+        obs: &MetricsRegistry,
+    ) -> Result<Self, ParamError> {
+        let agg = ShardedAggregator::for_method_obs(method, k, eps_inf, eps_first, workers, obs)?;
+        Ok(Self::from_aggregator_obs(
+            agg,
+            DEFAULT_CHANNEL_CAPACITY,
+            obs,
+        ))
     }
 
     /// Creates a LOLOHA pipeline from explicit parameters.
     pub fn for_loloha(k: u64, params: LolohaParams, workers: usize) -> Result<Self, ParamError> {
-        let agg = ShardedAggregator::for_loloha(k, params, workers)?;
-        Ok(Self::from_aggregator(agg, DEFAULT_CHANNEL_CAPACITY))
+        Self::for_loloha_obs(k, params, workers, &MetricsRegistry::global())
+    }
+
+    /// [`Self::for_loloha`] with an explicit telemetry registry.
+    pub fn for_loloha_obs(
+        k: u64,
+        params: LolohaParams,
+        workers: usize,
+        obs: &MetricsRegistry,
+    ) -> Result<Self, ParamError> {
+        let agg = ShardedAggregator::for_loloha_obs(k, params, workers, obs)?;
+        Ok(Self::from_aggregator_obs(
+            agg,
+            DEFAULT_CHANNEL_CAPACITY,
+            obs,
+        ))
     }
 
     /// Wraps an existing aggregator: one worker per aggregator shard, each
     /// envelope channel bounded at `capacity` (clamped to ≥ 1). The
     /// aggregator should be freshly reset; its shards hold merged round
     /// state between [`Self::finish_round`] calls.
-    pub fn from_aggregator(mut agg: ShardedAggregator, capacity: usize) -> Self {
+    pub fn from_aggregator(agg: ShardedAggregator, capacity: usize) -> Self {
+        Self::from_aggregator_obs(agg, capacity, &MetricsRegistry::global())
+    }
+
+    /// [`Self::from_aggregator`] with an explicit telemetry registry for
+    /// the *pipeline* instruments (the aggregator keeps the registry it
+    /// was constructed with).
+    pub fn from_aggregator_obs(
+        mut agg: ShardedAggregator,
+        capacity: usize,
+        obs: &MetricsRegistry,
+    ) -> Self {
         agg.begin_round();
         let workers = agg.shard_count();
         let dim = agg.dim();
@@ -276,6 +407,7 @@ impl IngestPipeline {
             router: Router::new(workers),
             txs,
             joins,
+            obs: PipelineObs::new(obs, workers),
         }
     }
 
@@ -306,13 +438,12 @@ impl IngestPipeline {
             txs: self.txs.clone(),
             router: self.router.clone(),
             dim: self.agg.dim(),
+            obs: self.obs.clone(),
         }
     }
 
     fn send(&self, worker: usize, envelope: Envelope) -> Result<(), IngestError> {
-        self.txs[worker]
-            .send(envelope)
-            .map_err(|_| IngestError::WorkerLost)
+        send_tracked(&self.obs, worker, &self.txs[worker], envelope)
     }
 
     /// Submits one report's support set, routed by a stable hash of `key`
@@ -643,5 +774,69 @@ mod tests {
     fn worker_count_clamps_to_one() {
         let pipe = IngestPipeline::for_method(Method::LGrr, 4, 2.0, 1.0, 0).unwrap();
         assert_eq!(pipe.worker_count(), 1);
+    }
+
+    #[test]
+    fn telemetry_accounts_every_submission_and_stays_unblocked_when_unconstrained() {
+        let reg = MetricsRegistry::new();
+        let agg = ShardedAggregator::for_method_obs(Method::LGrr, 4, 2.0, 1.0, 2, &reg).unwrap();
+        let mut pipe = IngestPipeline::from_aggregator_obs(agg, DEFAULT_CHANNEL_CAPACITY, &reg);
+        for i in 0..100u64 {
+            pipe.submit(i, [(i % 4) as usize]).unwrap();
+        }
+        pipe.submit_batch(vec![1, 0, 0, 0], 5).unwrap();
+        assert_eq!(pipe.finish_round().unwrap().reports, 105);
+
+        let snap = reg.snapshot();
+        // Routed counts sum exactly to the Report-envelope submissions.
+        assert_eq!(
+            snap.counter_total("ldp.ingest.pipeline.reports_routed"),
+            100
+        );
+        assert_eq!(snap.counter_total("ldp.ingest.pipeline.batch_reports"), 5);
+        assert_eq!(snap.hist_count("ldp.ingest.pipeline.batch_size"), 1);
+        // Envelope counts by kind: 100 reports, 1 batch, 2 end_round
+        // barriers (one per worker).
+        assert_eq!(snap.counter_total("ldp.ingest.pipeline.envelopes"), 103);
+        // A ~1k-deep channel never fills at this scale: the backpressure
+        // signal must stay exactly zero in the unconstrained case.
+        assert_eq!(snap.counter_total("ldp.ingest.pipeline.send_blocked"), 0);
+        assert_eq!(snap.hist_count("ldp.ingest.pipeline.send_blocked_ns"), 0);
+    }
+
+    #[test]
+    fn tiny_channel_bound_trips_the_backpressure_instruments() {
+        // One worker, capacity-1 channel. The first envelope is a task
+        // that parks the worker on a gate; with the worker parked, at
+        // most one more envelope fits in the channel, so by the third
+        // submission `try_send` deterministically observes a full queue.
+        let reg = MetricsRegistry::new();
+        let agg = ShardedAggregator::for_method_obs(Method::LGrr, 4, 2.0, 1.0, 1, &reg).unwrap();
+        let mut pipe = IngestPipeline::from_aggregator_obs(agg, 1, &reg);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        pipe.submit_task(0, move |_| {
+            let _ = gate_rx.recv();
+        })
+        .unwrap();
+        // Opens the gate 40ms from now, while the main thread sits in the
+        // blocking send below.
+        let releaser = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(40));
+            let _ = gate_tx.send(());
+        });
+        pipe.submit(1, [0usize]).unwrap();
+        pipe.submit(2, [1usize]).unwrap();
+        releaser.join().unwrap();
+        assert_eq!(pipe.finish_round().unwrap().reports, 2);
+
+        let snap = reg.snapshot();
+        let blocked = snap.counter_total("ldp.ingest.pipeline.send_blocked");
+        assert!(blocked >= 1, "blocked {blocked} sends, expected at least 1");
+        assert_eq!(
+            snap.hist_count("ldp.ingest.pipeline.send_blocked_ns"),
+            blocked
+        );
+        assert!(snap.hist_sum("ldp.ingest.pipeline.send_blocked_ns") > 0);
+        assert_eq!(snap.counter_total("ldp.ingest.pipeline.reports_routed"), 2);
     }
 }

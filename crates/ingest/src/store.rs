@@ -27,6 +27,7 @@
 //! the checksum), and structurally valid but inconsistent layouts.
 
 use crate::pipeline::ShardState;
+use ldp_obs::{Counter, Histogram, MetricsRegistry, Span};
 use ldp_primitives::codec::{self, CodecReader, CodecWriter};
 use std::path::{Path, PathBuf};
 
@@ -156,12 +157,28 @@ fn decode_body(
 #[derive(Debug, Clone)]
 pub struct ShardStore {
     path: PathBuf,
+    save_ns: Histogram,
+    load_ns: Histogram,
+    bytes_written: Counter,
 }
 
 impl ShardStore {
-    /// Creates a store writing to / reading from `path`.
+    /// Creates a store writing to / reading from `path`, reporting
+    /// checkpoint telemetry (`ldp.ingest.store.*`) to the process-wide
+    /// [`MetricsRegistry::global`]; use [`Self::with_obs`] to direct it
+    /// elsewhere.
     pub fn new(path: impl Into<PathBuf>) -> Self {
-        Self { path: path.into() }
+        Self::with_obs(path, &MetricsRegistry::global())
+    }
+
+    /// [`Self::new`] with an explicit telemetry registry.
+    pub fn with_obs(path: impl Into<PathBuf>, obs: &MetricsRegistry) -> Self {
+        Self {
+            path: path.into(),
+            save_ns: obs.histogram("ldp.ingest.store.save_ns"),
+            load_ns: obs.histogram("ldp.ingest.store.load_ns"),
+            bytes_written: obs.counter("ldp.ingest.store.bytes_written"),
+        }
     }
 
     /// The checkpoint file location.
@@ -178,11 +195,16 @@ impl ShardStore {
     /// (via [`codec::write_atomic`]), so a crash mid-write never leaves a
     /// half checkpoint.
     pub fn save(&self, cp: &ShardCheckpoint) -> Result<(), ShardStoreError> {
-        codec::write_atomic(&self.path, &encode_checkpoint(cp))
+        let _timed = Span::enter(&self.save_ns);
+        let bytes = encode_checkpoint(cp);
+        codec::write_atomic(&self.path, &bytes)?;
+        self.bytes_written.inc_by(bytes.len() as u64);
+        Ok(())
     }
 
     /// Reads and decodes the checkpoint at the store's path.
     pub fn load(&self) -> Result<ShardCheckpoint, ShardStoreError> {
+        let _timed = Span::enter(&self.load_ns);
         decode_checkpoint(&codec::read_file(&self.path)?)
     }
 }
@@ -318,5 +340,27 @@ mod tests {
     fn missing_file_is_an_io_error() {
         let store = ShardStore::new("/nonexistent/dir/never.ckpt");
         assert!(matches!(store.load(), Err(ShardStoreError::Io(_))));
+    }
+
+    #[test]
+    fn store_telemetry_counts_operations_and_bytes() {
+        let path = std::env::temp_dir().join(format!(
+            "ldp_ingest_store_obs_test_{}.ckpt",
+            std::process::id()
+        ));
+        let reg = MetricsRegistry::new();
+        let store = ShardStore::with_obs(&path, &reg);
+        store.save(&sample()).unwrap();
+        store.save(&sample()).unwrap();
+        store.load().unwrap();
+        std::fs::remove_file(&path).ok();
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.hist_count("ldp.ingest.store.save_ns"), 2);
+        assert_eq!(snap.hist_count("ldp.ingest.store.load_ns"), 1);
+        assert_eq!(
+            snap.counter_total("ldp.ingest.store.bytes_written"),
+            2 * encode_checkpoint(&sample()).len() as u64
+        );
     }
 }

@@ -52,6 +52,7 @@ pub fn run_check(root: &Path) -> Result<Report, LintError> {
         rules::privacy::p001(f, &mut findings);
         rules::privacy::p002(f, &mut findings);
         rules::privacy::p003(f, &mut findings);
+        rules::privacy::p004(f, &mut findings);
         rules::determinism::d001(f, &mut findings);
         rules::determinism::d002(f, &mut findings);
         rules::compat::c002(f, &mut findings);

@@ -39,6 +39,11 @@ pub const REGISTRY: &[RuleMeta] = &[
         summary: "raw input value written into the report buffer outside a sanitizer",
     },
     RuleMeta {
+        id: "P004",
+        severity: Severity::Error,
+        summary: "telemetry sink argument tainted by report or memoized protocol state",
+    },
+    RuleMeta {
         id: "D001",
         severity: Severity::Error,
         summary: "HashMap/HashSet iteration in a checkpoint-encode or merge path",

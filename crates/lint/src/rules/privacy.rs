@@ -9,6 +9,7 @@
 use crate::report::{Finding, Severity};
 use crate::rules::crate_of;
 use crate::scan::SourceFile;
+use crate::tokenize::{TokKind, Token};
 
 /// Crates in which P001 bans ambient entropy outright.
 const PRIVACY_CRATES: &[&str] = &["core", "client", "hash", "primitives"];
@@ -144,6 +145,124 @@ pub fn p003(file: &SourceFile, out: &mut Vec<Finding>) {
     }
 }
 
+/// Telemetry mutator methods (the `ldp_obs` instrument API). Note
+/// `observe` is deliberately absent: the privacy accountant and detection
+/// tracker use that name for protocol-internal bookkeeping.
+const TELEMETRY_SINKS: &[&str] = &["inc", "inc_by", "record", "set"];
+
+/// Identifiers that name memoized protocol state or report-buffer
+/// contents — the quantities that must never reach a telemetry
+/// instrument.
+const TAINT_SEEDS: &[&str] = &["memo", "support"];
+
+/// P004: telemetry-call argument tainted by report or memo state.
+///
+/// In privacy-bearing crates, a call to a telemetry mutator
+/// (`.inc(…)`/`.inc_by(…)`/`.record(…)`/`.set(…)`) must not mention —
+/// at any nesting depth — an identifier carrying user-derived state:
+/// the seed identifiers `memo`/`support`, the value parameter of a
+/// `ClientState::report_into` impl, or a local `let` binding whose
+/// initializer mentions any of those. Durations, byte totals and report
+/// *counts* are fine; payloads are a side channel.
+pub fn p004(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !crate_of(&file.rel).is_some_and(|c| PRIVACY_CRATES.contains(&c)) {
+        return;
+    }
+    for f in &file.fns {
+        let mut tainted: Vec<String> = TAINT_SEEDS.iter().map(|s| s.to_string()).collect();
+        if f.name == "report_into" && f.impl_trait.as_deref() == Some("ClientState") {
+            if let Some(v) = f.params.first() {
+                tainted.push(v.clone());
+            }
+        }
+        let toks = &file.tokens[f.body.0..f.body.1];
+        let mut i = 0usize;
+        while i < toks.len() {
+            // `let [mut] name = init;` — the binding inherits taint from
+            // any tainted identifier mentioned in its initializer.
+            if toks[i].is_ident("let") {
+                let mut j = i + 1;
+                if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                    j += 1;
+                }
+                let named = toks
+                    .get(j)
+                    .filter(|t| t.kind == TokKind::Ident)
+                    .map(|t| t.text.clone());
+                if let (Some(name), true) =
+                    (named, toks.get(j + 1).is_some_and(|t| t.is_punct('=')))
+                {
+                    let mut depth = 0isize;
+                    let mut taints = false;
+                    let mut k = j + 2;
+                    while k < toks.len() {
+                        let t = &toks[k];
+                        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                            depth += 1;
+                        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                            depth -= 1;
+                        } else if depth == 0 && t.is_punct(';') {
+                            break;
+                        } else if tainted_ident(&tainted, t) {
+                            taints = true;
+                        }
+                        k += 1;
+                    }
+                    if taints {
+                        tainted.push(name);
+                    }
+                    i = k;
+                    continue;
+                }
+            }
+            // `.sink(args…)`: a tainted identifier anywhere in the
+            // argument list leaks state into the metrics registry.
+            let is_sink_call = toks[i].is_punct('.')
+                && toks
+                    .get(i + 1)
+                    .is_some_and(|t| TELEMETRY_SINKS.iter().any(|s| t.is_ident(s)))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct('('));
+            if is_sink_call {
+                let sink = toks[i + 1].text.clone();
+                let mut depth = 0isize;
+                let mut j = i + 2;
+                while j < toks.len() {
+                    let t = &toks[j];
+                    if t.is_punct('(') || t.is_punct('[') {
+                        depth += 1;
+                    } else if t.is_punct(')') || t.is_punct(']') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else if tainted_ident(&tainted, t) {
+                        out.push(Finding {
+                            rule: "P004",
+                            severity: Severity::Error,
+                            file: file.rel.clone(),
+                            line: t.line,
+                            message: format!(
+                                "`{}` carries report/memo state into telemetry sink `.{sink}(…)`; \
+                                 instruments may only receive operational quantities (durations, \
+                                 byte and report counts)",
+                                t.text
+                            ),
+                        });
+                    }
+                    j += 1;
+                }
+                i = j;
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Whether `t` is an identifier on the tainted list.
+fn tainted_ident(tainted: &[String], t: &Token) -> bool {
+    t.kind == TokKind::Ident && tainted.iter().any(|n| n == &t.text)
+}
+
 /// Body ranges of every `ClientState::report_into` impl in the file.
 fn report_into_impls(file: &SourceFile) -> Vec<(usize, usize)> {
     file.fns
@@ -168,7 +287,7 @@ mod tests {
     use crate::scan::scan_source;
 
     fn run(rel: &str, src: &str, rule: fn(&SourceFile, &mut Vec<Finding>)) -> Vec<Finding> {
-        let f = scan_source(rel, src, &["P001", "P002", "P003"]);
+        let f = scan_source(rel, src, &["P001", "P002", "P003", "P004"]);
         let mut out = Vec::new();
         rule(&f, &mut out);
         out
@@ -202,6 +321,56 @@ mod tests {
         ";
         assert_eq!(run("crates/x/src/lib.rs", bad, p002).len(), 1);
         assert!(run("crates/x/src/lib.rs", ok, p002).is_empty());
+    }
+
+    #[test]
+    fn p004_flags_tainted_sink_args_direct_and_via_let() {
+        // Direct: the report_into value parameter reaches `.record(…)`.
+        let direct = "
+            impl ClientState for S {
+                fn report_into(&mut self, value: u64, rng: &mut R, out: &mut ReportBuf) {
+                    self.m.record(value);
+                }
+            }
+        ";
+        assert_eq!(run("crates/client/src/state.rs", direct, p004).len(), 1);
+        // Seed ident: memoized state reaches `.set(…)` even nested.
+        let seed = "
+            fn f(&self) {
+                self.g.set(self.memo.len() as u64);
+            }
+        ";
+        assert_eq!(run("crates/core/src/client.rs", seed, p004).len(), 1);
+        // Propagated: a let binding derived from memo state leaks.
+        let via_let = "
+            fn f(&self) {
+                let leaked = self.memo[0] as u64;
+                self.c.inc_by(leaked);
+            }
+        ";
+        assert_eq!(run("crates/core/src/client.rs", via_let, p004).len(), 1);
+    }
+
+    #[test]
+    fn p004_permits_operational_quantities_and_other_crates() {
+        // Counts and durations are fine, as is protocol-internal
+        // `.observe(…)` bookkeeping on tainted state.
+        let ok = "
+            impl ClientState for S {
+                fn report_into(&mut self, value: u64, rng: &mut R, out: &mut ReportBuf) {
+                    self.acc.observe(self.client.bucket_of(value));
+                    self.reports.inc();
+                }
+            }
+            fn save(&self) {
+                let n = self.users.len();
+                self.gauge.set(n as u64);
+            }
+        ";
+        assert!(run("crates/client/src/state.rs", ok, p004).is_empty());
+        // Non-privacy crates may aggregate whatever they like.
+        let elsewhere = "fn f(&self) { self.h.record(self.memo[0]); }";
+        assert!(run("crates/harness/src/bench.rs", elsewhere, p004).is_empty());
     }
 
     #[test]

@@ -65,6 +65,12 @@ fn p003_raw_value_into_report_buffer() {
 }
 
 #[test]
+fn p004_tainted_telemetry_sink_argument() {
+    assert_fires("p004_bad", "P004", Severity::Error);
+    assert_clean("p004_ok"); // observe() bookkeeping + non-privacy crates
+}
+
+#[test]
 fn d001_unordered_iteration_in_encode_path() {
     assert_fires("d001_bad", "D001", Severity::Error);
     assert_clean("d001_ok"); // BTreeMap iteration + HashSet membership

@@ -1,0 +1,16 @@
+//! P004 trigger: report and memo state flowing into telemetry sinks —
+//! directly (the report_into value parameter), and via a let binding
+//! derived from memoized state.
+impl ClientState for BadState {
+    fn report_into(&mut self, value: u64, rng: &mut LdpRng, out: &mut ReportBuf) {
+        self.sanitize_hist.record(value);
+        out.push(self.report(value, rng) as usize);
+    }
+}
+
+impl BadState {
+    fn flush_metrics(&self) {
+        let leaked = self.memo[0] as u64;
+        self.cells.inc_by(leaked);
+    }
+}

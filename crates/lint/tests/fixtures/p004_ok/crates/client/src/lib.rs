@@ -1,0 +1,18 @@
+//! P004 pass: instruments receive only operational quantities (counts,
+//! durations), and protocol-internal `.observe(…)` bookkeeping on
+//! tainted state is not a telemetry sink.
+impl ClientState for OkState {
+    fn report_into(&mut self, value: u64, rng: &mut LdpRng, out: &mut ReportBuf) {
+        self.accountant.observe(self.bucket_of(value));
+        out.push(self.report(value, rng) as usize);
+        self.reports.inc();
+    }
+}
+
+impl OkState {
+    fn flush_metrics(&self, elapsed_ns: u64) {
+        let population = self.users.len() as u64;
+        self.dirty_gauge.set(population);
+        self.sanitize_hist.record(elapsed_ns);
+    }
+}

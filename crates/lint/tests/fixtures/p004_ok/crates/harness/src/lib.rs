@@ -1,0 +1,5 @@
+//! Non-privacy crates are out of P004's scope: aggregation layers may
+//! feed their instruments from whatever they already hold.
+fn rollup(&self) {
+    self.hist.record(self.memo_sizes[0]);
+}

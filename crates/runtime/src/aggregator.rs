@@ -22,8 +22,32 @@ use crate::method::{dbit_buckets, Method};
 use ldp_hash::BucketMapper;
 use ldp_longitudinal::chain::ue_chain_params;
 use ldp_longitudinal::{DBitFlipServer, LgrrServer, LueServer};
+use ldp_obs::{Counter, Gauge, Histogram, MetricsRegistry, Span};
 use ldp_primitives::error::ParamError;
 use loloha::{LolohaParams, LolohaServer};
+
+/// Aggregator-side telemetry handles (`ldp.runtime.aggregator.*`). Only
+/// operational quantities flow through these: stage durations, the merged
+/// support-count *total*, and round counts — never per-index counts or
+/// estimates.
+#[derive(Debug, Clone)]
+struct AggObs {
+    merge_ns: Histogram,
+    estimate_ns: Histogram,
+    support_total: Gauge,
+    rounds: Counter,
+}
+
+impl AggObs {
+    fn new(obs: &MetricsRegistry) -> Self {
+        Self {
+            merge_ns: obs.histogram("ldp.runtime.aggregator.merge_ns"),
+            estimate_ns: obs.histogram("ldp.runtime.aggregator.estimate_ns"),
+            support_total: obs.gauge("ldp.runtime.aggregator.support_total"),
+            rounds: obs.counter("ldp.runtime.aggregator.rounds"),
+        }
+    }
+}
 
 /// The per-method estimation backend behind a [`ShardedAggregator`].
 #[derive(Debug, Clone)]
@@ -150,18 +174,43 @@ pub struct ShardedAggregator {
     k_binned: bool,
     loloha_params: Option<LolohaParams>,
     dbit: Option<(u32, u32)>,
+    obs: AggObs,
 }
 
 impl ShardedAggregator {
     /// Creates an aggregator for `method` over the domain `[0, k)` at
     /// longitudinal budget `eps_inf` with first-report budget `eps_first`,
     /// spreading ingestion over `shards` shards (clamped to ≥ 1).
+    ///
+    /// Telemetry lands in the process-wide [`MetricsRegistry::global`];
+    /// use [`Self::for_method_obs`] to direct it elsewhere.
     pub fn for_method(
         method: Method,
         k: u64,
         eps_inf: f64,
         eps_first: f64,
         shards: usize,
+    ) -> Result<Self, ParamError> {
+        Self::for_method_obs(
+            method,
+            k,
+            eps_inf,
+            eps_first,
+            shards,
+            &MetricsRegistry::global(),
+        )
+    }
+
+    /// [`Self::for_method`] with an explicit telemetry registry (the CLI
+    /// and harness pass a fresh one per run for isolation; pass
+    /// [`MetricsRegistry::disabled`] to make every instrument a no-op).
+    pub fn for_method_obs(
+        method: Method,
+        k: u64,
+        eps_inf: f64,
+        eps_first: f64,
+        shards: usize,
+        obs: &MetricsRegistry,
     ) -> Result<Self, ParamError> {
         let (estimator, dim, reduced_domain, k_binned, loloha_params, dbit) = match method {
             Method::Rappor | Method::LOsue | Method::LOue | Method::LSoue => {
@@ -200,12 +249,26 @@ impl ShardedAggregator {
             k_binned,
             loloha_params,
             dbit,
+            obs: AggObs::new(obs),
         })
     }
 
     /// Creates a LOLOHA aggregator from explicit parameters (the CLI's and
     /// examples' path, where `g` was chosen outside the [`Method`] enum).
+    ///
+    /// Telemetry lands in the process-wide [`MetricsRegistry::global`];
+    /// use [`Self::for_loloha_obs`] to direct it elsewhere.
     pub fn for_loloha(k: u64, params: LolohaParams, shards: usize) -> Result<Self, ParamError> {
+        Self::for_loloha_obs(k, params, shards, &MetricsRegistry::global())
+    }
+
+    /// [`Self::for_loloha`] with an explicit telemetry registry.
+    pub fn for_loloha_obs(
+        k: u64,
+        params: LolohaParams,
+        shards: usize,
+        obs: &MetricsRegistry,
+    ) -> Result<Self, ParamError> {
         Ok(Self {
             estimator: Estimator::Loloha(LolohaServer::new(k, params)?),
             shards: vec![Shard::new(k as usize); shards.max(1)],
@@ -215,6 +278,7 @@ impl ShardedAggregator {
             k_binned: true,
             loloha_params: Some(params),
             dbit: None,
+            obs: AggObs::new(obs),
         })
     }
 
@@ -297,6 +361,7 @@ impl ShardedAggregator {
     /// Merges the shard partials into one histogram. An index-wise sum, so
     /// the result is independent of the shard count and push order.
     pub fn merged_counts(&self) -> Vec<u64> {
+        let _timed = Span::enter(&self.obs.merge_ns);
         let mut merged = vec![0u64; self.dim];
         for shard in &self.shards {
             for (m, &c) in merged.iter_mut().zip(&shard.counts) {
@@ -309,9 +374,11 @@ impl ShardedAggregator {
     fn merge_and_estimate(&mut self) -> AggregateSnapshot {
         let counts = self.merged_counts();
         let reports = self.round_reports();
+        self.obs.support_total.set(counts.iter().sum());
         let estimate = if reports == 0 {
             vec![0.0; self.dim]
         } else {
+            let _timed = Span::enter(&self.obs.estimate_ns);
             self.estimator.ingest_counts(&counts, reports);
             self.estimator.estimate_and_reset()
         };
@@ -329,9 +396,11 @@ impl ShardedAggregator {
     pub fn snapshot(&self) -> AggregateSnapshot {
         let counts = self.merged_counts();
         let reports = self.round_reports();
+        self.obs.support_total.set(counts.iter().sum());
         let estimate = if reports == 0 {
             vec![0.0; self.dim]
         } else {
+            let _timed = Span::enter(&self.obs.estimate_ns);
             let mut estimator = self.estimator.clone();
             estimator.ingest_counts(&counts, reports);
             estimator.estimate_and_reset()
@@ -347,6 +416,7 @@ impl ShardedAggregator {
     /// next round.
     pub fn finish_round(&mut self) -> AggregateSnapshot {
         let out = self.merge_and_estimate();
+        self.obs.rounds.inc();
         self.begin_round();
         out
     }

@@ -3,7 +3,9 @@
 //! final section — the shuffle-model pipeline where the server estimates
 //! from an *anonymized multiset* of reports flowing through the sharded
 //! streaming aggregator, with a mid-stream snapshot taken before the last
-//! batch arrives.
+//! batch arrives. The pipeline records into an `ldp_obs` registry; the
+//! demo asserts the telemetry stays consistent across a checkpoint/restart
+//! drill and renders the final registry snapshot as an operator dashboard.
 //!
 //! ```sh
 //! cargo run --release --example live_dashboard
@@ -86,7 +88,12 @@ fn main() {
     Shuffler::shuffle(&mut anon, &mut rng);
 
     let workers = 4usize;
-    let mut pipe = IngestPipeline::for_loloha(k, params, workers).expect("valid params");
+    // The run's telemetry registry: the pipeline (and, across the restart
+    // drill, its replacement) records into it; the registry outlives any
+    // one pipeline instance, so counters survive the "crash".
+    let reg = MetricsRegistry::new();
+    let submitted = reg.counter_labeled("ldp.ingest.pipeline.envelopes", "task");
+    let mut pipe = IngestPipeline::for_loloha_obs(k, params, workers, &reg).expect("valid params");
     let midpoint = anon.len() / 2;
     for (i, r) in anon.iter().enumerate() {
         if i == midpoint {
@@ -99,11 +106,23 @@ fn main() {
                 anon.len()
             );
             // Durability drill: checkpoint, "crash", restore, continue.
+            let before = submitted.get();
+            assert_eq!(
+                before, midpoint as u64,
+                "telemetry saw every pre-crash submission"
+            );
             let bytes = encode_checkpoint(&pipe.checkpoint().expect("workers alive"));
             drop(pipe);
-            pipe = IngestPipeline::for_loloha(k, params, workers).expect("valid params");
+            pipe = IngestPipeline::for_loloha_obs(k, params, workers, &reg).expect("valid params");
             pipe.restore(&decode_checkpoint(&bytes).expect("own checkpoint decodes"))
                 .expect("dimensions match");
+            // Restoring replays saved *state*, never telemetry: the
+            // counter neither resets nor double-counts.
+            assert_eq!(
+                submitted.get(),
+                before,
+                "restart drill must not disturb the counters"
+            );
             println!(
                 "  checkpointed {} bytes, restarted the pipeline, resumed mid-round",
                 bytes.len()
@@ -129,6 +148,20 @@ fn main() {
         params.eps_first(),
         central
     );
+
+    // --- Operator telemetry panel --------------------------------------
+    // Every envelope the round submitted is accounted for, across the
+    // restart; the rendered snapshot is the registry's full contents
+    // (operational aggregates only — no report ever reaches a metric).
+    assert_eq!(
+        submitted.get(),
+        anon.len() as u64,
+        "telemetry accounts every submission end to end"
+    );
+    println!("\ntelemetry ({} metrics registered):", reg.len());
+    for line in reg.snapshot().render_text().lines() {
+        println!("  {line}");
+    }
 }
 
 fn top_screen(estimate: &[f64]) -> (usize, f64) {

@@ -34,6 +34,10 @@
 //! * [`harness`] — the resumable experiment runner: per-cell seeded
 //!   sweeps with `LDHS` checkpoints, hot-path throughput measurement,
 //!   and the checked-in `BENCH_<host>_<pr>.json` perf trajectory.
+//! * [`obs`] — the privacy-safe telemetry layer: atomic counters, gauges,
+//!   and histograms behind no-op-able handles, `Span` timers, and the
+//!   deterministic `OBS_FORMAT.md` snapshot exporter the collection
+//!   pipeline reports through.
 //!
 //! Downstream users who only need the stable surface should prefer
 //! [`prelude`], which curates the commonly used items instead of exposing
@@ -54,6 +58,7 @@ pub use ldp_heavyhitters as heavyhitters;
 pub use ldp_ingest as ingest;
 pub use ldp_longitudinal as longitudinal;
 pub use ldp_multidim as multidim;
+pub use ldp_obs as obs;
 pub use ldp_postprocess as postprocess;
 pub use ldp_primitives as primitives;
 pub use ldp_rand as rand;

@@ -70,3 +70,10 @@ pub use ldp_sim::{run_experiment, run_experiment_piped, ExperimentConfig, RunMet
 
 // The resumable experiment harness (sweeps, checkpoints, perf trajectory).
 pub use ldp_harness::{cell_seed, CellResult, ExperimentRunner, RunnerConfig};
+
+// Privacy-safe telemetry: the registry the collection pipeline records
+// into, the handle types instrumented components hold, and the
+// deterministic snapshot exporter.
+pub use ldp_obs::{
+    validate_snapshot_str, Counter, Gauge, Histogram, MetricsRegistry, ObsSnapshot, Span,
+};
