@@ -712,6 +712,10 @@ mod tests {
         assert_eq!(snap.counter_total("ldp.client.pool.reports"), 160);
         assert_eq!(snap.counter_total("ldp.runtime.aggregator.rounds"), 2);
         assert!(snap.hist_count("ldp.client.pool.sanitize_ns") > 0);
+        // The piped rounds ride the batched transport: batch envelopes
+        // were flushed and their fill histogram accounts every report.
+        assert!(snap.counter_total("ldp.ingest.pipeline.batches_flushed") > 0);
+        assert_eq!(snap.hist_sum("ldp.ingest.pipeline.batch_fill"), 160);
         std::fs::remove_file(&path).ok();
     }
 

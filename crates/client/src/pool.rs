@@ -26,7 +26,7 @@
 use crate::config::ClientConfig;
 use crate::state::{ClientState, ReportBuf};
 use crate::store::{ClientCheckpoint, ClientRecord, ClientStoreError};
-use ldp_ingest::{IngestError, IngestHandle};
+use ldp_ingest::{IngestError, IngestHandle, DEFAULT_BATCH_REPORTS};
 use ldp_obs::{Counter, Gauge, Histogram, MetricsRegistry, Span};
 use ldp_primitives::error::ParamError;
 use ldp_rand::{derive_rng2, LdpRng, Xoshiro256pp};
@@ -167,13 +167,68 @@ impl ClientPool {
     }
 
     /// Sanitizes a full round — `values[u]` is user `u`'s value — across
-    /// `workers` threads, submitting each report envelope to the ingest
-    /// pipeline keyed by user index. Bit-identical to a single-threaded
-    /// pass for any worker count.
+    /// `workers` threads, submitting to the ingest pipeline keyed by user
+    /// index through the batched transport
+    /// ([`ldp_ingest::DEFAULT_BATCH_REPORTS`] reports per envelope).
+    /// Bit-identical to a single-threaded pass — and to per-report
+    /// submission — for any worker count and batch size.
     ///
     /// # Panics
     /// Panics if `values.len()` differs from the population size.
     pub fn sanitize_round(
+        &mut self,
+        values: &[u64],
+        workers: usize,
+        handle: &IngestHandle,
+    ) -> Result<(), IngestError> {
+        self.sanitize_round_batched(values, workers, handle, DEFAULT_BATCH_REPORTS)
+    }
+
+    /// [`Self::sanitize_round`] with an explicit transport batch size
+    /// (clamped to ≥ 1 by the submitter). Every worker finishes its
+    /// [`ldp_ingest::BatchSubmitter`] before joining, so the pipeline's
+    /// next barrier observes the whole round.
+    pub fn sanitize_round_batched(
+        &mut self,
+        values: &[u64],
+        workers: usize,
+        handle: &IngestHandle,
+        batch_reports: usize,
+    ) -> Result<(), IngestError> {
+        assert_eq!(values.len(), self.users.len(), "one value per user");
+        let _timed = Span::enter(&self.obs.sanitize_ns);
+        self.dirty.iter_mut().for_each(|d| *d = true);
+        let chunk_len = chunk_len(self.users.len(), workers);
+        let results: Vec<Result<(), IngestError>> = std::thread::scope(|s| {
+            let mut joins = Vec::new();
+            for (ci, chunk) in self.users.chunks_mut(chunk_len).enumerate() {
+                let base = ci * chunk_len;
+                let slice = &values[base..base + chunk.len()];
+                let h = handle.clone();
+                joins.push(s.spawn(move || {
+                    let mut sub = h.batching(batch_reports);
+                    let mut buf = ReportBuf::new();
+                    for (j, (slot, &value)) in chunk.iter_mut().zip(slice).enumerate() {
+                        slot.state.report_into(value, &mut slot.rng, &mut buf);
+                        sub.submit((base + j) as u64, buf.support().iter().copied())?;
+                    }
+                    sub.finish()
+                }));
+            }
+            joins
+                .into_iter()
+                .map(|j| j.join().expect("sanitize worker panicked"))
+                .collect()
+        });
+        self.obs.reports.inc_by(values.len() as u64);
+        self.obs.dirty_users.set(self.dirty_count());
+        results.into_iter().collect()
+    }
+
+    /// [`Self::sanitize_round`] over the per-report transport (one
+    /// envelope per report). The batched path's oracle: the property
+    /// suites assert both produce bit-identical rounds.
+    pub fn sanitize_round_per_report(
         &mut self,
         values: &[u64],
         workers: usize,
@@ -243,9 +298,11 @@ impl ClientPool {
 
     /// Sanitizes a sparse round — `(user, value)` assignments for the
     /// users reporting this round — across `workers` threads, submitting
-    /// to the pipeline keyed by user index. Each worker owns a contiguous
-    /// user-index range and handles the assignments falling in it, so the
-    /// result is bit-identical for any worker count.
+    /// to the pipeline keyed by user index through the batched transport
+    /// ([`ldp_ingest::DEFAULT_BATCH_REPORTS`] reports per envelope). Each
+    /// worker owns a contiguous user-index range and handles the
+    /// assignments falling in it, so the result is bit-identical for any
+    /// worker count and batch size.
     ///
     /// # Panics
     /// Panics if an assignment names an out-of-range user. A user assigned
@@ -256,6 +313,19 @@ impl ClientPool {
         assignments: &[(usize, u64)],
         workers: usize,
         handle: &IngestHandle,
+    ) -> Result<(), IngestError> {
+        self.sanitize_assignments_batched(assignments, workers, handle, DEFAULT_BATCH_REPORTS)
+    }
+
+    /// [`Self::sanitize_assignments`] with an explicit transport batch
+    /// size (clamped to ≥ 1 by the submitter). Every worker finishes its
+    /// [`ldp_ingest::BatchSubmitter`] before joining.
+    pub fn sanitize_assignments_batched(
+        &mut self,
+        assignments: &[(usize, u64)],
+        workers: usize,
+        handle: &IngestHandle,
+        batch_reports: usize,
     ) -> Result<(), IngestError> {
         let _timed = Span::enter(&self.obs.sanitize_ns);
         self.obs.reports.inc_by(assignments.len() as u64);
@@ -277,13 +347,14 @@ impl ClientPool {
                 let base = ci * chunk_len;
                 let h = handle.clone();
                 joins.push(s.spawn(move || {
+                    let mut sub = h.batching(batch_reports);
                     let mut buf = ReportBuf::new();
                     for (u, value) in bucket {
                         let slot = &mut chunk[u - base];
                         slot.state.report_into(value, &mut slot.rng, &mut buf);
-                        h.submit(u as u64, buf.support().iter().copied())?;
+                        sub.submit(u as u64, buf.support().iter().copied())?;
                     }
-                    Ok(())
+                    sub.finish()
                 }));
             }
             joins

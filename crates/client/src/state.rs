@@ -135,7 +135,9 @@ impl ClientState for LongitudinalUeClient {
         let k = self.k() as usize;
         let scratch = out.reset(k);
         LongitudinalUeClient::report_into(self, value, rng, scratch);
-        out.support.extend(out.scratch.iter_ones());
+        // UE supports are dense (~k/2 set bits): the block-level fold
+        // expands them without per-bit iterator state.
+        out.scratch.for_each_one(|i| out.support.push(i));
     }
 
     fn privacy_spent(&self) -> f64 {
@@ -318,8 +320,8 @@ impl ClientState for DBitState {
         let scratch = out.reset(d);
         self.client.report_into(value, rng, scratch);
         let sampled = self.client.sampled();
-        out.support
-            .extend(out.scratch.iter_ones().map(|l| sampled[l] as usize));
+        out.scratch
+            .for_each_one(|l| out.support.push(sampled[l] as usize));
         self.track
             .observe(self.client.bucket_of(value), &out.scratch);
     }

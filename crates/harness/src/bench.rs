@@ -11,15 +11,16 @@
 //! * **estimate** — `ShardedAggregator::snapshot`: the non-destructive
 //!   merge + frequency estimation over filled shards.
 //!
-//! Timings come from the vendored criterion stub's [`measure`] — the
-//! same order statistics (`min`/`median`/`mean`/`p90`/`iters`) the bench
-//! binaries print, recorded per method into `BENCH_*.json` so the perf
-//! trajectory is reviewable across PRs. Wall-clock numbers are
+//! Timings come from the vendored criterion stub's [`measure_warmup`]
+//! (each path discards [`BENCH_WARMUP_ITERS`] untimed iterations first)
+//! — the same order statistics (`min`/`median`/`mean`/`p90`/`iters`)
+//! the bench binaries print, recorded per method into `BENCH_*.json` so
+//! the perf trajectory is reviewable across PRs. Wall-clock numbers are
 //! machine-dependent by nature; everything else in the trajectory file
 //! is deterministic.
 
 use crate::HarnessError;
-use criterion::{measure, SampleStats};
+use criterion::{measure_warmup, SampleStats};
 use ldp_client::{ClientConfig, ClientPool};
 use ldp_ingest::IngestPipeline;
 use ldp_obs::MetricsRegistry;
@@ -34,11 +35,21 @@ const BENCH_K: u64 = 128;
 const BENCH_EPS_INF: f64 = 1.0;
 const BENCH_EPS_FIRST: f64 = 0.5;
 
+/// Untimed iterations discarded before each path's timed samples. The
+/// first round pays one-off costs a steady-state collection never sees
+/// again — memoization tables filling, allocators growing, caches
+/// warming — which at small sample counts skewed `mean_ns` to ~2× the
+/// median in earlier trajectory files. Recorded per path as
+/// `warmup_iters` in `BENCH_*.json`.
+pub const BENCH_WARMUP_ITERS: usize = 2;
+
 /// Timing of one hot path at a known per-iteration workload.
 #[derive(Debug, Clone, Copy)]
 pub struct PathStats {
     /// Reports processed per timed iteration.
     pub reports_per_iter: usize,
+    /// Untimed warmup iterations discarded before the timed samples.
+    pub warmup_iters: usize,
     /// Wall-clock order statistics over the iterations.
     pub stats: SampleStats,
 }
@@ -64,6 +75,15 @@ pub struct IngestObs {
     pub send_blocked: u64,
     /// Total nanoseconds spent blocked on full channels.
     pub send_blocked_ns: u64,
+    /// Batch envelopes flushed by the batched transport.
+    pub batches_flushed: u64,
+    /// Reports carried inside those batch envelopes (the batch-fill
+    /// histogram's sum; mean fill = this / `batches_flushed`).
+    pub batched_reports: u64,
+    /// Buffer free-list takes that reused a recycled buffer.
+    pub bufpool_hits: u64,
+    /// Buffer free-list takes that had to allocate fresh.
+    pub bufpool_misses: u64,
 }
 
 /// The hot-path timings for one method.
@@ -126,7 +146,7 @@ pub fn measure_method(
 
     // Sanitize path: shards accumulate across iterations (counts grow,
     // cost per round does not), memoization reaches steady state after
-    // the first round — which is the regime a long collection runs in.
+    // the warmup rounds — which is the regime a long collection runs in.
     // Telemetry stays disabled here: this number is the pure hot path.
     let mut pool = mk_pool(&off)?;
     let mut agg = ShardedAggregator::for_method_obs(
@@ -138,14 +158,15 @@ pub fn measure_method(
         &off,
     )
     .map_err(|e| HarnessError::Config(e.to_string()))?;
-    let sanitize = measure(samples, || {
+    let sanitize = measure_warmup(samples, BENCH_WARMUP_ITERS, || {
         pool.sanitize_round_into_shards(&values, agg.shards_mut())
     })
     .expect("samples >= 1");
 
     // Estimate path: snapshot the shards the sanitize loop just filled
     // (non-destructive merge + estimate).
-    let estimate = measure(samples, || agg.snapshot()).expect("samples >= 1");
+    let estimate =
+        measure_warmup(samples, BENCH_WARMUP_ITERS, || agg.snapshot()).expect("samples >= 1");
 
     // Ingest path, instrumented: the full piped round end to end with a
     // live run-local registry, exactly as `collect --metrics` runs it.
@@ -160,7 +181,7 @@ pub fn measure_method(
         &reg,
     )
     .map_err(|e| HarnessError::Config(e.to_string()))?;
-    let ingest = measure(samples, || {
+    let ingest = measure_warmup(samples, BENCH_WARMUP_ITERS, || {
         pool.sanitize_round(&values, workers, &pipe.handle())
             .expect("ingest workers alive");
         pipe.finish_round().expect("ingest workers alive")
@@ -171,6 +192,10 @@ pub fn measure_method(
         reports_routed: snap.counter_total("ldp.ingest.pipeline.reports_routed"),
         send_blocked: snap.counter_total("ldp.ingest.pipeline.send_blocked"),
         send_blocked_ns: snap.hist_sum("ldp.ingest.pipeline.send_blocked_ns"),
+        batches_flushed: snap.counter_total("ldp.ingest.pipeline.batches_flushed"),
+        batched_reports: snap.hist_sum("ldp.ingest.pipeline.batch_fill"),
+        bufpool_hits: snap.counter_labeled_total("ldp.ingest.pipeline.bufpool", "hit"),
+        bufpool_misses: snap.counter_labeled_total("ldp.ingest.pipeline.bufpool", "miss"),
     };
 
     // The same piped round with telemetry hard-disabled (every handle a
@@ -185,7 +210,7 @@ pub fn measure_method(
         &off,
     )
     .map_err(|e| HarnessError::Config(e.to_string()))?;
-    let ingest_noobs = measure(samples, || {
+    let ingest_noobs = measure_warmup(samples, BENCH_WARMUP_ITERS, || {
         pool.sanitize_round(&values, workers, &pipe.handle())
             .expect("ingest workers alive");
         pipe.finish_round().expect("ingest workers alive")
@@ -196,14 +221,17 @@ pub fn measure_method(
         method,
         sanitize: PathStats {
             reports_per_iter: users,
+            warmup_iters: BENCH_WARMUP_ITERS,
             stats: sanitize,
         },
         ingest: PathStats {
             reports_per_iter: users,
+            warmup_iters: BENCH_WARMUP_ITERS,
             stats: ingest,
         },
         ingest_noobs: PathStats {
             reports_per_iter: users,
+            warmup_iters: BENCH_WARMUP_ITERS,
             stats: ingest_noobs,
         },
         obs,
@@ -213,6 +241,7 @@ pub fn measure_method(
             // not meaningful across iterations (counts grow), so the
             // workload unit is one population's worth of reports.
             reports_per_iter: users,
+            warmup_iters: BENCH_WARMUP_ITERS,
             stats: estimate,
         },
     })
@@ -234,8 +263,15 @@ mod tests {
             assert!(t.sanitize.reports_per_sec() > 0.0);
             assert!(t.sanitize.stats.min <= t.sanitize.stats.p90);
             // The instrumented rounds' registry saw every routed report:
-            // 200 users × 2 timed iterations.
-            assert_eq!(t.obs.reports_routed, 400);
+            // 200 users × (2 timed + BENCH_WARMUP_ITERS untimed) rounds.
+            assert_eq!(t.obs.reports_routed, 200 * (2 + BENCH_WARMUP_ITERS) as u64);
+            // The piped rounds went through the batched transport:
+            // envelopes were flushed, their fills sum to the routed
+            // reports, and after the first round the free-list recycles.
+            assert!(t.obs.batches_flushed > 0);
+            assert_eq!(t.obs.batched_reports, t.obs.reports_routed);
+            assert!(t.obs.bufpool_hits > 0);
+            assert_eq!(t.sanitize.warmup_iters, BENCH_WARMUP_ITERS);
             assert!(t.obs_overhead_pct().is_finite());
         }
     }

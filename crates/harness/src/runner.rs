@@ -260,6 +260,19 @@ impl ExperimentRunner {
                                     "send_blocked_ns".into(),
                                     Json::Num(t.obs.send_blocked_ns as f64),
                                 ),
+                                (
+                                    "batches_flushed".into(),
+                                    Json::Num(t.obs.batches_flushed as f64),
+                                ),
+                                (
+                                    "batched_reports".into(),
+                                    Json::Num(t.obs.batched_reports as f64),
+                                ),
+                                ("bufpool_hits".into(), Json::Num(t.obs.bufpool_hits as f64)),
+                                (
+                                    "bufpool_misses".into(),
+                                    Json::Num(t.obs.bufpool_misses as f64),
+                                ),
                                 ("overhead_pct".into(), Json::Num(t.obs_overhead_pct())),
                             ]),
                         ),
@@ -293,6 +306,7 @@ fn path_json(p: &PathStats) -> Json {
             Json::Num(p.reports_per_iter as f64),
         ),
         ("iters".into(), Json::Num(p.stats.iters as f64)),
+        ("warmup_iters".into(), Json::Num(p.warmup_iters as f64)),
         ("min_ns".into(), ns(p.stats.min)),
         ("median_ns".into(), ns(p.stats.median)),
         ("mean_ns".into(), ns(p.stats.mean)),
@@ -403,6 +417,12 @@ pub fn validate_bench(doc: &Json) -> Result<(), String> {
             ] {
                 need_num(&p, key).map_err(|e| format!("throughput.{path}: {e}"))?;
             }
+            // Optional (files predating the warmup prefix stay valid),
+            // but numeric when present.
+            if let Some(w) = p.get("warmup_iters") {
+                w.as_f64()
+                    .ok_or_else(|| format!("throughput.{path}: `warmup_iters` must be a number"))?;
+            }
         }
         // Telemetry comparison keys are optional (files predating them
         // stay valid) but must be well-formed when present.
@@ -419,6 +439,19 @@ pub fn validate_bench(doc: &Json) -> Result<(), String> {
                 "overhead_pct",
             ] {
                 need_num(o, key).map_err(|e| format!("throughput.obs: {e}"))?;
+            }
+            // Batched-transport keys are optional (older files predate
+            // the batching transport) but numeric when present.
+            for key in [
+                "batches_flushed",
+                "batched_reports",
+                "bufpool_hits",
+                "bufpool_misses",
+            ] {
+                if let Some(v) = o.get(key) {
+                    v.as_f64()
+                        .ok_or_else(|| format!("throughput.obs: `{key}` must be a number"))?;
+                }
             }
         }
     }

@@ -8,10 +8,15 @@
 //! deployments:
 //!
 //! * [`IngestPipeline`] — a worker-per-shard thread pool over bounded
-//!   `mpsc` channels: report envelopes (single supports, pre-aggregated
-//!   batches, or expand-on-worker tasks) are routed to a worker, drained
-//!   into its own [`ldp_runtime::Shard`], and merged at round close.
-//!   Bounded channels give backpressure instead of unbounded buffering.
+//!   `mpsc` channels: report envelopes (single supports, packed report
+//!   batches, pre-aggregated histograms, or expand-on-worker tasks) are
+//!   routed to a worker, drained into its own [`ldp_runtime::Shard`], and
+//!   merged at round close. Bounded channels give backpressure instead of
+//!   unbounded buffering.
+//! * [`BatchSubmitter`] / [`ReportBatch`] — the zero-alloc batched
+//!   transport: reports pack into recycled per-shard `u32` index buffers
+//!   and cross the channel ~`1/`[`DEFAULT_BATCH_REPORTS`] as often as
+//!   per-report submission, bit-identically (see the [`batch`] module).
 //! * [`Router`] — deterministic report → shard placement (stable key hash
 //!   or round-robin), so replays fill the same shards.
 //! * [`ShardStore`] / [`ShardCheckpoint`] — a versioned, length-prefixed,
@@ -33,12 +38,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod pipeline;
 pub mod router;
 pub mod store;
 
+pub use batch::{ReportBatch, DEFAULT_BATCH_REPORTS};
 pub use pipeline::{
-    IngestError, IngestHandle, IngestPipeline, ShardState, DEFAULT_CHANNEL_CAPACITY,
+    BatchSubmitter, IngestError, IngestHandle, IngestPipeline, ShardState, DEFAULT_CHANNEL_CAPACITY,
 };
 pub use router::Router;
 pub use store::{

@@ -37,6 +37,7 @@ impl Router {
 
     /// Routes a keyed report: a stable hash of `key`, independent of
     /// submission order and thread.
+    #[inline]
     pub fn route_key(&self, key: u64) -> usize {
         (mix(key) % self.workers as u64) as usize
     }

@@ -78,6 +78,40 @@ proptest! {
         }
     }
 
+    /// The batched transport is bit-identical to per-report submission for
+    /// every method, worker count, and batch size — including 1 (every
+    /// submit flushes) and sizes that do not divide the round (a partial
+    /// final batch rides the finish flush).
+    #[test]
+    fn batched_transport_equals_per_report_for_all_methods(
+        method in arb_method(),
+        k in 6u64..20,
+        n in 0usize..50,
+        batch in 1usize..70,
+        seed in any::<u64>(),
+    ) {
+        let mut single = ShardedAggregator::for_method(method, k, 2.0, 1.0, 1).expect("valid");
+        let dim = single.dim();
+        for workers in [1usize, 2, 4] {
+            let mut pipe = IngestPipeline::for_method(method, k, 2.0, 1.0, workers)
+                .expect("valid");
+            let reports = synth_reports(dim, n, seed);
+            let mut sub = pipe.handle().batching(batch);
+            for (i, support) in reports.iter().enumerate() {
+                single.push_report(0, support.iter().copied());
+                sub.submit(i as u64, support.iter().copied()).expect("submit");
+            }
+            sub.finish().expect("workers alive");
+            let want = single.finish_round();
+            let got = pipe.finish_round().expect("workers alive");
+            assert_bit_identical(
+                &want,
+                &got,
+                &format!("{method:?}, {workers} workers, batch {batch}"),
+            );
+        }
+    }
+
     /// Mid-round snapshots agree with a single-threaded replay of the same
     /// submission prefix.
     #[test]

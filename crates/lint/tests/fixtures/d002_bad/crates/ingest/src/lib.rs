@@ -7,3 +7,16 @@ pub fn encode_checkpoint(w: &mut CodecWriter, shards: &[Shard]) {
 pub fn decode_checkpoint(r: &mut CodecReader) -> u32 {
     r.get_u32()?
 }
+
+/// Batch envelope: flat index buffer + per-report end offsets. Both
+/// narrowings here truncate silently — a support index past u32::MAX or
+/// an offset past the u32 boundary would corrupt the batch in flight.
+pub fn encode_report_batch(w: &mut CodecWriter, indices: &[usize], ends: &[usize]) {
+    w.put_u32(indices.len() as u32);
+    for &idx in indices {
+        w.put_u32(idx as u32);
+    }
+    for &end in ends {
+        w.put_u32(end as u32);
+    }
+}

@@ -10,3 +10,20 @@ pub fn decode_checkpoint(r: &mut CodecReader) -> u64 {
     let n = r.get_u32()?;
     u64::from(v as u32) + u64::from(n)
 }
+
+/// Batch envelope: every narrowing to the u32 transport width is a
+/// checked conversion carrying its invariant; reads widen back to usize.
+pub fn encode_report_batch(w: &mut CodecWriter, indices: &[usize], ends: &[usize]) {
+    w.put_u32(u32::try_from(indices.len()).expect("batch index count fits u32"));
+    for &idx in indices {
+        w.put_u32(u32::try_from(idx).expect("transport invariant: dim fits u32"));
+    }
+    for &end in ends {
+        w.put_u32(u32::try_from(end).expect("transport invariant: batch offsets fit u32"));
+    }
+}
+
+pub fn decode_report_batch(r: &mut CodecReader) -> Vec<usize> {
+    let n = r.get_u32()?;
+    (0..n).map(|_| r.get_u32().map(|i| i as usize)).collect()
+}

@@ -82,6 +82,20 @@ impl ObsSnapshot {
             .sum()
     }
 
+    /// Sum of the counter samples named `name` carrying exactly `label`
+    /// (0 when absent) — the single-member read for labeled families,
+    /// where [`Self::counter_total`] sums the whole family.
+    pub fn counter_labeled_total(&self, name: &str, label: &str) -> u64 {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name && s.label.as_deref() == Some(label))
+            .filter_map(|s| match s.value {
+                MetricValue::Counter(v) => Some(v),
+                _ => None,
+            })
+            .sum()
+    }
+
     /// The value of the (unlabeled) gauge named `name`, if present.
     pub fn gauge(&self, name: &str) -> Option<u64> {
         self.samples

@@ -80,6 +80,23 @@ impl BitVec {
         }
     }
 
+    /// Calls `f` with every set-bit index, in increasing order.
+    ///
+    /// Equivalent to `iter_ones().for_each(f)` but folds a whole 64-bit
+    /// block per loop with no iterator state to thread through — the hot
+    /// shape for expanding dense unary-encoded supports into flat index
+    /// buffers.
+    #[inline]
+    pub fn for_each_one<F: FnMut(usize)>(&self, mut f: F) {
+        for (block_idx, &block) in self.blocks.iter().enumerate() {
+            let mut current = block;
+            while current != 0 {
+                f(block_idx * 64 + current.trailing_zeros() as usize);
+                current &= current - 1; // clear lowest set bit
+            }
+        }
+    }
+
     /// Resets all bits to zero, keeping the allocation.
     pub fn clear(&mut self) {
         self.blocks.fill(0);
@@ -188,6 +205,19 @@ mod tests {
         }
         let collected: Vec<usize> = bv.iter_ones().collect();
         assert_eq!(collected, idxs);
+    }
+
+    #[test]
+    fn for_each_one_matches_iter_ones() {
+        let mut bv = BitVec::zeros(200);
+        for &i in &[0usize, 3, 63, 64, 65, 127, 128, 199] {
+            bv.set(i, true);
+        }
+        let mut folded = Vec::new();
+        bv.for_each_one(|i| folded.push(i));
+        assert_eq!(folded, bv.iter_ones().collect::<Vec<_>>());
+        let empty = BitVec::zeros(70);
+        empty.for_each_one(|_| panic!("no set bits"));
     }
 
     #[test]

@@ -116,6 +116,22 @@ impl Shard {
         self.reports += 1;
     }
 
+    /// Folds a transport batch of whole reports in: `indices` is the
+    /// concatenation of `reports` reports' support sets in the ingest
+    /// transport width (`u32`), every index already validated against the
+    /// aggregation dimension by the submitting side. One flat slice walk —
+    /// no per-report envelope or iterator state — which is what lets the
+    /// batched ingest path drain a channel message in a single pass.
+    ///
+    /// # Panics
+    /// Panics if an index is outside the aggregation dimension.
+    pub fn add_report_batch(&mut self, indices: &[u32], reports: u64) {
+        for &i in indices {
+            self.counts[i as usize] += 1;
+        }
+        self.reports += reports;
+    }
+
     /// Folds a pre-aggregated batch of `reports` reports into this shard.
     ///
     /// # Panics
@@ -452,6 +468,23 @@ mod tests {
             out.push((counts, 10 + b as u64));
         }
         out
+    }
+
+    #[test]
+    fn add_report_batch_matches_per_report_folds() {
+        let reports: Vec<Vec<usize>> = vec![vec![0, 3, 5], vec![1], vec![], vec![5, 5, 2]];
+        let mut per_report = Shard::with_dim(6);
+        for r in &reports {
+            per_report.add_report(r.iter().copied());
+        }
+        let mut batched = Shard::with_dim(6);
+        let flat: Vec<u32> = reports
+            .iter()
+            .flatten()
+            .map(|&i| u32::try_from(i).unwrap())
+            .collect();
+        batched.add_report_batch(&flat, reports.len() as u64);
+        assert_eq!(per_report, batched);
     }
 
     #[test]

@@ -44,8 +44,9 @@ pub use ldp_runtime::{dbit_buckets, AggregateSnapshot, Method, Shard, ShardedAgg
 
 // Concurrent ingestion and durable shard-state checkpoints.
 pub use ldp_ingest::{
-    decode_checkpoint, encode_checkpoint, IngestError, IngestHandle, IngestPipeline,
-    ShardCheckpoint, ShardState, ShardStore, ShardStoreError,
+    decode_checkpoint, encode_checkpoint, BatchSubmitter, IngestError, IngestHandle,
+    IngestPipeline, ReportBatch, ShardCheckpoint, ShardState, ShardStore, ShardStoreError,
+    DEFAULT_BATCH_REPORTS,
 };
 
 // The unified client side: per-user state behind one trait, pooled with

@@ -131,6 +131,25 @@ pub fn measure<O, R>(samples: usize, routine: R) -> Option<SampleStats>
 where
     R: FnMut() -> O,
 {
+    measure_warmup(samples, 0, routine)
+}
+
+/// [`measure`] preceded by `warmup` untimed iterations of the same
+/// routine. First iterations routinely run far off steady state — cold
+/// caches, lazy allocation, memoization still filling — and with
+/// nearest-rank statistics over small sample counts that skew lands
+/// squarely in `mean`/`p90`. Discarding a warmup prefix makes the
+/// recorded statistics describe the steady-state regime; record the
+/// warmup count alongside them (the `BENCH_*.json` files carry it as
+/// `warmup_iters`) so readers know what was discarded.
+pub fn measure_warmup<O, R>(samples: usize, warmup: usize, mut routine: R) -> Option<SampleStats>
+where
+    R: FnMut() -> O,
+{
+    for _ in 0..warmup {
+        let out = routine();
+        drop(out);
+    }
     let mut bencher = Bencher {
         samples: samples.max(1),
         per_iter: Vec::new(),
@@ -255,6 +274,19 @@ mod tests {
         assert_eq!(s.min, s.median);
         assert_eq!(s.median, s.p90);
         assert_eq!(s.mean, Duration::from_nanos(7));
+    }
+
+    #[test]
+    fn measure_warmup_discards_the_untimed_prefix() {
+        let mut calls = 0usize;
+        let s = measure_warmup(3, 2, || {
+            calls += 1;
+            std::hint::black_box(calls)
+        })
+        .unwrap();
+        // 2 warmup + 3 timed invocations, but only 3 recorded samples.
+        assert_eq!(calls, 5);
+        assert_eq!(s.iters, 3);
     }
 
     #[test]
