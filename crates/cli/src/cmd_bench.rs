@@ -51,13 +51,16 @@ pub fn config_from_flags(flags: &Flags) -> Result<RunnerConfig, CliError> {
     if flags.switch("pair-methods") {
         cfg.pair_methods = true;
     }
+    if flags.switch("net-ingest") {
+        cfg.net_ingest = true;
+    }
     Ok(cfg)
 }
 
 /// Runs the subcommand; returns the report text.
 pub fn run(argv: &[String]) -> Result<String, CliError> {
-    let flags = Flags::parse(argv, &["pair-methods", "sweep-only"])?;
-    let mut known: Vec<&str> = vec!["config", "pair-methods", "sweep-only"];
+    let flags = Flags::parse(argv, &["pair-methods", "sweep-only", "net-ingest"])?;
+    let mut known: Vec<&str> = vec!["config", "pair-methods", "sweep-only", "net-ingest"];
     known.extend(KEY_FLAGS.iter().map(|(flag, _)| *flag));
     flags.ensure_known(&known)?;
 

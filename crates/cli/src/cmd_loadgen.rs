@@ -1,0 +1,184 @@
+//! `loloha-cli loadgen` — drive deterministic traffic at a `collectd`.
+//!
+//! Owns a real `ClientPool` (the same sanitization machinery as the
+//! in-process `collect` subcommand) and streams full rounds over N TCP
+//! connections, reporting acked throughput. With `--shutdown` the last
+//! round is followed by an in-band drain. Traffic is a pure function of
+//! `(--seed, round)` — a rerun replays byte-identical reports, which is
+//! what lets a killed daemon resume exactly once (`docs/WIRE_FORMAT.md`
+//! §6).
+
+use crate::args::Flags;
+use crate::cmd_simulate::parse_method;
+use crate::CliError;
+use ldp_netd::{run_loadgen, LoadgenConfig};
+use ldp_obs::MetricsRegistry;
+use ldp_primitives::codec;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Runs the subcommand; returns the traffic report text.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(argv, &["shutdown"])?;
+    flags.ensure_known(&[
+        "addr",
+        "method",
+        "k",
+        "eps-inf",
+        "alpha",
+        "users",
+        "rounds",
+        "workers",
+        "frame-reports",
+        "seed",
+        "retry-timeout-ms",
+        "metrics",
+        "shutdown",
+    ])?;
+    let addr = flags.required("addr")?;
+    let addr = addr
+        .parse::<SocketAddr>()
+        .map_err(|_| CliError::new(format!("--addr: `{addr}` is not a socket address")))?;
+    let method = parse_method(flags.required("method")?)?;
+    let k = flags.required_u64("k")?;
+    let eps_inf = flags.required_f64("eps-inf")?;
+    let alpha = flags.f64_or("alpha", 0.5)?;
+
+    let mut cfg = LoadgenConfig::new(addr, method, k, eps_inf, alpha * eps_inf);
+    cfg.users = flags.u64_or("users", 100)? as usize;
+    if cfg.users == 0 {
+        return Err(CliError::new("--users must be at least 1"));
+    }
+    cfg.rounds = flags.u64_or("rounds", 1)?;
+    if cfg.rounds == 0 {
+        return Err(CliError::new("--rounds must be at least 1"));
+    }
+    cfg.workers = flags.u64_or("workers", 2)? as usize;
+    if cfg.workers == 0 {
+        return Err(CliError::new("--workers must be at least 1"));
+    }
+    if let Some(fr) = flags.optional_u64("frame-reports")? {
+        if fr == 0 {
+            return Err(CliError::new("--frame-reports must be at least 1"));
+        }
+        cfg.frame_reports = fr as usize;
+    }
+    cfg.seed = flags.u64_or("seed", 42)?;
+    cfg.retry_timeout = flags
+        .optional_u64("retry-timeout-ms")?
+        .map(Duration::from_millis);
+    cfg.shutdown = flags.switch("shutdown");
+
+    let metrics_path = flags.optional("metrics").map(PathBuf::from);
+    let reg = match &metrics_path {
+        Some(_) => MetricsRegistry::new(),
+        None => MetricsRegistry::disabled(),
+    };
+
+    let report = run_loadgen(&cfg, &reg).map_err(CliError::new)?;
+
+    if let Some(mp) = &metrics_path {
+        let json = reg.snapshot().to_json_string(&[("source", "loadgen")]);
+        codec::write_atomic(mp, json.as_bytes()).map_err(CliError::new)?;
+    }
+
+    let mut out = format!(
+        "loadgen -> {addr}: {} round(s), {} report(s) in {} frame(s), {} retr{}\n",
+        report.rounds.len(),
+        report.reports,
+        report.frames,
+        report.retries,
+        if report.retries == 1 { "y" } else { "ies" },
+    );
+    out.push_str(&format!(
+        "throughput: {:.0} reports/s over {:.3}s\n",
+        report.reports_per_sec,
+        report.elapsed.as_secs_f64()
+    ));
+    for round in &report.rounds {
+        let peak = round
+            .estimate
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        out.push_str(&format!(
+            "round {}: {} report(s) folded, estimate dim {}, peak bin {:.4}\n",
+            round.round,
+            round.reports,
+            round.estimate.len(),
+            peak
+        ));
+    }
+    if cfg.shutdown {
+        out.push_str("shutdown: daemon drained in-band after the last round\n");
+    }
+    if let Some(mp) = &metrics_path {
+        out.push_str(&format!(
+            "metrics: telemetry snapshot written to {}\n",
+            mp.display()
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::argv;
+    use ldp_netd::{Collectd, DaemonConfig};
+    use ldp_runtime::Method;
+
+    #[test]
+    fn rejects_bad_flags() {
+        assert!(
+            run(&argv("--method l-grr --k 8 --eps-inf 1.0")).is_err(),
+            "missing addr"
+        );
+        assert!(
+            run(&argv("--addr nope --method l-grr --k 8 --eps-inf 1.0")).is_err(),
+            "bad addr"
+        );
+        assert!(
+            run(&argv(
+                "--addr 127.0.0.1:1 --method l-grr --k 8 --eps-inf 1.0 --users 0"
+            ))
+            .is_err(),
+            "zero users"
+        );
+        assert!(
+            run(&argv(
+                "--addr 127.0.0.1:1 --method l-grr --k 8 --eps-inf 1.0 --typo 3"
+            ))
+            .is_err(),
+            "unknown flag"
+        );
+    }
+
+    #[test]
+    fn drives_a_live_daemon_and_reports_throughput() {
+        let obs = MetricsRegistry::new();
+        let daemon =
+            Collectd::start(DaemonConfig::new(Method::BiLoloha, 16, 2.0, 1.0), &obs).unwrap();
+        let metrics = std::env::temp_dir().join(format!(
+            "ldp_cli_loadgen_metrics_{}.json",
+            std::process::id()
+        ));
+        let out = run(&argv(&format!(
+            "--addr {} --method biloloha --k 16 --eps-inf 2.0 --users 12 \
+             --rounds 2 --workers 2 --frame-reports 4 --metrics {}",
+            daemon.local_addr(),
+            metrics.display()
+        )))
+        .unwrap();
+        daemon.trigger_drain();
+        let dreport = daemon.join().unwrap();
+
+        assert!(out.contains("2 round(s), 24 report(s)"), "{out}");
+        assert!(out.contains("round 1:"), "{out}");
+        assert_eq!(dreport.rounds_finished, 2);
+        let snapshot = std::fs::read_to_string(&metrics).unwrap();
+        ldp_obs::validate_snapshot_str(&snapshot).unwrap();
+        let _ = std::fs::remove_file(&metrics);
+    }
+}

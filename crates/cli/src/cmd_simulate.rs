@@ -7,18 +7,7 @@ use ldp_sim::{run_experiment, ExperimentConfig, Method};
 
 /// Parses a method name (case-insensitive, as listed in the usage text).
 pub fn parse_method(name: &str) -> Result<Method, CliError> {
-    Ok(match name.to_ascii_lowercase().as_str() {
-        "rappor" | "l-sue" => Method::Rappor,
-        "l-osue" => Method::LOsue,
-        "l-oue" => Method::LOue,
-        "l-soue" => Method::LSoue,
-        "l-grr" => Method::LGrr,
-        "biloloha" => Method::BiLoloha,
-        "ololoha" => Method::OLoloha,
-        "1bitflip" | "1bitflippm" => Method::OneBitFlip,
-        "bbitflip" | "bbitflippm" => Method::BBitFlip,
-        other => return Err(CliError::new(format!("unknown method `{other}`"))),
-    })
+    Method::from_name(name).ok_or_else(|| CliError::new(format!("unknown method `{name}`")))
 }
 
 /// Finds a dataset by its (case-insensitive) name at the given scale.

@@ -1,6 +1,6 @@
 //! `loloha-cli` — the command-line front end for the LOLOHA toolkit.
 //!
-//! Five subcommands, each a thin shell over the library crates:
+//! Seven subcommands, each a thin shell over the library crates:
 //!
 //! * `params` — resolve a LOLOHA parameterization (g, ε_IRR, the
 //!   perturbation pairs, V*, the budget cap) from `(ε∞, α)`.
@@ -14,6 +14,12 @@
 //!   configuration (the `ldp-attack` closed forms).
 //! * `bench` — run (or resume) a resumable harness experiment and write
 //!   the `BENCH_<host>_<pr>.json` perf trajectory (`ldp_harness`).
+//! * `collectd` — run the long-running TCP ingestion daemon (`ldp_netd`):
+//!   remote workers stream sanitized reports over the `LDNW` wire
+//!   protocol; drains on SIGTERM with a durable checkpoint and resumes
+//!   mid-round exactly once.
+//! * `loadgen` — drive deterministic, replayable traffic at a `collectd`
+//!   and report acked throughput.
 //!
 //! The crate is a library so the argument parser and command
 //! implementations are unit-testable; `main.rs` is a two-line shim.
@@ -25,6 +31,8 @@ pub mod args;
 pub mod cmd_asr;
 pub mod cmd_bench;
 pub mod cmd_collect;
+pub mod cmd_collectd;
+pub mod cmd_loadgen;
 pub mod cmd_params;
 pub mod cmd_simulate;
 
@@ -74,9 +82,23 @@ USAGE:
                       [--eps E,..] [--alphas A,..] [--runs R]
                       [--n-frac F] [--tau-frac F] [--seed S] [--threads T]
                       [--bench-users N] [--bench-samples S]
-                      [--pair-methods] [--sweep-only]
+                      [--pair-methods] [--sweep-only] [--net-ingest]
                       (resumable sweep + hot-path throughput; writes
                        BENCH_<host>_<pr>.json and a per-cell checkpoint)
+  loloha-cli collectd --method M --k K --eps-inf E [--alpha A]
+                      [--addr HOST:PORT] [--addr-file PATH] [--workers N]
+                      [--channel-capacity N] [--batch-reports N]
+                      [--idle-timeout-ms MS] [--checkpoint-every N]
+                      [--dir DIR] [--metrics PATH]
+                      (TCP ingestion daemon; announces its bound address
+                       eagerly, drains on SIGTERM or an in-band shutdown,
+                       resumes exactly-once from --dir)
+  loloha-cli loadgen  --addr HOST:PORT --method M --k K --eps-inf E
+                      [--alpha A] [--users N] [--rounds R] [--workers N]
+                      [--frame-reports N] [--seed S]
+                      [--retry-timeout-ms MS] [--metrics PATH] [--shutdown]
+                      (deterministic replayable traffic driver; reports
+                       acked reports/s)
 
 METHODS:   rappor | l-osue | l-oue | l-soue | l-grr | biloloha | ololoha |
            1bitflip | bbitflip
@@ -95,6 +117,8 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "collect" => cmd_collect::run(rest, &mut std::io::stdin().lock()),
         "asr" => cmd_asr::run(rest),
         "bench" => cmd_bench::run(rest),
+        "collectd" => cmd_collectd::run(rest),
+        "loadgen" => cmd_loadgen::run(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::new(format!(
             "unknown subcommand `{other}`\n\n{USAGE}"

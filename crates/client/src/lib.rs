@@ -46,7 +46,7 @@ pub mod store;
 
 pub use config::ClientConfig;
 pub use detect::DetectionTrack;
-pub use pool::{ClientPool, USER_STREAM_TAG};
+pub use pool::{ClientPool, ReportSink, USER_STREAM_TAG};
 pub use state::{ClientState, DBitState, LolohaState, ReportBuf};
 pub use store::{
     decode_client_checkpoint, encode_client_checkpoint, CheckpointMeta, ClientCheckpoint,

@@ -41,6 +41,42 @@ struct UserSlot {
     rng: LdpRng,
 }
 
+/// A destination for sanitized reports: the seam that lets one sanitize
+/// pass feed either the in-process ingest transport or a remote
+/// collector over the wire (`ldp_netd`'s loadgen sinks) without the
+/// pool knowing the difference. Implementations receive validated
+/// support sets keyed by absolute user index — routing-compatible with
+/// [`IngestHandle::submit`] — and flush any buffering in
+/// [`ReportSink::finish`] before the round closes.
+pub trait ReportSink {
+    /// Why a submission (or flush) failed.
+    type Error: Send;
+
+    /// Accepts one sanitized report's support set for `user`.
+    fn submit(&mut self, user: u64, support: &[usize]) -> Result<(), Self::Error>;
+
+    /// Flushes anything buffered; called once per sink after its share
+    /// of the round is submitted.
+    fn finish(&mut self) -> Result<(), Self::Error> {
+        Ok(())
+    }
+}
+
+/// The in-process reference sink: the batched ingest transport itself.
+/// `finish` flushes without consuming (the pool calls it through a
+/// mutable borrow); callers still own the submitter afterwards.
+impl ReportSink for ldp_ingest::BatchSubmitter {
+    type Error = IngestError;
+
+    fn submit(&mut self, user: u64, support: &[usize]) -> Result<(), IngestError> {
+        ldp_ingest::BatchSubmitter::submit(self, user, support.iter().copied())
+    }
+
+    fn finish(&mut self) -> Result<(), IngestError> {
+        self.flush()
+    }
+}
+
 /// Pool-side telemetry handles (`ldp.client.pool.*`). Only operational
 /// quantities flow through these — sanitize-pass durations, report
 /// *counts*, dirty-flag counts — never report payloads or memoized
@@ -251,6 +287,64 @@ impl ClientPool {
                         h.submit((base + j) as u64, buf.support().iter().copied())?;
                     }
                     Ok(())
+                }));
+            }
+            joins
+                .into_iter()
+                .map(|j| j.join().expect("sanitize worker panicked"))
+                .collect()
+        });
+        self.obs.reports.inc_by(values.len() as u64);
+        self.obs.dirty_users.set(self.dirty_count());
+        results.into_iter().collect()
+    }
+
+    /// Sanitizes a full round into caller-provided [`ReportSink`]s, one
+    /// sink per worker thread: users split into `sinks.len()` contiguous
+    /// chunks exactly as [`Self::sanitize_round_batched`] splits them
+    /// over workers, chunk `i` reporting through `sinks[i]`. With
+    /// in-process batching sinks this *is* the batched path; with
+    /// `ldp_netd`'s network sinks the same pass drives a remote
+    /// collector — per-user sanitization, routing keys, and RNG
+    /// consumption are identical either way, which is what makes the
+    /// network path's output byte-identical to the local one.
+    ///
+    /// Trailing sinks beyond the number of chunks (more sinks than
+    /// users) receive no reports and are not finished.
+    ///
+    /// # Panics
+    /// Panics if `values.len()` differs from the population size or
+    /// `sinks` is empty.
+    pub fn sanitize_round_sinks<S>(
+        &mut self,
+        values: &[u64],
+        sinks: &mut [S],
+    ) -> Result<(), S::Error>
+    where
+        S: ReportSink + Send,
+    {
+        assert_eq!(values.len(), self.users.len(), "one value per user");
+        assert!(!sinks.is_empty(), "at least one sink");
+        let _timed = Span::enter(&self.obs.sanitize_ns);
+        self.dirty.iter_mut().for_each(|d| *d = true);
+        let chunk_len = chunk_len(self.users.len(), sinks.len());
+        let results: Vec<Result<(), S::Error>> = std::thread::scope(|s| {
+            let mut joins = Vec::new();
+            for ((ci, chunk), sink) in self
+                .users
+                .chunks_mut(chunk_len)
+                .enumerate()
+                .zip(sinks.iter_mut())
+            {
+                let base = ci * chunk_len;
+                let slice = &values[base..base + chunk.len()];
+                joins.push(s.spawn(move || {
+                    let mut buf = ReportBuf::new();
+                    for (j, (slot, &value)) in chunk.iter_mut().zip(slice).enumerate() {
+                        slot.state.report_into(value, &mut slot.rng, &mut buf);
+                        sink.submit((base + j) as u64, buf.support())?;
+                    }
+                    sink.finish()
                 }));
             }
             joins
@@ -520,6 +614,30 @@ mod tests {
         let got = pipe_b.finish_round().unwrap();
         assert_eq!(want.counts, got.counts);
         assert_eq!(want.reports, got.reports);
+    }
+
+    #[test]
+    fn sink_rounds_match_the_batched_transport_exactly() {
+        for method in Method::all() {
+            let vals = values(50);
+            let mut reference = pool(method, 50);
+            let mut pipe_a = IngestPipeline::for_method(method, 16, 2.0, 1.0, 3).unwrap();
+            let ha = pipe_a.handle();
+            reference.sanitize_round(&vals, 3, &ha).unwrap();
+            drop(ha);
+            let want = pipe_a.finish_round().unwrap();
+
+            let mut sunk = pool(method, 50);
+            let mut pipe_b = IngestPipeline::for_method(method, 16, 2.0, 1.0, 3).unwrap();
+            let hb = pipe_b.handle();
+            let mut sinks: Vec<_> = (0..3).map(|_| hb.batching(8)).collect();
+            sunk.sanitize_round_sinks(&vals, &mut sinks).unwrap();
+            drop(sinks);
+            drop(hb);
+            let got = pipe_b.finish_round().unwrap();
+            assert_eq!(want.counts, got.counts, "{method:?}");
+            assert_eq!(want.reports, got.reports, "{method:?}");
+        }
     }
 
     #[test]

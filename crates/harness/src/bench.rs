@@ -23,10 +23,12 @@ use crate::HarnessError;
 use criterion::{measure_warmup, SampleStats};
 use ldp_client::{ClientConfig, ClientPool};
 use ldp_ingest::IngestPipeline;
+use ldp_netd::{run_loadgen, Collectd, DaemonConfig, LoadgenConfig};
 use ldp_obs::MetricsRegistry;
 use ldp_rand::{derive_rng, uniform_u64};
 use ldp_runtime::ShardedAggregator;
 use ldp_sim::Method;
+use std::time::Duration;
 
 /// Domain size the throughput population reports over. Fixed (not the
 /// sweep's dataset domains) so trajectory numbers are comparable across
@@ -118,6 +120,71 @@ impl MethodThroughput {
             0.0
         }
     }
+}
+
+/// Loopback network-ingestion throughput for one method: a real
+/// `collectd` daemon on `127.0.0.1:0` driven by the loadgen over TCP,
+/// so the number includes wire encode/decode, framing, acks, and the
+/// drain handshake — everything the in-process `ingest` path skips.
+/// Recorded as the optional `net_ingest` trajectory section
+/// (`docs/BENCH_FORMAT.md`).
+#[derive(Debug, Clone, Copy)]
+pub struct NetIngest {
+    /// Protocol measured.
+    pub method: Method,
+    /// Users per round.
+    pub users: usize,
+    /// Full rounds driven over the wire.
+    pub rounds: u64,
+    /// Submit frames sent and acked.
+    pub frames: u64,
+    /// Reports submitted and acked (`users × rounds` when healthy).
+    pub reports: u64,
+    /// Round replays forced by retryable failures (0 on loopback).
+    pub retries: u64,
+    /// Wall-clock for the whole run, connection setup to drain.
+    pub elapsed: Duration,
+    /// Acked reports per wall-clock second.
+    pub reports_per_sec: f64,
+}
+
+/// Measures loopback network ingestion for `method`: starts a fresh
+/// daemon, replays `rounds` rounds of `users` deterministic reports
+/// through the loadgen, drains in-band, and reports acked throughput.
+pub fn measure_net_ingest(
+    method: Method,
+    users: usize,
+    rounds: u64,
+    threads: usize,
+    seed: u64,
+) -> Result<NetIngest, HarnessError> {
+    let off = MetricsRegistry::disabled();
+    let mut dcfg = DaemonConfig::new(method, BENCH_K, BENCH_EPS_INF, BENCH_EPS_FIRST);
+    dcfg.workers = threads.clamp(1, users.max(1));
+    let daemon = Collectd::start(dcfg, &off).map_err(|e| HarnessError::Io(e.to_string()))?;
+    let mut lcfg = LoadgenConfig::new(
+        daemon.local_addr(),
+        method,
+        BENCH_K,
+        BENCH_EPS_INF,
+        BENCH_EPS_FIRST,
+    );
+    lcfg.users = users;
+    lcfg.rounds = rounds;
+    lcfg.seed = seed;
+    lcfg.shutdown = true;
+    let report = run_loadgen(&lcfg, &off).map_err(|e| HarnessError::Io(e.to_string()))?;
+    daemon.join().map_err(|e| HarnessError::Io(e.to_string()))?;
+    Ok(NetIngest {
+        method,
+        users,
+        rounds,
+        frames: report.frames,
+        reports: report.reports,
+        retries: report.retries,
+        elapsed: report.elapsed,
+        reports_per_sec: report.reports_per_sec,
+    })
 }
 
 /// Synthetic uniform population values (deterministic in `seed`).
@@ -274,5 +341,16 @@ mod tests {
             assert_eq!(t.sanitize.warmup_iters, BENCH_WARMUP_ITERS);
             assert!(t.obs_overhead_pct().is_finite());
         }
+    }
+
+    #[test]
+    fn net_ingest_measures_acked_loopback_throughput() {
+        let n = measure_net_ingest(Method::BiLoloha, 40, 2, 2, 42).unwrap();
+        assert_eq!(n.reports, 80, "every report acked, none replayed twice");
+        assert_eq!(n.rounds, 2);
+        assert_eq!(n.retries, 0, "loopback runs clean");
+        assert!(n.frames > 0);
+        assert!(n.reports_per_sec > 0.0);
+        assert!(n.elapsed.as_nanos() > 0);
     }
 }

@@ -58,6 +58,12 @@ pub struct RunnerConfig {
     pub bench_users: usize,
     /// Timing samples per hot path per method.
     pub bench_samples: usize,
+    /// Also measure loopback network ingestion (`collectd` + loadgen)
+    /// per method and record the optional `net_ingest` trajectory
+    /// section. Off by default: it binds a TCP listener, which not every
+    /// bench environment allows. Outside the fingerprint, like the other
+    /// `bench_*` knobs.
+    pub net_ingest: bool,
 }
 
 impl Default for RunnerConfig {
@@ -79,6 +85,7 @@ impl Default for RunnerConfig {
             pair_methods: false,
             bench_users: 20_000,
             bench_samples: 15,
+            net_ingest: false,
         }
     }
 }
@@ -155,6 +162,7 @@ impl RunnerConfig {
             "pair_methods" => self.pair_methods = parse_scalar(key, value)?,
             "bench_users" => self.bench_users = parse_scalar(key, value)?,
             "bench_samples" => self.bench_samples = parse_scalar(key, value)?,
+            "net_ingest" => self.net_ingest = parse_scalar(key, value)?,
             _ => return Err(HarnessError::Config(format!("unknown config key `{key}`"))),
         }
         Ok(())
@@ -410,6 +418,7 @@ mod tests {
             ("threads", "8"),
             ("bench_users", "64"),
             ("bench_samples", "3"),
+            ("net_ingest", "true"),
             ("name", "other"),
             ("out_dir", "/tmp/elsewhere"),
         ] {

@@ -23,7 +23,7 @@ pub mod json;
 pub mod runner;
 pub mod seed;
 
-pub use bench::{measure_method, MethodThroughput, PathStats};
+pub use bench::{measure_method, measure_net_ingest, MethodThroughput, NetIngest, PathStats};
 pub use checkpoint::{load_progress, save_progress, CellMetrics, SweepProgress};
 pub use config::{parse_method, RunnerConfig};
 pub use grid::{run_cell, CellResult};

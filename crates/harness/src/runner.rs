@@ -18,7 +18,7 @@
 //! * a checkpoint written under a different sweep configuration is a
 //!   typed `Mismatch`, never silently recomputed or misread.
 
-use crate::bench::{measure_method, MethodThroughput, PathStats};
+use crate::bench::{measure_method, measure_net_ingest, MethodThroughput, NetIngest, PathStats};
 use crate::checkpoint::{load_progress, save_progress, CellMetrics, SweepProgress};
 use crate::config::RunnerConfig;
 use crate::grid::{run_cell, CellResult};
@@ -190,7 +190,26 @@ impl ExperimentRunner {
             )?);
         }
 
-        let doc = self.bench_json(&sweep.cells, &throughput);
+        // The wire path is opt-in (`net_ingest = true`): it binds a real
+        // loopback listener per method. One full round per timing sample
+        // keeps its wall-clock comparable to the in-process paths.
+        let net = if self.cfg.net_ingest {
+            let mut rows = Vec::with_capacity(self.cfg.methods.len());
+            for &method in &self.cfg.methods {
+                rows.push(measure_net_ingest(
+                    method,
+                    self.cfg.bench_users,
+                    self.cfg.bench_samples as u64,
+                    self.cfg.threads.max(1),
+                    self.cfg.seed,
+                )?);
+            }
+            Some(rows)
+        } else {
+            None
+        };
+
+        let doc = self.bench_json(&sweep.cells, &throughput, net.as_deref());
         validate_bench(&doc).map_err(HarnessError::Json)?;
         let text = doc.to_pretty();
         ldp_primitives::codec::write_atomic(&bench_path, text.as_bytes())
@@ -203,7 +222,12 @@ impl ExperimentRunner {
     }
 
     /// Builds the trajectory document (`docs/BENCH_FORMAT.md`).
-    fn bench_json(&self, cells: &[CellResult], throughput: &[MethodThroughput]) -> Json {
+    fn bench_json(
+        &self,
+        cells: &[CellResult],
+        throughput: &[MethodThroughput],
+        net: Option<&[NetIngest]>,
+    ) -> Json {
         let cfg = &self.cfg;
         let hardware_threads = std::thread::available_parallelism().map_or(1, usize::from);
         let config = Json::Obj(vec![
@@ -238,12 +262,14 @@ impl ExperimentRunner {
             ("pair_methods".into(), Json::Bool(cfg.pair_methods)),
             ("bench_users".into(), Json::Num(cfg.bench_users as f64)),
             ("bench_samples".into(), Json::Num(cfg.bench_samples as f64)),
+            ("net_ingest".into(), Json::Bool(cfg.net_ingest)),
         ]);
         let throughput = Json::Arr(
             throughput
                 .iter()
-                .map(|t| {
-                    Json::Obj(vec![
+                .enumerate()
+                .map(|(i, t)| {
+                    let mut row = vec![
                         ("method".into(), Json::Str(t.method.name().to_string())),
                         ("sanitize".into(), path_json(&t.sanitize)),
                         ("ingest".into(), path_json(&t.ingest)),
@@ -277,7 +303,11 @@ impl ExperimentRunner {
                             ]),
                         ),
                         ("estimate".into(), path_json(&t.estimate)),
-                    ])
+                    ];
+                    if let Some(n) = net.and_then(|rows| rows.get(i)) {
+                        row.push(("net_ingest".into(), net_json(n)));
+                    }
+                    Json::Obj(row)
                 })
                 .collect(),
         );
@@ -296,6 +326,18 @@ impl ExperimentRunner {
             ("accuracy".into(), accuracy),
         ])
     }
+}
+
+fn net_json(n: &NetIngest) -> Json {
+    Json::Obj(vec![
+        ("users".into(), Json::Num(n.users as f64)),
+        ("rounds".into(), Json::Num(n.rounds as f64)),
+        ("frames".into(), Json::Num(n.frames as f64)),
+        ("reports".into(), Json::Num(n.reports as f64)),
+        ("retries".into(), Json::Num(n.retries as f64)),
+        ("elapsed_ns".into(), Json::Num(n.elapsed.as_nanos() as f64)),
+        ("reports_per_sec".into(), Json::Num(n.reports_per_sec)),
+    ])
 }
 
 fn path_json(p: &PathStats) -> Json {
@@ -429,6 +471,21 @@ pub fn validate_bench(doc: &Json) -> Result<(), String> {
         if let Some(p) = row.get("ingest_noobs") {
             for key in ["reports_per_iter", "iters", "mean_ns", "reports_per_sec"] {
                 need_num(p, key).map_err(|e| format!("throughput.ingest_noobs: {e}"))?;
+            }
+        }
+        // The network-ingest section is optional (only runs opted into
+        // `net_ingest = true` record it) but fully checked when present.
+        if let Some(n) = row.get("net_ingest") {
+            for key in [
+                "users",
+                "rounds",
+                "frames",
+                "reports",
+                "retries",
+                "elapsed_ns",
+                "reports_per_sec",
+            ] {
+                need_num(n, key).map_err(|e| format!("throughput.net_ingest: {e}"))?;
             }
         }
         if let Some(o) = row.get("obs") {

@@ -4,7 +4,7 @@
 //! build still reads it bit-for-bit and re-encodes it byte-identically.
 //! If the format ever needs to change, bump the version, keep v1
 //! readable, and add a new fixture — never regenerate this one silently
-//! (see `docs/CHECKPOINT_FORMAT.md` §9).
+//! (see `docs/CHECKPOINT_FORMAT.md` §10).
 
 use ldp_harness::checkpoint::{decode_progress, encode_progress, CellMetrics, SweepProgress};
 use ldp_sim::Summary;

@@ -102,6 +102,40 @@ impl ReportBatch {
         self.ends.clear();
     }
 
+    /// Reassembles a batch from its flat parts (the wire shape `ldp_netd`
+    /// ships: indices plus per-report end offsets). Rejects structurally
+    /// inconsistent inputs — offsets must be nondecreasing and the last
+    /// offset must delimit exactly the index buffer — so a decoded batch
+    /// upholds the same invariants a locally packed one does.
+    pub fn from_parts(indices: Vec<u32>, ends: Vec<u32>) -> Result<Self, &'static str> {
+        let mut prev = 0u32;
+        for &end in &ends {
+            if end < prev {
+                return Err("batch end offsets must be nondecreasing");
+            }
+            prev = end;
+        }
+        if prev as usize != indices.len() {
+            return Err("last end offset must equal the index count");
+        }
+        Ok(Self { indices, ends })
+    }
+
+    /// Disassembles the batch into its flat parts (`indices`, `ends`),
+    /// the inverse of [`Self::from_parts`].
+    pub fn into_parts(self) -> (Vec<u32>, Vec<u32>) {
+        (self.indices, self.ends)
+    }
+
+    /// Packs one whole report of transport-width indices. The caller has
+    /// already validated every index against the aggregation dimension
+    /// and bounds the batch size (the wire layer flushes long before the
+    /// `u32` offset invariant could be threatened).
+    pub fn push_report<I: IntoIterator<Item = u32>>(&mut self, support: I) {
+        self.indices.extend(support);
+        self.seal_report();
+    }
+
     /// Appends one validated index to the report currently being packed.
     /// The caller ([`crate::pipeline::BatchSubmitter`]) has already
     /// range-checked `index < dim`; the width narrowing is still a typed
@@ -216,6 +250,21 @@ mod tests {
         b.truncate_indices(start);
         assert_eq!(b.report_count(), 1);
         assert_eq!(b.indices(), &[7]);
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_rejects_inconsistency() {
+        let mut packed = ReportBatch::new();
+        packed.push_report([0u32, 3, 5]);
+        packed.push_report([1u32]);
+        packed.push_report(std::iter::empty());
+        let (indices, ends) = packed.clone().into_parts();
+        let rebuilt = ReportBatch::from_parts(indices, ends).unwrap();
+        assert_eq!(rebuilt, packed);
+
+        assert!(ReportBatch::from_parts(vec![1, 2], vec![2, 1]).is_err());
+        assert!(ReportBatch::from_parts(vec![1, 2], vec![1]).is_err());
+        assert!(ReportBatch::from_parts(vec![], vec![]).unwrap().is_empty());
     }
 
     #[test]

@@ -83,6 +83,14 @@ fn d002_truncating_cast_on_codec_path() {
 }
 
 #[test]
+fn d002_wire_encoder_narrowing_cast() {
+    // Wire-flavored variants modeled on `ldp_netd::proto`: the same
+    // rule that guards checkpoint codecs guards frame encoders.
+    assert_fires("d002_wire_bad", "D002", Severity::Error);
+    assert_clean("d002_wire_ok"); // u32::try_from at the cap, widening reads
+}
+
+#[test]
 fn c001_magic_registry_drift() {
     assert_fires("c001_bad", "C001", Severity::Error);
     assert_clean("c001_ok");
@@ -92,6 +100,15 @@ fn c001_magic_registry_drift() {
 fn c002_asymmetric_save_load() {
     assert_fires("c002_bad", "C002", Severity::Error);
     assert_clean("c002_ok"); // symmetry through same-file helpers
+}
+
+#[test]
+fn c002_wire_encoder_decoder_drift() {
+    // encode_*/decode_* pairing, wire flavor: a field written but never
+    // read back is exactly the drift WIRE_FORMAT.md §2 forbids without
+    // a version bump.
+    assert_fires("c002_wire_bad", "C002", Severity::Error);
+    assert_clean("c002_wire_ok"); // nested method frame + payload helpers
 }
 
 #[test]

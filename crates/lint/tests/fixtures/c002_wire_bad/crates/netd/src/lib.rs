@@ -1,0 +1,14 @@
+//! C002 trigger, wire flavor: the frame encoder writes a `reports`
+//! u32 the decoder never reads back — silent wire-layout drift that
+//! WIRE_FORMAT.md says must be a version bump instead.
+pub fn encode_frame(w: &mut CodecWriter, f: &Frame) {
+    w.put_u8(f.kind);
+    w.put_u64(f.seq);
+    w.put_u32(f.reports);
+}
+
+pub fn decode_frame(r: &mut CodecReader) -> Result<Frame, CodecError> {
+    let kind = r.get_u8()?;
+    let seq = r.get_u64()?;
+    Ok(Frame { kind, seq })
+}

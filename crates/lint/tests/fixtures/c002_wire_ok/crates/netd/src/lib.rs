@@ -1,0 +1,26 @@
+//! C002 pass, wire flavor: the frame encoder and decoder stay
+//! op-symmetric, including the nested method-name frame and a
+//! same-file payload helper on each side.
+pub fn encode_frame(w: &mut CodecWriter, f: &Frame) {
+    w.put_u8(f.kind);
+    w.put_frame(f.method.as_bytes());
+    write_payload(w, f);
+}
+
+fn write_payload(w: &mut CodecWriter, f: &Frame) {
+    w.put_u64(f.seq);
+    w.put_u32(f.reports);
+}
+
+pub fn decode_frame(r: &mut CodecReader) -> Result<Frame, CodecError> {
+    let kind = r.get_u8()?;
+    let method = r.get_frame()?;
+    let (seq, reports) = payload(r)?;
+    Ok(Frame { kind, method, seq, reports })
+}
+
+fn payload(r: &mut CodecReader) -> Result<(u64, u32), CodecError> {
+    let seq = r.get_u64()?;
+    let reports = r.get_u32()?;
+    Ok((seq, reports))
+}

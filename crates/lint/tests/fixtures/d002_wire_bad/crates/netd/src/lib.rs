@@ -1,0 +1,19 @@
+//! D002 trigger, wire flavor: truncating casts on the wire encode
+//! path silently corrupt batches past the u32 transport width instead
+//! of failing closed at the cap check.
+pub fn encode_frame(w: &mut CodecWriter, indices: &[usize]) {
+    w.put_u32(indices.len() as u32);
+    for &idx in indices {
+        w.put_u32(idx as u32);
+    }
+}
+
+pub fn decode_frame(r: &mut CodecReader) -> Result<Vec<usize>, CodecError> {
+    let count = r.get_u32()?;
+    let mut indices = Vec::new();
+    for _ in 0..count {
+        let idx = r.get_u32()?;
+        indices.push(idx as usize);
+    }
+    Ok(indices)
+}

@@ -1,0 +1,20 @@
+//! D002 pass, wire flavor: every narrowing onto the u32 wire width is
+//! a checked conversion carrying its cap invariant; the read side only
+//! widens, which the micro-inference proves safe.
+pub fn encode_frame(w: &mut CodecWriter, indices: &[usize]) {
+    let count = u32::try_from(indices.len()).expect("caller enforces MAX_WIRE_INDICES");
+    w.put_u32(count);
+    for &idx in indices {
+        w.put_u32(u32::try_from(idx).expect("caller enforces MAX_WIRE_DIM"));
+    }
+}
+
+pub fn decode_frame(r: &mut CodecReader) -> Result<Vec<usize>, CodecError> {
+    let count = r.get_u32()?;
+    let mut indices = Vec::new();
+    for _ in 0..count {
+        let idx = r.get_u32()?;
+        indices.push(idx as usize);
+    }
+    Ok(indices)
+}

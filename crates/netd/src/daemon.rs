@@ -1,0 +1,797 @@
+//! `collectd`: the long-running TCP ingestion daemon.
+//!
+//! One daemon owns one [`IngestPipeline`] for one resolved protocol
+//! configuration. Remote loadgen workers connect over TCP, handshake
+//! with a [`Frame::Hello`] pinning the configuration fingerprint, and
+//! stream [`Frame::Submit`] batches; each accepted frame is applied to
+//! the pipeline through the bounded-channel batching transport (so
+//! socket pressure maps onto the pipeline's own backpressure) and
+//! acknowledged exactly once.
+//!
+//! # Durability and exactly-once
+//!
+//! The daemon periodically persists one atomic [`NetCheckpoint`] (shard
+//! states + per-session applied sequence high-waters + round counter +
+//! previous round's cached result). Sequence dedup makes application
+//! idempotent: a client that never saw its ack resends, and the daemon
+//! re-acks without re-applying. A restarted daemon resumes from the
+//! checkpoint and hands each reconnecting session its `resume_seq`, so
+//! a deterministic client replays only the suffix the checkpoint missed
+//! — the net effect is byte-identical to an uninterrupted run (see
+//! `tests/drill.rs`).
+//!
+//! Consistency between shard state and the session table is enforced by
+//! a checkpoint gate (`RwLock`): connection threads hold the read side
+//! across [dedup check → apply+flush → high-water advance], the
+//! checkpointer holds the write side across [pipeline barrier → session
+//! snapshot → atomic save], so a checkpoint can never capture a frame's
+//! reports without its sequence advance or vice versa.
+//!
+//! # Drain
+//!
+//! A [`Frame::Shutdown`], SIGTERM ([`crate::signal`]), or
+//! [`Collectd::trigger_drain`] flips the drain latch: connections answer
+//! their next frame with a `Draining` error and close, the accept loop
+//! stops accepting, joins the connection threads, takes one final
+//! checkpoint, and exits. [`Collectd::kill_hard`] is the test hook for
+//! the other drill arm: threads stop where they stand and *no* final
+//! checkpoint is taken, simulating `kill -9` up to process boundaries.
+
+use crate::conn::{Conn, Polled};
+use crate::deadline::Deadline;
+use crate::error::{ErrorCode, NetError};
+use crate::proto::{config_fingerprint, Frame};
+use crate::signal;
+use crate::store::{NetCheckpoint, NetStore};
+use ldp_ingest::{BatchSubmitter, IngestHandle, IngestPipeline, DEFAULT_BATCH_REPORTS};
+use ldp_obs::{Gauge, MetricsRegistry};
+use ldp_runtime::{Method, ShardedAggregator};
+use std::collections::BTreeMap;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Poll granularity for the accept loop and per-connection reads: the
+/// latency bound on noticing drain/kill/signal latches.
+const TICK: Duration = Duration::from_millis(10);
+
+/// Checkpoint file name inside [`DaemonConfig::dir`].
+const CHECKPOINT_FILE: &str = "collectd.ckpt";
+
+/// Daemon configuration. Construct with [`DaemonConfig::new`] and
+/// override fields as needed.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Bind address (`127.0.0.1:0` by default — the kernel picks a free
+    /// port, read it back with [`Collectd::local_addr`]).
+    pub addr: SocketAddr,
+    /// Frequency protocol to aggregate under.
+    pub method: Method,
+    /// Input domain size.
+    pub k: u64,
+    /// Longitudinal privacy budget (`ε_∞`).
+    pub eps_inf: f64,
+    /// First-report budget (`ε_1`).
+    pub eps_first: f64,
+    /// Ingest pipeline shard workers (clamped to ≥ 1).
+    pub workers: usize,
+    /// Bound of each shard worker's envelope channel — the backpressure
+    /// depth socket ingestion is allowed before submitters block.
+    pub channel_capacity: usize,
+    /// Reports per in-process batch envelope (the submitter's flush
+    /// threshold; wire frames are flushed per-frame regardless).
+    pub batch_reports: usize,
+    /// Close a connection that stays silent this long (`None` = never).
+    pub idle_timeout: Option<Duration>,
+    /// Take a durable checkpoint every this many applied submit frames
+    /// (0 disables periodic checkpoints; round ends and drains always
+    /// checkpoint).
+    pub checkpoint_every: u64,
+    /// Durable state directory. `None` runs the daemon memory-only —
+    /// still drains cleanly, but cannot resume after a kill.
+    pub dir: Option<PathBuf>,
+    /// Drill hook: hard-kill the daemon (as if `kill -9`, no final
+    /// checkpoint) after this many applied submit frames.
+    pub kill_after_frames: Option<u64>,
+}
+
+impl DaemonConfig {
+    /// A loopback daemon for `method` with library defaults.
+    pub fn new(method: Method, k: u64, eps_inf: f64, eps_first: f64) -> Self {
+        Self {
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+            method,
+            k,
+            eps_inf,
+            eps_first,
+            workers: 2,
+            channel_capacity: ldp_ingest::DEFAULT_CHANNEL_CAPACITY,
+            batch_reports: DEFAULT_BATCH_REPORTS,
+            idle_timeout: None,
+            checkpoint_every: 64,
+            dir: None,
+            kill_after_frames: None,
+        }
+    }
+}
+
+/// What the daemon did over its lifetime, returned by
+/// [`Collectd::join`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DaemonReport {
+    /// Rounds finished (the round counter at exit).
+    pub rounds_finished: u64,
+    /// Submit frames applied (duplicates excluded).
+    pub frames_applied: u64,
+    /// Connections accepted over the lifetime.
+    pub connections_served: u64,
+    /// Whether the daemon exited through the hard-kill hook (no final
+    /// checkpoint) rather than a drain.
+    pub hard_killed: bool,
+    /// Whether the daemon resumed from an existing checkpoint at start.
+    pub resumed: bool,
+}
+
+/// Session bookkeeping: applied high-waters (live) and their state as of
+/// the last durable checkpoint.
+#[derive(Debug, Default)]
+struct SessionTable {
+    applied: BTreeMap<u32, u64>,
+    durable: BTreeMap<u32, u64>,
+}
+
+struct Shared {
+    pipeline: Mutex<IngestPipeline>,
+    handle: IngestHandle,
+    /// The checkpoint-consistency gate (see module docs).
+    gate: RwLock<()>,
+    sessions: Mutex<SessionTable>,
+    round: AtomicU64,
+    last_result: Mutex<Option<(u64, Vec<f64>)>>,
+    draining: AtomicBool,
+    kill: AtomicBool,
+    frames_applied: AtomicU64,
+    frames_since_ckpt: AtomicU64,
+    connections_served: AtomicU64,
+    live_conns: AtomicU64,
+    conn_gauge: Gauge,
+    store: Option<NetStore>,
+    fingerprint: u64,
+    method: Method,
+    k: u64,
+    dim: usize,
+    batch_reports: usize,
+    idle_timeout: Option<Duration>,
+    checkpoint_every: u64,
+    kill_after_frames: Option<u64>,
+    obs: MetricsRegistry,
+}
+
+/// Locks a mutex, shrugging off poisoning: every guarded structure here
+/// stays valid across a panicked holder, and the daemon must keep
+/// serving other connections.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Shared {
+    /// Takes one durable checkpoint under the write gate: pipeline
+    /// barrier, session snapshot, atomic save. Memory-only daemons just
+    /// refresh the durable session view.
+    fn checkpoint_now(&self) -> Result<NetCheckpoint, NetError> {
+        let _gate = self.gate.write().unwrap_or_else(|e| e.into_inner());
+        let shards = lock(&self.pipeline).checkpoint()?;
+        let mut sessions = lock(&self.sessions);
+        let cp = NetCheckpoint {
+            round: self.round.load(Ordering::SeqCst),
+            last_result: lock(&self.last_result).clone(),
+            sessions: sessions.applied.clone(),
+            shards,
+        };
+        if let Some(store) = &self.store {
+            store.save(&cp)?;
+        }
+        sessions.durable = sessions.applied.clone();
+        self.frames_since_ckpt.store(0, Ordering::SeqCst);
+        self.obs.counter("ldp.netd.checkpoints").inc();
+        Ok(cp)
+    }
+
+    fn stopping(&self) -> bool {
+        self.kill.load(Ordering::SeqCst)
+            || self.draining.load(Ordering::SeqCst)
+            || signal::term_requested()
+    }
+}
+
+/// A running `collectd` instance. Dropping without [`Collectd::join`]
+/// drains in the background; join to observe the [`DaemonReport`].
+pub struct Collectd {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<DaemonReport>>,
+    local_addr: SocketAddr,
+    resumed: bool,
+}
+
+impl Collectd {
+    /// Builds the pipeline (resuming from a checkpoint in
+    /// [`DaemonConfig::dir`] if one exists), binds the listener, and
+    /// spawns the accept loop.
+    pub fn start(cfg: DaemonConfig, obs: &MetricsRegistry) -> Result<Self, NetError> {
+        let pipeline = build_pipeline(&cfg, obs)?;
+        let dim = pipeline.dim();
+        let fingerprint =
+            config_fingerprint(cfg.method, cfg.k, dim as u64, cfg.eps_inf, cfg.eps_first);
+        let store = match &cfg.dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir).map_err(|e| NetError::Io(e.to_string()))?;
+                Some(NetStore::new(dir.join(CHECKPOINT_FILE), fingerprint))
+            }
+            None => None,
+        };
+
+        let handle = pipeline.handle();
+        let shared = Arc::new(Shared {
+            pipeline: Mutex::new(pipeline),
+            handle,
+            gate: RwLock::new(()),
+            sessions: Mutex::new(SessionTable::default()),
+            round: AtomicU64::new(0),
+            last_result: Mutex::new(None),
+            draining: AtomicBool::new(false),
+            kill: AtomicBool::new(false),
+            frames_applied: AtomicU64::new(0),
+            frames_since_ckpt: AtomicU64::new(0),
+            connections_served: AtomicU64::new(0),
+            live_conns: AtomicU64::new(0),
+            conn_gauge: obs.gauge("ldp.netd.connections"),
+            store,
+            fingerprint,
+            method: cfg.method,
+            k: cfg.k,
+            dim,
+            batch_reports: cfg.batch_reports.max(1),
+            idle_timeout: cfg.idle_timeout,
+            checkpoint_every: cfg.checkpoint_every,
+            kill_after_frames: cfg.kill_after_frames,
+            obs: obs.clone(),
+        });
+
+        let mut resumed = false;
+        if let Some(store) = &shared.store {
+            if store.exists() {
+                let cp = store.load()?;
+                lock(&shared.pipeline).restore(&cp.shards)?;
+                let mut sessions = lock(&shared.sessions);
+                sessions.applied = cp.sessions.clone();
+                sessions.durable = cp.sessions;
+                shared.round.store(cp.round, Ordering::SeqCst);
+                *lock(&shared.last_result) = cp.last_result;
+                resumed = true;
+                shared.obs.counter("ldp.netd.resumes").inc();
+            }
+        }
+
+        let listener = TcpListener::bind(cfg.addr).map_err(|e| NetError::Io(e.to_string()))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| NetError::Io(e.to_string()))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| NetError::Io(e.to_string()))?;
+
+        let loop_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("collectd-accept".into())
+            .spawn(move || accept_loop(&loop_shared, &listener, resumed))
+            .map_err(|e| NetError::Io(e.to_string()))?;
+
+        Ok(Self {
+            shared,
+            accept: Some(accept),
+            local_addr,
+            resumed,
+        })
+    }
+
+    /// The bound listen address (resolves port 0 binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The configuration fingerprint this daemon pins in every frame.
+    pub fn fingerprint(&self) -> u64 {
+        self.shared.fingerprint
+    }
+
+    /// Whether the daemon resumed from an existing checkpoint.
+    pub fn resumed(&self) -> bool {
+        self.resumed
+    }
+
+    /// Requests a graceful drain (the programmatic SIGTERM): stop
+    /// accepting, close connections, take a final checkpoint, exit.
+    pub fn trigger_drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Drill hook: stop everything where it stands, skipping the final
+    /// checkpoint — the closest an in-process daemon gets to `kill -9`.
+    pub fn kill_hard(&self) {
+        self.shared.kill.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits for the daemon to exit (after a drain/kill trigger) and
+    /// returns its lifetime report.
+    pub fn join(mut self) -> Result<DaemonReport, NetError> {
+        match self.accept.take() {
+            Some(handle) => handle
+                .join()
+                .map_err(|_| NetError::Pipeline("accept loop panicked".into())),
+            None => Err(NetError::Pipeline("daemon already joined".into())),
+        }
+    }
+}
+
+impl Drop for Collectd {
+    fn drop(&mut self) {
+        if let Some(handle) = self.accept.take() {
+            self.shared.draining.store(true, Ordering::SeqCst);
+            let _ = handle.join();
+        }
+    }
+}
+
+fn build_pipeline(cfg: &DaemonConfig, obs: &MetricsRegistry) -> Result<IngestPipeline, NetError> {
+    let agg = ShardedAggregator::for_method_obs(
+        cfg.method,
+        cfg.k,
+        cfg.eps_inf,
+        cfg.eps_first,
+        cfg.workers.max(1),
+        obs,
+    )
+    .map_err(|e| NetError::Pipeline(e.to_string()))?;
+    Ok(IngestPipeline::from_aggregator_obs(
+        agg,
+        cfg.channel_capacity,
+        obs,
+    ))
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener, resumed: bool) -> DaemonReport {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        if shared.stopping() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.connections_served.fetch_add(1, Ordering::SeqCst);
+                let n = shared.live_conns.fetch_add(1, Ordering::SeqCst) + 1;
+                shared.conn_gauge.set(n);
+                let conn_shared = Arc::clone(shared);
+                if let Ok(join) = std::thread::Builder::new()
+                    .name("collectd-conn".into())
+                    .spawn(move || {
+                        serve_conn(&conn_shared, stream);
+                        let n = conn_shared.live_conns.fetch_sub(1, Ordering::SeqCst) - 1;
+                        conn_shared.conn_gauge.set(n);
+                    })
+                {
+                    conns.push(join);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(TICK);
+                conns.retain(|j| !j.is_finished());
+            }
+            Err(_) => std::thread::sleep(TICK),
+        }
+    }
+    let hard_killed = shared.kill.load(Ordering::SeqCst);
+    // Drain: connections observe the latch on their next tick and
+    // return; a hard kill abandons them mid-flight on purpose.
+    if !hard_killed {
+        shared.draining.store(true, Ordering::SeqCst);
+    }
+    for join in conns {
+        let _ = join.join();
+    }
+    if !hard_killed {
+        let _ = shared.checkpoint_now();
+    }
+    DaemonReport {
+        rounds_finished: shared.round.load(Ordering::SeqCst),
+        frames_applied: shared.frames_applied.load(Ordering::SeqCst),
+        connections_served: shared.connections_served.load(Ordering::SeqCst),
+        hard_killed,
+        resumed,
+    }
+}
+
+fn serve_conn(shared: &Arc<Shared>, stream: TcpStream) {
+    let mut conn = Conn::wrap(stream, shared.fingerprint, &shared.obs);
+    let mut submitter = shared.handle.batching(shared.batch_reports);
+    let mut session: Option<u32> = None;
+    let mut idle = idle_deadline(shared);
+    loop {
+        if shared.kill.load(Ordering::SeqCst) {
+            return;
+        }
+        if shared.draining.load(Ordering::SeqCst) || signal::term_requested() {
+            let _ = conn.send(&Frame::Error {
+                code: ErrorCode::Draining,
+                detail: "daemon is draining".into(),
+            });
+            return;
+        }
+        match conn.poll(TICK) {
+            Ok(Polled::Idle) => {
+                if idle.is_expired() {
+                    let _ = conn.send(&Frame::Error {
+                        code: ErrorCode::IdleTimeout,
+                        detail: "connection idle past the daemon's timeout".into(),
+                    });
+                    return;
+                }
+            }
+            Ok(Polled::Closed) => return,
+            Ok(Polled::Frame(fp, frame)) => {
+                idle = idle_deadline(shared);
+                if fp != shared.fingerprint {
+                    let _ = conn.send(&Frame::Error {
+                        code: ErrorCode::ConfigMismatch,
+                        detail: "frame fingerprint does not match this daemon's configuration"
+                            .into(),
+                    });
+                    return;
+                }
+                match handle_frame(shared, &mut submitter, &mut session, frame) {
+                    Ok(Reply::Send(reply)) => {
+                        if conn.send(&reply).is_err() {
+                            return;
+                        }
+                    }
+                    Ok(Reply::SendThenClose(reply)) => {
+                        let _ = conn.send(&reply);
+                        return;
+                    }
+                    Err(e) => {
+                        // An application-level rejection: answer typed,
+                        // keep the connection for well-formed retries.
+                        if conn
+                            .send(&Frame::Error {
+                                code: e.code(),
+                                detail: e.to_string(),
+                            })
+                            .is_err()
+                        {
+                            return;
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                // A malformed frame (or transport failure): answer typed
+                // and close — the stream can no longer be trusted.
+                let _ = conn.send(&Frame::Error {
+                    code: e.code(),
+                    detail: e.to_string(),
+                });
+                return;
+            }
+        }
+    }
+}
+
+fn idle_deadline(shared: &Shared) -> Deadline {
+    match shared.idle_timeout {
+        Some(t) => Deadline::after(t),
+        None => Deadline::never(),
+    }
+}
+
+enum Reply {
+    Send(Frame),
+    SendThenClose(Frame),
+}
+
+fn handle_frame(
+    shared: &Arc<Shared>,
+    submitter: &mut BatchSubmitter,
+    session: &mut Option<u32>,
+    frame: Frame,
+) -> Result<Reply, NetError> {
+    match frame {
+        Frame::Hello {
+            worker_id,
+            k,
+            dim,
+            method,
+        } => {
+            if k != shared.k || dim != shared.dim as u64 || method != shared.method.name() {
+                return Err(NetError::Protocol(
+                    "hello parameters disagree with the daemon's configuration",
+                ));
+            }
+            *session = Some(worker_id);
+            let resume_seq = lock(&shared.sessions)
+                .applied
+                .get(&worker_id)
+                .copied()
+                .unwrap_or(0);
+            Ok(Reply::Send(Frame::HelloAck {
+                worker_id,
+                resume_seq,
+                round: shared.round.load(Ordering::SeqCst),
+            }))
+        }
+        Frame::Submit {
+            seq,
+            key_base,
+            batch,
+        } => {
+            let worker = session.ok_or(NetError::Protocol("submit before hello"))?;
+            // Validate the whole frame before applying any of it, so a
+            // rejected frame leaves no partial reports behind and the
+            // session high-water stays honest.
+            for report in batch.reports() {
+                for &index in report {
+                    if index as usize >= shared.dim {
+                        return Err(NetError::SupportOutOfRange {
+                            index: index as usize,
+                            dim: shared.dim,
+                        });
+                    }
+                }
+            }
+            let reports = u32::try_from(batch.report_count())
+                .map_err(|_| NetError::BadBatch("report count beyond u32"))?;
+            let applied;
+            {
+                let _gate = shared.gate.read().unwrap_or_else(|e| e.into_inner());
+                let high = lock(&shared.sessions)
+                    .applied
+                    .get(&worker)
+                    .copied()
+                    .unwrap_or(0);
+                if seq <= high {
+                    applied = false; // duplicate of an applied frame: re-ack only
+                } else if seq != high + 1 {
+                    return Err(NetError::Protocol("submit sequence gap"));
+                } else {
+                    for (i, report) in batch.reports().enumerate() {
+                        submitter.submit(
+                            key_base + i as u64,
+                            report.iter().map(|&index| index as usize),
+                        )?;
+                    }
+                    submitter.flush()?;
+                    lock(&shared.sessions).applied.insert(worker, seq);
+                    applied = true;
+                }
+            }
+            if applied {
+                let total = shared.frames_applied.fetch_add(1, Ordering::SeqCst) + 1;
+                let since = shared.frames_since_ckpt.fetch_add(1, Ordering::SeqCst) + 1;
+                if shared.checkpoint_every > 0 && since >= shared.checkpoint_every {
+                    shared.checkpoint_now()?;
+                }
+                if shared.kill_after_frames.is_some_and(|n| total >= n) {
+                    shared.kill.store(true, Ordering::SeqCst);
+                }
+            }
+            let durable_seq = lock(&shared.sessions)
+                .durable
+                .get(&worker)
+                .copied()
+                .unwrap_or(0);
+            Ok(Reply::Send(Frame::Ack {
+                seq,
+                reports,
+                durable_seq,
+            }))
+        }
+        Frame::EndRound { round } => {
+            let current = shared.round.load(Ordering::SeqCst);
+            if round + 1 == current {
+                // A retry across a crash: replay the cached result.
+                let cached = lock(&shared.last_result).clone();
+                let (reports, estimate) =
+                    cached.ok_or(NetError::Protocol("no cached result for previous round"))?;
+                return Ok(Reply::Send(Frame::RoundResult {
+                    round,
+                    reports,
+                    estimate,
+                }));
+            }
+            if round != current {
+                return Err(NetError::Protocol("round out of step"));
+            }
+            let snapshot;
+            {
+                let _gate = shared.gate.write().unwrap_or_else(|e| e.into_inner());
+                snapshot = lock(&shared.pipeline).finish_round()?;
+                *lock(&shared.last_result) = Some((snapshot.reports, snapshot.estimate.clone()));
+                let mut sessions = lock(&shared.sessions);
+                sessions.applied.clear();
+                shared.round.store(current + 1, Ordering::SeqCst);
+            }
+            shared.checkpoint_now()?;
+            shared.obs.counter("ldp.netd.rounds").inc();
+            Ok(Reply::Send(Frame::RoundResult {
+                round,
+                reports: snapshot.reports,
+                estimate: snapshot.estimate,
+            }))
+        }
+        Frame::Shutdown => {
+            shared.draining.store(true, Ordering::SeqCst);
+            let cp = shared.checkpoint_now()?;
+            let reports = cp.shards.shards.iter().map(|s| s.reports).sum();
+            Ok(Reply::SendThenClose(Frame::ShutdownAck { reports }))
+        }
+        Frame::Error { .. } => Ok(Reply::SendThenClose(Frame::Error {
+            code: ErrorCode::Protocol,
+            detail: "peer reported an error; closing".into(),
+        })),
+        Frame::HelloAck { .. }
+        | Frame::Ack { .. }
+        | Frame::RoundResult { .. }
+        | Frame::ShutdownAck { .. } => {
+            Err(NetError::Protocol("daemon received a client-bound frame"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_ingest::ReportBatch;
+
+    fn client(daemon: &Collectd, obs: &MetricsRegistry) -> Conn {
+        Conn::connect(
+            daemon.local_addr(),
+            daemon.fingerprint(),
+            obs,
+            Deadline::after(Duration::from_secs(5)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hello_submit_endround_round_trips_over_loopback() {
+        let obs = MetricsRegistry::new();
+        let daemon = Collectd::start(DaemonConfig::new(Method::LGrr, 8, 2.0, 1.0), &obs).unwrap();
+        let mut c = client(&daemon, &obs);
+        c.send(&Frame::Hello {
+            worker_id: 0,
+            k: 8,
+            dim: 8,
+            method: Method::LGrr.name().into(),
+        })
+        .unwrap();
+        let (_, ack) = c.recv().unwrap().unwrap();
+        assert_eq!(
+            ack,
+            Frame::HelloAck {
+                worker_id: 0,
+                resume_seq: 0,
+                round: 0
+            }
+        );
+
+        let mut batch = ReportBatch::new();
+        batch.push_report([3u32]);
+        batch.push_report([5u32]);
+        c.send(&Frame::Submit {
+            seq: 1,
+            key_base: 0,
+            batch: batch.clone(),
+        })
+        .unwrap();
+        let (_, ack) = c.recv().unwrap().unwrap();
+        assert!(
+            matches!(
+                ack,
+                Frame::Ack {
+                    seq: 1,
+                    reports: 2,
+                    ..
+                }
+            ),
+            "{ack:?}"
+        );
+
+        // A duplicate is re-acked without double-counting.
+        c.send(&Frame::Submit {
+            seq: 1,
+            key_base: 0,
+            batch,
+        })
+        .unwrap();
+        let (_, dup) = c.recv().unwrap().unwrap();
+        assert!(matches!(dup, Frame::Ack { seq: 1, .. }));
+
+        c.send(&Frame::EndRound { round: 0 }).unwrap();
+        let (_, result) = c.recv().unwrap().unwrap();
+        match result {
+            Frame::RoundResult {
+                round,
+                reports,
+                estimate,
+            } => {
+                assert_eq!(round, 0);
+                assert_eq!(reports, 2, "duplicate frame must not double-count");
+                assert_eq!(estimate.len(), 8);
+            }
+            other => panic!("expected a round result, got {other:?}"),
+        }
+
+        daemon.trigger_drain();
+        let report = daemon.join().unwrap();
+        assert_eq!(report.rounds_finished, 1);
+        assert_eq!(report.frames_applied, 1);
+        assert!(!report.hard_killed);
+    }
+
+    #[test]
+    fn submit_before_hello_is_a_typed_protocol_error() {
+        let obs = MetricsRegistry::new();
+        let daemon = Collectd::start(DaemonConfig::new(Method::LOue, 4, 1.0, 0.5), &obs).unwrap();
+        let mut c = client(&daemon, &obs);
+        let mut batch = ReportBatch::new();
+        batch.push_report([0u32]);
+        c.send(&Frame::Submit {
+            seq: 1,
+            key_base: 0,
+            batch,
+        })
+        .unwrap();
+        let (_, reply) = c.recv().unwrap().unwrap();
+        assert!(
+            matches!(
+                reply,
+                Frame::Error {
+                    code: ErrorCode::Protocol,
+                    ..
+                }
+            ),
+            "{reply:?}"
+        );
+        daemon.trigger_drain();
+        daemon.join().unwrap();
+    }
+
+    #[test]
+    fn foreign_fingerprint_is_rejected_with_a_config_mismatch() {
+        let obs = MetricsRegistry::new();
+        let daemon = Collectd::start(DaemonConfig::new(Method::LOsue, 4, 1.0, 0.5), &obs).unwrap();
+        let mut c = Conn::connect(
+            daemon.local_addr(),
+            daemon.fingerprint() ^ 1,
+            &obs,
+            Deadline::after(Duration::from_secs(5)),
+        )
+        .unwrap();
+        c.send(&Frame::EndRound { round: 0 }).unwrap();
+        let (_, reply) = c.recv().unwrap().unwrap();
+        assert!(
+            matches!(
+                reply,
+                Frame::Error {
+                    code: ErrorCode::ConfigMismatch,
+                    ..
+                }
+            ),
+            "{reply:?}"
+        );
+        daemon.trigger_drain();
+        daemon.join().unwrap();
+    }
+}

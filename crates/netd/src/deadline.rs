@@ -1,0 +1,66 @@
+//! Injectable deadlines.
+//!
+//! Timeout behavior (idle connections, loadgen reconnect budgets) is
+//! driven through explicit [`Deadline`] values instead of bare sleeps,
+//! so tests exercise the timeout *paths* without waiting wall-clock
+//! time: an already-expired deadline trips the timeout branch on the
+//! very next check.
+
+use std::time::{Duration, Instant};
+
+/// A point in time an operation must finish by. `None` means "never" —
+/// the operation waits indefinitely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// A deadline `timeout` from now.
+    pub fn after(timeout: Duration) -> Self {
+        Self {
+            at: Some(Instant::now() + timeout),
+        }
+    }
+
+    /// A deadline that never expires.
+    pub fn never() -> Self {
+        Self { at: None }
+    }
+
+    /// A deadline that is already in the past — the injection hook test
+    /// suites use to drive timeout branches without sleeping.
+    pub fn expired() -> Self {
+        Self {
+            at: Some(Instant::now() - Duration::from_nanos(1)),
+        }
+    }
+
+    /// Whether the deadline has passed.
+    pub fn is_expired(&self) -> bool {
+        match self.at {
+            Some(at) => Instant::now() >= at,
+            None => false,
+        }
+    }
+
+    /// Time left before expiry, clamped to zero (`None` = unbounded).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.at
+            .map(|at| at.saturating_duration_since(Instant::now()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expired_deadlines_report_without_waiting() {
+        assert!(Deadline::expired().is_expired());
+        assert_eq!(Deadline::expired().remaining(), Some(Duration::ZERO));
+        assert!(!Deadline::never().is_expired());
+        assert_eq!(Deadline::never().remaining(), None);
+        assert!(!Deadline::after(Duration::from_secs(3600)).is_expired());
+    }
+}

@@ -1,0 +1,457 @@
+//! `loadgen`: the deterministic traffic driver for `collectd`.
+//!
+//! Loadgen owns a real [`ClientPool`] — the same per-user memoized
+//! state and `(seed, user)`-derived RNG streams the in-process collect
+//! path uses — and drives full sanitize rounds through N network sinks,
+//! one TCP connection per worker. Because sanitization is a pure
+//! function of (config, seed, round values) and the pool snapshots its
+//! state at each round start, a round interrupted by a daemon crash is
+//! *replayed*: the pool restores the round-start snapshot, reconnects,
+//! and regenerates byte-identical frames with byte-identical sequence
+//! numbers, which the daemon's session dedup then applies exactly once.
+//! No client-side frame log is ever kept.
+//!
+//! The round input itself comes from [`round_values`], a seeded FNV-1a
+//! mix — tests and the CI smoke drill call the same function to know
+//! exactly what traffic a given (seed, round) produced.
+
+use crate::conn::Conn;
+use crate::deadline::Deadline;
+use crate::error::NetError;
+use crate::proto::{config_fingerprint, Frame};
+use ldp_client::{ClientConfig, ClientPool, ReportSink};
+use ldp_ingest::ReportBatch;
+use ldp_obs::{Histogram, MetricsRegistry, Span};
+use ldp_primitives::codec::fnv1a;
+use ldp_runtime::{Method, ShardedAggregator};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Reports per submit frame when the caller does not override it.
+pub const DEFAULT_FRAME_REPORTS: usize = 128;
+
+/// Loadgen configuration. Construct with [`LoadgenConfig::new`] and
+/// override fields as needed.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// The daemon to drive.
+    pub addr: SocketAddr,
+    /// Frequency protocol (must match the daemon's).
+    pub method: Method,
+    /// Input domain size (must match the daemon's).
+    pub k: u64,
+    /// Longitudinal privacy budget (`ε_∞`).
+    pub eps_inf: f64,
+    /// First-report budget (`ε_1`).
+    pub eps_first: f64,
+    /// Population size.
+    pub users: usize,
+    /// Collection rounds to run.
+    pub rounds: u64,
+    /// Connection workers (one TCP connection each; clamped to ≥ 1).
+    pub workers: usize,
+    /// Reports packed per submit frame (clamped to ≥ 1).
+    pub frame_reports: usize,
+    /// Master seed for the pool's per-user streams and [`round_values`].
+    pub seed: u64,
+    /// Budget for replaying a round through daemon restarts (`None`
+    /// fails fast on the first transport error).
+    pub retry_timeout: Option<Duration>,
+    /// Send an in-band `Shutdown` (drain + final checkpoint) after the
+    /// last round.
+    pub shutdown: bool,
+}
+
+impl LoadgenConfig {
+    /// A loopback loadgen for `method` with library defaults.
+    pub fn new(addr: SocketAddr, method: Method, k: u64, eps_inf: f64, eps_first: f64) -> Self {
+        Self {
+            addr,
+            method,
+            k,
+            eps_inf,
+            eps_first,
+            users: 100,
+            rounds: 1,
+            workers: 2,
+            frame_reports: DEFAULT_FRAME_REPORTS,
+            seed: 42,
+            retry_timeout: None,
+            shutdown: false,
+        }
+    }
+}
+
+/// One finished round as reported by the daemon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundOutcome {
+    /// The round index.
+    pub round: u64,
+    /// Reports the daemon folded into the round.
+    pub reports: u64,
+    /// The daemon's frequency estimate for the round.
+    pub estimate: Vec<f64>,
+}
+
+/// What a loadgen run did, returned by [`run_loadgen`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadgenReport {
+    /// Every finished round, in order.
+    pub rounds: Vec<RoundOutcome>,
+    /// Reports submitted and acked (replay-skipped frames excluded).
+    pub reports: u64,
+    /// Submit frames sent and acked.
+    pub frames: u64,
+    /// Round replays forced by retryable failures.
+    pub retries: u64,
+    /// Wall-clock for the whole run.
+    pub elapsed: Duration,
+    /// Acked reports per wall-clock second.
+    pub reports_per_sec: f64,
+}
+
+/// The deterministic round input: user `u`'s value for `round` under
+/// `seed`, an FNV-1a mix reduced mod `k`. Exported so tests and the CI
+/// drill can reconstruct exactly the traffic a loadgen run produced.
+pub fn round_values(seed: u64, round: u64, users: usize, k: u64) -> Vec<u64> {
+    let k = k.max(1);
+    (0..users as u64)
+        .map(|u| {
+            let mut bytes = [0u8; 24];
+            bytes[..8].copy_from_slice(&seed.to_le_bytes());
+            bytes[8..16].copy_from_slice(&round.to_le_bytes());
+            bytes[16..].copy_from_slice(&u.to_le_bytes());
+            fnv1a(&bytes) % k
+        })
+        .collect()
+}
+
+/// One worker's connection to the daemon, packing contiguously keyed
+/// reports into submit frames and awaiting each frame's ack before the
+/// next send. Implements [`ReportSink`], so
+/// [`ClientPool::sanitize_round_sinks`] can drive it directly.
+pub struct NetSink {
+    conn: Conn,
+    worker_id: u32,
+    /// Last sequence number assigned (acked or replay-skipped).
+    seq: u64,
+    /// The daemon's applied high-water from the handshake: frames with
+    /// `seq <= resume_seq` are regenerated but not resent.
+    resume_seq: u64,
+    /// The daemon's round at handshake time.
+    server_round: u64,
+    frame_reports: usize,
+    batch: ReportBatch,
+    key_base: u64,
+    next_key: u64,
+    ack_wait_ns: Histogram,
+    frames_acked: u64,
+    reports_acked: u64,
+}
+
+impl NetSink {
+    /// Dials the daemon and completes the hello handshake for
+    /// `worker_id`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn connect(
+        addr: SocketAddr,
+        worker_id: u32,
+        method: Method,
+        k: u64,
+        dim: u64,
+        fingerprint: u64,
+        frame_reports: usize,
+        obs: &MetricsRegistry,
+        deadline: Deadline,
+    ) -> Result<Self, NetError> {
+        let mut conn = Conn::connect(addr, fingerprint, obs, deadline)?;
+        conn.send(&Frame::Hello {
+            worker_id,
+            k,
+            dim,
+            method: method.name().into(),
+        })?;
+        let (resume_seq, server_round) = match conn.recv()? {
+            Some((
+                _,
+                Frame::HelloAck {
+                    worker_id: echoed,
+                    resume_seq,
+                    round,
+                },
+            )) if echoed == worker_id => (resume_seq, round),
+            Some((_, Frame::Error { code, detail })) => {
+                return Err(NetError::Remote { code, detail })
+            }
+            Some(_) => return Err(NetError::Protocol("unexpected reply to hello")),
+            None => return Err(NetError::Io("daemon closed during handshake".into())),
+        };
+        Ok(Self {
+            conn,
+            worker_id,
+            seq: 0,
+            resume_seq,
+            server_round,
+            frame_reports: frame_reports.max(1),
+            batch: ReportBatch::new(),
+            key_base: 0,
+            next_key: 0,
+            ack_wait_ns: obs.histogram("ldp.netd.loadgen.ack_wait_ns"),
+            frames_acked: 0,
+            reports_acked: 0,
+        })
+    }
+
+    /// The session id this sink handshook with.
+    pub fn worker_id(&self) -> u32 {
+        self.worker_id
+    }
+
+    /// The daemon's round at handshake time.
+    pub fn server_round(&self) -> u64 {
+        self.server_round
+    }
+
+    /// Frames sent and acked through this sink (replay-skips excluded).
+    pub fn frames_acked(&self) -> u64 {
+        self.frames_acked
+    }
+
+    /// Reports sent and acked through this sink.
+    pub fn reports_acked(&self) -> u64 {
+        self.reports_acked
+    }
+
+    fn flush_frame(&mut self) -> Result<(), NetError> {
+        if self.batch.is_empty() {
+            return Ok(());
+        }
+        self.seq += 1;
+        let batch = std::mem::take(&mut self.batch);
+        if self.seq <= self.resume_seq {
+            // The daemon already applied this frame before it restarted;
+            // regeneration keeps the RNG streams and sequence numbers
+            // aligned, but resending would only earn a duplicate-ack.
+            return Ok(());
+        }
+        let reports = u32::try_from(batch.report_count())
+            .map_err(|_| NetError::BadBatch("report count beyond u32"))?;
+        self.conn.send(&Frame::Submit {
+            seq: self.seq,
+            key_base: self.key_base,
+            batch,
+        })?;
+        let _timed = Span::enter(&self.ack_wait_ns);
+        match self.conn.recv()? {
+            Some((_, Frame::Ack { seq, .. })) if seq == self.seq => {
+                self.frames_acked += 1;
+                self.reports_acked += u64::from(reports);
+                Ok(())
+            }
+            Some((_, Frame::Error { code, detail })) => Err(NetError::Remote { code, detail }),
+            Some(_) => Err(NetError::Protocol("unexpected reply to submit")),
+            None => Err(NetError::Io("daemon closed awaiting ack".into())),
+        }
+    }
+
+    /// Barriers the round on the daemon and returns its merged outcome.
+    /// Flushes any buffered reports first.
+    pub fn end_round(&mut self, round: u64) -> Result<RoundOutcome, NetError> {
+        self.flush_frame()?;
+        self.conn.send(&Frame::EndRound { round })?;
+        match self.conn.recv()? {
+            Some((
+                _,
+                Frame::RoundResult {
+                    round: got,
+                    reports,
+                    estimate,
+                },
+            )) if got == round => Ok(RoundOutcome {
+                round,
+                reports,
+                estimate,
+            }),
+            Some((_, Frame::Error { code, detail })) => Err(NetError::Remote { code, detail }),
+            Some(_) => Err(NetError::Protocol("unexpected reply to end-round")),
+            None => Err(NetError::Io("daemon closed awaiting round result".into())),
+        }
+    }
+}
+
+impl ReportSink for NetSink {
+    type Error = NetError;
+
+    fn submit(&mut self, user: u64, support: &[usize]) -> Result<(), NetError> {
+        if !self.batch.is_empty()
+            && (user != self.next_key || self.batch.report_count() >= self.frame_reports)
+        {
+            self.flush_frame()?;
+        }
+        if self.batch.is_empty() {
+            self.key_base = user;
+        }
+        let mut indices = Vec::with_capacity(support.len());
+        for &index in support {
+            indices.push(u32::try_from(index).map_err(|_| NetError::BadBatch("index beyond u32"))?);
+        }
+        self.batch.push_report(indices);
+        self.next_key = user + 1;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<(), NetError> {
+        self.flush_frame()
+    }
+}
+
+/// Runs the whole traffic schedule against a daemon and returns the
+/// per-round outcomes plus throughput accounting. Retryable failures
+/// (daemon draining, transport faults) replay the interrupted round
+/// from its in-memory pool snapshot until [`LoadgenConfig::retry_timeout`]
+/// runs out.
+pub fn run_loadgen(cfg: &LoadgenConfig, obs: &MetricsRegistry) -> Result<LoadgenReport, NetError> {
+    let client_cfg = ClientConfig::for_method(cfg.method, cfg.k, cfg.eps_inf, cfg.eps_first)
+        .map_err(|e| NetError::Pipeline(e.to_string()))?;
+    // Resolve the aggregation dimension exactly as the daemon does (for
+    // bucketized dBitFlipPM it is `b`, not `k`).
+    let dim = ShardedAggregator::for_method(cfg.method, cfg.k, cfg.eps_inf, cfg.eps_first, 1)
+        .map_err(|e| NetError::Pipeline(e.to_string()))?
+        .dim();
+    let fingerprint = config_fingerprint(cfg.method, cfg.k, dim as u64, cfg.eps_inf, cfg.eps_first);
+    let mut pool = ClientPool::with_obs(client_cfg, cfg.seed, cfg.users, obs)
+        .map_err(|e| NetError::Pipeline(e.to_string()))?;
+
+    let started = Instant::now();
+    let mut report = LoadgenReport {
+        rounds: Vec::new(),
+        reports: 0,
+        frames: 0,
+        retries: 0,
+        elapsed: Duration::ZERO,
+        reports_per_sec: 0.0,
+    };
+
+    for round in 0..cfg.rounds {
+        let values = round_values(cfg.seed, round, cfg.users, cfg.k);
+        let snapshot = pool.checkpoint();
+        let budget = match cfg.retry_timeout {
+            Some(t) => Deadline::after(t),
+            None => Deadline::expired(),
+        };
+        loop {
+            match run_round(
+                cfg,
+                fingerprint,
+                dim,
+                &mut pool,
+                &values,
+                round,
+                obs,
+                &mut report,
+            ) {
+                Ok(outcome) => {
+                    report.rounds.push(outcome);
+                    break;
+                }
+                Err(e) if e.retryable() && !budget.is_expired() => {
+                    report.retries += 1;
+                    obs.counter("ldp.netd.loadgen.retries").inc();
+                    pool.restore(&snapshot)
+                        .map_err(|e| NetError::Pipeline(e.to_string()))?;
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    if cfg.shutdown {
+        let mut conn = Conn::connect(
+            cfg.addr,
+            fingerprint,
+            obs,
+            Deadline::after(Duration::from_secs(30)),
+        )?;
+        conn.send(&Frame::Shutdown)?;
+        match conn.recv()? {
+            Some((_, Frame::ShutdownAck { .. })) | None => {}
+            Some((_, Frame::Error { code, detail })) => {
+                return Err(NetError::Remote { code, detail })
+            }
+            Some(_) => return Err(NetError::Protocol("unexpected reply to shutdown")),
+        }
+    }
+
+    report.elapsed = started.elapsed();
+    report.reports_per_sec = if report.elapsed.as_secs_f64() > 0.0 {
+        report.reports as f64 / report.elapsed.as_secs_f64()
+    } else {
+        0.0
+    };
+    Ok(report)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_round(
+    cfg: &LoadgenConfig,
+    fingerprint: u64,
+    dim: usize,
+    pool: &mut ClientPool,
+    values: &[u64],
+    round: u64,
+    obs: &MetricsRegistry,
+    report: &mut LoadgenReport,
+) -> Result<RoundOutcome, NetError> {
+    let workers = cfg.workers.clamp(1, cfg.users.max(1));
+    let deadline = Deadline::after(Duration::from_secs(30));
+    let mut sinks = Vec::with_capacity(workers);
+    for w in 0..workers {
+        sinks.push(NetSink::connect(
+            cfg.addr,
+            u32::try_from(w).map_err(|_| NetError::Protocol("worker id beyond u32"))?,
+            cfg.method,
+            cfg.k,
+            dim as u64,
+            fingerprint,
+            cfg.frame_reports,
+            obs,
+            deadline,
+        )?);
+    }
+    // A daemon that already folded this round (it crashed after the
+    // round checkpoint but before our result arrived) must not receive
+    // the traffic again — replaying into the next round would
+    // double-count. Fetch the cached result instead.
+    if sinks[0].server_round() == round + 1 {
+        return sinks[0].end_round(round);
+    }
+    if sinks[0].server_round() != round {
+        return Err(NetError::Protocol("daemon round out of step with schedule"));
+    }
+    pool.sanitize_round_sinks(values, &mut sinks)?;
+    let outcome = sinks[0].end_round(round)?;
+    for sink in &sinks {
+        report.frames += sink.frames_acked();
+        report.reports += sink.reports_acked();
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_values_are_deterministic_and_in_domain() {
+        let a = round_values(7, 3, 100, 16);
+        let b = round_values(7, 3, 100, 16);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&v| v < 16));
+        assert_ne!(a, round_values(7, 4, 100, 16), "rounds differ");
+        assert_ne!(a, round_values(8, 3, 100, 16), "seeds differ");
+        // The mix actually spreads over the domain.
+        let distinct: std::collections::BTreeSet<_> = a.iter().collect();
+        assert!(distinct.len() > 4);
+    }
+}

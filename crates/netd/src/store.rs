@@ -1,0 +1,289 @@
+//! Durable daemon state: the `LDNS` checkpoint container.
+//!
+//! A drained (or periodically checkpointing) `collectd` persists one
+//! atomic file so a killed daemon resumes mid-round byte-identically:
+//!
+//! ```text
+//! "LDNS" | version u16 | fingerprint u64
+//! | round u64
+//! | has_last u8 | last_reports u64 | last_len u32 | last_len × f64
+//! | session_count u32 | session_count × (worker_id u32 | seq u64)
+//! | shard_blob frame            (one complete LDPS container)
+//! | fnv1a u64
+//! ```
+//!
+//! The shard blob is byte-for-byte what `ldp_ingest::ShardStore` writes
+//! — the daemon reuses the existing shard checkpoint codec, nested, so
+//! both layers land in one atomic rename and can never drift apart. The
+//! session table carries each client session's applied high-water
+//! sequence (the dedup floor a resumed daemon hands back in hello-acks),
+//! and `has_last` caches the previous round's result so an `EndRound`
+//! retried across a crash replays the answer instead of double-ending.
+//!
+//! The header fingerprint is the wire configuration fingerprint
+//! ([`crate::proto::config_fingerprint`]); a checkpoint from a
+//! differently configured daemon is rejected before its body is parsed.
+
+use crate::error::NetError;
+use crate::proto::MAX_WIRE_DIM;
+use ldp_ingest::ShardCheckpoint;
+use ldp_primitives::codec::{self, CodecError, CodecReader, CodecWriter};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 4] = b"LDNS";
+const VERSION: u16 = 1;
+
+/// Most sessions a checkpoint may claim — far above any realistic
+/// worker fleet, low enough that a corrupt count cannot force an
+/// allocation burst.
+const MAX_SESSIONS: u32 = 1 << 20;
+
+/// A point-in-time capture of the daemon's durable state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetCheckpoint {
+    /// The collection round in progress when the capture was taken.
+    pub round: u64,
+    /// The previous round's cached outcome (reports, estimate), if any
+    /// round has finished — the idempotence cache for retried
+    /// `EndRound` frames.
+    pub last_result: Option<(u64, Vec<f64>)>,
+    /// Per-session applied high-water submit sequences (ordered map:
+    /// the encode path iterates it, and encode paths must be
+    /// deterministic).
+    pub sessions: BTreeMap<u32, u64>,
+    /// The ingest pipeline's shard states, captured at the same
+    /// barrier.
+    pub shards: ShardCheckpoint,
+}
+
+/// Serializes a daemon checkpoint under the given configuration
+/// fingerprint.
+pub fn encode_net_checkpoint(cp: &NetCheckpoint, fingerprint: u64) -> Vec<u8> {
+    let shard_blob = ldp_ingest::encode_checkpoint(&cp.shards);
+    let mut w = CodecWriter::with_capacity(
+        MAGIC,
+        VERSION,
+        fingerprint,
+        8 + 13 + 12 * cp.sessions.len() + 4 + shard_blob.len(),
+    );
+    w.put_u64(cp.round);
+    // Linearized option encoding (flag + fields) so the write sequence
+    // mirrors the read sequence field-for-field in both shapes.
+    let (has_last, last_reports, last_estimate): (u8, u64, &[f64]) = match &cp.last_result {
+        Some((reports, estimate)) => (1, *reports, estimate.as_slice()),
+        None => (0, 0, &[]),
+    };
+    w.put_u8(has_last);
+    w.put_u64(last_reports);
+    w.put_u32(u32::try_from(last_estimate.len()).expect("estimate dimension fits u32"));
+    for &v in last_estimate {
+        w.put_f64(v);
+    }
+    w.put_u32(u32::try_from(cp.sessions.len()).expect("session count fits u32"));
+    for (&worker_id, &seq) in &cp.sessions {
+        w.put_u32(worker_id);
+        w.put_u64(seq);
+    }
+    w.put_frame(&shard_blob);
+    w.finish()
+}
+
+/// Deserializes a daemon checkpoint, verifying the configuration
+/// fingerprint before the body is interpreted. Every failure mode is a
+/// typed error; cardinality claims are checked against caps and the
+/// remaining payload before any buffer is allocated.
+pub fn decode_net_checkpoint(bytes: &[u8], fingerprint: u64) -> Result<NetCheckpoint, NetError> {
+    let mut r = CodecReader::open(bytes, MAGIC, VERSION)?;
+    r.expect_fingerprint(
+        fingerprint,
+        "daemon checkpoint from a different configuration",
+    )?;
+    let round = r.get_u64()?;
+    let has_last = r.get_u8()?;
+    let last_reports = r.get_u64()?;
+    let last_len = r.get_u32()?;
+    if last_len > MAX_WIRE_DIM || 8usize * last_len as usize > r.remaining() {
+        return Err(NetError::Codec(CodecError::Corrupt(
+            "cached estimate length beyond payload",
+        )));
+    }
+    let mut last_estimate = Vec::with_capacity(last_len as usize);
+    for _ in 0..last_len {
+        last_estimate.push(r.get_f64()?);
+    }
+    let last_result = match has_last {
+        0 => None,
+        1 => Some((last_reports, last_estimate)),
+        _ => {
+            return Err(NetError::Codec(CodecError::Corrupt(
+                "cached-result flag is not 0 or 1",
+            )))
+        }
+    };
+    let session_count = r.get_u32()?;
+    if session_count > MAX_SESSIONS || 12usize * session_count as usize > r.remaining() {
+        return Err(NetError::Codec(CodecError::Corrupt(
+            "session count beyond payload",
+        )));
+    }
+    let mut sessions = BTreeMap::new();
+    for _ in 0..session_count {
+        let worker_id = r.get_u32()?;
+        let seq = r.get_u64()?;
+        if sessions.insert(worker_id, seq).is_some() {
+            return Err(NetError::Codec(CodecError::Corrupt(
+                "duplicate session id in checkpoint",
+            )));
+        }
+    }
+    let shard_blob = r.get_frame()?;
+    let shards = ldp_ingest::decode_checkpoint(shard_blob)?;
+    r.finish()?;
+    Ok(NetCheckpoint {
+        round,
+        last_result,
+        sessions,
+        shards,
+    })
+}
+
+/// File-backed store for [`NetCheckpoint`]s: atomic writes (temp file +
+/// rename, via the shared codec helper), typed errors, no partial
+/// states.
+#[derive(Debug, Clone)]
+pub struct NetStore {
+    path: PathBuf,
+    fingerprint: u64,
+}
+
+impl NetStore {
+    /// A store writing/reading `path` under the given configuration
+    /// fingerprint.
+    pub fn new(path: impl Into<PathBuf>, fingerprint: u64) -> Self {
+        Self {
+            path: path.into(),
+            fingerprint,
+        }
+    }
+
+    /// The backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Whether a checkpoint file exists to resume from.
+    pub fn exists(&self) -> bool {
+        self.path.exists()
+    }
+
+    /// Atomically persists a checkpoint.
+    pub fn save(&self, cp: &NetCheckpoint) -> Result<(), NetError> {
+        let bytes = encode_net_checkpoint(cp, self.fingerprint);
+        codec::write_atomic(&self.path, &bytes)?;
+        Ok(())
+    }
+
+    /// Loads the checkpoint back.
+    pub fn load(&self) -> Result<NetCheckpoint, NetError> {
+        let bytes = codec::read_file(&self.path)?;
+        decode_net_checkpoint(&bytes, self.fingerprint)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldp_ingest::ShardState;
+
+    fn sample() -> NetCheckpoint {
+        NetCheckpoint {
+            round: 3,
+            last_result: Some((12, vec![0.5, -0.25, 0.0])),
+            sessions: BTreeMap::from([(0, 9), (1, 7), (u32::MAX, 2)]),
+            shards: ShardCheckpoint {
+                dim: 3,
+                shards: vec![
+                    ShardState {
+                        counts: vec![4, 0, 1],
+                        reports: 5,
+                    },
+                    ShardState {
+                        counts: vec![0, 7, 0],
+                        reports: 7,
+                    },
+                ],
+            },
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips_through_the_file_store() {
+        let dir = std::env::temp_dir().join(format!("ldns-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = NetStore::new(dir.join("netd.ckpt"), 77);
+        assert!(!store.exists());
+        let cp = sample();
+        store.save(&cp).unwrap();
+        assert!(store.exists());
+        assert_eq!(store.load().unwrap(), cp);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn foreign_fingerprint_is_rejected_before_the_body() {
+        let bytes = encode_net_checkpoint(&sample(), 1);
+        let err = decode_net_checkpoint(&bytes, 2).unwrap_err();
+        assert!(matches!(err, NetError::Codec(CodecError::Mismatch(_))));
+    }
+
+    #[test]
+    fn none_cached_result_round_trips() {
+        let mut cp = sample();
+        cp.last_result = None;
+        let bytes = encode_net_checkpoint(&cp, 5);
+        assert_eq!(decode_net_checkpoint(&bytes, 5).unwrap(), cp);
+    }
+
+    #[test]
+    fn truncation_at_every_byte_is_a_typed_error() {
+        let bytes = encode_net_checkpoint(&sample(), 9);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_net_checkpoint(&bytes[..cut], 9).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn forged_session_count_fails_before_allocation() {
+        let cp = NetCheckpoint {
+            round: 0,
+            last_result: None,
+            sessions: BTreeMap::new(),
+            shards: ShardCheckpoint {
+                dim: 1,
+                shards: vec![ShardState {
+                    counts: vec![0],
+                    reports: 0,
+                }],
+            },
+        };
+        let bytes = encode_net_checkpoint(&cp, 0);
+        // Session count lives right after round + cached-result block:
+        // header 14 + 8 (round) + 1 + 8 + 4 (empty cached result).
+        let off = 14 + 8 + 13;
+        let mut forged = bytes.clone();
+        forged[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        // Recompute the trailer so only the forged count is at fault.
+        let body_len = forged.len() - 8;
+        let sum = codec::fnv1a(&forged[..body_len]);
+        forged[body_len..].copy_from_slice(&sum.to_le_bytes());
+        let err = decode_net_checkpoint(&forged, 0).unwrap_err();
+        assert!(
+            matches!(err, NetError::Codec(CodecError::Corrupt(_))),
+            "{err:?}"
+        );
+    }
+}

@@ -1,0 +1,364 @@
+//! Protocol-level hostile-input suite.
+//!
+//! The decoder half works over raw byte slices: truncation at *every*
+//! byte offset, a bit flip at *every* bit position, foreign magics,
+//! future protocol versions, forged cardinality claims, and arbitrary
+//! fuzz blobs must all come back as typed [`NetError`]s — never a panic,
+//! never an allocation driven by an unvalidated claim.
+//!
+//! The daemon half feeds the same hostility through a live socket: each
+//! attack earns a structured error frame (the taxonomy from
+//! `docs/WIRE_FORMAT.md` §5) and a closed connection, and the daemon
+//! keeps serving clean traffic afterwards.
+
+use ldp_ingest::ReportBatch;
+use ldp_netd::{
+    decode_frame, encode_frame, read_frame, write_frame, Collectd, Conn, DaemonConfig, ErrorCode,
+    Frame, NetError, MAX_FRAME_LEN, MAX_WIRE_REPORTS, WIRE_MAGIC, WIRE_VERSION,
+};
+use ldp_obs::MetricsRegistry;
+use ldp_primitives::codec::{CodecError, CodecWriter};
+use ldp_runtime::Method;
+use proptest::prelude::*;
+use std::io::Write;
+use std::net::TcpStream;
+
+const FP: u64 = 0x5EED_CAFE_F00D_D00D;
+
+/// One of every frame kind, with non-trivial payloads.
+fn sample_frames() -> Vec<Frame> {
+    let mut batch = ReportBatch::new();
+    batch.push_report([1u32, 5, 11]);
+    batch.push_report([0u32]);
+    vec![
+        Frame::Hello {
+            worker_id: 2,
+            k: 64,
+            dim: 12,
+            method: "L-OSUE".into(),
+        },
+        Frame::HelloAck {
+            worker_id: 2,
+            resume_seq: 9,
+            round: 3,
+        },
+        Frame::Submit {
+            seq: 10,
+            key_base: 512,
+            batch,
+        },
+        Frame::Ack {
+            seq: 10,
+            reports: 2,
+            durable_seq: 8,
+        },
+        Frame::EndRound { round: 3 },
+        Frame::RoundResult {
+            round: 3,
+            reports: 77,
+            estimate: vec![0.5, 0.25, 0.125],
+        },
+        Frame::Shutdown,
+        Frame::ShutdownAck { reports: 77 },
+        Frame::Error {
+            code: ErrorCode::Protocol,
+            detail: "example".into(),
+        },
+    ]
+}
+
+#[test]
+fn truncation_at_every_byte_is_a_typed_error() {
+    for frame in sample_frames() {
+        let body = encode_frame(&frame, FP);
+        assert!(decode_frame(&body).is_ok());
+        for cut in 0..body.len() {
+            let err = decode_frame(&body[..cut]);
+            assert!(
+                err.is_err(),
+                "{frame:?}: truncation to {cut}/{} bytes must fail",
+                body.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn a_bit_flip_at_every_position_is_a_typed_error() {
+    for frame in sample_frames() {
+        let body = encode_frame(&frame, FP);
+        for byte in 0..body.len() {
+            for bit in 0..8 {
+                let mut evil = body.clone();
+                evil[byte] ^= 1 << bit;
+                assert!(
+                    decode_frame(&evil).is_err(),
+                    "{frame:?}: flipping byte {byte} bit {bit} must fail"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn foreign_magics_are_rejected_as_bad_magic() {
+    // Other registered containers must never parse as wire frames.
+    for magic in [b"LLHA", b"LDPS", b"LDCC", b"LDNS", b"XXXX"] {
+        let mut w = CodecWriter::new(magic, WIRE_VERSION, FP);
+        w.put_u8(6); // a plausible Shutdown
+        let body = w.finish();
+        assert_eq!(
+            decode_frame(&body).unwrap_err(),
+            NetError::Codec(CodecError::BadMagic),
+            "{}",
+            String::from_utf8_lossy(&magic[..])
+        );
+    }
+}
+
+#[test]
+fn future_protocol_versions_fail_closed() {
+    for version in [WIRE_VERSION + 1, WIRE_VERSION + 7, u16::MAX] {
+        let mut w = CodecWriter::new(WIRE_MAGIC, version, FP);
+        w.put_u8(6);
+        let body = w.finish();
+        assert_eq!(
+            decode_frame(&body).unwrap_err(),
+            NetError::Codec(CodecError::UnsupportedVersion(version)),
+        );
+    }
+}
+
+#[test]
+fn unknown_frame_kinds_are_typed() {
+    for kind in [9u8, 42, 255] {
+        let mut w = CodecWriter::new(WIRE_MAGIC, WIRE_VERSION, FP);
+        w.put_u8(kind);
+        let body = w.finish();
+        assert_eq!(
+            decode_frame(&body).unwrap_err(),
+            NetError::UnknownKind(kind)
+        );
+    }
+}
+
+#[test]
+fn oversized_cardinality_claims_fail_before_any_allocation() {
+    // The claim alone is hostile: the body is tiny, so an implementation
+    // that allocated `report_count` slots before cross-checking the
+    // payload length would construct a multi-gigabyte buffer here.
+    let mut w = CodecWriter::new(WIRE_MAGIC, WIRE_VERSION, FP);
+    w.put_u8(2); // Submit
+    w.put_u64(1);
+    w.put_u64(0);
+    w.put_u32(MAX_WIRE_REPORTS + 1);
+    w.put_u32(0);
+    let body = w.finish();
+    assert_eq!(
+        decode_frame(&body).unwrap_err(),
+        NetError::OversizedBatch {
+            reports: MAX_WIRE_REPORTS + 1,
+            indices: 0
+        }
+    );
+}
+
+proptest! {
+    /// Arbitrary blobs never panic the decoder; they either parse (only
+    /// possible for a byte-exact valid frame) or come back typed.
+    #[test]
+    fn arbitrary_blobs_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_frame(&bytes);
+    }
+
+    /// Arbitrary mutations of a valid frame never panic either — this
+    /// walks the "almost valid" space where parsers usually break.
+    #[test]
+    fn mutated_valid_frames_never_panic(
+        which in 0usize..9,
+        byte in 0usize..64,
+        value in any::<u8>(),
+    ) {
+        let frames = sample_frames();
+        let mut body = encode_frame(&frames[which % frames.len()], FP);
+        if !body.is_empty() {
+            let i = byte % body.len();
+            body[i] = value;
+        }
+        let _ = decode_frame(&body);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Live-daemon hostility: every attack is answered with a structured
+// error frame and the daemon survives to serve clean traffic.
+// ---------------------------------------------------------------------------
+
+/// Reads the daemon's reply off a raw stream and decodes it.
+fn read_reply(stream: &mut TcpStream) -> Frame {
+    let mut buf = Vec::new();
+    assert!(read_frame(stream, &mut buf).unwrap(), "daemon sent a reply");
+    decode_frame(&buf).unwrap().1
+}
+
+fn expect_error(stream: &mut TcpStream, want: ErrorCode) {
+    match read_reply(stream) {
+        Frame::Error { code, detail } => {
+            assert_eq!(code, want);
+            assert!(!detail.is_empty());
+        }
+        other => panic!("expected an {want} error frame, got {other:?}"),
+    }
+}
+
+/// A clean hello → submit → end-round exchange, proving the daemon is
+/// still healthy. Returns the round's report total.
+fn clean_round(daemon: &Collectd, obs: &MetricsRegistry, round: u64) -> u64 {
+    let mut c = Conn::connect(
+        daemon.local_addr(),
+        daemon.fingerprint(),
+        obs,
+        ldp_netd::Deadline::after(std::time::Duration::from_secs(10)),
+    )
+    .unwrap();
+    c.send(&Frame::Hello {
+        worker_id: 0,
+        k: 16,
+        dim: 16,
+        method: Method::LGrr.name().into(),
+    })
+    .unwrap();
+    let (_, ack) = c.recv().unwrap().unwrap();
+    assert!(matches!(ack, Frame::HelloAck { .. }), "{ack:?}");
+    let mut batch = ReportBatch::new();
+    batch.push_report([3u32]);
+    c.send(&Frame::Submit {
+        seq: 1,
+        key_base: 0,
+        batch,
+    })
+    .unwrap();
+    let (_, ack) = c.recv().unwrap().unwrap();
+    assert!(matches!(ack, Frame::Ack { seq: 1, .. }), "{ack:?}");
+    c.send(&Frame::EndRound { round }).unwrap();
+    match c.recv().unwrap().unwrap().1 {
+        Frame::RoundResult { reports, .. } => reports,
+        other => panic!("expected a round result, got {other:?}"),
+    }
+}
+
+#[test]
+fn a_hostile_gauntlet_cannot_take_the_daemon_down() {
+    let obs = MetricsRegistry::new();
+    let daemon = Collectd::start(DaemonConfig::new(Method::LGrr, 16, 2.0, 1.0), &obs).unwrap();
+    let addr = daemon.local_addr();
+
+    // 1. A forged length prefix claiming far beyond the cap: rejected
+    //    before any buffer grows, answered typed, connection closed.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    expect_error(&mut s, ErrorCode::FrameTooLarge);
+    let mut buf = Vec::new();
+    assert!(!read_frame(&mut s, &mut buf).unwrap(), "daemon closed");
+
+    // 2. A length prefix just over the cap, same outcome.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(&(MAX_FRAME_LEN + 1).to_le_bytes()).unwrap();
+    expect_error(&mut s, ErrorCode::FrameTooLarge);
+
+    // 3. Garbage bytes under an honest little length prefix.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(&16u32.to_le_bytes()).unwrap();
+    s.write_all(&[0xA5; 16]).unwrap();
+    expect_error(&mut s, ErrorCode::Malformed);
+
+    // 4. A frame from the future: fails closed as malformed.
+    let mut s = TcpStream::connect(addr).unwrap();
+    let mut w = CodecWriter::new(WIRE_MAGIC, WIRE_VERSION + 1, daemon.fingerprint());
+    w.put_u8(6);
+    write_frame(&mut s, &w.finish()).unwrap();
+    expect_error(&mut s, ErrorCode::Malformed);
+
+    // 5. A well-formed container claiming an absurd batch cardinality.
+    let mut s = TcpStream::connect(addr).unwrap();
+    let mut w = CodecWriter::new(WIRE_MAGIC, WIRE_VERSION, daemon.fingerprint());
+    w.put_u8(2); // Submit
+    w.put_u64(1);
+    w.put_u64(0);
+    w.put_u32(u32::MAX);
+    w.put_u32(u32::MAX);
+    write_frame(&mut s, &w.finish()).unwrap();
+    expect_error(&mut s, ErrorCode::OversizedBatch);
+
+    // 6. An unknown frame kind.
+    let mut s = TcpStream::connect(addr).unwrap();
+    let mut w = CodecWriter::new(WIRE_MAGIC, WIRE_VERSION, daemon.fingerprint());
+    w.put_u8(200);
+    write_frame(&mut s, &w.finish()).unwrap();
+    expect_error(&mut s, ErrorCode::UnknownKind);
+
+    // 7. A truncated frame followed by a hangup: nobody left to answer,
+    //    the daemon just closes its side.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(&100u32.to_le_bytes()).unwrap();
+    s.write_all(&[1, 2, 3]).unwrap();
+    drop(s);
+
+    // 8. A support index outside the aggregation dimension: the frame is
+    //    wire-valid, rejected at the application layer, and the
+    //    connection survives for a corrected retry.
+    let mut c = Conn::connect(
+        addr,
+        daemon.fingerprint(),
+        &obs,
+        ldp_netd::Deadline::after(std::time::Duration::from_secs(10)),
+    )
+    .unwrap();
+    c.send(&Frame::Hello {
+        worker_id: 7,
+        k: 16,
+        dim: 16,
+        method: Method::LGrr.name().into(),
+    })
+    .unwrap();
+    assert!(matches!(
+        c.recv().unwrap().unwrap().1,
+        Frame::HelloAck { .. }
+    ));
+    let mut batch = ReportBatch::new();
+    batch.push_report([16u32]); // dim is 16, so 16 is out of range
+    c.send(&Frame::Submit {
+        seq: 1,
+        key_base: 0,
+        batch,
+    })
+    .unwrap();
+    match c.recv().unwrap().unwrap().1 {
+        Frame::Error { code, .. } => assert_eq!(code, ErrorCode::SupportOutOfRange),
+        other => panic!("expected a support-range error, got {other:?}"),
+    }
+    let mut batch = ReportBatch::new();
+    batch.push_report([15u32]);
+    c.send(&Frame::Submit {
+        seq: 1,
+        key_base: 0,
+        batch,
+    })
+    .unwrap();
+    assert!(
+        matches!(c.recv().unwrap().unwrap().1, Frame::Ack { seq: 1, .. }),
+        "the connection survives an application-level rejection"
+    );
+    drop(c);
+
+    // After the whole gauntlet, a clean round still works and contains
+    // exactly the two legitimate reports (the out-of-range submit left
+    // nothing behind).
+    let reports = clean_round(&daemon, &obs, 0);
+    assert_eq!(reports, 2);
+
+    daemon.trigger_drain();
+    let report = daemon.join().unwrap();
+    assert!(!report.hard_killed);
+    assert_eq!(report.rounds_finished, 1);
+}

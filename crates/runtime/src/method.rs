@@ -46,6 +46,24 @@ impl Method {
         }
     }
 
+    /// Parses a method from its registry name, case-insensitively, with
+    /// the CLI's historical aliases (`l-sue` for RAPPOR, the bare
+    /// `1bitflip`/`bbitflip` forms). Every [`Method::name`] round-trips.
+    pub fn from_name(name: &str) -> Option<Method> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "rappor" | "l-sue" => Method::Rappor,
+            "l-osue" => Method::LOsue,
+            "l-oue" => Method::LOue,
+            "l-soue" => Method::LSoue,
+            "l-grr" => Method::LGrr,
+            "biloloha" => Method::BiLoloha,
+            "ololoha" => Method::OLoloha,
+            "1bitflip" | "1bitflippm" => Method::OneBitFlip,
+            "bbitflip" | "bbitflippm" => Method::BBitFlip,
+            _ => return None,
+        })
+    }
+
     /// The seven methods of Figs. 3–4.
     pub fn paper_set() -> [Method; 7] {
         [
@@ -110,6 +128,17 @@ mod tests {
         assert_eq!(Method::Rappor.name(), "RAPPOR");
         assert_eq!(Method::BBitFlip.name(), "bBitFlipPM");
         assert_eq!(Method::OneBitFlip.name(), "1BitFlipPM");
+    }
+
+    #[test]
+    fn every_name_parses_back_to_its_method() {
+        for m in Method::all() {
+            assert_eq!(Method::from_name(m.name()), Some(m), "{m:?}");
+        }
+        assert_eq!(Method::from_name("l-sue"), Some(Method::Rappor));
+        assert_eq!(Method::from_name("1bitflip"), Some(Method::OneBitFlip));
+        assert_eq!(Method::from_name("BBITFLIP"), Some(Method::BBitFlip));
+        assert_eq!(Method::from_name("nope"), None);
     }
 
     #[test]

@@ -38,6 +38,10 @@
 //!   and histograms behind no-op-able handles, `Span` timers, and the
 //!   deterministic `OBS_FORMAT.md` snapshot exporter the collection
 //!   pipeline reports through.
+//! * [`netd`] — the collection service layer: `collectd`, a TCP
+//!   ingestion daemon over the `LDNW` wire protocol with durable
+//!   exactly-once resume, and `loadgen`, its deterministic replayable
+//!   traffic driver.
 //!
 //! Downstream users who only need the stable surface should prefer
 //! [`prelude`], which curates the commonly used items instead of exposing
@@ -58,6 +62,7 @@ pub use ldp_heavyhitters as heavyhitters;
 pub use ldp_ingest as ingest;
 pub use ldp_longitudinal as longitudinal;
 pub use ldp_multidim as multidim;
+pub use ldp_netd as netd;
 pub use ldp_obs as obs;
 pub use ldp_postprocess as postprocess;
 pub use ldp_primitives as primitives;

@@ -78,3 +78,10 @@ pub use ldp_harness::{cell_seed, CellResult, ExperimentRunner, RunnerConfig};
 pub use ldp_obs::{
     validate_snapshot_str, Counter, Gauge, Histogram, MetricsRegistry, ObsSnapshot, Span,
 };
+
+// The network collection service: daemon, traffic driver, and the typed
+// wire-error taxonomy a deployment handles.
+pub use ldp_netd::{
+    run_loadgen, Collectd, DaemonConfig, DaemonReport, ErrorCode, LoadgenConfig, LoadgenReport,
+    NetError,
+};

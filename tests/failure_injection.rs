@@ -11,7 +11,12 @@ use loloha_suite::longitudinal::chain::{lgrr_params, ue_chain_params, UeChain};
 use loloha_suite::longitudinal::{DBitFlipClient, DdrmClient, DdrmServer, LgrrClient};
 use loloha_suite::multidim::spl::Flavor;
 use loloha_suite::multidim::{AttributeSpec, RsfdGrrClient, SmpWrapper, SplWrapper};
+use loloha_suite::netd::{
+    decode_frame, encode_frame, Conn, Deadline, ErrorCode, Frame, NetError, MAX_FRAME_LEN,
+};
+use loloha_suite::obs::MetricsRegistry;
 use loloha_suite::postprocess::{ExponentialSmoother, KalmanSmoother, MovingAverage};
+use loloha_suite::primitives::CodecError;
 use loloha_suite::primitives::{Grr, UeClient};
 use loloha_suite::rand::derive_rng;
 use loloha_suite::sim::{ExperimentConfig, Method};
@@ -184,6 +189,131 @@ fn errors_are_displayable_and_comparable() {
     let e3 = LolohaParams::bi(1.0, 2.0).unwrap_err();
     assert_ne!(e1, e3);
     assert!(e3.to_string().contains("eps"));
+}
+
+/// One of every [`NetError`] variant — the full network taxonomy, kept
+/// in sync by the exhaustive match in [`net_errors_are_typed_displayable_and_classified`].
+fn every_net_error() -> Vec<NetError> {
+    vec![
+        NetError::Codec(CodecError::Truncated),
+        NetError::FrameTooLarge {
+            len: u32::MAX,
+            cap: MAX_FRAME_LEN,
+        },
+        NetError::UnknownKind(200),
+        NetError::UnknownErrorCode(0),
+        NetError::ConfigMismatch { got: 1, want: 2 },
+        NetError::BadBatch("offsets out of order"),
+        NetError::OversizedBatch {
+            reports: 1 << 20,
+            indices: 1 << 24,
+        },
+        NetError::SupportOutOfRange { index: 16, dim: 16 },
+        NetError::Protocol("submit before hello"),
+        NetError::IdleTimeout,
+        NetError::Draining,
+        NetError::Remote {
+            code: ErrorCode::Internal,
+            detail: "shard worker died".into(),
+        },
+        NetError::Pipeline("channel closed".into()),
+        NetError::Io("connection reset".into()),
+    ]
+}
+
+#[test]
+fn net_errors_are_typed_displayable_and_classified() {
+    let all = every_net_error();
+    for e in &all {
+        assert!(!e.to_string().is_empty(), "{e:?}");
+        // Every variant maps to a wire code that round-trips its byte.
+        let code = e.code();
+        assert_eq!(ErrorCode::from_u8(code.as_u8()), Ok(code), "{e:?}");
+        assert!(!code.name().is_empty());
+        // Comparable (sweep/retry code matches on variants).
+        assert_eq!(e.clone(), e.clone());
+    }
+    // The exhaustive match: adding a NetError variant without extending
+    // `every_net_error` fails to compile here.
+    for e in &all {
+        match e {
+            NetError::Codec(_)
+            | NetError::FrameTooLarge { .. }
+            | NetError::UnknownKind(_)
+            | NetError::UnknownErrorCode(_)
+            | NetError::ConfigMismatch { .. }
+            | NetError::BadBatch(_)
+            | NetError::OversizedBatch { .. }
+            | NetError::SupportOutOfRange { .. }
+            | NetError::Protocol(_)
+            | NetError::IdleTimeout
+            | NetError::Draining
+            | NetError::Remote { .. }
+            | NetError::Pipeline(_)
+            | NetError::Io(_) => {}
+        }
+    }
+    // Retryability partitions the taxonomy: transient transport faults
+    // and drains replay; malformed bytes and config drift never do.
+    let retryable: Vec<bool> = all.iter().map(NetError::retryable).collect();
+    assert!(NetError::Draining.retryable());
+    assert!(NetError::Io(String::new()).retryable());
+    assert!(NetError::IdleTimeout.retryable());
+    assert!(!NetError::Codec(CodecError::Truncated).retryable());
+    assert!(!NetError::ConfigMismatch { got: 0, want: 1 }.retryable());
+    assert!(retryable.iter().any(|&r| r) && retryable.iter().any(|&r| !r));
+}
+
+#[test]
+fn every_error_code_survives_an_error_frame_round_trip() {
+    for code in [
+        ErrorCode::Malformed,
+        ErrorCode::FrameTooLarge,
+        ErrorCode::UnknownKind,
+        ErrorCode::ConfigMismatch,
+        ErrorCode::BadBatch,
+        ErrorCode::OversizedBatch,
+        ErrorCode::SupportOutOfRange,
+        ErrorCode::Protocol,
+        ErrorCode::IdleTimeout,
+        ErrorCode::Draining,
+        ErrorCode::Internal,
+    ] {
+        let frame = Frame::Error {
+            code,
+            detail: format!("injected {code}"),
+        };
+        let body = encode_frame(&frame, 7);
+        let (_, decoded) = decode_frame(&body).unwrap();
+        assert_eq!(decoded, frame, "{code}");
+    }
+}
+
+#[test]
+fn timeout_branches_fire_through_injected_deadlines_not_sleeps() {
+    // An already-expired deadline drives every timeout path instantly —
+    // no wall-clock waiting, no flaky sleeps.
+    let expired = Deadline::expired();
+    assert!(expired.is_expired());
+    assert_eq!(expired.remaining(), Some(std::time::Duration::ZERO));
+
+    // Connecting under an expired deadline fails typed before any I/O.
+    let obs = MetricsRegistry::new();
+    let err = Conn::connect(
+        std::net::SocketAddr::from(([127, 0, 0, 1], 1)),
+        0,
+        &obs,
+        expired,
+    )
+    .unwrap_err();
+    assert_eq!(err, NetError::IdleTimeout);
+    assert!(err.retryable(), "a timeout is transient by definition");
+
+    // A never-deadline cannot expire; a future one reports its budget.
+    assert!(!Deadline::never().is_expired());
+    let soon = Deadline::after(std::time::Duration::from_secs(3600));
+    assert!(!soon.is_expired());
+    assert!(soon.remaining().unwrap() > std::time::Duration::from_secs(3000));
 }
 
 #[test]
